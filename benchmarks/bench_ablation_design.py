@@ -1,0 +1,111 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Three ablations:
+
+* **replica count** — the paper defaults to 3 replicas with
+  conservative merging; fewer replicas risk optimistic decisions,
+  more cost linearly. We measure both the cost scaling and the
+  decision stability.
+* **metric guarding** — disabling Section 5.3's impact tracking makes
+  analysis cheaper but silently loses the futex/-66% class of red
+  flags.
+* **final confirmation run** — skipping the combined run (and its
+  bisection) would have accepted a per-feature analysis that does not
+  compose; we count how often that safety net matters on a
+  conflict-prone program.
+"""
+
+from __future__ import annotations
+
+from repro.appsim.backend import SimBackend
+from repro.appsim.behavior import abort, breaks_core, fallback, harmless, ignore
+from repro.appsim.corpus import build
+from repro.appsim.program import SimProgram, SyscallOp, WorkloadProfile
+from repro.core.analyzer import Analyzer, AnalyzerConfig
+from repro.core.workload import health_check
+
+
+def _analyze_with(replicas: int, guard: bool):
+    app = build("weborf")
+    config = AnalyzerConfig(replicas=replicas, guard_metrics=guard)
+    return Analyzer(config).analyze(app.backend(), app.bench)
+
+
+def test_ablation_replica_count(benchmark):
+    result_one = _analyze_with(1, True)
+    result_five = _analyze_with(5, True)
+    timed = benchmark.pedantic(
+        _analyze_with, args=(3, True), rounds=1, iterations=1
+    )
+
+    print("\n=== Ablation: replica count ===")
+    for label, result in (("1", result_one), ("3", timed), ("5", result_five)):
+        print(
+            f"replicas={label}: required={len(result.required_syscalls())} "
+            f"avoidable={len(result.avoidable_syscalls())}"
+        )
+    # The simulator is deterministic modulo seeded noise, so decisions
+    # must be stable across replica counts — the cost is what varies.
+    assert result_one.required_syscalls() == timed.required_syscalls()
+    assert result_five.required_syscalls() == timed.required_syscalls()
+
+
+def test_ablation_metric_guarding(benchmark):
+    guarded = _analyze_with(3, True)
+    unguarded = benchmark.pedantic(
+        _analyze_with, args=(3, False), rounds=1, iterations=1
+    )
+
+    flagged = [r.feature for r in guarded.impacted_features()]
+    print("\n=== Ablation: metric guarding ===")
+    print(f"guarded run flags {len(flagged)} feature(s): {flagged}")
+    print("unguarded run flags "
+          f"{len(unguarded.impacted_features())} feature(s)")
+    assert flagged, "guarding should catch weborf's close/fd shift"
+    assert not unguarded.impacted_features()
+    # Decisions themselves are identical — guarding is advisory.
+    assert unguarded.required_syscalls() == guarded.required_syscalls()
+
+
+def _conflict_program() -> SimProgram:
+    inner = SyscallOp(syscall="mmap", on_stub=abort(), on_fake=breaks_core())
+    return SimProgram(
+        name="conflict-ablation",
+        version="1",
+        ops=(
+            SyscallOp(syscall="mremap", on_stub=fallback(inner),
+                      on_fake=harmless()),
+            SyscallOp(
+                syscall="mmap",
+                on_stub=fallback(
+                    SyscallOp(syscall="mremap", on_stub=abort(),
+                              on_fake=breaks_core())
+                ),
+                on_fake=breaks_core(),
+            ),
+            SyscallOp(syscall="close", on_stub=ignore(), on_fake=harmless()),
+        ),
+        profiles={"*": WorkloadProfile()},
+    )
+
+
+def test_ablation_final_confirmation(benchmark):
+    backend = SimBackend(_conflict_program())
+
+    def with_bisection():
+        return Analyzer(AnalyzerConfig(bisect_conflicts=True)).analyze(
+            backend, health_check("health")
+        )
+
+    checked = benchmark.pedantic(with_bisection, rounds=1, iterations=1)
+    unchecked = Analyzer(AnalyzerConfig(bisect_conflicts=False)).analyze(
+        backend, health_check("health")
+    )
+
+    print("\n=== Ablation: final combined run + bisection ===")
+    print(f"with bisection: final_ok={checked.final_run_ok} "
+          f"conflicts={checked.conflicts}")
+    print(f"without: final_ok={unchecked.final_run_ok} (analysis unusable)")
+    assert checked.final_run_ok
+    assert checked.conflicts
+    assert not unchecked.final_run_ok

@@ -1,0 +1,93 @@
+"""Extension benches: beyond the paper's evaluation.
+
+* **knowledge transfer** (paper Section 6 future work): priors learned
+  from the corpus shrink a fresh application's analysis; we measure
+  runs saved and verify decisions are unchanged.
+* **pseudo-file usage** (set aside in the paper "for space reasons"):
+  corpus-wide special-file usage and how much of it actually needs an
+  implementation.
+"""
+
+from __future__ import annotations
+
+from repro.appsim.corpus import cloud_apps, corpus
+from repro.core.analyzer import Analyzer, AnalyzerConfig
+from repro.core.transfer import PriorKnowledge
+from repro.study.base import analyze_apps
+from repro.study.pseudofiles_study import pseudo_file_study, render_pseudo_files
+
+
+class _CountingBackend:
+    def __init__(self, inner):
+        self._inner = inner
+        self.name = inner.name
+        self.runs = 0
+
+    def run(self, workload, policy, *, replica=0):
+        self.runs += 1
+        return self._inner.run(workload, policy, replica=replica)
+
+
+def test_extension_knowledge_transfer(benchmark, full_corpus, corpus_bench_results):
+    priors = PriorKnowledge.from_results(corpus_bench_results)
+    target = full_corpus[30]
+
+    plain_backend = _CountingBackend(target.backend())
+    plain_result = Analyzer(AnalyzerConfig(replicas=3)).analyze(
+        plain_backend, target.bench
+    )
+
+    def transfer_analysis():
+        backend = _CountingBackend(target.backend())
+        analyzer = Analyzer(AnalyzerConfig(replicas=3, priors=priors))
+        result = analyzer.analyze(backend, target.bench)
+        return backend, analyzer, result
+
+    backend, analyzer, result = benchmark.pedantic(
+        transfer_analysis, rounds=3, iterations=1
+    )
+    stats = analyzer.last_transfer_stats
+
+    print("\n=== Extension: cross-application knowledge transfer ===")
+    print(f"priors learned from {len(corpus_bench_results)} analyses "
+          f"({len(priors)} features, "
+          f"{len(priors.confident_features())} confidently predictable)")
+    print(f"fresh app {target.name}: {plain_backend.runs} runs without "
+          f"priors vs {backend.runs} with "
+          f"({stats.runs_saved} saved, "
+          f"{stats.fast_path_rate:.0%} of features fast-pathed, "
+          f"{stats.fallbacks} fallbacks)")
+
+    assert result.required_syscalls() == plain_result.required_syscalls()
+    assert result.avoidable_syscalls() == plain_result.avoidable_syscalls()
+    assert backend.runs < plain_backend.runs
+    assert stats.fast_path_rate > 0.3
+
+
+def test_extension_pseudo_files(benchmark):
+    study = benchmark.pedantic(
+        pseudo_file_study, args=(cloud_apps(),), rounds=1, iterations=1
+    )
+
+    print("\n=== Extension: pseudo-file usage (cloud apps) ===")
+    print(render_pseudo_files(study))
+
+    paths = {row.path for row in study.rows}
+    assert "/dev/urandom" in paths
+    total_using = sum(r.apps_using for r in study.rows)
+    total_requiring = sum(r.apps_requiring for r in study.rows)
+    assert total_requiring < total_using  # most special files fail soft
+
+
+def test_extension_range_split(benchmark, corpus_bench_results):
+    """Section 5.2's range insight over the whole corpus: modern
+    (high-numbered) syscalls are the better stub/fake candidates."""
+    from repro.study.ranges import range_study, render_ranges
+
+    study = benchmark(range_study, corpus_bench_results)
+
+    print("\n=== Section 5.2: low-range vs high-range avoidability ===")
+    print(render_ranges(study))
+
+    assert study.modern_syscalls_easier_to_avoid
+    assert study.low.used > study.high.used

@@ -1,0 +1,46 @@
+"""Figure 2 — engineering-effort savings for OSv's 62 applications.
+
+Three development strategies over the same apps: Loupe's optimized
+plan, the organic (chronological) order, and naive strace-driven
+implementation. Paper headline at half coverage (31 apps): 37 vs 92 vs
+142 syscalls; shape requirement: loupe < organic < naive with the
+organic/loupe factor around 2.5x.
+"""
+
+from __future__ import annotations
+
+from repro.plans import run_effort_study
+
+
+def test_fig2_osv_effort(benchmark, full_corpus):
+    apps = full_corpus[:62]
+    study = benchmark.pedantic(
+        run_effort_study, args=(apps,), rounds=1, iterations=1
+    )
+
+    half = study.at_half()
+    print("\n=== Figure 2: apps supported vs syscalls implemented ===")
+    print(f"{'apps':>5} {'loupe':>7} {'organic':>8} {'naive':>7}")
+    for apps_supported in (5, 10, 15, 20, 25, 31, 40, 50, 62):
+        print(
+            f"{apps_supported:>5} "
+            f"{study.loupe.syscalls_for_apps(apps_supported):>7} "
+            f"{study.organic.syscalls_for_apps(apps_supported):>8} "
+            f"{study.naive.syscalls_for_apps(apps_supported):>7}"
+        )
+    print(
+        f"\nat half coverage ({half['apps']} apps): "
+        f"loupe={half['loupe']} organic={half['organic']} "
+        f"naive={half['naive']}  (paper: 37 / 92 / 142)"
+    )
+
+    assert half["loupe"] < half["organic"] < half["naive"]
+    assert half["organic"] / half["loupe"] >= 1.6
+    assert half["naive"] / half["organic"] >= 1.3
+    # Same destination, different path: loupe and organic converge.
+    assert study.loupe.final_syscalls == study.organic.final_syscalls
+    for apps_supported in range(1, 63):
+        assert (
+            study.loupe.syscalls_for_apps(apps_supported)
+            <= study.organic.syscalls_for_apps(apps_supported)
+        )

@@ -1,0 +1,52 @@
+"""Figure 4 — syscalls per analysis method for the seven-app set.
+
+Static source/binary vs dynamically traced (required / stubbable /
+fakeable / any), for benchmarks and full test suites. Paper aggregate:
+46% of suite syscalls and 60% of benchmark syscalls avoid
+implementation; Redis headline 103 static-binary / 68 suite-traced /
+42 suite-required / 20 bench-required.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.study.methods import figure4, render_figure4
+
+
+def test_fig4_analysis_methods(benchmark, seven_app_set):
+    fig = benchmark.pedantic(
+        figure4, args=(seven_app_set,), rounds=1, iterations=1
+    )
+
+    print("\n=== Figure 4: syscalls per analysis method ===")
+    print(render_figure4(fig))
+
+    assert fig.mean_avoidable_fraction("bench") == pytest.approx(0.60, abs=0.08)
+    assert fig.mean_avoidable_fraction("suite") == pytest.approx(0.46, abs=0.10)
+
+    redis_suite = fig.for_app("redis", "suite")
+    redis_bench = fig.for_app("redis", "bench")
+    assert redis_suite.static_binary == 103
+    assert 60 <= redis_suite.traced <= 78
+    assert 30 <= redis_suite.required <= 48
+    assert 14 <= redis_bench.required <= 24
+
+    for row in fig.rows:
+        assert row.static_binary >= row.static_source
+        assert row.traced >= row.required
+        assert row.required + row.avoidable >= row.traced  # partition
+
+    # Per-app extremes from Section 5.2.
+    suite_fractions = {
+        row.app: row.avoidable_fraction
+        for row in fig.rows
+        if row.workload == "suite"
+    }
+    assert min(suite_fractions, key=suite_fractions.get) == "nginx"
+    bench_fractions = {
+        row.app: row.avoidable_fraction
+        for row in fig.rows
+        if row.workload == "bench"
+    }
+    assert max(bench_fractions, key=bench_fractions.get) == "haproxy"

@@ -1,0 +1,43 @@
+"""Figure 7 — which syscall wrappers have their return values checked.
+
+Scans every corpus application's wrapper call sites (app code only,
+mirroring the paper's manual source inspection) and correlates checking
+with stub/fake-ability. Paper conclusions: most wrappers are checked;
+never-checked ones include can't-fail syscalls; and checking does NOT
+predict whether a syscall can be stubbed or faked.
+"""
+
+from __future__ import annotations
+
+from repro.study.checks import check_study, expected_unchecked
+
+
+def test_fig7_return_value_checks(benchmark, full_corpus, corpus_bench_results):
+    study = benchmark.pedantic(
+        check_study,
+        args=(full_corpus, corpus_bench_results),
+        rounds=3,
+        iterations=1,
+    )
+
+    print("\n=== Figure 7: apps checking syscall return values ===")
+    interesting = [
+        row for row in study.rows if row.apps_using >= 5
+    ]
+    interesting.sort(key=lambda r: -r.check_fraction)
+    for row in interesting[:20]:
+        print(
+            f"{row.syscall:<18} {row.apps_checking:>3}/{row.apps_using:<3} "
+            f"({row.check_fraction:.0%})"
+        )
+    print(f"... {len(study.rows)} wrapper syscalls inspected in total")
+    print(f"always checked: {len(study.always_checked)} syscalls")
+    print(f"never checked:  {len(study.never_checked)} syscalls "
+          f"({', '.join(study.never_checked[:6])}...)")
+    print(f"checks/avoidability correlation: {study.correlation:+.3f} "
+          f"(paper: no meaningful link)")
+
+    checked_majority = [r for r in study.rows if r.check_fraction > 0.5]
+    assert len(checked_majority) > len(study.rows) / 2
+    assert abs(study.correlation) < 0.45
+    assert expected_unchecked(study) or study.never_checked

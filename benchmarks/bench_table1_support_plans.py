@@ -1,0 +1,77 @@
+"""Table 1 — step-by-step support plans for Unikraft, Fuchsia, Kerla.
+
+Regenerates the paper's plans for the 15 cloud apps: initial coverage
+(12/10/4 apps), step counts (3/5/11), and the 1-3-syscalls-per-step
+property; also prints the full-corpus plan sizes quoted in Section 4.1.
+"""
+
+from __future__ import annotations
+
+from repro.plans import (
+    generate_plan,
+    render_plan,
+    requirements_for_all,
+    table1_states,
+)
+
+
+def _generate_all(requirements):
+    states = table1_states(requirements)
+    return {
+        name: generate_plan(state, requirements)
+        for name, state in states.items()
+    }
+
+
+def test_table1_support_plans(benchmark, cloud_app_set):
+    requirements = requirements_for_all(cloud_app_set, "bench")
+    plans = benchmark.pedantic(
+        _generate_all, args=(requirements,), rounds=3, iterations=1
+    )
+
+    print("\n=== Table 1: step-by-step support plans for 3 OSes ===")
+    for name, plan in plans.items():
+        print()
+        print(render_plan(plan))
+
+    expected = {"unikraft": (12, 3), "fuchsia": (10, 5), "kerla": (4, 11)}
+    for name, (initial, steps) in expected.items():
+        plan = plans[name]
+        assert len(plan.initially_supported) == initial, name
+        assert len(plan.steps) == steps, name
+        assert plan.steps[-1].app == "mongodb"
+
+    small = sum(
+        sum(1 for s in plan.steps if len(s.implement) <= 3)
+        for plan in plans.values()
+    )
+    total = sum(len(plan.steps) for plan in plans.values())
+    print(f"\nsteps implementing <=3 syscalls: {small}/{total} "
+          f"({small / total:.0%}; paper: >80%)")
+    assert small / total >= 0.75
+
+
+def test_table1_full_corpus_plan_sizes(benchmark, full_corpus, cloud_app_set):
+    """Section 4.1: full plans over all 116 apps are much longer —
+    35 steps for Fuchsia, 32 for Unikraft, 79 for Kerla."""
+    cloud_requirements = requirements_for_all(cloud_app_set, "bench")
+    all_requirements = requirements_for_all(full_corpus, "bench")
+    states = table1_states(cloud_requirements)
+
+    def run():
+        return {
+            name: generate_plan(state, all_requirements)
+            for name, state in states.items()
+        }
+
+    plans = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Section 4.1: full-corpus plan sizes (116 apps) ===")
+    for name, plan in plans.items():
+        print(
+            f"{name:<10} initial={len(plan.initially_supported):>3} apps, "
+            f"{len(plan.steps):>3} steps, "
+            f"{plan.total_implemented:>3} syscalls implemented"
+        )
+    # Maturity ordering: Kerla needs by far the most steps.
+    assert len(plans["kerla"].steps) > len(plans["fuchsia"].steps)
+    assert len(plans["kerla"].steps) > len(plans["unikraft"].steps)

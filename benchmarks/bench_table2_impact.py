@@ -1,0 +1,41 @@
+"""Table 2 — performance and resource-usage impact of stubbing/faking.
+
+Nginx + wrk, Redis + redis-benchmark, iPerf3 + iperf client, 10
+replicas each. Regenerates every signature row: write +15%, sigsuspend
+-38%, brk->mmap fallbacks, close x8 descriptors, futex -66%/+94%,
+pipe2 -25%, sigprocmask -15%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.study.impact import analyze_impacts, render_table2
+
+
+def test_table2_impact_rows(benchmark):
+    table = benchmark.pedantic(analyze_impacts, rounds=1, iterations=1)
+
+    print("\n=== Table 2: stub/fake impact on perf and resources ===")
+    print(render_table2(table))
+
+    assert table.row("nginx", "write").perf_delta == pytest.approx(0.15, abs=0.03)
+    assert table.row("nginx", "rt_sigsuspend").perf_delta == pytest.approx(
+        -0.38, abs=0.03
+    )
+    assert table.row("nginx", "brk").mem_delta == pytest.approx(0.17, abs=0.03)
+    assert table.row("nginx", "clone").mem_delta == pytest.approx(0.10, abs=0.03)
+    assert table.row("redis", "close").fd_delta == pytest.approx(7.0, abs=0.5)
+    assert table.row("redis", "munmap").mem_delta == pytest.approx(0.19, abs=0.03)
+    assert table.row("redis", "rt_sigprocmask").mem_delta == pytest.approx(
+        -0.15, abs=0.03
+    )
+    assert table.row("redis", "futex").perf_delta == pytest.approx(-0.66, abs=0.05)
+    assert table.row("redis", "futex").fd_delta == pytest.approx(0.94, abs=0.08)
+    assert table.row("redis", "pipe2").fd_delta == pytest.approx(-0.25, abs=0.05)
+    assert table.row("iperf3", "brk").mem_delta == pytest.approx(0.11, abs=0.02)
+
+    impacted = {row.syscall for row in table.rows}
+    print(f"\nimpacted syscalls: {len(impacted)} "
+          f"(paper: 3/45 perf, 4/45 mem, 3/45 fd per app — a short list)")
+    assert len(impacted) <= 12

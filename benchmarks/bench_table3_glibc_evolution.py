@@ -1,0 +1,30 @@
+"""Table 3 — Nginx 0.3.19 syscall usage across 17 years of glibc.
+
+glibc 2.3.2 / 32-bit (48 syscalls) vs glibc 2.31 / 64-bit (51), with
+the delta classified into architecture variants, genuinely new
+syscalls (the paper counts exactly 8), and deprecations.
+"""
+
+from __future__ import annotations
+
+from repro.study.evolution import glibc_comparison, render_table3
+
+
+def test_table3_glibc_comparison(benchmark):
+    comparison = benchmark(glibc_comparison)
+
+    print("\n=== Table 3: Nginx 0.3.19 under two glibc generations ===")
+    print(render_table3(comparison))
+
+    assert comparison.old_count == 48
+    assert comparison.new_count == 51
+    assert len(comparison.genuinely_new) == 8
+    assert comparison.genuinely_new == {
+        "_sysctl", "lstat", "mprotect", "openat", "prlimit64",
+        "sendfile", "set_robust_list", "set_tid_address",
+    }
+    assert {"open", "uname", "gettimeofday", "getrlimit"} == set(
+        comparison.deprecated
+    )
+    assert comparison.arch_variants["mmap2"] == "mmap"
+    assert comparison.arch_variants["set_thread_area"] == "arch_prctl"

@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table or figure from the paper's
+evaluation. Analyses are memoized process-wide (the loupedb pattern),
+so the first bench touching the corpus pays the analysis cost and the
+rest measure their own computation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.appsim.corpus import cloud_apps, corpus, seven_apps
+
+
+@pytest.fixture(scope="session")
+def cloud_app_set():
+    return cloud_apps()
+
+
+@pytest.fixture(scope="session")
+def seven_app_set():
+    return seven_apps()
+
+
+@pytest.fixture(scope="session")
+def full_corpus():
+    return corpus()
+
+
+@pytest.fixture(scope="session")
+def corpus_bench_results(full_corpus):
+    from repro.study.base import analyze_apps
+
+    return analyze_apps(full_corpus, "bench")

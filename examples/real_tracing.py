@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Real-substrate demo: ptrace interposition and static scanning on
+live binaries.
+
+Three experiments on /bin/echo (no simulation anywhere):
+
+1. trace it — see the glibc init sequence of the paper's Table 4 live;
+2. stub vs fake its ``write`` — stubbing is detected by the program,
+   faking goes unnoticed (and silences the output);
+3. statically scan a binary for syscall instructions and compare
+   against the dynamic trace — static analysis overestimates, exactly
+   as Section 5.1 measures.
+
+Run:  python examples/real_tracing.py
+"""
+
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+from repro.core.policy import faking, passthrough, stubbing
+from repro.ptracer import SyscallTracer, ptrace_works
+from repro.staticx import scan_binary
+
+
+def trace_demo() -> None:
+    print("=== 1. live trace of /bin/echo ===")
+    outcome = SyscallTracer(passthrough()).run(["/bin/echo", "hello, loupe"])
+    plain = sorted(k for k in outcome.traced if ":" not in k)
+    print(f"exit code {outcome.exit_code}; {len(plain)} distinct syscalls:")
+    print("  " + ", ".join(plain))
+    subfeatures = sorted(k for k in outcome.traced if ":" in k)
+    print("decoded sub-features (Section 5.4, live): " + ", ".join(subfeatures))
+    print()
+
+
+def stub_fake_demo() -> None:
+    print("=== 2. stub vs fake write(2) ===")
+    stubbed = SyscallTracer(stubbing("write")).run(["/bin/echo", "x"])
+    print(f"stub  write -> exit {stubbed.exit_code}  "
+          "(echo checks the return value and fails)")
+    faked = SyscallTracer(faking("write")).run(["/bin/echo", "you never see this"])
+    print(f"fake  write -> exit {faked.exit_code}  "
+          "(the forged byte count satisfies echo; nothing was printed)")
+    print()
+
+
+def static_vs_dynamic_demo() -> None:
+    print("=== 3. static scan vs dynamic trace ===")
+    if shutil.which("gcc") is None:
+        print("gcc unavailable; skipping the static-linking comparison")
+        return
+    source = "#include <stdio.h>\nint main(void){ printf(\"hi\\n\"); return 0; }\n"
+    with tempfile.TemporaryDirectory() as tmp:
+        src = Path(tmp) / "hello.c"
+        binary = Path(tmp) / "hello"
+        src.write_text(source)
+        subprocess.run(
+            ["gcc", "-O2", "-static", "-o", str(binary), str(src)],
+            check=True, capture_output=True,
+        )
+        report = scan_binary(binary)
+        outcome = SyscallTracer(passthrough()).run([str(binary)])
+        traced = {k for k in outcome.traced if ":" not in k}
+        print(f"static-linked hello-world:")
+        print(f"  static binary scan : {len(report.syscalls)} syscalls "
+              f"at {report.sites} call sites")
+        print(f"  dynamic trace      : {len(traced)} syscalls actually used")
+        print(f"  overestimation     : "
+              f"{len(report.syscalls) / max(len(traced), 1):.1f}x "
+              "(the Section 5.1 effect, on a real ELF)")
+
+
+def main() -> None:
+    if not ptrace_works():
+        print("this environment denies ptrace(2); demo unavailable here")
+        return
+    trace_demo()
+    stub_fake_demo()
+    static_vs_dynamic_demo()
+
+
+if __name__ == "__main__":
+    main()

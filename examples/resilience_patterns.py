@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""The Figure 6 resilience patterns, executed.
+
+The paper's Section 5.2 catalogs why programs survive stubbing and
+faking. This example drives each mechanism individually through the
+simulator and shows the run outcome:
+
+* safe default    — Redis's getrlimit/prlimit64 (Figure 6a)
+* fatal-but-fakeable — Nginx's prctl(PR_SET_KEEPCAPS) (Figure 6b)
+* fallback        — glibc's brk -> mmap; SQLite's mremap -> mmap
+* disable feature — glibc's NSCD connect
+* silent breakage — Redis's pipe2 under a benchmark vs the suite
+
+Run:  python examples/resilience_patterns.py
+"""
+
+from repro.appsim.corpus import build
+from repro.core.policy import faking, passthrough, stubbing
+
+
+def show(label: str, run, detail: str) -> None:
+    verdict = "passes" if run.success else "FAILS"
+    print(f"  {label:<28} -> {verdict:<7} {detail}")
+
+
+def main() -> None:
+    redis = build("redis")
+    nginx = build("nginx")
+    sqlite = build("sqlite")
+
+    print("safe default (Figure 6a): Redis assumes 1024 fds when "
+          "prlimit64 fails")
+    show(
+        "stub prlimit64",
+        redis.backend().run(redis.bench, stubbing("prlimit64")),
+        "(maxclients falls back to a safe default)",
+    )
+
+    print("\nfatal-but-fakeable (Figure 6b): Nginx exits when "
+          "prctl fails, yet capabilities are meaningless on a unikernel")
+    show(
+        "stub prctl",
+        nginx.backend().run(nginx.bench, stubbing("prctl")),
+        "(ngx_log_error + exit(2))",
+    )
+    show(
+        "fake prctl",
+        nginx.backend().run(nginx.bench, faking("prctl")),
+        "(forged success: nothing depended on the real effect)",
+    )
+
+    print("\nfallback: SQLite re-allocates with mmap when mremap fails")
+    show(
+        "stub mremap",
+        sqlite.backend().run(sqlite.bench, stubbing("mremap")),
+        "(the fallback path re-maps and carries on)",
+    )
+
+    print("\ndisable-feature: glibc turns off NSCD caching when "
+          "connect fails")
+    show(
+        "stub connect",
+        redis.backend().run(redis.bench, stubbing("connect")),
+        "(name caching disabled; nobody notices)",
+    )
+
+    print("\nsilent breakage: faking pipe2 quietly kills Redis persistence")
+    show(
+        "fake pipe2, benchmark",
+        redis.backend().run(redis.bench, faking("pipe2")),
+        "(redis-benchmark never touches persistence)",
+    )
+    show(
+        "fake pipe2, test suite",
+        redis.backend().run(redis.suite, faking("pipe2")),
+        "(the suite exercises persistence and catches it)",
+    )
+
+    print("\nmetric red flag: faking futex passes the benchmark script "
+          "but wrecks the numbers")
+    base = redis.backend().run(redis.bench, passthrough())
+    fake = redis.backend().run(redis.bench, faking("futex"))
+    print(f"  baseline throughput: {base.metric:,.0f} SET/s, "
+          f"{base.resources.fd_peak} fds")
+    print(f"  faked futex        : {fake.metric:,.0f} SET/s, "
+          f"{fake.resources.fd_peak} fds   "
+          "(Table 2's -66% / +94% — 'not a correct path to follow')")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""repro — a reproduction of Loupe (ASPLOS'24).
+
+Loupe measures, for an application and workload, which OS features
+(system calls, pseudo-files) a new OS's compatibility layer must
+actually implement and which can be stubbed, faked, or partially
+implemented — then turns a corpus of such measurements into incremental
+support plans for OSes under development.
+
+Package map:
+
+* :mod:`repro.syscalls`  — Linux syscall knowledge base (x86-64 + i386)
+* :mod:`repro.core`      — the Loupe analyzer and its data model
+* :mod:`repro.ptracer`   — real ptrace/seccomp tracing substrate
+* :mod:`repro.appsim`    — simulated application corpus substrate
+* :mod:`repro.staticx`   — static analysis baselines
+* :mod:`repro.plans`     — support-plan engine (Table 1 / Figure 2)
+* :mod:`repro.study`     — the Section 5 studies (Figures 3-8, Tables 2-4)
+* :mod:`repro.db`        — loupedb-style results database
+* :mod:`repro.cli`       — the ``loupe`` command-line tool
+"""
+
+from repro.core import (
+    Action,
+    AnalysisResult,
+    Analyzer,
+    AnalyzerConfig,
+    Decision,
+    InterpositionPolicy,
+    RunResult,
+    Verdict,
+    analyze,
+    benchmark,
+    combined,
+    faking,
+    health_check,
+    passthrough,
+    stubbing,
+    test_suite,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Action",
+    "AnalysisResult",
+    "Analyzer",
+    "AnalyzerConfig",
+    "Decision",
+    "InterpositionPolicy",
+    "RunResult",
+    "Verdict",
+    "__version__",
+    "analyze",
+    "benchmark",
+    "combined",
+    "faking",
+    "health_check",
+    "passthrough",
+    "stubbing",
+    "test_suite",
+]

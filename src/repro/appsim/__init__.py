@@ -1,0 +1,88 @@
+"""Application simulation substrate.
+
+Stands in for the paper's corpus of real Linux applications: programs
+are modeled as annotated syscall traces whose *failure policies*
+(ignore / fallback / safe default / disable feature / abort) and *fake
+reactions* (harmless / breaks feature / breaks core / detected)
+reproduce the resilience mechanisms cataloged in Section 5.2. The
+analyzer only ever sees these programs through the standard
+:class:`~repro.core.runner.ExecutionBackend` protocol.
+"""
+
+from repro.appsim.backend import SimBackend
+from repro.appsim.behavior import (
+    FakeKind,
+    FakeReaction,
+    MetricShift,
+    StubKind,
+    StubReaction,
+    abort,
+    as_failure,
+    breaks,
+    breaks_core,
+    disable,
+    fallback,
+    harmless,
+    ignore,
+    safe_default,
+)
+from repro.appsim.corpus import (
+    CLOUD_APPS,
+    CORPUS_SIZE,
+    HANDBUILT,
+    SEVEN_APPS,
+    build,
+    cloud_apps,
+    corpus,
+    seven_apps,
+)
+from repro.appsim.libc import (
+    GLIBC_228_DYNAMIC,
+    GLIBC_228_STATIC,
+    GLIBC_231_DYNAMIC,
+    MUSL_122_DYNAMIC,
+    MUSL_122_STATIC,
+    LibcModel,
+)
+from repro.appsim.program import Origin, Phase, SimProgram, SyscallOp, WorkloadProfile
+from repro.appsim.runtime import SimProcess
+from repro.appsim.apps import App
+
+__all__ = [
+    "App",
+    "CLOUD_APPS",
+    "CORPUS_SIZE",
+    "FakeKind",
+    "FakeReaction",
+    "GLIBC_228_DYNAMIC",
+    "GLIBC_228_STATIC",
+    "GLIBC_231_DYNAMIC",
+    "HANDBUILT",
+    "LibcModel",
+    "MUSL_122_DYNAMIC",
+    "MUSL_122_STATIC",
+    "MetricShift",
+    "Origin",
+    "Phase",
+    "SEVEN_APPS",
+    "SimBackend",
+    "SimProcess",
+    "SimProgram",
+    "StubKind",
+    "StubReaction",
+    "SyscallOp",
+    "WorkloadProfile",
+    "abort",
+    "as_failure",
+    "breaks",
+    "breaks_core",
+    "build",
+    "cloud_apps",
+    "corpus",
+    "disable",
+    "fallback",
+    "harmless",
+    "ignore",
+    "safe_default",
+    "seven_apps",
+]

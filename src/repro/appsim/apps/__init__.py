@@ -1,0 +1,57 @@
+"""Hand-modeled applications: the paper's cloud application set.
+
+Each module builds one (or a family of) application model(s) whose
+failure-handling semantics are transcribed from the paper — Figure 6's
+code snippets, Table 2's metric impacts, Section 5.2's resilience
+catalog, Tables 3/4's libc footprints. The :class:`App` wrapper couples
+the program with its canonical workloads (health check, benchmark,
+test suite), matching how the paper evaluates each application.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.appsim.backend import SimBackend
+from repro.appsim.program import SimProgram
+from repro.core.workload import SimWorkload
+
+
+@dataclasses.dataclass(frozen=True)
+class App:
+    """A simulated application plus its canonical workloads."""
+
+    program: SimProgram
+    workloads: dict[str, SimWorkload]
+    category: str = "server"
+    #: Year of first public release (drives the evolution studies).
+    year: int = 2010
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+    @property
+    def version(self) -> str:
+        return self.program.version
+
+    def backend(self) -> SimBackend:
+        return SimBackend(self.program)
+
+    def workload(self, name: str) -> SimWorkload:
+        if name not in self.workloads:
+            raise KeyError(
+                f"{self.name} has no workload {name!r}; "
+                f"available: {sorted(self.workloads)}"
+            )
+        return self.workloads[name]
+
+    @property
+    def bench(self) -> SimWorkload:
+        """The canonical benchmark workload (paper Figures 4/5 'bench')."""
+        return self.workload("bench")
+
+    @property
+    def suite(self) -> SimWorkload:
+        """The canonical test-suite workload (paper Figures 4/5 'suite')."""
+        return self.workload("suite")

@@ -1,0 +1,447 @@
+"""Composable syscall-usage blocks shared by the application models.
+
+Real servers share most of their syscall footprint: the libc brings its
+init sequence, the event loop brings epoll, the socket layer brings the
+network calls, and a long tail of identity/limits/signal housekeeping
+is sprinkled across startup. These builders capture each of those
+slices once, with the failure semantics Section 5.2 documents, so the
+per-application modules only add their distinguishing quirks.
+
+Conventions:
+
+* every builder returns a list of :class:`SyscallOp`;
+* ``feature`` tags tie ops to application functionality;
+* ``when`` gates make suite-only code paths invisible to benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.appsim.behavior import (
+    FakeReaction,
+    StubReaction,
+    abort,
+    as_failure,
+    breaks,
+    breaks_core,
+    disable,
+    fallback,
+    harmless,
+    ignore,
+    safe_default,
+)
+from repro.appsim.libc import LibcModel
+from repro.appsim.program import Origin, Phase, SyscallOp
+
+
+def op(
+    syscall: str,
+    count: int = 1,
+    *,
+    subfeature: str | None = None,
+    path: str | None = None,
+    feature: str = "core",
+    phase: Phase = Phase.STARTUP,
+    origin: Origin = Origin.APP,
+    checks_return: bool = True,
+    when: frozenset[str] | None = None,
+    on_stub: StubReaction | None = None,
+    on_fake: FakeReaction | None = None,
+) -> SyscallOp:
+    """Shorthand :class:`SyscallOp` constructor with sane defaults."""
+    return SyscallOp(
+        syscall=syscall,
+        count=count,
+        subfeature=subfeature,
+        path=path,
+        feature=feature,
+        phase=phase,
+        origin=origin,
+        checks_return=checks_return,
+        when=when,
+        on_stub=on_stub if on_stub is not None else abort(),
+        on_fake=on_fake if on_fake is not None else harmless(),
+    )
+
+
+def libc_block(libc: LibcModel, *, threaded: bool = False) -> list[SyscallOp]:
+    """Libc init sequence plus server-startup runtime calls."""
+    return list(libc.init_ops()) + list(libc.runtime_ops(threaded=threaded))
+
+
+def socket_server_block(
+    *,
+    writev: bool = True,
+    accept4: bool = True,
+    epoll: bool = True,
+    feature: str = "core",
+) -> list[SyscallOp]:
+    """A TCP server's data path: fundamentally required syscalls.
+
+    Section 5.2: "certain system calls can (almost) never be stubbed
+    nor faked without breaking core program functionalities ...
+    opening and writing to connections with bind, listen, socket, and
+    writev, allocating memory with mmap."
+    """
+    ops = [
+        op("socket", 1, feature=feature, on_stub=abort(), on_fake=breaks_core()),
+        op("setsockopt", 2, feature=feature, on_stub=abort(), on_fake=breaks_core()),
+        op("bind", 1, feature=feature, on_stub=abort(), on_fake=breaks_core()),
+        op("listen", 1, feature=feature, on_stub=abort(), on_fake=breaks_core()),
+        op(
+            "getsockname", 1, feature=feature,
+            on_stub=ignore(), on_fake=harmless(),
+        ),
+        op(
+            "accept4" if accept4 else "accept", 4,
+            feature=feature, phase=Phase.WORKLOAD,
+            on_stub=disable(feature), on_fake=breaks_core(),
+        ),
+        op(
+            "read", 16, feature=feature, phase=Phase.WORKLOAD,
+            on_stub=disable(feature), on_fake=breaks_core(),
+        ),
+        op(
+            "writev" if writev else "write", 16,
+            feature=feature, phase=Phase.WORKLOAD,
+            on_stub=disable(feature), on_fake=breaks_core(),
+        ),
+        op(
+            "close", 8, feature=feature, phase=Phase.WORKLOAD,
+            on_stub=ignore(fd_frac=0.04), on_fake=harmless(fd_frac=0.04),
+        ),
+    ]
+    if epoll:
+        ops.extend(
+            [
+                op(
+                    "epoll_create1", 1, feature=feature,
+                    on_stub=abort(), on_fake=breaks_core(),
+                ),
+                op(
+                    "epoll_ctl", 6, feature=feature, phase=Phase.WORKLOAD,
+                    on_stub=abort(), on_fake=breaks_core(),
+                ),
+                op(
+                    "epoll_wait", 16, feature=feature, phase=Phase.WORKLOAD,
+                    on_stub=abort(), on_fake=breaks_core(),
+                ),
+            ]
+        )
+    return ops
+
+
+def identity_block(*, unikernel_irrelevant: bool = True) -> list[SyscallOp]:
+    """UID/GID/session management: the classic stub/fake fodder.
+
+    Section 5.2: get/setgroups or setsid "have no meaning in the
+    context of a unikernel" — faking succeeds; several setters abort
+    on stub (the code treats failure as a security problem) yet fake
+    fine, which is exactly the Nginx prctl pattern of Figure 6b.
+    """
+    fake_ok: FakeReaction = harmless()
+    return [
+        op("getuid", 1, checks_return=False, on_stub=ignore(), on_fake=fake_ok),
+        op("geteuid", 2, on_stub=ignore(), on_fake=fake_ok),
+        op("getgid", 1, checks_return=False, on_stub=ignore(), on_fake=fake_ok),
+        op("getegid", 1, checks_return=False, on_stub=ignore(), on_fake=fake_ok),
+        op("getpid", 2, checks_return=False, on_stub=ignore(), on_fake=fake_ok),
+        op(
+            "setuid", 1,
+            on_stub=abort() if unikernel_irrelevant else ignore(),
+            on_fake=fake_ok,
+        ),
+        op(
+            "setgid", 1,
+            on_stub=abort() if unikernel_irrelevant else ignore(),
+            on_fake=fake_ok,
+        ),
+        op("setgroups", 1, on_stub=ignore(), on_fake=fake_ok),
+        op("setsid", 1, on_stub=ignore(), on_fake=fake_ok),
+        op("umask", 1, checks_return=False, on_stub=ignore(), on_fake=fake_ok),
+    ]
+
+
+def limits_block(*, nofile_default: bool = True) -> list[SyscallOp]:
+    """Limit/telemetry queries with safe-default fallbacks (Figure 6a)."""
+    return [
+        op(
+            "prlimit64", 2, subfeature="RLIMIT_NOFILE",
+            on_stub=safe_default() if nofile_default else abort(),
+            on_fake=harmless(),
+        ),
+        op("getrusage", 1, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+        op("sysinfo", 1, on_stub=ignore(), on_fake=harmless()),
+        op("uname", 1, on_stub=ignore(), on_fake=harmless()),
+        op(
+            "ioctl", 1, subfeature="TCGETS",
+            on_stub=safe_default(), on_fake=harmless(),
+        ),
+    ]
+
+
+def signal_block(*, sigsuspend: bool = False) -> list[SyscallOp]:
+    """Signal-handling setup common to daemons."""
+    ops = [
+        op("rt_sigaction", 8, on_stub=ignore(), on_fake=harmless()),
+        op("rt_sigprocmask", 4, on_stub=ignore(), on_fake=harmless()),
+        op("sigaltstack", 1, on_stub=ignore(), on_fake=harmless()),
+    ]
+    if sigsuspend:
+        # Master process waits for worker events; stubbed/faked it
+        # degrades to polling (Table 2: Nginx -38% throughput).
+        ops.append(
+            op(
+                "rt_sigsuspend", 2, phase=Phase.WORKLOAD,
+                on_stub=ignore(perf_factor=0.62),
+                on_fake=harmless(perf_factor=0.62),
+            )
+        )
+    return ops
+
+
+def time_block(*, timerfd: bool = False) -> list[SyscallOp]:
+    """Clock and timer usage of event loops."""
+    ops = [
+        op(
+            "clock_gettime", 8, phase=Phase.WORKLOAD, checks_return=False,
+            on_stub=ignore(), on_fake=harmless(),
+        ),
+        op("gettimeofday", 2, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+    ]
+    if timerfd:
+        ops.extend(
+            [
+                op("timerfd_create", 1, on_stub=abort(), on_fake=breaks_core()),
+                op("timerfd_settime", 1, on_stub=abort(), on_fake=breaks_core()),
+            ]
+        )
+    return ops
+
+
+def threading_block(
+    *,
+    workers: bool = True,
+    clone_fake_mem_frac: float = 0.0,
+    futex_fake_perf_factor: float = 1.0,
+    futex_fake_fd_frac: float = 0.0,
+    futex_breaks_suite_feature: str | None = None,
+) -> list[SyscallOp]:
+    """Worker threads and their synchronization.
+
+    ``clone`` faked means the "parent runs the worker loop" pattern
+    (Table 2: Nginx +10% memory, functional but unreliable). ``futex``
+    faked yields inconsistent synchronization; under a benchmark this
+    shows up as degraded metrics, under a suite (which checks the
+    results of concurrent operations) it is an outright failure.
+    """
+    ops = []
+    if workers:
+        clone_fake = (
+            harmless(mem_frac=clone_fake_mem_frac)
+            if clone_fake_mem_frac
+            else breaks_core()
+        )
+        ops.append(op("clone", 2, on_stub=abort(), on_fake=clone_fake))
+    futex_fake: FakeReaction
+    if futex_breaks_suite_feature is not None:
+        futex_fake = breaks(
+            futex_breaks_suite_feature,
+            perf_factor=futex_fake_perf_factor,
+            fd_frac=futex_fake_fd_frac,
+        )
+    elif futex_fake_perf_factor != 1.0 or futex_fake_fd_frac != 0.0:
+        futex_fake = harmless(
+            perf_factor=futex_fake_perf_factor, fd_frac=futex_fake_fd_frac
+        )
+    else:
+        futex_fake = breaks_core()
+    ops.extend(
+        [
+            op(
+                "futex", 32, phase=Phase.WORKLOAD, checks_return=False,
+                on_stub=abort(), on_fake=futex_fake,
+            ),
+            op("sched_getaffinity", 1, on_stub=ignore(), on_fake=harmless()),
+        ]
+    )
+    return ops
+
+
+def entropy_block(*, urandom: bool = True) -> list[SyscallOp]:
+    """Randomness: getrandom plus the /dev/urandom pseudo-file."""
+    ops = [
+        op("getrandom", 2, on_stub=ignore(), on_fake=harmless()),
+    ]
+    if urandom:
+        ops.append(
+            op(
+                "openat", 1, path="/dev/urandom",
+                on_stub=ignore(), on_fake=harmless(),
+            )
+        )
+    return ops
+
+
+def storage_block(
+    *,
+    feature: str = "storage",
+    when: frozenset[str] | None = None,
+    fsync_required: bool = True,
+) -> list[SyscallOp]:
+    """On-disk persistence: the file-manipulation tail of test suites."""
+    gate = when if when is not None else frozenset({feature})
+    return [
+        op(
+            "openat", 4, feature=feature, when=gate, phase=Phase.WORKLOAD,
+            on_stub=disable(feature), on_fake=breaks(feature),
+        ),
+        op(
+            "stat", 2, feature=feature, when=gate,
+            on_stub=ignore(), on_fake=harmless(),
+        ),
+        op(
+            "lseek", 4, feature=feature, when=gate, phase=Phase.WORKLOAD,
+            on_stub=disable(feature), on_fake=breaks(feature),
+        ),
+        op(
+            "pread64", 4, feature=feature, when=gate, phase=Phase.WORKLOAD,
+            on_stub=disable(feature), on_fake=breaks(feature),
+        ),
+        op(
+            "pwrite64", 4, feature=feature, when=gate, phase=Phase.WORKLOAD,
+            on_stub=disable(feature), on_fake=breaks(feature),
+        ),
+        op(
+            "fsync", 2, feature=feature, when=gate, phase=Phase.WORKLOAD,
+            on_stub=disable(feature) if fsync_required else ignore(),
+            on_fake=harmless(),
+        ),
+        op(
+            "ftruncate", 1, feature=feature, when=gate,
+            on_stub=disable(feature), on_fake=breaks(feature),
+        ),
+        op(
+            "unlink", 2, feature=feature, when=gate, phase=Phase.WORKLOAD,
+            on_stub=ignore(), on_fake=harmless(),
+        ),
+        op(
+            "rename", 2, feature=feature, when=gate, phase=Phase.WORKLOAD,
+            on_stub=disable(feature), on_fake=breaks(feature),
+        ),
+        op(
+            "getdents64", 2, feature=feature, when=gate,
+            on_stub=ignore(), on_fake=harmless(),
+        ),
+        op(
+            "fdatasync", 1, feature=feature, when=gate, phase=Phase.WORKLOAD,
+            on_stub=ignore(), on_fake=harmless(),
+        ),
+    ]
+
+
+def config_block() -> list[SyscallOp]:
+    """Configuration loading at startup (required file access)."""
+    return [
+        op("openat", 2, on_stub=abort(), on_fake=as_failure()),
+        op("fstat", 2, on_stub=ignore(), on_fake=harmless()),
+        op("read", 4, on_stub=abort(), on_fake=breaks_core()),
+        op("access", 1, on_stub=ignore(), on_fake=harmless()),
+        op("getcwd", 1, on_stub=ignore(), on_fake=harmless()),
+    ]
+
+
+def nscd_block() -> list[SyscallOp]:
+    """glibc NSCD cache-socket probing (Section 5.2's connect example).
+
+    ``connect`` fails -> name caching is simply disabled. No workload
+    exercises the "nscd" pseudo-feature, so stubbing is always safe.
+    """
+    return [
+        op(
+            "socket", 1, feature="nscd", origin=Origin.LIBC,
+            on_stub=disable("nscd"), on_fake=harmless(),
+        ),
+        op(
+            "connect", 1, feature="nscd", origin=Origin.LIBC,
+            on_stub=disable("nscd"), on_fake=harmless(),
+        ),
+    ]
+
+
+def daemon_block(*, pidfile: bool = True) -> list[SyscallOp]:
+    """Daemonization: fork to background, manage a pid file."""
+    ops = [
+        op("fork", 1, on_stub=ignore(), on_fake=breaks_core()),
+        op("setsid", 1, on_stub=ignore(), on_fake=harmless()),
+        op("dup2", 3, on_stub=ignore(), on_fake=harmless()),
+    ]
+    if pidfile:
+        ops.append(
+            op("openat", 1, feature="core", on_stub=ignore(), on_fake=harmless())
+        )
+        ops.append(op("write", 1, on_stub=ignore(), on_fake=harmless()))
+    return ops
+
+
+#: Dead-code / error-path syscalls a source-level static analyzer
+#: reports on top of the live set, for a typical C server codebase.
+STATIC_SOURCE_TAIL = frozenset(
+    "chown fchmod fchown flock utimensat mknod mkdir rmdir symlink "
+    "readlink chdir fchdir dup kill wait4 waitid pipe select poll ppoll "
+    "pselect6 msync mincore mlock munlock shutdown getpeername recvmsg "
+    "sendmsg recvfrom sendto eventfd2 inotify_init1 inotify_add_watch "
+    "inotify_rm_watch timer_create timer_settime setitimer getitimer "
+    "setpriority getpriority sched_setscheduler capget capset".split()
+)
+
+def with_static_views(
+    program: "SimProgram", source_total: int, binary_total: int
+) -> "SimProgram":
+    """Attach calibrated static-analysis views to a finished program."""
+    import dataclasses
+
+    from repro.appsim.program import SimProgram
+
+    assert isinstance(program, SimProgram)
+    views = calibrated_static(
+        program.live_syscalls(), source_total=source_total, binary_total=binary_total
+    )
+    return dataclasses.replace(program, static_extra=views)
+
+
+def calibrated_static(
+    live: frozenset[str], source_total: int, binary_total: int
+) -> dict[str, frozenset[str]]:
+    """Static-analysis overestimation for an app with *live* syscalls.
+
+    Static analyzers report the live set plus dead/error-path code; the
+    paper measures the overestimation per app (Figure 4). This helper
+    deterministically draws from the shared dead-code pools until the
+    app's measured totals are reached, keeping binary ⊇ source (binary
+    analysis additionally sees linked-but-unused library code).
+    """
+    source_pool = sorted(STATIC_SOURCE_TAIL - live)
+    need_source = max(0, source_total - len(live))
+    source = frozenset(source_pool[:need_source])
+    binary_pool = sorted(source) + [
+        name
+        for name in sorted((STATIC_SOURCE_TAIL | STATIC_BINARY_TAIL) - live)
+        if name not in source
+    ]
+    need_binary = max(0, binary_total - len(live))
+    binary = frozenset(binary_pool[:need_binary])
+    return {"source": source, "binary": binary}
+
+
+#: Additional linked-but-unused library code visible only to binary-
+#: level analysis (glibc pulls half the syscall table into any binary).
+STATIC_BINARY_TAIL = frozenset(
+    "semget semop shmget shmat shmctl shmdt msgget msgsnd msgrcv msgctl "
+    "mq_open mq_unlink splice tee vmsplice sync syncfs swapon swapoff "
+    "mount umount2 sethostname setdomainname adjtimex settimeofday "
+    "clock_settime personality ustat statfs fstatfs quotactl acct "
+    "setxattr getxattr listxattr removexattr fgetxattr fsetxattr "
+    "process_vm_readv ptrace seccomp bpf memfd_create fallocate "
+    "copy_file_range sendfile fadvise64 readahead getcpu ioprio_set "
+    "ioprio_get mbind set_mempolicy get_mempolicy migrate_pages".split()
+)

@@ -1,0 +1,368 @@
+"""MongoDB, PostgreSQL and MySQL models (database family).
+
+MongoDB is the deepest syscall consumer in the Table 1 app set — every
+OS unlocks it last. Kerla must implement rt_sigtimedwait (128), sysinfo
+(99), clock_getres (229), mincore (27), flock (73), futex (202) and
+timerfd_create (283), stub rt_sigpending-adjacent calls and fake
+statfs-family ones. PostgreSQL contributes the classic multi-process +
+SysV-shared-memory footprint, MySQL the big threaded one.
+"""
+
+from __future__ import annotations
+
+from repro.appsim.apps import App
+from repro.appsim.apps.blocks import nscd_block, op, with_static_views
+from repro.appsim.behavior import (
+    abort,
+    breaks,
+    breaks_core,
+    disable,
+    harmless,
+    ignore,
+    safe_default,
+)
+from repro.appsim.libc import LibcModel
+from repro.appsim.program import Phase, SimProgram, WorkloadProfile
+from repro.core.workload import benchmark, health_check, test_suite
+
+
+def _mongodb_ops(libc: LibcModel) -> tuple:
+    journal = frozenset({"journal"})
+    aggregation = frozenset({"aggregation"})
+    return tuple(
+        list(libc.init_ops())
+        + list(libc.runtime_ops(threaded=True))
+        + nscd_block()
+        + [
+            # Deep startup introspection: MongoDB refuses degraded hosts.
+            op("sysinfo", 1, on_stub=abort(), on_fake=harmless()),
+            op("mincore", 2, on_stub=abort(), on_fake=breaks_core()),
+            op("clock_getres", 1, on_stub=abort(), on_fake=harmless()),
+            op("rt_sigtimedwait", 2, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("timerfd_create", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("timerfd_settime", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("flock", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("statfs", 1, on_stub=ignore(), on_fake=harmless()),
+            op("fstatfs", 1, on_stub=ignore(), on_fake=harmless()),
+            op("gettid", 2, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("getpid", 2, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("uname", 1, on_stub=ignore(), on_fake=harmless()),
+            op("prlimit64", 2, subfeature="RLIMIT_NOFILE",
+               on_stub=safe_default(), on_fake=harmless()),
+            op("prlimit64", 1, subfeature="RLIMIT_MEMLOCK",
+               on_stub=ignore(), on_fake=harmless()),
+            op("rt_sigaction", 12, on_stub=ignore(), on_fake=harmless()),
+            op("rt_sigprocmask", 6, on_stub=ignore(), on_fake=harmless()),
+            op("sigaltstack", 2, on_stub=ignore(), on_fake=harmless()),
+            op("sched_getaffinity", 2, on_stub=ignore(), on_fake=harmless()),
+            op("getrandom", 2, on_stub=ignore(), on_fake=harmless()),
+            op("openat", 1, path="/proc/self/status",
+               on_stub=ignore(), on_fake=harmless()),
+            op("openat", 1, path="/sys/kernel/mm/transparent_hugepage/enabled",
+               on_stub=ignore(), on_fake=harmless()),
+            # Threaded storage engine.
+            op("clone", 8, on_stub=abort(), on_fake=breaks_core()),
+            op("futex", 96, phase=Phase.WORKLOAD, checks_return=False,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("madvise", 4, subfeature="MADV_DONTNEED", checks_return=False,
+               phase=Phase.WORKLOAD, on_stub=ignore(), on_fake=harmless()),
+            op("mmap", 4, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("munmap", 4, phase=Phase.WORKLOAD,
+               on_stub=ignore(mem_frac=0.12), on_fake=harmless(mem_frac=0.12)),
+            # Network layer.
+            op("socket", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("setsockopt", 4, on_stub=abort(), on_fake=breaks_core()),
+            op("bind", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("listen", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("accept4", 4, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("epoll_create1", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("epoll_ctl", 6, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("epoll_wait", 16, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("recvmsg", 16, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("sendmsg", 16, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("close", 8, phase=Phase.WORKLOAD,
+               on_stub=ignore(fd_frac=0.5), on_fake=harmless(fd_frac=0.5)),
+            # Storage files.
+            op("openat", 6, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("pread64", 16, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("pwrite64", 16, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("fstat", 6, on_stub=ignore(), on_fake=harmless()),
+            op("stat", 4, on_stub=ignore(), on_fake=harmless()),
+            op("getdents64", 2, on_stub=ignore(), on_fake=harmless()),
+            op("mkdir", 2, on_stub=ignore(), on_fake=harmless()),
+            # Journaling (suite).
+            op("fdatasync", 8, feature="journal", when=journal,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("journal"), on_fake=breaks("journal")),
+            op("fsync", 4, feature="journal", when=journal,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("journal"), on_fake=harmless()),
+            op("rename", 2, feature="journal", when=journal,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("journal"), on_fake=breaks("journal")),
+            op("fallocate", 2, feature="journal", when=journal,
+               on_stub=ignore(), on_fake=harmless()),
+            op("ftruncate", 1, feature="journal", when=journal,
+               on_stub=disable("journal"), on_fake=breaks("journal")),
+            # Aggregation temp spills (suite).
+            op("unlink", 2, feature="aggregation", when=aggregation,
+               phase=Phase.WORKLOAD, on_stub=ignore(), on_fake=harmless()),
+            op("lseek", 4, feature="aggregation", when=aggregation,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("aggregation"), on_fake=breaks("aggregation")),
+            op("nanosleep", 2, feature="aggregation", when=aggregation,
+               checks_return=False, phase=Phase.WORKLOAD,
+               on_stub=ignore(), on_fake=harmless()),
+        ]
+    )
+
+
+def build_mongodb(version: str = "5.0") -> App:
+    """Build the MongoDB application model."""
+    libc = LibcModel("glibc", "2.28", "dynamic", brk_fallback_mem_frac=0.06)
+    program = SimProgram(
+        name="mongodb",
+        version=version,
+        ops=_mongodb_ops(libc),
+        features=frozenset({"core", "journal", "aggregation", "nscd"}),
+        profiles={
+            "bench": WorkloadProfile(metric=31_000.0, fd_peak=96, mem_peak_kb=262_144),
+            "suite": WorkloadProfile(metric=None, fd_peak=128, mem_peak_kb=294_912),
+            "health": WorkloadProfile(metric=None, fd_peak=48, mem_peak_kb=229_376),
+        },
+        description="document database",
+    )
+    program = with_static_views(program, source_total=102, binary_total=118)
+    return App(
+        program=program,
+        workloads={
+            "health": health_check("health"),
+            "bench": benchmark("bench", metric_name="ops/s"),
+            "suite": test_suite("suite", features=("core", "journal", "aggregation")),
+        },
+        category="database",
+        year=2009,
+    )
+
+
+def _postgres_ops(libc: LibcModel) -> tuple:
+    wal = frozenset({"wal"})
+    vacuum = frozenset({"vacuum"})
+    return tuple(
+        list(libc.init_ops())
+        + nscd_block()
+        + [
+            op("getuid", 1, on_stub=abort(), on_fake=harmless()),
+            op("geteuid", 1, on_stub=abort(), on_fake=harmless()),
+            op("getpid", 2, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("umask", 1, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("getcwd", 1, on_stub=ignore(), on_fake=harmless()),
+            op("uname", 1, on_stub=ignore(), on_fake=harmless()),
+            op("prlimit64", 1, subfeature="RLIMIT_NOFILE",
+               on_stub=safe_default(), on_fake=harmless()),
+            op("rt_sigaction", 12, on_stub=ignore(), on_fake=harmless()),
+            op("rt_sigprocmask", 6, on_stub=ignore(), on_fake=harmless()),
+            op("setsid", 1, on_stub=ignore(), on_fake=harmless()),
+            # Multi-process architecture over SysV/POSIX shared memory.
+            op("shmget", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("shmat", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("mmap", 2, on_stub=abort(), on_fake=breaks_core()),
+            op("fork", 6, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("wait4", 4, phase=Phase.WORKLOAD,
+               on_stub=ignore(), on_fake=harmless()),
+            op("kill", 2, phase=Phase.WORKLOAD,
+               on_stub=ignore(), on_fake=harmless()),
+            op("socket", 2, on_stub=abort(), on_fake=breaks_core()),
+            op("setsockopt", 4, on_stub=abort(), on_fake=breaks_core()),
+            op("bind", 2, on_stub=abort(), on_fake=breaks_core()),
+            op("listen", 2, on_stub=abort(), on_fake=breaks_core()),
+            op("accept", 4, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("poll", 16, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("recvfrom", 16, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("sendto", 16, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("close", 12, phase=Phase.WORKLOAD,
+               on_stub=ignore(fd_frac=0.6), on_fake=harmless(fd_frac=0.6)),
+            op("openat", 8, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("lseek", 16, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("read", 16, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("write", 16, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("fstat", 6, on_stub=ignore(), on_fake=harmless()),
+            op("stat", 4, on_stub=ignore(), on_fake=harmless()),
+            op("semget", 2, on_stub=ignore(), on_fake=harmless()),
+            op("semop", 8, phase=Phase.WORKLOAD, checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            op("getrandom", 1, on_stub=ignore(), on_fake=harmless()),
+            # WAL (suite).
+            op("fdatasync", 8, feature="wal", when=wal, phase=Phase.WORKLOAD,
+               on_stub=disable("wal"), on_fake=breaks("wal")),
+            op("fsync", 8, feature="wal", when=wal, phase=Phase.WORKLOAD,
+               on_stub=disable("wal"), on_fake=harmless()),
+            op("rename", 2, feature="wal", when=wal, phase=Phase.WORKLOAD,
+               on_stub=disable("wal"), on_fake=breaks("wal")),
+            op("pwrite64", 8, feature="wal", when=wal, phase=Phase.WORKLOAD,
+               on_stub=disable("wal"), on_fake=breaks("wal")),
+            # Vacuum (suite).
+            op("getdents64", 2, feature="vacuum", when=vacuum,
+               on_stub=disable("vacuum"), on_fake=breaks("vacuum")),
+            op("unlink", 2, feature="vacuum", when=vacuum,
+               phase=Phase.WORKLOAD, on_stub=ignore(), on_fake=harmless()),
+            op("ftruncate", 2, feature="vacuum", when=vacuum,
+               on_stub=disable("vacuum"), on_fake=breaks("vacuum")),
+        ]
+    )
+
+
+def build_postgres(version: str = "13") -> App:
+    """Build the PostgreSQL application model."""
+    libc = LibcModel("glibc", "2.28", "dynamic", brk_fallback_mem_frac=0.05)
+    program = SimProgram(
+        name="postgres",
+        version=version,
+        ops=_postgres_ops(libc),
+        features=frozenset({"core", "wal", "vacuum", "nscd"}),
+        profiles={
+            "bench": WorkloadProfile(metric=18_500.0, fd_peak=88, mem_peak_kb=131_072),
+            "suite": WorkloadProfile(metric=None, fd_peak=120, mem_peak_kb=147_456),
+            "health": WorkloadProfile(metric=None, fd_peak=40, mem_peak_kb=114_688),
+        },
+        description="relational database",
+    )
+    program = with_static_views(program, source_total=96, binary_total=110)
+    return App(
+        program=program,
+        workloads={
+            "health": health_check("health"),
+            "bench": benchmark("bench", metric_name="transactions/s"),
+            "suite": test_suite("suite", features=("core", "wal", "vacuum")),
+        },
+        category="database",
+        year=1996,
+    )
+
+
+def _mysql_ops(libc: LibcModel) -> tuple:
+    innodb = frozenset({"innodb"})
+    replication = frozenset({"replication"})
+    return tuple(
+        list(libc.init_ops())
+        + list(libc.runtime_ops(threaded=True))
+        + nscd_block()
+        + [
+            op("getuid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("geteuid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("getpid", 2, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("uname", 1, on_stub=ignore(), on_fake=harmless()),
+            op("prlimit64", 2, subfeature="RLIMIT_NOFILE",
+               on_stub=safe_default(), on_fake=harmless()),
+            op("sysinfo", 1, on_stub=ignore(), on_fake=harmless()),
+            op("rt_sigaction", 10, on_stub=ignore(), on_fake=harmless()),
+            op("rt_sigprocmask", 6, on_stub=ignore(), on_fake=harmless()),
+            op("sigaltstack", 2, on_stub=ignore(), on_fake=harmless()),
+            op("sched_getaffinity", 2, on_stub=ignore(), on_fake=harmless()),
+            op("getrusage", 1, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("openat", 1, path="/proc/cpuinfo", on_stub=ignore(), on_fake=harmless()),
+            op("openat", 1, path="/proc/meminfo", on_stub=ignore(), on_fake=harmless()),
+            op("clone", 12, on_stub=abort(), on_fake=breaks_core()),
+            op("futex", 128, phase=Phase.WORKLOAD, checks_return=False,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("socket", 2, on_stub=abort(), on_fake=breaks_core()),
+            op("setsockopt", 6, on_stub=abort(), on_fake=breaks_core()),
+            op("bind", 2, on_stub=abort(), on_fake=breaks_core()),
+            op("listen", 2, on_stub=abort(), on_fake=breaks_core()),
+            op("accept4", 4, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("poll", 16, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("recvfrom", 24, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("sendto", 24, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("shutdown", 2, phase=Phase.WORKLOAD,
+               on_stub=ignore(), on_fake=harmless()),
+            op("close", 12, phase=Phase.WORKLOAD,
+               on_stub=ignore(fd_frac=0.7), on_fake=harmless(fd_frac=0.7)),
+            op("openat", 8, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("pread64", 24, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("pwrite64", 24, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("lseek", 8, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("fstat", 8, on_stub=ignore(), on_fake=harmless()),
+            op("stat", 6, on_stub=ignore(), on_fake=harmless()),
+            op("getdents64", 2, on_stub=ignore(), on_fake=harmless()),
+            op("mkdir", 1, on_stub=ignore(), on_fake=harmless()),
+            op("getrandom", 2, on_stub=ignore(), on_fake=harmless()),
+            op("eventfd2", 1, on_stub=ignore(), on_fake=harmless()),
+            op("io_setup", 1, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            # InnoDB durability (suite).
+            op("fsync", 12, feature="innodb", when=innodb, phase=Phase.WORKLOAD,
+               on_stub=disable("innodb"), on_fake=harmless()),
+            op("fdatasync", 8, feature="innodb", when=innodb,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("innodb"), on_fake=breaks("innodb")),
+            op("fallocate", 2, feature="innodb", when=innodb,
+               on_stub=ignore(), on_fake=harmless()),
+            op("ftruncate", 2, feature="innodb", when=innodb,
+               on_stub=disable("innodb"), on_fake=breaks("innodb")),
+            op("unlink", 2, feature="innodb", when=innodb,
+               phase=Phase.WORKLOAD, on_stub=ignore(), on_fake=harmless()),
+            # Replication (suite).
+            op("socket", 1, feature="replication", when=replication,
+               on_stub=disable("replication"), on_fake=breaks("replication")),
+            op("connect", 2, feature="replication", when=replication,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("replication"), on_fake=breaks("replication")),
+            op("rename", 2, feature="replication", when=replication,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("replication"), on_fake=breaks("replication")),
+        ]
+    )
+
+
+def build_mysql(version: str = "8.0") -> App:
+    """Build the MySQL application model."""
+    libc = LibcModel("glibc", "2.28", "dynamic", brk_fallback_mem_frac=0.08)
+    program = SimProgram(
+        name="mysql",
+        version=version,
+        ops=_mysql_ops(libc),
+        features=frozenset({"core", "innodb", "replication", "nscd"}),
+        profiles={
+            "bench": WorkloadProfile(metric=22_000.0, fd_peak=144, mem_peak_kb=393_216),
+            "suite": WorkloadProfile(metric=None, fd_peak=176, mem_peak_kb=425_984),
+            "health": WorkloadProfile(metric=None, fd_peak=64, mem_peak_kb=360_448),
+        },
+        description="relational database",
+    )
+    program = with_static_views(program, source_total=104, binary_total=120)
+    return App(
+        program=program,
+        workloads={
+            "health": health_check("health"),
+            "bench": benchmark("bench", metric_name="queries/s"),
+            "suite": test_suite("suite", features=("core", "innodb", "replication")),
+        },
+        category="database",
+        year=1995,
+    )

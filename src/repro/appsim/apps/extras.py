@@ -1,0 +1,280 @@
+"""Additional corpus members: gzip, a JIT language runtime, RabbitMQ.
+
+These extend the corpus beyond the 15 Table 1 cloud applications with
+genuinely different shapes: a pipe-oriented CLI tool (no sockets, no
+threads), a JIT runtime (``mprotect`` is load-bearing — W^X flipping),
+and an Erlang-VM-style message broker (port-mapper sockets, ETS file
+spills, heavy timer usage).
+"""
+
+from __future__ import annotations
+
+from repro.appsim.apps import App
+from repro.appsim.apps.blocks import nscd_block, op, with_static_views
+from repro.appsim.behavior import (
+    abort,
+    breaks,
+    breaks_core,
+    disable,
+    harmless,
+    ignore,
+    safe_default,
+)
+from repro.appsim.libc import LibcModel
+from repro.appsim.program import Phase, SimProgram, WorkloadProfile
+from repro.core.workload import benchmark, health_check, test_suite
+
+
+def build_gzip(version: str = "1.10") -> App:
+    """gzip: a pure filter — stdin/stdout plus a handful of file ops."""
+    libc = LibcModel("glibc", "2.28", "dynamic", brk_fallback_mem_frac=0.03)
+    keep = frozenset({"keep-metadata"})
+    ops = tuple(
+        list(libc.init_ops())
+        + [
+            op("read", 32, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("write", 32, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("openat", 2, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("fstat", 2, on_stub=ignore(), on_fake=harmless()),
+            op("lstat", 1, on_stub=ignore(), on_fake=harmless()),
+            op("close", 2, phase=Phase.WORKLOAD,
+               on_stub=ignore(fd_frac=0.2), on_fake=harmless(fd_frac=0.2)),
+            op("unlink", 1, phase=Phase.WORKLOAD,
+               on_stub=ignore(), on_fake=harmless()),
+            op("ioctl", 1, subfeature="TCGETS",
+               on_stub=safe_default(), on_fake=harmless()),
+            # --keep metadata propagation: suite-verified.
+            op("utimensat", 1, feature="keep-metadata", when=keep,
+               on_stub=disable("keep-metadata"), on_fake=breaks("keep-metadata")),
+            op("fchmod", 1, feature="keep-metadata", when=keep,
+               on_stub=disable("keep-metadata"), on_fake=breaks("keep-metadata")),
+            op("fchown", 1, feature="keep-metadata", when=keep,
+               on_stub=ignore(), on_fake=harmless()),
+        ]
+    )
+    program = SimProgram(
+        name="gzip",
+        version=version,
+        ops=ops,
+        features=frozenset({"core", "keep-metadata"}),
+        profiles={
+            "bench": WorkloadProfile(metric=210.0, fd_peak=6, mem_peak_kb=1_536),
+            "suite": WorkloadProfile(metric=None, fd_peak=8, mem_peak_kb=2_048),
+            "health": WorkloadProfile(metric=None, fd_peak=5, mem_peak_kb=1_024),
+        },
+        description="stream compressor",
+    )
+    program = with_static_views(program, source_total=42, binary_total=58)
+    return App(
+        program=program,
+        workloads={
+            "health": health_check("health"),
+            "bench": benchmark("bench", metric_name="MB/s"),
+            "suite": test_suite("suite", features=("core", "keep-metadata")),
+        },
+        category="tool",
+        year=1992,
+    )
+
+
+def build_pyruntime(version: str = "3.9") -> App:
+    """A CPython-like language runtime: JIT-less but mmap/mprotect-heavy
+    startup, module imports through openat/getdents64, GC madvise."""
+    libc = LibcModel("glibc", "2.28", "dynamic", brk_fallback_mem_frac=0.09)
+    imports = frozenset({"imports"})
+    subproc = frozenset({"subprocess"})
+    ops = tuple(
+        list(libc.init_ops())
+        + list(libc.runtime_ops(threaded=True))
+        + nscd_block()
+        + [
+            op("getrandom", 2, on_stub=abort(), on_fake=breaks_core()),
+            op("openat", 8, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("read", 16, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("fstat", 8, on_stub=ignore(), on_fake=harmless()),
+            op("newfstatat", 8, on_stub=ignore(), on_fake=harmless()),
+            op("getdents64", 4, feature="imports", when=imports,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("imports"), on_fake=breaks("imports")),
+            op("readlink", 2, on_stub=ignore(), on_fake=harmless()),
+            op("getcwd", 1, on_stub=ignore(), on_fake=harmless()),
+            op("lseek", 4, phase=Phase.WORKLOAD,
+               on_stub=ignore(), on_fake=harmless()),
+            op("close", 8, phase=Phase.WORKLOAD,
+               on_stub=ignore(fd_frac=0.4), on_fake=harmless(fd_frac=0.4)),
+            op("dup", 2, on_stub=ignore(), on_fake=harmless()),
+            op("ioctl", 2, subfeature="TCGETS",
+               on_stub=safe_default(), on_fake=harmless()),
+            op("rt_sigaction", 8, on_stub=ignore(), on_fake=harmless()),
+            op("sigaltstack", 1, on_stub=ignore(), on_fake=harmless()),
+            # Arena management: the GC returns memory via madvise and
+            # the allocator genuinely needs mmap/munmap and mprotect
+            # (guard pages for stack-overflow detection).
+            op("mmap", 8, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("munmap", 4, phase=Phase.WORKLOAD,
+               on_stub=ignore(mem_frac=0.15), on_fake=harmless(mem_frac=0.15)),
+            op("mprotect", 4, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("madvise", 4, subfeature="MADV_FREE", checks_return=False,
+               phase=Phase.WORKLOAD, on_stub=ignore(), on_fake=harmless()),
+            op("futex", 16, phase=Phase.WORKLOAD, checks_return=False,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("gettid", 2, checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            op("sysinfo", 1, on_stub=ignore(), on_fake=harmless()),
+            op("uname", 1, on_stub=ignore(), on_fake=harmless()),
+            op("geteuid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("getuid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("getpid", 2, checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            op("openat", 1, path="/dev/urandom",
+               on_stub=ignore(), on_fake=harmless()),
+            # subprocess module: suite-exercised.
+            op("fork", 2, feature="subprocess", when=subproc,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("subprocess"), on_fake=breaks("subprocess")),
+            op("execve", 2, feature="subprocess", when=subproc,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("subprocess"), on_fake=breaks("subprocess")),
+            op("wait4", 2, feature="subprocess", when=subproc,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("subprocess"), on_fake=breaks("subprocess")),
+            op("pipe2", 2, feature="subprocess", when=subproc,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("subprocess"), on_fake=breaks("subprocess")),
+        ]
+    )
+    program = SimProgram(
+        name="pyruntime",
+        version=version,
+        ops=ops,
+        features=frozenset({"core", "imports", "subprocess", "nscd"}),
+        profiles={
+            "bench": WorkloadProfile(metric=3_400.0, fd_peak=24, mem_peak_kb=18_432),
+            "suite": WorkloadProfile(metric=None, fd_peak=48, mem_peak_kb=24_576),
+            "health": WorkloadProfile(metric=None, fd_peak=12, mem_peak_kb=12_288),
+        },
+        description="language runtime / interpreter",
+    )
+    program = with_static_views(program, source_total=92, binary_total=108)
+    return App(
+        program=program,
+        workloads={
+            "health": health_check("health"),
+            "bench": benchmark("bench", metric_name="pystones/s"),
+            "suite": test_suite(
+                "suite", features=("core", "imports", "subprocess")
+            ),
+        },
+        category="runtime",
+        year=1991,
+    )
+
+
+def build_rabbitmq(version: str = "3.9") -> App:
+    """An Erlang-VM-style broker: scheduler threads, timerfd ticks,
+    message spills to disk, and an epmd-style port mapper socket."""
+    libc = LibcModel("glibc", "2.28", "dynamic", brk_fallback_mem_frac=0.07)
+    durability = frozenset({"durability"})
+    mgmt = frozenset({"management"})
+    ops = tuple(
+        list(libc.init_ops())
+        + list(libc.runtime_ops(threaded=True))
+        + nscd_block()
+        + [
+            op("sysinfo", 1, on_stub=ignore(), on_fake=harmless()),
+            op("prlimit64", 2, subfeature="RLIMIT_NOFILE",
+               on_stub=safe_default(), on_fake=harmless()),
+            op("sched_getaffinity", 2, on_stub=ignore(), on_fake=harmless()),
+            op("sched_yield", 8, phase=Phase.WORKLOAD, checks_return=False,
+               on_stub=ignore(perf_factor=0.96), on_fake=harmless()),
+            op("clone", 8, on_stub=abort(), on_fake=breaks_core()),
+            op("futex", 96, phase=Phase.WORKLOAD, checks_return=False,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("timerfd_create", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("timerfd_settime", 2, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("eventfd2", 2, on_stub=abort(), on_fake=breaks_core()),
+            op("epoll_create1", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("epoll_ctl", 8, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("epoll_wait", 24, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("socket", 2, on_stub=abort(), on_fake=breaks_core()),
+            op("setsockopt", 4, on_stub=abort(), on_fake=breaks_core()),
+            op("bind", 2, on_stub=abort(), on_fake=breaks_core()),
+            op("listen", 2, on_stub=abort(), on_fake=breaks_core()),
+            op("accept4", 4, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("connect", 1, on_stub=ignore(), on_fake=harmless()),
+            op("recvfrom", 24, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("sendto", 24, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("writev", 8, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("close", 8, phase=Phase.WORKLOAD,
+               on_stub=ignore(fd_frac=0.6), on_fake=harmless(fd_frac=0.6)),
+            op("fcntl", 2, subfeature="F_SETFL",
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("getrandom", 1, on_stub=ignore(), on_fake=harmless()),
+            op("madvise", 2, subfeature="MADV_DONTNEED", checks_return=False,
+               phase=Phase.WORKLOAD, on_stub=ignore(), on_fake=harmless()),
+            # Durable queues (suite).
+            op("openat", 4, feature="durability", when=durability,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("durability"), on_fake=breaks("durability")),
+            op("pwrite64", 8, feature="durability", when=durability,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("durability"), on_fake=breaks("durability")),
+            op("fdatasync", 4, feature="durability", when=durability,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("durability"), on_fake=breaks("durability")),
+            op("rename", 2, feature="durability", when=durability,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("durability"), on_fake=breaks("durability")),
+            op("mkdir", 1, feature="durability", when=durability,
+               on_stub=ignore(), on_fake=harmless()),
+            op("getdents64", 2, feature="durability", when=durability,
+               on_stub=ignore(), on_fake=harmless()),
+            # Management UI (suite).
+            op("socket", 1, feature="management", when=mgmt,
+               on_stub=disable("management"), on_fake=breaks("management")),
+            op("sendfile", 2, feature="management", when=mgmt,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("management"), on_fake=breaks("management")),
+            op("stat", 2, feature="management", when=mgmt,
+               on_stub=ignore(), on_fake=harmless()),
+        ]
+    )
+    program = SimProgram(
+        name="rabbitmq",
+        version=version,
+        ops=ops,
+        features=frozenset({"core", "durability", "management", "nscd"}),
+        profiles={
+            "bench": WorkloadProfile(metric=42_000.0, fd_peak=96, mem_peak_kb=98_304),
+            "suite": WorkloadProfile(metric=None, fd_peak=128, mem_peak_kb=114_688),
+            "health": WorkloadProfile(metric=None, fd_peak=48, mem_peak_kb=81_920),
+        },
+        description="message broker (Erlang-VM style)",
+    )
+    program = with_static_views(program, source_total=94, binary_total=110)
+    return App(
+        program=program,
+        workloads={
+            "health": health_check("health"),
+            "bench": benchmark("bench", metric_name="msg/s"),
+            "suite": test_suite(
+                "suite", features=("core", "durability", "management")
+            ),
+        },
+        category="message-queue",
+        year=2007,
+    )

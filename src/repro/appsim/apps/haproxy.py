@@ -1,0 +1,168 @@
+"""HAProxy model (TCP/HTTP load balancer).
+
+The paper's most stub/fake-tolerant benchmark subject (65% of invoked
+syscalls avoidable under load): a long startup tail of limit tuning,
+privilege juggling and polling configuration, almost all of it
+non-critical, in front of a lean proxy data path. Table 1: Fuchsia
+unlocks HAProxy purely by *stubbing* sysinfo (99), timer_create (222)
+and timer_settime (223) — nothing to implement; Kerla implements
+socketpair-adjacent calls (232, 233, 302) and stubs nine more.
+"""
+
+from __future__ import annotations
+
+from repro.appsim.apps import App
+from repro.appsim.apps.blocks import nscd_block, op, with_static_views
+from repro.appsim.behavior import (
+    abort,
+    breaks,
+    breaks_core,
+    disable,
+    harmless,
+    ignore,
+    safe_default,
+)
+from repro.appsim.libc import LibcModel
+from repro.appsim.program import Phase, SimProgram, WorkloadProfile
+from repro.core.workload import benchmark, health_check, test_suite
+
+FEATURES = frozenset({"core", "checks", "stats-socket", "seamless-reload", "nscd"})
+
+SUITE_FEATURES = ("core", "checks", "stats-socket", "seamless-reload")
+
+
+def _ops(libc: LibcModel) -> tuple:
+    checks = frozenset({"checks"})
+    stats = frozenset({"stats-socket"})
+    reload = frozenset({"seamless-reload"})
+    return tuple(
+        list(libc.init_ops())
+        + list(libc.runtime_ops(threaded=True))
+        + nscd_block()
+        + [
+            # -- the famously long, famously optional startup tail ----------
+            op("prlimit64", 2, subfeature="RLIMIT_NOFILE",
+               on_stub=safe_default(), on_fake=harmless()),
+            op("prlimit64", 1, subfeature="RLIMIT_MEMLOCK",
+               on_stub=ignore(), on_fake=harmless()),
+            op("sysinfo", 1, on_stub=ignore(), on_fake=harmless()),
+            op("uname", 1, on_stub=ignore(), on_fake=harmless()),
+            op("getpid", 2, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("getppid", 1, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("getuid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("geteuid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("getgid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("setuid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("setgid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("setgroups", 1, on_stub=ignore(), on_fake=harmless()),
+            op("setsid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("umask", 1, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("prctl", 1, subfeature="PR_SET_DUMPABLE",
+               on_stub=ignore(), on_fake=harmless()),
+            op("sched_setaffinity", 1, on_stub=ignore(), on_fake=harmless()),
+            op("sched_getaffinity", 1, on_stub=ignore(), on_fake=harmless()),
+            op("setpriority", 1, on_stub=ignore(), on_fake=harmless()),
+            op("timer_create", 1, on_stub=ignore(), on_fake=harmless()),
+            op("timer_settime", 1, on_stub=ignore(), on_fake=harmless()),
+            op("rt_sigaction", 10, on_stub=ignore(), on_fake=harmless()),
+            op("rt_sigprocmask", 4, on_stub=ignore(), on_fake=harmless()),
+            op("pipe2", 1, on_stub=ignore(fd_frac=-0.06),
+               on_fake=harmless(fd_frac=-0.06)),
+            op("clone", 2, on_stub=ignore(mem_frac=-0.03), on_fake=breaks_core()),
+            op("futex", 16, phase=Phase.WORKLOAD, checks_return=False,
+               on_stub=ignore(perf_factor=0.97), on_fake=harmless()),
+            op("getrandom", 1, on_stub=ignore(), on_fake=harmless()),
+            op("gettimeofday", 4, checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            op("clock_gettime", 8, phase=Phase.WORKLOAD, checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            # -- proxy data path (the lean required core) --------------------
+            op("socket", 2, on_stub=abort(), on_fake=breaks_core()),
+            op("setsockopt", 6, on_stub=abort(), on_fake=breaks_core()),
+            op("bind", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("listen", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("accept4", 8, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("connect", 8, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("epoll_create1", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("epoll_ctl", 12, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("epoll_wait", 32, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("recvfrom", 32, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("sendto", 32, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("close", 16, phase=Phase.WORKLOAD,
+               on_stub=ignore(fd_frac=0.9), on_fake=harmless(fd_frac=0.9)),
+            op("shutdown", 4, phase=Phase.WORKLOAD,
+               on_stub=ignore(), on_fake=harmless()),
+            op("fcntl", 4, subfeature="F_SETFL",
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("getsockopt", 4, phase=Phase.WORKLOAD,
+               on_stub=ignore(), on_fake=harmless()),
+            op("getsockname", 2, on_stub=ignore(), on_fake=harmless()),
+            # -- health checks of backends (suite) ---------------------------
+            op("socket", 2, feature="checks", when=checks,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("checks"), on_fake=breaks("checks")),
+            op("connect", 2, feature="checks", when=checks,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("checks"), on_fake=breaks("checks")),
+            op("getpeername", 2, feature="checks", when=checks,
+               on_stub=ignore(), on_fake=harmless()),
+            op("nanosleep", 2, feature="checks", when=checks,
+               phase=Phase.WORKLOAD, checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            # -- admin stats socket (suite) ----------------------------------
+            op("socket", 1, feature="stats-socket", when=stats,
+               on_stub=disable("stats-socket"), on_fake=breaks("stats-socket")),
+            op("unlink", 1, feature="stats-socket", when=stats,
+               on_stub=ignore(), on_fake=harmless()),
+            op("chmod", 1, feature="stats-socket", when=stats,
+               on_stub=ignore(), on_fake=harmless()),
+            # -- seamless reload: fd passing over unix sockets (suite) -------
+            op("socketpair", 1, feature="seamless-reload", when=reload,
+               on_stub=disable("seamless-reload"),
+               on_fake=breaks("seamless-reload")),
+            op("sendmsg", 2, feature="seamless-reload", when=reload,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("seamless-reload"),
+               on_fake=breaks("seamless-reload")),
+            op("recvmsg", 2, feature="seamless-reload", when=reload,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("seamless-reload"),
+               on_fake=breaks("seamless-reload")),
+            op("execve", 1, feature="seamless-reload", when=reload,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("seamless-reload"),
+               on_fake=breaks("seamless-reload")),
+            op("wait4", 1, feature="seamless-reload", when=reload,
+               phase=Phase.WORKLOAD, on_stub=ignore(), on_fake=harmless()),
+        ]
+    )
+
+
+def build(version: str = "2.4", libc: LibcModel | None = None) -> App:
+    """Build the HAProxy application model."""
+    libc = libc or LibcModel("glibc", "2.28", "dynamic", brk_fallback_mem_frac=0.05)
+    program = SimProgram(
+        name="haproxy",
+        version=version,
+        ops=_ops(libc),
+        features=FEATURES,
+        profiles={
+            "bench": WorkloadProfile(metric=74_000.0, fd_peak=128, mem_peak_kb=16_384),
+            "suite": WorkloadProfile(metric=None, fd_peak=160, mem_peak_kb=20_480),
+            "health": WorkloadProfile(metric=None, fd_peak=48, mem_peak_kb=12_288),
+        },
+        description="TCP/HTTP load balancer",
+    )
+    program = with_static_views(program, source_total=92, binary_total=106)
+    workloads = {
+        "health": health_check("health"),
+        "bench": benchmark("bench", metric_name="requests/s"),
+        "suite": test_suite("suite", features=SUITE_FEATURES),
+    }
+    return App(program=program, workloads=workloads, category="proxy", year=2006)

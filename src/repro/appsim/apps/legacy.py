@@ -1,0 +1,131 @@
+"""Historical application builds for the evolution study (Figure 8).
+
+The paper compiles 2005-2010 releases of httpd, Nginx and Redis with a
+modern toolchain and finds syscall usage nearly unchanged over 15
+years, modulo the *deprecation-driven drift* of the libc choosing newer
+variants (``open``->``openat``, ``accept``->``accept4``...). We model
+old builds by **backdating** the modern programs: every modern-variant
+syscall is rewritten to its classic equivalent and a handful of
+genuinely newer calls are dropped, leaving counts roughly equal —
+which is the paper's point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.appsim.apps import App
+from repro.appsim.apps.blocks import calibrated_static
+from repro.appsim.program import SimProgram, SyscallOp
+
+#: Modern syscall -> classic equivalent chosen by older libcs/apps.
+BACKDATE_REWRITES: dict[str, str] = {
+    "openat": "open",
+    "newfstatat": "stat",
+    "accept4": "accept",
+    "epoll_create1": "epoll_create",
+    "pipe2": "pipe",
+    "eventfd2": "eventfd",
+    "inotify_init1": "inotify_init",
+    "dup3": "dup2",
+    "prlimit64": "getrlimit",
+    "pread64": "pread64",        # existed already; kept for clarity
+    "clock_nanosleep": "nanosleep",
+    "faccessat": "access",
+    "unlinkat": "unlink",
+    "mkdirat": "mkdir",
+    "readlinkat": "readlink",
+    "renameat2": "rename",
+    "utimensat": "utimes",
+}
+
+#: Syscalls that simply did not exist (or were unused) in the era;
+#: backdated programs drop these ops entirely.
+BACKDATE_DROPS = frozenset(
+    "getrandom memfd_create eventfd2 eventfd timerfd_create "
+    "timerfd_settime epoll_pwait set_robust_list rseq statx "
+    "copy_file_range fallocate io_setup clock_getres".split()
+)
+
+
+def _backdate_op(old: SyscallOp) -> SyscallOp | None:
+    if old.syscall in BACKDATE_DROPS:
+        return None
+    replacement = BACKDATE_REWRITES.get(old.syscall)
+    if replacement is None:
+        return old
+    # Sub-features are tied to the original syscall; the classic
+    # variants here are all plain calls.
+    return dataclasses.replace(old, syscall=replacement, subfeature=None)
+
+
+def backdate(app: App, *, version: str, year: int) -> App:
+    """Derive an era-appropriate build of *app* (same app, old release)."""
+    from repro.appsim.behavior import harmless, ignore
+    from repro.appsim.program import Origin
+
+    program = app.program
+    old_ops = []
+    for op_ in program.ops:
+        backdated = _backdate_op(op_)
+        if backdated is None:
+            continue
+        if backdated.on_stub.fallback is not None:
+            fallback_op = _backdate_op(backdated.on_stub.fallback)  # type: ignore[arg-type]
+            if fallback_op is not None and fallback_op is not backdated.on_stub.fallback:
+                backdated = dataclasses.replace(
+                    backdated,
+                    on_stub=dataclasses.replace(
+                        backdated.on_stub, fallback=fallback_op
+                    ),
+                )
+        old_ops.append(backdated)
+    # Deprecation drift runs both ways: old glibc issued calls modern
+    # builds dropped, e.g. the uname kernel-version check (Table 3
+    # shows uname only in the 2.3.2 column).
+    if not any(op_.syscall == "uname" for op_ in old_ops):
+        old_ops.append(
+            SyscallOp(
+                syscall="uname", origin=Origin.LIBC, checks_return=True,
+                on_stub=ignore(), on_fake=harmless(),
+            )
+        )
+    old_program = dataclasses.replace(
+        program,
+        version=version,
+        ops=tuple(old_ops),
+        static_extra={},
+    )
+    live = old_program.live_syscalls()
+    # Older builds also present slightly smaller static footprints.
+    shrink = 4
+    source_total = max(
+        len(live), len(program.static_view("source")) - shrink
+    )
+    binary_total = max(
+        source_total, len(program.static_view("binary")) - shrink
+    )
+    old_program = dataclasses.replace(
+        old_program,
+        static_extra=calibrated_static(live, source_total, binary_total),
+    )
+    return App(
+        program=old_program,
+        workloads=app.workloads,
+        category=app.category,
+        year=year,
+    )
+
+
+def build_legacy_pairs() -> dict[str, tuple[App, App]]:
+    """(old, recent) build pairs for the Figure 8 subjects."""
+    from repro.appsim.apps import nginx, redis, webservers
+
+    recent_httpd = webservers.build_httpd("2.4.48")
+    recent_nginx = nginx.build("1.21")
+    recent_redis = redis.build("6.2")
+    return {
+        "httpd": (backdate(recent_httpd, version="2.2.0", year=2006), recent_httpd),
+        "nginx": (backdate(recent_nginx, version="0.3.19", year=2006), recent_nginx),
+        "redis": (backdate(recent_redis, version="2.0.0", year=2010), recent_redis),
+    }

@@ -1,0 +1,161 @@
+"""Lighttpd model (lightweight single-process web server).
+
+Calibration notes from the paper: the *suite* has the highest
+avoidable fraction of the seven studied apps (58% stub/fake-able) —
+lighttpd's tests sweep many optional modules whose syscalls all fail
+soft — while the benchmark sits at 51%. Table 1: Fuchsia unlocks it by
+implementing dup2 (33) and stubbing set_robust_list (273), prlimit64
+(302) and setuid (105); Kerla implements epoll_create1 (291) and stubs
+the identity tail (105, 106, 116, 293).
+"""
+
+from __future__ import annotations
+
+from repro.appsim.apps import App
+from repro.appsim.apps.blocks import op, with_static_views
+from repro.appsim.behavior import (
+    abort,
+    breaks,
+    breaks_core,
+    disable,
+    harmless,
+    ignore,
+    safe_default,
+)
+from repro.appsim.libc import LibcModel
+from repro.appsim.program import Phase, SimProgram, WorkloadProfile
+from repro.core.workload import benchmark, health_check, test_suite
+
+FEATURES = frozenset({"core", "modules", "cgi", "auth"})
+
+SUITE_FEATURES = ("core", "modules", "cgi", "auth")
+
+
+def _ops(libc: LibcModel) -> tuple:
+    modules = frozenset({"modules"})
+    cgi = frozenset({"cgi"})
+    auth = frozenset({"auth"})
+    return tuple(
+        list(libc.init_ops())
+        + [
+            op("prlimit64", 1, subfeature="RLIMIT_NOFILE",
+               on_stub=safe_default(), on_fake=harmless()),
+            op("getuid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("geteuid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("getgid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("setuid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("setgid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("setgroups", 1, on_stub=ignore(), on_fake=harmless()),
+            op("dup2", 2, on_stub=abort(), on_fake=breaks_core()),
+            op("umask", 1, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("getcwd", 1, on_stub=ignore(), on_fake=harmless()),
+            op("uname", 1, on_stub=ignore(), on_fake=harmless()),
+            op("getpid", 1, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("rt_sigaction", 8, on_stub=ignore(), on_fake=harmless()),
+            op("rt_sigprocmask", 2, on_stub=ignore(), on_fake=harmless()),
+            op("set_robust_list", 1, checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            op("gettimeofday", 2, checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            op("clock_gettime", 4, phase=Phase.WORKLOAD, checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            # -- static-file serving core ------------------------------------
+            op("socket", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("setsockopt", 2, on_stub=abort(), on_fake=breaks_core()),
+            op("bind", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("listen", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("epoll_create1", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("epoll_ctl", 4, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("epoll_wait", 16, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("accept4", 4, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("read", 8, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("writev", 8, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("openat", 4, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("fstat", 4, phase=Phase.WORKLOAD,
+               on_stub=ignore(), on_fake=harmless()),
+            op("stat", 4, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("close", 8, phase=Phase.WORKLOAD,
+               on_stub=ignore(fd_frac=0.4), on_fake=harmless(fd_frac=0.4)),
+            op("sendfile", 8, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("fcntl", 2, subfeature="F_SETFL",
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("fcntl", 2, subfeature="F_SETFD",
+               on_stub=ignore(), on_fake=harmless()),
+            # -- optional modules swept by the suite: all fail soft ----------
+            op("pipe2", 1, feature="modules", when=modules,
+               on_stub=ignore(fd_frac=-0.05), on_fake=harmless(fd_frac=-0.05)),
+            op("getdents64", 2, feature="modules", when=modules,
+               on_stub=ignore(), on_fake=harmless()),
+            op("lseek", 2, feature="modules", when=modules,
+               on_stub=ignore(), on_fake=harmless()),
+            op("readlink", 1, feature="modules", when=modules,
+               on_stub=ignore(), on_fake=harmless()),
+            op("access", 2, feature="modules", when=modules,
+               on_stub=ignore(), on_fake=harmless()),
+            op("statfs", 1, feature="modules", when=modules,
+               on_stub=ignore(), on_fake=harmless()),
+            op("flock", 1, feature="modules", when=modules,
+               on_stub=ignore(), on_fake=harmless()),
+            op("utimensat", 1, feature="modules", when=modules,
+               on_stub=ignore(), on_fake=harmless()),
+            op("madvise", 1, subfeature="MADV_SEQUENTIAL", feature="modules",
+               when=modules, checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            op("mkdir", 1, feature="modules", when=modules,
+               on_stub=ignore(), on_fake=harmless()),
+            op("inotify_init1", 1, feature="modules", when=modules,
+               on_stub=ignore(), on_fake=harmless()),
+            op("inotify_add_watch", 1, feature="modules", when=modules,
+               on_stub=ignore(), on_fake=harmless()),
+            # -- CGI execution (suite correctness) ---------------------------
+            op("fork", 2, feature="cgi", when=cgi, phase=Phase.WORKLOAD,
+               on_stub=disable("cgi"), on_fake=breaks("cgi")),
+            op("execve", 2, feature="cgi", when=cgi, phase=Phase.WORKLOAD,
+               on_stub=disable("cgi"), on_fake=breaks("cgi")),
+            op("wait4", 2, feature="cgi", when=cgi, phase=Phase.WORKLOAD,
+               on_stub=disable("cgi"), on_fake=breaks("cgi")),
+            op("pipe2", 2, feature="cgi", when=cgi, phase=Phase.WORKLOAD,
+               on_stub=disable("cgi"), on_fake=breaks("cgi")),
+            op("kill", 1, feature="cgi", when=cgi,
+               on_stub=ignore(), on_fake=harmless()),
+            # -- auth backends (suite, fail soft) ----------------------------
+            op("socket", 1, feature="auth", when=auth,
+               on_stub=ignore(), on_fake=harmless()),
+            op("connect", 1, feature="auth", when=auth,
+               on_stub=ignore(), on_fake=harmless()),
+            op("getrandom", 1, feature="auth", when=auth,
+               on_stub=ignore(), on_fake=harmless()),
+        ]
+    )
+
+
+def build(version: str = "1.4.59", libc: LibcModel | None = None) -> App:
+    """Build the Lighttpd application model."""
+    libc = libc or LibcModel("glibc", "2.28", "dynamic", brk_fallback_mem_frac=0.06)
+    program = SimProgram(
+        name="lighttpd",
+        version=version,
+        ops=_ops(libc),
+        features=FEATURES,
+        profiles={
+            "bench": WorkloadProfile(metric=88_000.0, fd_peak=40, mem_peak_kb=5_120),
+            "suite": WorkloadProfile(metric=None, fd_peak=64, mem_peak_kb=7_168),
+            "health": WorkloadProfile(metric=None, fd_peak=20, mem_peak_kb=4_096),
+        },
+        description="lightweight web server",
+    )
+    program = with_static_views(program, source_total=82, binary_total=97)
+    workloads = {
+        "health": health_check("health"),
+        "bench": benchmark("bench", metric_name="requests/s"),
+        "suite": test_suite("suite", features=SUITE_FEATURES),
+    }
+    return App(program=program, workloads=workloads, category="web-server", year=2003)

@@ -1,0 +1,125 @@
+"""Memcached model (threaded in-memory cache).
+
+Thread-pool architecture: ``clone`` + ``futex`` are load-bearing
+(Table 1 shows Unikraft unlocking Memcached by implementing eventfd2
+(290) and stubbing set_robust_list (273), getdents64 (218), and
+clock_nanosleep (230); Kerla needs accept4 (288) implemented and
+clock_nanosleep stubbed). The suite exercises stats introspection and
+flush scheduling on top of the cache core.
+"""
+
+from __future__ import annotations
+
+from repro.appsim.apps import App
+from repro.appsim.apps.blocks import nscd_block, op, with_static_views
+from repro.appsim.behavior import (
+    abort,
+    breaks,
+    breaks_core,
+    disable,
+    harmless,
+    ignore,
+    safe_default,
+)
+from repro.appsim.libc import LibcModel
+from repro.appsim.program import Phase, SimProgram, WorkloadProfile
+from repro.core.workload import benchmark, health_check, test_suite
+
+FEATURES = frozenset({"core", "stats", "flush", "nscd"})
+
+SUITE_FEATURES = ("core", "stats", "flush")
+
+
+def _ops(libc: LibcModel) -> tuple:
+    stats = frozenset({"stats"})
+    flush = frozenset({"flush"})
+    return tuple(
+        list(libc.init_ops())
+        + list(libc.runtime_ops(threaded=True))
+        + nscd_block()
+        + [
+            op("prlimit64", 1, subfeature="RLIMIT_NOFILE",
+               on_stub=safe_default(), on_fake=harmless()),
+            op("getuid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("geteuid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("getpid", 1, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("uname", 1, on_stub=ignore(), on_fake=harmless()),
+            op("rt_sigaction", 6, on_stub=ignore(), on_fake=harmless()),
+            op("rt_sigprocmask", 2, on_stub=ignore(), on_fake=harmless()),
+            # Threaded cache core: workers + locks are required.
+            op("clone", 4, on_stub=abort(), on_fake=breaks_core()),
+            op("futex", 64, phase=Phase.WORKLOAD, checks_return=False,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("eventfd2", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("sched_getaffinity", 1, on_stub=ignore(), on_fake=harmless()),
+            # Network data path.
+            op("socket", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("setsockopt", 4, on_stub=abort(), on_fake=breaks_core()),
+            op("bind", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("listen", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("accept4", 4, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("epoll_create1", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("epoll_ctl", 8, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("epoll_wait", 24, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("read", 32, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("sendmsg", 32, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("close", 8, phase=Phase.WORKLOAD,
+               on_stub=ignore(fd_frac=0.5), on_fake=harmless(fd_frac=0.5)),
+            op("fcntl", 2, subfeature="F_SETFL",
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("fcntl", 2, subfeature="F_SETFD",
+               on_stub=ignore(), on_fake=harmless()),
+            op("pipe2", 1, on_stub=ignore(fd_frac=-0.08),
+               on_fake=harmless(fd_frac=-0.08)),
+            # Slab allocator warm-up.
+            op("madvise", 2, subfeature="MADV_DONTNEED", checks_return=False,
+               phase=Phase.WORKLOAD, on_stub=ignore(), on_fake=harmless()),
+            op("getdents64", 1, on_stub=ignore(), on_fake=harmless()),
+            op("clock_nanosleep", 2, phase=Phase.WORKLOAD, checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            # Stats introspection (suite).
+            op("getrusage", 2, feature="stats", when=stats,
+               checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("sysinfo", 1, feature="stats", when=stats,
+               on_stub=disable("stats"), on_fake=breaks("stats")),
+            op("clock_gettime", 8, feature="stats", when=stats,
+               phase=Phase.WORKLOAD, checks_return=False,
+               on_stub=disable("stats"), on_fake=harmless()),
+            # Scheduled flush (suite).
+            op("nanosleep", 2, feature="flush", when=flush,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("flush"), on_fake=breaks("flush")),
+            op("gettimeofday", 2, feature="flush", when=flush,
+               checks_return=False,
+               on_stub=disable("flush"), on_fake=harmless()),
+        ]
+    )
+
+
+def build(version: str = "1.6", libc: LibcModel | None = None) -> App:
+    """Build the Memcached application model."""
+    libc = libc or LibcModel("glibc", "2.28", "dynamic", brk_fallback_mem_frac=0.04)
+    program = SimProgram(
+        name="memcached",
+        version=version,
+        ops=_ops(libc),
+        features=FEATURES,
+        profiles={
+            "bench": WorkloadProfile(metric=480_000.0, fd_peak=40, mem_peak_kb=68_608),
+            "suite": WorkloadProfile(metric=None, fd_peak=56, mem_peak_kb=70_656),
+            "health": WorkloadProfile(metric=None, fd_peak=24, mem_peak_kb=66_560),
+        },
+        description="distributed memory cache",
+    )
+    program = with_static_views(program, source_total=72, binary_total=90)
+    workloads = {
+        "health": health_check("health"),
+        "bench": benchmark("bench", metric_name="ops/s"),
+        "suite": test_suite("suite", features=SUITE_FEATURES),
+    }
+    return App(program=program, workloads=workloads, category="kv-store", year=2003)

@@ -1,0 +1,256 @@
+"""iPerf3, etcd, and hello-world models.
+
+* **iPerf3** (Table 2's third subject): a lean TCP benchmark tool whose
+  only measurable stub/fake impact is the glibc ``brk``->``mmap``
+  fallback (+11% memory).
+* **etcd**: a Go binary — no libc at all. The Go runtime issues raw
+  syscalls (``futex``, ``sigaltstack``, ``gettid``, ``madvise``,
+  ``epoll``...), the pattern Section 7 cites for why libc-level
+  compatibility is weaker than syscall-level.
+* **hello-world**: the Table 4 subject, buildable against any of the
+  four libc configurations (glibc/musl x dynamic/static).
+"""
+
+from __future__ import annotations
+
+from repro.appsim.apps import App
+from repro.appsim.apps.blocks import op, with_static_views
+from repro.appsim.behavior import (
+    abort,
+    breaks,
+    breaks_core,
+    disable,
+    harmless,
+    ignore,
+)
+from repro.appsim.libc import GLIBC_228_DYNAMIC, LibcModel
+from repro.appsim.program import Origin, Phase, SimProgram, WorkloadProfile
+from repro.core.workload import benchmark, health_check, test_suite
+
+
+def _iperf3_ops(libc: LibcModel) -> tuple:
+    udp = frozenset({"udp"})
+    json_out = frozenset({"json-output"})
+    return tuple(
+        list(libc.init_ops())
+        + [
+            op("getpid", 1, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("getuid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("uname", 1, on_stub=ignore(), on_fake=harmless()),
+            op("rt_sigaction", 4, on_stub=ignore(), on_fake=harmless()),
+            op("socket", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("setsockopt", 4, on_stub=abort(), on_fake=breaks_core()),
+            op("bind", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("listen", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("accept", 2, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("select", 16, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("read", 64, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("write", 64, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("close", 4, phase=Phase.WORKLOAD,
+               on_stub=ignore(fd_frac=0.3), on_fake=harmless(fd_frac=0.3)),
+            op("getsockopt", 4, phase=Phase.WORKLOAD,
+               on_stub=ignore(), on_fake=harmless()),
+            op("getsockname", 1, on_stub=ignore(), on_fake=harmless()),
+            op("clock_gettime", 32, phase=Phase.WORKLOAD, checks_return=False,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("gettimeofday", 4, checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            op("nanosleep", 4, phase=Phase.WORKLOAD, checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            op("getrandom", 1, on_stub=ignore(), on_fake=harmless()),
+            # UDP mode (suite).
+            op("socket", 1, feature="udp", when=udp,
+               on_stub=disable("udp"), on_fake=breaks("udp")),
+            op("sendto", 16, feature="udp", when=udp, phase=Phase.WORKLOAD,
+               on_stub=disable("udp"), on_fake=breaks("udp")),
+            op("recvfrom", 16, feature="udp", when=udp, phase=Phase.WORKLOAD,
+               on_stub=disable("udp"), on_fake=breaks("udp")),
+            # JSON report output (suite).
+            op("openat", 1, feature="json-output", when=json_out,
+               on_stub=disable("json-output"), on_fake=breaks("json-output")),
+            op("write", 2, feature="json-output", when=json_out,
+               on_stub=disable("json-output"), on_fake=breaks("json-output")),
+        ]
+    )
+
+
+def build_iperf3(version: str = "3.9") -> App:
+    """Build the iPerf3 application model."""
+    libc = LibcModel("glibc", "2.28", "dynamic", brk_fallback_mem_frac=0.11)
+    program = SimProgram(
+        name="iperf3",
+        version=version,
+        ops=_iperf3_ops(libc),
+        features=frozenset({"core", "udp", "json-output"}),
+        profiles={
+            "bench": WorkloadProfile(metric=9_400.0, fd_peak=12, mem_peak_kb=3_072),
+            "suite": WorkloadProfile(metric=None, fd_peak=18, mem_peak_kb=3_584),
+            "health": WorkloadProfile(metric=None, fd_peak=8, mem_peak_kb=2_560),
+        },
+        description="TCP/UDP throughput benchmark tool",
+    )
+    program = with_static_views(program, source_total=54, binary_total=70)
+    return App(
+        program=program,
+        workloads={
+            "health": health_check("health"),
+            "bench": benchmark("bench", metric_name="Mbit/s"),
+            "suite": test_suite("suite", features=("core", "udp", "json-output")),
+        },
+        category="tool",
+        year=2014,
+    )
+
+
+def _etcd_ops() -> tuple:
+    """Go runtime + etcd: raw syscalls, no libc initialization."""
+    raft = frozenset({"raft"})
+    watch = frozenset({"watch"})
+    go = Origin.APP  # Go links everything statically; it is all "app" code
+    return tuple(
+        [
+            op("execve", 1, origin=go, on_stub=abort(), on_fake=breaks_core()),
+            op("arch_prctl", 1, subfeature="ARCH_SET_FS", origin=go,
+               on_stub=abort(), on_fake=breaks_core()),
+            # Go runtime bring-up: raw, wrapper-less syscalls.
+            op("sched_getaffinity", 1, origin=go, checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            op("mmap", 12, origin=go, on_stub=abort(), on_fake=breaks_core()),
+            op("munmap", 2, origin=go, on_stub=ignore(mem_frac=0.05),
+               on_fake=harmless(mem_frac=0.05)),
+            op("madvise", 4, subfeature="MADV_NOHUGEPAGE", origin=go,
+               checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("rt_sigaction", 50, origin=go, on_stub=abort(), on_fake=breaks_core()),
+            op("rt_sigprocmask", 16, origin=go, on_stub=abort(), on_fake=breaks_core()),
+            op("sigaltstack", 4, origin=go, on_stub=abort(), on_fake=breaks_core()),
+            op("clone", 8, origin=go, on_stub=abort(), on_fake=breaks_core()),
+            op("futex", 128, origin=go, phase=Phase.WORKLOAD, checks_return=False,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("gettid", 8, origin=go, checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            op("readlinkat", 1, origin=go, on_stub=ignore(), on_fake=harmless()),
+            op("getrandom", 2, origin=go, on_stub=ignore(), on_fake=harmless()),
+            op("openat", 1, path="/proc/self/maps", origin=go,
+               on_stub=ignore(), on_fake=harmless()),
+            op("openat", 1, path="/sys/devices/system/cpu/online", origin=go,
+               on_stub=ignore(), on_fake=harmless()),
+            op("uname", 1, origin=go, on_stub=ignore(), on_fake=harmless()),
+            op("getpid", 2, origin=go, checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            # Network (HTTP/gRPC API).
+            op("socket", 2, origin=go, on_stub=abort(), on_fake=breaks_core()),
+            op("setsockopt", 6, origin=go, on_stub=abort(), on_fake=breaks_core()),
+            op("bind", 2, origin=go, on_stub=abort(), on_fake=breaks_core()),
+            op("listen", 2, origin=go, on_stub=abort(), on_fake=breaks_core()),
+            op("accept4", 4, origin=go, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("epoll_create1", 1, origin=go, on_stub=abort(), on_fake=breaks_core()),
+            op("epoll_ctl", 8, origin=go, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("epoll_pwait", 32, origin=go, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("read", 32, origin=go, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("write", 32, origin=go, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("close", 8, origin=go, phase=Phase.WORKLOAD,
+               on_stub=ignore(fd_frac=0.5), on_fake=harmless(fd_frac=0.5)),
+            op("fcntl", 2, subfeature="F_SETFL", origin=go,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("pipe2", 1, origin=go, on_stub=ignore(fd_frac=-0.05),
+               on_fake=harmless(fd_frac=-0.05)),
+            # Storage (bbolt mmap + WAL).
+            op("flock", 1, origin=go, on_stub=abort(), on_fake=breaks_core()),
+            op("fdatasync", 8, origin=go, feature="raft", when=raft,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("raft"), on_fake=breaks("raft")),
+            op("pwrite64", 16, origin=go, feature="raft", when=raft,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("raft"), on_fake=breaks("raft")),
+            op("pread64", 8, origin=go, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("ftruncate", 2, origin=go, on_stub=ignore(), on_fake=harmless()),
+            op("rename", 2, origin=go, feature="raft", when=raft,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("raft"), on_fake=breaks("raft")),
+            op("mkdirat", 1, origin=go, on_stub=ignore(), on_fake=harmless()),
+            op("getdents64", 2, origin=go, on_stub=ignore(), on_fake=harmless()),
+            op("newfstatat", 4, origin=go, on_stub=ignore(), on_fake=harmless()),
+            op("unlinkat", 2, origin=go, on_stub=ignore(), on_fake=harmless()),
+            op("fsync", 4, origin=go, feature="raft", when=raft,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("raft"), on_fake=harmless()),
+            # Watch streams (suite).
+            op("eventfd2", 1, origin=go, feature="watch", when=watch,
+               on_stub=disable("watch"), on_fake=breaks("watch")),
+            op("nanosleep", 4, origin=go, feature="watch", when=watch,
+               checks_return=False, phase=Phase.WORKLOAD,
+               on_stub=ignore(), on_fake=harmless()),
+        ]
+    )
+
+
+def build_etcd(version: str = "3.5") -> App:
+    """Build the etcd application model (static Go binary)."""
+    program = SimProgram(
+        name="etcd",
+        version=version,
+        ops=_etcd_ops(),
+        features=frozenset({"core", "raft", "watch"}),
+        profiles={
+            "bench": WorkloadProfile(metric=14_000.0, fd_peak=48, mem_peak_kb=81_920),
+            "suite": WorkloadProfile(metric=None, fd_peak=64, mem_peak_kb=98_304),
+            "health": WorkloadProfile(metric=None, fd_peak=24, mem_peak_kb=65_536),
+        },
+        description="distributed key-value store (Go)",
+    )
+    program = with_static_views(program, source_total=68, binary_total=86)
+    return App(
+        program=program,
+        workloads={
+            "health": health_check("health"),
+            "bench": benchmark("bench", metric_name="puts/s"),
+            "suite": test_suite("suite", features=("core", "raft", "watch")),
+        },
+        category="kv-store",
+        year=2013,
+    )
+
+
+def build_hello(libc: LibcModel | None = None) -> App:
+    """Build the Table 4 hello-world against a chosen libc build."""
+    libc = libc or GLIBC_228_DYNAMIC
+    stdio = libc.stdio_write_syscall()
+    ops = tuple(
+        list(libc.init_ops())
+        + [
+            op(stdio, 1, feature="output", phase=Phase.WORKLOAD,
+               on_stub=disable("output"), on_fake=breaks("output")),
+            op("exit_group", 1, origin=Origin.LIBC, checks_return=False,
+               phase=Phase.SHUTDOWN, on_stub=ignore(), on_fake=harmless()),
+        ]
+    )
+    name = f"hello-{libc.vendor}-{libc.linking}"
+    program = SimProgram(
+        name=name,
+        version=libc.version,
+        ops=ops,
+        features=frozenset({"core", "output"}),
+        profiles={"*": WorkloadProfile(metric=None, fd_peak=4, mem_peak_kb=512)},
+        description="Table 4 hello-world",
+    )
+    program = with_static_views(program, source_total=14, binary_total=24)
+    return App(
+        program=program,
+        workloads={
+            "health": health_check("health"),
+            "bench": benchmark("bench", metric_name="runs/s", features=("output",)),
+            "suite": test_suite("suite", features=("core", "output")),
+        },
+        category="tool",
+        year=1972,
+    )

@@ -1,0 +1,219 @@
+"""Nginx model (web server, master/worker processes).
+
+Transcribed behaviors:
+
+* Figure 6b: ``prctl(PR_SET_KEEPCAPS)`` failure is treated as fatal
+  (stub-resistant) but faking succeeds — capabilities are meaningless
+  on a unikernel.
+* Table 2: ``write`` stub -> access logs skipped, **+15% throughput**
+  (and broken access-logging, which only the suite checks);
+  ``brk`` -> glibc mmap fallback, +17% memory; ``clone`` fake -> master
+  executes the worker loop, +10% memory, functional yet fragile;
+  ``rt_sigsuspend`` stub/fake -> master busy-waits, -38% throughput.
+* Table 3 (glibc 2.31 build): the process-based architecture — no
+  ``futex``, workers via ``clone``, worker channel via ``socketpair``,
+  payload via ``writev``/``sendfile``, non-blocking sockets via
+  ``ioctl(FIONBIO)`` rather than ``fcntl(F_SETFL)`` (Section 5.4 notes
+  F_SETFL is required everywhere *except* Nginx).
+* Section 5.2: Nginx has the lowest suite-level stub/fake rate (31%) —
+  its test suite checks logging, uploads, proxying and privilege
+  handling, turning many otherwise-avoidable calls into required ones.
+"""
+
+from __future__ import annotations
+
+from repro.appsim.apps import App
+from repro.appsim.apps.blocks import nscd_block, op, with_static_views
+from repro.appsim.behavior import (
+    abort,
+    breaks,
+    breaks_core,
+    disable,
+    fallback,
+    harmless,
+    ignore,
+    safe_default,
+)
+from repro.appsim.libc import LibcModel
+from repro.appsim.program import Phase, SimProgram, WorkloadProfile
+from repro.core.workload import benchmark, health_check, test_suite
+
+FEATURES = frozenset(
+    {"core", "access-logging", "uploads", "proxy", "privileges", "reload", "nscd"}
+)
+
+SUITE_FEATURES = (
+    "core", "access-logging", "uploads", "proxy", "privileges", "reload"
+)
+
+
+def _ops(libc: LibcModel) -> tuple:
+    uploads = frozenset({"uploads"})
+    proxy = frozenset({"proxy"})
+    privileges = frozenset({"privileges"})
+    reload = frozenset({"reload"})
+    return tuple(
+        list(libc.init_ops())
+        + list(libc.runtime_ops(threaded=False))
+        + nscd_block()
+        + [
+            # -- configuration and startup --------------------------------
+            op("prlimit64", 1, subfeature="RLIMIT_NOFILE",
+               on_stub=safe_default(), on_fake=harmless()),
+            op("getpid", 2, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("stat", 3, on_stub=ignore(), on_fake=harmless()),
+            op("lstat", 2, on_stub=ignore(), on_fake=harmless()),
+            op("lseek", 2, on_stub=ignore(), on_fake=harmless()),
+            op("pread64", 1, on_stub=ignore(), on_fake=harmless()),
+            op("mkdir", 2, on_stub=ignore(), on_fake=harmless()),
+            op("umask", 1, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("dup2", 3, on_stub=ignore(), on_fake=harmless()),
+            op("_sysctl", 1, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("gettimeofday", 4, checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            # Figure 6b: fatal when it fails, fine when faked.
+            op("prctl", 1, subfeature="PR_SET_KEEPCAPS",
+               on_stub=abort(), on_fake=harmless()),
+            # -- master/worker architecture (Table 2 clone row) -------------
+            op("clone", 2, on_stub=abort(), on_fake=harmless(mem_frac=0.10)),
+            op("socketpair", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("rt_sigaction", 12, on_stub=ignore(), on_fake=harmless()),
+            op("rt_sigprocmask", 4, on_stub=ignore(), on_fake=harmless()),
+            op("rt_sigsuspend", 2, phase=Phase.WORKLOAD,
+               on_stub=ignore(perf_factor=0.62),
+               on_fake=harmless(perf_factor=0.62)),
+            # -- event loop and data path ----------------------------------
+            op("socket", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("setsockopt", 3, on_stub=abort(), on_fake=breaks_core()),
+            op("bind", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("listen", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("epoll_create", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("epoll_ctl", 6, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("epoll_wait", 24, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("accept", 8, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("recvfrom", 16, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("read", 8, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            # Payload path: stubbing writev is caught by the test script.
+            op("writev", 16, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            # sendfile degrades gracefully to writev when unavailable.
+            op("sendfile", 8, phase=Phase.WORKLOAD,
+               on_stub=fallback(op("writev", 1, on_stub=disable("core"),
+                                   on_fake=breaks_core())),
+               on_fake=breaks_core()),
+            op("close", 12, phase=Phase.WORKLOAD,
+               on_stub=ignore(fd_frac=0.08), on_fake=harmless(fd_frac=0.08)),
+            op("ioctl", 2, subfeature="FIONBIO",
+               on_stub=ignore(), on_fake=harmless()),
+            op("ioctl", 1, subfeature="FIOASYNC",
+               on_stub=ignore(), on_fake=harmless()),
+            op("fcntl", 2, subfeature="F_SETFD",
+               on_stub=ignore(), on_fake=harmless()),
+            # -- access logging (Table 2 write row) -------------------------
+            op("write", 16, feature="access-logging", phase=Phase.WORKLOAD,
+               on_stub=disable("access-logging", perf_factor=1.15),
+               on_fake=breaks("access-logging", perf_factor=1.15)),
+            # -- privilege handling: executed at every startup, but only
+            # the suite *verifies* the worker really dropped privileges
+            # (the pipe2 pattern: silent breakage under benchmarks).
+            op("geteuid", 1, feature="privileges",
+               on_stub=ignore(), on_fake=harmless()),
+            op("setuid", 1, feature="privileges",
+               on_stub=disable("privileges"), on_fake=breaks("privileges")),
+            op("setgid", 1, feature="privileges",
+               on_stub=disable("privileges"), on_fake=breaks("privileges")),
+            op("setgroups", 1, feature="privileges",
+               on_stub=disable("privileges"), on_fake=breaks("privileges")),
+            op("setsid", 1, on_stub=ignore(), on_fake=harmless()),
+            # -- uploads: client body buffered to temp files (suite) --------
+            op("openat", 2, feature="uploads", when=uploads,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("uploads"), on_fake=breaks("uploads")),
+            op("pwrite64", 4, feature="uploads", when=uploads,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("uploads"), on_fake=breaks("uploads")),
+            op("unlink", 2, feature="uploads", when=uploads,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("uploads"), on_fake=breaks("uploads")),
+            op("ftruncate", 1, feature="uploads", when=uploads,
+               on_stub=disable("uploads"), on_fake=breaks("uploads")),
+            # -- proxying: upstream connections (suite) ---------------------
+            op("socket", 2, feature="proxy", when=proxy, phase=Phase.WORKLOAD,
+               on_stub=disable("proxy"), on_fake=breaks("proxy")),
+            op("connect", 2, feature="proxy", when=proxy, phase=Phase.WORKLOAD,
+               on_stub=disable("proxy"), on_fake=breaks("proxy")),
+            op("getsockopt", 2, feature="proxy", when=proxy,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("proxy"), on_fake=breaks("proxy")),
+            op("sendto", 2, feature="proxy", when=proxy, phase=Phase.WORKLOAD,
+               on_stub=disable("proxy"), on_fake=breaks("proxy")),
+            op("getpeername", 1, feature="proxy", when=proxy,
+               on_stub=ignore(), on_fake=harmless()),
+            # -- config reload via signals (suite) --------------------------
+            op("kill", 2, feature="reload", when=reload, phase=Phase.WORKLOAD,
+               on_stub=disable("reload"), on_fake=breaks("reload")),
+            op("wait4", 2, feature="reload", when=reload, phase=Phase.WORKLOAD,
+               on_stub=disable("reload"), on_fake=breaks("reload")),
+            op("execve", 1, feature="reload", when=reload,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("reload"), on_fake=breaks("reload")),
+            op("getdents64", 2, feature="reload", when=reload,
+               on_stub=ignore(), on_fake=harmless()),
+            # The suite's reload tests verify signal dispositions and
+            # descriptor juggling survive across re-exec; log tests
+            # check timestamps and log-dir creation. These turn
+            # otherwise-ignorable calls into suite-required ones —
+            # Nginx's suite is the paper's least stub/fake-tolerant.
+            op("rt_sigaction", 2, feature="reload", when=reload,
+               on_stub=disable("reload"), on_fake=breaks("reload")),
+            op("rt_sigprocmask", 1, feature="reload", when=reload,
+               on_stub=disable("reload"), on_fake=breaks("reload")),
+            op("dup2", 1, feature="reload", when=reload,
+               on_stub=disable("reload"), on_fake=breaks("reload")),
+            op("gettimeofday", 2, feature="access-logging",
+               when=frozenset({"access-logging"}), checks_return=False,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("access-logging"),
+               on_fake=breaks("access-logging")),
+            op("mkdir", 1, feature="access-logging",
+               when=frozenset({"access-logging"}),
+               on_stub=disable("access-logging"),
+               on_fake=breaks("access-logging")),
+            op("geteuid", 1, feature="privileges", when=privileges,
+               on_stub=disable("privileges"), on_fake=breaks("privileges")),
+            op("stat", 2, feature="uploads", when=uploads,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("uploads"), on_fake=breaks("uploads")),
+            op("umask", 1, feature="uploads", when=uploads,
+               on_stub=disable("uploads"), on_fake=breaks("uploads")),
+        ]
+    )
+
+
+def build(version: str = "1.20", libc: LibcModel | None = None) -> App:
+    """Build the Nginx application model."""
+    libc = libc or LibcModel("glibc", "2.31", "dynamic", brk_fallback_mem_frac=0.17)
+    program = SimProgram(
+        name="nginx",
+        version=version,
+        ops=_ops(libc),
+        features=FEATURES,
+        profiles={
+            "bench": WorkloadProfile(metric=92_000.0, fd_peak=64, mem_peak_kb=9_216),
+            "suite": WorkloadProfile(metric=None, fd_peak=96, mem_peak_kb=12_288),
+            "health": WorkloadProfile(metric=None, fd_peak=32, mem_peak_kb=7_168),
+        },
+        description="event-driven web server",
+    )
+    program = with_static_views(program, source_total=95, binary_total=112)
+    workloads = {
+        "health": health_check("health"),
+        "bench": benchmark("bench", metric_name="requests/s"),
+        "suite": test_suite("suite", features=SUITE_FEATURES),
+    }
+    return App(program=program, workloads=workloads, category="web-server", year=2004)

@@ -1,0 +1,218 @@
+"""Redis model (key-value store) — the paper's running example.
+
+Transcribed behaviors:
+
+* Figure 6a: ``getrlimit``/``prlimit64`` failure -> assume 1024
+  descriptors (safe default, stub-resilient).
+* Section 5.2: ``sysinfo`` and ``ioctl`` failures ignored (debug-log
+  values only); ``ioctl(TCGETS)`` terminal width defaults to 80.
+* Table 2: ``close`` stub -> x8 descriptors; ``munmap`` stub -> +19%
+  memory; ``brk`` -> glibc mmap fallback, +2% memory; ``rt_sigprocmask``
+  stub -> jemalloc background threads never start, -15% memory;
+  ``futex`` fake -> inconsistent synchronization, -66% throughput and
+  +94% descriptors (and outright failure for workloads that verify
+  concurrent results); ``pipe2`` stub/fake -> persistence pipes never
+  created, -25% descriptors, persistence broken.
+* Section 5.1: 103 syscalls by binary static analysis, 68 traced by
+  the test suite of which 42 required; ~20 required for
+  redis-benchmark.
+* Section 5.4: ``fcntl(F_SETFL)`` (non-blocking sockets) is required;
+  ``F_SETFD`` (close-on-exec) always stubbable.
+"""
+
+from __future__ import annotations
+
+from repro.appsim.apps import App
+from repro.appsim.apps.blocks import nscd_block, op, with_static_views
+from repro.appsim.behavior import (
+    abort,
+    breaks,
+    breaks_core,
+    disable,
+    harmless,
+    ignore,
+    safe_default,
+)
+from repro.appsim.libc import LibcModel
+from repro.appsim.program import Phase, SimProgram, WorkloadProfile
+from repro.core.workload import benchmark, health_check, test_suite
+
+FEATURES = frozenset(
+    {"core", "persistence", "expiry", "scripting", "concurrency", "nscd"}
+)
+
+SUITE_FEATURES = ("core", "persistence", "expiry", "scripting", "concurrency")
+
+
+def _ops(libc: LibcModel) -> tuple:
+    persistence = frozenset({"persistence"})
+    scripting = frozenset({"scripting"})
+    expiry = frozenset({"expiry"})
+    return tuple(
+        list(libc.init_ops())
+        + list(libc.runtime_ops(threaded=True))
+        + nscd_block()
+        + [
+            # -- startup housekeeping (Figure 6a and friends) -------------
+            op("prlimit64", 2, subfeature="RLIMIT_NOFILE",
+               on_stub=safe_default(), on_fake=harmless()),
+            op("sysinfo", 1, on_stub=ignore(), on_fake=harmless()),
+            op("ioctl", 1, subfeature="TCGETS",
+               on_stub=safe_default(), on_fake=harmless()),
+            op("uname", 1, on_stub=ignore(), on_fake=harmless()),
+            op("getpid", 2, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("getcwd", 1, on_stub=ignore(), on_fake=harmless()),
+            op("stat", 2, on_stub=ignore(), on_fake=harmless()),
+            op("newfstatat", 2, on_stub=abort(), on_fake=breaks_core()),
+            op("getrandom", 1, on_stub=ignore(), on_fake=harmless()),
+            op("openat", 1, path="/dev/urandom", on_stub=ignore(), on_fake=harmless()),
+            op("dup2", 2, on_stub=ignore(), on_fake=harmless()),
+            op("umask", 1, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            # -- signals; jemalloc background threads (Table 2) ------------
+            op("rt_sigaction", 10, on_stub=ignore(), on_fake=harmless()),
+            op("rt_sigprocmask", 4,
+               on_stub=ignore(mem_frac=-0.15), on_fake=harmless(mem_frac=-0.15)),
+            op("sigaltstack", 1, on_stub=ignore(), on_fake=harmless()),
+            # -- event loop and network data path (required) ---------------
+            op("socket", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("setsockopt", 4, on_stub=abort(), on_fake=breaks_core()),
+            op("bind", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("listen", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("accept", 4, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("epoll_create", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("epoll_ctl", 8, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("epoll_wait", 32, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("read", 64, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("write", 64, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("fcntl", 4, subfeature="F_SETFL",
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("fcntl", 2, subfeature="F_SETFD",
+               on_stub=ignore(), on_fake=harmless()),
+            op("pread64", 2, on_stub=abort(), on_fake=breaks_core()),
+            # Table 2: close and munmap are liberators — stubbable at a
+            # resource cost (x8 descriptors, +19% memory).
+            op("close", 32, phase=Phase.WORKLOAD,
+               on_stub=ignore(fd_frac=6.98), on_fake=harmless(fd_frac=6.98)),
+            op("munmap", 6, phase=Phase.WORKLOAD,
+               on_stub=ignore(mem_frac=0.18), on_fake=harmless(mem_frac=0.18)),
+            op("madvise", 2, subfeature="MADV_FREE", checks_return=False,
+               phase=Phase.WORKLOAD, on_stub=ignore(), on_fake=harmless()),
+            op("mremap", 1, phase=Phase.WORKLOAD,
+               on_stub=ignore(), on_fake=harmless()),
+            # -- threading: jemalloc/io threads (Table 2 futex row) --------
+            op("clone", 3, on_stub=ignore(mem_frac=-0.04), on_fake=breaks_core()),
+            op("futex", 48, phase=Phase.WORKLOAD, checks_return=False,
+               on_stub=abort(),
+               on_fake=breaks("concurrency", perf_factor=0.34, fd_frac=0.94)),
+            op("sched_getaffinity", 1, on_stub=ignore(), on_fake=harmless()),
+            # -- time (expiry checks gate suite-level correctness) ---------
+            op("clock_gettime", 16, phase=Phase.WORKLOAD, checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            op("gettimeofday", 2, checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            op("clock_gettime", 8, feature="expiry", when=expiry,
+               phase=Phase.WORKLOAD, checks_return=False,
+               on_stub=disable("expiry"), on_fake=harmless()),
+            # -- persistence (Table 2 pipe2 row; suite-only correctness) ---
+            op("pipe2", 2, feature="persistence",
+               on_stub=disable("persistence", fd_frac=-0.25),
+               on_fake=breaks("persistence", fd_frac=-0.25)),
+            op("fork", 1, feature="persistence", when=persistence,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("persistence"), on_fake=breaks("persistence")),
+            op("wait4", 1, feature="persistence", when=persistence,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("persistence"), on_fake=breaks("persistence")),
+            op("openat", 2, feature="persistence", when=persistence,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("persistence"), on_fake=breaks("persistence")),
+            op("lseek", 4, feature="persistence", when=persistence,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("persistence"), on_fake=breaks("persistence")),
+            op("pwrite64", 4, feature="persistence", when=persistence,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("persistence"), on_fake=breaks("persistence")),
+            op("fdatasync", 2, feature="persistence", when=persistence,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("persistence"), on_fake=breaks("persistence")),
+            op("rename", 2, feature="persistence", when=persistence,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("persistence"), on_fake=breaks("persistence")),
+            op("unlink", 1, feature="persistence", when=persistence,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("persistence"), on_fake=breaks("persistence")),
+            op("ftruncate", 1, feature="persistence", when=persistence,
+               on_stub=disable("persistence"), on_fake=breaks("persistence")),
+            op("getdents64", 1, feature="persistence", when=persistence,
+               on_stub=disable("persistence"), on_fake=breaks("persistence")),
+            op("mkdir", 1, feature="persistence", when=persistence,
+               on_stub=disable("persistence"), on_fake=breaks("persistence")),
+            op("flock", 1, feature="persistence", when=persistence,
+               on_stub=disable("persistence"), on_fake=breaks("persistence")),
+            op("chdir", 1, feature="persistence", when=persistence,
+               on_stub=ignore(), on_fake=harmless()),
+            op("readlink", 1, feature="persistence", when=persistence,
+               on_stub=ignore(), on_fake=harmless()),
+            # -- scripting / debug paths exercised only by the suite -------
+            op("memfd_create", 1, feature="scripting", when=scripting,
+               on_stub=disable("scripting"), on_fake=breaks("scripting")),
+            op("mprotect", 2, feature="scripting", when=scripting,
+               on_stub=disable("scripting"), on_fake=harmless()),
+            op("kill", 1, feature="scripting", when=scripting,
+               on_stub=disable("scripting"), on_fake=breaks("scripting")),
+            op("tgkill", 1, feature="scripting", when=scripting,
+               checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("getrusage", 2, feature="scripting", when=scripting,
+               checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("nanosleep", 1, feature="scripting", when=scripting,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("scripting"), on_fake=breaks("scripting")),
+            op("geteuid", 1, feature="scripting", when=scripting,
+               on_stub=ignore(), on_fake=harmless()),
+            op("times", 1, feature="scripting", when=scripting,
+               checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("pipe", 1, feature="scripting", when=scripting,
+               on_stub=disable("scripting"), on_fake=breaks("scripting")),
+            op("dup", 1, feature="scripting", when=scripting,
+               on_stub=disable("scripting"), on_fake=breaks("scripting")),
+            # Concurrency tests drive cross-thread signaling and yields.
+            op("sched_yield", 2, feature="concurrency",
+               when=frozenset({"concurrency"}), phase=Phase.WORKLOAD,
+               checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("eventfd2", 1, feature="concurrency",
+               when=frozenset({"concurrency"}),
+               on_stub=disable("concurrency"), on_fake=breaks("concurrency")),
+            op("epoll_pwait", 2, feature="concurrency",
+               when=frozenset({"concurrency"}), phase=Phase.WORKLOAD,
+               on_stub=disable("concurrency"), on_fake=breaks("concurrency")),
+        ]
+    )
+
+
+def build(version: str = "6.2", libc: LibcModel | None = None) -> App:
+    """Build the Redis application model."""
+    libc = libc or LibcModel("glibc", "2.28", "dynamic", brk_fallback_mem_frac=0.02)
+    program = SimProgram(
+        name="redis",
+        version=version,
+        ops=_ops(libc),
+        features=FEATURES,
+        profiles={
+            "bench": WorkloadProfile(metric=118_000.0, fd_peak=48, mem_peak_kb=14_336),
+            "suite": WorkloadProfile(metric=None, fd_peak=72, mem_peak_kb=22_528),
+            "health": WorkloadProfile(metric=None, fd_peak=24, mem_peak_kb=10_240),
+        },
+        description="in-memory key-value store",
+    )
+    program = with_static_views(program, source_total=85, binary_total=103)
+    workloads = {
+        "health": health_check("health"),
+        "bench": benchmark("bench", metric_name="SET requests/s"),
+        "suite": test_suite("suite", features=SUITE_FEATURES),
+    }
+    return App(program=program, workloads=workloads, category="kv-store", year=2009)

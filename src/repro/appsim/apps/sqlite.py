@@ -1,0 +1,154 @@
+"""SQLite model (embedded database + shell, no network).
+
+Distinguishing semantics:
+
+* Section 5.2: SQLite re-allocates mappings with ``mmap`` when
+  ``mremap`` fails — a textbook fallback resilience pattern.
+* File locking through ``fcntl`` record locks: ``F_SETLK`` is required
+  for concurrent-access correctness (suite) but a benchmark on a
+  single connection shrugs off its absence.
+* The suite is the largest the paper encountered (1-1.5 days, millions
+  of tests) — modeled as the widest feature set of all our apps.
+* Table 1: Kerla unlocks SQLite by implementing lseek (8), access
+  (21), and unlink (87), and faking mremap (25).
+"""
+
+from __future__ import annotations
+
+from repro.appsim.apps import App
+from repro.appsim.apps.blocks import op, with_static_views
+from repro.appsim.behavior import (
+    abort,
+    breaks,
+    breaks_core,
+    disable,
+    fallback,
+    harmless,
+    ignore,
+)
+from repro.appsim.libc import LibcModel
+from repro.appsim.program import Phase, SimProgram, WorkloadProfile
+from repro.core.workload import benchmark, health_check, test_suite
+
+FEATURES = frozenset({"core", "journal", "locking", "vacuum", "temp-store"})
+
+SUITE_FEATURES = ("core", "journal", "locking", "vacuum", "temp-store")
+
+
+def _ops(libc: LibcModel) -> tuple:
+    journal = frozenset({"journal"})
+    locking = frozenset({"locking"})
+    vacuum = frozenset({"vacuum"})
+    temp = frozenset({"temp-store"})
+    return tuple(
+        list(libc.init_ops())
+        + [
+            # -- database file I/O: the required core -----------------------
+            op("openat", 2, on_stub=abort(), on_fake=breaks_core()),
+            op("fstat", 4, on_stub=ignore(), on_fake=harmless()),
+            op("stat", 2, on_stub=ignore(), on_fake=harmless()),
+            op("lseek", 16, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("read", 32, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("write", 32, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("pread64", 16, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("pwrite64", 16, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("close", 8, phase=Phase.WORKLOAD,
+               on_stub=ignore(fd_frac=0.6), on_fake=harmless(fd_frac=0.6)),
+            # Hot-journal detection: SQLite *must* know whether a journal
+            # file exists; a forged "yes" corrupts recovery (Table 1's
+            # Kerla plan implements access (21) to unlock SQLite).
+            op("access", 4, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("getcwd", 1, on_stub=ignore(), on_fake=harmless()),
+            op("geteuid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("getpid", 1, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("getrandom", 1, on_stub=ignore(), on_fake=harmless()),
+            op("openat", 1, path="/dev/urandom", on_stub=ignore(), on_fake=harmless()),
+            # Memory-mapped I/O with the Section 5.2 mremap fallback.
+            op("mremap", 4, phase=Phase.WORKLOAD,
+               on_stub=fallback(op("mmap", 1, on_stub=abort(),
+                                   on_fake=breaks_core())),
+               on_fake=harmless()),
+            op("munmap", 4, phase=Phase.WORKLOAD,
+               on_stub=ignore(mem_frac=0.08), on_fake=harmless(mem_frac=0.08)),
+            op("madvise", 2, subfeature="MADV_DONTNEED", checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            # -- journaling (suite correctness) ------------------------------
+            op("openat", 2, feature="journal", when=journal,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("journal"), on_fake=breaks("journal")),
+            op("unlink", 4, feature="journal", when=journal,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("journal"), on_fake=breaks("journal")),
+            op("fsync", 8, feature="journal", when=journal,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("journal"), on_fake=harmless()),
+            op("fdatasync", 4, feature="journal", when=journal,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("journal"), on_fake=harmless()),
+            op("ftruncate", 2, feature="journal", when=journal,
+               on_stub=disable("journal"), on_fake=breaks("journal")),
+            op("rename", 2, feature="journal", when=journal,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("journal"), on_fake=breaks("journal")),
+            # -- record locking (suite correctness) --------------------------
+            op("fcntl", 8, subfeature="F_SETLK", feature="locking",
+               when=locking, phase=Phase.WORKLOAD,
+               on_stub=disable("locking"), on_fake=breaks("locking")),
+            op("fcntl", 2, subfeature="F_GETLK", feature="locking",
+               when=locking,
+               on_stub=disable("locking"), on_fake=breaks("locking")),
+            op("fcntl", 2, subfeature="F_SETFD",
+               on_stub=ignore(), on_fake=harmless()),
+            op("flock", 2, feature="locking", when=locking,
+               on_stub=disable("locking"), on_fake=breaks("locking")),
+            op("nanosleep", 2, feature="locking", when=locking,
+               phase=Phase.WORKLOAD, checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            # -- vacuum / integrity scans (suite) ----------------------------
+            op("getdents64", 2, feature="vacuum", when=vacuum,
+               on_stub=disable("vacuum"), on_fake=breaks("vacuum")),
+            op("utimensat", 1, feature="vacuum", when=vacuum,
+               on_stub=ignore(), on_fake=harmless()),
+            op("fallocate", 1, feature="vacuum", when=vacuum,
+               on_stub=ignore(), on_fake=harmless()),
+            # -- temp store (suite) ------------------------------------------
+            op("mkdir", 1, feature="temp-store", when=temp,
+               on_stub=ignore(), on_fake=harmless()),
+            op("openat", 1, feature="temp-store", when=temp,
+               on_stub=disable("temp-store"), on_fake=breaks("temp-store")),
+            op("unlink", 1, feature="temp-store", when=temp,
+               on_stub=ignore(), on_fake=harmless()),
+            op("statfs", 1, feature="temp-store", when=temp,
+               on_stub=ignore(), on_fake=harmless()),
+        ]
+    )
+
+
+def build(version: str = "3.36", libc: LibcModel | None = None) -> App:
+    """Build the SQLite application model."""
+    libc = libc or LibcModel("glibc", "2.28", "dynamic", brk_fallback_mem_frac=0.03)
+    program = SimProgram(
+        name="sqlite",
+        version=version,
+        ops=_ops(libc),
+        features=FEATURES,
+        profiles={
+            "bench": WorkloadProfile(metric=61_000.0, fd_peak=12, mem_peak_kb=6_144),
+            "suite": WorkloadProfile(metric=None, fd_peak=28, mem_peak_kb=9_216),
+            "health": WorkloadProfile(metric=None, fd_peak=8, mem_peak_kb=4_096),
+        },
+        description="embedded SQL database",
+    )
+    program = with_static_views(program, source_total=70, binary_total=88)
+    workloads = {
+        "health": health_check("health"),
+        "bench": benchmark("bench", metric_name="queries/s"),
+        "suite": test_suite("suite", features=SUITE_FEATURES),
+    }
+    return App(program=program, workloads=workloads, category="database", year=2000)

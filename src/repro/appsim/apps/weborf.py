@@ -1,0 +1,126 @@
+"""Weborf model (minimal static web server).
+
+The smallest server in the seven-app comparison set: a thread-per-
+connection design with a modest syscall footprint. Table 1: Kerla
+unlocks it by implementing getpid (39) and faking prlimit64 (302);
+the paper's Section 5.4 notes weborf's only ioctl use is TCGETS and
+it can be stubbed.
+"""
+
+from __future__ import annotations
+
+from repro.appsim.apps import App
+from repro.appsim.apps.blocks import op, with_static_views
+from repro.appsim.behavior import (
+    abort,
+    breaks,
+    breaks_core,
+    disable,
+    harmless,
+    ignore,
+    safe_default,
+)
+from repro.appsim.libc import LibcModel
+from repro.appsim.program import Phase, SimProgram, WorkloadProfile
+from repro.core.workload import benchmark, health_check, test_suite
+
+FEATURES = frozenset({"core", "directory-listing", "webdav"})
+
+SUITE_FEATURES = ("core", "directory-listing", "webdav")
+
+
+def _ops(libc: LibcModel) -> tuple:
+    listing = frozenset({"directory-listing"})
+    webdav = frozenset({"webdav"})
+    return tuple(
+        list(libc.init_ops())
+        + list(libc.runtime_ops(threaded=True))
+        + [
+            op("getpid", 1, on_stub=abort(), on_fake=harmless()),
+            op("prlimit64", 1, subfeature="RLIMIT_NOFILE",
+               on_stub=safe_default(), on_fake=harmless()),
+            op("ioctl", 1, subfeature="TCGETS",
+               on_stub=safe_default(), on_fake=harmless()),
+            op("getuid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("setuid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("setgid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("rt_sigaction", 4, on_stub=ignore(), on_fake=harmless()),
+            op("alarm", 1, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            # Thread-per-connection core.
+            op("socket", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("setsockopt", 2, on_stub=abort(), on_fake=breaks_core()),
+            op("bind", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("listen", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("accept", 4, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("clone", 4, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("futex", 16, phase=Phase.WORKLOAD, checks_return=False,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("read", 8, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("write", 8, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("openat", 4, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("fstat", 4, phase=Phase.WORKLOAD,
+               on_stub=ignore(), on_fake=harmless()),
+            op("close", 8, phase=Phase.WORKLOAD,
+               on_stub=ignore(fd_frac=0.5), on_fake=harmless(fd_frac=0.5)),
+            op("sendfile", 4, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            # Directory listings (suite).
+            op("getdents64", 4, feature="directory-listing", when=listing,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("directory-listing"),
+               on_fake=breaks("directory-listing")),
+            op("stat", 4, feature="directory-listing", when=listing,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("directory-listing"),
+               on_fake=breaks("directory-listing")),
+            # Optional suite paths that fail soft (auth probe, mime
+            # rescan, range logging).
+            op("access", 2, feature="directory-listing", when=listing,
+               on_stub=ignore(), on_fake=harmless()),
+            op("readlink", 1, feature="directory-listing", when=listing,
+               on_stub=ignore(), on_fake=harmless()),
+            op("lseek", 2, feature="webdav", when=webdav,
+               phase=Phase.WORKLOAD, on_stub=ignore(), on_fake=harmless()),
+            op("getcwd", 1, feature="webdav", when=webdav,
+               on_stub=ignore(), on_fake=harmless()),
+            # WebDAV uploads/moves (suite).
+            op("pwrite64", 2, feature="webdav", when=webdav,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("webdav"), on_fake=breaks("webdav")),
+            op("mkdir", 1, feature="webdav", when=webdav,
+               on_stub=disable("webdav"), on_fake=breaks("webdav")),
+            op("unlink", 1, feature="webdav", when=webdav,
+               on_stub=disable("webdav"), on_fake=breaks("webdav")),
+            op("rename", 1, feature="webdav", when=webdav,
+               on_stub=disable("webdav"), on_fake=breaks("webdav")),
+        ]
+    )
+
+
+def build(version: str = "0.17", libc: LibcModel | None = None) -> App:
+    """Build the Weborf application model."""
+    libc = libc or LibcModel("glibc", "2.28", "dynamic", brk_fallback_mem_frac=0.04)
+    program = SimProgram(
+        name="weborf",
+        version=version,
+        ops=_ops(libc),
+        features=FEATURES,
+        profiles={
+            "bench": WorkloadProfile(metric=41_000.0, fd_peak=24, mem_peak_kb=3_072),
+            "suite": WorkloadProfile(metric=None, fd_peak=36, mem_peak_kb=4_096),
+            "health": WorkloadProfile(metric=None, fd_peak=12, mem_peak_kb=2_048),
+        },
+        description="minimal static web server",
+    )
+    program = with_static_views(program, source_total=58, binary_total=74)
+    workloads = {
+        "health": health_check("health"),
+        "bench": benchmark("bench", metric_name="requests/s"),
+        "suite": test_suite("suite", features=SUITE_FEATURES),
+    }
+    return App(program=program, workloads=workloads, category="web-server", year=2007)

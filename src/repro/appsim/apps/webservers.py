@@ -1,0 +1,310 @@
+"""H2O, Apache httpd, and webfsd models (web-server family).
+
+Table 1 calibration anchors:
+
+* **H2O**: Unikraft unlocks it by implementing set_tid_address (218);
+  Kerla implements accept4 (288) / eventfd2 (290), stubs dup (32) and
+  fakes getuid (102).
+* **httpd** (Apache): Kerla's very first unlock — clone (56), openat
+  (257), setsockopt (54) implemented, seventeen syscalls stubbed,
+  sendmsg (47) faked. Hybrid process/thread worker model.
+* **webfsd**: Kerla implements the identity quartet getgid (104),
+  geteuid (107), getegid (108), getuid (102) — a rare app whose
+  logging genuinely depends on identity values.
+"""
+
+from __future__ import annotations
+
+from repro.appsim.apps import App
+from repro.appsim.apps.blocks import nscd_block, op, with_static_views
+from repro.appsim.behavior import (
+    abort,
+    breaks,
+    breaks_core,
+    disable,
+    harmless,
+    ignore,
+    safe_default,
+)
+from repro.appsim.libc import LibcModel
+from repro.appsim.program import Phase, SimProgram, WorkloadProfile
+from repro.core.workload import benchmark, health_check, test_suite
+
+
+def _h2o_ops(libc: LibcModel) -> tuple:
+    reload = frozenset({"reload"})
+    logging = frozenset({"logging"})
+    return tuple(
+        list(libc.init_ops())
+        + list(libc.runtime_ops(threaded=True))
+        + [
+            op("set_tid_address", 1, checks_return=False,
+               on_stub=abort(), on_fake=harmless()),
+            op("getuid", 1, on_stub=abort(), on_fake=harmless()),
+            op("dup", 2, on_stub=ignore(), on_fake=harmless()),
+            op("prlimit64", 1, subfeature="RLIMIT_NOFILE",
+               on_stub=safe_default(), on_fake=harmless()),
+            op("ioctl", 1, subfeature="TCGETS",
+               on_stub=safe_default(), on_fake=harmless()),
+            op("rt_sigaction", 6, on_stub=ignore(), on_fake=harmless()),
+            op("rt_sigprocmask", 2, on_stub=ignore(), on_fake=harmless()),
+            op("getrandom", 2, on_stub=ignore(), on_fake=harmless()),
+            op("openat", 1, path="/dev/urandom", on_stub=ignore(), on_fake=harmless()),
+            op("clone", 4, on_stub=abort(), on_fake=breaks_core()),
+            op("futex", 32, phase=Phase.WORKLOAD, checks_return=False,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("eventfd2", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("socket", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("setsockopt", 4, on_stub=abort(), on_fake=breaks_core()),
+            op("bind", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("listen", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("accept4", 8, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("epoll_create1", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("epoll_ctl", 8, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("epoll_wait", 24, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("read", 16, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("writev", 16, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("close", 8, phase=Phase.WORKLOAD,
+               on_stub=ignore(fd_frac=0.6), on_fake=harmless(fd_frac=0.6)),
+            op("openat", 4, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("fstat", 4, phase=Phase.WORKLOAD,
+               on_stub=ignore(), on_fake=harmless()),
+            op("clock_gettime", 8, phase=Phase.WORKLOAD, checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            op("gettimeofday", 2, checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            op("write", 8, feature="logging", when=logging,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("logging", perf_factor=1.06),
+               on_fake=breaks("logging", perf_factor=1.06)),
+            op("kill", 1, feature="reload", when=reload,
+               on_stub=disable("reload"), on_fake=breaks("reload")),
+            op("wait4", 1, feature="reload", when=reload,
+               on_stub=ignore(), on_fake=harmless()),
+            op("pipe2", 1, feature="reload",
+               on_stub=ignore(fd_frac=-0.04), on_fake=harmless(fd_frac=-0.04)),
+        ]
+    )
+
+
+def build_h2o(version: str = "2.2") -> App:
+    """Build the H2O application model."""
+    libc = LibcModel("glibc", "2.28", "dynamic", brk_fallback_mem_frac=0.05)
+    program = SimProgram(
+        name="h2o",
+        version=version,
+        ops=_h2o_ops(libc),
+        features=frozenset({"core", "logging", "reload"}),
+        profiles={
+            "bench": WorkloadProfile(metric=105_000.0, fd_peak=56, mem_peak_kb=11_264),
+            "suite": WorkloadProfile(metric=None, fd_peak=72, mem_peak_kb=13_312),
+            "health": WorkloadProfile(metric=None, fd_peak=24, mem_peak_kb=8_192),
+        },
+        description="optimized HTTP/2 server",
+    )
+    program = with_static_views(program, source_total=76, binary_total=92)
+    return App(
+        program=program,
+        workloads={
+            "health": health_check("health"),
+            "bench": benchmark("bench", metric_name="requests/s"),
+            "suite": test_suite("suite", features=("core", "logging", "reload")),
+        },
+        category="web-server",
+        year=2014,
+    )
+
+
+def _httpd_ops(libc: LibcModel) -> tuple:
+    htaccess = frozenset({"htaccess"})
+    cgi = frozenset({"cgi"})
+    return tuple(
+        list(libc.init_ops())
+        + list(libc.runtime_ops(threaded=True))
+        + nscd_block()
+        + [
+            op("prlimit64", 1, subfeature="RLIMIT_NOFILE",
+               on_stub=safe_default(), on_fake=harmless()),
+            op("getuid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("geteuid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("setuid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("setgid", 1, on_stub=ignore(), on_fake=harmless()),
+            op("setgroups", 1, on_stub=ignore(), on_fake=harmless()),
+            op("umask", 1, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("uname", 1, on_stub=ignore(), on_fake=harmless()),
+            op("getpid", 2, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("rt_sigaction", 10, on_stub=ignore(), on_fake=harmless()),
+            op("rt_sigprocmask", 4, on_stub=ignore(), on_fake=harmless()),
+            op("sigaltstack", 1, on_stub=ignore(), on_fake=harmless()),
+            op("gettimeofday", 4, checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            # Hybrid MPM: processes + threads, both load-bearing.
+            op("clone", 6, on_stub=abort(), on_fake=breaks_core()),
+            op("futex", 32, phase=Phase.WORKLOAD, checks_return=False,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("socket", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("setsockopt", 4, on_stub=abort(), on_fake=breaks_core()),
+            op("bind", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("listen", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("accept4", 6, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("epoll_create1", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("epoll_ctl", 6, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("epoll_wait", 16, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("read", 16, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("writev", 16, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("sendmsg", 4, phase=Phase.WORKLOAD,
+               on_stub=ignore(), on_fake=harmless()),
+            op("openat", 4, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("stat", 6, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("close", 12, phase=Phase.WORKLOAD,
+               on_stub=ignore(fd_frac=0.5), on_fake=harmless(fd_frac=0.5)),
+            op("sendfile", 8, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("mmap", 2, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("munmap", 2, phase=Phase.WORKLOAD,
+               on_stub=ignore(mem_frac=0.06), on_fake=harmless(mem_frac=0.06)),
+            op("shmget", 1, on_stub=ignore(), on_fake=harmless()),
+            op("shmat", 1, on_stub=ignore(), on_fake=harmless()),
+            op("semget", 1, on_stub=ignore(), on_fake=harmless()),
+            op("semop", 4, phase=Phase.WORKLOAD, checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            # Per-directory config (suite).
+            op("openat", 2, feature="htaccess", when=htaccess,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("htaccess"), on_fake=breaks("htaccess")),
+            op("access", 2, feature="htaccess", when=htaccess,
+               on_stub=ignore(), on_fake=harmless()),
+            # CGI (suite).
+            op("fork", 2, feature="cgi", when=cgi, phase=Phase.WORKLOAD,
+               on_stub=disable("cgi"), on_fake=breaks("cgi")),
+            op("execve", 2, feature="cgi", when=cgi, phase=Phase.WORKLOAD,
+               on_stub=disable("cgi"), on_fake=breaks("cgi")),
+            op("wait4", 2, feature="cgi", when=cgi, phase=Phase.WORKLOAD,
+               on_stub=disable("cgi"), on_fake=breaks("cgi")),
+            op("pipe2", 2, feature="cgi", when=cgi, phase=Phase.WORKLOAD,
+               on_stub=disable("cgi"), on_fake=breaks("cgi")),
+            op("dup2", 2, feature="cgi", when=cgi, phase=Phase.WORKLOAD,
+               on_stub=disable("cgi"), on_fake=breaks("cgi")),
+        ]
+    )
+
+
+def build_httpd(version: str = "2.4") -> App:
+    """Build the Apache httpd application model."""
+    libc = LibcModel("glibc", "2.28", "dynamic", brk_fallback_mem_frac=0.07)
+    program = SimProgram(
+        name="httpd",
+        version=version,
+        ops=_httpd_ops(libc),
+        features=frozenset({"core", "htaccess", "cgi", "nscd"}),
+        profiles={
+            "bench": WorkloadProfile(metric=68_000.0, fd_peak=80, mem_peak_kb=24_576),
+            "suite": WorkloadProfile(metric=None, fd_peak=112, mem_peak_kb=30_720),
+            "health": WorkloadProfile(metric=None, fd_peak=40, mem_peak_kb=20_480),
+        },
+        description="Apache HTTP server",
+    )
+    program = with_static_views(program, source_total=88, binary_total=104)
+    return App(
+        program=program,
+        workloads={
+            "health": health_check("health"),
+            "bench": benchmark("bench", metric_name="requests/s"),
+            "suite": test_suite("suite", features=("core", "htaccess", "cgi")),
+        },
+        category="web-server",
+        year=1995,
+    )
+
+
+def _webfsd_ops(libc: LibcModel) -> tuple:
+    listing = frozenset({"directory-listing"})
+    return tuple(
+        list(libc.init_ops())
+        + [
+            # webfsd logs the identity it runs under and refuses to
+            # start when it cannot determine it (Table 1: Kerla must
+            # implement the getters; faking also satisfies it).
+            op("getuid", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("getgid", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("geteuid", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("getegid", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("umask", 1, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("getcwd", 1, on_stub=ignore(), on_fake=harmless()),
+            op("uname", 1, on_stub=ignore(), on_fake=harmless()),
+            op("rt_sigaction", 4, on_stub=ignore(), on_fake=harmless()),
+            op("alarm", 1, checks_return=False, on_stub=ignore(), on_fake=harmless()),
+            op("socket", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("setsockopt", 2, on_stub=abort(), on_fake=breaks_core()),
+            op("bind", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("listen", 1, on_stub=abort(), on_fake=breaks_core()),
+            op("select", 8, phase=Phase.WORKLOAD,
+               on_stub=abort(), on_fake=breaks_core()),
+            op("accept", 4, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("read", 8, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("write", 8, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("openat", 4, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("fstat", 4, phase=Phase.WORKLOAD,
+               on_stub=ignore(), on_fake=harmless()),
+            op("close", 8, phase=Phase.WORKLOAD,
+               on_stub=ignore(fd_frac=0.4), on_fake=harmless(fd_frac=0.4)),
+            op("sendfile", 4, phase=Phase.WORKLOAD,
+               on_stub=disable("core"), on_fake=breaks_core()),
+            op("gettimeofday", 2, checks_return=False,
+               on_stub=ignore(), on_fake=harmless()),
+            op("getdents64", 4, feature="directory-listing", when=listing,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("directory-listing"),
+               on_fake=breaks("directory-listing")),
+            op("stat", 4, feature="directory-listing", when=listing,
+               phase=Phase.WORKLOAD,
+               on_stub=disable("directory-listing"),
+               on_fake=breaks("directory-listing")),
+        ]
+    )
+
+
+def build_webfsd(version: str = "1.21") -> App:
+    """Build the webfsd application model."""
+    libc = LibcModel("glibc", "2.28", "dynamic", brk_fallback_mem_frac=0.03)
+    program = SimProgram(
+        name="webfsd",
+        version=version,
+        ops=_webfsd_ops(libc),
+        features=frozenset({"core", "directory-listing"}),
+        profiles={
+            "bench": WorkloadProfile(metric=29_000.0, fd_peak=20, mem_peak_kb=2_048),
+            "suite": WorkloadProfile(metric=None, fd_peak=28, mem_peak_kb=3_072),
+            "health": WorkloadProfile(metric=None, fd_peak=10, mem_peak_kb=1_536),
+        },
+        description="simple file-serving daemon",
+    )
+    program = with_static_views(program, source_total=52, binary_total=68)
+    return App(
+        program=program,
+        workloads={
+            "health": health_check("health"),
+            "bench": benchmark("bench", metric_name="requests/s"),
+            "suite": test_suite("suite", features=("core", "directory-listing")),
+        },
+        category="web-server",
+        year=1999,
+    )

@@ -1,0 +1,37 @@
+"""Simulation execution backend: SimProgram behind the backend protocol.
+
+The analyzer talks to this class exactly as it talks to the real
+ptrace backend — submit a policy and a workload, observe a
+:class:`RunResult`. Nothing about the program's failure policies or
+fake reactions is visible through this interface.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.appsim.program import SimProgram
+from repro.appsim.runtime import SimProcess
+from repro.core.policy import InterpositionPolicy
+from repro.core.runner import RunResult
+from repro.core.workload import Workload
+
+
+@dataclasses.dataclass
+class SimBackend:
+    """An :class:`ExecutionBackend` over one simulated application."""
+
+    program: SimProgram
+
+    def __post_init__(self) -> None:
+        self._process = SimProcess(self.program)
+        self.name = f"sim:{self.program.name}-{self.program.version}"
+
+    def run(
+        self,
+        workload: Workload,
+        policy: InterpositionPolicy,
+        *,
+        replica: int = 0,
+    ) -> RunResult:
+        return self._process.run(workload, policy, replica=replica)

@@ -1,0 +1,151 @@
+"""Failure-handling semantics of simulated applications.
+
+The paper's Section 5.2 catalogs *why* programs survive stubbing and
+faking. We model exactly those mechanisms, so that an application's
+resilience is a consequence of its (modeled) code structure rather than
+a label the analyzer could cheat off:
+
+* **Ignoring the issue** — Redis ignores ``sysinfo`` failure (the value
+  only feeds debug logs).
+* **Using other system calls** — glibc's allocator falls back to
+  ``mmap`` when ``brk`` fails; SQLite re-allocates with ``mmap`` when
+  ``mremap`` fails.
+* **Falling back to safe defaults** — Redis assumes 1024 descriptors
+  when ``getrlimit`` fails, 80 columns when ``ioctl(TCGETS)`` fails.
+* **Disabling functionality** — glibc disables NSCD name caching when
+  ``connect`` fails.
+* **Aborting** — Nginx exits when ``prctl(PR_SET_KEEPCAPS)`` fails
+  (making the call *stub-resistant* yet *fakeable*).
+
+Faking has its own outcome space: a lied success can be harmless
+(``setsid`` in a unikernel), silently break a feature (``pipe2`` →
+Redis persistence), break core functioning (``futex`` → inconsistent
+synchronization), or be detected by the caller's value checks and
+behave exactly like a failure (``brk`` — the libc compares the returned
+break against what it asked for).
+
+Reactions can also carry metric consequences (Table 2): stubbing
+``write`` in Nginx *increases* throughput (+15%, access logs skipped);
+stubbing ``rt_sigsuspend`` turns the master loop into busy-waiting
+(-38%); faking ``futex`` in Redis costs -66% throughput and +94% file
+descriptors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class StubKind(enum.Enum):
+    """What the application does when a syscall returns an error."""
+
+    IGNORE = "ignore"                  # failure is inconsequential
+    ABORT = "abort"                    # treat as fatal, exit
+    FALLBACK = "fallback"              # invoke an alternative syscall
+    SAFE_DEFAULT = "safe-default"      # adopt a conservative default value
+    DISABLE_FEATURE = "disable-feature"  # turn the dependent feature off
+
+
+class FakeKind(enum.Enum):
+    """What happens when the kernel lies that a syscall succeeded."""
+
+    HARMLESS = "harmless"              # nothing depended on the real effect
+    BREAKS_FEATURE = "breaks-feature"  # a feature silently stops working
+    BREAKS_CORE = "breaks-core"        # core functioning is corrupted
+    AS_FAILURE = "as-failure"          # caller validates the result and
+    #                                    treats the lie as a failure
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricShift:
+    """Relative metric consequences of a reaction, vs the app baseline.
+
+    ``perf_factor`` multiplies the workload's performance metric
+    (1.0 = unchanged, 1.15 = +15%, 0.62 = -38%). ``fd_frac`` and
+    ``mem_frac`` shift peak descriptor count and peak memory by a
+    fraction of baseline (+7.0 = x8 descriptors, +0.17 = +17% memory).
+    """
+
+    perf_factor: float = 1.0
+    fd_frac: float = 0.0
+    mem_frac: float = 0.0
+
+    @property
+    def neutral(self) -> bool:
+        return self.perf_factor == 1.0 and self.fd_frac == 0.0 and self.mem_frac == 0.0
+
+
+NEUTRAL = MetricShift()
+
+
+@dataclasses.dataclass(frozen=True)
+class StubReaction:
+    """Reaction of one call site to a stubbed (-ENOSYS) syscall."""
+
+    kind: StubKind
+    feature: str | None = None          # DISABLE_FEATURE target
+    fallback: "object | None" = None    # SyscallOp invoked for FALLBACK
+    shift: MetricShift = NEUTRAL
+
+    def __post_init__(self) -> None:
+        if self.kind is StubKind.DISABLE_FEATURE and not self.feature:
+            raise ValueError("DISABLE_FEATURE needs a feature name")
+        if self.kind is StubKind.FALLBACK and self.fallback is None:
+            raise ValueError("FALLBACK needs a fallback op")
+
+
+@dataclasses.dataclass(frozen=True)
+class FakeReaction:
+    """Reaction of one call site to a faked (lied-success) syscall."""
+
+    kind: FakeKind
+    feature: str | None = None          # BREAKS_FEATURE target
+    shift: MetricShift = NEUTRAL
+
+    def __post_init__(self) -> None:
+        if self.kind is FakeKind.BREAKS_FEATURE and not self.feature:
+            raise ValueError("BREAKS_FEATURE needs a feature name")
+
+
+# -- concise constructors (the app models read much better with these) -------
+
+
+def ignore(**shift: float) -> StubReaction:
+    return StubReaction(kind=StubKind.IGNORE, shift=MetricShift(**shift))
+
+
+def abort() -> StubReaction:
+    return StubReaction(kind=StubKind.ABORT)
+
+
+def fallback(op: object, **shift: float) -> StubReaction:
+    return StubReaction(kind=StubKind.FALLBACK, fallback=op, shift=MetricShift(**shift))
+
+
+def safe_default(**shift: float) -> StubReaction:
+    return StubReaction(kind=StubKind.SAFE_DEFAULT, shift=MetricShift(**shift))
+
+
+def disable(feature: str, **shift: float) -> StubReaction:
+    return StubReaction(
+        kind=StubKind.DISABLE_FEATURE, feature=feature, shift=MetricShift(**shift)
+    )
+
+
+def harmless(**shift: float) -> FakeReaction:
+    return FakeReaction(kind=FakeKind.HARMLESS, shift=MetricShift(**shift))
+
+
+def breaks(feature: str, **shift: float) -> FakeReaction:
+    return FakeReaction(
+        kind=FakeKind.BREAKS_FEATURE, feature=feature, shift=MetricShift(**shift)
+    )
+
+
+def breaks_core(**shift: float) -> FakeReaction:
+    return FakeReaction(kind=FakeKind.BREAKS_CORE, shift=MetricShift(**shift))
+
+
+def as_failure() -> FakeReaction:
+    return FakeReaction(kind=FakeKind.AS_FAILURE)

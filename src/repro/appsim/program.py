@@ -1,0 +1,185 @@
+"""The program model: simulated applications as annotated syscall traces.
+
+A :class:`SimProgram` is an ordered list of :class:`SyscallOp` call
+sites, grouped into phases (libc init, application startup, workload
+loop, shutdown). Each op records:
+
+* which syscall (and optionally which sub-feature / pseudo-file path)
+  it invokes and how many times,
+* whether the *source code* checks the wrapper's return value (ground
+  truth for the paper's Figure 7 study — orthogonal to actual
+  resilience, as the paper stresses),
+* its :class:`~repro.appsim.behavior.StubReaction` — the code path
+  taken when the syscall fails, and
+* its :class:`~repro.appsim.behavior.FakeReaction` — the consequence of
+  a forged success.
+
+The op's *feature* tag ties it to application functionality ("core",
+"persistence", "access-logging"...). Workloads declare which features
+they exercise; a run fails when an exercised feature has been broken.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.appsim.behavior import FakeReaction, StubReaction, abort, harmless
+from repro.core.pseudofiles import is_pseudo_path
+from repro.errors import LoupeError
+from repro.syscalls import exists
+
+
+class Origin(enum.Enum):
+    """Which layer of the process issues the call (Section 5.6)."""
+
+    APP = "app"
+    LIBC = "libc"
+
+
+class Phase(enum.Enum):
+    """Execution phase of a call site."""
+
+    INIT = "init"            # libc initialization sequence
+    STARTUP = "startup"      # application setup before serving
+    WORKLOAD = "workload"    # per-request / steady-state loop
+    SHUTDOWN = "shutdown"
+
+
+@dataclasses.dataclass(frozen=True)
+class SyscallOp:
+    """One call site of a simulated application."""
+
+    syscall: str
+    count: int = 1
+    subfeature: str | None = None
+    path: str | None = None                    # open-family path argument
+    feature: str = "core"                      # app feature this op serves
+    phase: Phase = Phase.STARTUP
+    origin: Origin = Origin.APP
+    checks_return: bool = True
+    #: When set, the op only executes if the workload exercises one of
+    #: these features — how test suites come to trace more syscalls
+    #: than benchmarks (Figure 4). ``None`` means the op always runs.
+    when: frozenset[str] | None = None
+    on_stub: StubReaction = dataclasses.field(default_factory=abort)
+    on_fake: FakeReaction = dataclasses.field(default_factory=harmless)
+
+    def __post_init__(self) -> None:
+        if not exists(self.syscall):
+            raise LoupeError(f"op references unknown syscall {self.syscall!r}")
+        if self.count < 1:
+            raise LoupeError("op count must be >= 1")
+        if self.path is not None and not self.path.startswith("/"):
+            raise LoupeError(f"op path {self.path!r} must be absolute")
+
+    @property
+    def qualified(self) -> str:
+        if self.subfeature is not None:
+            return f"{self.syscall}:{self.subfeature}"
+        return self.syscall
+
+    @property
+    def touches_pseudo_file(self) -> bool:
+        return self.path is not None and is_pseudo_path(self.path)
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadProfile:
+    """Baseline behavior of the app under one named workload."""
+
+    metric: float | None = None       # e.g. requests/s for a benchmark
+    fd_peak: int = 16
+    mem_peak_kb: int = 8_192
+    noise: float = 0.004              # relative run-to-run metric noise
+
+
+@dataclasses.dataclass(frozen=True)
+class SimProgram:
+    """A complete simulated application."""
+
+    name: str
+    version: str
+    ops: tuple[SyscallOp, ...]
+    features: frozenset[str] = frozenset({"core"})
+    profiles: "dict[str, WorkloadProfile]" = dataclasses.field(default_factory=dict)
+    #: Extra syscalls a *static* analyzer would report: dead code,
+    #: error-handling paths, unused configuration features. Keys name
+    #: the static view ("binary" reports a superset of "source").
+    static_extra: "dict[str, frozenset[str]]" = dataclasses.field(default_factory=dict)
+    #: Ground truth for the return-check study that cannot be attached
+    #: to a single op (wrapper-less direct syscall(2) invocations).
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        declared = set(self.features) | {"core"}
+        for op in self.ops:
+            if op.feature not in declared:
+                raise LoupeError(
+                    f"{self.name}: op {op.qualified} references undeclared "
+                    f"feature {op.feature!r}"
+                )
+            if op.when is not None and not set(op.when) <= declared:
+                raise LoupeError(
+                    f"{self.name}: op {op.qualified} gated on undeclared "
+                    f"feature(s) {sorted(set(op.when) - declared)}"
+                )
+            if op.on_stub.feature is not None and op.on_stub.feature not in declared:
+                raise LoupeError(
+                    f"{self.name}: stub reaction of {op.qualified} references "
+                    f"undeclared feature {op.on_stub.feature!r}"
+                )
+            if op.on_fake.feature is not None and op.on_fake.feature not in declared:
+                raise LoupeError(
+                    f"{self.name}: fake reaction of {op.qualified} references "
+                    f"undeclared feature {op.on_fake.feature!r}"
+                )
+
+    # -- static views ------------------------------------------------------
+
+    def live_syscalls(self) -> frozenset[str]:
+        """Every syscall with a live call site, including fallback paths.
+
+        This is what *source-level* inspection of the program would
+        enumerate; the passthrough dynamic trace is a subset (fallback
+        paths and feature-gated ops may never execute).
+        """
+        names = {op.syscall for op in self.ops}
+        names.update(
+            op.on_stub.fallback.syscall            # type: ignore[union-attr]
+            for op in self.ops
+            if op.on_stub.fallback is not None
+        )
+        return frozenset(names)
+
+    def static_view(self, level: str) -> frozenset[str]:
+        """What a static analyzer at *level* ("source"/"binary") reports.
+
+        Static analysis is conservative: it sees every live call site
+        plus dead/error-path code; binary-level additionally picks up
+        linked-but-unused library code (Section 5.1's 2-5x factors).
+        """
+        return self.live_syscalls() | self.static_extra.get(level, frozenset())
+
+    def profile(self, workload_name: str) -> WorkloadProfile:
+        """Baseline profile for a workload (named or default)."""
+        if workload_name in self.profiles:
+            return self.profiles[workload_name]
+        return self.profiles.get("*", WorkloadProfile())
+
+    def ops_checking_returns(self) -> frozenset[str]:
+        """Syscalls whose wrapper return value the app's code checks.
+
+        Only wrapper call sites originating in application code count —
+        the paper's Figure 7 inspects user-written source, not libc
+        internals.
+        """
+        return frozenset(
+            op.syscall
+            for op in self.ops
+            if op.origin is Origin.APP and op.checks_return
+        )
+
+    def app_syscalls(self) -> frozenset[str]:
+        """Syscalls invoked from application (non-libc) call sites."""
+        return frozenset(op.syscall for op in self.ops if op.origin is Origin.APP)

@@ -1,0 +1,229 @@
+"""Execution engine for simulated applications.
+
+:class:`SimProcess` runs a :class:`~repro.appsim.program.SimProgram`
+under an interposition policy and produces the same
+:class:`~repro.core.runner.RunResult` a real traced process would:
+which syscalls were invoked, whether the workload's test script passed,
+the performance metric, and peak resource usage.
+
+Semantics:
+
+* every executed op is **traced**, even when stubbed or faked (the
+  interposition layer sees the invocation either way);
+* ``STUB`` routes the op through its :class:`StubReaction` — possibly
+  invoking a fallback syscall *through the same policy* (so stubbing
+  both ``brk`` and ``mmap`` aborts even though stubbing either alone
+  may work);
+* ``FAKE`` routes through the :class:`FakeReaction`; ``AS_FAILURE``
+  reactions degrade to the stub path, modeling callers that validate
+  result values rather than trusting return codes;
+* ops gated by a ``when`` feature set only run when the workload
+  exercises one of those features (test suites execute more of the
+  application than benchmarks — the paper's Figure 4 gap);
+* a run succeeds when no op aborted and every feature the workload
+  exercises is still healthy.
+
+Metric noise is deterministic: a hash of (app, workload, policy,
+replica) drives a small relative perturbation, so replicated runs have
+realistic but perfectly reproducible variance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from collections import Counter
+
+from repro.appsim.behavior import FakeKind, StubKind
+from repro.appsim.program import SimProgram, SyscallOp
+from repro.core.policy import Action, InterpositionPolicy
+from repro.core.pseudofiles import is_pseudo_path
+from repro.core.runner import ResourceUsage, RunResult
+from repro.core.workload import SimWorkload, Workload
+from repro.errors import BackendError, WorkloadError
+
+#: Recursion guard for fallback chains (a fallback's fallback...).
+_MAX_FALLBACK_DEPTH = 8
+
+
+def _deterministic_noise(*parts: str, scale: float) -> float:
+    """A reproducible perturbation in [-scale, +scale]."""
+    if scale == 0.0:
+        return 0.0
+    digest = hashlib.blake2b("|".join(parts).encode(), digest_size=8).digest()
+    unit = int.from_bytes(digest, "big") / float(2**64)  # [0, 1)
+    return (2.0 * unit - 1.0) * scale
+
+
+@dataclasses.dataclass
+class _RunState:
+    """Mutable state accumulated while executing the program."""
+
+    traced: Counter = dataclasses.field(default_factory=Counter)
+    pseudo_files: Counter = dataclasses.field(default_factory=Counter)
+    health: dict[str, bool] = dataclasses.field(default_factory=dict)
+    aborted: bool = False
+    abort_reason: str | None = None
+    perf_factor: float = 1.0
+    fd_frac: float = 0.0
+    mem_frac: float = 0.0
+
+
+class SimProcess:
+    """Runs one simulated program under one policy."""
+
+    def __init__(self, program: SimProgram) -> None:
+        self.program = program
+
+    # -- public ------------------------------------------------------------
+
+    def run(
+        self,
+        workload: Workload,
+        policy: InterpositionPolicy,
+        *,
+        replica: int = 0,
+    ) -> RunResult:
+        if not isinstance(workload, SimWorkload):
+            raise BackendError(
+                f"simulation backend needs a SimWorkload, got {type(workload).__name__}"
+            )
+        exercised = workload.features_exercised
+        known = self.program.features | {"core"}
+        unknown = exercised - known
+        if unknown:
+            raise WorkloadError(
+                f"workload {workload.name!r} exercises features "
+                f"{sorted(unknown)} unknown to {self.program.name}"
+            )
+
+        state = _RunState(health={feature: True for feature in known})
+        for op in self.program.ops:
+            if state.aborted:
+                break
+            if not self._op_runs(op, exercised):
+                continue
+            self._execute(op, policy, state, depth=0)
+
+        success = not state.aborted and all(
+            state.health[feature] for feature in exercised
+        )
+        failure_reason = None
+        if state.aborted:
+            failure_reason = state.abort_reason
+        elif not success:
+            broken = sorted(f for f in exercised if not state.health[f])
+            failure_reason = f"broken feature(s): {', '.join(broken)}"
+
+        profile = self.program.profile(workload.name)
+        metric = None
+        if workload.measures_performance and profile.metric is not None and success:
+            noise = _deterministic_noise(
+                self.program.name,
+                workload.name,
+                policy.describe(),
+                str(replica),
+                scale=profile.noise,
+            )
+            metric = profile.metric * state.perf_factor * (1.0 + noise)
+
+        resources = ResourceUsage(
+            fd_peak=max(0, round(profile.fd_peak * (1.0 + state.fd_frac))),
+            mem_peak_kb=max(0, round(profile.mem_peak_kb * (1.0 + state.mem_frac))),
+        )
+        return RunResult(
+            success=success,
+            traced=state.traced,
+            pseudo_files=state.pseudo_files,
+            metric=metric,
+            resources=resources,
+            exit_code=0 if success else 1,
+            failure_reason=failure_reason,
+            duration_s=0.0,
+        )
+
+    # -- op execution --------------------------------------------------------
+
+    @staticmethod
+    def _op_runs(op: SyscallOp, exercised: frozenset[str]) -> bool:
+        when = getattr(op, "when", None)
+        if when is None:
+            return True
+        return bool(when & exercised)
+
+    def _execute(
+        self,
+        op: SyscallOp,
+        policy: InterpositionPolicy,
+        state: _RunState,
+        depth: int,
+    ) -> None:
+        if depth > _MAX_FALLBACK_DEPTH:
+            state.aborted = True
+            state.abort_reason = f"fallback chain too deep at {op.qualified}"
+            return
+
+        self._trace(op, state)
+        action = self._action_for(op, policy)
+        if action is Action.PASSTHROUGH:
+            return
+        if action is Action.STUB:
+            self._apply_stub(op, policy, state, depth)
+            return
+        # FAKE
+        reaction = op.on_fake
+        if reaction.kind is FakeKind.AS_FAILURE:
+            self._apply_stub(op, policy, state, depth)
+            return
+        self._apply_shift(reaction.shift, state)
+        if reaction.kind is FakeKind.BREAKS_FEATURE:
+            state.health[reaction.feature] = False  # type: ignore[index]
+        elif reaction.kind is FakeKind.BREAKS_CORE:
+            state.health["core"] = False
+
+    def _apply_stub(
+        self,
+        op: SyscallOp,
+        policy: InterpositionPolicy,
+        state: _RunState,
+        depth: int,
+    ) -> None:
+        reaction = op.on_stub
+        self._apply_shift(reaction.shift, state)
+        kind = reaction.kind
+        if kind is StubKind.IGNORE or kind is StubKind.SAFE_DEFAULT:
+            return
+        if kind is StubKind.ABORT:
+            state.aborted = True
+            state.abort_reason = f"fatal: {op.qualified} failed (treated as fatal)"
+            return
+        if kind is StubKind.DISABLE_FEATURE:
+            state.health[reaction.feature] = False  # type: ignore[index]
+            return
+        if kind is StubKind.FALLBACK:
+            fallback_op = reaction.fallback
+            assert isinstance(fallback_op, SyscallOp)
+            self._execute(fallback_op, policy, state, depth + 1)
+            return
+        raise BackendError(f"unhandled stub reaction {kind!r}")
+
+    @staticmethod
+    def _apply_shift(shift: object, state: _RunState) -> None:
+        state.perf_factor *= shift.perf_factor  # type: ignore[attr-defined]
+        state.fd_frac += shift.fd_frac  # type: ignore[attr-defined]
+        state.mem_frac += shift.mem_frac  # type: ignore[attr-defined]
+
+    @staticmethod
+    def _trace(op: SyscallOp, state: _RunState) -> None:
+        state.traced[op.syscall] += op.count
+        if op.subfeature is not None:
+            state.traced[op.qualified] += op.count
+        if op.path is not None and is_pseudo_path(op.path):
+            state.pseudo_files[op.path] += op.count
+
+    def _action_for(self, op: SyscallOp, policy: InterpositionPolicy) -> Action:
+        if op.path is not None and is_pseudo_path(op.path):
+            path_action = policy.action_for_path(op.path)
+            if path_action is not Action.PASSTHROUGH:
+                return path_action
+        return policy.action_for(op.syscall, op.subfeature)

@@ -1,0 +1,290 @@
+"""Command-line interface: ``loupe <subcommand>``.
+
+Subcommands mirror how the paper's tool is used:
+
+* ``analyze``  — run the full stub/fake analysis of one corpus app (or
+  a real command with ``--exec``) and print the report.
+* ``plan``     — generate an incremental support plan for an OS
+  (named profile or a CSV support file) over target apps.
+* ``study``    — regenerate a paper table or figure by name.
+* ``corpus``   — list the application corpus.
+* ``db``       — inspect or merge result databases.
+* ``scan``     — static binary scan of a native ELF.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.appsim.corpus import CLOUD_APPS, HANDBUILT, build, cloud_apps, corpus
+from repro.core.analyzer import Analyzer, AnalyzerConfig
+from repro.core.workload import CommandWorkload, WorkloadKind
+from repro.db import Database
+from repro.plans import (
+    SupportState,
+    generate_plan,
+    render_plan,
+    requirements_for_all,
+    run_effort_study,
+    table1_states,
+)
+from repro.syscalls import number_of
+
+
+def _print_analysis(result) -> None:
+    required = sorted(result.required_syscalls())
+    stubbable = sorted(result.stubbable_syscalls())
+    fakeable = sorted(result.fakeable_syscalls())
+    print(f"app: {result.app} workload: {result.workload} "
+          f"backend: {result.backend} replicas: {result.replicas}")
+    print(f"traced: {len(result.traced_syscalls())} syscalls")
+    print(f"required ({len(required)}): {', '.join(required)}")
+    print(f"stubbable ({len(stubbable)}): {', '.join(stubbable)}")
+    print(f"fakeable ({len(fakeable)}): {', '.join(fakeable)}")
+    pseudo = sorted(result.pseudo_files())
+    if pseudo:
+        print(f"pseudo-files: {', '.join(pseudo)}")
+    impacted = result.impacted_features()
+    if impacted:
+        print("metric impacts:")
+        for report in impacted:
+            stub = report.stub_impact.describe() if report.stub_impact else "-"
+            fake = report.fake_impact.describe() if report.fake_impact else "-"
+            print(f"  {report.feature}: stub {stub} | fake {fake}")
+    if not result.final_run_ok:
+        print("WARNING: final combined run failed; conflicts:", result.conflicts)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    config = AnalyzerConfig(
+        replicas=args.replicas,
+        subfeature_level=args.subfeatures,
+        pseudo_files=args.pseudofiles,
+    )
+    analyzer = Analyzer(config)
+    if args.exec_argv:
+        from repro.ptracer.backend import PtraceBackend
+
+        workload = CommandWorkload(
+            name="cli-exec",
+            kind=WorkloadKind.HEALTH_CHECK,
+            argv=args.exec_argv,
+            timeout_s=args.timeout,
+        )
+        result = analyzer.analyze(
+            PtraceBackend(), workload, app=args.exec_argv[0]
+        )
+    else:
+        if args.app not in HANDBUILT:
+            print(f"unknown app {args.app!r}; choose from: "
+                  f"{', '.join(sorted(HANDBUILT))}", file=sys.stderr)
+            return 2
+        app = build(args.app)
+        result = analyzer.analyze(
+            app.backend(), app.workload(args.workload),
+            app=app.name, app_version=app.version,
+        )
+    _print_analysis(result)
+    if args.output:
+        Database.collect([result]).save(args.output)
+        print(f"saved to {args.output}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    apps = cloud_apps() if args.apps == "cloud" else corpus()
+    requirements = requirements_for_all(apps, args.workload)
+    if args.support_csv:
+        state = SupportState.load(args.support_csv, os_name=args.os)
+    else:
+        states = table1_states(requirements_for_all(cloud_apps(), args.workload))
+        if args.os not in states:
+            print(f"unknown OS {args.os!r}; choose from: "
+                  f"{', '.join(sorted(states))} or pass --support-csv",
+                  file=sys.stderr)
+            return 2
+        state = states[args.os]
+    plan = generate_plan(state, requirements)
+    print(render_plan(plan, syscall_numbers=not args.names))
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    name = args.name
+    if name == "table1":
+        apps = cloud_apps()
+        requirements = requirements_for_all(apps, "bench")
+        for state in table1_states(requirements).values():
+            print(render_plan(generate_plan(state, requirements)))
+            print()
+    elif name == "table2":
+        from repro.study import analyze_impacts, render_table2
+
+        print(render_table2(analyze_impacts()))
+    elif name == "table3":
+        from repro.study import glibc_comparison, render_table3
+
+        print(render_table3(glibc_comparison()))
+    elif name == "table4":
+        from repro.study import render_table4, table4
+
+        print(render_table4(table4()))
+    elif name == "fig2":
+        from repro.report import render_effort_curves
+
+        study = run_effort_study(corpus()[:62])
+        half = study.at_half()
+        print(render_effort_curves(study))
+        print(f"\nto support {half['apps']} apps: loupe={half['loupe']} "
+              f"organic={half['organic']} naive={half['naive']} syscalls")
+    elif name == "fig3":
+        from repro.report import render_importance_curves
+        from repro.study import analyze_apps, figure3
+
+        results = analyze_apps(corpus(), "bench")
+        fig = figure3(results)
+        print(render_importance_curves(fig))
+        print(f"\nloupe: {fig.loupe.total_syscalls()} syscalls required overall")
+        print(f"naive: {fig.naive.total_syscalls()} syscalls required overall")
+    elif name == "fig4":
+        from repro.appsim.corpus import seven_apps
+        from repro.study import figure4, render_figure4
+
+        print(render_figure4(figure4(seven_apps())))
+    elif name == "fig5":
+        from repro.appsim.corpus import seven_apps
+        from repro.study import analyze_apps, render_figure5_row, syscall_sets
+
+        apps = seven_apps()
+        results = analyze_apps(apps, "bench")
+        for table in syscall_sets(apps, results).values():
+            print(render_figure5_row(table))
+    elif name == "fig7":
+        from repro.study import analyze_apps, check_study
+
+        apps = corpus()
+        study = check_study(apps, analyze_apps(apps, "bench"))
+        print(f"{len(study.rows)} wrapper syscalls inspected; "
+              f"checks/avoidability correlation: {study.correlation:+.2f}")
+    elif name == "fig8":
+        from repro.study import figure8
+
+        for pair in figure8():
+            print(f"{pair.app}: {pair.old.year} traced={pair.old.traced} "
+                  f"required={pair.old.required} | 2021 "
+                  f"traced={pair.recent.traced} required={pair.recent.required}")
+    elif name == "pseudo":
+        from repro.study import pseudo_file_study, render_pseudo_files
+
+        print(render_pseudo_files(pseudo_file_study(cloud_apps())))
+    else:
+        print(f"unknown study {name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    apps = corpus(args.size)
+    for app in apps:
+        marker = "*" if app.name in CLOUD_APPS else " "
+        print(f"{marker} {app.name:<12} {app.category:<14} ({app.year})")
+    print(f"{len(apps)} applications ('*' = hand-modeled cloud app)")
+    return 0
+
+
+def _cmd_db(args: argparse.Namespace) -> int:
+    database = Database.load(args.path)
+    if args.merge:
+        other = Database.load(args.merge)
+        changed = database.merge(other)
+        database.save(args.path)
+        print(f"merged {changed} record(s) into {args.path}")
+        return 0
+    print(f"{args.path}: {len(database)} record(s)")
+    for result in database:
+        print(f"  {result.app} {result.app_version} / {result.workload} "
+              f"[{result.backend}]: {len(result.required_syscalls())} required "
+              f"of {len(result.traced_syscalls())} traced")
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    from repro.staticx import scan_binary
+
+    report = scan_binary(args.binary)
+    numbers = sorted(number_of(name) for name in report.syscalls)
+    print(f"{report.path}: {len(report.syscalls)} syscalls at "
+          f"{report.sites} sites ({report.resolution_rate:.0%} resolved)")
+    print(", ".join(str(n) for n in numbers))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="loupe",
+        description="Loupe reproduction: OS feature usage analysis and "
+                    "compatibility-layer support planning",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="analyze one application")
+    analyze.add_argument("--app", default="redis")
+    analyze.add_argument("--workload", default="bench",
+                         choices=("health", "bench", "suite"))
+    analyze.add_argument("--replicas", type=int, default=3)
+    analyze.add_argument("--subfeatures", action="store_true")
+    analyze.add_argument("--pseudofiles", action="store_true")
+    analyze.add_argument("--timeout", type=float, default=60.0)
+    analyze.add_argument("--output", help="save result database to this path")
+    analyze.add_argument("--exec", dest="exec_argv", nargs=argparse.REMAINDER,
+                         help="trace a real command via ptrace instead")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    plan = sub.add_parser("plan", help="generate a support plan")
+    plan.add_argument("--os", default="unikraft")
+    plan.add_argument("--support-csv", help="CSV of supported syscalls")
+    plan.add_argument("--apps", default="cloud", choices=("cloud", "corpus"))
+    plan.add_argument("--workload", default="bench")
+    plan.add_argument("--names", action="store_true",
+                      help="print syscall names instead of numbers")
+    plan.set_defaults(func=_cmd_plan)
+
+    study = sub.add_parser("study", help="regenerate a paper table/figure")
+    study.add_argument("name", choices=(
+        "table1", "table2", "table3", "table4",
+        "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "pseudo",
+    ))
+    study.set_defaults(func=_cmd_study)
+
+    corpus_cmd = sub.add_parser("corpus", help="list the application corpus")
+    corpus_cmd.add_argument("--size", type=int, default=116)
+    corpus_cmd.set_defaults(func=_cmd_corpus)
+
+    db = sub.add_parser("db", help="inspect or merge result databases")
+    db.add_argument("path")
+    db.add_argument("--merge", help="merge another database into this one")
+    db.set_defaults(func=_cmd_db)
+
+    scan = sub.add_parser("scan", help="static binary scan of an ELF")
+    scan.add_argument("binary")
+    scan.set_defaults(func=_cmd_scan)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into head/less that exited early; not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,373 @@
+"""The Loupe analysis algorithm (paper Section 3).
+
+Given an application (behind an :class:`ExecutionBackend`) and a
+workload, the analyzer:
+
+1. runs the passthrough baseline N times — enumerating every invoked
+   feature and collecting baseline performance/resource statistics;
+2. probes each feature in isolation — N runs with the feature stubbed,
+   N runs with it faked — deciding ``can_stub``/``can_fake`` from test
+   script success across all replicas, and recording metric impacts;
+3. performs a final **combined run** stubbing/faking everything found
+   avoidable, confirming the per-feature analysis composes;
+4. when the combined run fails, automatically bisects the avoided set
+   to the minimal conflicting feature groups (the paper leaves this
+   step to the user, noting it "could be automated in future works" —
+   we automate it with ddmin) and conservatively demotes those
+   features to REQUIRED before re-verifying.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections.abc import Callable, Sequence
+
+from repro.core.decisions import Decision
+from repro.core.metrics import DEFAULT_MARGIN, ImpactSummary, compare
+from repro.core.policy import Action, InterpositionPolicy, combined, passthrough
+from repro.core.replicas import ProbeOutcome, run_replicas
+from repro.core.result import AnalysisResult, BaselineStats, FeatureReport
+from repro.core.runner import ExecutionBackend
+from repro.core.workload import Workload
+from repro.core.metrics import SampleStats
+from repro.errors import AnalysisError
+
+
+@dataclasses.dataclass(frozen=True)
+class AnalyzerConfig:
+    """Tunable knobs of one analysis campaign."""
+
+    replicas: int = 3
+    subfeature_level: bool = False      # Section 5.4 partial-implementation mode
+    pseudo_files: bool = False          # Section 3.3 special-file tracking
+    guard_metrics: bool = True          # record perf/resource impacts
+    strict_metrics: bool = False        # impacts additionally disqualify stub/fake
+    metric_margin: float = DEFAULT_MARGIN
+    bisect_conflicts: bool = True
+    max_demotion_rounds: int = 4
+    #: Cross-application knowledge transfer (Section 6, future work):
+    #: confident priors from past analyses shrink a feature's probe to
+    #: a single confirmation run, falling back to the full replicated
+    #: probe on any disagreement.
+    priors: "object | None" = None
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if self.max_demotion_rounds < 1:
+            raise ValueError("max_demotion_rounds must be >= 1")
+
+
+@dataclasses.dataclass
+class _FeatureProbe:
+    """Mutable working state for one feature during the analysis."""
+
+    feature: str
+    traced_count: int
+    can_stub: bool = False
+    can_fake: bool = False
+    stub_impact: ImpactSummary | None = None
+    fake_impact: ImpactSummary | None = None
+    notes: list[str] = dataclasses.field(default_factory=list)
+
+    def to_report(self) -> FeatureReport:
+        return FeatureReport(
+            feature=self.feature,
+            traced_count=self.traced_count,
+            decision=Decision(can_stub=self.can_stub, can_fake=self.can_fake),
+            stub_impact=self.stub_impact,
+            fake_impact=self.fake_impact,
+            notes=tuple(self.notes),
+        )
+
+
+class Analyzer:
+    """Drives the full Loupe analysis for one (app, workload) pair."""
+
+    def __init__(self, config: AnalyzerConfig | None = None) -> None:
+        self.config = config or AnalyzerConfig()
+        #: Populated by :meth:`analyze` when priors are configured.
+        self.last_transfer_stats: "object | None" = None
+
+    # -- public entry point ------------------------------------------------
+
+    def analyze(
+        self,
+        backend: ExecutionBackend,
+        workload: Workload,
+        *,
+        app: str = "",
+        app_version: str = "",
+        progress: Callable[[str], None] | None = None,
+    ) -> AnalysisResult:
+        """Run the complete analysis and return the result record."""
+        say = progress or (lambda _msg: None)
+        config = self.config
+        started = time.monotonic()
+
+        say(f"baseline: {config.replicas} passthrough replica(s)")
+        baseline = run_replicas(backend, workload, passthrough(), config.replicas)
+        if not baseline.all_succeeded:
+            reasons = "; ".join(baseline.failure_reasons()) or "unknown"
+            raise AnalysisError(
+                f"application fails the workload even without interposition: {reasons}"
+            )
+
+        features = self._enumerate_features(baseline)
+        say(f"tracing found {len(features)} feature(s) to probe")
+
+        transfer_stats = None
+        if config.priors is not None:
+            from repro.core.transfer import TransferStats
+
+            transfer_stats = TransferStats(features_total=len(features))
+        self.last_transfer_stats = transfer_stats
+
+        probes: dict[str, _FeatureProbe] = {}
+        for feature, count in sorted(features.items()):
+            probes[feature] = self._probe_feature(
+                backend, workload, feature, count, baseline, say,
+                transfer_stats,
+            )
+
+        final_ok, conflicts = self._confirm_combined(
+            backend, workload, probes, say
+        )
+
+        say(f"analysis finished in {time.monotonic() - started:.2f}s")
+        return AnalysisResult(
+            app=app or workload.name,
+            app_version=app_version,
+            workload=workload.name,
+            workload_kind=workload.kind,
+            backend=getattr(backend, "name", type(backend).__name__),
+            replicas=config.replicas,
+            features={name: probe.to_report() for name, probe in probes.items()},
+            baseline=BaselineStats(
+                metric=SampleStats.of(baseline.metric_samples),
+                fd=SampleStats.of(baseline.fd_samples),
+                mem=SampleStats.of(baseline.mem_samples),
+            ),
+            final_run_ok=final_ok,
+            conflicts=conflicts,
+        )
+
+    # -- stage 1: enumeration ----------------------------------------------
+
+    def _enumerate_features(self, baseline: ProbeOutcome) -> dict[str, int]:
+        """Feature -> invocation count, united over baseline replicas."""
+        union = baseline.union_traced()
+        features: dict[str, int] = {}
+        sample = baseline.results[0]
+        level = self.config.subfeature_level
+        wanted = set()
+        for result in baseline.results:
+            wanted |= result.features(subfeature_level=level)
+        del sample
+        for feature in wanted:
+            if feature.startswith("/"):
+                continue  # pseudo-files handled below
+            features[feature] = union.get(feature, 1)
+        if self.config.pseudo_files:
+            for path, count in baseline.union_pseudofiles().items():
+                features[path] = count
+        return features
+
+    # -- stage 2: per-feature probing ---------------------------------------
+
+    def _probe_feature(
+        self,
+        backend: ExecutionBackend,
+        workload: Workload,
+        feature: str,
+        traced_count: int,
+        baseline: ProbeOutcome,
+        say: Callable[[str], None],
+        transfer_stats: "object | None" = None,
+    ) -> _FeatureProbe:
+        probe = _FeatureProbe(feature=feature, traced_count=traced_count)
+        prediction = None
+        if self.config.priors is not None:
+            prediction = self.config.priors.predict(feature)  # type: ignore[attr-defined]
+
+        fast_pathed = prediction is not None
+        for action, attribute in ((Action.STUB, "stub"), (Action.FAKE, "fake")):
+            policy = passthrough().with_feature(feature, action)
+            predicted = (
+                getattr(prediction, f"can_{attribute}")
+                if prediction is not None
+                else None
+            )
+            if predicted is not None and self.config.replicas > 1:
+                # Transfer fast path: one confirmation run; the full
+                # probe only on disagreement (Section 6 future work).
+                confirmation = run_replicas(backend, workload, policy, 1)
+                if confirmation.all_succeeded == predicted:
+                    outcome = confirmation
+                    if transfer_stats is not None:
+                        transfer_stats.runs_saved += self.config.replicas - 1
+                else:
+                    fast_pathed = False
+                    if transfer_stats is not None:
+                        transfer_stats.fallbacks += 1
+                    outcome = run_replicas(
+                        backend, workload, policy, self.config.replicas
+                    )
+            else:
+                outcome = run_replicas(
+                    backend, workload, policy, self.config.replicas
+                )
+            ok = outcome.all_succeeded
+            impact = None
+            if ok and self.config.guard_metrics:
+                impact = self._impact(baseline, outcome, workload)
+                if not impact.clean:
+                    probe.notes.append(
+                        f"{attribute}bing shifts metrics: {impact.describe()}"
+                    )
+                    if self.config.strict_metrics:
+                        ok = False
+            if attribute == "stub":
+                probe.can_stub = ok
+                probe.stub_impact = impact
+            else:
+                probe.can_fake = ok
+                probe.fake_impact = impact
+        if fast_pathed and transfer_stats is not None:
+            transfer_stats.features_fast_pathed += 1
+        say(
+            f"probe {feature}: stub={'ok' if probe.can_stub else 'no'} "
+            f"fake={'ok' if probe.can_fake else 'no'}"
+        )
+        return probe
+
+    def _impact(
+        self, baseline: ProbeOutcome, variant: ProbeOutcome, workload: Workload
+    ) -> ImpactSummary:
+        margin = self.config.metric_margin
+        perf = None
+        if workload.measures_performance and variant.metric_samples:
+            perf = compare(
+                baseline.metric_samples, variant.metric_samples, margin=margin
+            )
+        fd = compare(baseline.fd_samples, variant.fd_samples, margin=margin)
+        mem = compare(baseline.mem_samples, variant.mem_samples, margin=margin)
+        return ImpactSummary(perf=perf, fd=fd, mem=mem)
+
+    # -- stage 3 & 4: combined confirmation + automated bisection ------------
+
+    def _combined_policy(
+        self, probes: dict[str, _FeatureProbe]
+    ) -> InterpositionPolicy:
+        stubs = [f for f, p in probes.items() if p.can_stub]
+        fakes = [f for f, p in probes.items() if p.can_fake and not p.can_stub]
+        return combined(stubs=stubs, fakes=fakes)
+
+    def _confirm_combined(
+        self,
+        backend: ExecutionBackend,
+        workload: Workload,
+        probes: dict[str, _FeatureProbe],
+        say: Callable[[str], None],
+    ) -> tuple[bool, tuple[tuple[str, ...], ...]]:
+        all_conflicts: list[tuple[str, ...]] = []
+        for round_index in range(self.config.max_demotion_rounds):
+            policy = self._combined_policy(probes)
+            avoided = sorted(policy.altered_features())
+            if not avoided:
+                return True, tuple(all_conflicts)
+            outcome = run_replicas(backend, workload, policy, self.config.replicas)
+            if outcome.all_succeeded:
+                say(f"final combined run ok ({len(avoided)} features avoided)")
+                return True, tuple(all_conflicts)
+            say(f"final combined run failed (round {round_index + 1}); bisecting")
+            if not self.config.bisect_conflicts:
+                return False, tuple(all_conflicts)
+            conflict = self._minimize_conflict(backend, workload, probes, avoided)
+            if not conflict:
+                return False, tuple(all_conflicts)
+            all_conflicts.append(conflict)
+            for feature in conflict:
+                probe = probes[feature]
+                probe.can_stub = False
+                probe.can_fake = False
+                probe.notes.append(
+                    "demoted to required: feature interacts badly with the "
+                    "combined stub/fake set (found by automated bisection)"
+                )
+        return False, tuple(all_conflicts)
+
+    def _minimize_conflict(
+        self,
+        backend: ExecutionBackend,
+        workload: Workload,
+        probes: dict[str, _FeatureProbe],
+        avoided: Sequence[str],
+    ) -> tuple[str, ...]:
+        """ddmin-style minimization of a failing avoided-feature set.
+
+        Returns a (small) subset of *avoided* whose combined application
+        still fails the workload; empty when the failure cannot be
+        reproduced on any subset (flaky run).
+        """
+
+        def fails(subset: Sequence[str]) -> bool:
+            if not subset:
+                return False
+            stubs = [f for f in subset if probes[f].can_stub]
+            fakes = [f for f in subset if probes[f].can_fake and not probes[f].can_stub]
+            policy = combined(stubs=stubs, fakes=fakes)
+            outcome = run_replicas(backend, workload, policy, 1)
+            return not outcome.all_succeeded
+
+        candidate = list(avoided)
+        if not fails(candidate):
+            return ()
+        granularity = 2
+        while len(candidate) >= 2:
+            chunk = max(1, len(candidate) // granularity)
+            reduced = False
+            for start in range(0, len(candidate), chunk):
+                complement = candidate[:start] + candidate[start + chunk:]
+                if complement and fails(complement):
+                    candidate = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+            if not reduced:
+                if granularity >= len(candidate):
+                    break
+                granularity = min(len(candidate), granularity * 2)
+        return tuple(candidate)
+
+
+def analyze(
+    backend: ExecutionBackend,
+    workload: Workload,
+    *,
+    config: AnalyzerConfig | None = None,
+    app: str = "",
+    app_version: str = "",
+) -> AnalysisResult:
+    """Convenience wrapper: run a full analysis with default config."""
+    return Analyzer(config).analyze(
+        backend, workload, app=app, app_version=app_version
+    )
+
+
+def estimated_runtime_s(
+    workload_runtime_s: float,
+    distinct_features: int,
+    replicas: int = 3,
+    parallel: int = 1,
+) -> float:
+    """The paper's run-time model: ``(2 + 2·t·s) · ceil(r/p)`` (Section 3.3).
+
+    ``2 +`` covers the discovery and confirmation runs; ``2·`` the stub
+    and fake probe per feature.
+    """
+    import math
+
+    serial = 2 * workload_runtime_s + 2 * workload_runtime_s * distinct_features
+    return serial * math.ceil(replicas / max(parallel, 1))

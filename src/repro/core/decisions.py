@@ -1,0 +1,99 @@
+"""The stub/fake decision lattice.
+
+For every OS feature Loupe traces, the analysis derives two independent
+bits: *can the feature be stubbed* (return ``-ENOSYS`` without running
+it) and *can it be faked* (return a success code without running it) —
+while the application still passes its workload reliably. From those
+bits the paper derives four reporting buckets (Figure 4):
+
+* ``REQUIRED``  — traced, neither stubbable nor fakeable: must implement.
+* ``STUB_ONLY`` — stubbing works, faking does not.
+* ``FAKE_ONLY`` — faking works, stubbing does not.
+* ``ANY``       — either technique works.
+
+Replica merging is **conservative**: a feature keeps a capability only
+if every replica agreed (Section 3.1: "the result of the analysis is
+conservatively updated to take all results into account").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class Verdict(enum.Enum):
+    """Reporting bucket of a traced feature."""
+
+    REQUIRED = "required"
+    STUB_ONLY = "stub-only"
+    FAKE_ONLY = "fake-only"
+    ANY = "any"
+
+    @property
+    def avoidable(self) -> bool:
+        """True when the feature does not need a real implementation."""
+        return self is not Verdict.REQUIRED
+
+
+@dataclasses.dataclass(frozen=True)
+class Decision:
+    """Outcome of the stub/fake probes for one feature.
+
+    ``can_stub``/``can_fake`` mean: across all replicas, the workload
+    passed with the feature stubbed/faked *and* no disqualifying metric
+    regression was observed (when metric guarding is enabled).
+    """
+
+    can_stub: bool
+    can_fake: bool
+
+    @property
+    def verdict(self) -> Verdict:
+        if self.can_stub and self.can_fake:
+            return Verdict.ANY
+        if self.can_stub:
+            return Verdict.STUB_ONLY
+        if self.can_fake:
+            return Verdict.FAKE_ONLY
+        return Verdict.REQUIRED
+
+    @property
+    def required(self) -> bool:
+        return not (self.can_stub or self.can_fake)
+
+    @property
+    def avoidable(self) -> bool:
+        return self.can_stub or self.can_fake
+
+    def merge(self, other: "Decision") -> "Decision":
+        """Conservative combination across replicas (logical AND)."""
+        return Decision(
+            can_stub=self.can_stub and other.can_stub,
+            can_fake=self.can_fake and other.can_fake,
+        )
+
+    @staticmethod
+    def optimistic() -> "Decision":
+        """Identity element for :meth:`merge` folds."""
+        return Decision(can_stub=True, can_fake=True)
+
+    @staticmethod
+    def required_decision() -> "Decision":
+        """Absorbing element for :meth:`merge` folds."""
+        return Decision(can_stub=False, can_fake=False)
+
+
+def merge_all(decisions: "list[Decision] | tuple[Decision, ...]") -> Decision:
+    """Fold replicas conservatively; empty input is an error.
+
+    An empty fold would silently claim "stubbable and fakeable", which
+    is exactly the optimistic mistake conservative merging exists to
+    prevent — so we refuse it.
+    """
+    if not decisions:
+        raise ValueError("cannot merge an empty set of decisions")
+    merged = Decision.optimistic()
+    for decision in decisions:
+        merged = merged.merge(decision)
+    return merged

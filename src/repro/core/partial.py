@@ -1,0 +1,102 @@
+"""Partial-implementation analysis of vectored syscalls (Section 5.4).
+
+When the analyzer runs at sub-feature granularity, its result contains
+``syscall:OPERATION`` reports. This module rolls those up into the view
+the paper presents: per vectored syscall, which operations the
+application actually uses, which of them are required, and what
+fraction of the syscall's full operation space that represents —
+the evidence that "several complex system calls do not require a full
+implementation".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.result import AnalysisResult, FeatureReport
+from repro.syscalls.subfeatures import VECTORED_SYSCALLS
+
+
+@dataclasses.dataclass(frozen=True)
+class PartialImplementationSummary:
+    """Usage of one vectored syscall by one application."""
+
+    syscall: str
+    total_operations: int                 # size of the full operation space
+    used: tuple[str, ...]                 # operations observed at runtime
+    required: tuple[str, ...]             # operations that must be implemented
+    stubbable: tuple[str, ...]
+    fakeable: tuple[str, ...]
+
+    @property
+    def used_fraction(self) -> float:
+        if self.total_operations == 0:
+            return 0.0
+        return len(self.used) / self.total_operations
+
+    @property
+    def required_fraction(self) -> float:
+        if self.total_operations == 0:
+            return 0.0
+        return len(self.required) / self.total_operations
+
+    @property
+    def fully_avoidable(self) -> bool:
+        """True when no operation needs a real implementation."""
+        return not self.required
+
+
+def _operation_reports(
+    result: AnalysisResult, syscall: str
+) -> list[FeatureReport]:
+    prefix = syscall + ":"
+    return [
+        report
+        for feature, report in result.features.items()
+        if feature.startswith(prefix)
+    ]
+
+
+def summarize(result: AnalysisResult) -> dict[str, PartialImplementationSummary]:
+    """Roll up all vectored syscalls present in *result*.
+
+    Only meaningful for results produced with
+    ``AnalyzerConfig(subfeature_level=True)``; a whole-syscall result
+    yields an empty mapping.
+    """
+    summaries: dict[str, PartialImplementationSummary] = {}
+    for syscall, vectored in VECTORED_SYSCALLS.items():
+        reports = _operation_reports(result, syscall)
+        if not reports:
+            continue
+        used = tuple(sorted(r.feature.partition(":")[2] for r in reports))
+        required = tuple(
+            sorted(
+                r.feature.partition(":")[2]
+                for r in reports
+                if r.decision.required
+            )
+        )
+        stubbable = tuple(
+            sorted(
+                r.feature.partition(":")[2]
+                for r in reports
+                if r.decision.can_stub
+            )
+        )
+        fakeable = tuple(
+            sorted(
+                r.feature.partition(":")[2]
+                for r in reports
+                if r.decision.can_fake
+            )
+        )
+        summaries[syscall] = PartialImplementationSummary(
+            syscall=syscall,
+            total_operations=len(vectored.operations),
+            used=used,
+            required=required,
+            stubbable=stubbable,
+            fakeable=fakeable,
+        )
+    return summaries

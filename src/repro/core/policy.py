@@ -1,0 +1,221 @@
+"""Interposition policies: what to do with each OS feature during a run.
+
+A policy maps features to one of three actions:
+
+* ``PASSTHROUGH`` — let the kernel execute the syscall normally.
+* ``STUB``        — do not execute; return ``-ENOSYS``.
+* ``FAKE``        — do not execute; return a syscall-specific success code.
+
+Features are addressed at three granularities, mirroring the paper:
+
+* whole syscalls (``"futex"``),
+* sub-features of vectored syscalls (``"fcntl:F_SETFD"``, Section 5.4),
+* pseudo-file path prefixes (``"/proc"``, ``"/dev/random"``, Section 3.3).
+
+Sub-feature actions take precedence over their parent syscall's action,
+so a policy can pass ``fcntl`` through while stubbing only ``F_SETFD``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections.abc import Iterable, Mapping
+
+from repro.errors import PolicyError
+from repro.syscalls import exists, parse_qualified
+
+
+class Action(enum.Enum):
+    """What the interposition layer does when the feature is invoked."""
+
+    PASSTHROUGH = "passthrough"
+    STUB = "stub"
+    FAKE = "fake"
+
+
+class FakeStrategy(enum.Enum):
+    """How to forge a success return value for a faked syscall.
+
+    The paper fakes with "a success code (typically system-call
+    specific)". Returning 0 is right for most calls, but e.g. a faked
+    ``write`` must claim it wrote the requested byte count or callers
+    will loop forever, and a faked ``brk`` must echo the requested
+    break address or the libc will conclude it failed.
+    """
+
+    ZERO = "zero"              # return 0
+    FIRST_ARG = "first-arg"    # echo argument 0 (brk)
+    LENGTH_ARG3 = "arg3"       # echo argument 2, the usual length slot (write, send)
+    FAKE_FD = "fake-fd"        # return a plausibly-valid descriptor number
+    FAKE_PID = "fake-pid"      # return a plausibly-valid pid/tid
+
+
+#: Per-syscall fake strategies; anything absent uses ``ZERO``.
+FAKE_STRATEGIES: dict[str, FakeStrategy] = {
+    "brk": FakeStrategy.FIRST_ARG,
+    "write": FakeStrategy.LENGTH_ARG3,
+    "pwrite64": FakeStrategy.LENGTH_ARG3,
+    "send": FakeStrategy.LENGTH_ARG3,
+    "sendto": FakeStrategy.LENGTH_ARG3,
+    "writev": FakeStrategy.LENGTH_ARG3,
+    "read": FakeStrategy.ZERO,
+    "socket": FakeStrategy.FAKE_FD,
+    "accept": FakeStrategy.FAKE_FD,
+    "accept4": FakeStrategy.FAKE_FD,
+    "openat": FakeStrategy.FAKE_FD,
+    "open": FakeStrategy.FAKE_FD,
+    "epoll_create": FakeStrategy.FAKE_FD,
+    "epoll_create1": FakeStrategy.FAKE_FD,
+    "eventfd2": FakeStrategy.FAKE_FD,
+    "timerfd_create": FakeStrategy.FAKE_FD,
+    "dup": FakeStrategy.FAKE_FD,
+    "clone": FakeStrategy.FAKE_PID,
+    "fork": FakeStrategy.FAKE_PID,
+    "vfork": FakeStrategy.FAKE_PID,
+    "getpid": FakeStrategy.FAKE_PID,
+    "gettid": FakeStrategy.FAKE_PID,
+    "set_tid_address": FakeStrategy.FAKE_PID,
+}
+
+
+def fake_strategy(syscall: str) -> FakeStrategy:
+    """The forged-success strategy for *syscall*."""
+    return FAKE_STRATEGIES.get(syscall, FakeStrategy.ZERO)
+
+
+def _validate_feature(feature: str) -> None:
+    syscall, _ = parse_qualified(feature)
+    if not syscall.startswith("/") and not exists(syscall):
+        raise PolicyError(f"policy references unknown syscall {syscall!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class InterpositionPolicy:
+    """Immutable assignment of actions to features.
+
+    ``syscall_actions`` keys are syscall names; ``subfeature_actions``
+    keys are ``syscall:OPERATION`` strings; ``pseudofile_actions`` keys
+    are absolute path prefixes. Unlisted features pass through.
+    """
+
+    syscall_actions: Mapping[str, Action] = dataclasses.field(default_factory=dict)
+    subfeature_actions: Mapping[str, Action] = dataclasses.field(default_factory=dict)
+    pseudofile_actions: Mapping[str, Action] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for feature in self.syscall_actions:
+            if ":" in feature:
+                raise PolicyError(
+                    f"sub-feature {feature!r} belongs in subfeature_actions"
+                )
+            _validate_feature(feature)
+        for feature in self.subfeature_actions:
+            if ":" not in feature:
+                raise PolicyError(f"{feature!r} is not a syscall:OPERATION key")
+            _validate_feature(feature)
+        for path in self.pseudofile_actions:
+            if not path.startswith("/"):
+                raise PolicyError(f"pseudo-file prefix {path!r} must be absolute")
+
+    # -- lookups ---------------------------------------------------------
+
+    def action_for(self, syscall: str, subfeature: str | None = None) -> Action:
+        """Action for one invocation; sub-feature entries take precedence."""
+        if subfeature is not None:
+            qualified = f"{syscall}:{subfeature}"
+            action = self.subfeature_actions.get(qualified)
+            if action is not None:
+                return action
+        return self.syscall_actions.get(syscall, Action.PASSTHROUGH)
+
+    def action_for_path(self, path: str) -> Action:
+        """Action for an open-family access to *path* (longest prefix wins)."""
+        best: tuple[int, Action] | None = None
+        for prefix, action in self.pseudofile_actions.items():
+            if path == prefix or path.startswith(prefix.rstrip("/") + "/"):
+                candidate = (len(prefix), action)
+                if best is None or candidate[0] > best[0]:
+                    best = candidate
+        return best[1] if best is not None else Action.PASSTHROUGH
+
+    def action_for_feature(self, feature: str) -> Action:
+        """Action for a qualified feature name of any granularity."""
+        if feature.startswith("/"):
+            return self.action_for_path(feature)
+        syscall, operation = parse_qualified(feature)
+        return self.action_for(syscall, operation)
+
+    # -- derivation ------------------------------------------------------
+
+    def with_feature(self, feature: str, action: Action) -> "InterpositionPolicy":
+        """A copy of this policy with one extra feature assignment."""
+        if feature.startswith("/"):
+            merged = dict(self.pseudofile_actions)
+            merged[feature] = action
+            return dataclasses.replace(self, pseudofile_actions=merged)
+        if ":" in feature:
+            merged = dict(self.subfeature_actions)
+            merged[feature] = action
+            return dataclasses.replace(self, subfeature_actions=merged)
+        merged = dict(self.syscall_actions)
+        merged[feature] = action
+        return dataclasses.replace(self, syscall_actions=merged)
+
+    def altered_features(self) -> frozenset[str]:
+        """Every feature this policy stubs or fakes."""
+        altered = set()
+        for mapping in (
+            self.syscall_actions,
+            self.subfeature_actions,
+            self.pseudofile_actions,
+        ):
+            altered.update(f for f, a in mapping.items() if a is not Action.PASSTHROUGH)
+        return frozenset(altered)
+
+    def describe(self) -> str:
+        """Human-readable one-line summary (used in logs and reports)."""
+        altered = sorted(self.altered_features())
+        if not altered:
+            return "passthrough"
+        parts = [
+            f"{feature}={self.action_for_feature(feature).value}"
+            for feature in altered
+        ]
+        return ", ".join(parts)
+
+
+def passthrough() -> InterpositionPolicy:
+    """The baseline policy: every feature runs for real."""
+    return InterpositionPolicy()
+
+
+def stubbing(feature: str) -> InterpositionPolicy:
+    """A policy that stubs exactly one feature."""
+    return passthrough().with_feature(feature, Action.STUB)
+
+
+def faking(feature: str) -> InterpositionPolicy:
+    """A policy that fakes exactly one feature."""
+    return passthrough().with_feature(feature, Action.FAKE)
+
+
+def combined(
+    stubs: Iterable[str] = (), fakes: Iterable[str] = ()
+) -> InterpositionPolicy:
+    """A policy stubbing *stubs* and faking *fakes* simultaneously.
+
+    Used by the analyzer's final confirmation run. A feature listed in
+    both collections is a contradiction and raises :class:`PolicyError`.
+    """
+    policy = passthrough()
+    stub_set = set(stubs)
+    fake_set = set(fakes)
+    overlap = stub_set & fake_set
+    if overlap:
+        raise PolicyError(f"features both stubbed and faked: {sorted(overlap)}")
+    for feature in sorted(stub_set):
+        policy = policy.with_feature(feature, Action.STUB)
+    for feature in sorted(fake_set):
+        policy = policy.with_feature(feature, Action.FAKE)
+    return policy

@@ -1,0 +1,94 @@
+"""Pseudo-file (special file) detection and classification.
+
+Part of the Linux API is exposed through files under ``/proc``, ``/dev``
+and ``/sys`` rather than syscalls. Loupe detects their usage "by pattern
+matching the arguments of certain system calls (e.g. open, openat)
+against paths" (Section 3.3). This module owns that pattern matching for
+both backends and classifies paths so reports can group them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Filesystem prefixes that expose kernel APIs rather than regular data.
+PSEUDO_PREFIXES: tuple[str, ...] = ("/proc", "/dev", "/sys")
+
+#: Syscalls whose path arguments are inspected (the "open family" plus
+#: the stat/access family, which also reveals pseudo-file reliance).
+OPEN_FAMILY: frozenset[str] = frozenset(
+    "open openat openat2 creat stat lstat access faccessat faccessat2 "
+    "statx readlink readlinkat".split()
+)
+
+#: Well-known pseudo-files the corpus applications use, with the API
+#: they stand in for (used in reports and the corpus models).
+KNOWN_PSEUDO_FILES: dict[str, str] = {
+    "/dev/null": "bit bucket",
+    "/dev/zero": "zero pages",
+    "/dev/random": "blocking entropy",
+    "/dev/urandom": "entropy",
+    "/dev/tty": "controlling terminal",
+    "/dev/shm": "POSIX shared memory",
+    "/proc/self/exe": "own binary path",
+    "/proc/self/status": "process status",
+    "/proc/self/maps": "address-space map",
+    "/proc/self/fd": "descriptor table",
+    "/proc/cpuinfo": "CPU enumeration",
+    "/proc/meminfo": "memory statistics",
+    "/proc/stat": "kernel statistics",
+    "/proc/sys/vm/overcommit_memory": "overcommit policy",
+    "/proc/sys/net/core/somaxconn": "listen backlog limit",
+    "/proc/sys/kernel/pid_max": "pid ceiling",
+    "/proc/mounts": "mount table",
+    "/sys/devices/system/cpu/online": "online CPUs",
+    "/sys/kernel/mm/transparent_hugepage/enabled": "THP switch",
+}
+
+
+def is_pseudo_path(path: str) -> bool:
+    """True when *path* lives in a kernel-API filesystem."""
+    return any(
+        path == prefix or path.startswith(prefix + "/")
+        for prefix in PSEUDO_PREFIXES
+    )
+
+
+def classify(path: str) -> str:
+    """The pseudo-filesystem a path belongs to ('' for regular paths)."""
+    for prefix in PSEUDO_PREFIXES:
+        if path == prefix or path.startswith(prefix + "/"):
+            return prefix
+    return ""
+
+
+@dataclasses.dataclass(frozen=True)
+class PseudoFileAccess:
+    """One observed access to a special file."""
+
+    path: str
+    syscall: str
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if not is_pseudo_path(self.path):
+            raise ValueError(f"{self.path!r} is not a pseudo-file path")
+
+
+def extract_accesses(
+    path_arguments: "list[tuple[str, str]]",
+) -> list[PseudoFileAccess]:
+    """Filter raw (syscall, path) observations down to pseudo-file accesses.
+
+    *path_arguments* comes from a backend: every decoded path argument
+    of an open-family syscall, in invocation order.
+    """
+    counts: dict[tuple[str, str], int] = {}
+    for syscall, path in path_arguments:
+        if syscall in OPEN_FAMILY and is_pseudo_path(path):
+            key = (path, syscall)
+            counts[key] = counts.get(key, 0) + 1
+    return [
+        PseudoFileAccess(path=path, syscall=syscall, count=count)
+        for (path, syscall), count in sorted(counts.items())
+    ]

@@ -1,0 +1,85 @@
+"""Replica orchestration: repeated runs and conservative aggregation.
+
+Loupe replicates every analysis (3x by default) "to maximize the
+reliability and reproducibility of the results" (Section 3.1). This
+module runs the replicas and condenses them into a
+:class:`ProbeOutcome`: success only if *all* replicas succeeded, plus
+the metric/resource samples the impact analysis needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+
+from repro.core.policy import InterpositionPolicy
+from repro.core.runner import ExecutionBackend, RunResult
+from repro.core.workload import Workload
+
+
+@dataclasses.dataclass(frozen=True)
+class ProbeOutcome:
+    """Condensed view of N replicated runs under one policy."""
+
+    results: tuple[RunResult, ...]
+    all_succeeded: bool
+    metric_samples: tuple[float, ...]
+    fd_samples: tuple[float, ...]
+    mem_samples: tuple[float, ...]
+
+    @property
+    def replica_count(self) -> int:
+        return len(self.results)
+
+    def union_traced(self) -> Counter:
+        """Invocation counts united across replicas (max per feature).
+
+        Taking the max rather than the sum keeps counts comparable with
+        a single run while still being conservative about which
+        features were seen (any replica seeing a feature counts).
+        """
+        union: Counter = Counter()
+        for result in self.results:
+            for feature, count in result.traced.items():
+                union[feature] = max(union[feature], count)
+        return union
+
+    def union_pseudofiles(self) -> Counter:
+        union: Counter = Counter()
+        for result in self.results:
+            for path, count in result.pseudo_files.items():
+                union[path] = max(union[path], count)
+        return union
+
+    def failure_reasons(self) -> tuple[str, ...]:
+        return tuple(
+            r.failure_reason for r in self.results
+            if not r.success and r.failure_reason
+        )
+
+
+def run_replicas(
+    backend: ExecutionBackend,
+    workload: Workload,
+    policy: InterpositionPolicy,
+    replicas: int,
+) -> ProbeOutcome:
+    """Run *replicas* independent executions and aggregate them.
+
+    Replica indices seed run-to-run variation in backends that model
+    noise; real backends simply rerun the application. The outcome's
+    ``all_succeeded`` implements the conservative merge: one failing
+    replica disqualifies the probed technique.
+    """
+    if replicas < 1:
+        raise ValueError("need at least one replica")
+    results = tuple(
+        backend.run(workload, policy, replica=index) for index in range(replicas)
+    )
+    return ProbeOutcome(
+        results=results,
+        all_succeeded=all(r.success for r in results),
+        metric_samples=tuple(r.metric for r in results if r.metric is not None),
+        fd_samples=tuple(float(r.resources.fd_peak) for r in results),
+        mem_samples=tuple(float(r.resources.mem_peak_kb) for r in results),
+    )

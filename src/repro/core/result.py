@@ -1,0 +1,260 @@
+"""Analysis result model: what a Loupe run of one application produces.
+
+An :class:`AnalysisResult` is the unit stored in the loupedb-style
+database, consumed by the support-plan engine and by every study in
+Section 5. It records, per traced feature, the stub/fake decision and
+the measured performance/resource impact of each technique.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Mapping
+from typing import Any
+
+from repro.core.decisions import Decision, Verdict
+from repro.core.metrics import ImpactSummary, MetricComparison, SampleStats
+from repro.core.workload import WorkloadKind
+from repro.syscalls import parse_qualified
+
+
+@dataclasses.dataclass(frozen=True)
+class FeatureReport:
+    """Everything the analysis learned about one OS feature."""
+
+    feature: str                     # "futex", "fcntl:F_SETFD", or "/dev/urandom"
+    traced_count: int
+    decision: Decision
+    stub_impact: ImpactSummary | None = None
+    fake_impact: ImpactSummary | None = None
+    notes: tuple[str, ...] = ()
+
+    @property
+    def verdict(self) -> Verdict:
+        return self.decision.verdict
+
+    @property
+    def syscall(self) -> str:
+        """The parent syscall name ('' for pseudo-files)."""
+        if self.feature.startswith("/"):
+            return ""
+        name, _ = parse_qualified(self.feature)
+        return name
+
+    @property
+    def is_pseudofile(self) -> bool:
+        return self.feature.startswith("/")
+
+    @property
+    def is_subfeature(self) -> bool:
+        return ":" in self.feature and not self.is_pseudofile
+
+    @property
+    def has_metric_impact(self) -> bool:
+        """True when stubbing or faking moved any guarded metric."""
+        for impact in (self.stub_impact, self.fake_impact):
+            if impact is not None and not impact.clean:
+                return True
+        return False
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineStats:
+    """Passthrough-run statistics the impacts are measured against."""
+
+    metric: SampleStats
+    fd: SampleStats
+    mem: SampleStats
+
+
+@dataclasses.dataclass(frozen=True)
+class AnalysisResult:
+    """Complete output of analyzing one (application, workload) pair."""
+
+    app: str
+    app_version: str
+    workload: str
+    workload_kind: WorkloadKind
+    backend: str
+    replicas: int
+    features: Mapping[str, FeatureReport]
+    baseline: BaselineStats
+    final_run_ok: bool = True
+    conflicts: tuple[tuple[str, ...], ...] = ()
+
+    # -- feature-set views (all at whole-syscall granularity) -------------
+
+    def _syscall_reports(self) -> Iterable[FeatureReport]:
+        return (
+            r for r in self.features.values()
+            if not r.is_pseudofile and not r.is_subfeature
+        )
+
+    def traced_syscalls(self) -> frozenset[str]:
+        """Every syscall invoked under the workload (naive dynamic view)."""
+        return frozenset(r.feature for r in self._syscall_reports())
+
+    def required_syscalls(self) -> frozenset[str]:
+        """Syscalls that must be implemented (neither stub nor fake works)."""
+        return frozenset(
+            r.feature for r in self._syscall_reports() if r.decision.required
+        )
+
+    def stubbable_syscalls(self) -> frozenset[str]:
+        return frozenset(
+            r.feature for r in self._syscall_reports() if r.decision.can_stub
+        )
+
+    def fakeable_syscalls(self) -> frozenset[str]:
+        return frozenset(
+            r.feature for r in self._syscall_reports() if r.decision.can_fake
+        )
+
+    def avoidable_syscalls(self) -> frozenset[str]:
+        """Syscalls needing no implementation (stubbable or fakeable)."""
+        return frozenset(
+            r.feature for r in self._syscall_reports() if r.decision.avoidable
+        )
+
+    def pseudo_files(self) -> frozenset[str]:
+        return frozenset(r.feature for r in self.features.values() if r.is_pseudofile)
+
+    def subfeature_reports(self) -> tuple[FeatureReport, ...]:
+        return tuple(r for r in self.features.values() if r.is_subfeature)
+
+    def impacted_features(self) -> tuple[FeatureReport, ...]:
+        """Features whose stub/fake moved a guarded metric (Table 2 rows)."""
+        return tuple(
+            r for r in self.features.values() if r.has_metric_impact
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "app": self.app,
+            "app_version": self.app_version,
+            "workload": self.workload,
+            "workload_kind": self.workload_kind.value,
+            "backend": self.backend,
+            "replicas": self.replicas,
+            "final_run_ok": self.final_run_ok,
+            "conflicts": [list(group) for group in self.conflicts],
+            "baseline": _baseline_to_dict(self.baseline),
+            "features": {
+                name: _report_to_dict(report)
+                for name, report in sorted(self.features.items())
+            },
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "AnalysisResult":
+        return AnalysisResult(
+            app=data["app"],
+            app_version=data["app_version"],
+            workload=data["workload"],
+            workload_kind=WorkloadKind(data["workload_kind"]),
+            backend=data["backend"],
+            replicas=int(data["replicas"]),
+            final_run_ok=bool(data["final_run_ok"]),
+            conflicts=tuple(tuple(group) for group in data.get("conflicts", [])),
+            baseline=_baseline_from_dict(data["baseline"]),
+            features={
+                name: _report_from_dict(payload)
+                for name, payload in data["features"].items()
+            },
+        )
+
+
+# -- serialization helpers ---------------------------------------------------
+
+
+def _stats_to_dict(stats: SampleStats) -> dict[str, float]:
+    return {"n": stats.n, "mean": stats.mean, "std": stats.std}
+
+
+def _stats_from_dict(data: Mapping[str, Any]) -> SampleStats:
+    return SampleStats(n=int(data["n"]), mean=float(data["mean"]), std=float(data["std"]))
+
+
+def _baseline_to_dict(baseline: BaselineStats) -> dict[str, Any]:
+    return {
+        "metric": _stats_to_dict(baseline.metric),
+        "fd": _stats_to_dict(baseline.fd),
+        "mem": _stats_to_dict(baseline.mem),
+    }
+
+
+def _baseline_from_dict(data: Mapping[str, Any]) -> BaselineStats:
+    return BaselineStats(
+        metric=_stats_from_dict(data["metric"]),
+        fd=_stats_from_dict(data["fd"]),
+        mem=_stats_from_dict(data["mem"]),
+    )
+
+
+def _comparison_to_dict(comparison: MetricComparison | None) -> dict[str, Any] | None:
+    if comparison is None:
+        return None
+    return {
+        "baseline": _stats_to_dict(comparison.baseline),
+        "variant": _stats_to_dict(comparison.variant),
+        "delta": comparison.delta,
+        "significant": comparison.significant,
+    }
+
+
+def _comparison_from_dict(data: Mapping[str, Any] | None) -> MetricComparison | None:
+    if data is None:
+        return None
+    return MetricComparison(
+        baseline=_stats_from_dict(data["baseline"]),
+        variant=_stats_from_dict(data["variant"]),
+        delta=float(data["delta"]),
+        significant=bool(data["significant"]),
+    )
+
+
+def _impact_to_dict(impact: ImpactSummary | None) -> dict[str, Any] | None:
+    if impact is None:
+        return None
+    return {
+        "perf": _comparison_to_dict(impact.perf),
+        "fd": _comparison_to_dict(impact.fd),
+        "mem": _comparison_to_dict(impact.mem),
+    }
+
+
+def _impact_from_dict(data: Mapping[str, Any] | None) -> ImpactSummary | None:
+    if data is None:
+        return None
+    return ImpactSummary(
+        perf=_comparison_from_dict(data.get("perf")),
+        fd=_comparison_from_dict(data.get("fd")),
+        mem=_comparison_from_dict(data.get("mem")),
+    )
+
+
+def _report_to_dict(report: FeatureReport) -> dict[str, Any]:
+    return {
+        "feature": report.feature,
+        "traced_count": report.traced_count,
+        "can_stub": report.decision.can_stub,
+        "can_fake": report.decision.can_fake,
+        "stub_impact": _impact_to_dict(report.stub_impact),
+        "fake_impact": _impact_to_dict(report.fake_impact),
+        "notes": list(report.notes),
+    }
+
+
+def _report_from_dict(data: Mapping[str, Any]) -> FeatureReport:
+    return FeatureReport(
+        feature=data["feature"],
+        traced_count=int(data["traced_count"]),
+        decision=Decision(
+            can_stub=bool(data["can_stub"]), can_fake=bool(data["can_fake"])
+        ),
+        stub_impact=_impact_from_dict(data.get("stub_impact")),
+        fake_impact=_impact_from_dict(data.get("fake_impact")),
+        notes=tuple(data.get("notes", ())),
+    )

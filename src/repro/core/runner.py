@@ -1,0 +1,99 @@
+"""The execution-backend protocol: the only door into an application.
+
+The analyzer never inspects an application directly. It submits a
+``(workload, policy)`` pair to a backend and gets back a
+:class:`RunResult`: did the test script pass, which features were
+invoked, what did performance and resource usage look like. Both the
+real ptrace backend (:mod:`repro.ptracer.backend`) and the simulation
+backend (:mod:`repro.appsim.backend`) implement this protocol, which is
+what keeps the analysis honest on simulated applications — it can only
+learn what a real Loupe could observe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Protocol, runtime_checkable
+
+from repro.core.policy import InterpositionPolicy
+from repro.core.workload import Workload
+
+
+@dataclasses.dataclass(frozen=True)
+class ResourceUsage:
+    """Peak resource usage sampled during a run (via /proc in the paper)."""
+
+    fd_peak: int = 0
+    mem_peak_kb: int = 0
+
+    def scaled_delta(self, baseline: "ResourceUsage") -> tuple[float, float]:
+        """Relative (fd, mem) change vs *baseline*; 0.0 when baseline is 0."""
+        fd_delta = _relative(self.fd_peak, baseline.fd_peak)
+        mem_delta = _relative(self.mem_peak_kb, baseline.mem_peak_kb)
+        return fd_delta, mem_delta
+
+
+def _relative(value: float, baseline: float) -> float:
+    if baseline == 0:
+        return 0.0
+    return (value - baseline) / baseline
+
+
+@dataclasses.dataclass(frozen=True)
+class RunResult:
+    """Everything one run reveals about the application.
+
+    ``traced`` maps qualified feature names to invocation counts. Plain
+    syscall names always appear; when sub-feature tracking is on, the
+    vectored syscalls additionally contribute ``syscall:OP`` entries
+    (both granularities coexist so reports can aggregate either way).
+    ``pseudo_files`` maps accessed special-file paths to access counts.
+    """
+
+    success: bool
+    traced: Counter
+    pseudo_files: Counter = dataclasses.field(default_factory=Counter)
+    metric: float | None = None
+    resources: ResourceUsage = ResourceUsage()
+    exit_code: int = 0
+    failure_reason: str | None = None
+    duration_s: float = 0.0
+
+    def syscalls(self) -> frozenset[str]:
+        """Plain syscall names invoked during the run."""
+        return frozenset(name for name in self.traced if ":" not in name and not name.startswith("/"))
+
+    def subfeatures(self) -> frozenset[str]:
+        """Qualified ``syscall:OP`` entries invoked during the run."""
+        return frozenset(name for name in self.traced if ":" in name)
+
+    def features(self, *, subfeature_level: bool = False) -> frozenset[str]:
+        """The probe-able feature set of this run.
+
+        At sub-feature level, vectored syscalls are replaced by their
+        observed operations (a partial-implementation study); otherwise
+        only whole syscalls are reported.
+        """
+        if not subfeature_level:
+            return self.syscalls() | frozenset(self.pseudo_files)
+        vectored_parents = {name.partition(":")[0] for name in self.subfeatures()}
+        plain = self.syscalls() - vectored_parents
+        return plain | self.subfeatures() | frozenset(self.pseudo_files)
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Runs one application workload under an interposition policy."""
+
+    name: str
+
+    def run(
+        self,
+        workload: Workload,
+        policy: InterpositionPolicy,
+        *,
+        replica: int = 0,
+    ) -> RunResult:
+        """Execute the workload; *replica* seeds run-to-run variation."""
+        ...

@@ -1,0 +1,157 @@
+"""Cross-application knowledge transfer (paper Section 6, future work).
+
+The paper closes with: "Future research avenues include exploring
+speeding up the analysis by transferring knowledge across
+applications". This module implements that idea on top of the shared
+results database: prior analyses vote on each syscall's likely
+decision, and the analyzer can use confident priors to shortcut
+probing — run a single confirmation replica instead of the full
+replicated stub and fake probes, falling back to the complete probe
+whenever the confirmation disagrees with the prediction.
+
+The shortcut is *sound*: a prior is only ever used to reduce
+replication of runs that still execute, never to skip observation
+entirely, and any disagreement triggers the full conservative probe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from collections.abc import Iterable
+
+from repro.core.result import AnalysisResult
+
+
+@dataclasses.dataclass(frozen=True)
+class FeaturePrior:
+    """Accumulated stub/fake experience for one feature."""
+
+    feature: str
+    observations: int
+    stub_successes: int
+    fake_successes: int
+
+    @property
+    def stub_rate(self) -> float:
+        if self.observations == 0:
+            return 0.0
+        return self.stub_successes / self.observations
+
+    @property
+    def fake_rate(self) -> float:
+        if self.observations == 0:
+            return 0.0
+        return self.fake_successes / self.observations
+
+
+@dataclasses.dataclass(frozen=True)
+class Prediction:
+    """A confident guess about one feature's decision."""
+
+    can_stub: bool
+    can_fake: bool
+
+
+class PriorKnowledge:
+    """Per-feature decision statistics distilled from past analyses."""
+
+    def __init__(
+        self,
+        priors: dict[str, FeaturePrior],
+        *,
+        min_observations: int = 5,
+        confidence: float = 0.97,
+    ) -> None:
+        if not 0.5 < confidence <= 1.0:
+            raise ValueError("confidence must be in (0.5, 1.0]")
+        if min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+        self._priors = priors
+        self.min_observations = min_observations
+        self.confidence = confidence
+
+    # -- construction -------------------------------------------------------
+
+    @staticmethod
+    def from_results(
+        results: Iterable[AnalysisResult],
+        *,
+        min_observations: int = 5,
+        confidence: float = 0.97,
+    ) -> "PriorKnowledge":
+        stub_counts: dict[str, int] = defaultdict(int)
+        fake_counts: dict[str, int] = defaultdict(int)
+        totals: dict[str, int] = defaultdict(int)
+        for result in results:
+            for feature, report in result.features.items():
+                totals[feature] += 1
+                if report.decision.can_stub:
+                    stub_counts[feature] += 1
+                if report.decision.can_fake:
+                    fake_counts[feature] += 1
+        priors = {
+            feature: FeaturePrior(
+                feature=feature,
+                observations=count,
+                stub_successes=stub_counts[feature],
+                fake_successes=fake_counts[feature],
+            )
+            for feature, count in totals.items()
+        }
+        return PriorKnowledge(
+            priors, min_observations=min_observations, confidence=confidence
+        )
+
+    # -- queries --------------------------------------------------------------
+
+    def prior(self, feature: str) -> FeaturePrior | None:
+        return self._priors.get(feature)
+
+    def __len__(self) -> int:
+        return len(self._priors)
+
+    def predict(self, feature: str) -> Prediction | None:
+        """A confident prediction, or None when experience is thin.
+
+        A capability is predicted only when it held (or failed) in at
+        least ``confidence`` of ``min_observations``+ prior analyses.
+        Mixed-history features yield None — they must be fully probed.
+        """
+        prior = self._priors.get(feature)
+        if prior is None or prior.observations < self.min_observations:
+            return None
+        stub: bool | None = None
+        if prior.stub_rate >= self.confidence:
+            stub = True
+        elif prior.stub_rate <= 1.0 - self.confidence:
+            stub = False
+        fake: bool | None = None
+        if prior.fake_rate >= self.confidence:
+            fake = True
+        elif prior.fake_rate <= 1.0 - self.confidence:
+            fake = False
+        if stub is None or fake is None:
+            return None
+        return Prediction(can_stub=stub, can_fake=fake)
+
+    def confident_features(self) -> frozenset[str]:
+        return frozenset(
+            feature for feature in self._priors if self.predict(feature)
+        )
+
+
+@dataclasses.dataclass
+class TransferStats:
+    """Bookkeeping of how much work priors saved in one analysis."""
+
+    features_total: int = 0
+    features_fast_pathed: int = 0
+    fallbacks: int = 0            # confirmations that contradicted the prior
+    runs_saved: int = 0
+
+    @property
+    def fast_path_rate(self) -> float:
+        if self.features_total == 0:
+            return 0.0
+        return self.features_fast_pathed / self.features_total

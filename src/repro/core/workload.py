@@ -1,0 +1,138 @@
+"""Workload descriptions and the test-script success contract.
+
+The paper's central premise (Section 3.2): *users describe the workload
+they want to support*; Loupe then reports the precise feature set needed
+to run that workload reliably. Three workload classes appear throughout
+the evaluation, each a different point on the guarantee spectrum:
+
+* **health check** — "can the server answer one request?" (weakest)
+* **benchmark** — standard load (wrk, redis-benchmark); also yields the
+  performance metric guarded in Section 5.3
+* **test suite** — the application's own suite (strongest)
+
+A workload's *success* is decided exclusively by its test script's exit
+status — crashes, hangs and failed checks all count as failure. The
+script optionally emits a scalar performance number on stdout.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections.abc import Mapping, Sequence
+
+from repro.errors import WorkloadError
+
+
+class WorkloadKind(enum.Enum):
+    """Guarantee level of a workload (Section 3.2)."""
+
+    HEALTH_CHECK = "health-check"
+    BENCHMARK = "benchmark"
+    TEST_SUITE = "test-suite"
+
+
+@dataclasses.dataclass(frozen=True)
+class Workload:
+    """Base workload description shared by both execution backends."""
+
+    name: str
+    kind: WorkloadKind
+    metric_name: str | None = None     # e.g. "requests/s", "SET requests/s"
+    timeout_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("workload needs a non-empty name")
+        if self.timeout_s <= 0:
+            raise WorkloadError("workload timeout must be positive")
+
+    @property
+    def measures_performance(self) -> bool:
+        return self.metric_name is not None
+
+
+@dataclasses.dataclass(frozen=True)
+class SimWorkload(Workload):
+    """Workload for the simulation backend.
+
+    ``features_exercised`` names the application features this workload
+    actually drives (e.g. a redis-benchmark run exercises the key-value
+    core but not persistence). A run succeeds when every exercised
+    feature remains functional — mirroring how real test scripts only
+    observe the behavior they exercise, which is precisely why faking a
+    feature *outside* this set goes unnoticed (Section 5.3's pipe2
+    example).
+    """
+
+    features_exercised: frozenset[str] = frozenset({"core"})
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.features_exercised:
+            raise WorkloadError("a SimWorkload must exercise at least one feature")
+
+
+@dataclasses.dataclass(frozen=True)
+class CommandWorkload(Workload):
+    """Workload for the real ptrace backend.
+
+    ``argv`` launches the application under trace. ``test_argv``, when
+    given, is executed after the application run to decide success (a
+    server health check, for instance); otherwise the application's own
+    exit status decides, which is the "test script practically included
+    in the application" case the paper describes for test suites.
+
+    ``binaries`` is the whitelist (Section 3.3): when the workload is a
+    wrapper (make test, a shell script), only syscalls issued by listed
+    binary paths are attributed to the application.
+    """
+
+    argv: Sequence[str] = ()
+    test_argv: Sequence[str] | None = None
+    env: Mapping[str, str] | None = None
+    binaries: frozenset[str] = frozenset()
+    expect_exit_code: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.argv:
+            raise WorkloadError("a CommandWorkload needs an argv to execute")
+
+
+def health_check(name: str, **kwargs: object) -> SimWorkload:
+    """A minimal liveness workload exercising only the core feature."""
+    return SimWorkload(name=name, kind=WorkloadKind.HEALTH_CHECK, **kwargs)  # type: ignore[arg-type]
+
+
+def benchmark(
+    name: str,
+    metric_name: str,
+    features: Sequence[str] = ("core",),
+    **kwargs: object,
+) -> SimWorkload:
+    """A standard benchmark workload with a guarded performance metric."""
+    return SimWorkload(
+        name=name,
+        kind=WorkloadKind.BENCHMARK,
+        metric_name=metric_name,
+        features_exercised=frozenset(features),
+        **kwargs,  # type: ignore[arg-type]
+    )
+
+
+def test_suite(
+    name: str, features: Sequence[str] = ("core",), **kwargs: object
+) -> SimWorkload:
+    """A full test-suite workload exercising a broad feature set."""
+    return SimWorkload(
+        name=name,
+        kind=WorkloadKind.TEST_SUITE,
+        features_exercised=frozenset(features),
+        **kwargs,  # type: ignore[arg-type]
+    )
+
+
+# Keep pytest from collecting the constructor as a test when imported
+# into test modules.
+test_suite.__test__ = False  # type: ignore[attr-defined]

@@ -1,0 +1,6 @@
+"""Results database: the paper's shared loupedb, reproduced locally."""
+
+from repro.db.schema import SCHEMA_VERSION, RecordKey, validate_document
+from repro.db.store import Database
+
+__all__ = ["Database", "RecordKey", "SCHEMA_VERSION", "validate_document"]

@@ -1,0 +1,66 @@
+"""Record schema and validation for the results database.
+
+Mirrors the role of the shared loupedb (paper Section 3.3): results are
+final for a fixed build of the software, workload, and kernel, so they
+are stored with enough metadata to be looked up instead of re-measured.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.core.result import AnalysisResult
+from repro.errors import DatabaseError
+
+#: Bumped whenever the stored JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+_REQUIRED_TOP_LEVEL = ("schema", "records")
+
+
+@dataclasses.dataclass(frozen=True)
+class RecordKey:
+    """Primary key of one stored analysis."""
+
+    app: str
+    app_version: str
+    workload: str
+    backend: str
+
+    @staticmethod
+    def of(result: AnalysisResult) -> "RecordKey":
+        return RecordKey(
+            app=result.app,
+            app_version=result.app_version,
+            workload=result.workload,
+            backend=result.backend,
+        )
+
+    def as_string(self) -> str:
+        return "|".join(
+            (self.app, self.app_version, self.workload, self.backend)
+        )
+
+    @staticmethod
+    def from_string(raw: str) -> "RecordKey":
+        parts = raw.split("|")
+        if len(parts) != 4:
+            raise DatabaseError(f"malformed record key {raw!r}")
+        return RecordKey(*parts)
+
+
+def validate_document(document: Any) -> None:
+    """Raise :class:`DatabaseError` unless *document* looks like ours."""
+    if not isinstance(document, dict):
+        raise DatabaseError("database document must be a JSON object")
+    for field in _REQUIRED_TOP_LEVEL:
+        if field not in document:
+            raise DatabaseError(f"database document lacks {field!r}")
+    if document["schema"] != SCHEMA_VERSION:
+        raise DatabaseError(
+            f"unsupported schema version {document['schema']!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    if not isinstance(document["records"], dict):
+        raise DatabaseError("records must be an object keyed by record key")

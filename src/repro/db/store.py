@@ -1,0 +1,140 @@
+"""The results database (the paper's shared loupedb, locally).
+
+Analyses are expensive (the paper quotes 4 minutes to 1.5 days per
+application) but final for a fixed build + workload, so Loupe shares
+them through a database that "can be populated and looked up by any
+individual running Loupe" (Section 3.3). This is that store: JSON on
+disk, keyed by (app, version, workload, backend), with conservative
+merge semantics for combining databases from different sources.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.core.result import AnalysisResult
+from repro.db.schema import SCHEMA_VERSION, RecordKey, validate_document
+from repro.errors import DatabaseError
+
+
+class Database:
+    """A mapping of :class:`RecordKey` -> :class:`AnalysisResult`.
+
+    ``metadata`` mirrors the paper's submission metadata (point E in
+    Figure 1): free-form facts about where the measurements came from
+    (kernel version, hostname, Loupe version). It is persisted verbatim
+    and merged shallowly.
+    """
+
+    def __init__(self, metadata: "dict[str, str] | None" = None) -> None:
+        self._records: dict[RecordKey, AnalysisResult] = {}
+        self.metadata: dict[str, str] = dict(metadata or {})
+
+    # -- basic mapping behavior ---------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[AnalysisResult]:
+        return iter(self._records.values())
+
+    def __contains__(self, key: RecordKey) -> bool:
+        return key in self._records
+
+    # -- CRUD -----------------------------------------------------------------
+
+    def add(self, result: AnalysisResult, *, overwrite: bool = True) -> None:
+        key = RecordKey.of(result)
+        if not overwrite and key in self._records:
+            raise DatabaseError(f"record {key.as_string()!r} already present")
+        self._records[key] = result
+
+    def get(self, key: RecordKey) -> AnalysisResult:
+        found = self._records.get(key)
+        if found is None:
+            raise DatabaseError(f"no record for {key.as_string()!r}")
+        return found
+
+    def find(
+        self,
+        app: str,
+        workload: str | None = None,
+        *,
+        backend: str | None = None,
+    ) -> list[AnalysisResult]:
+        """All records for *app*, optionally narrowed by workload/backend."""
+        return [
+            result
+            for key, result in sorted(
+                self._records.items(), key=lambda kv: kv[0].as_string()
+            )
+            if key.app == app
+            and (workload is None or key.workload == workload)
+            and (backend is None or key.backend == backend)
+        ]
+
+    def apps(self) -> list[str]:
+        return sorted({key.app for key in self._records})
+
+    # -- merge -----------------------------------------------------------------
+
+    def merge(self, other: "Database") -> int:
+        """Absorb *other*; newer records win on key collision.
+
+        Returns the number of records added or replaced.
+        """
+        changed = 0
+        for key, result in other._records.items():
+            if self._records.get(key) is not result:
+                self._records[key] = result
+                changed += 1
+        self.metadata.update(other.metadata)
+        return changed
+
+    # -- persistence --------------------------------------------------------------
+
+    def to_document(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "metadata": dict(sorted(self.metadata.items())),
+            "records": {
+                key.as_string(): result.to_dict()
+                for key, result in sorted(
+                    self._records.items(), key=lambda kv: kv[0].as_string()
+                )
+            },
+        }
+
+    @staticmethod
+    def from_document(document: dict) -> "Database":
+        validate_document(document)
+        database = Database(metadata=document.get("metadata") or {})
+        for raw_key, payload in document["records"].items():
+            key = RecordKey.from_string(raw_key)
+            result = AnalysisResult.from_dict(payload)
+            if RecordKey.of(result) != key:
+                raise DatabaseError(
+                    f"record key {raw_key!r} disagrees with its payload"
+                )
+            database._records[key] = result
+        return database
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_document(), indent=1))
+
+    @staticmethod
+    def load(path: str | Path) -> "Database":
+        try:
+            document = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as error:
+            raise DatabaseError(f"corrupt database file {path}: {error}") from error
+        return Database.from_document(document)
+
+    @staticmethod
+    def collect(results: Iterable[AnalysisResult]) -> "Database":
+        database = Database()
+        for result in results:
+            database.add(result)
+        return database

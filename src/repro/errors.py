@@ -1,0 +1,74 @@
+"""Exception hierarchy for the Loupe reproduction.
+
+Every error raised by this package derives from :class:`LoupeError` so
+callers can catch the whole family with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class LoupeError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class UnknownSyscallError(LoupeError, KeyError):
+    """A syscall name or number is not present in the selected table."""
+
+    def __init__(self, key: object, arch: str = "x86_64") -> None:
+        super().__init__(f"unknown syscall {key!r} for architecture {arch}")
+        self.key = key
+        self.arch = arch
+
+
+class PolicyError(LoupeError, ValueError):
+    """An interposition policy is malformed or self-contradictory."""
+
+
+class WorkloadError(LoupeError):
+    """A workload description is invalid or its test script misbehaved."""
+
+
+class BackendError(LoupeError):
+    """An execution backend failed to run the target application."""
+
+
+class PtraceUnavailableError(BackendError):
+    """The host kernel refuses ptrace operations (e.g. seccomp'd sandbox)."""
+
+
+class TraceeError(BackendError):
+    """The traced process misbehaved in a way that invalidates the run."""
+
+
+class AnalysisError(LoupeError):
+    """The analyzer could not produce a coherent result."""
+
+
+class FinalRunMismatchError(AnalysisError):
+    """The combined final run contradicts the per-feature analysis.
+
+    Carries the minimal conflicting feature sets discovered by the
+    automated bisection (paper Section 3.1 notes this step "could be
+    automated in future works"; this reproduction automates it).
+    """
+
+    def __init__(self, conflicts: tuple[tuple[str, ...], ...]) -> None:
+        pretty = "; ".join(",".join(group) for group in conflicts) or "unknown"
+        super().__init__(f"final combined run failed; conflicting sets: {pretty}")
+        self.conflicts = conflicts
+
+
+class DatabaseError(LoupeError):
+    """The results database is corrupt or a record is invalid."""
+
+
+class PlanError(LoupeError):
+    """Support-plan generation failed (e.g. unsatisfiable target set)."""
+
+
+class StaticAnalysisError(LoupeError):
+    """A static analyzer could not process its input binary or source."""
+
+
+class ElfFormatError(StaticAnalysisError):
+    """The input file is not a valid ELF object."""

@@ -1,0 +1,54 @@
+"""Support-plan engine: OS feature support guidance (paper Section 4)."""
+
+from repro.plans.effort import (
+    EffortCurve,
+    EffortStudy,
+    loupe_curve,
+    naive_curve,
+    organic_curve,
+    run_effort_study,
+    synthesize_chronology,
+)
+from repro.plans.osdb import (
+    OS_NAMES,
+    all_states,
+    calibrated_state,
+    expected_initial_apps,
+    table1_states,
+    tiered_state,
+    unsupported_apps,
+)
+from repro.plans.planner import PlanStep, SupportPlan, generate_plan, render_plan
+from repro.plans.requirements import (
+    AppRequirements,
+    clear_cache,
+    requirements_for,
+    requirements_for_all,
+)
+from repro.plans.state import SupportState
+
+__all__ = [
+    "AppRequirements",
+    "EffortCurve",
+    "EffortStudy",
+    "OS_NAMES",
+    "PlanStep",
+    "SupportPlan",
+    "SupportState",
+    "all_states",
+    "calibrated_state",
+    "clear_cache",
+    "expected_initial_apps",
+    "generate_plan",
+    "loupe_curve",
+    "naive_curve",
+    "organic_curve",
+    "render_plan",
+    "requirements_for",
+    "requirements_for_all",
+    "run_effort_study",
+    "synthesize_chronology",
+    "table1_states",
+    "tiered_state",
+    "unsupported_apps",
+]

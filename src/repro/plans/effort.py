@@ -1,0 +1,157 @@
+"""Engineering-effort comparison (paper Section 4.2, Figure 2).
+
+Three ways to build OSv's compatibility layer for 62 applications:
+
+* **organic** — applications in the order OSv developers historically
+  added them (we synthesize a deterministic chronology, as the paper
+  reconstructs one from git folder-creation dates); developers stub and
+  fake maximally, so each app costs its *required* set.
+* **loupe** — the same required sets, but apps ordered by the greedy
+  support planner (cheapest-first).
+* **naive** — chronological order, but every *traced* syscall gets an
+  implementation (no stubbing/faking — what an strace-driven process
+  yields).
+
+The paper's headline: to support half the apps (31), Loupe needs 37
+implemented syscalls vs 92 organic vs 142 naive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from collections.abc import Mapping, Sequence
+
+from repro.appsim.apps import App
+from repro.plans.planner import generate_plan
+from repro.plans.requirements import AppRequirements, requirements_for_all
+from repro.plans.state import SupportState
+
+
+@dataclasses.dataclass(frozen=True)
+class EffortCurve:
+    """Cumulative (syscalls implemented, apps supported) trajectory."""
+
+    strategy: str
+    points: tuple[tuple[int, int], ...]   # (cumulative syscalls, apps)
+
+    def syscalls_for_apps(self, apps: int) -> int:
+        """Implemented-syscall count at the moment *apps* are supported."""
+        for syscalls, supported in self.points:
+            if supported >= apps:
+                return syscalls
+        return self.points[-1][0]
+
+    @property
+    def final_syscalls(self) -> int:
+        return self.points[-1][0]
+
+    @property
+    def final_apps(self) -> int:
+        return self.points[-1][1]
+
+
+def synthesize_chronology(
+    apps: Sequence[App], *, seed: int = 2014, mode: str = "creation"
+) -> list[App]:
+    """A deterministic stand-in for the OSv-apps git folder dates.
+
+    The paper orders apps by folder-creation date in the osv-apps
+    repository; absent that history we shuffle deterministically with a
+    bias toward older applications having been added earlier, which is
+    how the repository actually grew.
+
+    ``mode="last-commit"`` models the paper's robustness check ("we
+    repeated the study using the date of the last commit in each
+    application's folder; results were similar"): last-commit dates are
+    the creation dates plus independent maintenance jitter, which
+    perturbs but does not reshuffle the ordering wholesale.
+    """
+    if mode not in ("creation", "last-commit"):
+        raise ValueError(f"unknown chronology mode {mode!r}")
+    rng = random.Random(seed)
+    jittered = [(app.year + rng.uniform(0, 10), app.name, app) for app in apps]
+    if mode == "last-commit":
+        maintenance = random.Random(seed ^ 0x5EED)
+        jittered = [
+            (date + maintenance.uniform(0, 4), name, app)
+            for date, name, app in jittered
+        ]
+    return [entry[2] for entry in sorted(jittered, key=lambda e: (e[0], e[1]))]
+
+
+def _ordered_curve(
+    ordered: Sequence[AppRequirements],
+    *,
+    strategy: str,
+    use_traced: bool,
+) -> EffortCurve:
+    implemented: set[str] = set()
+    points = [(0, 0)]
+    for position, record in enumerate(ordered, start=1):
+        newly = (record.traced if use_traced else record.required) - implemented
+        implemented |= newly
+        points.append((len(implemented), position))
+    return EffortCurve(strategy=strategy, points=tuple(points))
+
+
+def organic_curve(
+    chronological: Sequence[AppRequirements],
+) -> EffortCurve:
+    """Historical order, stub/fake used maximally (required sets only)."""
+    return _ordered_curve(chronological, strategy="organic", use_traced=False)
+
+
+def naive_curve(chronological: Sequence[AppRequirements]) -> EffortCurve:
+    """Historical order, every traced syscall implemented (strace-style)."""
+    return _ordered_curve(chronological, strategy="naive", use_traced=True)
+
+
+def loupe_curve(
+    requirements: Mapping[str, AppRequirements], os_name: str = "osv-plan"
+) -> EffortCurve:
+    """Greedy planner order over the same apps, required sets only."""
+    plan = generate_plan(SupportState(os_name=os_name), requirements)
+    # The empty OS supports nothing initially, so the plan's cumulative
+    # curve is exactly the effort trajectory.
+    return EffortCurve(strategy="loupe", points=tuple(plan.cumulative_curve()))
+
+
+@dataclasses.dataclass(frozen=True)
+class EffortStudy:
+    """All three Figure 2 curves plus the headline comparison."""
+
+    loupe: EffortCurve
+    organic: EffortCurve
+    naive: EffortCurve
+    app_count: int
+
+    def at_half(self) -> dict[str, int]:
+        half = self.app_count // 2
+        return {
+            "apps": half,
+            "loupe": self.loupe.syscalls_for_apps(half),
+            "organic": self.organic.syscalls_for_apps(half),
+            "naive": self.naive.syscalls_for_apps(half),
+        }
+
+
+def run_effort_study(
+    apps: Sequence[App],
+    *,
+    workload: str = "bench",
+    seed: int = 2014,
+    chronology_mode: str = "creation",
+) -> EffortStudy:
+    """Reproduce Figure 2 over *apps* (the paper uses 62 OSv apps)."""
+    requirements = requirements_for_all(apps, workload)
+    chronological_apps = synthesize_chronology(
+        apps, seed=seed, mode=chronology_mode
+    )
+    chronological = [requirements[a.name] for a in chronological_apps]
+    return EffortStudy(
+        loupe=loupe_curve(requirements),
+        organic=organic_curve(chronological),
+        naive=naive_curve(chronological),
+        app_count=len(apps),
+    )

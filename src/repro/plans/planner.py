@@ -1,0 +1,177 @@
+"""Incremental support-plan generation (paper Section 4.1, Table 1).
+
+Given an OS's current support state and a set of target applications,
+emit the ordered steps — implement these syscalls, stub those, fake the
+others — that unlock applications as early as possible. Each step
+unlocks exactly one new application; the next app chosen is always the
+one with the fewest syscalls left to *implement* (stubs and fakes are
+considered cheap), with ties broken by fewer stubs+fakes and then
+alphabetically so plans are stable.
+
+This greedy minimal-marginal-cost rule is what produces the paper's
+signature plan shape: >80% of steps require implementing only 1-3
+syscalls, and step counts track OS maturity (Unikraft 3 steps vs Kerla
+11 for the same 15 apps).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.plans.requirements import AppRequirements
+from repro.plans.state import SupportState
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanStep:
+    """One step of an incremental support plan."""
+
+    index: int
+    app: str
+    implement: tuple[str, ...]
+    stub: tuple[str, ...]
+    fake: tuple[str, ...]
+
+    @property
+    def implementation_cost(self) -> int:
+        return len(self.implement)
+
+
+@dataclasses.dataclass(frozen=True)
+class SupportPlan:
+    """A full plan: initial coverage plus ordered steps."""
+
+    os_name: str
+    initially_supported: tuple[str, ...]
+    steps: tuple[PlanStep, ...]
+    unsatisfiable: tuple[str, ...] = ()
+
+    @property
+    def total_implemented(self) -> int:
+        return sum(step.implementation_cost for step in self.steps)
+
+    @property
+    def apps_supported(self) -> int:
+        return len(self.initially_supported) + len(self.steps)
+
+    def small_step_fraction(self, threshold: int = 3) -> float:
+        """Fraction of steps implementing at most *threshold* syscalls."""
+        if not self.steps:
+            return 1.0
+        small = sum(1 for s in self.steps if s.implementation_cost <= threshold)
+        return small / len(self.steps)
+
+    def cumulative_curve(self) -> list[tuple[int, int]]:
+        """(syscalls implemented, apps supported) after each step."""
+        curve = [(0, len(self.initially_supported))]
+        total = 0
+        for position, step in enumerate(self.steps, start=1):
+            total += step.implementation_cost
+            curve.append((total, len(self.initially_supported) + position))
+        return curve
+
+
+def _new_handles(
+    state: SupportState, record: AppRequirements
+) -> tuple[tuple[str, ...], tuple[str, ...], tuple[str, ...]]:
+    """What must newly be implemented/stubbed/faked to unlock *record*."""
+    implement = tuple(sorted(record.required - state.implemented))
+    stub = tuple(
+        sorted(
+            s for s in record.stubbable
+            if not state.handles(s) and s not in record.required
+        )
+    )
+    fake = tuple(
+        sorted(
+            s for s in record.fake_only
+            if not state.handles(s) and s not in record.required
+        )
+    )
+    return implement, stub, fake
+
+
+def generate_plan(
+    state: SupportState,
+    targets: Mapping[str, AppRequirements] | Iterable[AppRequirements],
+) -> SupportPlan:
+    """Generate the incremental support plan for *targets*.
+
+    The input state is not mutated; the returned plan starts from a
+    copy. Apps whose required syscalls are already covered form the
+    plan's step 0 ("initially supported").
+    """
+    if isinstance(targets, Mapping):
+        records: list[AppRequirements] = list(targets.values())
+    else:
+        records = list(targets)
+    working = state.copy()
+
+    initially = []
+    remaining = []
+    for record in sorted(records, key=lambda r: r.app):
+        if record.supported_by(frozenset(working.implemented)):
+            initially.append(record.app)
+        else:
+            remaining.append(record)
+
+    steps: list[PlanStep] = []
+    while remaining:
+        best = min(
+            remaining,
+            key=lambda r: (
+                len(r.required - working.implemented),
+                len(_new_handles(working, r)[1]) + len(_new_handles(working, r)[2]),
+                r.app,
+            ),
+        )
+        implement, stub, fake = _new_handles(working, best)
+        working.implement(implement)
+        working.stub(stub)
+        working.fake(fake)
+        steps.append(
+            PlanStep(
+                index=len(steps) + 1,
+                app=best.app,
+                implement=implement,
+                stub=stub,
+                fake=fake,
+            )
+        )
+        remaining.remove(best)
+
+    return SupportPlan(
+        os_name=state.os_name,
+        initially_supported=tuple(initially),
+        steps=tuple(steps),
+    )
+
+
+def render_plan(plan: SupportPlan, *, syscall_numbers: bool = True) -> str:
+    """Table 1-style text rendering of a plan."""
+    from repro.syscalls import number_of
+
+    def fmt(names: Sequence[str]) -> str:
+        if not names:
+            return "-"
+        if syscall_numbers:
+            return ", ".join(str(number_of(n)) for n in names)
+        return ", ".join(names)
+
+    lines = [
+        f"{plan.os_name}: step-by-step support plan",
+        f"{'Step':<5} {'Implement':<28} {'Stub':<28} {'Fake':<20} Support for...",
+        f"{'0':<5} {'-':<28} {'-':<28} {'-':<20} ({len(plan.initially_supported)} apps)",
+    ]
+    for step in plan.steps:
+        lines.append(
+            f"{step.index:<5} {fmt(step.implement):<28} "
+            f"{fmt(step.stub):<28} {fmt(step.fake):<20} + {step.app}"
+        )
+    lines.append(
+        f"total: {plan.total_implemented} syscalls implemented over "
+        f"{len(plan.steps)} steps; "
+        f"{plan.small_step_fraction():.0%} of steps implement <= 3 syscalls"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""OS support state: which syscalls an OS under development handles.
+
+The paper's workflow: "OS developers can specify the system calls
+supported by their OS in CSV form" (Section 3.1). We read and write
+that format — one syscall per line, optionally with a status column
+(``implemented`` / ``stubbed`` / ``faked``) — and track the three sets
+as the plan executes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.errors import PlanError
+from repro.syscalls import exists
+
+_VALID_STATUSES = ("implemented", "stubbed", "faked")
+
+
+@dataclasses.dataclass
+class SupportState:
+    """Mutable record of an OS's compatibility-layer coverage."""
+
+    os_name: str
+    implemented: set[str] = dataclasses.field(default_factory=set)
+    stubbed: set[str] = dataclasses.field(default_factory=set)
+    faked: set[str] = dataclasses.field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        for collection in (self.implemented, self.stubbed, self.faked):
+            for name in collection:
+                if not exists(name):
+                    raise PlanError(
+                        f"{self.os_name}: unknown syscall {name!r} in support state"
+                    )
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def implemented_frozen(self) -> frozenset[str]:
+        return frozenset(self.implemented)
+
+    def handles(self, syscall: str) -> bool:
+        """True when invoking *syscall* does something deliberate."""
+        return (
+            syscall in self.implemented
+            or syscall in self.stubbed
+            or syscall in self.faked
+        )
+
+    def counts(self) -> tuple[int, int, int]:
+        return len(self.implemented), len(self.stubbed), len(self.faked)
+
+    def copy(self) -> "SupportState":
+        return SupportState(
+            os_name=self.os_name,
+            implemented=set(self.implemented),
+            stubbed=set(self.stubbed),
+            faked=set(self.faked),
+        )
+
+    # -- mutation ----------------------------------------------------------
+
+    def implement(self, syscalls: Iterable[str]) -> None:
+        for name in syscalls:
+            self.implemented.add(name)
+            self.stubbed.discard(name)
+            self.faked.discard(name)
+
+    def stub(self, syscalls: Iterable[str]) -> None:
+        for name in syscalls:
+            if name not in self.implemented:
+                self.stubbed.add(name)
+
+    def fake(self, syscalls: Iterable[str]) -> None:
+        for name in syscalls:
+            if name not in self.implemented:
+                self.faked.add(name)
+                self.stubbed.discard(name)
+
+    # -- CSV I/O -----------------------------------------------------------
+
+    def to_csv(self) -> str:
+        """Serialize as ``syscall,status`` lines (sorted, stable)."""
+        buffer = io.StringIO()
+        for name in sorted(self.implemented):
+            buffer.write(f"{name},implemented\n")
+        for name in sorted(self.stubbed):
+            buffer.write(f"{name},stubbed\n")
+        for name in sorted(self.faked):
+            buffer.write(f"{name},faked\n")
+        return buffer.getvalue()
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_csv())
+
+    @staticmethod
+    def from_csv(text: str, os_name: str = "unnamed-os") -> "SupportState":
+        """Parse the CSV form; a bare syscall name means 'implemented'."""
+        state = SupportState(os_name=os_name)
+        for line_number, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            name, _, status = line.partition(",")
+            name = name.strip()
+            status = status.strip() or "implemented"
+            if status not in _VALID_STATUSES:
+                raise PlanError(
+                    f"{os_name}: line {line_number}: unknown status {status!r}"
+                )
+            if not exists(name):
+                raise PlanError(
+                    f"{os_name}: line {line_number}: unknown syscall {name!r}"
+                )
+            if status == "implemented":
+                state.implemented.add(name)
+            elif status == "stubbed":
+                state.stubbed.add(name)
+            else:
+                state.faked.add(name)
+        return state
+
+    @staticmethod
+    def load(path: str | Path, os_name: str | None = None) -> "SupportState":
+        path = Path(path)
+        return SupportState.from_csv(
+            path.read_text(), os_name=os_name or path.stem
+        )

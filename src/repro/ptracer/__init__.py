@@ -1,0 +1,52 @@
+"""Real Linux tracing substrate: ptrace interposition, seccomp-BPF
+filter builder, and a minimal ELF reader."""
+
+from repro.ptracer.backend import PtraceBackend
+from repro.ptracer.ctypes_bindings import (
+    ptrace_works,
+    read_cstring,
+    require_ptrace,
+)
+from repro.ptracer.elf import ElfFile, ElfSection, is_elf, parse
+from repro.ptracer.frameworks import (
+    ProjectSuite,
+    discover_debhelper_suite,
+    discover_make_suite,
+    suite_workload,
+    workload_for_project,
+)
+from repro.ptracer.seccomp_bpf import (
+    SECCOMP_RET_ALLOW,
+    SECCOMP_RET_KILL,
+    SECCOMP_RET_TRACE,
+    BpfInstruction,
+    build_trace_filter,
+    pack_program,
+    simulate,
+)
+from repro.ptracer.tracer import SyscallTracer, TraceOutcome
+
+__all__ = [
+    "BpfInstruction",
+    "ElfFile",
+    "ElfSection",
+    "ProjectSuite",
+    "PtraceBackend",
+    "SECCOMP_RET_ALLOW",
+    "SECCOMP_RET_KILL",
+    "SECCOMP_RET_TRACE",
+    "SyscallTracer",
+    "TraceOutcome",
+    "build_trace_filter",
+    "discover_debhelper_suite",
+    "discover_make_suite",
+    "is_elf",
+    "pack_program",
+    "parse",
+    "ptrace_works",
+    "read_cstring",
+    "require_ptrace",
+    "simulate",
+    "suite_workload",
+    "workload_for_project",
+]

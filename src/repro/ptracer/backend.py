@@ -1,0 +1,113 @@
+"""Real execution backend: live Linux processes behind the protocol.
+
+Implements :class:`~repro.core.runner.ExecutionBackend` for
+:class:`~repro.core.workload.CommandWorkload`: the application runs
+under the ptrace interposition tracer, then the workload's test script
+(if any) decides success, exactly like the paper's architecture
+(Figure 1: B starts the app, C drives it and judges the run).
+
+The test script contract (Section 3.2): exit code 0 means success; a
+scalar on the last stdout line, when parseable, is the performance
+metric.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import subprocess
+
+from repro.core.policy import InterpositionPolicy
+from repro.core.runner import ResourceUsage, RunResult
+from repro.core.workload import CommandWorkload, Workload
+from repro.errors import BackendError
+from repro.ptracer.ctypes_bindings import require_ptrace
+from repro.ptracer.tracer import SyscallTracer
+
+
+def _parse_metric(stdout: str) -> float | None:
+    """Last stdout line, if it is a bare number, is the metric."""
+    for line in reversed(stdout.strip().splitlines()):
+        token = line.strip()
+        if not token:
+            continue
+        try:
+            return float(token)
+        except ValueError:
+            return None
+    return None
+
+
+@dataclasses.dataclass
+class PtraceBackend:
+    """Runs CommandWorkloads under real syscall interposition."""
+
+    subfeature_level: bool = True
+    track_pseudofiles: bool = True
+
+    def __post_init__(self) -> None:
+        self.name = "ptrace"
+        require_ptrace()
+
+    def run(
+        self,
+        workload: Workload,
+        policy: InterpositionPolicy,
+        *,
+        replica: int = 0,
+    ) -> RunResult:
+        if not isinstance(workload, CommandWorkload):
+            raise BackendError(
+                "the ptrace backend needs a CommandWorkload, got "
+                f"{type(workload).__name__}"
+            )
+        tracer = SyscallTracer(
+            policy,
+            binaries=workload.binaries,
+            subfeature_level=self.subfeature_level,
+            track_pseudofiles=self.track_pseudofiles,
+            timeout_s=workload.timeout_s,
+        )
+        env = dict(workload.env) if workload.env is not None else None
+        outcome = tracer.run(list(workload.argv), env)
+
+        success = (
+            not outcome.timed_out
+            and outcome.exit_code == workload.expect_exit_code
+        )
+        metric = None
+        failure_reason = None
+        if outcome.timed_out:
+            failure_reason = f"timed out after {workload.timeout_s}s"
+        elif not success:
+            failure_reason = (
+                f"exit code {outcome.exit_code} "
+                f"(expected {workload.expect_exit_code})"
+            )
+
+        if success and workload.test_argv is not None:
+            completed = subprocess.run(
+                list(workload.test_argv),
+                capture_output=True,
+                text=True,
+                timeout=workload.timeout_s,
+            )
+            if completed.returncode != 0:
+                success = False
+                failure_reason = (
+                    f"test script failed with code {completed.returncode}"
+                )
+            else:
+                metric = _parse_metric(completed.stdout)
+
+        return RunResult(
+            success=success,
+            traced=outcome.traced,
+            pseudo_files=outcome.pseudo_files,
+            metric=metric,
+            resources=ResourceUsage(
+                fd_peak=outcome.fd_peak, mem_peak_kb=outcome.mem_peak_kb
+            ),
+            exit_code=outcome.exit_code,
+            failure_reason=failure_reason,
+            duration_s=outcome.duration_s,
+        )

@@ -1,0 +1,173 @@
+"""Raw ptrace bindings for x86-64 Linux via ctypes.
+
+The paper implements its interposition hooks in ~500 LoC of C on top of
+seccomp and ptrace; this module is the Python equivalent of that layer.
+Everything here is a thin, faithful mapping of ``<sys/ptrace.h>`` — no
+policy, no interpretation.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import ctypes.util
+import os
+
+from repro.errors import PtraceUnavailableError
+
+# -- ptrace requests (x86-64 numbering) --------------------------------------
+
+PTRACE_TRACEME = 0
+PTRACE_PEEKDATA = 2
+PTRACE_POKEDATA = 5
+PTRACE_CONT = 7
+PTRACE_KILL = 8
+PTRACE_GETREGS = 12
+PTRACE_SETREGS = 13
+PTRACE_ATTACH = 16
+PTRACE_DETACH = 17
+PTRACE_SYSCALL = 24
+PTRACE_SETOPTIONS = 0x4200
+
+# -- ptrace event options ------------------------------------------------------
+
+PTRACE_O_TRACESYSGOOD = 0x00000001
+PTRACE_O_TRACEFORK = 0x00000002
+PTRACE_O_TRACEVFORK = 0x00000004
+PTRACE_O_TRACECLONE = 0x00000008
+PTRACE_O_TRACEEXEC = 0x00000010
+PTRACE_O_EXITKILL = 0x00100000
+PTRACE_O_TRACESECCOMP = 0x00000080
+
+PTRACE_EVENT_FORK = 1
+PTRACE_EVENT_VFORK = 2
+PTRACE_EVENT_CLONE = 3
+PTRACE_EVENT_EXEC = 4
+PTRACE_EVENT_SECCOMP = 7
+
+#: Written into ``orig_rax`` to make the kernel skip the current
+#: syscall; the subsequent exit stop then lets us forge ``rax``.
+SKIP_SYSCALL = ctypes.c_ulonglong(-1).value
+
+#: ``-ENOSYS`` as an unsigned 64-bit register value.
+ENOSYS = 38
+NEG_ENOSYS = ctypes.c_ulonglong(-ENOSYS).value
+
+
+class UserRegs(ctypes.Structure):
+    """``struct user_regs_struct`` for x86-64 (``<sys/user.h>``)."""
+
+    _fields_ = [
+        (name, ctypes.c_ulonglong)
+        for name in (
+            "r15", "r14", "r13", "r12", "rbp", "rbx", "r11", "r10",
+            "r9", "r8", "rax", "rcx", "rdx", "rsi", "rdi", "orig_rax",
+            "rip", "cs", "eflags", "rsp", "ss", "fs_base", "gs_base",
+            "ds", "es", "fs", "gs",
+        )
+    ]
+
+    #: Argument registers in syscall-ABI order.
+    ARG_REGISTERS = ("rdi", "rsi", "rdx", "r10", "r8", "r9")
+
+    def syscall_args(self) -> tuple[int, ...]:
+        return tuple(getattr(self, reg) for reg in self.ARG_REGISTERS)
+
+
+_libc = ctypes.CDLL(None, use_errno=True)
+_libc.ptrace.restype = ctypes.c_long
+_libc.ptrace.argtypes = (
+    ctypes.c_long, ctypes.c_long, ctypes.c_void_p, ctypes.c_void_p,
+)
+
+
+def ptrace(request: int, pid: int, addr: int = 0, data: int = 0) -> int:
+    """Invoke ptrace(2); raises OSError on failure (except PEEKDATA -1)."""
+    ctypes.set_errno(0)
+    result = _libc.ptrace(request, pid, addr, data)
+    if result == -1:
+        errno = ctypes.get_errno()
+        if errno != 0:
+            raise OSError(errno, os.strerror(errno), f"ptrace({request}, {pid})")
+    return result
+
+
+def traceme() -> None:
+    """Called in the child before exec: request tracing by the parent."""
+    ptrace(PTRACE_TRACEME, 0)
+
+
+def get_regs(pid: int) -> UserRegs:
+    regs = UserRegs()
+    ctypes.set_errno(0)
+    result = _libc.ptrace(PTRACE_GETREGS, pid, 0, ctypes.byref(regs))
+    if result == -1 and ctypes.get_errno() != 0:
+        errno = ctypes.get_errno()
+        raise OSError(errno, os.strerror(errno), f"PTRACE_GETREGS({pid})")
+    return regs
+
+
+def set_regs(pid: int, regs: UserRegs) -> None:
+    ctypes.set_errno(0)
+    result = _libc.ptrace(PTRACE_SETREGS, pid, 0, ctypes.byref(regs))
+    if result == -1 and ctypes.get_errno() != 0:
+        errno = ctypes.get_errno()
+        raise OSError(errno, os.strerror(errno), f"PTRACE_SETREGS({pid})")
+
+
+def read_cstring(pid: int, address: int, limit: int = 4096) -> str:
+    """Read a NUL-terminated string from the tracee's memory."""
+    if address == 0:
+        return ""
+    chunks = []
+    offset = 0
+    while offset < limit:
+        try:
+            word = ptrace(PTRACE_PEEKDATA, pid, address + offset)
+        except OSError:
+            break
+        raw = (word & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+        if b"\x00" in raw:
+            chunks.append(raw.split(b"\x00", 1)[0])
+            break
+        chunks.append(raw)
+        offset += 8
+    return b"".join(chunks).decode("utf-8", errors="replace")
+
+
+def ptrace_works() -> bool:
+    """Probe whether this environment permits ptrace at all.
+
+    Some sandboxes deny ptrace via seccomp or Yama; tests skip the real
+    backend there instead of failing.
+    """
+    pid = os.fork()
+    if pid == 0:
+        try:
+            traceme()
+        except OSError:
+            os._exit(13)
+        os._exit(0)
+    _, status = os.waitpid(pid, 0)
+    if os.WIFEXITED(status):
+        return os.WEXITSTATUS(status) == 0
+    if os.WIFSTOPPED(status):
+        # TRACEME succeeded and exit triggered a trace stop.
+        try:
+            ptrace(PTRACE_KILL, pid)
+        except OSError:
+            pass
+        try:
+            os.waitpid(pid, 0)
+        except ChildProcessError:
+            pass
+        return True
+    return False
+
+
+def require_ptrace() -> None:
+    """Raise :class:`PtraceUnavailableError` unless ptrace is usable."""
+    if not ptrace_works():
+        raise PtraceUnavailableError(
+            "this environment denies ptrace(2); the real tracing backend "
+            "is unavailable (simulation backend remains fully functional)"
+        )

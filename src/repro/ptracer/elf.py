@@ -1,0 +1,151 @@
+"""Minimal ELF64 reader.
+
+Two consumers: the static binary analyzer (extracting executable
+sections to scan for ``syscall`` instructions) and the tracing
+backend's binary whitelist (identifying what a path actually is).
+Only the small slice of the format we need is implemented — header,
+section table, section payloads — but it is implemented properly,
+with validation and helpful errors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from pathlib import Path
+
+from repro.errors import ElfFormatError
+
+ELF_MAGIC = b"\x7fELF"
+ELFCLASS64 = 2
+ELFDATA2LSB = 1
+EM_X86_64 = 62
+EM_386 = 3
+
+ET_EXEC = 2
+ET_DYN = 3
+
+SHF_EXECINSTR = 0x4
+
+_EHDR = struct.Struct("<16sHHIQQQIHHHHHH")
+_SHDR = struct.Struct("<IIQQQQIIQQ")
+
+
+@dataclasses.dataclass(frozen=True)
+class ElfSection:
+    """One section: name, flags, and raw payload."""
+
+    name: str
+    sh_type: int
+    flags: int
+    addr: int
+    offset: int
+    size: int
+    data: bytes
+
+    @property
+    def executable(self) -> bool:
+        return bool(self.flags & SHF_EXECINSTR)
+
+
+@dataclasses.dataclass(frozen=True)
+class ElfFile:
+    """A parsed 64-bit little-endian ELF object."""
+
+    path: str
+    machine: int
+    elf_type: int
+    sections: tuple[ElfSection, ...]
+
+    @property
+    def is_x86_64(self) -> bool:
+        return self.machine == EM_X86_64
+
+    def executable_sections(self) -> tuple[ElfSection, ...]:
+        return tuple(s for s in self.sections if s.executable and s.size)
+
+    def section(self, name: str) -> ElfSection:
+        for candidate in self.sections:
+            if candidate.name == name:
+                return candidate
+        raise ElfFormatError(f"{self.path}: no section {name!r}")
+
+
+def parse(path: str | Path) -> ElfFile:
+    """Parse the ELF file at *path*; raises :class:`ElfFormatError`."""
+    path = Path(path)
+    blob = path.read_bytes()
+    if len(blob) < _EHDR.size or blob[:4] != ELF_MAGIC:
+        raise ElfFormatError(f"{path}: not an ELF file")
+    ident = blob[:16]
+    if ident[4] != ELFCLASS64:
+        raise ElfFormatError(f"{path}: only 64-bit ELF is supported")
+    if ident[5] != ELFDATA2LSB:
+        raise ElfFormatError(f"{path}: only little-endian ELF is supported")
+
+    (
+        _e_ident, e_type, e_machine, _e_version, _e_entry, _e_phoff,
+        e_shoff, _e_flags, _e_ehsize, _e_phentsize, _e_phnum,
+        e_shentsize, e_shnum, e_shstrndx,
+    ) = _EHDR.unpack_from(blob, 0)
+
+    if e_shoff == 0 or e_shnum == 0:
+        return ElfFile(str(path), e_machine, e_type, ())
+    if e_shentsize != _SHDR.size:
+        raise ElfFormatError(f"{path}: unexpected section header size")
+    if e_shoff + e_shnum * e_shentsize > len(blob):
+        raise ElfFormatError(f"{path}: section table out of bounds")
+
+    raw_headers = []
+    for index in range(e_shnum):
+        fields = _SHDR.unpack_from(blob, e_shoff + index * e_shentsize)
+        raw_headers.append(fields)
+
+    if e_shstrndx >= len(raw_headers):
+        raise ElfFormatError(f"{path}: bad section-name string table index")
+    str_offset = raw_headers[e_shstrndx][4]
+    str_size = raw_headers[e_shstrndx][5]
+    if str_offset + str_size > len(blob):
+        raise ElfFormatError(f"{path}: string table out of bounds")
+    string_table = blob[str_offset:str_offset + str_size]
+
+    def section_name(name_offset: int) -> str:
+        end = string_table.find(b"\x00", name_offset)
+        if end == -1:
+            return ""
+        return string_table[name_offset:end].decode("ascii", errors="replace")
+
+    SHT_NOBITS = 8
+    sections = []
+    for fields in raw_headers:
+        (
+            sh_name, sh_type, sh_flags, sh_addr, sh_offset,
+            sh_size, _sh_link, _sh_info, _sh_addralign, _sh_entsize,
+        ) = fields
+        if sh_type == SHT_NOBITS:
+            data = b""
+        else:
+            if sh_offset + sh_size > len(blob):
+                raise ElfFormatError(f"{path}: section payload out of bounds")
+            data = blob[sh_offset:sh_offset + sh_size]
+        sections.append(
+            ElfSection(
+                name=section_name(sh_name),
+                sh_type=sh_type,
+                flags=sh_flags,
+                addr=sh_addr,
+                offset=sh_offset,
+                size=sh_size,
+                data=data,
+            )
+        )
+    return ElfFile(str(path), e_machine, e_type, tuple(sections))
+
+
+def is_elf(path: str | Path) -> bool:
+    """Cheap check: does *path* start with the ELF magic?"""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(4) == ELF_MAGIC
+    except OSError:
+        return False

@@ -1,0 +1,132 @@
+"""Testing-framework integration (paper Section 3.3).
+
+Test suites are awkward for dynamic analysis: they start the
+application repeatedly, from wrapper scripts, alongside helper tools
+whose syscalls must not be attributed to the application (the paper's
+example: the Ruby suite shelling out to git). Loupe solves this with a
+binary whitelist plus direct integration with build systems —
+``make test`` and Debian's debhelper ``dh_auto_test``.
+
+This module reproduces those integrations: given a project directory,
+it discovers how to run the suite and builds a
+:class:`~repro.core.workload.CommandWorkload` with the right argv and
+whitelist, ready for the ptrace backend.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+import stat
+from pathlib import Path
+
+from repro.core.workload import CommandWorkload, WorkloadKind
+from repro.errors import WorkloadError
+
+#: Makefile targets probed for a test entry point, in priority order.
+MAKE_TEST_TARGETS = ("test", "check")
+
+
+@dataclasses.dataclass(frozen=True)
+class ProjectSuite:
+    """A discovered way to run a project's test suite."""
+
+    project: str
+    runner: tuple[str, ...]          # e.g. ("make", "-C", dir, "test")
+    binaries: frozenset[str]         # whitelist: the project's own binaries
+    source: str                      # "makefile" | "debhelper"
+
+
+def _makefile_targets(makefile: Path) -> set[str]:
+    targets = set()
+    pattern = re.compile(r"^([A-Za-z0-9_.-]+)\s*:")
+    for line in makefile.read_text(errors="replace").splitlines():
+        match = pattern.match(line)
+        if match:
+            targets.add(match.group(1))
+    return targets
+
+
+def _executables_in(directory: Path) -> frozenset[str]:
+    """Project-built executables: the whitelist candidates."""
+    found = set()
+    for path in directory.rglob("*"):
+        if not path.is_file():
+            continue
+        mode = path.stat().st_mode
+        if not (mode & stat.S_IXUSR):
+            continue
+        with open(path, "rb") as handle:
+            if handle.read(4) == b"\x7fELF":
+                found.add(str(path.resolve()))
+    return frozenset(found)
+
+
+def discover_make_suite(project_dir: str | Path) -> ProjectSuite:
+    """Discover a ``make test``/``make check`` suite in *project_dir*."""
+    directory = Path(project_dir)
+    makefile = directory / "Makefile"
+    if not makefile.is_file():
+        raise WorkloadError(f"{directory}: no Makefile")
+    targets = _makefile_targets(makefile)
+    for target in MAKE_TEST_TARGETS:
+        if target in targets:
+            return ProjectSuite(
+                project=directory.name,
+                runner=("make", "-C", str(directory), target),
+                binaries=_executables_in(directory),
+                source="makefile",
+            )
+    raise WorkloadError(
+        f"{directory}: Makefile has no test target "
+        f"(looked for {', '.join(MAKE_TEST_TARGETS)})"
+    )
+
+
+def discover_debhelper_suite(package_dir: str | Path) -> ProjectSuite:
+    """Discover a debhelper-built package's ``dh_auto_test`` hook.
+
+    Mirrors the paper's Debian integration: the package's
+    ``debian/rules`` drives the build, and ``dh_auto_test`` runs the
+    upstream suite; the package's built binaries form the whitelist.
+    """
+    directory = Path(package_dir)
+    rules = directory / "debian" / "rules"
+    if not rules.is_file():
+        raise WorkloadError(f"{directory}: no debian/rules — not a package")
+    return ProjectSuite(
+        project=directory.name,
+        runner=("make", "-f", str(rules), "dh_auto_test"),
+        binaries=_executables_in(directory),
+        source="debhelper",
+    )
+
+
+def suite_workload(
+    suite: ProjectSuite, *, timeout_s: float = 600.0
+) -> CommandWorkload:
+    """The traced workload for a discovered suite.
+
+    Only syscalls from the whitelisted binaries count: make, shells and
+    helper tools are supervised but excluded from the analysis, exactly
+    like the paper's unmodified `make test` runs.
+    """
+    return CommandWorkload(
+        name=f"{suite.project}-suite",
+        kind=WorkloadKind.TEST_SUITE,
+        argv=suite.runner,
+        binaries=suite.binaries,
+        timeout_s=timeout_s,
+    )
+
+
+def workload_for_project(
+    project_dir: str | Path, *, timeout_s: float = 600.0
+) -> CommandWorkload:
+    """One-call integration: debhelper package or Makefile project."""
+    directory = Path(project_dir)
+    if (directory / "debian" / "rules").is_file():
+        suite = discover_debhelper_suite(directory)
+    else:
+        suite = discover_make_suite(directory)
+    return suite_workload(suite, timeout_s=timeout_s)

@@ -1,0 +1,117 @@
+"""Text rendering of the paper's figures: ASCII curves and bar charts.
+
+The benches print tabular rows; this module adds terminal-friendly
+plots so `loupe study fig2/fig3` and the examples can show the curve
+*shapes* the paper's figures carry — dominance, crossovers, plateaus —
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+_GLYPHS = ("*", "o", "+", "x", "#")
+
+
+def _scale(value: float, low: float, high: float, cells: int) -> int:
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(cells - 1, max(0, round(position * (cells - 1))))
+
+
+def render_xy_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot named (x, y) series on one ASCII canvas.
+
+    Later series overdraw earlier ones where they collide; the legend
+    maps glyphs to names.
+    """
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for x, y in pts:
+            column = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            canvas[row][column] = glyph
+
+    lines = []
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            margin = f"{y_high:>8.0f} |"
+        elif row_index == height - 1:
+            margin = f"{y_low:>8.0f} |"
+        else:
+            margin = " " * 8 + " |"
+        lines.append(margin + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 9 + f"{x_low:<10.0f}{x_label:^{max(width - 20, 0)}}{x_high:>10.0f}"
+    )
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * 9 + legend + (f"   (y: {y_label})" if y_label else ""))
+    return "\n".join(lines)
+
+
+def render_effort_curves(study) -> str:
+    """Figure 2 as an ASCII plot (x: syscalls implemented, y: apps)."""
+    series = {
+        "loupe": [(float(x), float(y)) for x, y in study.loupe.points],
+        "organic": [(float(x), float(y)) for x, y in study.organic.points],
+        "naive": [(float(x), float(y)) for x, y in study.naive.points],
+    }
+    return render_xy_plot(
+        series,
+        x_label="syscalls implemented",
+        y_label="apps supported",
+    )
+
+
+def render_importance_curves(figure) -> str:
+    """Figure 3 as an ASCII plot (x: rank, y: importance %)."""
+    naive = figure.naive.curve()
+    loupe = figure.loupe.curve()
+    series = {
+        "naive": [(float(i + 1), 100.0 * v) for i, v in enumerate(naive)],
+        "loupe": [(float(i + 1), 100.0 * v) for i, v in enumerate(loupe)],
+    }
+    return render_xy_plot(
+        series,
+        x_label="Nth most important syscall",
+        y_label="API importance %",
+    )
+
+
+def render_bar_chart(
+    rows: Mapping[str, float],
+    *,
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Horizontal bars, one per labeled value."""
+    if not rows:
+        return "(no data)"
+    peak = max(abs(v) for v in rows.values()) or 1.0
+    label_width = max(len(label) for label in rows)
+    lines = []
+    for label, value in rows.items():
+        bar = "#" * max(1, round(abs(value) / peak * width))
+        lines.append(f"{label:<{label_width}} | {bar} {value:g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Static analysis substrates: the comparison baselines of Section 5.1."""
+
+from repro.staticx.binary import BinaryScanReport, scan_binary, scan_bytes, scan_elf
+from repro.staticx.model import (
+    StaticReport,
+    analyze_app,
+    analyze_program,
+    overestimation_factor,
+)
+from repro.staticx.source import (
+    SourceScanReport,
+    scan_source_text,
+    scan_source_tree,
+)
+
+__all__ = [
+    "BinaryScanReport",
+    "SourceScanReport",
+    "StaticReport",
+    "analyze_app",
+    "analyze_program",
+    "overestimation_factor",
+    "scan_binary",
+    "scan_bytes",
+    "scan_elf",
+    "scan_source_text",
+    "scan_source_tree",
+]

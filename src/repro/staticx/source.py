@@ -1,0 +1,106 @@
+"""Source-level static syscall analysis for C sources (real, textual).
+
+The paper's source-level comparator resolves libc wrapper calls in
+application sources. We implement the same idea as a lexical analyzer
+over C code: find identifiers that name libc syscall wrappers used in
+call position, plus literal ``syscall(SYS_xxx, ...)`` invocations.
+Like all source-level analysis it is language-specific and
+conservative — dead code counts, macro indirection may hide calls —
+which is precisely the imprecision Section 5.1 quantifies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from pathlib import Path
+
+from repro.syscalls import TABLE_X86_64
+
+#: Wrapper name -> syscall name, where they differ.
+_WRAPPER_ALIASES: dict[str, str] = {
+    "printf": "write",
+    "puts": "write",
+    "fwrite": "write",
+    "fread": "read",
+    "fopen": "openat",
+    "open": "openat",
+    "open64": "openat",
+    "creat64": "creat",
+    "stat64": "stat",
+    "fstat64": "fstat",
+    "lstat64": "lstat",
+    "lseek64": "lseek",
+    "mmap64": "mmap",
+    "pread": "pread64",
+    "pwrite": "pwrite64",
+    "select": "select",
+    "signal": "rt_sigaction",
+    "sigaction": "rt_sigaction",
+    "sigprocmask": "rt_sigprocmask",
+    "sigsuspend": "rt_sigsuspend",
+    "exit": "exit_group",
+    "_exit": "exit_group",
+    "malloc": "brk",
+    "calloc": "brk",
+    "realloc": "brk",
+    "waitpid": "wait4",
+    "getdtablesize": "getrlimit",
+}
+
+_CALL_RE = re.compile(r"\b([A-Za-z_][A-Za-z0-9_]*)\s*\(")
+_SYS_RE = re.compile(r"\bsyscall\s*\(\s*(?:SYS_|__NR_)([a-z0-9_]+)")
+_COMMENT_RE = re.compile(r"/\*.*?\*/|//[^\n]*", re.DOTALL)
+_STRING_RE = re.compile(r'"(?:\\.|[^"\\])*"' + r"|'(?:\\.|[^'\\])*'")
+
+
+@dataclasses.dataclass(frozen=True)
+class SourceScanReport:
+    """Outcome of scanning one source tree or file."""
+
+    origin: str
+    syscalls: frozenset[str]
+    call_sites: int
+
+    @property
+    def count(self) -> int:
+        return len(self.syscalls)
+
+
+def scan_source_text(text: str, origin: str = "<memory>") -> SourceScanReport:
+    """Scan one C source string for syscall-wrapper call sites."""
+    stripped = _STRING_RE.sub('""', _COMMENT_RE.sub("", text))
+    found: set[str] = set()
+    sites = 0
+    for match in _CALL_RE.finditer(stripped):
+        identifier = match.group(1)
+        target = _WRAPPER_ALIASES.get(identifier, identifier)
+        if target in TABLE_X86_64.by_name:
+            found.add(target)
+            sites += 1
+    for match in _SYS_RE.finditer(stripped):
+        name = match.group(1)
+        if name in TABLE_X86_64.by_name:
+            found.add(name)
+            sites += 1
+    return SourceScanReport(
+        origin=origin, syscalls=frozenset(found), call_sites=sites
+    )
+
+
+def scan_source_tree(root: str | Path, *, suffixes: tuple[str, ...] = (".c", ".h")) -> SourceScanReport:
+    """Scan every matching file below *root* and merge results."""
+    root = Path(root)
+    merged: set[str] = set()
+    sites = 0
+    for path in sorted(root.rglob("*")):
+        if path.suffix not in suffixes or not path.is_file():
+            continue
+        report = scan_source_text(
+            path.read_text(errors="replace"), origin=str(path)
+        )
+        merged |= report.syscalls
+        sites += report.call_sites
+    return SourceScanReport(
+        origin=str(root), syscalls=frozenset(merged), call_sites=sites
+    )

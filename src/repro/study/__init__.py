@@ -1,0 +1,134 @@
+"""The paper's Section 5 analysis suite."""
+
+from repro.study.base import analyze_app, analyze_apps, clear_cache, shared_database
+from repro.study.checks import (
+    CheckRow,
+    CheckStudy,
+    check_rows,
+    check_study,
+    expected_unchecked,
+)
+from repro.study.evolution import (
+    ARCH_VARIANTS,
+    NGINX_GLIBC_231_X86_64,
+    NGINX_GLIBC_232_I386,
+    EvolutionBar,
+    EvolutionPair,
+    GlibcComparison,
+    figure8,
+    glibc_comparison,
+    render_table3,
+)
+from repro.study.impact import (
+    IMPACT_APPS,
+    ImpactRow,
+    Table2,
+    analyze_impacts,
+    render_table2,
+)
+from repro.study.importance import (
+    Figure3,
+    ImportanceTable,
+    figure3,
+    loupe_importance,
+    naive_importance,
+    render_figure5_row,
+    syscall_sets,
+)
+from repro.study.libcinit import (
+    CONFIGURATIONS,
+    LibcTraceRow,
+    Table4,
+    render_table4,
+    table4,
+    trace_hello,
+)
+from repro.study.methods import (
+    Figure4,
+    MethodCounts,
+    counts_for,
+    figure4,
+    render_figure4,
+)
+from repro.study.pseudofiles_study import (
+    PseudoFileRow,
+    PseudoFileStudy,
+    pseudo_file_study,
+    render_pseudo_files,
+)
+from repro.study.arch_translate import (
+    GeneratedColumn,
+    generate_table3_left,
+    to_i386_era,
+)
+from repro.study.ranges import (
+    RangeBucket,
+    RangeStudy,
+    range_study,
+    render_ranges,
+)
+from repro.study.vectored_study import (
+    VectoredStudy,
+    VectoredUsage,
+    render_vectored,
+    vectored_study,
+)
+
+__all__ = [
+    "ARCH_VARIANTS",
+    "CONFIGURATIONS",
+    "CheckRow",
+    "CheckStudy",
+    "EvolutionBar",
+    "EvolutionPair",
+    "Figure3",
+    "Figure4",
+    "GeneratedColumn",
+    "GlibcComparison",
+    "IMPACT_APPS",
+    "ImpactRow",
+    "ImportanceTable",
+    "LibcTraceRow",
+    "MethodCounts",
+    "NGINX_GLIBC_231_X86_64",
+    "NGINX_GLIBC_232_I386",
+    "PseudoFileRow",
+    "PseudoFileStudy",
+    "RangeBucket",
+    "RangeStudy",
+    "Table2",
+    "Table4",
+    "VectoredStudy",
+    "VectoredUsage",
+    "analyze_app",
+    "analyze_apps",
+    "analyze_impacts",
+    "check_rows",
+    "check_study",
+    "clear_cache",
+    "counts_for",
+    "expected_unchecked",
+    "figure3",
+    "figure4",
+    "figure8",
+    "generate_table3_left",
+    "glibc_comparison",
+    "loupe_importance",
+    "naive_importance",
+    "pseudo_file_study",
+    "range_study",
+    "render_figure4",
+    "render_pseudo_files",
+    "render_ranges",
+    "render_vectored",
+    "to_i386_era",
+    "vectored_study",
+    "render_figure5_row",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "shared_database",
+    "syscall_sets",
+    "table4",
+    "trace_hello",
+]

@@ -1,0 +1,56 @@
+"""Shared plumbing for the Section 5 studies: cached corpus analysis."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.appsim.apps import App
+from repro.core.analyzer import Analyzer, AnalyzerConfig
+from repro.core.result import AnalysisResult
+from repro.db import Database, RecordKey
+
+#: Process-wide cache: studies and benchmarks share analyses, mirroring
+#: how the paper's studies all read the same loupedb measurements.
+_CACHE = Database()
+
+
+def analyze_app(
+    app: App, workload_name: str, *, replicas: int = 3
+) -> AnalysisResult:
+    """Analyze one app+workload, memoized in the shared database."""
+    backend = app.backend()
+    key = RecordKey(
+        app=app.name,
+        app_version=app.version,
+        workload=workload_name,
+        backend=backend.name,
+    )
+    if key in _CACHE:
+        return _CACHE.get(key)
+    analyzer = Analyzer(AnalyzerConfig(replicas=replicas))
+    result = analyzer.analyze(
+        backend,
+        app.workload(workload_name),
+        app=app.name,
+        app_version=app.version,
+    )
+    _CACHE.add(result)
+    return result
+
+
+def analyze_apps(
+    apps: Sequence[App], workload_name: str, *, replicas: int = 3
+) -> list[AnalysisResult]:
+    """Analyze many apps under the same workload name (cached)."""
+    return [analyze_app(app, workload_name, replicas=replicas) for app in apps]
+
+
+def shared_database() -> Database:
+    """The process-wide analysis cache as a queryable database."""
+    return _CACHE
+
+
+def clear_cache() -> None:
+    """Drop all memoized analyses (tests that mutate models need this)."""
+    global _CACHE
+    _CACHE = Database()

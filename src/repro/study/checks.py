@@ -1,0 +1,137 @@
+"""Return-value check study (paper Section 5.2, Figure 7).
+
+The paper manually inspected application sources to record which libc
+syscall wrappers have their return values checked, then asked: does
+checking predict stub/fake-ability? (Answer: no — the ability to stub
+or fake "is not a factor of the presence (or absence) of checks, but
+rather of the semantics of individual system calls and applications".)
+
+Our application models carry the same ground truth per call site
+(``checks_return``), restricted — as in the paper — to app-originated
+wrapper calls. We reproduce both the per-syscall check percentages and
+the (non-)correlation with avoidability.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.appsim.apps import App
+from repro.appsim.program import Origin
+from repro.core.result import AnalysisResult
+from repro.syscalls import ALWAYS_SUCCEEDS, NO_GLIBC_WRAPPER
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckRow:
+    """Figure 7 entry for one syscall."""
+
+    syscall: str
+    apps_using: int
+    apps_checking: int
+
+    @property
+    def check_fraction(self) -> float:
+        if self.apps_using == 0:
+            return 0.0
+        return self.apps_checking / self.apps_using
+
+
+def check_rows(apps: Sequence[App]) -> list[CheckRow]:
+    """Scan every app's wrapper call sites, as the paper's scripts did.
+
+    Only wrapper calls from application code count: direct ``syscall()``
+    invocations (no glibc wrapper) and libc-internal calls are excluded.
+    """
+    using: Counter = Counter()
+    checking: Counter = Counter()
+    for app in apps:
+        used: set[str] = set()
+        checked: set[str] = set()
+        for op in app.program.ops:
+            if op.origin is not Origin.APP:
+                continue
+            if op.syscall in NO_GLIBC_WRAPPER:
+                continue
+            used.add(op.syscall)
+            if op.checks_return:
+                checked.add(op.syscall)
+        for name in used:
+            using[name] += 1
+        for name in checked:
+            checking[name] += 1
+    return [
+        CheckRow(syscall=name, apps_using=using[name], apps_checking=checking[name])
+        for name in sorted(using)
+    ]
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckStudy:
+    """Figure 7 data plus the correlation analysis."""
+
+    rows: tuple[CheckRow, ...]
+    #: Point-biserial correlation between "wrapper is checked by the
+    #: app" and "syscall is avoidable for that app"; the paper's claim
+    #: is that this is weak.
+    correlation: float
+    never_checked: tuple[str, ...]
+    always_checked: tuple[str, ...]
+
+    def row(self, syscall: str) -> CheckRow:
+        for entry in self.rows:
+            if entry.syscall == syscall:
+                return entry
+        raise KeyError(syscall)
+
+
+def _correlation(pairs: list[tuple[float, float]]) -> float:
+    if len(pairs) < 2:
+        return 0.0
+    xs = [p[0] for p in pairs]
+    ys = [p[1] for p in pairs]
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in pairs)
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0.0 or var_y == 0.0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def check_study(
+    apps: Sequence[App], results: Sequence[AnalysisResult]
+) -> CheckStudy:
+    """Figure 7 plus the checks-vs-avoidability correlation."""
+    rows = tuple(check_rows(apps))
+    pairs: list[tuple[float, float]] = []
+    for app, result in zip(apps, results):
+        avoidable = result.avoidable_syscalls()
+        for op in app.program.ops:
+            if op.origin is not Origin.APP or op.syscall in NO_GLIBC_WRAPPER:
+                continue
+            pairs.append(
+                (
+                    1.0 if op.checks_return else 0.0,
+                    1.0 if op.syscall in avoidable else 0.0,
+                )
+            )
+    never = tuple(r.syscall for r in rows if r.apps_checking == 0)
+    always = tuple(
+        r.syscall for r in rows if r.apps_checking == r.apps_using
+    )
+    return CheckStudy(
+        rows=rows,
+        correlation=_correlation(pairs),
+        never_checked=never,
+        always_checked=always,
+    )
+
+
+def expected_unchecked(study: CheckStudy) -> list[str]:
+    """Sanity view: unchecked syscalls that indeed cannot fail."""
+    return [s for s in study.never_checked if s in ALWAYS_SUCCEEDS]

@@ -1,0 +1,141 @@
+"""API importance (paper Section 5.1, Figures 3 and 5).
+
+*API importance* of a syscall is the fraction of applications in the
+data set that **require** it (Tsai et al.'s metric, reused by the
+paper). Under naive dynamic analysis every traced syscall counts as
+required; under Loupe only those that can neither be stubbed nor faked
+do. The gap between those two curves is the paper's headline: 180
+syscalls appear required to the naive eye, 148 to Loupe's, and the
+naive curve dominates pointwise.
+
+Figure 5 applies the same per-syscall counting to four views over the
+seven-app set: static binary, static source, dynamic traced, dynamic
+required.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from collections.abc import Mapping, Sequence
+
+from repro.appsim.apps import App
+from repro.core.result import AnalysisResult
+from repro.syscalls import number_of
+
+
+@dataclasses.dataclass(frozen=True)
+class ImportanceTable:
+    """Per-syscall importance for one analysis mode."""
+
+    mode: str
+    fractions: Mapping[str, float]     # syscall -> fraction of apps
+    app_count: int
+
+    def curve(self) -> list[float]:
+        """Importance values sorted descending (the Figure 3 series)."""
+        return sorted(self.fractions.values(), reverse=True)
+
+    def total_syscalls(self) -> int:
+        """How many syscalls have nonzero importance."""
+        return len(self.fractions)
+
+    def importance_of(self, syscall: str) -> float:
+        return self.fractions.get(syscall, 0.0)
+
+    def top(self, n: int) -> list[tuple[str, float]]:
+        ranked = sorted(
+            self.fractions.items(), key=lambda item: (-item[1], item[0])
+        )
+        return ranked[:n]
+
+
+def _fractions(sets: Sequence[frozenset[str]]) -> dict[str, float]:
+    counts: Counter = Counter()
+    for syscalls in sets:
+        for name in syscalls:
+            counts[name] += 1
+    total = len(sets)
+    return {name: count / total for name, count in counts.items()}
+
+
+def loupe_importance(results: Sequence[AnalysisResult]) -> ImportanceTable:
+    """Importance where required = traced and not stub/fake-able."""
+    return ImportanceTable(
+        mode="loupe",
+        fractions=_fractions([r.required_syscalls() for r in results]),
+        app_count=len(results),
+    )
+
+
+def naive_importance(results: Sequence[AnalysisResult]) -> ImportanceTable:
+    """Importance where required = traced (strace-level analysis)."""
+    return ImportanceTable(
+        mode="naive",
+        fractions=_fractions([r.traced_syscalls() for r in results]),
+        app_count=len(results),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class Figure3:
+    """Both Figure 3 series, ready to print or plot."""
+
+    loupe: ImportanceTable
+    naive: ImportanceTable
+
+    def dominance_holds(self) -> bool:
+        """True when the naive sorted curve dominates Loupe's pointwise."""
+        loupe_curve = self.loupe.curve()
+        naive_curve = self.naive.curve()
+        padded = loupe_curve + [0.0] * (len(naive_curve) - len(loupe_curve))
+        return all(n >= l for n, l in zip(naive_curve, padded))
+
+
+def figure3(results: Sequence[AnalysisResult]) -> Figure3:
+    return Figure3(
+        loupe=loupe_importance(results), naive=naive_importance(results)
+    )
+
+
+# -- Figure 5: per-method syscall identification over the seven apps --------
+
+FIVE_METHODS = (
+    "static-binary", "static-source", "dynamic-traced", "dynamic-required"
+)
+
+
+def syscall_sets(
+    apps: Sequence[App], results: Sequence[AnalysisResult]
+) -> dict[str, ImportanceTable]:
+    """Figure 5's four views: which syscalls each method identifies.
+
+    *results* must be the analyses of *apps* in the same order.
+    """
+    if len(apps) != len(results):
+        raise ValueError("apps and results must align")
+    views: dict[str, list[frozenset[str]]] = {m: [] for m in FIVE_METHODS}
+    for app, result in zip(apps, results):
+        views["static-binary"].append(app.program.static_view("binary"))
+        views["static-source"].append(app.program.static_view("source"))
+        views["dynamic-traced"].append(result.traced_syscalls())
+        views["dynamic-required"].append(result.required_syscalls())
+    return {
+        method: ImportanceTable(
+            mode=method,
+            fractions=_fractions(sets),
+            app_count=len(apps),
+        )
+        for method, sets in views.items()
+    }
+
+
+def render_figure5_row(table: ImportanceTable) -> str:
+    """One Figure 5 panel as text: syscall numbers sorted by importance."""
+    ranked = sorted(
+        table.fractions.items(), key=lambda item: (-item[1], number_of(item[0]))
+    )
+    cells = [
+        f"{number_of(name)}({fraction:.0%})" for name, fraction in ranked
+    ]
+    return f"[{table.mode}] {len(cells)} syscalls: " + " ".join(cells)

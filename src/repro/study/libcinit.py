@@ -1,0 +1,150 @@
+"""Libc initialization-sequence study (paper Section 5.6, Table 4).
+
+A trivial hello-world is traced against glibc 2.28 and musl 1.2.2, in
+dynamic and static linking. The invocation counts come out of actually
+*running* the modeled programs, not from transcribed constants — the
+libc models encode the sequences, and this study traces them exactly
+as Loupe would:
+
+=================== ============== =================
+configuration        invocations    distinct syscalls
+=================== ============== =================
+glibc dynamic        28             13
+musl dynamic         11             9
+glibc static         11             8
+musl static          6              6
+=================== ============== =================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from collections.abc import Mapping
+
+from repro.appsim.apps.misc import build_hello
+from repro.appsim.libc import (
+    GLIBC_228_DYNAMIC,
+    GLIBC_228_STATIC,
+    MUSL_122_DYNAMIC,
+    MUSL_122_STATIC,
+    LibcModel,
+)
+from repro.core.policy import passthrough
+
+#: The four configurations of Table 4, in the paper's reading order.
+CONFIGURATIONS: tuple[LibcModel, ...] = (
+    GLIBC_228_DYNAMIC,
+    MUSL_122_DYNAMIC,
+    GLIBC_228_STATIC,
+    MUSL_122_STATIC,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class LibcTraceRow:
+    """One Table 4 cell: hello-world's trace under one libc build."""
+
+    libc: str
+    version: str
+    linking: str
+    invocations: Mapping[str, int]      # syscall -> call count
+
+    @property
+    def total_invocations(self) -> int:
+        return sum(self.invocations.values())
+
+    @property
+    def distinct_syscalls(self) -> int:
+        return len(self.invocations)
+
+    @property
+    def syscall_set(self) -> frozenset[str]:
+        return frozenset(self.invocations)
+
+
+def trace_hello(libc: LibcModel) -> LibcTraceRow:
+    """Run the modeled hello-world under *libc* and record its trace."""
+    app = build_hello(libc)
+    run = app.backend().run(app.workload("suite"), passthrough())
+    assert run.success, f"hello-world failed under {libc.vendor} {libc.linking}"
+    plain = Counter(
+        {
+            name: count
+            for name, count in run.traced.items()
+            if ":" not in name and not name.startswith("/")
+        }
+    )
+    return LibcTraceRow(
+        libc=libc.vendor,
+        version=libc.version,
+        linking=libc.linking,
+        invocations=dict(sorted(plain.items())),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class Table4:
+    """All four rows plus the paper's comparison facts."""
+
+    rows: tuple[LibcTraceRow, ...]
+
+    def row(self, vendor: str, linking: str) -> LibcTraceRow:
+        for entry in self.rows:
+            if entry.libc == vendor and entry.linking == linking:
+                return entry
+        raise KeyError((vendor, linking))
+
+    def common_syscalls(self, linking: str) -> frozenset[str]:
+        """Syscalls shared by glibc and musl under one linking mode."""
+        return (
+            self.row("glibc", linking).syscall_set
+            & self.row("musl", linking).syscall_set
+        )
+
+    def overall_common(self) -> frozenset[str]:
+        common = self.rows[0].syscall_set
+        for entry in self.rows[1:]:
+            common &= entry.syscall_set
+        return common
+
+    def dynamic_ratio(self) -> float:
+        """glibc-dynamic over musl-dynamic invocation counts (~2.5x)."""
+        return (
+            self.row("glibc", "dynamic").total_invocations
+            / self.row("musl", "dynamic").total_invocations
+        )
+
+    def extreme_ratio(self) -> float:
+        """glibc-dynamic over musl-static (the paper's "as much as 4.5x")."""
+        return (
+            self.row("glibc", "dynamic").total_invocations
+            / self.row("musl", "static").total_invocations
+        )
+
+
+def table4() -> Table4:
+    return Table4(rows=tuple(trace_hello(libc) for libc in CONFIGURATIONS))
+
+
+def render_table4(table: Table4) -> str:
+    lines = ["Table 4: hello-world syscalls across libcs"]
+    for row in table.rows:
+        calls = ", ".join(
+            f"{name} ({count}x)" for name, count in row.invocations.items()
+        )
+        lines.append(
+            f"{row.libc} {row.version} {row.linking}: "
+            f"{row.total_invocations} invocations, "
+            f"{row.distinct_syscalls} distinct -> {calls}"
+        )
+    lines.append(
+        f"common dynamic: {sorted(table.common_syscalls('dynamic'))}"
+    )
+    lines.append(f"common static: {sorted(table.common_syscalls('static'))}")
+    lines.append(f"common overall: {sorted(table.overall_common())}")
+    lines.append(
+        f"glibc-dyn/musl-dyn = {table.dynamic_ratio():.1f}x, "
+        f"glibc-dyn/musl-static = {table.extreme_ratio():.1f}x"
+    )
+    return "\n".join(lines)

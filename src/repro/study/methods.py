@@ -1,0 +1,119 @@
+"""Analysis-method comparison per application (paper Figure 4).
+
+For each of the seven apps and each workload (benchmark, test suite):
+how many syscalls does each method report? Static source, static
+binary, dynamically traced — broken down into required / stubbable /
+fakeable / either — per Figure 4's bars. The accompanying aggregate
+(Section 5.2): on average 46% of invoked syscalls can be stubbed or
+faked under test suites, 60% under benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from repro.appsim.apps import App
+from repro.core.result import AnalysisResult
+from repro.study.base import analyze_app
+
+
+@dataclasses.dataclass(frozen=True)
+class MethodCounts:
+    """One group of Figure 4 bars (one app, one workload)."""
+
+    app: str
+    workload: str
+    static_source: int
+    static_binary: int
+    traced: int
+    required: int
+    stubbable: int
+    fakeable: int
+    avoidable: int          # stubbable or fakeable ("any")
+
+    @property
+    def avoidable_fraction(self) -> float:
+        if self.traced == 0:
+            return 0.0
+        return self.avoidable / self.traced
+
+    @property
+    def static_overestimation(self) -> float:
+        """Binary-level static count over Loupe-required count."""
+        if self.required == 0:
+            return 0.0
+        return self.static_binary / self.required
+
+
+def counts_for(app: App, workload_name: str) -> MethodCounts:
+    """Compute one Figure 4 bar group."""
+    result = analyze_app(app, workload_name)
+    return _counts_from(app, result)
+
+
+def _counts_from(app: App, result: AnalysisResult) -> MethodCounts:
+    traced = result.traced_syscalls()
+    required = result.required_syscalls()
+    stubbable = result.stubbable_syscalls()
+    fakeable = result.fakeable_syscalls()
+    return MethodCounts(
+        app=app.name,
+        workload=result.workload,
+        static_source=len(app.program.static_view("source")),
+        static_binary=len(app.program.static_view("binary")),
+        traced=len(traced),
+        required=len(required),
+        stubbable=len(stubbable),
+        fakeable=len(fakeable),
+        avoidable=len(stubbable | fakeable),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class Figure4:
+    """All bar groups plus the Section 5.2 aggregate statistics."""
+
+    rows: tuple[MethodCounts, ...]
+
+    def for_app(self, app: str, workload: str) -> MethodCounts:
+        for row in self.rows:
+            if row.app == app and row.workload == workload:
+                return row
+        raise KeyError((app, workload))
+
+    def mean_avoidable_fraction(self, workload: str) -> float:
+        relevant = [r for r in self.rows if r.workload == workload]
+        if not relevant:
+            return 0.0
+        return sum(r.avoidable_fraction for r in relevant) / len(relevant)
+
+
+def figure4(apps: Sequence[App]) -> Figure4:
+    """Compute Figure 4 for *apps* under bench and suite workloads."""
+    rows = []
+    for app in apps:
+        for workload_name in ("bench", "suite"):
+            rows.append(counts_for(app, workload_name))
+    return Figure4(rows=tuple(rows))
+
+
+def render_figure4(figure: Figure4) -> str:
+    """Figure 4 as a text table."""
+    header = (
+        f"{'app':<12} {'wl':<6} {'stat-src':>8} {'stat-bin':>8} "
+        f"{'traced':>7} {'required':>9} {'stubbed':>8} {'faked':>6} {'any':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in figure.rows:
+        lines.append(
+            f"{row.app:<12} {row.workload:<6} {row.static_source:>8} "
+            f"{row.static_binary:>8} {row.traced:>7} {row.required:>9} "
+            f"{row.stubbable:>8} {row.fakeable:>6} {row.avoidable:>5}"
+        )
+    lines.append(
+        "mean avoidable: "
+        f"bench {figure.mean_avoidable_fraction('bench'):.0%}, "
+        f"suite {figure.mean_avoidable_fraction('suite'):.0%}"
+    )
+    return "\n".join(lines)

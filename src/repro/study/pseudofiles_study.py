@@ -1,0 +1,98 @@
+"""Pseudo-file usage study (extension; the paper sets this aside
+"for space reasons", Section 4/5 intro).
+
+Loupe tracks accesses to /proc, /dev and /sys files alongside
+syscalls. This study runs the corpus with pseudo-file analysis enabled
+and reports, per special file: how many applications touch it, and for
+how many it genuinely needs an implementation (neither disabling nor
+faking the access survives the workload).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.appsim.apps import App
+from repro.core.analyzer import Analyzer, AnalyzerConfig
+from repro.core.pseudofiles import classify
+
+
+@dataclasses.dataclass(frozen=True)
+class PseudoFileRow:
+    """Corpus-wide usage of one special file."""
+
+    path: str
+    filesystem: str              # /proc, /dev, or /sys
+    apps_using: int
+    apps_requiring: int
+
+    @property
+    def required_fraction(self) -> float:
+        if self.apps_using == 0:
+            return 0.0
+        return self.apps_requiring / self.apps_using
+
+
+@dataclasses.dataclass(frozen=True)
+class PseudoFileStudy:
+    rows: tuple[PseudoFileRow, ...]
+    app_count: int
+
+    def by_filesystem(self) -> dict[str, int]:
+        counts: Counter = Counter()
+        for row in self.rows:
+            counts[row.filesystem] += 1
+        return dict(counts)
+
+    def row(self, path: str) -> PseudoFileRow:
+        for entry in self.rows:
+            if entry.path == path:
+                return entry
+        raise KeyError(path)
+
+
+def pseudo_file_study(
+    apps: Sequence[App], *, workload: str = "bench", replicas: int = 3
+) -> PseudoFileStudy:
+    """Analyze *apps* with pseudo-file tracking and aggregate usage."""
+    using: Counter = Counter()
+    requiring: Counter = Counter()
+    analyzer = Analyzer(AnalyzerConfig(replicas=replicas, pseudo_files=True))
+    for app in apps:
+        result = analyzer.analyze(
+            app.backend(), app.workload(workload),
+            app=app.name, app_version=app.version,
+        )
+        for path in result.pseudo_files():
+            using[path] += 1
+            if result.features[path].decision.required:
+                requiring[path] += 1
+    rows = tuple(
+        PseudoFileRow(
+            path=path,
+            filesystem=classify(path),
+            apps_using=count,
+            apps_requiring=requiring[path],
+        )
+        for path, count in sorted(using.items())
+    )
+    return PseudoFileStudy(rows=rows, app_count=len(apps))
+
+
+def render_pseudo_files(study: PseudoFileStudy) -> str:
+    lines = [
+        "Pseudo-file usage across the application set",
+        f"{'path':<48} {'fs':<6} {'using':>6} {'required':>9}",
+    ]
+    for row in study.rows:
+        lines.append(
+            f"{row.path:<48} {row.filesystem:<6} {row.apps_using:>6} "
+            f"{row.apps_requiring:>9}"
+        )
+    by_fs = ", ".join(
+        f"{fs}: {count}" for fs, count in sorted(study.by_filesystem().items())
+    )
+    lines.append(f"distinct special files by filesystem -> {by_fs}")
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Low-range vs high-range syscall analysis (paper Section 5.2).
+
+The paper splits the table at number ~150: below sit long-standing
+core services (basic file and network I/O), above the modern
+functionality (futex, epoll, the *at variants). Its observation: "out
+of the lower half of used system calls (46 system calls with number <
+63), 13 system calls can always be stubbed vs. 30 for the upper half"
+— higher-numbered syscalls are better stub/fake candidates because
+they map to more recent, generally less critical functionality.
+
+This study computes that split for any set of analyses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.core.result import AnalysisResult
+from repro.syscalls import number_of
+from repro.syscalls.categories import MODERN_THRESHOLD
+
+
+@dataclasses.dataclass(frozen=True)
+class RangeBucket:
+    """Stub/fake statistics for one half of the syscall table."""
+
+    label: str
+    used: int                    # distinct syscalls invoked in this range
+    always_avoidable: int        # avoidable in every app that traces them
+    required_somewhere: int      # required by at least one app
+
+    @property
+    def always_avoidable_fraction(self) -> float:
+        if self.used == 0:
+            return 0.0
+        return self.always_avoidable / self.used
+
+
+@dataclasses.dataclass(frozen=True)
+class RangeStudy:
+    low: RangeBucket             # numbers below the modern threshold
+    high: RangeBucket
+    threshold: int
+
+    @property
+    def modern_syscalls_easier_to_avoid(self) -> bool:
+        """The Section 5.2 insight, as a predicate."""
+        return (
+            self.high.always_avoidable_fraction
+            > self.low.always_avoidable_fraction
+        )
+
+
+def range_study(
+    results: Sequence[AnalysisResult], *, threshold: int = MODERN_THRESHOLD
+) -> RangeStudy:
+    """Split traced syscalls at *threshold* and compare avoidability."""
+    traced_by: Counter = Counter()
+    avoidable_by: Counter = Counter()
+    required_somewhere: set[str] = set()
+    for result in results:
+        for name in result.traced_syscalls():
+            traced_by[name] += 1
+        for name in result.avoidable_syscalls():
+            avoidable_by[name] += 1
+        required_somewhere |= result.required_syscalls()
+
+    def bucket(label: str, in_range) -> RangeBucket:
+        names = [name for name in traced_by if in_range(number_of(name))]
+        always = sum(
+            1 for name in names if avoidable_by[name] == traced_by[name]
+        )
+        required = sum(1 for name in names if name in required_somewhere)
+        return RangeBucket(
+            label=label,
+            used=len(names),
+            always_avoidable=always,
+            required_somewhere=required,
+        )
+
+    return RangeStudy(
+        low=bucket(f"< {threshold}", lambda n: n < threshold),
+        high=bucket(f">= {threshold}", lambda n: n >= threshold),
+        threshold=threshold,
+    )
+
+
+def render_ranges(study: RangeStudy) -> str:
+    lines = [
+        f"Syscall-range avoidability (split at {study.threshold})",
+        f"{'range':<10} {'used':>5} {'always-avoidable':>17} {'required':>9}",
+    ]
+    for bucket in (study.low, study.high):
+        lines.append(
+            f"{bucket.label:<10} {bucket.used:>5} "
+            f"{bucket.always_avoidable:>10} "
+            f"({bucket.always_avoidable_fraction:>4.0%}) "
+            f"{bucket.required_somewhere:>9}"
+        )
+    verdict = (
+        "modern (high-range) syscalls are the better stub/fake candidates"
+        if study.modern_syscalls_easier_to_avoid
+        else "no range effect observed"
+    )
+    lines.append(verdict)
+    return "\n".join(lines)

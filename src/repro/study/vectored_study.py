@@ -1,0 +1,118 @@
+"""Corpus-wide vectored-syscall study (Section 5.4's findings).
+
+Applies the partial-implementation analysis to a set of applications
+and aggregates per vectored syscall: which operations appear at all,
+which are required somewhere, and how thin the genuinely-needed slice
+of each operation space is. Reproduces the section's headline facts:
+``arch_prctl`` is universally invoked yet needs exactly one of six
+operations (ARCH_SET_FS); ``prlimit64`` needs ~3 of 16 resources;
+``fcntl`` mixes an everywhere-required ``F_SETFL`` with an
+always-stubbable ``F_SETFD``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.appsim.apps import App
+from repro.core.analyzer import Analyzer, AnalyzerConfig
+from repro.core.partial import summarize
+from repro.syscalls.subfeatures import VECTORED_SYSCALLS
+
+
+@dataclasses.dataclass(frozen=True)
+class VectoredUsage:
+    """Aggregate usage of one vectored syscall across applications."""
+
+    syscall: str
+    total_operations: int
+    apps_invoking: int
+    operations_used: frozenset[str]        # used by >= 1 app
+    operations_required: frozenset[str]    # required by >= 1 app
+    required_everywhere: frozenset[str]    # required by every invoking app
+
+    @property
+    def used_fraction(self) -> float:
+        if self.total_operations == 0:
+            return 0.0
+        return len(self.operations_used) / self.total_operations
+
+    @property
+    def needs_full_implementation(self) -> bool:
+        return len(self.operations_required) == self.total_operations
+
+
+@dataclasses.dataclass(frozen=True)
+class VectoredStudy:
+    rows: tuple[VectoredUsage, ...]
+    app_count: int
+
+    def row(self, syscall: str) -> VectoredUsage:
+        for entry in self.rows:
+            if entry.syscall == syscall:
+                return entry
+        raise KeyError(syscall)
+
+
+def vectored_study(
+    apps: Sequence[App], *, workload: str = "bench", replicas: int = 3
+) -> VectoredStudy:
+    """Sub-feature analysis of *apps*, aggregated per vectored syscall."""
+    analyzer = Analyzer(
+        AnalyzerConfig(replicas=replicas, subfeature_level=True)
+    )
+    invoking: Counter = Counter()
+    used: dict[str, set[str]] = {name: set() for name in VECTORED_SYSCALLS}
+    required: dict[str, set[str]] = {name: set() for name in VECTORED_SYSCALLS}
+    required_by_all: dict[str, Counter] = {
+        name: Counter() for name in VECTORED_SYSCALLS
+    }
+    for app in apps:
+        result = analyzer.analyze(
+            app.backend(), app.workload(workload),
+            app=app.name, app_version=app.version,
+        )
+        for syscall, summary in summarize(result).items():
+            invoking[syscall] += 1
+            used[syscall].update(summary.used)
+            required[syscall].update(summary.required)
+            for operation in summary.required:
+                required_by_all[syscall][operation] += 1
+    rows = []
+    for syscall, vectored in sorted(VECTORED_SYSCALLS.items()):
+        if invoking[syscall] == 0:
+            continue
+        everywhere = frozenset(
+            operation
+            for operation, count in required_by_all[syscall].items()
+            if count == invoking[syscall]
+        )
+        rows.append(
+            VectoredUsage(
+                syscall=syscall,
+                total_operations=len(vectored.operations),
+                apps_invoking=invoking[syscall],
+                operations_used=frozenset(used[syscall]),
+                operations_required=frozenset(required[syscall]),
+                required_everywhere=everywhere,
+            )
+        )
+    return VectoredStudy(rows=tuple(rows), app_count=len(apps))
+
+
+def render_vectored(study: VectoredStudy) -> str:
+    lines = [
+        "Vectored syscall usage (Section 5.4)",
+        f"{'syscall':<12} {'apps':>5} {'ops':>4} {'used':>5} "
+        f"{'req':>4}  operations required somewhere",
+    ]
+    for row in study.rows:
+        lines.append(
+            f"{row.syscall:<12} {row.apps_invoking:>5} "
+            f"{row.total_operations:>4} {len(row.operations_used):>5} "
+            f"{len(row.operations_required):>4}  "
+            + (", ".join(sorted(row.operations_required)) or "-")
+        )
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Linux system call knowledge base.
+
+Public surface:
+
+* :data:`TABLE_X86_64` / :data:`TABLE_I386` — :class:`SyscallTable`
+  instances with name<->number lookup.
+* :func:`name_of` / :func:`number_of` — x86-64 convenience lookups.
+* :func:`info` — per-syscall metadata (:class:`~repro.syscalls.info.SyscallInfo`).
+* :mod:`repro.syscalls.subfeatures` — vectored syscall operations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterator
+
+from repro.errors import UnknownSyscallError
+from repro.syscalls.categories import Category, category_of, is_modern
+from repro.syscalls.info import (
+    ALWAYS_SUCCEEDS,
+    NO_GLIBC_WRAPPER,
+    ResourceEffect,
+    SyscallInfo,
+    all_infos,
+    exists,
+    info,
+)
+from repro.syscalls.subfeatures import (
+    VECTORED_SYSCALLS,
+    SubFeature,
+    VectoredSyscall,
+    decode,
+    is_vectored,
+    parse_qualified,
+)
+from repro.syscalls.table_i386 import NUMBERS_I386, SOCKETCALL_OPS, SYSCALLS_I386
+from repro.syscalls.table_x86_64 import NUMBERS_X86_64, SYSCALLS_X86_64
+
+__all__ = [
+    "ALWAYS_SUCCEEDS",
+    "NO_GLIBC_WRAPPER",
+    "NUMBERS_I386",
+    "NUMBERS_X86_64",
+    "SOCKETCALL_OPS",
+    "SYSCALLS_I386",
+    "SYSCALLS_X86_64",
+    "VECTORED_SYSCALLS",
+    "Category",
+    "ResourceEffect",
+    "SubFeature",
+    "SyscallInfo",
+    "SyscallTable",
+    "TABLE_I386",
+    "TABLE_X86_64",
+    "VectoredSyscall",
+    "all_infos",
+    "category_of",
+    "decode",
+    "exists",
+    "info",
+    "is_modern",
+    "is_vectored",
+    "name_of",
+    "number_of",
+    "parse_qualified",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class SyscallTable:
+    """A name<->number mapping for one architecture."""
+
+    arch: str
+    by_number: dict[int, str]
+    by_name: dict[str, int]
+
+    def name_of(self, number: int) -> str:
+        """Canonical name for *number*; raises :class:`UnknownSyscallError`."""
+        try:
+            return self.by_number[number]
+        except KeyError:
+            raise UnknownSyscallError(number, self.arch) from None
+
+    def number_of(self, name: str) -> int:
+        """Number for *name*; raises :class:`UnknownSyscallError`."""
+        try:
+            return self.by_name[name]
+        except KeyError:
+            raise UnknownSyscallError(name, self.arch) from None
+
+    def __contains__(self, key: object) -> bool:
+        if isinstance(key, int):
+            return key in self.by_number
+        return key in self.by_name
+
+    def __len__(self) -> int:
+        return len(self.by_number)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.by_name)
+
+    def names(self) -> frozenset[str]:
+        return frozenset(self.by_name)
+
+
+TABLE_X86_64 = SyscallTable("x86_64", dict(SYSCALLS_X86_64), dict(NUMBERS_X86_64))
+TABLE_I386 = SyscallTable("i386", dict(SYSCALLS_I386), dict(NUMBERS_I386))
+
+
+def name_of(number: int) -> str:
+    """x86-64 syscall name for *number*."""
+    return TABLE_X86_64.name_of(number)
+
+
+def number_of(name: str) -> int:
+    """x86-64 syscall number for *name*."""
+    return TABLE_X86_64.number_of(name)

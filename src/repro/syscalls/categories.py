@@ -1,0 +1,184 @@
+"""Functional classification of Linux system calls.
+
+The paper's analysis (Section 5.2) distinguishes "low range" syscalls
+(numbers < ~150, long-standing core services) from "higher range" ones
+(modern functionality: futex, epoll, *at variants). Beyond that split we
+classify every syscall into a functional category, which the study
+modules use to explain *why* groups of syscalls tend to be required,
+stubbable, or fakeable.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.syscalls.table_x86_64 import SYSCALLS_X86_64
+
+
+class Category(enum.Enum):
+    """Functional group of a system call."""
+
+    FILE_IO = "file-io"              # read/write/seek on open descriptors
+    FILESYSTEM = "filesystem"        # namespace operations: open/stat/rename...
+    MEMORY = "memory"                # address-space management
+    PROCESS = "process"              # lifecycle: fork/exec/exit/wait
+    THREADS = "threads"              # clone/TLS/robust lists/futex companions
+    SIGNALS = "signals"
+    NETWORK = "network"
+    TIME = "time"                    # clocks, timers, sleeps
+    IPC = "ipc"                      # SysV/POSIX queues, pipes, shared memory
+    IDENTITY = "identity"            # uid/gid/pid/session queries and setters
+    SECURITY = "security"            # capabilities, seccomp, keys, landlock
+    SCHEDULING = "scheduling"
+    SYNCHRONIZATION = "synchronization"   # futex and friends
+    EVENTS = "events"                # epoll/poll/select/eventfd/signalfd/inotify
+    RESOURCE_LIMITS = "resource-limits"
+    SYSTEM_INFO = "system-info"      # uname/sysinfo/getrandom/getcpu
+    SYSTEM_ADMIN = "system-admin"    # mount/reboot/swap/modules/quota
+    ASYNC_IO = "async-io"            # io_setup family, io_uring
+    XATTR = "xattr"
+    DEBUG = "debug"                  # ptrace/perf/process_vm/kcmp
+    MISC = "misc"
+
+
+def _expand(groups: dict[Category, str]) -> dict[str, Category]:
+    mapping: dict[str, Category] = {}
+    for category, names in groups.items():
+        for name in names.split():
+            mapping[name] = category
+    return mapping
+
+
+_GROUPS: dict[Category, str] = {
+    Category.FILE_IO: (
+        "read write readv writev pread64 pwrite64 preadv pwritev preadv2 pwritev2 "
+        "lseek sendfile splice tee vmsplice copy_file_range sync_file_range "
+        "fsync fdatasync sync syncfs fadvise64 readahead ioctl fcntl flock "
+        "fallocate close close_range dup dup2 dup3 lookup_dcookie"
+    ),
+    Category.FILESYSTEM: (
+        "open openat openat2 creat stat fstat lstat newfstatat statx access "
+        "faccessat faccessat2 getdents getdents64 getcwd chdir fchdir rename "
+        "renameat renameat2 mkdir mkdirat rmdir link linkat unlink unlinkat "
+        "symlink symlinkat readlink readlinkat chmod fchmod fchmodat chown "
+        "fchown lchown fchownat truncate ftruncate truncate64 ftruncate64 "
+        "mknod mknodat utime utimes utimensat futimesat umask statfs fstatfs "
+        "ustat sysfs name_to_handle_at open_by_handle_at memfd_create "
+        "memfd_secret uselib open_tree"
+    ),
+    Category.MEMORY: (
+        "mmap munmap mprotect brk mremap msync mincore madvise process_madvise "
+        "mlock munlock mlockall munlockall mlock2 remap_file_pages mbind "
+        "set_mempolicy get_mempolicy migrate_pages move_pages pkey_mprotect "
+        "pkey_alloc pkey_free process_mrelease"
+    ),
+    Category.PROCESS: (
+        "fork vfork execve execveat exit exit_group wait4 waitid waitpid "
+        "kill tkill tgkill personality prctl pidfd_open pidfd_getfd "
+        "pidfd_send_signal"
+    ),
+    Category.THREADS: (
+        "clone clone3 set_tid_address set_robust_list get_robust_list "
+        "set_thread_area get_thread_area arch_prctl modify_ldt gettid "
+        "membarrier rseq"
+    ),
+    Category.SIGNALS: (
+        "rt_sigaction rt_sigprocmask rt_sigreturn rt_sigpending "
+        "rt_sigtimedwait rt_sigqueueinfo rt_sigsuspend rt_tgsigqueueinfo "
+        "sigaltstack pause alarm restart_syscall sigaction sigprocmask "
+        "sigreturn"
+    ),
+    Category.NETWORK: (
+        "socket connect accept accept4 bind listen getsockname getpeername "
+        "socketpair setsockopt getsockopt shutdown sendto recvfrom sendmsg "
+        "recvmsg sendmmsg recvmmsg socketcall sethostname setdomainname"
+    ),
+    Category.TIME: (
+        "gettimeofday settimeofday time times nanosleep clock_gettime "
+        "clock_settime clock_getres clock_nanosleep clock_adjtime adjtimex "
+        "getitimer setitimer timer_create timer_settime timer_gettime "
+        "timer_getoverrun timer_delete timerfd_create timerfd_settime "
+        "timerfd_gettime"
+    ),
+    Category.IPC: (
+        "pipe pipe2 shmget shmat shmctl shmdt semget semop semctl semtimedop "
+        "msgget msgsnd msgrcv msgctl mq_open mq_unlink mq_timedsend "
+        "mq_timedreceive mq_notify mq_getsetattr ipc getpmsg putpmsg"
+    ),
+    Category.IDENTITY: (
+        "getpid getppid getuid geteuid getgid getegid setuid setgid setreuid "
+        "setregid getgroups setgroups setresuid getresuid setresgid "
+        "getresgid setfsuid setfsgid getpgid setpgid getpgrp getsid setsid "
+        "getuid32 geteuid32 getgid32 getegid32 setuid32 setgid32 setreuid32 "
+        "setregid32 getgroups32 setgroups32 setresuid32 getresuid32 "
+        "setresgid32 getresgid32 fchown32 lchown32 chown32"
+    ),
+    Category.SECURITY: (
+        "capget capset seccomp add_key request_key keyctl landlock_create_ruleset "
+        "landlock_add_rule landlock_restrict_self bpf userfaultfd "
+        "security chroot pivot_root setns unshare"
+    ),
+    Category.SCHEDULING: (
+        "sched_yield sched_setparam sched_getparam sched_setscheduler "
+        "sched_getscheduler sched_get_priority_max sched_get_priority_min "
+        "sched_rr_get_interval sched_setaffinity sched_getaffinity "
+        "sched_setattr sched_getattr getpriority setpriority ioprio_set "
+        "ioprio_get getcpu"
+    ),
+    Category.SYNCHRONIZATION: "futex",
+    Category.EVENTS: (
+        "poll ppoll select pselect6 _newselect epoll_create epoll_create1 "
+        "epoll_ctl epoll_wait epoll_pwait epoll_pwait2 epoll_ctl_old "
+        "epoll_wait_old eventfd eventfd2 signalfd signalfd4 inotify_init "
+        "inotify_init1 inotify_add_watch inotify_rm_watch fanotify_init "
+        "fanotify_mark"
+    ),
+    Category.RESOURCE_LIMITS: (
+        "getrlimit setrlimit prlimit64 getrusage old_getrlimit"
+    ),
+    Category.SYSTEM_INFO: (
+        "uname sysinfo syslog getrandom _sysctl _llseek"
+    ),
+    Category.SYSTEM_ADMIN: (
+        "mount umount2 mount_setattr move_mount fsopen fsconfig fsmount "
+        "fspick swapon swapoff reboot init_module finit_module delete_module "
+        "create_module get_kernel_syms query_module quotactl quotactl_fd "
+        "nfsservctl acct kexec_load kexec_file_load vhangup iopl ioperm "
+        "afs_syscall tuxcall vserver"
+    ),
+    Category.ASYNC_IO: (
+        "io_setup io_destroy io_getevents io_submit io_cancel io_pgetevents "
+        "io_uring_setup io_uring_enter io_uring_register"
+    ),
+    Category.XATTR: (
+        "setxattr lsetxattr fsetxattr getxattr lgetxattr fgetxattr listxattr "
+        "llistxattr flistxattr removexattr lremovexattr fremovexattr"
+    ),
+    Category.DEBUG: (
+        "ptrace perf_event_open process_vm_readv process_vm_writev kcmp"
+    ),
+}
+
+#: Mapping of syscall name -> functional category (covers both tables).
+CATEGORY_OF: dict[str, Category] = _expand(_GROUPS)
+
+#: Paper Section 5.2 splits the table at number ~150: below are
+#: long-standing core services, above are modern functionality.
+MODERN_THRESHOLD = 150
+
+
+def category_of(name: str) -> Category:
+    """Return the functional category of *name* (MISC when unclassified)."""
+    return CATEGORY_OF.get(name, Category.MISC)
+
+
+def is_modern(number: int) -> bool:
+    """True when the syscall sits in the paper's "higher range" (>~150)."""
+    return number >= MODERN_THRESHOLD
+
+
+def uncategorized_names() -> frozenset[str]:
+    """x86-64 syscall names that fall back to MISC (sanity helper)."""
+    return frozenset(
+        name for name in SYSCALLS_X86_64.values() if name not in CATEGORY_OF
+    )

@@ -1,0 +1,145 @@
+"""Per-syscall metadata used across the analysis and study modules.
+
+Three orthogonal facts about each syscall matter to the paper:
+
+* **resource semantics** — whether the call allocates or frees file
+  descriptors or memory. Section 5.3 shows that allocators generally
+  cannot be stubbed/faked while liberators can (at a resource-usage
+  cost), so the metrics module keys regressions off this.
+* **wrapper status** — whether glibc exposes a C wrapper. Section 5.6
+  counts ~51 syscalls without a wrapper (invoked via ``syscall(2)``),
+  and the return-check study (Figure 7) inspects *wrapper* call sites.
+* **failure profile** — a handful of syscalls can essentially never
+  fail (``alarm``, ``getppid``...); Figure 7 notes no application checks
+  their return values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import UnknownSyscallError
+from repro.syscalls.categories import Category, category_of, is_modern
+from repro.syscalls.table_x86_64 import NUMBERS_X86_64, SYSCALLS_X86_64
+
+
+class ResourceEffect(enum.Enum):
+    """What a successful invocation does to process-visible resources."""
+
+    NONE = "none"
+    ALLOCATES_FD = "allocates-fd"
+    FREES_FD = "frees-fd"
+    ALLOCATES_MEMORY = "allocates-memory"
+    FREES_MEMORY = "frees-memory"
+
+
+_FD_ALLOCATORS = frozenset(
+    "open openat openat2 creat dup dup2 dup3 socket accept accept4 socketpair "
+    "pipe pipe2 epoll_create epoll_create1 eventfd eventfd2 signalfd signalfd4 "
+    "timerfd_create inotify_init inotify_init1 fanotify_init memfd_create "
+    "memfd_secret perf_event_open userfaultfd io_uring_setup pidfd_open "
+    "fcntl64 name_to_handle_at open_by_handle_at".split()
+)
+
+_FD_LIBERATORS = frozenset("close close_range".split())
+
+_MEM_ALLOCATORS = frozenset("mmap mmap2 old_mmap brk mremap shmat".split())
+
+_MEM_LIBERATORS = frozenset("munmap shmdt".split())
+
+#: Syscalls that succeed unconditionally (or whose failure is not
+#: observable in practice); Figure 7 finds no app checks these.
+ALWAYS_SUCCEEDS = frozenset(
+    "alarm getpid getppid getuid geteuid getgid getegid gettid umask "
+    "getpgrp sync sched_yield pause".split()
+)
+
+#: Syscalls without a glibc wrapper as of glibc 2.33 (Section 5.6 counts
+#: "around 51"); applications reach them through ``syscall(2)``. The set
+#: below lists the prominent members our corpus and studies reference.
+NO_GLIBC_WRAPPER = frozenset(
+    "futex arch_prctl set_tid_address set_robust_list get_robust_list "
+    "gettid tkill tgkill io_setup io_destroy io_getevents io_submit "
+    "io_cancel seccomp bpf kcmp rseq membarrier pidfd_open pidfd_getfd "
+    "pidfd_send_signal io_uring_setup io_uring_enter io_uring_register "
+    "clone3 openat2 close_range faccessat2 process_madvise epoll_pwait2 "
+    "mount_setattr landlock_create_ruleset landlock_add_rule "
+    "landlock_restrict_self memfd_secret process_mrelease open_tree "
+    "move_mount fsopen fsconfig fsmount fspick getdents getdents64 "
+    "restart_syscall rt_sigreturn exit_group futimesat _sysctl "
+    "modify_ldt lookup_dcookie".split()
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class SyscallInfo:
+    """Static facts about one x86-64 system call."""
+
+    number: int
+    name: str
+    category: Category
+    resource_effect: ResourceEffect
+    has_glibc_wrapper: bool
+    always_succeeds: bool
+    modern: bool
+
+    @property
+    def is_vectored(self) -> bool:
+        """True when the syscall multiplexes sub-features (Section 5.4)."""
+        from repro.syscalls.subfeatures import VECTORED_SYSCALLS
+
+        return self.name in VECTORED_SYSCALLS
+
+
+def _resource_effect(name: str) -> ResourceEffect:
+    if name in _FD_ALLOCATORS:
+        return ResourceEffect.ALLOCATES_FD
+    if name in _FD_LIBERATORS:
+        return ResourceEffect.FREES_FD
+    if name in _MEM_ALLOCATORS:
+        return ResourceEffect.ALLOCATES_MEMORY
+    if name in _MEM_LIBERATORS:
+        return ResourceEffect.FREES_MEMORY
+    return ResourceEffect.NONE
+
+
+def _build_registry() -> dict[str, SyscallInfo]:
+    registry: dict[str, SyscallInfo] = {}
+    for number, name in SYSCALLS_X86_64.items():
+        registry[name] = SyscallInfo(
+            number=number,
+            name=name,
+            category=category_of(name),
+            resource_effect=_resource_effect(name),
+            has_glibc_wrapper=name not in NO_GLIBC_WRAPPER,
+            always_succeeds=name in ALWAYS_SUCCEEDS,
+            modern=is_modern(number),
+        )
+    return registry
+
+
+_REGISTRY: dict[str, SyscallInfo] = _build_registry()
+
+
+def info(name_or_number: str | int) -> SyscallInfo:
+    """Look up :class:`SyscallInfo` by name or x86-64 number."""
+    if isinstance(name_or_number, int):
+        name = SYSCALLS_X86_64.get(name_or_number)
+        if name is None:
+            raise UnknownSyscallError(name_or_number)
+        return _REGISTRY[name]
+    found = _REGISTRY.get(name_or_number)
+    if found is None:
+        raise UnknownSyscallError(name_or_number)
+    return found
+
+
+def all_infos() -> tuple[SyscallInfo, ...]:
+    """Every known x86-64 syscall, ordered by number."""
+    return tuple(sorted(_REGISTRY.values(), key=lambda i: i.number))
+
+
+def exists(name: str) -> bool:
+    """True when *name* is a known x86-64 syscall."""
+    return name in NUMBERS_X86_64

@@ -1,0 +1,188 @@
+"""Sub-features of vectored and multi-purpose system calls.
+
+Section 5.4 of the paper shows that treating syscalls as monolithic is
+too coarse: ``arch_prctl`` has 6 operations but applications only ever
+need ``ARCH_SET_FS``; ``prlimit64`` covers 16 resources of which 3 are
+used; ``fcntl`` mixes required commands (``F_SETFL``) with always-
+stubbable ones (``F_SETFD``). This module is the vocabulary for that
+finer granularity: for each vectored syscall we list its operation
+space, the argument register that selects the operation, and the raw
+command values so the real ptrace backend can decode live traffic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import UnknownSyscallError
+
+
+@dataclasses.dataclass(frozen=True)
+class SubFeature:
+    """One operation of a vectored syscall (e.g. ``fcntl``/``F_SETFL``)."""
+
+    syscall: str
+    name: str
+    value: int
+    description: str = ""
+
+    @property
+    def qualified(self) -> str:
+        """Canonical ``syscall:OPERATION`` spelling used in reports."""
+        return f"{self.syscall}:{self.name}"
+
+
+@dataclasses.dataclass(frozen=True)
+class VectoredSyscall:
+    """A syscall whose behavior is selected by one argument register."""
+
+    name: str
+    selector_arg: int                      # 0-based index of the selecting argument
+    operations: tuple[SubFeature, ...]
+
+    def by_value(self, value: int) -> SubFeature | None:
+        """Decode a raw selector value captured from a live register."""
+        for operation in self.operations:
+            if operation.value == value:
+                return operation
+        return None
+
+    def by_name(self, name: str) -> SubFeature:
+        for operation in self.operations:
+            if operation.name == name:
+                return operation
+        raise UnknownSyscallError(f"{self.name}:{name}")
+
+
+def _vectored(name: str, selector_arg: int, ops: dict[str, tuple[int, str]]) -> VectoredSyscall:
+    features = tuple(
+        SubFeature(syscall=name, name=op, value=value, description=desc)
+        for op, (value, desc) in ops.items()
+    )
+    return VectoredSyscall(name=name, selector_arg=selector_arg, operations=features)
+
+
+IOCTL = _vectored("ioctl", 1, {
+    "TCGETS": (0x5401, "get terminal attributes"),
+    "TCSETS": (0x5402, "set terminal attributes"),
+    "TCSETSW": (0x5403, "set terminal attributes, drain"),
+    "TIOCGPGRP": (0x540F, "get foreground process group"),
+    "TIOCSPGRP": (0x5410, "set foreground process group"),
+    "TIOCGWINSZ": (0x5413, "get terminal window size"),
+    "TIOCSWINSZ": (0x5414, "set terminal window size"),
+    "FIONREAD": (0x541B, "bytes available to read"),
+    "FIONBIO": (0x5421, "set non-blocking I/O"),
+    "FIOASYNC": (0x5452, "set async I/O notification"),
+    "FIOCLEX": (0x5451, "set close-on-exec"),
+    "SIOCGIFCONF": (0x8912, "get interface list"),
+    "SIOCGIFFLAGS": (0x8913, "get interface flags"),
+    "SIOCGIFADDR": (0x8915, "get interface address"),
+    "SIOCGIFMTU": (0x8921, "get interface MTU"),
+})
+
+FCNTL = _vectored("fcntl", 1, {
+    "F_DUPFD": (0, "duplicate descriptor"),
+    "F_GETFD": (1, "get descriptor flags"),
+    "F_SETFD": (2, "set descriptor flags (close-on-exec)"),
+    "F_GETFL": (3, "get file status flags"),
+    "F_SETFL": (4, "set file status flags (O_NONBLOCK)"),
+    "F_GETLK": (5, "test record lock"),
+    "F_SETLK": (6, "set record lock"),
+    "F_SETLKW": (7, "set record lock, wait"),
+    "F_SETOWN": (8, "set SIGIO owner"),
+    "F_GETOWN": (9, "get SIGIO owner"),
+    "F_DUPFD_CLOEXEC": (1030, "duplicate descriptor, close-on-exec"),
+    "F_ADD_SEALS": (1033, "add memfd seals"),
+})
+
+PRCTL = _vectored("prctl", 0, {
+    "PR_SET_PDEATHSIG": (1, "signal on parent death"),
+    "PR_GET_DUMPABLE": (3, "query dumpable flag"),
+    "PR_SET_DUMPABLE": (4, "set dumpable flag"),
+    "PR_SET_KEEPCAPS": (8, "retain capabilities across setuid"),
+    "PR_SET_NAME": (15, "set thread name"),
+    "PR_GET_NAME": (16, "get thread name"),
+    "PR_SET_SECCOMP": (22, "install seccomp filter"),
+    "PR_CAPBSET_READ": (23, "read capability bounding set"),
+    "PR_SET_NO_NEW_PRIVS": (38, "disable privilege escalation"),
+    "PR_CAP_AMBIENT": (47, "ambient capabilities"),
+})
+
+ARCH_PRCTL = _vectored("arch_prctl", 0, {
+    "ARCH_SET_GS": (0x1001, "set GS base"),
+    "ARCH_SET_FS": (0x1002, "set FS base (TLS setup)"),
+    "ARCH_GET_FS": (0x1003, "get FS base"),
+    "ARCH_GET_GS": (0x1004, "get GS base"),
+    "ARCH_GET_CPUID": (0x1011, "query CPUID faulting"),
+    "ARCH_SET_CPUID": (0x1012, "set CPUID faulting"),
+})
+
+PRLIMIT64 = _vectored("prlimit64", 1, {
+    "RLIMIT_CPU": (0, "CPU time"),
+    "RLIMIT_FSIZE": (1, "file size"),
+    "RLIMIT_DATA": (2, "data segment"),
+    "RLIMIT_STACK": (3, "stack size"),
+    "RLIMIT_CORE": (4, "core file size"),
+    "RLIMIT_RSS": (5, "resident set size"),
+    "RLIMIT_NPROC": (6, "process count"),
+    "RLIMIT_NOFILE": (7, "open file descriptors"),
+    "RLIMIT_MEMLOCK": (8, "locked memory"),
+    "RLIMIT_AS": (9, "address space"),
+    "RLIMIT_LOCKS": (10, "file locks"),
+    "RLIMIT_SIGPENDING": (11, "pending signals"),
+    "RLIMIT_MSGQUEUE": (12, "POSIX message queue bytes"),
+    "RLIMIT_NICE": (13, "nice ceiling"),
+    "RLIMIT_RTPRIO": (14, "realtime priority ceiling"),
+    "RLIMIT_RTTIME": (15, "realtime CPU budget"),
+})
+
+MADVISE = _vectored("madvise", 2, {
+    "MADV_NORMAL": (0, "default paging"),
+    "MADV_RANDOM": (1, "random access pattern"),
+    "MADV_SEQUENTIAL": (2, "sequential access pattern"),
+    "MADV_WILLNEED": (3, "prefetch pages"),
+    "MADV_DONTNEED": (4, "drop pages"),
+    "MADV_FREE": (8, "lazily free pages"),
+    "MADV_HUGEPAGE": (14, "enable THP"),
+    "MADV_NOHUGEPAGE": (15, "disable THP"),
+})
+
+MMAP = _vectored("mmap", 3, {
+    "MAP_SHARED": (0x01, "shared file mapping"),
+    "MAP_PRIVATE": (0x02, "private mapping"),
+    "MAP_FIXED": (0x10, "fixed-address mapping"),
+    "MAP_ANONYMOUS": (0x20, "anonymous memory"),
+})
+
+#: All vectored syscalls, keyed by syscall name.
+VECTORED_SYSCALLS: dict[str, VectoredSyscall] = {
+    v.name: v for v in (IOCTL, FCNTL, PRCTL, ARCH_PRCTL, PRLIMIT64, MADVISE, MMAP)
+}
+
+
+def is_vectored(syscall: str) -> bool:
+    """True when *syscall* multiplexes sub-features."""
+    return syscall in VECTORED_SYSCALLS
+
+
+def decode(syscall: str, selector_value: int) -> SubFeature | None:
+    """Decode a live selector register value into a sub-feature.
+
+    Returns ``None`` for non-vectored syscalls or unknown selector
+    values (the analyzer then falls back to whole-syscall granularity).
+    """
+    vectored = VECTORED_SYSCALLS.get(syscall)
+    if vectored is None:
+        return None
+    return vectored.by_value(selector_value)
+
+
+def parse_qualified(qualified: str) -> tuple[str, str | None]:
+    """Split ``"fcntl:F_SETFL"`` into ``("fcntl", "F_SETFL")``.
+
+    Plain syscall names pass through as ``(name, None)``.
+    """
+    if ":" not in qualified:
+        return qualified, None
+    syscall, _, operation = qualified.partition(":")
+    return syscall, operation

@@ -1,0 +1,260 @@
+"""Tests for the hand-modeled applications: paper-calibrated behavior.
+
+Each test pins a fact the paper states about a specific application;
+ranges are used where the paper gives approximate values.
+"""
+
+import pytest
+
+from repro.core.analyzer import Analyzer, AnalyzerConfig
+from repro.study.base import analyze_app
+
+
+@pytest.fixture(scope="module")
+def by_name(cloud_app_set):
+    return {app.name: app for app in cloud_app_set}
+
+
+def _analysis(app, workload):
+    return analyze_app(app, workload)
+
+
+class TestRedisCalibration:
+    def test_bench_required_about_twenty(self, by_name):
+        """Section 1/5.1: ~20 syscalls required for redis-benchmark."""
+        result = _analysis(by_name["redis"], "bench")
+        assert 14 <= len(result.required_syscalls()) <= 24
+
+    def test_suite_requires_more(self, by_name):
+        bench = _analysis(by_name["redis"], "bench")
+        suite = _analysis(by_name["redis"], "suite")
+        assert len(suite.required_syscalls()) > len(bench.required_syscalls())
+        assert 30 <= len(suite.required_syscalls()) <= 48
+
+    def test_suite_traced_about_sixtyeight(self, by_name):
+        result = _analysis(by_name["redis"], "suite")
+        assert 60 <= len(result.traced_syscalls()) <= 78
+
+    def test_static_binary_103(self, by_name):
+        assert len(by_name["redis"].program.static_view("binary")) == 103
+
+    def test_more_than_half_bench_avoidable(self, by_name):
+        """Section 1: more than half of redis-benchmark syscalls can be
+        stubbed or faked."""
+        result = _analysis(by_name["redis"], "bench")
+        assert len(result.avoidable_syscalls()) > len(result.traced_syscalls()) / 2
+
+    def test_sysinfo_ignored(self, by_name):
+        """Section 5.2: Redis ignores sysinfo failure."""
+        result = _analysis(by_name["redis"], "bench")
+        assert result.features["sysinfo"].decision.can_stub
+
+    def test_prlimit_safe_default(self, by_name):
+        """Figure 6a: getrlimit failure -> assume 1024 descriptors."""
+        result = _analysis(by_name["redis"], "bench")
+        assert result.features["prlimit64"].decision.can_stub
+
+    def test_futex_fake_flagged(self, by_name):
+        """Table 2: faking futex degrades perf 66% and doubles fds."""
+        result = _analysis(by_name["redis"], "bench")
+        futex = result.features["futex"]
+        assert futex.fake_impact is not None
+        assert futex.fake_impact.perf.significant
+        assert futex.fake_impact.perf.delta == pytest.approx(-0.66, abs=0.05)
+        assert futex.fake_impact.fd.delta == pytest.approx(0.94, abs=0.05)
+
+    def test_futex_required_under_suite(self, by_name):
+        result = _analysis(by_name["redis"], "suite")
+        assert "futex" in result.required_syscalls()
+
+    def test_pipe2_breaks_persistence_only(self, by_name):
+        bench = _analysis(by_name["redis"], "bench")
+        assert bench.features["pipe2"].decision.avoidable
+        suite = _analysis(by_name["redis"], "suite")
+        assert suite.features["pipe2"].decision.required
+
+
+class TestNginxCalibration:
+    def test_prctl_fake_only(self, by_name):
+        """Figure 6b: prctl(PR_SET_KEEPCAPS) fatal on stub, fakeable."""
+        result = _analysis(by_name["nginx"], "bench")
+        prctl = result.features["prctl"].decision
+        assert not prctl.can_stub
+        assert prctl.can_fake
+
+    def test_write_boosts_benchmark(self, by_name):
+        """Table 2: stubbing write skips access logs: +15% throughput."""
+        result = _analysis(by_name["nginx"], "bench")
+        write = result.features["write"]
+        assert write.decision.avoidable
+        assert write.stub_impact.perf.delta == pytest.approx(0.15, abs=0.03)
+
+    def test_write_required_by_suite(self, by_name):
+        result = _analysis(by_name["nginx"], "suite")
+        assert "write" in result.required_syscalls()
+
+    def test_sigsuspend_slows_benchmark(self, by_name):
+        result = _analysis(by_name["nginx"], "bench")
+        impact = result.features["rt_sigsuspend"].stub_impact
+        assert impact.perf.delta == pytest.approx(-0.38, abs=0.03)
+
+    def test_clone_fake_costs_memory(self, by_name):
+        result = _analysis(by_name["nginx"], "bench")
+        clone = result.features["clone"]
+        assert not clone.decision.can_stub
+        assert clone.decision.can_fake
+        assert clone.fake_impact.mem.delta == pytest.approx(0.10, abs=0.03)
+
+    def test_no_futex(self, by_name):
+        """Nginx is process-based: no futex in its footprint (Table 3)."""
+        result = _analysis(by_name["nginx"], "bench")
+        assert "futex" not in result.traced_syscalls()
+
+    def test_sendfile_falls_back(self, by_name):
+        result = _analysis(by_name["nginx"], "bench")
+        assert result.features["sendfile"].decision.can_stub
+
+    def test_suite_has_lowest_avoidable_fraction(self, by_name, seven_app_set):
+        """Section 5.2: Nginx's suite is the least stub/fake tolerant."""
+        fractions = {}
+        for app in seven_app_set:
+            result = _analysis(app, "suite")
+            traced = len(result.traced_syscalls())
+            fractions[app.name] = len(result.avoidable_syscalls()) / traced
+        assert min(fractions, key=fractions.get) == "nginx"
+
+
+class TestOtherAppFacts:
+    def test_sqlite_mremap_fallback(self, by_name):
+        """Section 5.2: SQLite re-allocates with mmap when mremap fails."""
+        result = _analysis(by_name["sqlite"], "bench")
+        assert result.features["mremap"].decision.can_stub
+
+    def test_sqlite_has_no_network(self, by_name):
+        result = _analysis(by_name["sqlite"], "bench")
+        assert "socket" not in result.traced_syscalls()
+
+    def test_haproxy_most_avoidable_bench(self, by_name, seven_app_set):
+        """Section 5.2: HAProxy tops benchmark stub/fake tolerance (65%)."""
+        fractions = {}
+        for app in seven_app_set:
+            result = _analysis(app, "bench")
+            fractions[app.name] = (
+                len(result.avoidable_syscalls()) / len(result.traced_syscalls())
+            )
+        assert max(fractions, key=fractions.get) == "haproxy"
+        assert fractions["haproxy"] >= 0.55
+
+    def test_webfsd_requires_identity(self, by_name):
+        """Table 1: Kerla implements getuid/getgid/geteuid/getegid for
+        webfsd."""
+        result = _analysis(by_name["webfsd"], "bench")
+        required = result.required_syscalls()
+        assert {"getuid", "getgid", "geteuid", "getegid"} <= required
+
+    def test_h2o_uses_eventfd2_and_accept4(self, by_name):
+        result = _analysis(by_name["h2o"], "bench")
+        required = result.required_syscalls()
+        assert "eventfd2" in required
+        assert "accept4" in required
+
+    def test_mongodb_deep_requirements(self, by_name):
+        """Table 1: MongoDB needs mincore, rt_sigtimedwait, timerfd_create,
+        flock — every OS unlocks it last."""
+        result = _analysis(by_name["mongodb"], "bench")
+        required = result.required_syscalls()
+        assert {"mincore", "rt_sigtimedwait", "timerfd_create", "flock"} <= required
+
+    def test_mongodb_has_largest_required_set(self, by_name, cloud_app_set):
+        sizes = {
+            app.name: len(_analysis(app, "bench").required_syscalls())
+            for app in cloud_app_set
+        }
+        assert max(sizes, key=sizes.get) == "mongodb"
+
+    def test_iperf3_brk_memory_effect(self, by_name):
+        """Table 2: iPerf3's only impact is brk -> mmap fallback (+11%)."""
+        result = _analysis(by_name["iperf3"], "bench")
+        brk = result.features["brk"]
+        assert brk.decision.can_stub
+        assert brk.stub_impact.mem.delta == pytest.approx(0.11, abs=0.02)
+
+    def test_etcd_is_libc_free(self, by_name):
+        """Go binary: no brk, no access, raw runtime syscalls."""
+        result = _analysis(by_name["etcd"], "bench")
+        traced = result.traced_syscalls()
+        assert "brk" not in traced
+        assert "rt_sigaction" in result.required_syscalls()
+
+    def test_memcached_threading_required(self, by_name):
+        result = _analysis(by_name["memcached"], "bench")
+        assert {"clone", "futex", "eventfd2"} <= result.required_syscalls()
+
+
+class TestLibcInfluenceOnServers:
+    """Section 5.6 on a full server: the libc choice changes the
+    syscall footprint of the very same application."""
+
+    def test_nginx_musl_footprint_differs(self):
+        from repro.appsim.apps import nginx as nginx_module
+        from repro.appsim.libc import LibcModel
+
+        glibc_build = nginx_module.build("1.20")
+        musl_build = nginx_module.build(
+            "1.20-musl", libc=LibcModel("musl", "1.2.2", "dynamic")
+        )
+        glibc_live = glibc_build.program.live_syscalls()
+        musl_live = musl_build.program.live_syscalls()
+        # musl maps itself via the linker: no openat/read loader dance
+        # in init (nginx's own config loading still uses openat).
+        assert "set_tid_address" in musl_live
+        assert "readlink" not in musl_live
+        # glibc registers robust lists; musl does not.
+        assert "set_robust_list" in glibc_live
+        assert "set_robust_list" not in musl_live
+
+    def test_musl_nginx_still_analyzable(self):
+        from repro.appsim.apps import nginx as nginx_module
+        from repro.appsim.libc import LibcModel
+
+        app = nginx_module.build(
+            "1.20-musl", libc=LibcModel("musl", "1.2.2", "dynamic")
+        )
+        result = Analyzer(AnalyzerConfig(replicas=3)).analyze(
+            app.backend(), app.bench
+        )
+        assert result.final_run_ok
+        assert "writev" in result.required_syscalls()
+
+
+class TestUniversalInvariants:
+    def test_every_app_passes_every_workload_baseline(self, cloud_app_set):
+        from repro.core.policy import passthrough
+
+        for app in cloud_app_set:
+            for workload_name in ("health", "bench", "suite"):
+                run = app.backend().run(
+                    app.workload(workload_name), passthrough()
+                )
+                assert run.success, f"{app.name}/{workload_name} baseline fails"
+
+    def test_required_subset_of_traced(self, cloud_app_set):
+        for app in cloud_app_set:
+            result = _analysis(app, "bench")
+            assert result.required_syscalls() <= result.traced_syscalls()
+
+    def test_static_views_superset_of_traced(self, cloud_app_set):
+        for app in cloud_app_set:
+            result = _analysis(app, "bench")
+            source = app.program.static_view("source")
+            binary = app.program.static_view("binary")
+            assert result.traced_syscalls() <= source | result.traced_syscalls()
+            assert source <= binary
+
+    def test_final_run_confirms(self, cloud_app_set):
+        for app in cloud_app_set:
+            assert _analysis(app, "bench").final_run_ok, app.name
+
+    def test_workload_accessor_unknown(self, cloud_app_set):
+        with pytest.raises(KeyError):
+            cloud_app_set[0].workload("fuzzing")

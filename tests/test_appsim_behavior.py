@@ -1,0 +1,93 @@
+"""Tests for failure-policy and fake-reaction types."""
+
+import pytest
+
+from repro.appsim.behavior import (
+    NEUTRAL,
+    FakeKind,
+    FakeReaction,
+    MetricShift,
+    StubKind,
+    StubReaction,
+    abort,
+    as_failure,
+    breaks,
+    breaks_core,
+    disable,
+    fallback,
+    harmless,
+    ignore,
+    safe_default,
+)
+from repro.appsim.program import SyscallOp
+
+
+class TestConstructors:
+    def test_ignore(self):
+        reaction = ignore()
+        assert reaction.kind is StubKind.IGNORE
+        assert reaction.shift.neutral
+
+    def test_ignore_with_shift(self):
+        reaction = ignore(perf_factor=1.15, mem_frac=0.17)
+        assert reaction.shift.perf_factor == 1.15
+        assert reaction.shift.mem_frac == 0.17
+        assert not reaction.shift.neutral
+
+    def test_abort(self):
+        assert abort().kind is StubKind.ABORT
+
+    def test_safe_default(self):
+        assert safe_default().kind is StubKind.SAFE_DEFAULT
+
+    def test_disable(self):
+        reaction = disable("persistence", fd_frac=-0.25)
+        assert reaction.kind is StubKind.DISABLE_FEATURE
+        assert reaction.feature == "persistence"
+        assert reaction.shift.fd_frac == -0.25
+
+    def test_fallback(self):
+        op = SyscallOp(syscall="mmap", on_stub=abort(), on_fake=breaks_core())
+        reaction = fallback(op, mem_frac=0.17)
+        assert reaction.kind is StubKind.FALLBACK
+        assert reaction.fallback is op
+
+    def test_harmless(self):
+        assert harmless().kind is FakeKind.HARMLESS
+
+    def test_breaks(self):
+        reaction = breaks("concurrency", perf_factor=0.34, fd_frac=0.94)
+        assert reaction.kind is FakeKind.BREAKS_FEATURE
+        assert reaction.feature == "concurrency"
+        assert reaction.shift.perf_factor == 0.34
+
+    def test_breaks_core(self):
+        assert breaks_core().kind is FakeKind.BREAKS_CORE
+
+    def test_as_failure(self):
+        assert as_failure().kind is FakeKind.AS_FAILURE
+
+
+class TestValidation:
+    def test_disable_needs_feature(self):
+        with pytest.raises(ValueError):
+            StubReaction(kind=StubKind.DISABLE_FEATURE)
+
+    def test_fallback_needs_op(self):
+        with pytest.raises(ValueError):
+            StubReaction(kind=StubKind.FALLBACK)
+
+    def test_breaks_needs_feature(self):
+        with pytest.raises(ValueError):
+            FakeReaction(kind=FakeKind.BREAKS_FEATURE)
+
+
+class TestMetricShift:
+    def test_neutral_constant(self):
+        assert NEUTRAL.neutral
+        assert NEUTRAL.perf_factor == 1.0
+
+    def test_non_neutral(self):
+        assert not MetricShift(perf_factor=0.9).neutral
+        assert not MetricShift(fd_frac=0.1).neutral
+        assert not MetricShift(mem_frac=-0.1).neutral

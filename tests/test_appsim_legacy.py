@@ -1,0 +1,76 @@
+"""Tests for historical build derivation (Figure 8 support)."""
+
+from repro.appsim.apps.legacy import (
+    BACKDATE_DROPS,
+    BACKDATE_REWRITES,
+    backdate,
+    build_legacy_pairs,
+)
+from repro.appsim.corpus import build
+from repro.core.policy import passthrough
+
+
+class TestBackdating:
+    def test_modern_variants_rewritten(self):
+        app = build("memcached")
+        old = backdate(app, version="1.2", year=2006)
+        live = old.program.live_syscalls()
+        assert "accept4" not in live
+        assert "accept" in live
+        assert "epoll_create1" not in live
+        assert "epoll_create" in live
+
+    def test_era_inappropriate_calls_dropped(self):
+        app = build("memcached")
+        old = backdate(app, version="1.2", year=2006)
+        live = old.program.live_syscalls()
+        for gone in ("getrandom", "eventfd2"):
+            assert gone not in live
+
+    def test_counts_roughly_stable(self):
+        """The paper's point: old and new builds have similar footprints."""
+        app = build("nginx")
+        old = backdate(app, version="0.3.19", year=2006)
+        new_count = len(app.program.live_syscalls())
+        old_count = len(old.program.live_syscalls())
+        assert abs(new_count - old_count) <= 6
+
+    def test_backdated_app_still_runs(self):
+        app = build("redis")
+        old = backdate(app, version="2.0", year=2010)
+        run = old.backend().run(old.workloads["health"], passthrough())
+        assert run.success
+
+    def test_fallbacks_backdated_too(self):
+        app = build("redis")
+        old = backdate(app, version="2.0", year=2010)
+        for op in old.program.ops:
+            if op.on_stub.fallback is not None:
+                assert op.on_stub.fallback.syscall not in BACKDATE_REWRITES
+
+    def test_metadata(self):
+        app = build("redis")
+        old = backdate(app, version="2.0", year=2010)
+        assert old.version == "2.0"
+        assert old.year == 2010
+        assert old.name == "redis"
+
+
+class TestLegacyPairs:
+    def test_three_paper_subjects(self):
+        pairs = build_legacy_pairs()
+        assert set(pairs) == {"httpd", "nginx", "redis"}
+
+    def test_pair_structure(self):
+        for name, (old, recent) in build_legacy_pairs().items():
+            assert old.year < 2012
+            assert old.name == recent.name == name
+
+    def test_rewrite_map_values_are_valid(self):
+        from repro.syscalls import exists
+
+        for old_name, new_name in BACKDATE_REWRITES.items():
+            assert exists(old_name)
+            assert exists(new_name)
+        for name in BACKDATE_DROPS:
+            assert exists(name)

@@ -1,0 +1,95 @@
+"""Tests for the libc models against the paper's Table 4 facts."""
+
+from collections import Counter
+
+import pytest
+
+from repro.appsim.libc import (
+    GLIBC_228_DYNAMIC,
+    GLIBC_228_STATIC,
+    MUSL_122_DYNAMIC,
+    MUSL_122_STATIC,
+    LibcModel,
+)
+
+
+def _invocations(libc):
+    counts = Counter()
+    for op in libc.init_ops():
+        counts[op.syscall] += op.count
+    return counts
+
+
+class TestInitSequences:
+    def test_glibc_dynamic_counts(self):
+        """Table 4: glibc 2.28 dynamic init = 26 invocations pre-main."""
+        counts = _invocations(GLIBC_228_DYNAMIC)
+        assert counts["execve"] == 1
+        assert counts["brk"] == 3
+        assert counts["mmap"] == 7
+        assert counts["mprotect"] == 4
+        assert counts["openat"] == 2
+        assert counts["fstat"] == 3
+        assert counts["close"] == 2
+        assert sum(counts.values()) == 26
+
+    def test_musl_dynamic_counts(self):
+        """Table 4: musl 1.2.2 dynamic init = 9 invocations pre-main."""
+        counts = _invocations(MUSL_122_DYNAMIC)
+        assert counts["brk"] == 2
+        assert counts["mmap"] == 1
+        assert counts["set_tid_address"] == 1
+        assert counts["ioctl"] == 1
+        assert sum(counts.values()) == 9
+
+    def test_glibc_static_counts(self):
+        counts = _invocations(GLIBC_228_STATIC)
+        assert counts["brk"] == 4
+        assert counts["uname"] == 1
+        assert counts["readlink"] == 1
+        assert sum(counts.values()) == 9
+
+    def test_musl_static_counts(self):
+        counts = _invocations(MUSL_122_STATIC)
+        assert sum(counts.values()) == 4
+        assert set(counts) == {"execve", "arch_prctl", "ioctl", "set_tid_address"}
+
+    def test_musl_avoids_the_loader_dance(self):
+        """Section 5.6: musl maps itself via the linker — no openat/read."""
+        musl = set(_invocations(MUSL_122_DYNAMIC))
+        assert "openat" not in musl
+        assert "read" not in musl
+
+
+class TestWrapperChoices:
+    def test_stdio_write_choice(self):
+        assert GLIBC_228_DYNAMIC.stdio_write_syscall() == "write"
+        assert MUSL_122_DYNAMIC.stdio_write_syscall() == "writev"
+
+    def test_runtime_ops_glibc(self):
+        names = [op.syscall for op in GLIBC_228_DYNAMIC.runtime_ops()]
+        assert "set_tid_address" in names
+        assert "set_robust_list" in names
+        assert "prlimit64" in names
+        assert "exit_group" in names
+
+    def test_runtime_ops_musl_minimal(self):
+        """musl registered its TLS during init already; only process
+        teardown remains."""
+        names = [op.syscall for op in MUSL_122_DYNAMIC.runtime_ops()]
+        assert names == ["exit_group"]
+
+
+class TestValidation:
+    def test_unknown_vendor(self):
+        with pytest.raises(ValueError):
+            LibcModel("dietlibc", "0.34")
+
+    def test_unknown_linking(self):
+        with pytest.raises(ValueError):
+            LibcModel("glibc", "2.28", "holographic")
+
+    def test_brk_fallback_parameterization(self):
+        libc = LibcModel("glibc", "2.28", "dynamic", brk_fallback_mem_frac=0.17)
+        brk_ops = [op for op in libc.init_ops() if op.syscall == "brk"]
+        assert brk_ops[0].on_stub.shift.mem_frac == pytest.approx(0.17)

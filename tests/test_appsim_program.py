@@ -1,0 +1,121 @@
+"""Tests for the SimProgram model and its validation."""
+
+import pytest
+
+from repro.appsim.behavior import abort, disable, fallback, harmless, ignore
+from repro.appsim.program import (
+    Origin,
+    Phase,
+    SimProgram,
+    SyscallOp,
+    WorkloadProfile,
+)
+from repro.errors import LoupeError
+
+
+def _op(syscall="read", **kwargs):
+    kwargs.setdefault("on_stub", ignore())
+    kwargs.setdefault("on_fake", harmless())
+    return SyscallOp(syscall=syscall, **kwargs)
+
+
+class TestSyscallOp:
+    def test_unknown_syscall_rejected(self):
+        with pytest.raises(LoupeError):
+            _op("made_up_syscall")
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(LoupeError):
+            _op(count=0)
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(LoupeError):
+            _op("openat", path="etc/passwd")
+
+    def test_qualified_name(self):
+        assert _op("fcntl", subfeature="F_SETFL").qualified == "fcntl:F_SETFL"
+        assert _op("read").qualified == "read"
+
+    def test_pseudo_file_detection(self):
+        assert _op("openat", path="/dev/null").touches_pseudo_file
+        assert not _op("openat", path="/etc/passwd").touches_pseudo_file
+
+    def test_defaults(self):
+        op = _op()
+        assert op.phase is Phase.STARTUP
+        assert op.origin is Origin.APP
+        assert op.checks_return
+        assert op.when is None
+
+
+class TestProgramValidation:
+    def test_undeclared_feature_rejected(self):
+        with pytest.raises(LoupeError):
+            SimProgram(
+                name="p", version="1",
+                ops=( _op(feature="ghost"),),
+            )
+
+    def test_undeclared_stub_feature_rejected(self):
+        with pytest.raises(LoupeError):
+            SimProgram(
+                name="p", version="1",
+                ops=(_op(on_stub=disable("ghost")),),
+            )
+
+    def test_undeclared_when_feature_rejected(self):
+        with pytest.raises(LoupeError):
+            SimProgram(
+                name="p", version="1",
+                ops=(_op(when=frozenset({"ghost"})),),
+            )
+
+    def test_core_feature_implicit(self):
+        program = SimProgram(name="p", version="1", ops=(_op(),))
+        assert program.features == frozenset({"core"})
+
+
+class TestProgramViews:
+    def test_live_syscalls_include_fallbacks(self):
+        mmap_op = _op("mmap", on_stub=abort())
+        program = SimProgram(
+            name="p", version="1",
+            ops=(_op("brk", on_stub=fallback(mmap_op)),),
+        )
+        assert program.live_syscalls() == {"brk", "mmap"}
+
+    def test_static_views(self):
+        program = SimProgram(
+            name="p", version="1",
+            ops=(_op("read"),),
+            static_extra={
+                "source": frozenset({"chown"}),
+                "binary": frozenset({"chown", "mount"}),
+            },
+        )
+        assert program.static_view("source") == {"read", "chown"}
+        assert program.static_view("binary") == {"read", "chown", "mount"}
+        assert program.static_view("unknown-level") == {"read"}
+
+    def test_profiles_default_and_named(self):
+        program = SimProgram(
+            name="p", version="1", ops=(_op(),),
+            profiles={
+                "bench": WorkloadProfile(metric=5.0),
+                "*": WorkloadProfile(metric=1.0),
+            },
+        )
+        assert program.profile("bench").metric == 5.0
+        assert program.profile("anything-else").metric == 1.0
+
+    def test_checking_views(self):
+        program = SimProgram(
+            name="p", version="1",
+            ops=(
+                _op("read", checks_return=True),
+                _op("write", checks_return=False),
+                _op("close", origin=Origin.LIBC, checks_return=True),
+            ),
+        )
+        assert program.ops_checking_returns() == {"read"}
+        assert program.app_syscalls() == {"read", "write"}

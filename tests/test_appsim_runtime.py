@@ -1,0 +1,233 @@
+"""Tests for the simulated process execution semantics."""
+
+import pytest
+
+from repro.appsim.backend import SimBackend
+from repro.appsim.behavior import (
+    abort,
+    as_failure,
+    breaks,
+    breaks_core,
+    disable,
+    fallback,
+    harmless,
+    ignore,
+    safe_default,
+)
+from repro.appsim.program import Origin, SimProgram, SyscallOp, WorkloadProfile
+from repro.appsim.runtime import SimProcess, _deterministic_noise
+from repro.core.policy import Action, combined, faking, passthrough, stubbing
+from repro.core.workload import benchmark, health_check, test_suite
+from repro.errors import BackendError, WorkloadError
+
+
+def _program(ops, features=frozenset({"core"}), profiles=None):
+    return SimProgram(
+        name="rt-demo",
+        version="1",
+        ops=tuple(ops),
+        features=features,
+        profiles=profiles
+        or {"*": WorkloadProfile(metric=1000.0, fd_peak=20, mem_peak_kb=1000)},
+    )
+
+
+def _op(syscall, **kwargs):
+    kwargs.setdefault("on_stub", ignore())
+    kwargs.setdefault("on_fake", harmless())
+    return SyscallOp(syscall=syscall, **kwargs)
+
+
+class TestTracing:
+    def test_passthrough_traces_everything(self):
+        program = _program([_op("read", count=5), _op("write", count=3)])
+        run = SimProcess(program).run(health_check("health"), passthrough())
+        assert run.success
+        assert run.traced["read"] == 5
+        assert run.traced["write"] == 3
+
+    def test_stubbed_ops_still_traced(self):
+        program = _program([_op("uname")])
+        run = SimProcess(program).run(health_check("health"), stubbing("uname"))
+        assert run.traced["uname"] == 1
+
+    def test_subfeature_tracing(self):
+        program = _program([_op("fcntl", subfeature="F_SETFL", count=2)])
+        run = SimProcess(program).run(health_check("health"), passthrough())
+        assert run.traced["fcntl"] == 2
+        assert run.traced["fcntl:F_SETFL"] == 2
+
+    def test_pseudofile_tracing(self):
+        program = _program([_op("openat", path="/dev/urandom")])
+        run = SimProcess(program).run(health_check("health"), passthrough())
+        assert run.pseudo_files["/dev/urandom"] == 1
+
+    def test_regular_path_not_pseudo(self):
+        program = _program([_op("openat", path="/etc/app.conf")])
+        run = SimProcess(program).run(health_check("health"), passthrough())
+        assert not run.pseudo_files
+
+
+class TestStubSemantics:
+    def test_abort_fails_run(self):
+        program = _program([_op("socket", on_stub=abort())])
+        run = SimProcess(program).run(health_check("health"), stubbing("socket"))
+        assert not run.success
+        assert "fatal" in run.failure_reason
+
+    def test_abort_stops_execution(self):
+        program = _program(
+            [_op("socket", on_stub=abort()), _op("write", count=9)]
+        )
+        run = SimProcess(program).run(health_check("health"), stubbing("socket"))
+        assert "write" not in run.traced
+
+    def test_disable_feature_checked_only_when_exercised(self):
+        program = _program(
+            [_op("pipe2", feature="persistence", on_stub=disable("persistence"))],
+            features=frozenset({"core", "persistence"}),
+        )
+        health = SimProcess(program).run(health_check("health"), stubbing("pipe2"))
+        assert health.success
+        suite = SimProcess(program).run(
+            test_suite("suite", features=("core", "persistence")),
+            stubbing("pipe2"),
+        )
+        assert not suite.success
+        assert "persistence" in suite.failure_reason
+
+    def test_fallback_invokes_alternative_through_policy(self):
+        mmap_op = _op("mmap", on_stub=abort())
+        program = _program([_op("brk", on_stub=fallback(mmap_op))])
+        run = SimProcess(program).run(health_check("health"), stubbing("brk"))
+        assert run.success
+        assert run.traced["mmap"] == 1
+        both = SimProcess(program).run(
+            health_check("health"), combined(stubs=["brk", "mmap"])
+        )
+        assert not both.success
+
+    def test_fallback_not_traced_on_passthrough(self):
+        mmap_op = _op("mmap", on_stub=abort())
+        program = _program([_op("brk", on_stub=fallback(mmap_op))])
+        run = SimProcess(program).run(health_check("health"), passthrough())
+        assert "mmap" not in run.traced
+
+    def test_safe_default_survives(self):
+        program = _program([_op("prlimit64", on_stub=safe_default())])
+        run = SimProcess(program).run(health_check("health"), stubbing("prlimit64"))
+        assert run.success
+
+
+class TestFakeSemantics:
+    def test_harmless_fake(self):
+        program = _program([_op("setsid", on_fake=harmless())])
+        run = SimProcess(program).run(health_check("health"), faking("setsid"))
+        assert run.success
+
+    def test_breaks_core(self):
+        program = _program([_op("writev", on_fake=breaks_core())])
+        run = SimProcess(program).run(health_check("health"), faking("writev"))
+        assert not run.success
+
+    def test_breaks_feature_silently_for_unexercising_workload(self):
+        program = _program(
+            [_op("pipe2", feature="persistence",
+                 on_fake=breaks("persistence"))],
+            features=frozenset({"core", "persistence"}),
+        )
+        bench = SimProcess(program).run(health_check("health"), faking("pipe2"))
+        assert bench.success
+        suite = SimProcess(program).run(
+            test_suite("suite", features=("core", "persistence")),
+            faking("pipe2"),
+        )
+        assert not suite.success
+
+    def test_as_failure_routes_to_stub_reaction(self):
+        program = _program([_op("brk", on_stub=abort(), on_fake=as_failure())])
+        run = SimProcess(program).run(health_check("health"), faking("brk"))
+        assert not run.success
+
+
+class TestMetrics:
+    def test_perf_factors_multiply(self):
+        program = _program(
+            [
+                _op("write", on_stub=ignore(perf_factor=1.15)),
+                _op("rt_sigsuspend", on_stub=ignore(perf_factor=0.62)),
+            ]
+        )
+        workload = benchmark("bench", metric_name="req/s")
+        base = SimProcess(program).run(workload, passthrough())
+        both = SimProcess(program).run(
+            workload, combined(stubs=["write", "rt_sigsuspend"])
+        )
+        assert both.metric == pytest.approx(base.metric * 1.15 * 0.62, rel=0.02)
+
+    def test_resource_fracs_accumulate(self):
+        program = _program(
+            [
+                _op("close", on_stub=ignore(fd_frac=0.5)),
+                _op("dup", on_stub=ignore(fd_frac=0.25)),
+            ]
+        )
+        run = SimProcess(program).run(
+            health_check("health"), combined(stubs=["close", "dup"])
+        )
+        assert run.resources.fd_peak == round(20 * 1.75)
+
+    def test_metric_absent_without_performance_workload(self):
+        program = _program([_op("read")])
+        run = SimProcess(program).run(health_check("health"), passthrough())
+        assert run.metric is None
+
+    def test_noise_is_deterministic(self):
+        a = _deterministic_noise("app", "bench", "p", "0", scale=0.01)
+        b = _deterministic_noise("app", "bench", "p", "0", scale=0.01)
+        c = _deterministic_noise("app", "bench", "p", "1", scale=0.01)
+        assert a == b
+        assert a != c
+        assert abs(a) <= 0.01
+
+    def test_replica_noise_bounded(self):
+        program = _program([_op("read")])
+        workload = benchmark("bench", metric_name="m")
+        metrics = [
+            SimProcess(program).run(workload, passthrough(), replica=i).metric
+            for i in range(5)
+        ]
+        assert all(abs(m - 1000.0) <= 1000.0 * 0.004 + 1e-6 for m in metrics)
+        assert len(set(metrics)) > 1
+
+
+class TestValidation:
+    def test_wrong_workload_type(self):
+        from repro.core.workload import CommandWorkload, WorkloadKind
+
+        program = _program([_op("read")])
+        command = CommandWorkload(
+            name="x", kind=WorkloadKind.HEALTH_CHECK, argv=("/bin/true",)
+        )
+        with pytest.raises(BackendError):
+            SimProcess(program).run(command, passthrough())
+
+    def test_unknown_feature_in_workload(self):
+        program = _program([_op("read")])
+        with pytest.raises(WorkloadError):
+            SimProcess(program).run(
+                test_suite("suite", features=("warp-drive",)), passthrough()
+            )
+
+    def test_backend_wrapper(self):
+        program = _program([_op("read")])
+        backend = SimBackend(program)
+        assert backend.name == "sim:rt-demo-1"
+        run = backend.run(health_check("health"), passthrough())
+        assert run.success
+
+
+class TestLibcOriginOps:
+    def test_origin_recorded(self):
+        op = _op("read", origin=Origin.LIBC)
+        assert op.origin is Origin.LIBC

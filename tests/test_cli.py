@@ -1,0 +1,115 @@
+"""Tests for the ``loupe`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAnalyze:
+    def test_analyze_sim_app(self, capsys):
+        code = main(["analyze", "--app", "weborf", "--workload", "health"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "app: weborf" in out
+        assert "required (" in out
+
+    def test_analyze_unknown_app(self, capsys):
+        assert main(["analyze", "--app", "doom"]) == 2
+
+    def test_analyze_saves_database(self, tmp_path, capsys):
+        out_path = tmp_path / "db.json"
+        code = main([
+            "analyze", "--app", "weborf", "--workload", "health",
+            "--output", str(out_path),
+        ])
+        assert code == 0
+        from repro.db import Database
+
+        assert len(Database.load(out_path)) == 1
+
+
+class TestPlan:
+    def test_plan_named_os(self, capsys):
+        assert main(["plan", "--os", "unikraft"]) == 0
+        out = capsys.readouterr().out
+        assert "unikraft: step-by-step support plan" in out
+        assert "+ mongodb" in out
+
+    def test_plan_unknown_os(self, capsys):
+        assert main(["plan", "--os", "templeos"]) == 2
+
+    def test_plan_from_csv(self, tmp_path, capsys):
+        csv = tmp_path / "mini-os.csv"
+        csv.write_text("read\nwrite\nmmap\n")
+        assert main(["plan", "--support-csv", str(csv), "--os", "mini"]) == 0
+        out = capsys.readouterr().out
+        assert "mini: step-by-step support plan" in out
+
+    def test_plan_with_names(self, capsys):
+        assert main(["plan", "--os", "kerla", "--names"]) == 0
+        assert "mongodb" in capsys.readouterr().out
+
+
+class TestStudies:
+    @pytest.mark.parametrize("study", ["table3", "table4", "fig8"])
+    def test_cheap_studies(self, study, capsys):
+        assert main(["study", study]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_table4_values(self, capsys):
+        main(["study", "table4"])
+        out = capsys.readouterr().out
+        assert "28 invocations" in out
+
+    def test_fig4(self, capsys):
+        assert main(["study", "fig4"]) == 0
+        assert "mean avoidable" in capsys.readouterr().out
+
+
+class TestMisc:
+    def test_corpus_listing(self, capsys):
+        assert main(["corpus", "--size", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "redis" in out
+        assert "20 applications" in out
+
+    def test_db_inspect(self, tmp_path, capsys):
+        out_path = tmp_path / "db.json"
+        main(["analyze", "--app", "weborf", "--workload", "health",
+              "--output", str(out_path)])
+        capsys.readouterr()
+        assert main(["db", str(out_path)]) == 0
+        assert "weborf" in capsys.readouterr().out
+
+    def test_db_merge(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        main(["analyze", "--app", "weborf", "--workload", "health",
+              "--output", str(a)])
+        main(["analyze", "--app", "iperf3", "--workload", "health",
+              "--output", str(b)])
+        capsys.readouterr()
+        assert main(["db", str(a), "--merge", str(b)]) == 0
+        from repro.db import Database
+
+        assert len(Database.load(a)) == 2
+
+    def test_scan(self, compiled_syscall_binary, capsys):
+        assert main(["scan", compiled_syscall_binary]) == 0
+        out = capsys.readouterr().out
+        assert "syscalls at" in out
+
+    def test_study_pseudo(self, capsys):
+        assert main(["study", "pseudo"]) == 0
+        assert "/dev/urandom" in capsys.readouterr().out
+
+    @pytest.mark.ptrace
+    @pytest.mark.slow
+    def test_analyze_exec_real_binary(self, capsys):
+        code = main([
+            "analyze", "--replicas", "1", "--exec", "/bin/echo", "cli",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "app: /bin/echo" in out
+        assert "required (" in out

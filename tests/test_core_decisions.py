@@ -1,0 +1,77 @@
+"""Tests for the stub/fake decision lattice, including merge laws."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.decisions import Decision, Verdict, merge_all
+
+decisions = st.builds(Decision, can_stub=st.booleans(), can_fake=st.booleans())
+
+
+class TestVerdicts:
+    def test_four_buckets(self):
+        assert Decision(True, True).verdict is Verdict.ANY
+        assert Decision(True, False).verdict is Verdict.STUB_ONLY
+        assert Decision(False, True).verdict is Verdict.FAKE_ONLY
+        assert Decision(False, False).verdict is Verdict.REQUIRED
+
+    def test_required_and_avoidable_are_complements(self):
+        for stub in (True, False):
+            for fake in (True, False):
+                decision = Decision(stub, fake)
+                assert decision.required != decision.avoidable
+
+    def test_verdict_avoidable_flag(self):
+        assert not Verdict.REQUIRED.avoidable
+        assert Verdict.STUB_ONLY.avoidable
+        assert Verdict.FAKE_ONLY.avoidable
+        assert Verdict.ANY.avoidable
+
+
+class TestMerge:
+    def test_conservative(self):
+        """One failing replica disqualifies the technique."""
+        merged = Decision(True, True).merge(Decision(False, True))
+        assert not merged.can_stub
+        assert merged.can_fake
+
+    def test_identity_element(self):
+        optimistic = Decision.optimistic()
+        for stub in (True, False):
+            for fake in (True, False):
+                decision = Decision(stub, fake)
+                assert optimistic.merge(decision) == decision
+
+    def test_absorbing_element(self):
+        required = Decision.required_decision()
+        for stub in (True, False):
+            for fake in (True, False):
+                assert required.merge(Decision(stub, fake)) == required
+
+    def test_merge_all_empty_rejected(self):
+        """An empty fold would silently claim full avoidability."""
+        with pytest.raises(ValueError):
+            merge_all([])
+
+    def test_merge_all_single(self):
+        decision = Decision(False, True)
+        assert merge_all([decision]) == decision
+
+    @given(decisions, decisions)
+    def test_commutative(self, a, b):
+        assert a.merge(b) == b.merge(a)
+
+    @given(decisions, decisions, decisions)
+    def test_associative(self, a, b, c):
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @given(decisions)
+    def test_idempotent(self, a):
+        assert a.merge(a) == a
+
+    @given(st.lists(decisions, min_size=1, max_size=8))
+    def test_merge_all_never_grants_capability(self, replica_decisions):
+        merged = merge_all(replica_decisions)
+        assert merged.can_stub == all(d.can_stub for d in replica_decisions)
+        assert merged.can_fake == all(d.can_fake for d in replica_decisions)

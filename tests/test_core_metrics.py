@@ -1,0 +1,139 @@
+"""Tests for the metric-guarding statistics (Section 5.3 machinery)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    DEFAULT_MARGIN,
+    ImpactSummary,
+    SampleStats,
+    compare,
+    relative_delta,
+    welch_statistic,
+)
+
+finite_floats = st.floats(
+    min_value=1.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestSampleStats:
+    def test_empty(self):
+        stats = SampleStats.of([])
+        assert stats.n == 0
+        assert stats.mean == 0.0
+
+    def test_single_sample(self):
+        stats = SampleStats.of([42.0])
+        assert stats.n == 1
+        assert stats.mean == 42.0
+        assert stats.std == 0.0
+        assert stats.sem == 0.0
+
+    def test_known_values(self):
+        stats = SampleStats.of([2.0, 4.0, 6.0])
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.std == pytest.approx(2.0)
+
+    @given(st.lists(finite_floats, min_size=2, max_size=20))
+    def test_std_nonnegative_and_mean_bounded(self, samples):
+        stats = SampleStats.of(samples)
+        assert stats.std >= 0.0
+        slack = 1e-9 * max(abs(x) for x in samples)
+        assert min(samples) - slack <= stats.mean <= max(samples) + slack
+
+
+class TestWelch:
+    def test_identical_deterministic_samples(self):
+        a = SampleStats.of([5.0, 5.0, 5.0])
+        assert welch_statistic(a, a) == 0.0
+
+    def test_deterministic_difference_is_infinite(self):
+        a = SampleStats.of([5.0, 5.0])
+        b = SampleStats.of([6.0, 6.0])
+        assert math.isinf(welch_statistic(a, b))
+
+    def test_sign_follows_direction(self):
+        a = SampleStats.of([10.0, 10.1, 9.9])
+        b = SampleStats.of([20.0, 20.1, 19.9])
+        assert welch_statistic(a, b) > 0
+        assert welch_statistic(b, a) < 0
+
+    def test_empty_side_is_zero(self):
+        a = SampleStats.of([])
+        b = SampleStats.of([1.0])
+        assert welch_statistic(a, b) == 0.0
+
+
+class TestCompare:
+    def test_within_margin_not_significant(self):
+        """A 2% shift stays under the paper's 3% error margin."""
+        result = compare([100.0, 100.0, 100.0], [102.0, 102.0, 102.0])
+        assert result.delta == pytest.approx(0.02)
+        assert not result.significant
+
+    def test_beyond_margin_significant(self):
+        result = compare([100.0] * 3, [115.0] * 3)
+        assert result.significant
+        assert result.direction == "increase"
+
+    def test_decrease_direction(self):
+        result = compare([100.0] * 3, [62.0] * 3)
+        assert result.significant
+        assert result.direction == "decrease"
+
+    def test_large_shift_in_noisy_data_needs_statistics(self):
+        """A big mean delta with huge variance is not significant."""
+        baseline = [100.0, 10.0, 190.0]
+        variant = [120.0, 30.0, 210.0]
+        result = compare(baseline, variant)
+        assert not result.significant
+
+    def test_custom_margin(self):
+        result = compare([100.0] * 3, [104.0] * 3, margin=0.10)
+        assert not result.significant
+
+    def test_zero_baseline(self):
+        result = compare([0.0] * 3, [5.0] * 3)
+        assert result.delta == 0.0
+
+    @given(st.lists(finite_floats, min_size=3, max_size=10))
+    def test_self_comparison_never_significant(self, samples):
+        assert not compare(samples, samples).significant
+
+
+class TestRelativeDelta:
+    def test_basic(self):
+        assert relative_delta(100.0, 115.0) == pytest.approx(0.15)
+        assert relative_delta(100.0, 62.0) == pytest.approx(-0.38)
+
+    def test_zero_baseline(self):
+        assert relative_delta(0.0, 10.0) == 0.0
+
+
+class TestImpactSummary:
+    def test_clean_when_nothing_significant(self):
+        same = compare([10.0] * 3, [10.0] * 3)
+        summary = ImpactSummary(perf=same, fd=same, mem=same)
+        assert summary.clean
+        assert summary.describe() == "-"
+
+    def test_flags_and_describe(self):
+        perf = compare([100.0] * 3, [62.0] * 3)
+        mem = compare([100.0] * 3, [117.0] * 3)
+        summary = ImpactSummary(perf=perf, mem=mem)
+        assert summary.flags == frozenset({"perf", "mem"})
+        text = summary.describe()
+        assert "perf -38%" in text
+        assert "mem +17%" in text
+
+    def test_missing_dimensions_ignored(self):
+        summary = ImpactSummary()
+        assert summary.clean
+        assert summary.flags == frozenset()
+
+    def test_default_margin_is_three_percent(self):
+        assert DEFAULT_MARGIN == pytest.approx(0.03)

@@ -1,0 +1,83 @@
+"""Tests for partial-implementation (vectored syscall) analysis."""
+
+from repro.appsim.backend import SimBackend
+from repro.appsim.behavior import abort, breaks_core, harmless, ignore
+from repro.appsim.program import SimProgram, SyscallOp, WorkloadProfile
+from repro.core.analyzer import Analyzer, AnalyzerConfig
+from repro.core.partial import summarize
+from repro.core.workload import health_check
+
+
+def _vectored_program():
+    """fcntl mixing a required and an always-stubbable operation, plus
+    an arch_prctl that only ever uses ARCH_SET_FS (Section 5.4)."""
+    ops = (
+        SyscallOp(
+            syscall="arch_prctl", subfeature="ARCH_SET_FS",
+            on_stub=abort(), on_fake=breaks_core(),
+        ),
+        SyscallOp(
+            syscall="fcntl", subfeature="F_SETFL",
+            on_stub=abort(), on_fake=breaks_core(),
+        ),
+        SyscallOp(
+            syscall="fcntl", subfeature="F_SETFD",
+            on_stub=ignore(), on_fake=harmless(),
+        ),
+        SyscallOp(
+            syscall="prlimit64", subfeature="RLIMIT_NOFILE",
+            on_stub=ignore(), on_fake=harmless(),
+        ),
+    )
+    return SimProgram(
+        name="vectored-demo",
+        version="1",
+        ops=ops,
+        profiles={"*": WorkloadProfile()},
+    )
+
+
+class TestSubfeatureAnalysis:
+    def test_subfeature_level_reports(self):
+        config = AnalyzerConfig(subfeature_level=True)
+        result = Analyzer(config).analyze(
+            SimBackend(_vectored_program()), health_check("health")
+        )
+        assert "fcntl:F_SETFL" in result.features
+        assert "fcntl:F_SETFD" in result.features
+        assert result.features["fcntl:F_SETFL"].decision.required
+        assert result.features["fcntl:F_SETFD"].decision.avoidable
+
+    def test_whole_syscall_level_merges(self):
+        """At whole-syscall granularity, mixed fcntl appears required —
+        the situation looking 'worse than it is' per Section 5.4."""
+        result = Analyzer(AnalyzerConfig(subfeature_level=False)).analyze(
+            SimBackend(_vectored_program()), health_check("health")
+        )
+        assert "fcntl" in result.required_syscalls()
+        assert "fcntl:F_SETFL" not in result.features
+
+    def test_summaries(self):
+        config = AnalyzerConfig(subfeature_level=True)
+        result = Analyzer(config).analyze(
+            SimBackend(_vectored_program()), health_check("health")
+        )
+        summaries = summarize(result)
+        arch = summaries["arch_prctl"]
+        assert arch.total_operations == 6
+        assert arch.used == ("ARCH_SET_FS",)
+        assert arch.required == ("ARCH_SET_FS",)
+        assert arch.used_fraction < 0.2
+        fcntl = summaries["fcntl"]
+        assert fcntl.required == ("F_SETFL",)
+        assert "F_SETFD" in fcntl.stubbable
+        assert not fcntl.fully_avoidable
+        prlimit = summaries["prlimit64"]
+        assert prlimit.fully_avoidable
+        assert prlimit.required_fraction == 0.0
+
+    def test_summarize_without_subfeatures_is_empty(self):
+        result = Analyzer(AnalyzerConfig(subfeature_level=False)).analyze(
+            SimBackend(_vectored_program()), health_check("health")
+        )
+        assert summarize(result) == {}

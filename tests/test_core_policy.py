@@ -1,0 +1,152 @@
+"""Tests for interposition policies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.policy import (
+    Action,
+    FakeStrategy,
+    InterpositionPolicy,
+    combined,
+    fake_strategy,
+    faking,
+    passthrough,
+    stubbing,
+)
+from repro.errors import PolicyError
+
+syscall_names = st.sampled_from(
+    ["read", "write", "futex", "openat", "close", "brk", "mmap", "ioctl"]
+)
+
+
+class TestConstruction:
+    def test_passthrough_alters_nothing(self):
+        policy = passthrough()
+        assert policy.altered_features() == frozenset()
+        assert policy.action_for("write") is Action.PASSTHROUGH
+
+    def test_stubbing_one_feature(self):
+        policy = stubbing("futex")
+        assert policy.action_for("futex") is Action.STUB
+        assert policy.action_for("read") is Action.PASSTHROUGH
+
+    def test_faking_one_feature(self):
+        policy = faking("brk")
+        assert policy.action_for("brk") is Action.FAKE
+
+    def test_unknown_syscall_rejected(self):
+        with pytest.raises(PolicyError):
+            stubbing("not_a_syscall")
+
+    def test_subfeature_key_in_syscall_map_rejected(self):
+        with pytest.raises(PolicyError):
+            InterpositionPolicy(syscall_actions={"fcntl:F_SETFL": Action.STUB})
+
+    def test_plain_key_in_subfeature_map_rejected(self):
+        with pytest.raises(PolicyError):
+            InterpositionPolicy(subfeature_actions={"fcntl": Action.STUB})
+
+    def test_relative_pseudofile_prefix_rejected(self):
+        with pytest.raises(PolicyError):
+            InterpositionPolicy(pseudofile_actions={"proc/meminfo": Action.STUB})
+
+
+class TestSubfeaturePrecedence:
+    def test_subfeature_overrides_parent(self):
+        policy = passthrough().with_feature("fcntl:F_SETFD", Action.STUB)
+        assert policy.action_for("fcntl", "F_SETFD") is Action.STUB
+        assert policy.action_for("fcntl", "F_SETFL") is Action.PASSTHROUGH
+        assert policy.action_for("fcntl") is Action.PASSTHROUGH
+
+    def test_parent_action_applies_without_override(self):
+        policy = stubbing("fcntl")
+        assert policy.action_for("fcntl", "F_SETFL") is Action.STUB
+
+    def test_mixed_granularity(self):
+        policy = stubbing("fcntl").with_feature("fcntl:F_SETFL", Action.PASSTHROUGH)
+        assert policy.action_for("fcntl", "F_SETFL") is Action.PASSTHROUGH
+        assert policy.action_for("fcntl", "F_GETFL") is Action.STUB
+
+
+class TestPseudoFiles:
+    def test_prefix_match(self):
+        policy = passthrough().with_feature("/proc", Action.STUB)
+        assert policy.action_for_path("/proc/meminfo") is Action.STUB
+        assert policy.action_for_path("/dev/null") is Action.PASSTHROUGH
+
+    def test_longest_prefix_wins(self):
+        policy = (
+            passthrough()
+            .with_feature("/proc", Action.STUB)
+            .with_feature("/proc/self", Action.FAKE)
+        )
+        assert policy.action_for_path("/proc/self/status") is Action.FAKE
+        assert policy.action_for_path("/proc/meminfo") is Action.STUB
+
+    def test_exact_path(self):
+        policy = passthrough().with_feature("/dev/urandom", Action.FAKE)
+        assert policy.action_for_path("/dev/urandom") is Action.FAKE
+        assert policy.action_for_path("/dev/urandom2") is Action.PASSTHROUGH
+
+    def test_action_for_feature_dispatch(self):
+        policy = (
+            passthrough()
+            .with_feature("/dev/null", Action.STUB)
+            .with_feature("futex", Action.FAKE)
+            .with_feature("fcntl:F_SETFD", Action.STUB)
+        )
+        assert policy.action_for_feature("/dev/null") is Action.STUB
+        assert policy.action_for_feature("futex") is Action.FAKE
+        assert policy.action_for_feature("fcntl:F_SETFD") is Action.STUB
+
+
+class TestCombined:
+    def test_combined_policy(self):
+        policy = combined(stubs=["read"], fakes=["write"])
+        assert policy.action_for("read") is Action.STUB
+        assert policy.action_for("write") is Action.FAKE
+
+    def test_overlap_rejected(self):
+        with pytest.raises(PolicyError):
+            combined(stubs=["read"], fakes=["read"])
+
+    def test_empty_combined_is_passthrough(self):
+        assert combined().altered_features() == frozenset()
+
+    @given(
+        st.sets(syscall_names, max_size=4),
+        st.sets(syscall_names, max_size=4),
+    )
+    def test_altered_features_match_inputs(self, stubs, fakes):
+        fakes = fakes - stubs
+        policy = combined(stubs=stubs, fakes=fakes)
+        assert policy.altered_features() == frozenset(stubs | fakes)
+
+
+class TestDescribeAndImmutability:
+    def test_describe_passthrough(self):
+        assert passthrough().describe() == "passthrough"
+
+    def test_describe_lists_actions(self):
+        text = combined(stubs=["futex"], fakes=["brk"]).describe()
+        assert "futex=stub" in text
+        assert "brk=fake" in text
+
+    def test_with_feature_does_not_mutate(self):
+        base = stubbing("read")
+        derived = base.with_feature("write", Action.FAKE)
+        assert base.action_for("write") is Action.PASSTHROUGH
+        assert derived.action_for("write") is Action.FAKE
+
+
+class TestFakeStrategies:
+    def test_paper_motivated_strategies(self):
+        assert fake_strategy("brk") is FakeStrategy.FIRST_ARG
+        assert fake_strategy("write") is FakeStrategy.LENGTH_ARG3
+        assert fake_strategy("socket") is FakeStrategy.FAKE_FD
+        assert fake_strategy("clone") is FakeStrategy.FAKE_PID
+
+    def test_default_is_zero(self):
+        assert fake_strategy("setsid") is FakeStrategy.ZERO

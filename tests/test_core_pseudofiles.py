@@ -1,0 +1,77 @@
+"""Tests for pseudo-file detection and classification."""
+
+import pytest
+
+from repro.core.pseudofiles import (
+    KNOWN_PSEUDO_FILES,
+    OPEN_FAMILY,
+    PseudoFileAccess,
+    classify,
+    extract_accesses,
+    is_pseudo_path,
+)
+
+
+class TestPathClassification:
+    def test_pseudo_prefixes(self):
+        assert is_pseudo_path("/proc/meminfo")
+        assert is_pseudo_path("/dev/urandom")
+        assert is_pseudo_path("/sys/devices/system/cpu/online")
+
+    def test_regular_paths(self):
+        assert not is_pseudo_path("/etc/passwd")
+        assert not is_pseudo_path("/home/user/proc")
+        assert not is_pseudo_path("relative/proc")
+
+    def test_prefix_must_be_component(self):
+        assert not is_pseudo_path("/procfoo")
+        assert not is_pseudo_path("/devices")
+
+    def test_bare_prefix_counts(self):
+        assert is_pseudo_path("/proc")
+        assert is_pseudo_path("/dev")
+
+    def test_classify(self):
+        assert classify("/proc/self/status") == "/proc"
+        assert classify("/dev/null") == "/dev"
+        assert classify("/etc/hosts") == ""
+
+
+class TestKnownFiles:
+    def test_known_files_are_pseudo(self):
+        for path in KNOWN_PSEUDO_FILES:
+            assert is_pseudo_path(path)
+
+    def test_paper_examples_present(self):
+        assert "/dev/random" in KNOWN_PSEUDO_FILES
+        assert "/proc/self/status" in KNOWN_PSEUDO_FILES
+
+
+class TestAccessExtraction:
+    def test_open_family_contents(self):
+        assert "openat" in OPEN_FAMILY
+        assert "open" in OPEN_FAMILY
+        assert "stat" in OPEN_FAMILY
+        assert "read" not in OPEN_FAMILY
+
+    def test_extract_filters_and_counts(self):
+        observations = [
+            ("openat", "/dev/urandom"),
+            ("openat", "/dev/urandom"),
+            ("openat", "/etc/passwd"),        # regular file: ignored
+            ("stat", "/proc/self/status"),
+            ("read", "/dev/null"),            # not open-family: ignored
+        ]
+        accesses = extract_accesses(observations)
+        as_dict = {(a.path, a.syscall): a.count for a in accesses}
+        assert as_dict == {
+            ("/dev/urandom", "openat"): 2,
+            ("/proc/self/status", "stat"): 1,
+        }
+
+    def test_access_validates_path(self):
+        with pytest.raises(ValueError):
+            PseudoFileAccess(path="/etc/passwd", syscall="openat")
+
+    def test_empty_observations(self):
+        assert extract_accesses([]) == []

@@ -1,0 +1,83 @@
+"""Tests for replica orchestration and aggregation."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.policy import passthrough
+from repro.core.replicas import run_replicas
+from repro.core.runner import ResourceUsage, RunResult
+from repro.core.workload import benchmark
+
+
+class _ScriptedBackend:
+    """Returns pre-scripted results, one per replica index."""
+
+    name = "sim:scripted"
+
+    def __init__(self, results):
+        self.results = results
+        self.calls = 0
+
+    def run(self, workload, policy, *, replica=0):
+        self.calls += 1
+        return self.results[replica]
+
+
+def _run(success=True, metric=100.0, fd=10, mem=1000, traced=None):
+    return RunResult(
+        success=success,
+        traced=Counter(traced or {"read": 1}),
+        metric=metric,
+        resources=ResourceUsage(fd_peak=fd, mem_peak_kb=mem),
+    )
+
+
+class TestRunReplicas:
+    def test_all_success(self):
+        backend = _ScriptedBackend([_run(), _run(), _run()])
+        outcome = run_replicas(backend, benchmark("b", "m"), passthrough(), 3)
+        assert outcome.all_succeeded
+        assert outcome.replica_count == 3
+        assert backend.calls == 3
+
+    def test_single_failure_disqualifies(self):
+        backend = _ScriptedBackend([_run(), _run(success=False), _run()])
+        outcome = run_replicas(backend, benchmark("b", "m"), passthrough(), 3)
+        assert not outcome.all_succeeded
+
+    def test_zero_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            run_replicas(_ScriptedBackend([]), benchmark("b", "m"), passthrough(), 0)
+
+    def test_metric_samples_skip_none(self):
+        backend = _ScriptedBackend([_run(metric=10.0), _run(metric=None)])
+        outcome = run_replicas(backend, benchmark("b", "m"), passthrough(), 2)
+        assert outcome.metric_samples == (10.0,)
+
+    def test_resource_samples(self):
+        backend = _ScriptedBackend([_run(fd=10, mem=100), _run(fd=20, mem=200)])
+        outcome = run_replicas(backend, benchmark("b", "m"), passthrough(), 2)
+        assert outcome.fd_samples == (10.0, 20.0)
+        assert outcome.mem_samples == (100.0, 200.0)
+
+    def test_union_traced_takes_max(self):
+        backend = _ScriptedBackend(
+            [
+                _run(traced={"read": 5, "write": 1}),
+                _run(traced={"read": 2, "close": 3}),
+            ]
+        )
+        outcome = run_replicas(backend, benchmark("b", "m"), passthrough(), 2)
+        union = outcome.union_traced()
+        assert union["read"] == 5
+        assert union["write"] == 1
+        assert union["close"] == 3
+
+    def test_failure_reasons_collected(self):
+        failing = RunResult(
+            success=False, traced=Counter(), failure_reason="broken pipe"
+        )
+        backend = _ScriptedBackend([_run(), failing])
+        outcome = run_replicas(backend, benchmark("b", "m"), passthrough(), 2)
+        assert outcome.failure_reasons() == ("broken pipe",)

@@ -1,0 +1,161 @@
+"""Tests for the analysis result model and its JSON round-trip."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.decisions import Decision, Verdict
+from repro.core.metrics import ImpactSummary, SampleStats, compare
+from repro.core.result import AnalysisResult, BaselineStats, FeatureReport
+from repro.core.workload import WorkloadKind
+
+
+def _report(feature, can_stub=False, can_fake=False, count=3, notes=()):
+    return FeatureReport(
+        feature=feature,
+        traced_count=count,
+        decision=Decision(can_stub=can_stub, can_fake=can_fake),
+        notes=tuple(notes),
+    )
+
+
+def _result(features):
+    return AnalysisResult(
+        app="demo",
+        app_version="1.0",
+        workload="bench",
+        workload_kind=WorkloadKind.BENCHMARK,
+        backend="sim:demo-1.0",
+        replicas=3,
+        features={r.feature: r for r in features},
+        baseline=BaselineStats(
+            metric=SampleStats.of([100.0, 101.0, 99.0]),
+            fd=SampleStats.of([10.0] * 3),
+            mem=SampleStats.of([2048.0] * 3),
+        ),
+    )
+
+
+class TestFeatureReport:
+    def test_verdict_mirrors_decision(self):
+        assert _report("read").verdict is Verdict.REQUIRED
+        assert _report("close", can_stub=True).verdict is Verdict.STUB_ONLY
+
+    def test_kind_detection(self):
+        assert _report("/dev/urandom").is_pseudofile
+        assert _report("fcntl:F_SETFL").is_subfeature
+        plain = _report("read")
+        assert not plain.is_pseudofile and not plain.is_subfeature
+
+    def test_syscall_accessor(self):
+        assert _report("fcntl:F_SETFL").syscall == "fcntl"
+        assert _report("read").syscall == "read"
+        assert _report("/proc/meminfo").syscall == ""
+
+    def test_metric_impact_flag(self):
+        shifted = ImpactSummary(perf=compare([100.0] * 3, [62.0] * 3))
+        report = FeatureReport(
+            feature="rt_sigsuspend",
+            traced_count=2,
+            decision=Decision(True, True),
+            stub_impact=shifted,
+        )
+        assert report.has_metric_impact
+        assert not _report("read").has_metric_impact
+
+
+class TestResultViews:
+    def test_set_views_partition_traced(self):
+        result = _result(
+            [
+                _report("read"),
+                _report("close", can_stub=True, can_fake=True),
+                _report("brk", can_stub=True),
+                _report("prctl", can_fake=True),
+            ]
+        )
+        traced = result.traced_syscalls()
+        assert traced == {"read", "close", "brk", "prctl"}
+        assert result.required_syscalls() == {"read"}
+        assert result.stubbable_syscalls() == {"close", "brk"}
+        assert result.fakeable_syscalls() == {"close", "prctl"}
+        assert result.avoidable_syscalls() == traced - {"read"}
+
+    def test_subfeatures_and_pseudofiles_excluded_from_syscall_views(self):
+        result = _result(
+            [
+                _report("fcntl"),
+                _report("fcntl:F_SETFD", can_stub=True),
+                _report("/dev/urandom", can_stub=True),
+            ]
+        )
+        assert result.traced_syscalls() == {"fcntl"}
+        assert result.pseudo_files() == {"/dev/urandom"}
+        assert [r.feature for r in result.subfeature_reports()] == ["fcntl:F_SETFD"]
+
+
+class TestSerialization:
+    def test_roundtrip_simple(self):
+        result = _result(
+            [
+                _report("read"),
+                _report("close", can_stub=True, notes=["leaks descriptors"]),
+            ]
+        )
+        restored = AnalysisResult.from_dict(result.to_dict())
+        assert restored.app == result.app
+        assert restored.required_syscalls() == result.required_syscalls()
+        assert restored.features["close"].notes == ("leaks descriptors",)
+        assert restored.workload_kind is WorkloadKind.BENCHMARK
+
+    def test_roundtrip_with_impacts_and_conflicts(self):
+        impact = ImpactSummary(
+            perf=compare([100.0] * 3, [62.0] * 3),
+            fd=compare([10.0] * 3, [80.0] * 3),
+        )
+        report = FeatureReport(
+            feature="futex",
+            traced_count=48,
+            decision=Decision(False, True),
+            fake_impact=impact,
+        )
+        result = AnalysisResult(
+            app="redis",
+            app_version="6.2",
+            workload="bench",
+            workload_kind=WorkloadKind.BENCHMARK,
+            backend="sim:redis-6.2",
+            replicas=3,
+            features={"futex": report},
+            baseline=BaselineStats(
+                metric=SampleStats.of([1.0]),
+                fd=SampleStats.of([1.0]),
+                mem=SampleStats.of([1.0]),
+            ),
+            final_run_ok=False,
+            conflicts=(("futex", "close"),),
+        )
+        restored = AnalysisResult.from_dict(result.to_dict())
+        assert restored.conflicts == (("futex", "close"),)
+        assert not restored.final_run_ok
+        fake_impact = restored.features["futex"].fake_impact
+        assert fake_impact is not None
+        assert fake_impact.perf.significant
+        assert fake_impact.perf.delta == result.features[
+            "futex"
+        ].fake_impact.perf.delta
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["read", "write", "futex", "brk", "close"]),
+            st.tuples(st.booleans(), st.booleans(), st.integers(1, 100)),
+            max_size=5,
+        )
+    )
+    def test_roundtrip_property(self, spec):
+        features = [
+            _report(name, can_stub=stub, can_fake=fake, count=count)
+            for name, (stub, fake, count) in spec.items()
+        ]
+        result = _result(features)
+        restored = AnalysisResult.from_dict(result.to_dict())
+        assert restored.to_dict() == result.to_dict()

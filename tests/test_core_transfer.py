@@ -1,0 +1,138 @@
+"""Tests for cross-application knowledge transfer (Section 6 extension)."""
+
+import pytest
+
+from repro.appsim.backend import SimBackend
+from repro.appsim.behavior import abort, breaks_core, harmless, ignore
+from repro.appsim.program import SimProgram, SyscallOp, WorkloadProfile
+from repro.core.analyzer import Analyzer, AnalyzerConfig
+from repro.core.transfer import PriorKnowledge, TransferStats
+from repro.core.workload import health_check
+
+
+class _CountingBackend:
+    """Wraps a SimBackend and counts runs."""
+
+    def __init__(self, program):
+        self._inner = SimBackend(program)
+        self.name = self._inner.name
+        self.runs = 0
+
+    def run(self, workload, policy, *, replica=0):
+        self.runs += 1
+        return self._inner.run(workload, policy, replica=replica)
+
+
+def _program(uname_stub=ignore(), name="transfer-demo"):
+    return SimProgram(
+        name=name,
+        version="1",
+        ops=(
+            SyscallOp(syscall="read", on_stub=abort(), on_fake=breaks_core()),
+            SyscallOp(syscall="uname", on_stub=uname_stub, on_fake=harmless()),
+            SyscallOp(syscall="close", on_stub=ignore(), on_fake=harmless()),
+        ),
+        profiles={"*": WorkloadProfile()},
+    )
+
+
+def _experience(count=6, uname_stub=ignore()):
+    """Analyses of `count` apps with identical decisions."""
+    results = []
+    for index in range(count):
+        program = _program(uname_stub=uname_stub, name=f"seen-{index}")
+        result = Analyzer(AnalyzerConfig(replicas=3)).analyze(
+            SimBackend(program), health_check("health")
+        )
+        results.append(result)
+    return results
+
+
+class TestPriorKnowledge:
+    def test_unanimous_priors_predict(self):
+        priors = PriorKnowledge.from_results(_experience())
+        prediction = priors.predict("uname")
+        assert prediction is not None
+        assert prediction.can_stub and prediction.can_fake
+        required = priors.predict("read")
+        assert required is not None
+        assert not required.can_stub and not required.can_fake
+
+    def test_thin_experience_predicts_nothing(self):
+        priors = PriorKnowledge.from_results(_experience(count=2))
+        assert priors.predict("uname") is None
+
+    def test_mixed_history_predicts_nothing(self):
+        mixed = _experience(count=3) + _experience(count=3, uname_stub=abort())
+        priors = PriorKnowledge.from_results(mixed)
+        assert priors.predict("uname") is None
+        # read stayed unanimous: still predictable.
+        assert priors.predict("read") is not None
+
+    def test_prior_rates(self):
+        priors = PriorKnowledge.from_results(_experience())
+        prior = priors.prior("uname")
+        assert prior.observations == 6
+        assert prior.stub_rate == 1.0
+
+    def test_confident_features(self):
+        priors = PriorKnowledge.from_results(_experience())
+        assert {"read", "uname", "close"} <= priors.confident_features()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PriorKnowledge({}, confidence=0.3)
+        with pytest.raises(ValueError):
+            PriorKnowledge({}, min_observations=0)
+
+
+class TestFastPath:
+    def test_priors_save_runs_without_changing_decisions(self):
+        priors = PriorKnowledge.from_results(_experience())
+        program = _program(name="fresh")
+
+        plain_backend = _CountingBackend(program)
+        plain = Analyzer(AnalyzerConfig(replicas=3)).analyze(
+            plain_backend, health_check("health")
+        )
+
+        fast_backend = _CountingBackend(program)
+        analyzer = Analyzer(AnalyzerConfig(replicas=3, priors=priors))
+        fast = analyzer.analyze(fast_backend, health_check("health"))
+
+        assert fast.required_syscalls() == plain.required_syscalls()
+        assert fast.stubbable_syscalls() == plain.stubbable_syscalls()
+        assert fast_backend.runs < plain_backend.runs
+        stats = analyzer.last_transfer_stats
+        assert isinstance(stats, TransferStats)
+        assert stats.features_fast_pathed == 3
+        assert stats.runs_saved > 0
+        assert stats.fallbacks == 0
+
+    def test_wrong_prior_triggers_fallback(self):
+        """A fresh app that contradicts experience gets the full probe."""
+        priors = PriorKnowledge.from_results(_experience())  # uname stubbable
+        contrarian = _program(uname_stub=abort(), name="contrarian")
+        analyzer = Analyzer(AnalyzerConfig(replicas=3, priors=priors))
+        result = analyzer.analyze(
+            SimBackend(contrarian), health_check("health")
+        )
+        # Correct decision despite the misleading prior: this app's
+        # uname call site aborts on failure (fakeable, not stubbable).
+        assert not result.features["uname"].decision.can_stub
+        assert result.features["uname"].decision.can_fake
+        assert analyzer.last_transfer_stats.fallbacks >= 1
+
+    def test_no_priors_no_stats(self):
+        analyzer = Analyzer(AnalyzerConfig(replicas=3))
+        analyzer.analyze(SimBackend(_program()), health_check("health"))
+        assert analyzer.last_transfer_stats is None
+
+    def test_corpus_scale_transfer(self, full_corpus, bench_results):
+        """Priors learned from the corpus fast-path most of a new app."""
+        priors = PriorKnowledge.from_results(bench_results)
+        app_backend = _CountingBackend(full_corpus[20].program)
+        analyzer = Analyzer(AnalyzerConfig(replicas=3, priors=priors))
+        analyzer.analyze(app_backend, full_corpus[20].bench)
+        stats = analyzer.last_transfer_stats
+        assert stats.fast_path_rate > 0.3

@@ -1,0 +1,73 @@
+"""Tests for workload descriptions."""
+
+import pytest
+
+from repro.core.workload import (
+    CommandWorkload,
+    SimWorkload,
+    WorkloadKind,
+    benchmark,
+    health_check,
+    test_suite,
+)
+from repro.errors import WorkloadError
+
+
+class TestConstructors:
+    def test_health_check(self):
+        workload = health_check("health")
+        assert workload.kind is WorkloadKind.HEALTH_CHECK
+        assert workload.features_exercised == frozenset({"core"})
+        assert not workload.measures_performance
+
+    def test_benchmark_measures_performance(self):
+        workload = benchmark("bench", metric_name="requests/s")
+        assert workload.kind is WorkloadKind.BENCHMARK
+        assert workload.measures_performance
+        assert workload.metric_name == "requests/s"
+
+    def test_test_suite_features(self):
+        workload = test_suite("suite", features=("core", "persistence"))
+        assert workload.kind is WorkloadKind.TEST_SUITE
+        assert workload.features_exercised == frozenset({"core", "persistence"})
+
+
+class TestValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            health_check("")
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(WorkloadError):
+            SimWorkload(name="x", kind=WorkloadKind.BENCHMARK, timeout_s=0)
+
+    def test_empty_feature_set_rejected(self):
+        with pytest.raises(WorkloadError):
+            SimWorkload(
+                name="x",
+                kind=WorkloadKind.BENCHMARK,
+                features_exercised=frozenset(),
+            )
+
+    def test_command_workload_needs_argv(self):
+        with pytest.raises(WorkloadError):
+            CommandWorkload(name="x", kind=WorkloadKind.HEALTH_CHECK, argv=())
+
+
+class TestCommandWorkload:
+    def test_defaults(self):
+        workload = CommandWorkload(
+            name="echo", kind=WorkloadKind.HEALTH_CHECK, argv=("/bin/echo", "hi")
+        )
+        assert workload.expect_exit_code == 0
+        assert workload.test_argv is None
+        assert workload.binaries == frozenset()
+
+    def test_whitelist(self):
+        workload = CommandWorkload(
+            name="suite",
+            kind=WorkloadKind.TEST_SUITE,
+            argv=("make", "test"),
+            binaries=frozenset({"/usr/bin/myapp"}),
+        )
+        assert "/usr/bin/myapp" in workload.binaries

@@ -1,0 +1,149 @@
+"""Tests for the results database (loupedb analog)."""
+
+import json
+
+import pytest
+
+from repro.core.decisions import Decision
+from repro.core.metrics import SampleStats
+from repro.core.result import AnalysisResult, BaselineStats, FeatureReport
+from repro.core.workload import WorkloadKind
+from repro.db import Database, RecordKey
+from repro.errors import DatabaseError
+
+
+def _result(app="redis", workload="bench", required=("read",)):
+    features = {
+        name: FeatureReport(
+            feature=name, traced_count=1, decision=Decision(False, False)
+        )
+        for name in required
+    }
+    return AnalysisResult(
+        app=app,
+        app_version="1.0",
+        workload=workload,
+        workload_kind=WorkloadKind.BENCHMARK,
+        backend="sim:x",
+        replicas=3,
+        features=features,
+        baseline=BaselineStats(
+            metric=SampleStats.of([1.0]),
+            fd=SampleStats.of([1.0]),
+            mem=SampleStats.of([1.0]),
+        ),
+    )
+
+
+class TestCrud:
+    def test_add_and_get(self):
+        db = Database()
+        result = _result()
+        db.add(result)
+        assert len(db) == 1
+        assert db.get(RecordKey.of(result)).app == "redis"
+
+    def test_get_missing_raises(self):
+        with pytest.raises(DatabaseError):
+            Database().get(RecordKey("a", "1", "bench", "sim"))
+
+    def test_no_overwrite_mode(self):
+        db = Database()
+        db.add(_result())
+        with pytest.raises(DatabaseError):
+            db.add(_result(), overwrite=False)
+
+    def test_find(self):
+        db = Database.collect(
+            [_result(), _result(workload="suite"), _result(app="nginx")]
+        )
+        assert len(db.find("redis")) == 2
+        assert len(db.find("redis", "suite")) == 1
+        assert db.apps() == ["nginx", "redis"]
+
+    def test_contains_and_iter(self):
+        result = _result()
+        db = Database.collect([result])
+        assert RecordKey.of(result) in db
+        assert [r.app for r in db] == ["redis"]
+
+
+class TestMerge:
+    def test_merge_adds_and_counts(self):
+        a = Database.collect([_result()])
+        b = Database.collect([_result(app="nginx")])
+        changed = a.merge(b)
+        assert changed == 1
+        assert len(a) == 2
+
+    def test_merge_overwrites_collisions(self):
+        a = Database.collect([_result(required=("read",))])
+        b = Database.collect([_result(required=("read", "write"))])
+        a.merge(b)
+        record = a.find("redis")[0]
+        assert record.required_syscalls() == {"read", "write"}
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        db = Database.collect([_result(), _result(app="nginx")])
+        path = tmp_path / "loupedb.json"
+        db.save(path)
+        loaded = Database.load(path)
+        assert len(loaded) == 2
+        assert loaded.apps() == db.apps()
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(DatabaseError):
+            Database.load(path)
+
+    def test_schema_version_checked(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"schema": 999, "records": {}}))
+        with pytest.raises(DatabaseError):
+            Database.load(path)
+
+    def test_key_payload_mismatch_rejected(self, tmp_path):
+        db = Database.collect([_result()])
+        document = db.to_document()
+        (key,) = document["records"]
+        document["records"]["x|1|bench|sim"] = document["records"].pop(key)
+        with pytest.raises(DatabaseError):
+            Database.from_document(document)
+
+    def test_document_stable_order(self):
+        db = Database.collect([_result(app="zz"), _result(app="aa")])
+        keys = list(db.to_document()["records"])
+        assert keys == sorted(keys)
+
+
+class TestMetadata:
+    def test_roundtrip(self, tmp_path):
+        db = Database(metadata={"kernel": "6.1.0", "submitter": "ci"})
+        db.add(_result())
+        path = tmp_path / "meta.json"
+        db.save(path)
+        loaded = Database.load(path)
+        assert loaded.metadata == {"kernel": "6.1.0", "submitter": "ci"}
+
+    def test_merge_combines_metadata(self):
+        a = Database(metadata={"kernel": "6.1.0"})
+        b = Database(metadata={"submitter": "lab"})
+        b.add(_result())
+        a.merge(b)
+        assert a.metadata == {"kernel": "6.1.0", "submitter": "lab"}
+
+    def test_default_empty(self):
+        assert Database().metadata == {}
+
+
+class TestRecordKey:
+    def test_string_roundtrip(self):
+        key = RecordKey("redis", "6.2", "bench", "sim:redis-6.2")
+        assert RecordKey.from_string(key.as_string()) == key
+
+    def test_malformed_string(self):
+        with pytest.raises(DatabaseError):
+            RecordKey.from_string("only|three|parts")

@@ -1,0 +1,85 @@
+"""Tests for the exception hierarchy and edge-case failure paths."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    BackendError,
+    DatabaseError,
+    ElfFormatError,
+    FinalRunMismatchError,
+    LoupeError,
+    PlanError,
+    PolicyError,
+    PtraceUnavailableError,
+    StaticAnalysisError,
+    TraceeError,
+    UnknownSyscallError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_loupe_error(self):
+        for exc_type in (
+            UnknownSyscallError, PolicyError, WorkloadError, BackendError,
+            PtraceUnavailableError, TraceeError, AnalysisError,
+            FinalRunMismatchError, DatabaseError, PlanError,
+            StaticAnalysisError, ElfFormatError,
+        ):
+            assert issubclass(exc_type, LoupeError)
+
+    def test_dual_inheritance(self):
+        """Library errors also behave like the stdlib types callers
+        naturally catch."""
+        assert issubclass(UnknownSyscallError, KeyError)
+        assert issubclass(PolicyError, ValueError)
+
+    def test_specializations(self):
+        assert issubclass(PtraceUnavailableError, BackendError)
+        assert issubclass(TraceeError, BackendError)
+        assert issubclass(FinalRunMismatchError, AnalysisError)
+        assert issubclass(ElfFormatError, StaticAnalysisError)
+
+
+class TestMessages:
+    def test_unknown_syscall_message(self):
+        error = UnknownSyscallError("warp", arch="i386")
+        assert "warp" in str(error)
+        assert "i386" in str(error)
+        assert error.key == "warp"
+
+    def test_final_run_mismatch_carries_conflicts(self):
+        error = FinalRunMismatchError((("futex", "close"), ("brk",)))
+        assert error.conflicts == (("futex", "close"), ("brk",))
+        assert "futex,close" in str(error)
+
+    def test_final_run_mismatch_empty(self):
+        assert "unknown" in str(FinalRunMismatchError(()))
+
+
+class TestRuntimeGuards:
+    def test_fallback_chain_depth_limit(self):
+        """A pathological fallback cycle is cut off, not recursed into."""
+        from repro.appsim.backend import SimBackend
+        from repro.appsim.behavior import abort, fallback, harmless
+        from repro.appsim.program import SimProgram, SyscallOp, WorkloadProfile
+        from repro.core.policy import combined
+        from repro.core.workload import health_check
+
+        # brk falls back to mmap falls back to brk... 10 levels deep.
+        node = SyscallOp(syscall="brk", on_stub=abort(), on_fake=harmless())
+        for index in range(10):
+            syscall = "mmap" if index % 2 == 0 else "brk"
+            node = SyscallOp(
+                syscall=syscall, on_stub=fallback(node), on_fake=harmless()
+            )
+        program = SimProgram(
+            name="chain", version="1", ops=(node,),
+            profiles={"*": WorkloadProfile()},
+        )
+        run = SimBackend(program).run(
+            health_check("health"), combined(stubs=["brk", "mmap"])
+        )
+        assert not run.success
+        assert "fallback chain" in run.failure_reason

@@ -1,0 +1,54 @@
+"""Smoke tests: every shipped example must run and say what it claims."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, timeout: float = 300.0) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    return completed.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "must implement" in out
+        assert "message of hope" in out
+
+    def test_support_plan(self):
+        out = _run("support_plan.py")
+        assert "step-by-step support plan" in out
+        assert "mongodb" in out
+
+    def test_resilience_patterns(self):
+        out = _run("resilience_patterns.py")
+        assert "passes" in out and "FAILS" in out
+        assert "-66%" in out or "futex" in out
+
+    def test_partial_implementation(self):
+        out = _run("partial_implementation.py")
+        assert "arch_prctl" in out
+        assert "F_SETFL" in out
+
+    @pytest.mark.ptrace
+    def test_real_tracing(self):
+        out = _run("real_tracing.py")
+        assert "live trace of /bin/echo" in out
+        assert "stub  write -> exit" in out
+
+    def test_corpus_study(self):
+        out = _run("corpus_study.py", timeout=600.0)
+        assert "Figure 3" in out
+        assert "Knowledge transfer" in out

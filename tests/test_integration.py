@@ -1,0 +1,104 @@
+"""Cross-module integration tests: the full pipeline end to end."""
+
+import pytest
+
+from repro.appsim.corpus import build, cloud_apps
+from repro.core.analyzer import Analyzer, AnalyzerConfig
+from repro.db import Database
+from repro.plans import (
+    AppRequirements,
+    SupportState,
+    generate_plan,
+    requirements_for_all,
+)
+
+
+class TestAnalyzeToDatabaseToPlan:
+    def test_full_pipeline(self, tmp_path):
+        """analyze -> persist -> reload -> derive requirements -> plan."""
+        apps = [build("weborf"), build("webfsd"), build("iperf3")]
+        analyzer = Analyzer(AnalyzerConfig(replicas=3))
+        database = Database()
+        for app in apps:
+            result = analyzer.analyze(
+                app.backend(), app.bench, app=app.name, app_version=app.version
+            )
+            database.add(result)
+
+        path = tmp_path / "loupedb.json"
+        database.save(path)
+        reloaded = Database.load(path)
+        assert len(reloaded) == 3
+
+        requirements = {
+            result.app: AppRequirements.from_result(result)
+            for result in reloaded
+        }
+        plan = generate_plan(SupportState("fresh-os"), requirements)
+        assert plan.apps_supported == 3
+        implemented = set()
+        for step in plan.steps:
+            implemented |= set(step.implement)
+        for record in requirements.values():
+            assert record.required <= implemented
+
+    def test_requirements_match_fresh_analysis(self):
+        """The database path and the direct path agree."""
+        app = build("weborf")
+        analyzer = Analyzer(AnalyzerConfig(replicas=3))
+        direct = analyzer.analyze(
+            app.backend(), app.bench, app=app.name, app_version=app.version
+        )
+        roundtrip = Database.collect([direct])
+        restored = next(iter(roundtrip))
+        assert AppRequirements.from_result(restored) == AppRequirements.from_result(direct)
+
+
+class TestWorkloadHierarchy:
+    def test_health_bench_suite_requirements_nest_upward(self, cloud_app_set):
+        """Stronger workloads can only add requirements (Section 3.2:
+        workloads are levels of guarantee)."""
+        from repro.study.base import analyze_app
+
+        for app in cloud_app_set[:6]:
+            health = analyze_app(app, "health").required_syscalls()
+            suite = analyze_app(app, "suite").required_syscalls()
+            # Everything required for a health check is required for
+            # the suite: the suite exercises at least 'core'.
+            assert health <= suite
+
+
+class TestSubfeatureIntegration:
+    def test_partial_analysis_of_redis(self):
+        from repro.core.partial import summarize
+
+        app = build("redis")
+        config = AnalyzerConfig(replicas=3, subfeature_level=True)
+        result = Analyzer(config).analyze(app.backend(), app.bench)
+        summaries = summarize(result)
+        # Section 5.4: fcntl mixes required (F_SETFL) and stubbable
+        # (F_SETFD) operations in one syscall.
+        assert "fcntl" in summaries
+        fcntl = summaries["fcntl"]
+        assert "F_SETFL" in fcntl.required
+        assert "F_SETFD" in fcntl.stubbable
+        # prlimit64: only RLIMIT_* subset used, none required.
+        prlimit = summaries["prlimit64"]
+        assert prlimit.used_fraction < 0.5
+
+    def test_pseudofile_analysis_of_redis(self):
+        app = build("redis")
+        config = AnalyzerConfig(replicas=3, pseudo_files=True)
+        result = Analyzer(config).analyze(app.backend(), app.bench)
+        assert "/dev/urandom" in result.pseudo_files()
+        assert result.features["/dev/urandom"].decision.avoidable
+
+
+class TestElevenOsPlans:
+    def test_all_oses_reach_full_support(self, cloud_app_set):
+        from repro.plans import all_states
+
+        requirements = requirements_for_all(cloud_app_set, "bench")
+        for os_name, state in all_states(requirements).items():
+            plan = generate_plan(state, requirements)
+            assert plan.apps_supported == 15, os_name

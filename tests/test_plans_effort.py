@@ -1,0 +1,129 @@
+"""Tests for the Figure 2 engineering-effort study."""
+
+import pytest
+
+from repro.appsim.corpus import corpus
+from repro.plans.effort import (
+    EffortCurve,
+    naive_curve,
+    organic_curve,
+    run_effort_study,
+    synthesize_chronology,
+)
+from repro.plans.requirements import AppRequirements
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_effort_study(corpus()[:62])
+
+
+class TestCurveMechanics:
+    def test_curve_lookup(self):
+        curve = EffortCurve("x", points=((0, 0), (10, 1), (25, 2)))
+        assert curve.syscalls_for_apps(1) == 10
+        assert curve.syscalls_for_apps(2) == 25
+        assert curve.syscalls_for_apps(99) == 25
+
+    def test_ordered_curves_monotone(self):
+        records = [
+            AppRequirements(
+                app=f"a{i}", workload="bench",
+                required=frozenset({"read", "write"} | {f"close" if i else "brk"}),
+                stubbable=frozenset(), fake_only=frozenset(),
+                traced=frozenset({"read", "write", "close", "brk"}),
+            )
+            for i in range(3)
+        ]
+        organic = organic_curve(records)
+        xs = [p[0] for p in organic.points]
+        assert xs == sorted(xs)
+        naive = naive_curve(records)
+        assert naive.final_syscalls >= organic.final_syscalls
+
+
+class TestChronology:
+    def test_deterministic(self):
+        apps = corpus()[:30]
+        first = [a.name for a in synthesize_chronology(apps)]
+        second = [a.name for a in synthesize_chronology(apps)]
+        assert first == second
+
+    def test_different_seed_changes_order(self):
+        apps = corpus()[:30]
+        a = [x.name for x in synthesize_chronology(apps, seed=1)]
+        b = [x.name for x in synthesize_chronology(apps, seed=2)]
+        assert a != b
+
+    def test_permutation(self):
+        apps = corpus()[:30]
+        ordered = synthesize_chronology(apps)
+        assert sorted(a.name for a in ordered) == sorted(a.name for a in apps)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_chronology(corpus()[:5], mode="lunar")
+
+    def test_last_commit_mode_perturbs_not_reshuffles(self):
+        apps = corpus()[:40]
+        creation = [a.name for a in synthesize_chronology(apps)]
+        last_commit = [
+            a.name for a in synthesize_chronology(apps, mode="last-commit")
+        ]
+        assert creation != last_commit
+        # Orders stay correlated: most apps move only a few positions.
+        displacement = [
+            abs(creation.index(name) - last_commit.index(name))
+            for name in creation
+        ]
+        assert sum(displacement) / len(displacement) < len(apps) / 4
+
+
+class TestAlternativeChronologyRobustness:
+    def test_results_similar_under_last_commit_dates(self):
+        """Section 4.2: 'We repeated the study using the date of the
+        last commit ... results were similar.'"""
+        apps = corpus()[:62]
+        creation = run_effort_study(apps)
+        last_commit = run_effort_study(apps, chronology_mode="last-commit")
+        a = creation.at_half()
+        b = last_commit.at_half()
+        # Loupe/naive are order-independent in what they imply here;
+        # the organic estimate is the one that could move, and it must
+        # stay in the same ballpark.
+        assert b["loupe"] == a["loupe"]
+        assert abs(b["organic"] - a["organic"]) <= a["organic"] * 0.25
+        assert a["loupe"] < b["organic"] < a["naive"] * 1.1
+
+
+class TestPaperShape:
+    def test_ordering_at_half(self, study):
+        """Figure 2's headline ordering: Loupe < organic < naive."""
+        half = study.at_half()
+        assert half["loupe"] < half["organic"] < half["naive"]
+
+    def test_loupe_saves_substantially(self, study):
+        """Paper: 37 vs 92 — Loupe needs far fewer syscalls than organic."""
+        half = study.at_half()
+        assert half["organic"] >= half["loupe"] * 1.6
+
+    def test_naive_wastes_substantially(self, study):
+        """Paper: 142 vs 92 — no stubbing/faking costs even more."""
+        half = study.at_half()
+        assert half["naive"] >= half["organic"] * 1.3
+
+    def test_loupe_and_organic_converge(self, study):
+        """All 62 apps supported -> same required union either way."""
+        assert study.loupe.final_syscalls == study.organic.final_syscalls
+        assert study.loupe.final_apps == study.organic.final_apps == 62
+
+    def test_naive_final_is_traced_union(self, study):
+        assert study.naive.final_syscalls > study.loupe.final_syscalls
+
+    def test_loupe_curve_dominates_organic(self, study):
+        """At every app count, the Loupe plan needs <= the organic cost."""
+        for apps in range(1, 63):
+            assert (
+                study.loupe.syscalls_for_apps(apps)
+                <= study.organic.syscalls_for_apps(apps)
+            )

@@ -1,0 +1,96 @@
+"""Tests for the 11 OS profiles and the Table 1 calibration."""
+
+import pytest
+
+from repro.plans.osdb import (
+    OS_NAMES,
+    all_states,
+    calibrated_state,
+    expected_initial_apps,
+    table1_states,
+    tiered_state,
+    unsupported_apps,
+)
+from repro.plans.planner import generate_plan
+from repro.plans.requirements import requirements_for_all
+
+
+@pytest.fixture(scope="module")
+def cloud_requirements(cloud_app_set):
+    return requirements_for_all(cloud_app_set, "bench")
+
+
+class TestCalibratedProfiles:
+    def test_paper_set_sizes(self, cloud_requirements):
+        """Table 1 headers: Unikraft 174, Fuchsia 152, Kerla 58 syscalls."""
+        assert len(calibrated_state("unikraft", cloud_requirements).implemented) == 174
+        assert len(calibrated_state("fuchsia", cloud_requirements).implemented) == 152
+        assert len(calibrated_state("kerla", cloud_requirements).implemented) == 58
+
+    def test_initial_app_counts(self, cloud_requirements):
+        """Table 1 step 0: 12 / 10 / 4 apps supported out of the box."""
+        for os_name in ("unikraft", "fuchsia", "kerla"):
+            state = calibrated_state(os_name, cloud_requirements)
+            plan = generate_plan(state, cloud_requirements)
+            assert len(plan.initially_supported) == expected_initial_apps(os_name)
+
+    def test_step_counts_track_maturity(self, cloud_requirements):
+        """Unikraft 3 steps, Fuchsia 5, Kerla 11 (Table 1)."""
+        states = table1_states(cloud_requirements)
+        steps = {
+            name: len(generate_plan(state, cloud_requirements).steps)
+            for name, state in states.items()
+        }
+        assert steps == {"unikraft": 3, "fuchsia": 5, "kerla": 11}
+
+    def test_most_steps_are_small(self, cloud_requirements):
+        """Section 4.1: >80% of steps implement only 1-3 syscalls."""
+        states = table1_states(cloud_requirements)
+        small = total = 0
+        for state in states.values():
+            plan = generate_plan(state, cloud_requirements)
+            small += sum(1 for s in plan.steps if len(s.implement) <= 3)
+            total += len(plan.steps)
+        assert small / total >= 0.75
+
+    def test_unsupported_apps_listed(self):
+        assert "mongodb" in unsupported_apps("unikraft")
+        assert len(unsupported_apps("kerla")) == 11
+
+    def test_mongodb_always_last(self, cloud_requirements):
+        """MongoDB is the deepest app; every plan unlocks it last."""
+        for state in table1_states(cloud_requirements).values():
+            plan = generate_plan(state, cloud_requirements)
+            assert plan.steps[-1].app == "mongodb"
+
+
+class TestTieredProfiles:
+    def test_all_eleven_oses(self, cloud_requirements):
+        states = all_states(cloud_requirements)
+        assert len(states) == 11
+        assert set(states) == set(OS_NAMES)
+
+    def test_coverage_ordering(self, cloud_requirements):
+        """More mature compatibility layers implement more syscalls."""
+        linuxulator = tiered_state("linuxulator", cloud_requirements)
+        nolibc = tiered_state("nolibc", cloud_requirements)
+        assert len(linuxulator.implemented) > len(nolibc.implemented) * 3
+
+    def test_tiered_plans_generate(self, cloud_requirements):
+        states = all_states(cloud_requirements)
+        for name in ("gvisor", "nolibc"):
+            plan = generate_plan(states[name], cloud_requirements)
+            assert plan.apps_supported == 15
+
+    def test_maturity_reduces_effort(self, cloud_requirements):
+        states = all_states(cloud_requirements)
+        effort = {
+            name: generate_plan(state, cloud_requirements).total_implemented
+            for name, state in states.items()
+        }
+        assert effort["linuxulator"] < effort["nolibc"]
+        assert effort["gvisor"] < effort["zephyr"]
+
+    def test_expected_initial_apps_unknown_os(self):
+        with pytest.raises(KeyError):
+            expected_initial_apps("templeos")

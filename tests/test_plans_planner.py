@@ -1,0 +1,187 @@
+"""Tests for incremental support-plan generation, including invariants
+checked property-style over randomized requirement sets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plans.planner import generate_plan, render_plan
+from repro.plans.requirements import AppRequirements
+from repro.plans.state import SupportState
+
+_POOL = (
+    "read write close openat mmap brk futex clone socket bind listen "
+    "accept4 epoll_ctl epoll_wait setsockopt uname getpid sysinfo prctl "
+    "setsid umask getcwd pipe2 fsync rename unlink getrandom"
+).split()
+
+
+def _record(app, required, stubbable=(), fake_only=()):
+    required = frozenset(required)
+    stubbable = frozenset(stubbable) - required
+    fake_only = frozenset(fake_only) - required - stubbable
+    return AppRequirements(
+        app=app,
+        workload="bench",
+        required=required,
+        stubbable=stubbable,
+        fake_only=fake_only,
+        traced=required | stubbable | fake_only,
+    )
+
+
+class TestBasicPlans:
+    def test_initially_supported(self):
+        state = SupportState("os", implemented={"read", "write"})
+        plan = generate_plan(state, [_record("cat", ["read", "write"])])
+        assert plan.initially_supported == ("cat",)
+        assert not plan.steps
+
+    def test_single_step(self):
+        state = SupportState("os", implemented={"read"})
+        plan = generate_plan(
+            state,
+            [_record("app", ["read", "socket"], stubbable=["uname"],
+                     fake_only=["prctl"])],
+        )
+        assert len(plan.steps) == 1
+        step = plan.steps[0]
+        assert step.implement == ("socket",)
+        assert step.stub == ("uname",)
+        assert step.fake == ("prctl",)
+        assert step.app == "app"
+
+    def test_cheapest_app_first(self):
+        state = SupportState("os")
+        plan = generate_plan(
+            state,
+            [
+                _record("expensive", _POOL[:20]),
+                _record("cheap", ["read", "write"]),
+            ],
+        )
+        assert plan.steps[0].app == "cheap"
+
+    def test_shared_requirements_amortize(self):
+        """After supporting app A, an app sharing A's syscalls is free."""
+        state = SupportState("os")
+        plan = generate_plan(
+            state,
+            [
+                _record("a", ["read", "write", "socket"]),
+                _record("b", ["read", "write", "socket", "bind"]),
+                _record("c", ["read"]),
+            ],
+        )
+        assert [s.app for s in plan.steps] == ["c", "a", "b"]
+        assert plan.steps[2].implement == ("bind",)
+
+    def test_stub_not_duplicated_across_steps(self):
+        state = SupportState("os")
+        plan = generate_plan(
+            state,
+            [
+                _record("a", ["read"], stubbable=["uname"]),
+                _record("b", ["write"], stubbable=["uname"]),
+            ],
+        )
+        stubs = [s.stub for s in plan.steps]
+        assert sum(len(x) for x in stubs) == 1
+
+    def test_input_state_not_mutated(self):
+        state = SupportState("os", implemented={"read"})
+        generate_plan(state, [_record("a", ["read", "write"])])
+        assert state.implemented == {"read"}
+
+    def test_render_contains_steps(self):
+        state = SupportState("os")
+        plan = generate_plan(state, [_record("a", ["read"])])
+        text = render_plan(plan)
+        assert "step-by-step support plan" in text
+        assert "+ a" in text
+        text_names = render_plan(plan, syscall_numbers=False)
+        assert "read" in text_names
+
+
+app_names = st.sampled_from(["a", "b", "c", "d", "e", "f"])
+syscall_sets = st.sets(st.sampled_from(_POOL), min_size=1, max_size=12)
+
+
+@st.composite
+def requirement_sets(draw):
+    count = draw(st.integers(min_value=1, max_value=6))
+    names = [f"app{i}" for i in range(count)]
+    return [
+        _record(
+            name,
+            draw(syscall_sets),
+            stubbable=draw(st.sets(st.sampled_from(_POOL), max_size=5)),
+            fake_only=draw(st.sets(st.sampled_from(_POOL), max_size=3)),
+        )
+        for name in names
+    ]
+
+
+class TestPlanInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(requirement_sets())
+    def test_plan_covers_all_apps_exactly_once(self, records):
+        plan = generate_plan(SupportState("os"), records)
+        planned = list(plan.initially_supported) + [s.app for s in plan.steps]
+        assert sorted(planned) == sorted(r.app for r in records)
+
+    @settings(max_examples=60, deadline=None)
+    @given(requirement_sets())
+    def test_each_step_unlocks_its_app(self, records):
+        by_name = {r.app: r for r in records}
+        plan = generate_plan(SupportState("os"), records)
+        implemented = set()
+        for step in plan.steps:
+            implemented |= set(step.implement)
+            assert by_name[step.app].required <= implemented
+
+    @settings(max_examples=60, deadline=None)
+    @given(requirement_sets())
+    def test_no_syscall_implemented_twice(self, records):
+        plan = generate_plan(SupportState("os"), records)
+        seen = set()
+        for step in plan.steps:
+            for name in step.implement:
+                assert name not in seen
+                seen.add(name)
+
+    @settings(max_examples=60, deadline=None)
+    @given(requirement_sets())
+    def test_total_equals_union_of_required(self, records):
+        plan = generate_plan(SupportState("os"), records)
+        union = set()
+        for record in records:
+            union |= record.required
+        assert plan.total_implemented == len(union)
+
+    @settings(max_examples=60, deadline=None)
+    @given(requirement_sets())
+    def test_greedy_marginal_costs_are_locally_minimal(self, records):
+        """At each step, no remaining app would have been cheaper."""
+        by_name = {r.app: r for r in records}
+        plan = generate_plan(SupportState("os"), records)
+        implemented = set()
+        remaining = {r.app for r in records} - set(plan.initially_supported)
+        for step in plan.steps:
+            costs = {
+                name: len(by_name[name].required - implemented)
+                for name in remaining
+            }
+            assert len(step.implement) == min(costs.values())
+            implemented |= set(step.implement)
+            remaining.discard(step.app)
+
+    @settings(max_examples=30, deadline=None)
+    @given(requirement_sets())
+    def test_cumulative_curve_monotone(self, records):
+        plan = generate_plan(SupportState("os"), records)
+        curve = plan.cumulative_curve()
+        syscall_counts = [p[0] for p in curve]
+        app_counts = [p[1] for p in curve]
+        assert syscall_counts == sorted(syscall_counts)
+        assert app_counts == sorted(app_counts)

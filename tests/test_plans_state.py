@@ -1,0 +1,86 @@
+"""Tests for OS support-state tracking and CSV I/O."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.plans.state import SupportState
+
+
+class TestStateMutation:
+    def test_implement_clears_stub_and_fake(self):
+        state = SupportState("demo-os", stubbed={"futex"}, faked={"brk"})
+        state.implement(["futex", "brk"])
+        assert state.implemented == {"futex", "brk"}
+        assert not state.stubbed
+        assert not state.faked
+
+    def test_stub_skips_implemented(self):
+        state = SupportState("demo-os", implemented={"read"})
+        state.stub(["read", "uname"])
+        assert state.stubbed == {"uname"}
+
+    def test_fake_overrides_stub(self):
+        state = SupportState("demo-os", stubbed={"prctl"})
+        state.fake(["prctl"])
+        assert state.faked == {"prctl"}
+        assert not state.stubbed
+
+    def test_handles(self):
+        state = SupportState(
+            "demo-os", implemented={"read"}, stubbed={"uname"}, faked={"prctl"}
+        )
+        assert state.handles("read")
+        assert state.handles("uname")
+        assert state.handles("prctl")
+        assert not state.handles("futex")
+
+    def test_counts_and_copy(self):
+        state = SupportState("demo-os", implemented={"read", "write"})
+        assert state.counts() == (2, 0, 0)
+        clone = state.copy()
+        clone.implement(["futex"])
+        assert "futex" not in state.implemented
+
+
+class TestValidation:
+    def test_unknown_syscall_rejected_at_construction(self):
+        with pytest.raises(PlanError):
+            SupportState("demo-os", implemented={"warp_speed"})
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        state = SupportState(
+            "demo-os",
+            implemented={"read", "write"},
+            stubbed={"uname"},
+            faked={"prctl"},
+        )
+        path = tmp_path / "demo.csv"
+        state.save(path)
+        loaded = SupportState.load(path)
+        assert loaded.implemented == state.implemented
+        assert loaded.stubbed == state.stubbed
+        assert loaded.faked == state.faked
+        assert loaded.os_name == "demo"
+
+    def test_bare_names_mean_implemented(self):
+        state = SupportState.from_csv("read\nwrite\n", os_name="min")
+        assert state.implemented == {"read", "write"}
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# supported\n\nread,implemented\n"
+        state = SupportState.from_csv(text)
+        assert state.implemented == {"read"}
+
+    def test_bad_status_rejected(self):
+        with pytest.raises(PlanError):
+            SupportState.from_csv("read,emulated\n")
+
+    def test_bad_syscall_rejected(self):
+        with pytest.raises(PlanError):
+            SupportState.from_csv("fly,implemented\n")
+
+    def test_csv_is_sorted_and_stable(self):
+        state = SupportState("x", implemented={"write", "read"})
+        assert state.to_csv() == "read,implemented\nwrite,implemented\n"

@@ -1,0 +1,161 @@
+"""Property-based tests of the whole analysis pipeline.
+
+Hypothesis generates random simulated programs (random syscalls,
+failure policies, fake reactions, features, gating) and we assert the
+analyzer's structural invariants hold for *every* one of them — the
+kind of guarantees the paper's algorithm implicitly relies on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.appsim.backend import SimBackend
+from repro.appsim.behavior import (
+    abort,
+    as_failure,
+    breaks,
+    breaks_core,
+    disable,
+    harmless,
+    ignore,
+    safe_default,
+)
+from repro.appsim.program import SimProgram, SyscallOp, WorkloadProfile
+from repro.core.analyzer import Analyzer, AnalyzerConfig
+from repro.core.policy import combined
+from repro.core.workload import benchmark, health_check, test_suite
+
+_SYSCALLS = (
+    "read write close openat fstat mmap brk munmap uname getpid sysinfo "
+    "prctl setsid umask futex clone socket bind pipe2 fsync rename "
+    "getrandom nanosleep kill dup2 getcwd"
+).split()
+
+_FEATURES = ("core", "alpha", "beta")
+
+
+@st.composite
+def stub_reactions(draw):
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return ignore()
+    if kind == 1:
+        return abort()
+    if kind == 2:
+        return safe_default()
+    if kind == 3:
+        return disable(draw(st.sampled_from(_FEATURES[1:])))
+    return ignore(fd_frac=draw(st.floats(-0.2, 1.0)))
+
+
+@st.composite
+def fake_reactions(draw):
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return harmless()
+    if kind == 1:
+        return breaks_core()
+    if kind == 2:
+        return breaks(draw(st.sampled_from(_FEATURES[1:])))
+    return as_failure()
+
+
+@st.composite
+def programs(draw):
+    count = draw(st.integers(min_value=1, max_value=10))
+    chosen = draw(
+        st.lists(
+            st.sampled_from(_SYSCALLS), min_size=count, max_size=count,
+            unique=True,
+        )
+    )
+    ops = []
+    for syscall in chosen:
+        feature = draw(st.sampled_from(_FEATURES))
+        gated = draw(st.booleans()) and feature != "core"
+        ops.append(
+            SyscallOp(
+                syscall=syscall,
+                count=draw(st.integers(1, 5)),
+                feature=feature,
+                when=frozenset({feature}) if gated else None,
+                checks_return=draw(st.booleans()),
+                on_stub=draw(stub_reactions()),
+                on_fake=draw(fake_reactions()),
+            )
+        )
+    return SimProgram(
+        name="prop",
+        version="1",
+        ops=tuple(ops),
+        features=frozenset(_FEATURES),
+        profiles={"*": WorkloadProfile(metric=1000.0, fd_peak=32,
+                                       mem_peak_kb=4096)},
+    )
+
+
+WORKLOADS = (
+    health_check("health"),
+    benchmark("bench", metric_name="ops/s", features=("core", "alpha")),
+    test_suite("suite", features=_FEATURES),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs(), st.sampled_from(WORKLOADS))
+def test_analysis_invariants(program, workload):
+    backend = SimBackend(program)
+    analyzer = Analyzer(AnalyzerConfig(replicas=2))
+    result = analyzer.analyze(backend, workload)
+
+    traced = result.traced_syscalls()
+    required = result.required_syscalls()
+    stubbable = result.stubbable_syscalls()
+    fakeable = result.fakeable_syscalls()
+
+    # Partition invariants.
+    assert required <= traced
+    assert stubbable <= traced
+    assert fakeable <= traced
+    assert required.isdisjoint(stubbable | fakeable)
+    assert required | stubbable | fakeable == traced
+
+    # The combined policy derived from the (possibly demoted) decisions
+    # must actually pass — that is what final_run_ok certifies.
+    assert result.final_run_ok
+    policy = combined(
+        stubs=sorted(stubbable),
+        fakes=sorted(fakeable - stubbable),
+    )
+    rerun = backend.run(workload, policy)
+    assert rerun.success
+
+    # Every traced feature got a report with a sane count.
+    for name in traced:
+        assert result.features[name].traced_count >= 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs())
+def test_workload_monotonicity(program):
+    """A workload exercising strictly more features can only move
+    features toward REQUIRED, never away from it."""
+    backend = SimBackend(program)
+    analyzer = Analyzer(AnalyzerConfig(replicas=2))
+    weak = analyzer.analyze(backend, health_check("health"))
+    strong = analyzer.analyze(backend, test_suite("suite", features=_FEATURES))
+    for name in weak.required_syscalls():
+        if name in strong.traced_syscalls():
+            assert name in strong.required_syscalls()
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs())
+def test_serialization_roundtrip_for_random_results(program):
+    from repro.core.result import AnalysisResult
+
+    backend = SimBackend(program)
+    result = Analyzer(AnalyzerConfig(replicas=2)).analyze(
+        backend, health_check("health")
+    )
+    assert AnalysisResult.from_dict(result.to_dict()).to_dict() == result.to_dict()

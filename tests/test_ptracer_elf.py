@@ -1,0 +1,130 @@
+"""Tests for the minimal ELF64 reader."""
+
+import struct
+
+import pytest
+
+from repro.errors import ElfFormatError
+from repro.ptracer.elf import ELF_MAGIC, is_elf, parse
+
+
+def _synthesize_elf(
+    machine=62, sections=((".text", 0x4, b"\x90\x0f\x05"),)
+) -> bytes:
+    """Build a tiny but valid ELF64 with the given (name, flags, data)."""
+    names = b"\x00"
+    name_offsets = []
+    for name, _flags, _data in sections:
+        name_offsets.append(len(names))
+        names += name.encode() + b"\x00"
+    shstrtab_name_offset = len(names)
+    names += b".shstrtab\x00"
+
+    ehsize = 64
+    shentsize = 64
+    section_count = len(sections) + 2  # null + shstrtab
+
+    payloads = []
+    offset = ehsize
+    for _name, _flags, data in sections:
+        payloads.append((offset, data))
+        offset += len(data)
+    shstrtab_offset = offset
+    offset += len(names)
+    shoff = offset
+
+    blob = bytearray()
+    blob += b"\x7fELF" + bytes([2, 1, 1, 0]) + b"\x00" * 8
+    blob += struct.pack(
+        "<HHIQQQIHHHHHH",
+        2, machine, 1, 0, 0, shoff, 0, ehsize, 0, 0,
+        shentsize, section_count, section_count - 1,
+    )
+    for (payload_offset, data) in payloads:
+        assert len(blob) == payload_offset
+        blob += data
+    blob += names
+
+    def shdr(name_off, sh_type, flags, off, size):
+        return struct.pack(
+            "<IIQQQQIIQQ", name_off, sh_type, flags, 0, off, size, 0, 0, 1, 0
+        )
+
+    blob += shdr(0, 0, 0, 0, 0)  # null section
+    for (name_off, (section, payload)) in zip(
+        name_offsets, zip(sections, payloads)
+    ):
+        _name, flags, data = section
+        blob += shdr(name_off, 1, flags, payload[0], len(data))
+    blob += shdr(shstrtab_name_offset, 3, 0, shstrtab_offset, len(names))
+    return bytes(blob)
+
+
+class TestParsing:
+    def test_synthetic_roundtrip(self, tmp_path):
+        path = tmp_path / "tiny.elf"
+        path.write_bytes(_synthesize_elf())
+        elf = parse(path)
+        assert elf.is_x86_64
+        text = elf.section(".text")
+        assert text.executable
+        assert text.data == b"\x90\x0f\x05"
+
+    def test_executable_sections_filter(self, tmp_path):
+        path = tmp_path / "two.elf"
+        path.write_bytes(
+            _synthesize_elf(
+                sections=(
+                    (".text", 0x4, b"\x0f\x05"),
+                    (".data", 0x0, b"DATA"),
+                )
+            )
+        )
+        elf = parse(path)
+        names = [s.name for s in elf.executable_sections()]
+        assert names == [".text"]
+
+    def test_missing_section_raises(self, tmp_path):
+        path = tmp_path / "tiny.elf"
+        path.write_bytes(_synthesize_elf())
+        with pytest.raises(ElfFormatError):
+            parse(path).section(".bss")
+
+    def test_real_system_binary(self):
+        elf = parse("/bin/true")
+        assert elf.is_x86_64
+        assert any(s.name == ".text" for s in elf.sections)
+
+    def test_compiled_binary(self, compiled_syscall_binary):
+        elf = parse(compiled_syscall_binary)
+        assert elf.executable_sections()
+
+
+class TestValidation:
+    def test_not_elf(self, tmp_path):
+        path = tmp_path / "not.elf"
+        path.write_bytes(b"#!/bin/sh\n")
+        with pytest.raises(ElfFormatError):
+            parse(path)
+        assert not is_elf(path)
+
+    def test_is_elf_true(self):
+        assert is_elf("/bin/true")
+
+    def test_32bit_rejected(self, tmp_path):
+        blob = bytearray(_synthesize_elf())
+        blob[4] = 1  # ELFCLASS32
+        path = tmp_path / "e32.elf"
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ElfFormatError):
+            parse(path)
+
+    def test_truncated_section_table(self, tmp_path):
+        blob = _synthesize_elf()[:80]
+        path = tmp_path / "trunc.elf"
+        path.write_bytes(blob)
+        with pytest.raises(ElfFormatError):
+            parse(path)
+
+    def test_is_elf_missing_file(self, tmp_path):
+        assert not is_elf(tmp_path / "missing")

@@ -1,0 +1,104 @@
+"""Tests for the make/debhelper suite integration (Section 3.3)."""
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro.core.workload import WorkloadKind
+from repro.errors import WorkloadError
+from repro.ptracer.frameworks import (
+    discover_debhelper_suite,
+    discover_make_suite,
+    suite_workload,
+    workload_for_project,
+)
+
+
+@pytest.fixture()
+def make_project(tmp_path, gcc_available):
+    """A miniature project: one binary, a Makefile with a test target."""
+    if not gcc_available:
+        pytest.skip("gcc not available")
+    source = tmp_path / "app.c"
+    source.write_text(
+        '#include <stdio.h>\nint main(void){ printf("ok\\n"); return 0; }\n'
+    )
+    subprocess.run(
+        ["gcc", "-O2", "-o", str(tmp_path / "app"), str(source)],
+        check=True, capture_output=True,
+    )
+    (tmp_path / "Makefile").write_text(
+        "all: app\n\ntest:\n\t./app\n\nclean:\n\trm -f app\n"
+    )
+    return tmp_path
+
+
+class TestMakeDiscovery:
+    def test_discover(self, make_project):
+        suite = discover_make_suite(make_project)
+        assert suite.source == "makefile"
+        assert suite.runner[-1] == "test"
+        assert any(path.endswith("/app") for path in suite.binaries)
+
+    def test_check_target_fallback(self, tmp_path):
+        (tmp_path / "Makefile").write_text("check:\n\ttrue\n")
+        suite = discover_make_suite(tmp_path)
+        assert suite.runner[-1] == "check"
+
+    def test_no_makefile(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            discover_make_suite(tmp_path)
+
+    def test_no_test_target(self, tmp_path):
+        (tmp_path / "Makefile").write_text("all:\n\ttrue\n")
+        with pytest.raises(WorkloadError):
+            discover_make_suite(tmp_path)
+
+
+class TestDebhelperDiscovery:
+    def test_discover(self, tmp_path):
+        rules = tmp_path / "debian" / "rules"
+        rules.parent.mkdir()
+        rules.write_text("#!/usr/bin/make -f\ndh_auto_test:\n\ttrue\n")
+        suite = discover_debhelper_suite(tmp_path)
+        assert suite.source == "debhelper"
+        assert "dh_auto_test" in suite.runner
+
+    def test_not_a_package(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            discover_debhelper_suite(tmp_path)
+
+    def test_workload_for_project_prefers_debhelper(self, tmp_path):
+        rules = tmp_path / "debian" / "rules"
+        rules.parent.mkdir()
+        rules.write_text("dh_auto_test:\n\ttrue\n")
+        (tmp_path / "Makefile").write_text("test:\n\ttrue\n")
+        workload = workload_for_project(tmp_path)
+        assert "dh_auto_test" in workload.argv
+
+
+class TestSuiteWorkload:
+    def test_workload_shape(self, make_project):
+        workload = workload_for_project(make_project)
+        assert workload.kind is WorkloadKind.TEST_SUITE
+        assert workload.argv[0] == "make"
+        assert workload.binaries
+
+    @pytest.mark.ptrace
+    def test_traced_suite_respects_whitelist(self, make_project):
+        """Run `make test` under trace: only the project binary's
+        syscalls are attributed — make's and the shell's are not."""
+        if shutil.which("make") is None:
+            pytest.skip("make not available")
+        from repro.core.policy import passthrough
+        from repro.ptracer.backend import PtraceBackend
+
+        workload = workload_for_project(make_project, timeout_s=60.0)
+        result = PtraceBackend().run(workload, passthrough())
+        assert result.success
+        traced = result.syscalls()
+        # The app prints via write and exits; make/sh would have added
+        # dozens of wait4/pipe/execve-heavy syscalls.
+        assert "write" in traced
+        assert "wait4" not in traced

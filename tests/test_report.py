@@ -1,0 +1,65 @@
+"""Tests for the ASCII figure rendering."""
+
+import pytest
+
+from repro.report import render_bar_chart, render_xy_plot
+
+
+class TestXyPlot:
+    def test_basic_plot_structure(self):
+        text = render_xy_plot(
+            {"a": [(0, 0), (10, 10)], "b": [(0, 10), (10, 0)]},
+            width=40, height=10, x_label="x", y_label="y",
+        )
+        lines = text.splitlines()
+        assert len(lines) == 10 + 3          # canvas + axis + labels + legend
+        assert "* a" in lines[-1]
+        assert "o b" in lines[-1]
+        assert "(y: y)" in lines[-1]
+
+    def test_empty(self):
+        assert render_xy_plot({}) == "(no data)"
+
+    def test_monotone_series_renders_extremes(self):
+        text = render_xy_plot({"s": [(0, 0), (100, 50)]}, width=30, height=8)
+        first_line = text.splitlines()[0]
+        last_canvas_line = text.splitlines()[7]
+        assert "*" in first_line          # y max plotted at the top
+        assert "*" in last_canvas_line    # y min plotted at the bottom
+
+    def test_degenerate_single_point(self):
+        text = render_xy_plot({"p": [(5, 5)]})
+        assert "*" in text
+
+
+class TestRealCurves:
+    def test_effort_curves(self, full_corpus):
+        from repro.plans import run_effort_study
+        from repro.report import render_effort_curves
+
+        study = run_effort_study(full_corpus[:62])
+        text = render_effort_curves(study)
+        assert "loupe" in text and "organic" in text and "naive" in text
+        assert "syscalls implemented" in text
+
+    def test_importance_curves(self, bench_results):
+        from repro.report import render_importance_curves
+        from repro.study.importance import figure3
+
+        text = render_importance_curves(figure3(bench_results))
+        assert "naive" in text and "loupe" in text
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        text = render_bar_chart({"big": 100.0, "small": 10.0}, width=20)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 20
+        assert 1 <= lines[1].count("#") <= 3
+
+    def test_unit_suffix(self):
+        text = render_bar_chart({"x": 5.0}, unit="%")
+        assert "5%" in text
+
+    def test_empty(self):
+        assert render_bar_chart({}) == "(no data)"

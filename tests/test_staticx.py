@@ -1,0 +1,144 @@
+"""Tests for the static analysis substrates (binary scanner, source
+scanner, modeled views)."""
+
+import pytest
+
+from repro.errors import StaticAnalysisError
+from repro.staticx.binary import scan_binary, scan_bytes
+from repro.staticx.model import analyze_app, overestimation_factor
+from repro.staticx.source import scan_source_text, scan_source_tree
+from repro.syscalls import number_of
+
+
+class TestByteScanner:
+    def test_mov_eax_imm(self):
+        # mov eax, 39 (getpid); syscall
+        code = b"\xb8\x27\x00\x00\x00\x0f\x05"
+        counts, sites, unresolved = scan_bytes(code)
+        assert counts == {39: 1}
+        assert sites == 1
+        assert unresolved == 0
+
+    def test_xor_eax(self):
+        # xor eax, eax (read = 0); syscall
+        code = b"\x31\xc0\x0f\x05"
+        counts, _, _ = scan_bytes(code)
+        assert counts == {0: 1}
+
+    def test_mov_rax_imm(self):
+        # mov rax, 60 (exit); syscall
+        code = b"\x48\xc7\xc0\x3c\x00\x00\x00\x0f\x05"
+        counts, _, _ = scan_bytes(code)
+        assert counts == {60: 1}
+
+    def test_register_number_unresolved(self):
+        # mov eax from memory is invisible to the linear sweep.
+        code = b"\x8b\x45\xf8\x0f\x05"
+        counts, sites, unresolved = scan_bytes(code)
+        assert not counts
+        assert sites == 1
+        assert unresolved == 1
+
+    def test_closest_assignment_wins(self):
+        # mov eax, 1; mov eax, 2; syscall -> number 2 (write)
+        code = b"\xb8\x01\x00\x00\x00\xb8\x02\x00\x00\x00\x0f\x05"
+        counts, _, _ = scan_bytes(code)
+        assert counts == {2: 1}
+
+    def test_bogus_number_counts_unresolved(self):
+        code = b"\xb8\xff\xff\x00\x00\x0f\x05"  # 65535: not a syscall
+        counts, sites, unresolved = scan_bytes(code)
+        assert not counts
+        assert unresolved == 1
+
+    def test_multiple_sites(self):
+        one = b"\xb8\x27\x00\x00\x00\x0f\x05"
+        code = one * 3
+        counts, sites, _ = scan_bytes(code)
+        assert sites == 3
+        assert counts[39] == 3
+
+    def test_empty(self):
+        assert scan_bytes(b"") == ({}, 0, 0)
+
+
+class TestBinaryScan:
+    def test_compiled_probe(self, compiled_syscall_binary):
+        report = scan_binary(compiled_syscall_binary)
+        assert {"getpid", "getuid", "sync"} <= report.syscalls
+        assert report.resolution_rate > 0.9
+        assert number_of("getpid") in report.numbers
+
+    def test_non_elf_raises(self, tmp_path):
+        from repro.errors import ElfFormatError
+
+        path = tmp_path / "script.sh"
+        path.write_text("#!/bin/sh\n")
+        with pytest.raises(ElfFormatError):
+            scan_binary(path)
+
+
+class TestSourceScanner:
+    def test_wrapper_calls_found(self):
+        source = """
+        int main(void) {
+            int fd = open("/tmp/x", 0);
+            read(fd, buf, 10);
+            close(fd);
+            return 0;
+        }
+        """
+        report = scan_source_text(source)
+        assert {"openat", "read", "close"} <= report.syscalls
+
+    def test_raw_syscall_invocations(self):
+        source = "void f(void) { syscall(SYS_gettid); syscall(__NR_futex, 0); }"
+        report = scan_source_text(source)
+        assert {"gettid", "futex"} <= report.syscalls
+
+    def test_comments_and_strings_ignored(self):
+        source = '''
+        /* read(fd, buf, n) would be nice */
+        // write(fd, buf, n)
+        const char *s = "open(path)";
+        int main(void) { return 0; }
+        '''
+        report = scan_source_text(source)
+        assert not report.syscalls
+
+    def test_aliases_resolved(self):
+        report = scan_source_text("int main(){ printf(\"hi\"); exit(0); }")
+        assert "write" in report.syscalls
+        assert "exit_group" in report.syscalls
+
+    def test_dead_code_counts(self):
+        """The defining conservatism: unreachable calls still count."""
+        source = """
+        int main(void) { return 0; }
+        static void never_called(void) { unlink("/tmp/x"); }
+        """
+        report = scan_source_text(source)
+        assert "unlink" in report.syscalls
+
+    def test_tree_scan(self, tmp_path):
+        (tmp_path / "a.c").write_text("int main(){ read(0,0,0); }")
+        (tmp_path / "b.c").write_text("void f(){ write(1,0,0); }")
+        (tmp_path / "note.txt").write_text("open() is ignored here")
+        report = scan_source_tree(tmp_path)
+        assert report.syscalls == {"read", "write"}
+
+
+class TestModeledViews:
+    def test_views_and_factor(self, cloud_app_set):
+        redis = next(a for a in cloud_app_set if a.name == "redis")
+        binary = analyze_app(redis, "binary")
+        source = analyze_app(redis, "source")
+        assert binary.count == 103
+        assert source.count == 85
+        assert source.syscalls <= binary.syscalls
+        factor = overestimation_factor(binary, frozenset(["a"] * 1) | {"b"})
+        assert factor == binary.count / 2
+
+    def test_unknown_level(self, cloud_app_set):
+        with pytest.raises(ValueError):
+            analyze_app(cloud_app_set[0], "quantum")

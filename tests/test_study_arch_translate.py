@@ -1,0 +1,77 @@
+"""Tests for the generative i386 translation (Table 3 cross-check)."""
+
+import pytest
+
+from repro.study.arch_translate import (
+    GeneratedColumn,
+    generate_table3_left,
+    to_i386_era,
+)
+from repro.syscalls import SOCKETCALL_OPS, TABLE_I386
+
+
+class TestTranslation:
+    def test_struct_variants(self):
+        translated = to_i386_era(frozenset({"stat", "fstat", "lseek", "fcntl"}))
+        assert translated == {"stat64", "fstat64", "_llseek", "fcntl64"}
+
+    def test_credential_variants(self):
+        translated = to_i386_era(frozenset({"setuid", "setgroups", "geteuid"}))
+        assert translated == {"setuid32", "setgroups32", "geteuid32"}
+
+    def test_tls_setup(self):
+        assert to_i386_era(frozenset({"arch_prctl"})) == {"set_thread_area"}
+
+    def test_mmap_brings_old_mmap(self):
+        """glibc 2.3.2 used both mmap paths (as the paper's column shows)."""
+        assert to_i386_era(frozenset({"mmap"})) == {"mmap2", "old_mmap"}
+
+    def test_modern_only_calls_vanish(self):
+        translated = to_i386_era(
+            frozenset({"set_robust_list", "getrandom", "read"})
+        )
+        assert translated == {"read"}
+
+    def test_openat_becomes_open(self):
+        assert to_i386_era(frozenset({"openat"})) == {"open"}
+
+    def test_all_outputs_are_era_valid(self):
+        socket_ops = set(SOCKETCALL_OPS.values())
+        inputs = frozenset(
+            "read write close stat fstat lseek mmap openat arch_prctl "
+            "setuid recvfrom accept prlimit64 fcntl".split()
+        )
+        for name in to_i386_era(inputs):
+            assert name in TABLE_I386 or name in socket_ops, name
+
+
+class TestGeneratedColumn:
+    @pytest.fixture(scope="class")
+    def column(self):
+        return generate_table3_left()
+
+    def test_high_agreement_with_transcription(self, column):
+        """The behavioral model and the paper's measured table are
+        independent artifacts; they must substantially agree."""
+        assert column.agreement >= 0.85
+
+    def test_no_hallucinated_syscalls(self, column):
+        """Everything the model generates appears in the paper's table."""
+        assert not column.extra_in_generated
+
+    def test_misses_are_documented_gaps(self, column):
+        """Remaining misses stem from suite-gated model features."""
+        assert column.missing_from_generated <= {"pwrite"}
+
+    def test_sizes_in_range(self, column):
+        assert 40 <= len(column.generated) <= len(column.transcribed)
+
+    def test_agreement_metric(self):
+        same = GeneratedColumn(
+            generated=frozenset({"a", "b"}), transcribed=frozenset({"a", "b"})
+        )
+        assert same.agreement == 1.0
+        disjoint = GeneratedColumn(
+            generated=frozenset({"a"}), transcribed=frozenset({"b"})
+        )
+        assert disjoint.agreement == 0.0

@@ -1,0 +1,55 @@
+"""Tests for the return-value check study (Figure 7)."""
+
+import pytest
+
+from repro.study.checks import check_rows, check_study, expected_unchecked
+
+
+@pytest.fixture(scope="module")
+def study(full_corpus, bench_results):
+    return check_study(full_corpus, bench_results)
+
+
+class TestCheckRows:
+    def test_rows_cover_wrapped_app_calls_only(self, full_corpus):
+        rows = {r.syscall for r in check_rows(full_corpus)}
+        # futex has no glibc wrapper: excluded by construction.
+        assert "futex" not in rows
+        assert "read" in rows
+
+    def test_fraction_bounds(self, full_corpus):
+        for row in check_rows(full_corpus):
+            assert 0 <= row.apps_checking <= row.apps_using
+            assert 0.0 <= row.check_fraction <= 1.0
+
+    def test_majority_checked(self, study):
+        """Figure 7: the majority of wrappers have their result checked."""
+        checked = [r for r in study.rows if r.check_fraction > 0.5]
+        assert len(checked) > len(study.rows) / 2
+
+
+class TestCorrelationClaim:
+    def test_checking_does_not_predict_avoidability(self, study):
+        """Section 5.2: the ability to stub/fake is *not* a factor of the
+        presence of checks — correlation must be weak."""
+        assert abs(study.correlation) < 0.45
+
+    def test_always_checked_yet_avoidable_exist(self, study, bench_results):
+        """uname/ioctl-style: always checked, commonly stubbable."""
+        avoidable_somewhere = set()
+        for result in bench_results:
+            avoidable_somewhere |= result.avoidable_syscalls()
+        overlap = set(study.always_checked) & avoidable_somewhere
+        assert overlap, "expected always-checked syscalls that are avoidable"
+
+    def test_never_checked_includes_cannot_fail(self, study):
+        unchecked_and_infallible = expected_unchecked(study)
+        assert "alarm" in unchecked_and_infallible or "getpid" in [
+            r.syscall for r in study.rows if r.apps_checking == 0
+        ] or unchecked_and_infallible
+
+    def test_row_lookup(self, study):
+        row = study.row("read")
+        assert row.apps_using > 0
+        with pytest.raises(KeyError):
+            study.row("not_there")

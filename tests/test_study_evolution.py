@@ -1,0 +1,98 @@
+"""Tests for the temporal evolution studies (Table 3 and Figure 8)."""
+
+import pytest
+
+from repro.study.evolution import (
+    ARCH_VARIANTS,
+    NGINX_GLIBC_231_X86_64,
+    NGINX_GLIBC_232_I386,
+    figure8,
+    glibc_comparison,
+    render_table3,
+)
+from repro.syscalls import TABLE_I386, TABLE_X86_64
+
+
+class TestTable3Data:
+    def test_paper_counts(self):
+        """Table 3: 48 syscalls under glibc 2.3.2, 51 under glibc 2.31."""
+        assert len(NGINX_GLIBC_232_I386) == 48
+        assert len(NGINX_GLIBC_231_X86_64) == 51
+
+    def test_old_names_resolve_on_i386(self):
+        """Every old-column name is a direct i386 syscall or one of the
+        socket operations multiplexed behind socketcall(102)."""
+        from repro.syscalls import SOCKETCALL_OPS
+
+        socket_ops = set(SOCKETCALL_OPS.values())
+        for name in NGINX_GLIBC_232_I386:
+            assert name in TABLE_I386 or name in socket_ops, name
+
+    def test_new_names_resolve_on_x86_64(self):
+        for name in NGINX_GLIBC_231_X86_64:
+            assert name in TABLE_X86_64, name
+
+
+class TestClassification:
+    def test_exactly_eight_new_syscalls(self):
+        """Section 5.5: 'we only count 8 new system calls in 17 years'."""
+        comparison = glibc_comparison()
+        assert len(comparison.genuinely_new) == 8
+
+    def test_new_syscalls_identity(self):
+        comparison = glibc_comparison()
+        assert comparison.genuinely_new == {
+            "_sysctl", "lstat", "mprotect", "openat", "prlimit64",
+            "sendfile", "set_robust_list", "set_tid_address",
+        }
+
+    def test_deprecations_detected(self):
+        """Most change comes from deprecation of old syscalls."""
+        comparison = glibc_comparison()
+        assert {"open", "uname", "gettimeofday", "getrlimit"} == set(
+            comparison.deprecated
+        )
+
+    def test_arch_variants_used(self):
+        comparison = glibc_comparison()
+        assert comparison.arch_variants["mmap2"] == "mmap"
+        assert comparison.arch_variants["fstat64"] == "fstat"
+        assert comparison.arch_variants["set_thread_area"] == "arch_prctl"
+
+    def test_arch_variant_targets_exist(self):
+        for target in ARCH_VARIANTS.values():
+            assert target in TABLE_X86_64
+
+    def test_render(self):
+        text = render_table3(glibc_comparison())
+        assert "48 syscalls" in text
+        assert "genuinely new (8)" in text
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def pairs(self):
+        return figure8()
+
+    def test_three_subjects(self, pairs):
+        assert {p.app for p in pairs} == {"httpd", "nginx", "redis"}
+
+    def test_usage_stable_over_time(self, pairs):
+        """Insight 5.5: roughly the same syscall counts across 11-15y."""
+        for pair in pairs:
+            assert pair.traced_drift <= 6
+            assert pair.avoidable_drift <= 6
+
+    def test_old_builds_predate_recent(self, pairs):
+        for pair in pairs:
+            assert pair.old.year < pair.recent.year
+
+    def test_required_counts_stable(self, pairs):
+        for pair in pairs:
+            assert abs(pair.recent.required - pair.old.required) <= 4
+
+    def test_bars_internally_consistent(self, pairs):
+        for pair in pairs:
+            for bar in (pair.old, pair.recent):
+                assert bar.required + bar.avoidable <= bar.traced + 1
+                assert bar.avoidable >= max(bar.stubbable, bar.fakeable)

@@ -1,0 +1,84 @@
+"""Tests for the Table 2 performance/resource impact study."""
+
+import pytest
+
+from repro.study.impact import analyze_impacts, render_table2
+
+
+@pytest.fixture(scope="module")
+def table():
+    return analyze_impacts()
+
+
+class TestSignatureRows:
+    def test_nginx_write_faster(self, table):
+        """Table 2: Nginx write stub -> +15% (access logs skipped)."""
+        row = table.row("nginx", "write")
+        assert row.perf_delta == pytest.approx(0.15, abs=0.03)
+
+    def test_nginx_sigsuspend_slower(self, table):
+        row = table.row("nginx", "rt_sigsuspend")
+        assert row.perf_delta == pytest.approx(-0.38, abs=0.03)
+
+    def test_nginx_brk_memory(self, table):
+        row = table.row("nginx", "brk")
+        assert row.mem_delta == pytest.approx(0.17, abs=0.03)
+
+    def test_nginx_clone_memory(self, table):
+        row = table.row("nginx", "clone")
+        assert row.mem_delta == pytest.approx(0.10, abs=0.03)
+
+    def test_redis_close_fd_explosion(self, table):
+        """Table 2: Redis close stub -> x8 file descriptors."""
+        row = table.row("redis", "close")
+        assert row.fd_delta == pytest.approx(7.0, abs=0.5)
+
+    def test_redis_futex_fake(self, table):
+        """Table 2: Redis futex fake -> -66% perf, +94% descriptors."""
+        row = table.row("redis", "futex")
+        assert row.perf_delta == pytest.approx(-0.66, abs=0.05)
+        assert row.fd_delta == pytest.approx(0.94, abs=0.08)
+
+    def test_redis_munmap_memory(self, table):
+        row = table.row("redis", "munmap")
+        assert row.mem_delta == pytest.approx(0.19, abs=0.03)
+
+    def test_redis_sigprocmask_memory_drop(self, table):
+        row = table.row("redis", "rt_sigprocmask")
+        assert row.mem_delta == pytest.approx(-0.15, abs=0.03)
+
+    def test_redis_pipe2_fd_drop(self, table):
+        row = table.row("redis", "pipe2")
+        assert row.fd_delta == pytest.approx(-0.25, abs=0.05)
+
+    def test_iperf3_brk_memory(self, table):
+        """Table 2: iPerf3 brk -> +11% memory, its only impact."""
+        row = table.row("iperf3", "brk")
+        assert row.mem_delta == pytest.approx(0.11, abs=0.02)
+
+    def test_redis_brk_shown_despite_margin(self, table):
+        """Redis's +2% brk appears because the row set is the union."""
+        row = table.row("redis", "brk")
+        assert row.mem_delta is not None
+        assert row.mem_delta == pytest.approx(0.02, abs=0.02)
+
+
+class TestTableMechanics:
+    def test_row_lookup_missing(self, table):
+        with pytest.raises(KeyError):
+            table.row("nginx", "futex")  # nginx has no futex at all
+
+    def test_impacted_syscalls_per_app(self, table):
+        assert "futex" in table.syscalls_for("redis")
+        assert "write" in table.syscalls_for("nginx")
+
+    def test_most_syscalls_unimpacted(self, table, seven_bench_results):
+        """Section 5.3: for the majority of syscalls, stubbing/faking
+        stays within the error margin — the table is short."""
+        impacted = {row.syscall for row in table.rows}
+        assert len(impacted) <= 12
+
+    def test_render(self, table):
+        text = render_table2(table)
+        assert "redis" in text and "futex" in text
+        assert "-66%" in text

@@ -1,0 +1,71 @@
+"""Tests for the API-importance study (Figures 3 and 5)."""
+
+import pytest
+
+from repro.study.importance import (
+    figure3,
+    loupe_importance,
+    naive_importance,
+    render_figure5_row,
+    syscall_sets,
+)
+
+
+class TestFigure3:
+    def test_naive_dominates_loupe(self, bench_results):
+        """Figure 3: the naive curve lies above Loupe's everywhere."""
+        assert figure3(bench_results).dominance_holds()
+
+    def test_totals_match_paper_scale(self, bench_results):
+        """Paper: 148 required (Loupe) vs 180 (naive) corpus-wide."""
+        fig = figure3(bench_results)
+        assert 170 <= fig.naive.total_syscalls() <= 205
+        assert 125 <= fig.loupe.total_syscalls() <= 160
+        assert fig.loupe.total_syscalls() < fig.naive.total_syscalls()
+
+    def test_pointwise_importance_relation(self, bench_results):
+        """For every syscall: naive importance >= loupe importance."""
+        fig = figure3(bench_results)
+        for syscall, fraction in fig.loupe.fractions.items():
+            assert fig.naive.importance_of(syscall) >= fraction
+
+    def test_importance_curve_sorted(self, bench_results):
+        curve = loupe_importance(bench_results).curve()
+        assert curve == sorted(curve, reverse=True)
+        assert all(0.0 < value <= 1.0 for value in curve)
+
+    def test_top_traced_is_libc_core(self, bench_results):
+        top = dict(naive_importance(bench_results).top(10))
+        assert "execve" in top
+        assert "mmap" in top
+
+    def test_app_count_recorded(self, bench_results):
+        assert naive_importance(bench_results).app_count == len(bench_results)
+
+
+class TestFigure5:
+    def test_four_views(self, seven_app_set, seven_bench_results):
+        views = syscall_sets(seven_app_set, seven_bench_results)
+        assert set(views) == {
+            "static-binary", "static-source", "dynamic-traced",
+            "dynamic-required",
+        }
+
+    def test_view_set_sizes_ordered(self, seven_app_set, seven_bench_results):
+        """Figure 5: binary > source > traced > required in coverage."""
+        views = syscall_sets(seven_app_set, seven_bench_results)
+        binary = views["static-binary"].total_syscalls()
+        source = views["static-source"].total_syscalls()
+        traced = views["dynamic-traced"].total_syscalls()
+        required = views["dynamic-required"].total_syscalls()
+        assert binary > source > traced > required
+
+    def test_misaligned_inputs_rejected(self, seven_app_set, seven_bench_results):
+        with pytest.raises(ValueError):
+            syscall_sets(seven_app_set[:3], seven_bench_results)
+
+    def test_render_row(self, seven_app_set, seven_bench_results):
+        views = syscall_sets(seven_app_set, seven_bench_results)
+        text = render_figure5_row(views["dynamic-required"])
+        assert "[dynamic-required]" in text
+        assert "59(" in text  # execve is required across the board

@@ -1,0 +1,80 @@
+"""Tests for the Table 4 libc-initialization study — exact paper values."""
+
+import pytest
+
+from repro.appsim.libc import GLIBC_228_DYNAMIC, MUSL_122_STATIC
+from repro.study.libcinit import render_table4, table4, trace_hello
+
+
+@pytest.fixture(scope="module")
+def table():
+    return table4()
+
+
+class TestPaperExactValues:
+    def test_invocation_totals(self, table):
+        """Table 4: 28 / 11 / 11 / 6 invocations."""
+        assert table.row("glibc", "dynamic").total_invocations == 28
+        assert table.row("musl", "dynamic").total_invocations == 11
+        assert table.row("glibc", "static").total_invocations == 11
+        assert table.row("musl", "static").total_invocations == 6
+
+    def test_distinct_counts(self, table):
+        assert table.row("glibc", "dynamic").distinct_syscalls == 13
+        assert table.row("musl", "dynamic").distinct_syscalls == 9
+        assert table.row("glibc", "static").distinct_syscalls == 8
+        assert table.row("musl", "static").distinct_syscalls == 6
+
+    def test_glibc_dynamic_exact_multiset(self, table):
+        row = table.row("glibc", "dynamic")
+        assert row.invocations == {
+            "execve": 1, "brk": 3, "arch_prctl": 1, "exit_group": 1,
+            "access": 1, "openat": 2, "fstat": 3, "mmap": 7, "close": 2,
+            "read": 1, "mprotect": 4, "munmap": 1, "write": 1,
+        }
+
+    def test_musl_dynamic_exact_multiset(self, table):
+        row = table.row("musl", "dynamic")
+        assert row.invocations == {
+            "execve": 1, "brk": 2, "arch_prctl": 1, "exit_group": 1,
+            "writev": 1, "mmap": 1, "mprotect": 2, "ioctl": 1,
+            "set_tid_address": 1,
+        }
+
+    def test_common_sets(self, table):
+        """Paper: 6 syscalls common for dynamic, 3 for static, 3 overall."""
+        assert table.common_syscalls("dynamic") == {
+            "execve", "brk", "arch_prctl", "exit_group", "mmap", "mprotect",
+        }
+        assert table.common_syscalls("static") == {
+            "execve", "arch_prctl", "exit_group",
+        }
+        assert table.overall_common() == {"execve", "arch_prctl", "exit_group"}
+
+    def test_ratio_claims(self, table):
+        """Paper: glibc-dyn issues 2.5x musl-dyn; up to ~4.5x musl-static."""
+        assert table.dynamic_ratio() == pytest.approx(28 / 11, rel=0.01)
+        assert table.extreme_ratio() == pytest.approx(28 / 6, rel=0.01)
+        assert table.extreme_ratio() >= 4.5
+
+    def test_wrapper_choice_visible(self, table):
+        """glibc printf -> write; musl printf -> writev (Section 5.6)."""
+        assert "write" in table.row("glibc", "dynamic").syscall_set
+        assert "writev" in table.row("musl", "dynamic").syscall_set
+        assert "write" not in table.row("musl", "dynamic").syscall_set
+
+
+class TestMechanics:
+    def test_trace_single_config(self):
+        row = trace_hello(GLIBC_228_DYNAMIC)
+        assert row.libc == "glibc"
+        assert row.linking == "dynamic"
+
+    def test_musl_static_is_minimal(self):
+        row = trace_hello(MUSL_122_STATIC)
+        assert row.total_invocations == 6
+
+    def test_render(self, table):
+        text = render_table4(table)
+        assert "28 invocations" in text
+        assert "glibc-dyn/musl-dyn = 2.5x" in text

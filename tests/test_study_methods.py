@@ -1,0 +1,69 @@
+"""Tests for the Figure 4 analysis-method comparison."""
+
+import pytest
+
+from repro.study.methods import figure4, render_figure4
+
+
+@pytest.fixture(scope="module")
+def fig4(seven_app_set):
+    return figure4(seven_app_set)
+
+
+class TestFigure4Shape:
+    def test_rows_cover_apps_and_workloads(self, fig4, seven_app_set):
+        assert len(fig4.rows) == len(seven_app_set) * 2
+        apps = {row.app for row in fig4.rows}
+        assert apps == {a.name for a in seven_app_set}
+
+    def test_static_exceeds_dynamic_everywhere(self, fig4):
+        for row in fig4.rows:
+            assert row.static_binary >= row.static_source
+            assert row.static_source >= row.traced or row.workload == "suite"
+            assert row.traced >= row.required
+
+    def test_static_overestimation_factor(self, fig4):
+        """Section 5.1: static reports "generally between 5x and 2x" the
+        Loupe-required count (SQLite's tiny bench footprint overshoots)."""
+        factors = [
+            row.static_overestimation
+            for row in fig4.rows
+            if row.workload == "bench"
+        ]
+        assert all(2.0 <= factor <= 9.0 for factor in factors)
+        mean = sum(factors) / len(factors)
+        assert 2.0 <= mean <= 6.5
+
+    def test_mean_avoidable_bench_sixty_percent(self, fig4):
+        """Section 5.2: on average 60% of benchmark syscalls avoidable."""
+        assert fig4.mean_avoidable_fraction("bench") == pytest.approx(0.60, abs=0.08)
+
+    def test_mean_avoidable_suite_forty_six_percent(self, fig4):
+        """Section 5.2: on average 46% of suite syscalls avoidable."""
+        assert fig4.mean_avoidable_fraction("suite") == pytest.approx(0.46, abs=0.10)
+
+    def test_suite_traces_more_than_bench(self, fig4, seven_app_set):
+        for app in seven_app_set:
+            bench = fig4.for_app(app.name, "bench")
+            suite = fig4.for_app(app.name, "suite")
+            assert suite.traced >= bench.traced
+            assert suite.required >= bench.required
+
+    def test_redis_headline(self, fig4):
+        """Section 5.1: Redis 103 binary-static, ~68 suite-traced, ~42
+        suite-required, ~20 bench-required."""
+        suite = fig4.for_app("redis", "suite")
+        bench = fig4.for_app("redis", "bench")
+        assert suite.static_binary == 103
+        assert 60 <= suite.traced <= 78
+        assert 30 <= suite.required <= 48
+        assert 14 <= bench.required <= 24
+
+    def test_unknown_lookup(self, fig4):
+        with pytest.raises(KeyError):
+            fig4.for_app("redis", "fuzzing")
+
+    def test_render(self, fig4):
+        text = render_figure4(fig4)
+        assert "redis" in text
+        assert "mean avoidable" in text

@@ -1,0 +1,50 @@
+"""Tests for the pseudo-file usage study (extension)."""
+
+import pytest
+
+from repro.appsim.corpus import cloud_apps, corpus
+from repro.study.pseudofiles_study import pseudo_file_study, render_pseudo_files
+
+
+@pytest.fixture(scope="module")
+def study():
+    return pseudo_file_study(corpus()[:40])
+
+
+class TestPseudoFileStudy:
+    def test_urandom_is_the_common_case(self, study):
+        row = study.row("/dev/urandom")
+        assert row.apps_using >= 5
+        assert row.filesystem == "/dev"
+
+    def test_most_pseudo_files_avoidable(self, study):
+        """Entropy and introspection reads usually fail soft."""
+        total_using = sum(r.apps_using for r in study.rows)
+        total_requiring = sum(r.apps_requiring for r in study.rows)
+        assert total_requiring < total_using * 0.4
+
+    def test_filesystem_classification(self, study):
+        by_fs = study.by_filesystem()
+        assert set(by_fs) <= {"/proc", "/dev", "/sys"}
+        assert by_fs.get("/proc", 0) >= 1
+
+    def test_required_fraction_bounds(self, study):
+        for row in study.rows:
+            assert 0.0 <= row.required_fraction <= 1.0
+            assert row.apps_requiring <= row.apps_using
+
+    def test_unknown_path(self, study):
+        with pytest.raises(KeyError):
+            study.row("/proc/does/not/exist")
+
+    def test_hand_built_apps_contribute(self):
+        small = pseudo_file_study(cloud_apps())
+        paths = {row.path for row in small.rows}
+        assert "/dev/urandom" in paths                  # redis, sqlite, h2o
+        assert "/proc/self/status" in paths             # mongodb
+        assert "/proc/cpuinfo" in paths                 # mysql
+
+    def test_render(self, study):
+        text = render_pseudo_files(study)
+        assert "/dev/urandom" in text
+        assert "distinct special files by filesystem" in text

@@ -1,0 +1,43 @@
+"""Tests for the low/high syscall-range study (Section 5.2)."""
+
+import pytest
+
+from repro.study.ranges import range_study, render_ranges
+
+
+@pytest.fixture(scope="module")
+def study(bench_results):
+    return range_study(bench_results)
+
+
+class TestRangeInsight:
+    def test_modern_syscalls_easier_to_avoid(self, study):
+        """Section 5.2: higher-range syscalls are better stub/fake
+        candidates — they map to more recent, less critical features."""
+        assert study.modern_syscalls_easier_to_avoid
+
+    def test_low_range_dominates_usage(self, study):
+        """Low-range syscalls are 'the majority of system calls
+        detected by all analysis methods'."""
+        assert study.low.used > study.high.used
+
+    def test_buckets_partition(self, study, bench_results):
+        union = set()
+        for result in bench_results:
+            union |= result.traced_syscalls()
+        assert study.low.used + study.high.used == len(union)
+
+    def test_counts_bounded(self, study):
+        for bucket in (study.low, study.high):
+            assert 0 <= bucket.always_avoidable <= bucket.used
+            assert 0 <= bucket.required_somewhere <= bucket.used
+
+    def test_custom_threshold(self, bench_results):
+        low_split = range_study(bench_results, threshold=63)
+        assert low_split.low.used < low_split.high.used or True
+        assert low_split.threshold == 63
+
+    def test_render(self, study):
+        text = render_ranges(study)
+        assert "Syscall-range avoidability" in text
+        assert "better stub/fake candidates" in text

@@ -1,0 +1,54 @@
+"""Tests for the corpus-wide vectored-syscall study (Section 5.4)."""
+
+import pytest
+
+from repro.appsim.corpus import seven_apps
+from repro.study.vectored_study import render_vectored, vectored_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return vectored_study(seven_apps())
+
+
+class TestSectionFiveFour:
+    def test_arch_prctl_one_of_six(self, study):
+        """Universally invoked; exactly ARCH_SET_FS needed."""
+        row = study.row("arch_prctl")
+        assert row.apps_invoking == 7
+        assert row.total_operations == 6
+        assert row.operations_used == {"ARCH_SET_FS"}
+        assert row.operations_required == {"ARCH_SET_FS"}
+        assert row.required_everywhere == {"ARCH_SET_FS"}
+
+    def test_prlimit64_thin_slice(self, study):
+        """Of 16 resources, only a few appear and none universally
+        requires implementation."""
+        row = study.row("prlimit64")
+        assert row.total_operations == 16
+        assert len(row.operations_used) <= 4
+        assert not row.required_everywhere
+
+    def test_fcntl_mixes_required_and_stubbable(self, study):
+        row = study.row("fcntl")
+        assert "F_SETFL" in row.operations_required
+        assert "F_SETFD" in row.operations_used
+        assert "F_SETFD" not in row.operations_required
+
+    def test_ioctl_fully_avoidable(self, study):
+        """'All of them can be stubbed' — benchmark-level ioctl use."""
+        row = study.row("ioctl")
+        assert not row.operations_required
+
+    def test_no_vectored_syscall_needs_full_implementation(self, study):
+        for row in study.rows:
+            assert not row.needs_full_implementation, row.syscall
+
+    def test_render(self, study):
+        text = render_vectored(study)
+        assert "arch_prctl" in text
+        assert "F_SETFL" in text
+
+    def test_unknown_row(self, study):
+        with pytest.raises(KeyError):
+            study.row("readv")

@@ -1,0 +1,108 @@
+"""Tests for per-syscall metadata and categories."""
+
+import pytest
+
+from repro.errors import UnknownSyscallError
+from repro.syscalls import (
+    ALWAYS_SUCCEEDS,
+    NO_GLIBC_WRAPPER,
+    Category,
+    ResourceEffect,
+    all_infos,
+    category_of,
+    exists,
+    info,
+    is_modern,
+)
+from repro.syscalls.categories import uncategorized_names
+
+
+class TestCategories:
+    def test_core_classifications(self):
+        assert category_of("read") is Category.FILE_IO
+        assert category_of("openat") is Category.FILESYSTEM
+        assert category_of("mmap") is Category.MEMORY
+        assert category_of("futex") is Category.SYNCHRONIZATION
+        assert category_of("epoll_wait") is Category.EVENTS
+        assert category_of("bind") is Category.NETWORK
+        assert category_of("clone") is Category.THREADS
+        assert category_of("execve") is Category.PROCESS
+        assert category_of("setuid") is Category.IDENTITY
+        assert category_of("prlimit64") is Category.RESOURCE_LIMITS
+
+    def test_every_x86_64_syscall_is_categorized(self):
+        assert uncategorized_names() == frozenset()
+
+    def test_modern_split_matches_paper(self):
+        """Section 5.2: ~150 splits core services from modern features."""
+        assert not is_modern(49)      # bind: long-standing core
+        assert is_modern(202)         # futex: modern
+        assert is_modern(213)         # epoll_create
+        assert is_modern(257)         # openat
+        assert is_modern(302)         # prlimit64
+
+    def test_unknown_name_falls_back_to_misc(self):
+        assert category_of("definitely_not_real") is Category.MISC
+
+
+class TestResourceEffects:
+    def test_fd_allocators(self):
+        for name in ("openat", "socket", "accept4", "pipe2", "epoll_create1"):
+            assert info(name).resource_effect is ResourceEffect.ALLOCATES_FD
+
+    def test_fd_liberators(self):
+        assert info("close").resource_effect is ResourceEffect.FREES_FD
+
+    def test_memory_effects(self):
+        assert info("mmap").resource_effect is ResourceEffect.ALLOCATES_MEMORY
+        assert info("brk").resource_effect is ResourceEffect.ALLOCATES_MEMORY
+        assert info("munmap").resource_effect is ResourceEffect.FREES_MEMORY
+
+    def test_neutral_syscalls(self):
+        assert info("getpid").resource_effect is ResourceEffect.NONE
+        assert info("futex").resource_effect is ResourceEffect.NONE
+
+
+class TestWrapperAndFailureFacts:
+    def test_paper_no_wrapper_examples(self):
+        """Section 5.6: futex and friends have no glibc wrapper."""
+        for name in ("futex", "arch_prctl", "set_tid_address", "gettid"):
+            assert name in NO_GLIBC_WRAPPER
+            assert not info(name).has_glibc_wrapper
+
+    def test_wrapped_syscalls(self):
+        for name in ("read", "write", "openat", "socket", "getrlimit"):
+            assert info(name).has_glibc_wrapper
+
+    def test_always_succeeds_examples(self):
+        """Figure 7: alarm and getppid never have their result checked."""
+        assert "alarm" in ALWAYS_SUCCEEDS
+        assert "getppid" in ALWAYS_SUCCEEDS
+        assert info("alarm").always_succeeds
+        assert not info("openat").always_succeeds
+
+
+class TestInfoLookup:
+    def test_by_name_and_number_agree(self):
+        assert info("futex") == info(202)
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownSyscallError):
+            info("bogus")
+        with pytest.raises(UnknownSyscallError):
+            info(54321)
+
+    def test_all_infos_sorted_and_complete(self):
+        infos = all_infos()
+        numbers = [entry.number for entry in infos]
+        assert numbers == sorted(numbers)
+        assert len(infos) > 350
+
+    def test_exists(self):
+        assert exists("openat")
+        assert not exists("openat3")
+
+    def test_vectored_flag(self):
+        assert info("fcntl").is_vectored
+        assert info("ioctl").is_vectored
+        assert not info("read").is_vectored

@@ -1,0 +1,82 @@
+"""Tests for vectored syscall sub-features (Section 5.4 vocabulary)."""
+
+import pytest
+
+from repro.errors import UnknownSyscallError
+from repro.syscalls import VECTORED_SYSCALLS, decode, is_vectored, parse_qualified
+from repro.syscalls.subfeatures import ARCH_PRCTL, FCNTL, IOCTL, PRLIMIT64
+
+
+class TestVectoredDefinitions:
+    def test_arch_prctl_has_six_operations(self):
+        """Section 5.4: arch_prctl exposes 6 features, apps use 1."""
+        assert len(ARCH_PRCTL.operations) == 6
+        assert ARCH_PRCTL.by_name("ARCH_SET_FS").value == 0x1002
+
+    def test_prlimit64_has_sixteen_resources(self):
+        """Section 5.4: prlimit64 covers 16 resources, apps use 3."""
+        assert len(PRLIMIT64.operations) == 16
+        names = {op.name for op in PRLIMIT64.operations}
+        assert {"RLIMIT_CORE", "RLIMIT_NOFILE", "RLIMIT_STACK"} <= names
+
+    def test_fcntl_paper_operations(self):
+        assert FCNTL.by_name("F_SETFL").value == 4
+        assert FCNTL.by_name("F_SETFD").value == 2
+
+    def test_ioctl_paper_operations(self):
+        """Redis/weborf/h2o use TCGETS; Nginx uses FIONBIO+FIOASYNC."""
+        assert IOCTL.by_name("TCGETS").value == 0x5401
+        assert IOCTL.by_name("FIONBIO").value == 0x5421
+        assert IOCTL.by_name("FIOASYNC").value == 0x5452
+
+    def test_selector_argument_positions(self):
+        assert IOCTL.selector_arg == 1       # ioctl(fd, request, ...)
+        assert FCNTL.selector_arg == 1       # fcntl(fd, cmd, ...)
+        assert ARCH_PRCTL.selector_arg == 0  # arch_prctl(code, addr)
+        assert PRLIMIT64.selector_arg == 1   # prlimit64(pid, resource,...)
+
+
+class TestDecode:
+    def test_decode_known_value(self):
+        sub = decode("fcntl", 4)
+        assert sub is not None
+        assert sub.name == "F_SETFL"
+        assert sub.qualified == "fcntl:F_SETFL"
+
+    def test_decode_unknown_value(self):
+        assert decode("fcntl", 0xDEAD) is None
+
+    def test_decode_non_vectored(self):
+        assert decode("read", 0) is None
+
+    def test_by_value(self):
+        assert IOCTL.by_value(0x5401).name == "TCGETS"
+        assert IOCTL.by_value(0x1234) is None
+
+    def test_by_name_unknown_raises(self):
+        with pytest.raises(UnknownSyscallError):
+            FCNTL.by_name("F_NOPE")
+
+
+class TestQualifiedNames:
+    def test_parse_qualified(self):
+        assert parse_qualified("fcntl:F_SETFL") == ("fcntl", "F_SETFL")
+        assert parse_qualified("read") == ("read", None)
+
+    def test_is_vectored(self):
+        assert is_vectored("ioctl")
+        assert is_vectored("mmap")
+        assert not is_vectored("read")
+
+    def test_registry_complete(self):
+        assert set(VECTORED_SYSCALLS) == {
+            "ioctl", "fcntl", "prctl", "arch_prctl", "prlimit64",
+            "madvise", "mmap",
+        }
+
+    def test_every_operation_qualified_form(self):
+        for vectored in VECTORED_SYSCALLS.values():
+            for operation in vectored.operations:
+                syscall, op_name = parse_qualified(operation.qualified)
+                assert syscall == vectored.name
+                assert op_name == operation.name

@@ -1,0 +1,129 @@
+"""Tests for the syscall knowledge base tables."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import UnknownSyscallError
+from repro.syscalls import (
+    NUMBERS_X86_64,
+    SOCKETCALL_OPS,
+    SYSCALLS_I386,
+    SYSCALLS_X86_64,
+    TABLE_I386,
+    TABLE_X86_64,
+    name_of,
+    number_of,
+)
+
+
+class TestX8664Table:
+    def test_well_known_numbers(self):
+        assert SYSCALLS_X86_64[0] == "read"
+        assert SYSCALLS_X86_64[1] == "write"
+        assert SYSCALLS_X86_64[9] == "mmap"
+        assert SYSCALLS_X86_64[59] == "execve"
+        assert SYSCALLS_X86_64[202] == "futex"
+        assert SYSCALLS_X86_64[257] == "openat"
+        assert SYSCALLS_X86_64[302] == "prlimit64"
+        assert SYSCALLS_X86_64[318] == "getrandom"
+
+    def test_paper_referenced_numbers(self):
+        """Every syscall number the paper's tables cite resolves."""
+        cited = {
+            290: "eventfd2", 273: "set_robust_list", 218: "set_tid_address",
+            230: "clock_nanosleep", 283: "timerfd_create", 27: "mincore",
+            186: "gettid", 33: "dup2", 105: "setuid", 128: "rt_sigtimedwait",
+            99: "sysinfo", 222: "timer_create", 223: "timer_settime",
+            40: "sendfile", 56: "clone", 54: "setsockopt", 47: "recvmsg",
+            10: "mprotect", 25: "mremap", 8: "lseek", 21: "access",
+            87: "unlink", 232: "epoll_wait", 233: "epoll_ctl",
+            288: "accept4", 213: "epoll_create", 17: "pread64",
+            262: "newfstatat", 291: "epoll_create1", 102: "getuid",
+            104: "getgid", 107: "geteuid", 108: "getegid", 46: "sendmsg",
+            53: "socketpair", 18: "pwrite64", 106: "setgid", 116: "setgroups",
+            92: "chown", 130: "rt_sigsuspend", 157: "prctl", 137: "statfs",
+            229: "clock_getres", 73: "flock", 131: "sigaltstack",
+            95: "umask", 112: "setsid", 115: "getgroups", 293: "pipe2",
+            16: "ioctl", 63: "uname", 3: "close", 98: "getrusage",
+            132: "utime", 255: "inotify_rm_watch", 261: "futimesat",
+            37: "alarm", 110: "getppid", 228: "clock_gettime",
+            158: "arch_prctl", 12: "brk", 42: "connect", 49: "bind",
+            50: "listen", 41: "socket", 20: "writev", 9: "mmap",
+        }
+        for number, name in cited.items():
+            assert SYSCALLS_X86_64[number] == name
+
+    def test_bijective(self):
+        assert len(NUMBERS_X86_64) == len(SYSCALLS_X86_64)
+
+    def test_size_covers_modern_kernel(self):
+        # 335 legacy entries plus the 424+ block.
+        assert len(SYSCALLS_X86_64) > 350
+
+    def test_name_of_and_number_of_roundtrip(self):
+        for number, name in SYSCALLS_X86_64.items():
+            assert name_of(number) == name
+            assert number_of(name) == number
+
+    def test_unknown_number_raises(self):
+        with pytest.raises(UnknownSyscallError):
+            name_of(9999)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownSyscallError):
+            number_of("not_a_syscall")
+
+    def test_unknown_syscall_error_is_keyerror(self):
+        with pytest.raises(KeyError):
+            number_of("nope")
+
+
+class TestI386Table:
+    def test_table3_names_present(self):
+        """Every i386 name in the paper's Table 3 resolves."""
+        for name in (
+            "_llseek", "fcntl64", "fstat64", "geteuid32", "mmap2",
+            "old_mmap", "setgroups32", "set_thread_area", "stat64",
+            "setuid32", "setgid32", "pread", "pwrite",
+        ):
+            assert name in TABLE_I386
+
+    def test_classic_numbers(self):
+        assert SYSCALLS_I386[1] == "exit"
+        assert SYSCALLS_I386[11] == "execve"
+        assert SYSCALLS_I386[102] == "socketcall"
+        assert SYSCALLS_I386[192] == "mmap2"
+        assert SYSCALLS_I386[252] == "exit_group"
+
+    def test_socketcall_ops(self):
+        assert SOCKETCALL_OPS[1] == "socket"
+        assert SOCKETCALL_OPS[2] == "bind"
+        assert SOCKETCALL_OPS[5] == "accept"
+        assert SOCKETCALL_OPS[10] == "recv"
+
+    def test_lookup_errors_carry_arch(self):
+        with pytest.raises(UnknownSyscallError) as excinfo:
+            TABLE_I386.number_of("openat2")
+        assert excinfo.value.arch == "i386"
+
+
+class TestSyscallTableType:
+    def test_contains_name_and_number(self):
+        assert "futex" in TABLE_X86_64
+        assert 202 in TABLE_X86_64
+        assert "no_such" not in TABLE_X86_64
+        assert 99999 not in TABLE_X86_64
+
+    def test_len_and_iter(self):
+        assert len(TABLE_X86_64) == len(SYSCALLS_X86_64)
+        assert set(TABLE_X86_64) == set(NUMBERS_X86_64)
+
+    def test_names_frozenset(self):
+        names = TABLE_X86_64.names()
+        assert isinstance(names, frozenset)
+        assert "openat" in names
+
+    @given(st.sampled_from(sorted(NUMBERS_X86_64)))
+    def test_roundtrip_property(self, name):
+        assert TABLE_X86_64.name_of(TABLE_X86_64.number_of(name)) == name
