@@ -1,0 +1,167 @@
+"""Probe-engine benchmark — serial vs parallel scheduling + run caching.
+
+The paper's run-time model (Section 3.3) is ``(2 + 2·t·s)·ceil(r/p)``:
+Loupe amortizes its run cost over a parallelism factor ``p``. This
+bench makes ``p`` observable in our reproduction:
+
+* **speedup** — the seven-app corpus is analyzed once with the seed's
+  strictly-serial semantics (``parallel=1``, cache and early-exit off)
+  and once with the full engine (``parallel=4`` replica fan-out plus
+  4 app-level jobs). Simulated runs complete in microseconds, so each
+  run is padded with a small sleep modeling real workload wall time
+  (the paper quotes 4 minutes to 1.5 days per analysis — run latency,
+  not scheduler CPU, is what the engine hides).
+* **equivalence** — both configurations must produce byte-identical
+  ``AnalysisResult``s: the engine changes how fast an analysis runs,
+  never what it concludes.
+* **cache hits** — a crafted conflicting program (the Section 5.2
+  ``mremap``/``mmap`` fallback interaction) forces the combined-run
+  confirmation and ddmin bisection stages, which must be answered
+  partly from the probe-phase run cache.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.appsim.backend import SimBackend
+from repro.appsim.behavior import abort, breaks_core, fallback, harmless, ignore
+from repro.appsim.program import SimProgram, SyscallOp, WorkloadProfile
+from repro.core.analyzer import Analyzer, AnalyzerConfig, estimated_runtime_s
+from repro.core.engine import EngineStats
+from repro.core.workload import health_check
+
+#: Wall-clock cost added to every simulated run. Real workloads run for
+#: seconds to hours; a few milliseconds keeps the bench honest about
+#: scheduling overlap while finishing quickly.
+RUN_COST_S = 0.003
+
+#: Worker-pool width under test (the acceptance point of this bench).
+PARALLEL = 4
+
+
+class _TimedBackend:
+    """Wraps a backend so every run costs ``RUN_COST_S`` of wall time."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.name = inner.name
+        self.deterministic = getattr(inner, "deterministic", False)
+        self.parallel_safe = getattr(inner, "parallel_safe", False)
+
+    def run(self, workload, policy, *, replica=0):
+        time.sleep(RUN_COST_S)
+        return self._inner.run(workload, policy, replica=replica)
+
+
+def _analyze_corpus(apps, workload_name, *, parallel, jobs, cache, early_exit):
+    """Analyze every app with fresh timed backends; returns (results, stats)."""
+
+    def one(app):
+        analyzer = Analyzer(AnalyzerConfig(
+            parallel=parallel, cache=cache, early_exit=early_exit,
+        ))
+        result = analyzer.analyze(
+            _TimedBackend(app.backend()), app.workload(workload_name),
+            app=app.name, app_version=app.version,
+        )
+        return result, analyzer.engine.stats
+
+    if jobs == 1:
+        pairs = [one(app) for app in apps]
+    else:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            pairs = list(pool.map(one, apps))
+    results = [result for result, _ in pairs]
+    totals = EngineStats(
+        runs_requested=sum(s.runs_requested for _, s in pairs),
+        runs_executed=sum(s.runs_executed for _, s in pairs),
+        cache_hits=sum(s.cache_hits for _, s in pairs),
+        replicas_skipped=sum(s.replicas_skipped for _, s in pairs),
+    )
+    return results, totals
+
+
+def _digest(results):
+    return [json.dumps(r.to_dict(), sort_keys=True) for r in results]
+
+
+def test_parallel_engine_speedup(seven_app_set):
+    started = time.monotonic()
+    serial_results, serial_stats = _analyze_corpus(
+        seven_app_set, "bench",
+        parallel=1, jobs=1, cache=False, early_exit=False,
+    )
+    serial_s = time.monotonic() - started
+
+    started = time.monotonic()
+    parallel_results, parallel_stats = _analyze_corpus(
+        seven_app_set, "bench",
+        parallel=PARALLEL, jobs=PARALLEL, cache=True, early_exit=True,
+    )
+    parallel_s = time.monotonic() - started
+    speedup = serial_s / parallel_s
+
+    print("\n=== Parallel probe engine: seven-app corpus (bench) ===")
+    print(f"run cost model: {RUN_COST_S * 1000:.1f} ms per run")
+    print(f"serial   (p=1, no cache, no early-exit): {serial_s:6.2f}s  "
+          f"[{serial_stats.describe()}]")
+    print(f"parallel (p={PARALLEL}, {PARALLEL} jobs, cache, early-exit): "
+          f"{parallel_s:6.2f}s  [{parallel_stats.describe()}]")
+    print(f"speedup: {speedup:.2f}x")
+    model = estimated_runtime_s(1.0, 40, replicas=3, parallel=1) / \
+        estimated_runtime_s(1.0, 40, replicas=3, parallel=3)
+    print(f"(paper model predicts {model:.0f}x from replica fan-out alone)")
+
+    # The engine only reschedules runs — it must not change conclusions.
+    assert _digest(parallel_results) == _digest(serial_results)
+    # The acceptance point: >= 2x wall-clock at parallelism 4.
+    assert speedup >= 2.0, f"only {speedup:.2f}x at parallel={PARALLEL}"
+
+
+def _conflicting_program():
+    """Two individually-stubbable syscalls whose stubs conflict (S5.2)."""
+
+    def op(syscall, **kwargs):
+        kwargs.setdefault("on_stub", ignore())
+        kwargs.setdefault("on_fake", harmless())
+        return SyscallOp(syscall=syscall, **kwargs)
+
+    inner = op("mmap", on_stub=abort(), on_fake=breaks_core())
+    return SimProgram(
+        name="conflicted",
+        version="1",
+        ops=(
+            op("mremap", on_stub=fallback(inner), on_fake=harmless()),
+            op("mmap", on_stub=fallback(
+                op("mremap", on_stub=abort(), on_fake=breaks_core())
+            ), on_fake=breaks_core()),
+            op("close", on_stub=ignore(), on_fake=harmless()),
+        ),
+        features=frozenset({"core"}),
+        profiles={"*": WorkloadProfile(metric=1000.0)},
+    )
+
+
+def test_bisection_cache_hit_rate():
+    cached = Analyzer(AnalyzerConfig(cache=True))
+    result = cached.analyze(
+        SimBackend(_conflicting_program()), health_check("health")
+    )
+    uncached = Analyzer(AnalyzerConfig(cache=False))
+    uncached.analyze(
+        SimBackend(_conflicting_program()), health_check("health")
+    )
+    hot = cached.engine.stats
+    cold = uncached.engine.stats
+
+    print("\n=== Run cache during combined confirmation + ddmin bisection ===")
+    print(f"cache on : {hot.describe()}")
+    print(f"cache off: {cold.describe()}")
+
+    assert result.final_run_ok and result.conflicts
+    assert hot.cache_hits > 0, "bisection must reuse probe-phase runs"
+    assert hot.hit_rate > 0.0
+    assert hot.runs_executed < cold.runs_executed

@@ -26,6 +26,13 @@ class SimBackend:
     def __post_init__(self) -> None:
         self._process = SimProcess(self.program)
         self.name = f"sim:{self.program.name}-{self.program.version}"
+        #: Simulated runs are reproducible by construction (even the
+        #: metric noise is a hash of the run identity), so the probe
+        #: engine may answer repeats from its run cache.
+        self.deterministic = True
+        #: Runs share no state (SimProcess keeps all run state local),
+        #: so replicas may execute concurrently.
+        self.parallel_safe = True
 
     def run(
         self,

@@ -32,6 +32,16 @@ from repro.plans import (
 from repro.syscalls import number_of
 
 
+def _positive_int(raw: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{raw!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
 def _print_analysis(result) -> None:
     required = sorted(result.required_syscalls())
     stubbable = sorted(result.stubbable_syscalls())
@@ -61,6 +71,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         replicas=args.replicas,
         subfeature_level=args.subfeatures,
         pseudo_files=args.pseudofiles,
+        parallel=args.jobs,
+        cache=not args.no_cache,
     )
     analyzer = Analyzer(config)
     if args.exec_argv:
@@ -86,6 +98,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             app=app.name, app_version=app.version,
         )
     _print_analysis(result)
+    print(f"engine: {analyzer.engine.stats.describe()}")
     if args.output:
         Database.collect([result]).save(args.output)
         print(f"saved to {args.output}")
@@ -110,8 +123,16 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Studies whose corpus analyses honor ``study --jobs``.
+_PARALLEL_STUDIES = frozenset({"fig3", "fig4", "fig5", "fig7"})
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     name = args.name
+    if args.jobs > 1 and name not in _PARALLEL_STUDIES:
+        print(f"note: --jobs has no effect on study {name!r} "
+              f"(parallel-aware: {', '.join(sorted(_PARALLEL_STUDIES))})",
+              file=sys.stderr)
     if name == "table1":
         apps = cloud_apps()
         requirements = requirements_for_all(apps, "bench")
@@ -142,29 +163,35 @@ def _cmd_study(args: argparse.Namespace) -> int:
         from repro.report import render_importance_curves
         from repro.study import analyze_apps, figure3
 
-        results = analyze_apps(corpus(), "bench")
+        results = analyze_apps(corpus(), "bench", jobs=args.jobs)
         fig = figure3(results)
         print(render_importance_curves(fig))
         print(f"\nloupe: {fig.loupe.total_syscalls()} syscalls required overall")
         print(f"naive: {fig.naive.total_syscalls()} syscalls required overall")
     elif name == "fig4":
         from repro.appsim.corpus import seven_apps
-        from repro.study import figure4, render_figure4
+        from repro.study import analyze_apps, figure4, render_figure4
 
-        print(render_figure4(figure4(seven_apps())))
+        apps = seven_apps()
+        if args.jobs > 1:
+            # figure4 reads through the shared study cache app by app;
+            # pre-warming it in parallel is what --jobs buys here.
+            for workload_name in ("bench", "suite"):
+                analyze_apps(apps, workload_name, jobs=args.jobs)
+        print(render_figure4(figure4(apps)))
     elif name == "fig5":
         from repro.appsim.corpus import seven_apps
         from repro.study import analyze_apps, render_figure5_row, syscall_sets
 
         apps = seven_apps()
-        results = analyze_apps(apps, "bench")
+        results = analyze_apps(apps, "bench", jobs=args.jobs)
         for table in syscall_sets(apps, results).values():
             print(render_figure5_row(table))
     elif name == "fig7":
         from repro.study import analyze_apps, check_study
 
         apps = corpus()
-        study = check_study(apps, analyze_apps(apps, "bench"))
+        study = check_study(apps, analyze_apps(apps, "bench", jobs=args.jobs))
         print(f"{len(study.rows)} wrapper syscalls inspected; "
               f"checks/avoidability correlation: {study.correlation:+.2f}")
     elif name == "fig8":
@@ -236,6 +263,12 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--subfeatures", action="store_true")
     analyze.add_argument("--pseudofiles", action="store_true")
     analyze.add_argument("--timeout", type=float, default=60.0)
+    analyze.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                         help="probe-engine worker pool width (replicas "
+                              "of one probe run concurrently; default 1)")
+    analyze.add_argument("--no-cache", action="store_true",
+                         help="disable run-result memoization in the "
+                              "probe engine")
     analyze.add_argument("--output", help="save result database to this path")
     analyze.add_argument("--exec", dest="exec_argv", nargs=argparse.REMAINDER,
                          help="trace a real command via ptrace instead")
@@ -255,6 +288,9 @@ def build_parser() -> argparse.ArgumentParser:
         "table1", "table2", "table3", "table4",
         "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "pseudo",
     ))
+    study.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                       help="analyze up to N corpus applications "
+                            "concurrently (fig3/fig4/fig5/fig7; default 1)")
     study.set_defaults(func=_cmd_study)
 
     corpus_cmd = sub.add_parser("corpus", help="list the application corpus")

@@ -8,6 +8,7 @@ pseudo-file and partial-implementation support, and the
 
 from repro.core.analyzer import Analyzer, AnalyzerConfig, analyze, estimated_runtime_s
 from repro.core.decisions import Decision, Verdict, merge_all
+from repro.core.engine import EngineStats, ProbeEngine
 from repro.core.metrics import (
     DEFAULT_MARGIN,
     ImpactSummary,
@@ -34,7 +35,7 @@ from repro.core.pseudofiles import (
     extract_accesses,
     is_pseudo_path,
 )
-from repro.core.replicas import ProbeOutcome, run_replicas
+from repro.core.replicas import ProbeOutcome, aggregate, run_replicas
 from repro.core.result import AnalysisResult, BaselineStats, FeatureReport
 from repro.core.runner import ExecutionBackend, ResourceUsage, RunResult
 from repro.core.transfer import (
@@ -62,6 +63,7 @@ __all__ = [
     "CommandWorkload",
     "DEFAULT_MARGIN",
     "Decision",
+    "EngineStats",
     "ExecutionBackend",
     "FakeStrategy",
     "FeaturePrior",
@@ -73,6 +75,7 @@ __all__ = [
     "PartialImplementationSummary",
     "Prediction",
     "PriorKnowledge",
+    "ProbeEngine",
     "ProbeOutcome",
     "PseudoFileAccess",
     "ResourceUsage",
@@ -83,6 +86,7 @@ __all__ = [
     "Verdict",
     "Workload",
     "WorkloadKind",
+    "aggregate",
     "analyze",
     "benchmark",
     "combined",

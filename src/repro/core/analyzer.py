@@ -15,6 +15,13 @@ workload, the analyzer:
    step to the user, noting it "could be automated in future works" —
    we automate it with ddmin) and conservatively demotes those
    features to REQUIRED before re-verifying.
+
+Every run goes through a :class:`~repro.core.engine.ProbeEngine` — the
+paper's parallelism factor ``p`` made concrete: ``AnalyzerConfig.parallel``
+fans replicas over a worker pool, ``AnalyzerConfig.cache`` memoizes run
+results so the confirmation/bisection stages reuse probe-phase runs, and
+``AnalyzerConfig.early_exit`` stops replicating a probe once one replica
+has already failed it.
 """
 
 from __future__ import annotations
@@ -24,9 +31,10 @@ import time
 from collections.abc import Callable, Sequence
 
 from repro.core.decisions import Decision
+from repro.core.engine import ProbeEngine
 from repro.core.metrics import DEFAULT_MARGIN, ImpactSummary, compare
 from repro.core.policy import Action, InterpositionPolicy, combined, passthrough
-from repro.core.replicas import ProbeOutcome, run_replicas
+from repro.core.replicas import ProbeOutcome
 from repro.core.result import AnalysisResult, BaselineStats, FeatureReport
 from repro.core.runner import ExecutionBackend
 from repro.core.workload import Workload
@@ -46,6 +54,16 @@ class AnalyzerConfig:
     metric_margin: float = DEFAULT_MARGIN
     bisect_conflicts: bool = True
     max_demotion_rounds: int = 4
+    #: Worker-pool width of the probe engine: the paper's parallelism
+    #: factor ``p`` in ``(2 + 2·t·s)·ceil(r/p)``. ``1`` preserves the
+    #: historical strictly-serial execution order.
+    parallel: int = 1
+    #: Memoize run results so the combined-run confirmation and the
+    #: ddmin bisection never re-execute a run the probe phase paid for.
+    cache: bool = True
+    #: Stop replicating a probe at the first failed replica (one
+    #: failure already decides the conservative merge).
+    early_exit: bool = True
     #: Cross-application knowledge transfer (Section 6, future work):
     #: confident priors from past analyses shrink a feature's probe to
     #: a single confirmation run, falling back to the full replicated
@@ -57,6 +75,8 @@ class AnalyzerConfig:
             raise ValueError("replicas must be >= 1")
         if self.max_demotion_rounds < 1:
             raise ValueError("max_demotion_rounds must be >= 1")
+        if self.parallel < 1:
+            raise ValueError("parallel must be >= 1")
 
 
 @dataclasses.dataclass
@@ -87,8 +107,27 @@ class Analyzer:
 
     def __init__(self, config: AnalyzerConfig | None = None) -> None:
         self.config = config or AnalyzerConfig()
+        #: The probe scheduler every run of this analyzer goes through.
+        #: Its cache and statistics are reset at the start of each
+        #: :meth:`analyze` call, so ``engine.stats`` after a call
+        #: describes exactly that analysis.
+        self.engine = ProbeEngine(
+            parallel=self.config.parallel, cache=self.config.cache
+        )
         #: Populated by :meth:`analyze` when priors are configured.
         self.last_transfer_stats: "object | None" = None
+
+    def _run(
+        self,
+        backend: ExecutionBackend,
+        workload: Workload,
+        policy: InterpositionPolicy,
+        replicas: int,
+    ) -> ProbeOutcome:
+        return self.engine.run_replicas(
+            backend, workload, policy, replicas,
+            early_exit=self.config.early_exit,
+        )
 
     # -- public entry point ------------------------------------------------
 
@@ -102,12 +141,42 @@ class Analyzer:
         progress: Callable[[str], None] | None = None,
     ) -> AnalysisResult:
         """Run the complete analysis and return the result record."""
+        try:
+            return self._analyze(
+                backend, workload,
+                app=app, app_version=app_version, progress=progress,
+            )
+        finally:
+            # Release the engine's worker threads; it lazily recreates
+            # the pool if this analyzer is used again. Stats survive,
+            # so ``engine.stats`` still describes the finished run.
+            self.engine.close()
+
+    def _analyze(
+        self,
+        backend: ExecutionBackend,
+        workload: Workload,
+        *,
+        app: str,
+        app_version: str,
+        progress: Callable[[str], None] | None,
+    ) -> AnalysisResult:
         say = progress or (lambda _msg: None)
         config = self.config
         started = time.monotonic()
+        # One analysis == one application build: drop run results (and
+        # accounting) from any prior analyze() call so identically-named
+        # backends of different programs can never cross-contaminate.
+        self.engine.reset()
 
         say(f"baseline: {config.replicas} passthrough replica(s)")
-        baseline = run_replicas(backend, workload, passthrough(), config.replicas)
+        # The baseline never early-exits: on failure the error below
+        # reports every replica's reason (and success runs them all
+        # anyway), matching the pre-engine diagnostics.
+        baseline = self.engine.run_replicas(
+            backend, workload, passthrough(), config.replicas,
+            early_exit=False,
+        )
         if not baseline.all_succeeded:
             reasons = "; ".join(baseline.failure_reasons()) or "unknown"
             raise AnalysisError(
@@ -135,6 +204,7 @@ class Analyzer:
             backend, workload, probes, say
         )
 
+        say(f"engine: {self.engine.stats.describe()}")
         say(f"analysis finished in {time.monotonic() - started:.2f}s")
         return AnalysisResult(
             app=app or workload.name,
@@ -159,12 +229,10 @@ class Analyzer:
         """Feature -> invocation count, united over baseline replicas."""
         union = baseline.union_traced()
         features: dict[str, int] = {}
-        sample = baseline.results[0]
         level = self.config.subfeature_level
         wanted = set()
         for result in baseline.results:
             wanted |= result.features(subfeature_level=level)
-        del sample
         for feature in wanted:
             if feature.startswith("/"):
                 continue  # pseudo-files handled below
@@ -202,7 +270,7 @@ class Analyzer:
             if predicted is not None and self.config.replicas > 1:
                 # Transfer fast path: one confirmation run; the full
                 # probe only on disagreement (Section 6 future work).
-                confirmation = run_replicas(backend, workload, policy, 1)
+                confirmation = self._run(backend, workload, policy, 1)
                 if confirmation.all_succeeded == predicted:
                     outcome = confirmation
                     if transfer_stats is not None:
@@ -211,11 +279,11 @@ class Analyzer:
                     fast_pathed = False
                     if transfer_stats is not None:
                         transfer_stats.fallbacks += 1
-                    outcome = run_replicas(
+                    outcome = self._run(
                         backend, workload, policy, self.config.replicas
                     )
             else:
-                outcome = run_replicas(
+                outcome = self._run(
                     backend, workload, policy, self.config.replicas
                 )
             ok = outcome.all_succeeded
@@ -277,7 +345,7 @@ class Analyzer:
             avoided = sorted(policy.altered_features())
             if not avoided:
                 return True, tuple(all_conflicts)
-            outcome = run_replicas(backend, workload, policy, self.config.replicas)
+            outcome = self._run(backend, workload, policy, self.config.replicas)
             if outcome.all_succeeded:
                 say(f"final combined run ok ({len(avoided)} features avoided)")
                 return True, tuple(all_conflicts)
@@ -318,7 +386,7 @@ class Analyzer:
             stubs = [f for f in subset if probes[f].can_stub]
             fakes = [f for f in subset if probes[f].can_fake and not probes[f].can_stub]
             policy = combined(stubs=stubs, fakes=fakes)
-            outcome = run_replicas(backend, workload, policy, 1)
+            outcome = self._run(backend, workload, policy, 1)
             return not outcome.all_succeeded
 
         candidate = list(avoided)

@@ -1,0 +1,329 @@
+"""The probe execution engine: parallel run scheduling + result caching.
+
+The paper's run-time model (Section 3.3, ``(2 + 2·t·s) · ceil(r/p)``)
+assumes Loupe amortizes its run cost over a parallelism factor ``p``.
+This module supplies that ``p``: a :class:`ProbeEngine` turns the
+analyzer's implicit run loop into an explicit scheduler that
+
+* fans ``(policy, replica)`` run requests out over a configurable
+  worker pool (``parallel=1`` preserves exact serial semantics),
+* short-circuits the remaining replicas of a probe as soon as one
+  replica fails — the conservative merge in
+  :class:`~repro.core.replicas.ProbeOutcome` only needs a single
+  failure, and metric samples are only consumed on success,
+* memoizes :class:`~repro.core.runner.RunResult`s in an LRU cache
+  keyed by ``(backend.name, workload.name, policy.fingerprint(),
+  replica)``, so the combined-run confirmation and the ddmin conflict
+  bisection never re-pay for a run the probe phase already executed.
+
+Correctness contract: a run may only be answered from the cache when
+the backend is deterministic for a fixed ``(workload, policy,
+replica)`` triple. Backends declare this with a ``deterministic``
+attribute (the simulation backend sets it — it is deterministic by
+construction); backends that do not declare it — notably the real
+ptrace backend, whose runs are replicated precisely *because* they
+are not reproducible — are never served from the cache, even when
+caching is enabled. Under that contract the cache never changes
+*what* an analysis concludes, only how many runs it takes to conclude
+it. Cache keys assume ``backend.name`` uniquely identifies the
+application build — callers analyzing two different programs behind
+identically-named backends must use separate engines (the
+:class:`~repro.core.analyzer.Analyzer` clears its engine at the start
+of every analysis for exactly this reason).
+
+Run submission (:meth:`ProbeEngine.run` / :meth:`ProbeEngine.run_replicas`)
+is thread-safe; the engine is shared freely between worker threads.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import threading
+from collections import OrderedDict
+from collections.abc import Sequence
+
+from repro.core.policy import InterpositionPolicy
+from repro.core.replicas import ProbeOutcome, aggregate
+from repro.core.runner import ExecutionBackend, RunResult
+from repro.core.workload import Workload
+
+#: Default LRU capacity: comfortably holds every run of one analysis
+#: (hundreds of features x 2 actions x a handful of replicas).
+DEFAULT_CACHE_SIZE = 4096
+
+#: Cache key: (backend name, workload name, policy fingerprint, replica).
+CacheKey = tuple[str, str, str, int]
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineStats:
+    """Immutable snapshot of one engine's run accounting.
+
+    ``runs_requested`` counts every run the analysis asked for;
+    ``runs_executed`` the subset that actually reached the backend;
+    ``cache_hits`` the subset answered from the LRU; ``replicas_skipped``
+    the replicas never requested because an earlier replica of the same
+    probe already failed (early exit).
+    """
+
+    runs_requested: int = 0
+    runs_executed: int = 0
+    cache_hits: int = 0
+    replicas_skipped: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requested runs answered from the cache."""
+        if self.runs_requested == 0:
+            return 0.0
+        return self.cache_hits / self.runs_requested
+
+    def describe(self) -> str:
+        return (
+            f"{self.runs_requested} run(s) requested, "
+            f"{self.runs_executed} executed, "
+            f"{self.cache_hits} cache hit(s) ({self.hit_rate:.0%}), "
+            f"{self.replicas_skipped} replica(s) early-exited"
+        )
+
+
+class ProbeEngine:
+    """Schedules probe runs over a worker pool with an LRU result cache.
+
+    Parameters
+    ----------
+    parallel:
+        Worker-pool width. ``1`` (the default) runs every replica
+        inline on the calling thread, byte-for-byte preserving the
+        serial execution order; ``N > 1`` fans the replicas of each
+        probe out over ``N`` ``ThreadPoolExecutor`` workers.
+    cache:
+        Enable the LRU run cache. Disabling it forces every request
+        through the backend (useful for benchmarking the raw run cost).
+        Even when enabled, only backends declaring
+        ``deterministic = True`` are ever answered from the cache.
+    cache_size:
+        Maximum cached :class:`RunResult`s before least-recently-used
+        eviction.
+    """
+
+    def __init__(
+        self,
+        *,
+        parallel: int = 1,
+        cache: bool = True,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        if parallel < 1:
+            raise ValueError("parallel must be >= 1")
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        self.parallel = parallel
+        self.cache_enabled = cache
+        self.cache_size = cache_size
+        self._lock = threading.Lock()
+        self._cache: OrderedDict[CacheKey, RunResult] = OrderedDict()
+        self._requested = 0
+        self._executed = 0
+        self._hits = 0
+        self._skipped = 0
+        self._executor: concurrent.futures.ThreadPoolExecutor | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ProbeEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _pool(self) -> concurrent.futures.ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.parallel,
+                    thread_name_prefix="loupe-probe",
+                )
+            return self._executor
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def stats(self) -> EngineStats:
+        """A consistent snapshot of the run accounting so far."""
+        with self._lock:
+            return EngineStats(
+                runs_requested=self._requested,
+                runs_executed=self._executed,
+                cache_hits=self._hits,
+                replicas_skipped=self._skipped,
+            )
+
+    def reset(self) -> None:
+        """Drop the cache and zero the statistics."""
+        with self._lock:
+            self._cache.clear()
+            self._requested = 0
+            self._executed = 0
+            self._hits = 0
+            self._skipped = 0
+
+    def cached_runs(self) -> int:
+        with self._lock:
+            return len(self._cache)
+
+    # -- the run API -------------------------------------------------------
+
+    @staticmethod
+    def _key(
+        backend: ExecutionBackend,
+        workload: Workload,
+        policy: InterpositionPolicy,
+        replica: int,
+    ) -> CacheKey:
+        name = getattr(backend, "name", type(backend).__name__)
+        return (name, workload.name, policy.fingerprint(), replica)
+
+    def run(
+        self,
+        backend: ExecutionBackend,
+        workload: Workload,
+        policy: InterpositionPolicy,
+        replica: int = 0,
+    ) -> RunResult:
+        """One run, answered from the cache when possible.
+
+        Caching requires the backend to declare ``deterministic =
+        True``; a fresh execution of a nondeterministic backend is the
+        whole point of replication, so its results are never memoized.
+        """
+        cacheable = self.cache_enabled and getattr(
+            backend, "deterministic", False
+        )
+        if cacheable:
+            key = self._key(backend, workload, policy, replica)
+            with self._lock:
+                self._requested += 1
+                hit = self._cache.get(key)
+                if hit is not None:
+                    self._cache.move_to_end(key)
+                    self._hits += 1
+                    return hit
+        else:
+            key = None
+            with self._lock:
+                self._requested += 1
+        result = backend.run(workload, policy, replica=replica)
+        with self._lock:
+            self._executed += 1
+            if cacheable:
+                self._cache[key] = result
+                self._cache.move_to_end(key)
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+        return result
+
+    def run_replicas(
+        self,
+        backend: ExecutionBackend,
+        workload: Workload,
+        policy: InterpositionPolicy,
+        replicas: int,
+        *,
+        early_exit: bool = True,
+    ) -> ProbeOutcome:
+        """Run *replicas* executions of one probe and aggregate them.
+
+        With ``early_exit`` (the default) the remaining replicas of a
+        probe are abandoned as soon as one replica fails: the
+        conservative merge needs only a single failure, and metric
+        samples are only consumed on all-success outcomes. Results
+        always appear in replica-index order, so an all-success
+        parallel outcome is identical to the serial one.
+
+        Fan-out additionally requires the backend to declare
+        ``parallel_safe = True``: overlapping replicas of a live
+        command (the ptrace backend) would contend on ports and
+        on-disk state and corrupt each other's outcomes, so
+        undeclared backends always run their replicas serially no
+        matter how wide the pool is.
+        """
+        if replicas < 1:
+            raise ValueError("need at least one replica")
+        parallel_safe = getattr(backend, "parallel_safe", False)
+        if self.parallel == 1 or replicas == 1 or not parallel_safe:
+            results = self._run_serial(
+                backend, workload, policy, replicas, early_exit
+            )
+        else:
+            results = self._run_parallel(
+                backend, workload, policy, replicas, early_exit
+            )
+        return aggregate(results)
+
+    # -- execution strategies ----------------------------------------------
+
+    def _run_serial(
+        self,
+        backend: ExecutionBackend,
+        workload: Workload,
+        policy: InterpositionPolicy,
+        replicas: int,
+        early_exit: bool,
+    ) -> Sequence[RunResult]:
+        results: list[RunResult] = []
+        for index in range(replicas):
+            result = self.run(backend, workload, policy, index)
+            results.append(result)
+            if early_exit and not result.success:
+                with self._lock:
+                    self._skipped += replicas - index - 1
+                break
+        return results
+
+    def _run_parallel(
+        self,
+        backend: ExecutionBackend,
+        workload: Workload,
+        policy: InterpositionPolicy,
+        replicas: int,
+        early_exit: bool,
+    ) -> Sequence[RunResult]:
+        pool = self._pool()
+        futures = {
+            pool.submit(self.run, backend, workload, policy, index): index
+            for index in range(replicas)
+        }
+        collected: dict[int, RunResult] = {}
+        failed = False
+        for future in concurrent.futures.as_completed(futures):
+            try:
+                result = future.result()
+            except concurrent.futures.CancelledError:
+                continue
+            except BaseException:
+                # Mirror the serial path: a backend error ends the
+                # probe; don't let sibling replicas run on discarded.
+                for other in futures:
+                    other.cancel()
+                raise
+            collected[futures[future]] = result
+            if early_exit and not result.success and not failed:
+                failed = True
+                cancelled = sum(
+                    1
+                    for other in futures
+                    if other is not future and other.cancel()
+                )
+                if cancelled:
+                    with self._lock:
+                        self._skipped += cancelled
+        return [collected[index] for index in sorted(collected)]

@@ -173,6 +173,62 @@ class InterpositionPolicy:
             altered.update(f for f, a in mapping.items() if a is not Action.PASSTHROUGH)
         return frozenset(altered)
 
+    def _shadowing_passthrough(self, kind: str, feature: str) -> bool:
+        """Would dropping this explicit PASSTHROUGH entry change lookups?
+
+        A sub-feature entry takes precedence over its parent syscall's
+        action, and the longest pseudo-file prefix wins — so an explicit
+        PASSTHROUGH at the finer granularity is behaviorally meaningful
+        exactly when a coarser entry would otherwise stub or fake it.
+        """
+        if kind == "sub":
+            parent = feature.partition(":")[0]
+            return (
+                self.syscall_actions.get(parent, Action.PASSTHROUGH)
+                is not Action.PASSTHROUGH
+            )
+        if kind == "path":
+            return any(
+                action is not Action.PASSTHROUGH
+                and prefix != feature
+                and feature.startswith(prefix.rstrip("/") + "/")
+                for prefix, action in self.pseudofile_actions.items()
+            )
+        return False
+
+    def fingerprint(self) -> str:
+        """A stable identity string for run-result caching.
+
+        Two policies fingerprint identically iff they act identically on
+        every feature: entries are sorted (construction order never
+        matters) and explicit ``PASSTHROUGH`` assignments are dropped
+        when they are indistinguishable from absence at run time — but
+        kept when they shadow a coarser STUB/FAKE (a sub-feature
+        overriding its parent syscall, a longer pseudo-path prefix
+        overriding a shorter one). The three granularities are tagged
+        so a syscall, a sub-feature and a pseudo-file path can never
+        collide. Memoized: policies are immutable (every derivation
+        goes through ``dataclasses.replace``), and probe engines ask
+        for the same policy's fingerprint once per replica.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
+        parts = []
+        for tag, mapping in (
+            ("sys", self.syscall_actions),
+            ("sub", self.subfeature_actions),
+            ("path", self.pseudofile_actions),
+        ):
+            for feature, action in sorted(mapping.items()):
+                if action is not Action.PASSTHROUGH or self._shadowing_passthrough(
+                    tag, feature
+                ):
+                    parts.append(f"{tag}:{feature}={action.value}")
+        fingerprint = ";".join(parts) if parts else "passthrough"
+        object.__setattr__(self, "_fingerprint", fingerprint)
+        return fingerprint
+
     def describe(self) -> str:
         """Human-readable one-line summary (used in logs and reports)."""
         altered = sorted(self.altered_features())

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections import Counter
+from collections.abc import Sequence
 
 from repro.core.policy import InterpositionPolicy
 from repro.core.runner import ExecutionBackend, RunResult
@@ -58,24 +59,16 @@ class ProbeOutcome:
         )
 
 
-def run_replicas(
-    backend: ExecutionBackend,
-    workload: Workload,
-    policy: InterpositionPolicy,
-    replicas: int,
-) -> ProbeOutcome:
-    """Run *replicas* independent executions and aggregate them.
+def aggregate(results: Sequence[RunResult]) -> ProbeOutcome:
+    """Condense already-executed runs into a :class:`ProbeOutcome`.
 
-    Replica indices seed run-to-run variation in backends that model
-    noise; real backends simply rerun the application. The outcome's
-    ``all_succeeded`` implements the conservative merge: one failing
-    replica disqualifies the probed technique.
+    Shared by the serial :func:`run_replicas` loop and the parallel
+    :class:`~repro.core.engine.ProbeEngine` scheduler, so both paths
+    apply the identical conservative merge.
     """
-    if replicas < 1:
-        raise ValueError("need at least one replica")
-    results = tuple(
-        backend.run(workload, policy, replica=index) for index in range(replicas)
-    )
+    results = tuple(results)
+    if not results:
+        raise ValueError("cannot aggregate zero runs")
     return ProbeOutcome(
         results=results,
         all_succeeded=all(r.success for r in results),
@@ -83,3 +76,39 @@ def run_replicas(
         fd_samples=tuple(float(r.resources.fd_peak) for r in results),
         mem_samples=tuple(float(r.resources.mem_peak_kb) for r in results),
     )
+
+
+def run_replicas(
+    backend: ExecutionBackend,
+    workload: Workload,
+    policy: InterpositionPolicy,
+    replicas: int,
+    *,
+    early_exit: bool = True,
+) -> ProbeOutcome:
+    """Run up to *replicas* independent executions and aggregate them.
+
+    Replica indices seed run-to-run variation in backends that model
+    noise; real backends simply rerun the application. The outcome's
+    ``all_succeeded`` implements the conservative merge: one failing
+    replica disqualifies the probed technique.
+
+    Behavior change vs. the original serial loop: with ``early_exit``
+    (now the default) replication stops at the first failed replica —
+    one failure already decides ``all_succeeded``, and metric/resource
+    samples are only consumed by the impact analysis when every replica
+    succeeded, so the abandoned replicas could never influence the
+    analysis. Pass ``early_exit=False`` to force the historical
+    run-everything behavior (e.g. to collect failure reasons from every
+    replica). For pool-parallel execution and run-result caching, use
+    :class:`repro.core.engine.ProbeEngine` instead.
+    """
+    if replicas < 1:
+        raise ValueError("need at least one replica")
+    results: list[RunResult] = []
+    for index in range(replicas):
+        result = backend.run(workload, policy, replica=index)
+        results.append(result)
+        if early_exit and not result.success:
+            break
+    return aggregate(results)

@@ -46,6 +46,13 @@ class PtraceBackend:
 
     def __post_init__(self) -> None:
         self.name = "ptrace"
+        #: Live processes are not reproducible run-to-run (that is why
+        #: the analysis replicates); the probe engine must never answer
+        #: a ptrace run from its cache.
+        self.deterministic = False
+        #: Overlapping replicas of the same live command would contend
+        #: on ports and on-disk state; the engine keeps them serial.
+        self.parallel_safe = False
         require_ptrace()
 
     def run(

@@ -1,8 +1,18 @@
-"""Shared plumbing for the Section 5 studies: cached corpus analysis."""
+"""Shared plumbing for the Section 5 studies: cached corpus analysis.
+
+Analyses are memoized process-wide (the loupedb pattern) and, since the
+probe engine landed, may be computed concurrently: ``analyze_apps``
+fans independent applications out over a thread pool (``jobs``), and
+each per-app analyzer can itself replicate probes in parallel
+(``parallel``). The shared cache is guarded by a lock so concurrent
+workers can never race on it.
+"""
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.appsim.apps import App
 from repro.core.analyzer import Analyzer, AnalyzerConfig
@@ -13,11 +23,25 @@ from repro.db import Database, RecordKey
 #: how the paper's studies all read the same loupedb measurements.
 _CACHE = Database()
 
+#: Guards every access to ``_CACHE`` (membership, get, add, swap):
+#: ``analyze_apps(jobs>1)`` hits it from several worker threads.
+_CACHE_LOCK = threading.Lock()
+
 
 def analyze_app(
-    app: App, workload_name: str, *, replicas: int = 3
+    app: App,
+    workload_name: str,
+    *,
+    replicas: int = 3,
+    parallel: int = 1,
+    cache: bool = True,
 ) -> AnalysisResult:
-    """Analyze one app+workload, memoized in the shared database."""
+    """Analyze one app+workload, memoized in the shared database.
+
+    ``parallel``/``cache`` configure the per-analysis probe engine;
+    they change how fast an analysis runs, never what it concludes, so
+    memoized records are valid across every knob combination.
+    """
     backend = app.backend()
     key = RecordKey(
         app=app.name,
@@ -25,24 +49,64 @@ def analyze_app(
         workload=workload_name,
         backend=backend.name,
     )
-    if key in _CACHE:
-        return _CACHE.get(key)
-    analyzer = Analyzer(AnalyzerConfig(replicas=replicas))
+    with _CACHE_LOCK:
+        if key in _CACHE:
+            return _CACHE.get(key)
+    analyzer = Analyzer(
+        AnalyzerConfig(replicas=replicas, parallel=parallel, cache=cache)
+    )
     result = analyzer.analyze(
         backend,
         app.workload(workload_name),
         app=app.name,
         app_version=app.version,
     )
-    _CACHE.add(result)
+    with _CACHE_LOCK:
+        # A concurrent worker may have analyzed the same app meanwhile;
+        # analyses are deterministic, so first-write-wins keeps every
+        # caller seeing one canonical record.
+        if key in _CACHE:
+            return _CACHE.get(key)
+        _CACHE.add(result)
     return result
 
 
 def analyze_apps(
-    apps: Sequence[App], workload_name: str, *, replicas: int = 3
+    apps: Sequence[App],
+    workload_name: str,
+    *,
+    replicas: int = 3,
+    jobs: int = 1,
+    parallel: int = 1,
 ) -> list[AnalysisResult]:
-    """Analyze many apps under the same workload name (cached)."""
-    return [analyze_app(app, workload_name, replicas=replicas) for app in apps]
+    """Analyze many apps under the same workload name (cached).
+
+    ``jobs`` schedules whole applications concurrently (they share
+    nothing but the lock-guarded result cache); ``parallel`` is handed
+    to each per-app probe engine. Results come back in corpus order
+    regardless of completion order.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if jobs == 1:
+        return [
+            analyze_app(
+                app, workload_name,
+                replicas=replicas, parallel=parallel,
+            )
+            for app in apps
+        ]
+    with ThreadPoolExecutor(
+        max_workers=jobs, thread_name_prefix="loupe-app"
+    ) as pool:
+        futures = [
+            pool.submit(
+                analyze_app, app, workload_name,
+                replicas=replicas, parallel=parallel,
+            )
+            for app in apps
+        ]
+        return [future.result() for future in futures]
 
 
 def shared_database() -> Database:
@@ -53,4 +117,5 @@ def shared_database() -> Database:
 def clear_cache() -> None:
     """Drop all memoized analyses (tests that mutate models need this)."""
     global _CACHE
-    _CACHE = Database()
+    with _CACHE_LOCK:
+        _CACHE = Database()

@@ -16,6 +16,24 @@ class TestAnalyze:
     def test_analyze_unknown_app(self, capsys):
         assert main(["analyze", "--app", "doom"]) == 2
 
+    def test_analyze_parallel_jobs(self, capsys):
+        code = main([
+            "analyze", "--app", "weborf", "--workload", "health",
+            "--jobs", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "app: weborf" in out
+        assert "engine:" in out
+
+    def test_analyze_no_cache(self, capsys):
+        code = main([
+            "analyze", "--app", "weborf", "--workload", "health",
+            "--no-cache",
+        ])
+        assert code == 0
+        assert "0 cache hit(s)" in capsys.readouterr().out
+
     def test_analyze_saves_database(self, tmp_path, capsys):
         out_path = tmp_path / "db.json"
         code = main([
@@ -64,6 +82,16 @@ class TestStudies:
     def test_fig4(self, capsys):
         assert main(["study", "fig4"]) == 0
         assert "mean avoidable" in capsys.readouterr().out
+
+    def test_fig5_parallel_jobs(self, capsys):
+        assert main(["study", "fig5", "--jobs", "4"]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_jobs_noop_studies_warn(self, capsys):
+        assert main(["study", "table3", "--jobs", "4"]) == 0
+        captured = capsys.readouterr()
+        assert "--jobs has no effect" in captured.err
+        assert captured.out.strip()
 
 
 class TestMisc:

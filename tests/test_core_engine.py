@@ -1,0 +1,466 @@
+"""Tests for the probe execution engine (parallel scheduling + caching).
+
+Covers the satellite checklist: determinism under ``parallel>1`` (the
+same :class:`AnalysisResult` as a serial run), cache hit accounting,
+early-exit correctness on both execution paths, and the
+stability/equality semantics of ``InterpositionPolicy.fingerprint()``.
+"""
+
+import json
+import threading
+from collections import Counter
+
+import pytest
+
+from repro.appsim.backend import SimBackend
+from repro.appsim.behavior import abort, breaks_core, fallback, harmless, ignore
+from repro.appsim.program import SimProgram, SyscallOp, WorkloadProfile
+from repro.core.analyzer import Analyzer, AnalyzerConfig
+from repro.core.engine import EngineStats, ProbeEngine
+from repro.core.policy import (
+    Action,
+    InterpositionPolicy,
+    combined,
+    faking,
+    passthrough,
+    stubbing,
+)
+from repro.core.replicas import run_replicas
+from repro.core.runner import ResourceUsage, RunResult
+from repro.core.workload import benchmark, health_check
+
+
+class _CountingBackend:
+    """Deterministic backend that counts executions per (policy, replica)."""
+
+    name = "sim:counting"
+    deterministic = True
+    parallel_safe = True
+
+    def __init__(self, failing_features=()):
+        self.failing_features = frozenset(failing_features)
+        self.calls = 0
+        self.lock = threading.Lock()
+
+    def run(self, workload, policy, *, replica=0):
+        with self.lock:
+            self.calls += 1
+        failed = bool(policy.altered_features() & self.failing_features)
+        return RunResult(
+            success=not failed,
+            traced=Counter({"read": 1 + replica}),
+            metric=None if failed else 100.0 + replica,
+            resources=ResourceUsage(fd_peak=10, mem_peak_kb=1000),
+            failure_reason="poisoned feature" if failed else None,
+        )
+
+
+class TestFingerprint:
+    def test_construction_order_irrelevant(self):
+        one = combined(stubs=["close", "uname"], fakes=["prctl"])
+        other = (
+            passthrough()
+            .with_feature("prctl", Action.FAKE)
+            .with_feature("uname", Action.STUB)
+            .with_feature("close", Action.STUB)
+        )
+        assert one.fingerprint() == other.fingerprint()
+
+    def test_explicit_passthrough_matches_absence(self):
+        explicit = passthrough().with_feature("close", Action.PASSTHROUGH)
+        assert explicit.fingerprint() == passthrough().fingerprint()
+        assert passthrough().fingerprint() == "passthrough"
+
+    def test_action_changes_fingerprint(self):
+        assert stubbing("close").fingerprint() != faking("close").fingerprint()
+        assert stubbing("close").fingerprint() != stubbing("uname").fingerprint()
+
+    def test_granularities_never_collide(self):
+        syscall = stubbing("fcntl")
+        subfeature = stubbing("fcntl:F_SETFD")
+        pseudo = stubbing("/proc/self")
+        prints = {p.fingerprint() for p in (syscall, subfeature, pseudo)}
+        assert len(prints) == 3
+
+    def test_shadowing_passthrough_is_significant(self):
+        """An explicit PASSTHROUGH overriding a coarser STUB must count."""
+        stub_all = stubbing("fcntl")
+        carve_out = stub_all.with_feature("fcntl:F_SETFD", Action.PASSTHROUGH)
+        assert carve_out.fingerprint() != stub_all.fingerprint()
+        assert (
+            carve_out.action_for("fcntl", "F_SETFD") is Action.PASSTHROUGH
+        )
+        proc = stubbing("/proc")
+        proc_carved = proc.with_feature("/proc/sys", Action.PASSTHROUGH)
+        assert proc_carved.fingerprint() != proc.fingerprint()
+        # ...but a PASSTHROUGH with nothing coarser to shadow is inert.
+        inert = passthrough().with_feature("fcntl:F_SETFD", Action.PASSTHROUGH)
+        assert inert.fingerprint() == passthrough().fingerprint()
+        inert_path = passthrough().with_feature("/proc/sys", Action.PASSTHROUGH)
+        assert inert_path.fingerprint() == passthrough().fingerprint()
+
+    def test_stable_across_copies(self):
+        policy = combined(stubs=["close"], fakes=["uname"])
+        rebuilt = InterpositionPolicy(
+            syscall_actions=dict(policy.syscall_actions)
+        )
+        assert policy.fingerprint() == rebuilt.fingerprint()
+
+
+class TestCacheAccounting:
+    def test_repeat_probe_served_from_cache(self):
+        backend = _CountingBackend()
+        engine = ProbeEngine(cache=True)
+        workload = benchmark("b", "m")
+        engine.run_replicas(backend, workload, stubbing("close"), 3)
+        assert backend.calls == 3
+        engine.run_replicas(backend, workload, stubbing("close"), 3)
+        assert backend.calls == 3  # all three replicas were cache hits
+        stats = engine.stats
+        assert stats == EngineStats(
+            runs_requested=6, runs_executed=3, cache_hits=3, replicas_skipped=0
+        )
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_nondeterministic_backend_never_cached(self):
+        """Backends not declaring determinism bypass the cache entirely."""
+
+        class _UndeclaredBackend(_CountingBackend):
+            deterministic = False
+
+        backend = _UndeclaredBackend()
+        engine = ProbeEngine(cache=True)
+        workload = benchmark("b", "m")
+        for _ in range(2):
+            engine.run_replicas(backend, workload, stubbing("close"), 2)
+        assert backend.calls == 4
+        assert engine.stats.cache_hits == 0
+        assert engine.cached_runs() == 0
+
+    def test_cache_disabled_reexecutes(self):
+        backend = _CountingBackend()
+        engine = ProbeEngine(cache=False)
+        workload = benchmark("b", "m")
+        for _ in range(2):
+            engine.run_replicas(backend, workload, stubbing("close"), 2)
+        assert backend.calls == 4
+        assert engine.stats.cache_hits == 0
+
+    def test_equivalent_policies_share_entries(self):
+        backend = _CountingBackend()
+        engine = ProbeEngine(cache=True)
+        workload = benchmark("b", "m")
+        engine.run_replicas(
+            backend, workload, combined(stubs=["close", "uname"]), 1
+        )
+        rebuilt = (
+            passthrough()
+            .with_feature("uname", Action.STUB)
+            .with_feature("close", Action.STUB)
+        )
+        engine.run_replicas(backend, workload, rebuilt, 1)
+        assert backend.calls == 1
+
+    def test_lru_eviction(self):
+        backend = _CountingBackend()
+        engine = ProbeEngine(cache=True, cache_size=2)
+        workload = benchmark("b", "m")
+        for feature in ("close", "uname", "prctl"):
+            engine.run_replicas(backend, workload, stubbing(feature), 1)
+        assert engine.cached_runs() == 2
+        engine.run_replicas(backend, workload, stubbing("close"), 1)  # evicted
+        assert backend.calls == 4
+
+    def test_reset_drops_cache_and_stats(self):
+        backend = _CountingBackend()
+        engine = ProbeEngine(cache=True)
+        workload = benchmark("b", "m")
+        engine.run_replicas(backend, workload, stubbing("close"), 2)
+        engine.reset()
+        assert engine.cached_runs() == 0
+        assert engine.stats == EngineStats()
+        engine.run_replicas(backend, workload, stubbing("close"), 2)
+        assert backend.calls == 4
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            ProbeEngine(parallel=0)
+        with pytest.raises(ValueError):
+            ProbeEngine(cache_size=0)
+        with pytest.raises(ValueError):
+            ProbeEngine().run_replicas(
+                _CountingBackend(), benchmark("b", "m"), passthrough(), 0
+            )
+
+
+class TestEarlyExit:
+    def test_serial_stops_after_first_failure(self):
+        backend = _CountingBackend(failing_features={"close"})
+        engine = ProbeEngine(cache=False)
+        outcome = engine.run_replicas(
+            backend, benchmark("b", "m"), stubbing("close"), 3
+        )
+        assert not outcome.all_succeeded
+        assert backend.calls == 1
+        assert engine.stats.replicas_skipped == 2
+
+    def test_serial_early_exit_disabled(self):
+        backend = _CountingBackend(failing_features={"close"})
+        engine = ProbeEngine(cache=False)
+        outcome = engine.run_replicas(
+            backend, benchmark("b", "m"), stubbing("close"), 3,
+            early_exit=False,
+        )
+        assert not outcome.all_succeeded
+        assert backend.calls == 3
+        assert engine.stats.replicas_skipped == 0
+
+    def test_parallel_backend_error_propagates(self):
+        """A backend exception ends the probe on both execution paths."""
+
+        class _ExplodingBackend(_CountingBackend):
+            def run(self, workload, policy, *, replica=0):
+                if replica == 0:
+                    raise RuntimeError("backend blew up")
+                return super().run(workload, policy, replica=replica)
+
+        backend = _ExplodingBackend()
+        with ProbeEngine(parallel=3, cache=False) as engine:
+            with pytest.raises(RuntimeError, match="blew up"):
+                engine.run_replicas(
+                    backend, benchmark("b", "m"), stubbing("close"), 3
+                )
+            # The engine stays usable for the next probe.
+            outcome = engine.run_replicas(
+                _CountingBackend(), benchmark("b", "m"), stubbing("close"), 3
+            )
+            assert outcome.all_succeeded
+
+    def test_parallel_failure_still_conservative(self):
+        backend = _CountingBackend(failing_features={"close"})
+        with ProbeEngine(parallel=3, cache=False) as engine:
+            outcome = engine.run_replicas(
+                backend, benchmark("b", "m"), stubbing("close"), 3
+            )
+        assert not outcome.all_succeeded
+        assert backend.calls <= 3
+
+    def test_unsafe_backend_forced_serial(self):
+        """Backends not declaring parallel_safe never overlap replicas.
+
+        Observable through early-exit accounting: the serial path skips
+        the replicas after a failure, the parallel path submits them
+        all up front.
+        """
+
+        class _UnsafeBackend(_CountingBackend):
+            parallel_safe = False
+
+        backend = _UnsafeBackend(failing_features={"close"})
+        with ProbeEngine(parallel=3, cache=False) as engine:
+            engine.run_replicas(
+                backend, benchmark("b", "m"), stubbing("close"), 3
+            )
+        assert backend.calls == 1
+        assert engine.stats.replicas_skipped == 2
+
+    def test_run_replicas_function_early_exits(self):
+        backend = _CountingBackend(failing_features={"close"})
+        outcome = run_replicas(
+            backend, benchmark("b", "m"), stubbing("close"), 3
+        )
+        assert not outcome.all_succeeded
+        assert backend.calls == 1
+        backend2 = _CountingBackend(failing_features={"close"})
+        run_replicas(
+            backend2, benchmark("b", "m"), stubbing("close"), 3,
+            early_exit=False,
+        )
+        assert backend2.calls == 3
+
+
+def _program(ops, name="crafted", features=frozenset({"core"}), profiles=None):
+    return SimProgram(
+        name=name,
+        version="1",
+        ops=tuple(ops),
+        features=features,
+        profiles=profiles or {"*": WorkloadProfile(metric=1000.0)},
+    )
+
+
+def _op(syscall, **kwargs):
+    kwargs.setdefault("on_stub", ignore())
+    kwargs.setdefault("on_fake", harmless())
+    return SyscallOp(syscall=syscall, **kwargs)
+
+
+def _mixed_program():
+    return _program(
+        [
+            _op("read", on_stub=abort(), on_fake=breaks_core()),
+            _op("close", on_stub=ignore(), on_fake=harmless()),
+            _op("uname", on_stub=ignore(), on_fake=breaks_core()),
+            _op("prctl", on_stub=abort(), on_fake=harmless()),
+        ]
+    )
+
+
+def _conflicting_program():
+    inner = _op("mmap", on_stub=abort(), on_fake=breaks_core())
+    return _program(
+        [
+            _op("mremap", on_stub=fallback(inner), on_fake=harmless()),
+            _op("mmap", on_stub=fallback(
+                _op("mremap", on_stub=abort(), on_fake=breaks_core())
+            ), on_fake=breaks_core()),
+            _op("close", on_stub=ignore(), on_fake=harmless()),
+        ]
+    )
+
+
+def _result_json(result):
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+class TestAnalyzerIntegration:
+    def _analyze(self, program, workload, **knobs):
+        analyzer = Analyzer(AnalyzerConfig(**knobs))
+        result = analyzer.analyze(SimBackend(program), workload)
+        return result, analyzer.engine.stats
+
+    def test_parallel_matches_serial_analysis(self):
+        workload = benchmark("bench", metric_name="req/s")
+        serial, _ = self._analyze(
+            _mixed_program(), workload,
+            parallel=1, cache=False, early_exit=False,
+        )
+        for knobs in (
+            dict(parallel=1, cache=True, early_exit=True),
+            dict(parallel=4, cache=True, early_exit=True),
+            dict(parallel=4, cache=False, early_exit=False),
+        ):
+            variant, _ = self._analyze(_mixed_program(), workload, **knobs)
+            assert _result_json(variant) == _result_json(serial), knobs
+
+    def test_parallel_matches_serial_on_conflicts(self):
+        serial, _ = self._analyze(
+            _conflicting_program(), health_check("health"),
+            parallel=1, cache=False, early_exit=False,
+        )
+        parallel, _ = self._analyze(
+            _conflicting_program(), health_check("health"),
+            parallel=4, cache=True,
+        )
+        assert _result_json(parallel) == _result_json(serial)
+        assert parallel.conflicts
+
+    def test_bisection_reuses_probe_runs(self):
+        """The confirmation/bisection stages must hit the run cache."""
+        result, stats = self._analyze(
+            _conflicting_program(), health_check("health"), cache=True
+        )
+        assert result.final_run_ok
+        assert stats.cache_hits > 0
+        assert stats.runs_executed < stats.runs_requested
+
+    def test_early_exit_saves_runs(self):
+        _, eager = self._analyze(
+            _mixed_program(), health_check("health"),
+            cache=False, early_exit=True,
+        )
+        _, full = self._analyze(
+            _mixed_program(), health_check("health"),
+            cache=False, early_exit=False,
+        )
+        assert eager.replicas_skipped > 0
+        assert eager.runs_executed < full.runs_executed
+
+    def test_baseline_failure_reports_every_replica(self):
+        """The baseline never early-exits: all failure reasons surface."""
+        from repro.errors import AnalysisError
+
+        class _FlakyBaselineBackend(_CountingBackend):
+            def run(self, workload, policy, *, replica=0):
+                super().run(workload, policy, replica=replica)
+                ok = replica == 0
+                return RunResult(
+                    success=ok,
+                    traced=Counter({"read": 1}),
+                    failure_reason=None if ok else f"reason-{replica}",
+                )
+
+        with pytest.raises(AnalysisError) as error:
+            Analyzer().analyze(
+                _FlakyBaselineBackend(), health_check("health")
+            )
+        assert "reason-1" in str(error.value)
+        assert "reason-2" in str(error.value)
+
+    def test_engine_reset_between_analyses(self):
+        """Same backend/workload names, different program: no bleed-through."""
+        analyzer = Analyzer(AnalyzerConfig(cache=True))
+        benign = analyzer.analyze(
+            SimBackend(_program([_op("close")])), health_check("health")
+        )
+        assert benign.features["close"].decision.can_stub
+        hostile = analyzer.analyze(
+            SimBackend(_program([_op("close", on_stub=abort())])),
+            health_check("health"),
+        )
+        assert not hostile.features["close"].decision.can_stub
+
+    def test_progress_narrates_engine(self):
+        lines = []
+        Analyzer().analyze(
+            SimBackend(_mixed_program()), health_check("health"),
+            progress=lines.append,
+        )
+        assert any(line.startswith("engine:") for line in lines)
+
+
+class TestStudyParallelism:
+    def test_analyze_apps_jobs_match_serial(self):
+        from repro.appsim.corpus import seven_apps
+        from repro.study.base import analyze_apps, clear_cache
+
+        apps = seven_apps()[:3]
+        clear_cache()
+        serial = analyze_apps(apps, "bench")
+        clear_cache()
+        threaded = analyze_apps(apps, "bench", jobs=3, parallel=2)
+        clear_cache()
+        assert [r.app for r in threaded] == [r.app for r in serial]
+        for left, right in zip(serial, threaded):
+            assert _result_json(left) == _result_json(right)
+
+    def test_concurrent_analyze_app_single_record(self):
+        from repro.appsim.corpus import build
+        from repro.study.base import analyze_app, clear_cache, shared_database
+
+        clear_cache()
+        app = build("weborf")
+        results = []
+        errors = []
+
+        def worker():
+            try:
+                results.append(analyze_app(app, "health"))
+            except Exception as error:  # pragma: no cover - fails the test
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(results) == 6
+        assert len(shared_database()) == 1
+        clear_cache()
+
+    def test_bad_jobs_rejected(self):
+        from repro.study.base import analyze_apps
+
+        with pytest.raises(ValueError):
+            analyze_apps([], "bench", jobs=0)
