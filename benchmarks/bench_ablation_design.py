@@ -17,18 +17,21 @@ Three ablations:
 
 from __future__ import annotations
 
+from repro.api.session import AnalysisRequest, LoupeSession
 from repro.appsim.backend import SimBackend
 from repro.appsim.behavior import abort, breaks_core, fallback, harmless, ignore
 from repro.appsim.corpus import build
 from repro.appsim.program import SimProgram, SyscallOp, WorkloadProfile
-from repro.core.analyzer import Analyzer, AnalyzerConfig
+from repro.core.analyzer import AnalyzerConfig
 from repro.core.workload import health_check
 
 
 def _analyze_with(replicas: int, guard: bool):
-    app = build("weborf")
-    config = AnalyzerConfig(replicas=replicas, guard_metrics=guard)
-    return Analyzer(config).analyze(app.backend(), app.bench)
+    # One fresh session per config: ablations must never share records.
+    session = LoupeSession(
+        config=AnalyzerConfig(replicas=replicas, guard_metrics=guard)
+    )
+    return session.analyze(build("weborf"))
 
 
 def test_ablation_replica_count(benchmark):
@@ -91,16 +94,18 @@ def _conflict_program() -> SimProgram:
 
 def test_ablation_final_confirmation(benchmark):
     backend = SimBackend(_conflict_program())
+    request = AnalysisRequest.for_target(backend, health_check("health"))
 
     def with_bisection():
-        return Analyzer(AnalyzerConfig(bisect_conflicts=True)).analyze(
-            backend, health_check("health")
+        session = LoupeSession(
+            config=AnalyzerConfig(bisect_conflicts=True)
         )
+        return session.analyze(request)
 
     checked = benchmark.pedantic(with_bisection, rounds=1, iterations=1)
-    unchecked = Analyzer(AnalyzerConfig(bisect_conflicts=False)).analyze(
-        backend, health_check("health")
-    )
+    unchecked = LoupeSession(
+        config=AnalyzerConfig(bisect_conflicts=False)
+    ).analyze(request)
 
     print("\n=== Ablation: final combined run + bisection ===")
     print(f"with bisection: final_ok={checked.final_run_ok} "

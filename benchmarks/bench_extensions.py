@@ -10,8 +10,9 @@
 
 from __future__ import annotations
 
+from repro.api.session import AnalysisRequest, LoupeSession
 from repro.appsim.corpus import cloud_apps, corpus
-from repro.core.analyzer import Analyzer, AnalyzerConfig
+from repro.core.analyzer import AnalyzerConfig
 from repro.core.transfer import PriorKnowledge
 from repro.study.base import analyze_apps
 from repro.study.pseudofiles_study import pseudo_file_study, render_pseudo_files
@@ -33,20 +34,26 @@ def test_extension_knowledge_transfer(benchmark, full_corpus, corpus_bench_resul
     target = full_corpus[30]
 
     plain_backend = _CountingBackend(target.backend())
-    plain_result = Analyzer(AnalyzerConfig(replicas=3)).analyze(
-        plain_backend, target.bench
+    plain_result = LoupeSession(config=AnalyzerConfig(replicas=3)).analyze(
+        AnalysisRequest.for_target(plain_backend, target.bench,
+                                   app=target.name)
     )
 
     def transfer_analysis():
         backend = _CountingBackend(target.backend())
-        analyzer = Analyzer(AnalyzerConfig(replicas=3, priors=priors))
-        result = analyzer.analyze(backend, target.bench)
-        return backend, analyzer, result
+        session = LoupeSession(
+            config=AnalyzerConfig(replicas=3, priors=priors)
+        )
+        result = session.analyze(
+            AnalysisRequest.for_target(backend, target.bench,
+                                       app=target.name)
+        )
+        return backend, session, result
 
-    backend, analyzer, result = benchmark.pedantic(
+    backend, session, result = benchmark.pedantic(
         transfer_analysis, rounds=3, iterations=1
     )
-    stats = analyzer.last_transfer_stats
+    stats = session.last_transfer_stats
 
     print("\n=== Extension: cross-application knowledge transfer ===")
     print(f"priors learned from {len(corpus_bench_results)} analyses "

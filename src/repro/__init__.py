@@ -16,6 +16,8 @@ Package map:
 * :mod:`repro.plans`     — support-plan engine (Table 1 / Figure 2)
 * :mod:`repro.study`     — the Section 5 studies (Figures 3-8, Tables 2-4)
 * :mod:`repro.db`        — loupedb-style results database
+* :mod:`repro.api`       — the programmatic front door (:class:`LoupeSession`,
+  typed progress events, pluggable backend registry)
 * :mod:`repro.cli`       — the ``loupe`` command-line tool
 """
 
@@ -37,25 +39,36 @@ from repro.core import (
     stubbing,
     test_suite,
 )
+from repro.api.registry import (
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
+from repro.api.session import AnalysisRequest, LoupeSession
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Action",
+    "AnalysisRequest",
     "AnalysisResult",
     "Analyzer",
     "AnalyzerConfig",
     "Decision",
     "InterpositionPolicy",
+    "LoupeSession",
     "RunResult",
     "Verdict",
     "__version__",
     "analyze",
+    "available_backends",
     "benchmark",
     "combined",
     "faking",
     "health_check",
     "passthrough",
+    "register_backend",
+    "resolve_backend",
     "stubbing",
     "test_suite",
 ]

@@ -1,0 +1,267 @@
+"""Typed progress events emitted by an analysis campaign.
+
+The analyzer used to narrate its progress through an opaque
+``Callable[[str], None]`` — fine for a terminal, useless for anything
+that wants to *react* to progress (stream it as JSON, update a UI,
+aggregate engine statistics across a fan-out). This module replaces
+that callback with a small algebra of frozen event dataclasses, one
+per analysis milestone:
+
+========================  ====================================================
+event                     milestone
+========================  ====================================================
+:class:`AnalysisStarted`  the campaign accepted one (app, workload) pair
+:class:`BaselineStarted`  passthrough replication begins
+:class:`FeaturesEnumerated`  tracing finished; the probe list is known
+:class:`FeatureProbed`    one feature's stub/fake verdict is in
+:class:`CombinedRunFinished`  a combined confirmation run concluded
+:class:`ConflictBisected` ddmin isolated one minimal conflicting set
+:class:`EngineStatsEvent` the probe engine's final run accounting
+:class:`AnalysisFinished` wall-clock total for the analysis
+========================  ====================================================
+
+Every event serializes with :meth:`AnalysisEvent.to_dict` (one JSON
+object per event — the CLI's ``--events jsonl`` stream) and renders
+back to the exact legacy progress string with
+:meth:`AnalysisEvent.legacy_line`, so :func:`legacy_adapter` keeps
+every pre-event caller (and the CLI output) byte-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Iterable
+from typing import ClassVar
+
+from repro.core.engine import EngineStats
+
+#: A consumer of analysis events.
+EventCallback = Callable[["AnalysisEvent"], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class AnalysisEvent:
+    """Base class of every analysis progress event.
+
+    Every concrete event carries the ``app`` identity of the analysis
+    it belongs to (the analyzer stamps it via :func:`tag_app`), so a
+    session-level stream stays attributable when
+    ``analyze_many(jobs>1)`` interleaves events from concurrent
+    analyses on one callback.
+    """
+
+    #: Stable machine-readable discriminator (the ``"event"`` field of
+    #: the JSON form). Never rename once released.
+    kind: ClassVar[str] = "event"
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form: ``{"event": kind, ...fields}``."""
+        return {"event": self.kind, **dataclasses.asdict(self)}
+
+    def legacy_line(self) -> "str | None":
+        """The pre-event progress string, or ``None`` for events the
+        string protocol never reported."""
+        return None
+
+
+@dataclasses.dataclass(frozen=True)
+class AnalysisStarted(AnalysisEvent):
+    """The session accepted one (app, workload, backend) analysis."""
+
+    kind: ClassVar[str] = "analysis_started"
+
+    app: str
+    workload: str
+    backend: str
+    replicas: int
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineStarted(AnalysisEvent):
+    """Passthrough baseline replication is about to run."""
+
+    kind: ClassVar[str] = "baseline_started"
+
+    replicas: int
+    app: str = ""
+
+    def legacy_line(self) -> str:
+        return f"baseline: {self.replicas} passthrough replica(s)"
+
+
+@dataclasses.dataclass(frozen=True)
+class FeaturesEnumerated(AnalysisEvent):
+    """Baseline tracing finished; these features will be probed."""
+
+    kind: ClassVar[str] = "features_enumerated"
+
+    count: int
+    features: tuple[str, ...] = ()
+    app: str = ""
+
+    def legacy_line(self) -> str:
+        return f"tracing found {self.count} feature(s) to probe"
+
+
+@dataclasses.dataclass(frozen=True)
+class FeatureProbed(AnalysisEvent):
+    """Stub and fake probes of one feature concluded."""
+
+    kind: ClassVar[str] = "feature_probed"
+
+    feature: str
+    can_stub: bool
+    can_fake: bool
+    traced_count: int = 0
+    app: str = ""
+
+    def legacy_line(self) -> str:
+        return (
+            f"probe {self.feature}: "
+            f"stub={'ok' if self.can_stub else 'no'} "
+            f"fake={'ok' if self.can_fake else 'no'}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class CombinedRunFinished(AnalysisEvent):
+    """One round of the combined confirmation run concluded.
+
+    ``avoided`` is the size of the stub/fake set under test; ``0``
+    means nothing was avoidable, so no combined run was necessary and
+    the round succeeded vacuously. ``round`` is 1-based.
+    """
+
+    kind: ClassVar[str] = "combined_run_finished"
+
+    ok: bool
+    avoided: int
+    round: int
+    app: str = ""
+
+    def legacy_line(self) -> "str | None":
+        if self.ok:
+            if self.avoided == 0:
+                return None  # legacy code said nothing for a vacuous pass
+            return f"final combined run ok ({self.avoided} features avoided)"
+        return f"final combined run failed (round {self.round}); bisecting"
+
+
+@dataclasses.dataclass(frozen=True)
+class ConflictBisected(AnalysisEvent):
+    """ddmin isolated one minimal conflicting feature set (its members
+    are demoted to REQUIRED before the next confirmation round)."""
+
+    kind: ClassVar[str] = "conflict_bisected"
+
+    round: int
+    conflict: tuple[str, ...]
+    app: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineStatsEvent(AnalysisEvent):
+    """Final probe-engine run accounting for the analysis."""
+
+    kind: ClassVar[str] = "engine_stats"
+
+    runs_requested: int
+    runs_executed: int
+    cache_hits: int
+    replicas_skipped: int
+    app: str = ""
+
+    @staticmethod
+    def from_stats(stats: EngineStats) -> "EngineStatsEvent":
+        return EngineStatsEvent(
+            runs_requested=stats.runs_requested,
+            runs_executed=stats.runs_executed,
+            cache_hits=stats.cache_hits,
+            replicas_skipped=stats.replicas_skipped,
+        )
+
+    def stats(self) -> EngineStats:
+        """The event's payload as a first-class :class:`EngineStats`."""
+        return EngineStats(
+            runs_requested=self.runs_requested,
+            runs_executed=self.runs_executed,
+            cache_hits=self.cache_hits,
+            replicas_skipped=self.replicas_skipped,
+        )
+
+    def legacy_line(self) -> str:
+        return f"engine: {self.stats().describe()}"
+
+
+@dataclasses.dataclass(frozen=True)
+class AnalysisFinished(AnalysisEvent):
+    """The analysis completed; ``duration_s`` is wall-clock seconds."""
+
+    kind: ClassVar[str] = "analysis_finished"
+
+    duration_s: float
+    app: str = ""
+
+    def legacy_line(self) -> str:
+        return f"analysis finished in {self.duration_s:.2f}s"
+
+
+# -- adapters ----------------------------------------------------------------
+
+
+def legacy_adapter(progress: Callable[[str], None]) -> EventCallback:
+    """Wrap a legacy string callback as an event consumer.
+
+    Events that had a string form render to the byte-identical legacy
+    line; events the string protocol never reported are dropped, so a
+    legacy ``progress=`` caller sees exactly the pre-event output.
+    """
+
+    def emit(event: AnalysisEvent) -> None:
+        line = event.legacy_line()
+        if line is not None:
+            progress(line)
+
+    return emit
+
+
+def tag_app(emit: EventCallback, app: str) -> EventCallback:
+    """Stamp *app* onto every event that lacks an identity.
+
+    The analyzer wraps its emitter with this so concurrent analyses
+    sharing one session callback stay attributable.
+    """
+
+    def tagged(event: AnalysisEvent) -> None:
+        if getattr(event, "app", None) == "":
+            event = dataclasses.replace(event, app=app)
+        emit(event)
+
+    return tagged
+
+
+def render_legacy(events: Iterable[AnalysisEvent]) -> list[str]:
+    """The legacy progress transcript of an event stream."""
+    lines: list[str] = []
+    for event in events:
+        line = event.legacy_line()
+        if line is not None:
+            lines.append(line)
+    return lines
+
+
+def combine_callbacks(
+    *callbacks: "EventCallback | None",
+) -> "EventCallback | None":
+    """Fan one event out to several consumers (``None``s are skipped)."""
+    active = [callback for callback in callbacks if callback is not None]
+    if not active:
+        return None
+    if len(active) == 1:
+        return active[0]
+
+    def emit(event: AnalysisEvent) -> None:
+        for callback in active:
+            callback(event)
+
+    return emit

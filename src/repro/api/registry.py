@@ -1,0 +1,144 @@
+"""Pluggable execution-backend registry.
+
+Loupe's portability comes from the :class:`~repro.core.runner.ExecutionBackend`
+protocol, but until now *choosing* a backend was hard-wired into each
+caller (the CLI special-cased ``--exec``, the studies constructed
+``SimBackend`` by hand). This registry makes the choice a name:
+
+* backend packages **self-register** a factory at import time —
+  :mod:`repro.appsim` registers ``appsim``, :mod:`repro.ptracer`
+  registers ``ptrace`` — and third-party backends can do the same with
+  :func:`register_backend`;
+* :func:`resolve_backend` maps a name to its factory, importing the
+  built-in packages on first use so the registry is always populated;
+* a factory turns one :class:`~repro.api.session.AnalysisRequest` into
+  a :class:`ResolvedTarget` — the concrete backend/workload pair plus
+  the identity facts the database records.
+
+This is what the CLI's ``loupe analyze --backend NAME`` flag resolves
+through, and the substrate for the roadmap's multi-backend fan-out
+(one request, several registered backends).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import threading
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
+
+from repro.core.runner import ExecutionBackend
+from repro.core.workload import Workload
+from repro.errors import LoupeError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.session import AnalysisRequest
+
+
+class BackendRegistryError(LoupeError):
+    """A backend registration is invalid (duplicate or malformed name)."""
+
+
+class UnknownBackendError(BackendRegistryError):
+    """No backend is registered under the requested name."""
+
+    def __init__(self, name: str, available: tuple[str, ...]) -> None:
+        super().__init__(
+            f"unknown backend {name!r}; available: "
+            f"{', '.join(available) or 'none'}"
+        )
+        self.name = name
+        self.available = available
+
+
+class BackendResolutionError(BackendRegistryError):
+    """A registered factory could not build a target from the request
+    (unknown app, missing argv, unavailable substrate, ...)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ResolvedTarget:
+    """A concrete analysis target a factory produced from a request."""
+
+    backend: ExecutionBackend
+    workload: Workload
+    app: str
+    app_version: str = ""
+
+
+#: A factory maps one request to a concrete target. Factories must be
+#: cheap to *register*; all heavy lifting (building app models,
+#: probing ptrace availability) belongs inside the call.
+BackendFactory = Callable[["AnalysisRequest"], ResolvedTarget]
+
+_LOCK = threading.Lock()
+_FACTORIES: dict[str, BackendFactory] = {}
+
+#: Packages that self-register a backend when imported.
+_BUILTIN_BACKEND_MODULES = ("repro.appsim", "repro.ptracer")
+_bootstrapped = False
+
+
+def register_backend(
+    name: str, factory: BackendFactory, *, replace: bool = False
+) -> BackendFactory:
+    """Register *factory* under *name*.
+
+    Re-registering an existing name raises unless ``replace=True`` (or
+    the factory object is identical, which makes module re-imports
+    harmless). Returns the factory so the call composes as a one-liner.
+    """
+    if not name or not name.strip():
+        raise BackendRegistryError("backend name must be non-empty")
+    with _LOCK:
+        current = _FACTORIES.get(name)
+        if current is not None and current is not factory and not replace:
+            raise BackendRegistryError(
+                f"backend {name!r} is already registered "
+                f"(pass replace=True to override)"
+            )
+        _FACTORIES[name] = factory
+    return factory
+
+
+def unregister_backend(name: str) -> None:
+    """Remove *name* from the registry (no-op when absent)."""
+    with _LOCK:
+        _FACTORIES.pop(name, None)
+
+
+def _bootstrap() -> None:
+    """Import the built-in backend packages once so they self-register."""
+    global _bootstrapped
+    if _bootstrapped:
+        return
+    _bootstrapped = True  # set first: the imports below re-enter us
+    for module in _BUILTIN_BACKEND_MODULES:
+        importlib.import_module(module)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Sorted names every registered backend answers to."""
+    _bootstrap()
+    with _LOCK:
+        return tuple(sorted(_FACTORIES))
+
+
+def resolve_backend(name: str) -> BackendFactory:
+    """The factory registered under *name*.
+
+    Raises :class:`UnknownBackendError` (listing what *is* available)
+    when nothing answers to the name.
+    """
+    _bootstrap()
+    with _LOCK:
+        factory = _FACTORIES.get(name)
+    if factory is None:
+        raise UnknownBackendError(name, available_backends())
+    return factory
+
+
+def create_target(name: str, request: Any) -> ResolvedTarget:
+    """Resolve *name* and build the target for *request* in one step."""
+    return resolve_backend(name)(request)

@@ -47,6 +47,40 @@ from repro.appsim.libc import (
 from repro.appsim.program import Origin, Phase, SimProgram, SyscallOp, WorkloadProfile
 from repro.appsim.runtime import SimProcess
 from repro.appsim.apps import App
+from repro.api.registry import (
+    BackendResolutionError,
+    ResolvedTarget,
+    register_backend,
+)
+
+
+def _appsim_backend_factory(request) -> ResolvedTarget:
+    """Resolve an :class:`~repro.api.session.AnalysisRequest` against
+    the hand-built simulation corpus."""
+    if request.app not in HANDBUILT:
+        raise BackendResolutionError(
+            f"unknown app {request.app!r}; choose from: "
+            f"{', '.join(sorted(HANDBUILT))}"
+        )
+    app = build(request.app)
+    try:
+        workload = app.workload(request.workload)
+    except KeyError as error:
+        raise BackendResolutionError(str(error)) from error
+    return ResolvedTarget(
+        backend=app.backend(),
+        workload=workload,
+        app=app.name,
+        app_version=app.version,
+    )
+
+
+# Self-registration: importing the package makes the simulation corpus
+# reachable as ``--backend appsim`` / ``AnalysisRequest(backend="appsim")``.
+# No replace=True: a conflicting earlier registration under this name
+# should fail loudly rather than be silently clobbered (re-importing is
+# harmless — identical factories re-register freely).
+register_backend("appsim", _appsim_backend_factory)
 
 __all__ = [
     "App",

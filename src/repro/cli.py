@@ -3,7 +3,9 @@
 Subcommands mirror how the paper's tool is used:
 
 * ``analyze``  — run the full stub/fake analysis of one corpus app (or
-  a real command with ``--exec``) and print the report.
+  a real command with ``--exec``) and print the report; ``--backend``
+  picks any registered execution backend and ``--events jsonl``
+  streams structured progress events.
 * ``plan``     — generate an incremental support plan for an OS
   (named profile or a CSV support file) over target apps.
 * ``study``    — regenerate a paper table or figure by name.
@@ -15,14 +17,16 @@ Subcommands mirror how the paper's tool is used:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.appsim.corpus import CLOUD_APPS, HANDBUILT, build, cloud_apps, corpus
-from repro.core.analyzer import Analyzer, AnalyzerConfig
-from repro.core.workload import CommandWorkload, WorkloadKind
+from repro.api.registry import BackendResolutionError, UnknownBackendError
+from repro.api.session import AnalysisRequest, LoupeSession
+from repro.appsim.corpus import CLOUD_APPS, cloud_apps, corpus
+from repro.core.analyzer import AnalyzerConfig
 from repro.db import Database
+from repro.errors import PlanError
 from repro.plans import (
-    SupportState,
     generate_plan,
     render_plan,
     requirements_for_all,
@@ -74,51 +78,51 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         parallel=args.jobs,
         cache=not args.no_cache,
     )
-    analyzer = Analyzer(config)
-    if args.exec_argv:
-        from repro.ptracer.backend import PtraceBackend
+    on_event = None
+    if args.events == "jsonl":
+        def on_event(event) -> None:
+            print(json.dumps(event.to_dict()), flush=True)
 
-        workload = CommandWorkload(
-            name="cli-exec",
-            kind=WorkloadKind.HEALTH_CHECK,
-            argv=args.exec_argv,
-            timeout_s=args.timeout,
-        )
-        result = analyzer.analyze(
-            PtraceBackend(), workload, app=args.exec_argv[0]
-        )
-    else:
-        if args.app not in HANDBUILT:
-            print(f"unknown app {args.app!r}; choose from: "
-                  f"{', '.join(sorted(HANDBUILT))}", file=sys.stderr)
-            return 2
-        app = build(args.app)
-        result = analyzer.analyze(
-            app.backend(), app.workload(args.workload),
-            app=app.name, app_version=app.version,
-        )
+    session = LoupeSession(config=config, on_event=on_event)
+    backend_name = args.backend or ("ptrace" if args.exec_argv else "appsim")
+    if args.exec_argv and backend_name == "appsim":
+        # The appsim factory resolves --app and ignores argv; silently
+        # dropping the user's command would be worse than refusing.
+        print("--exec requires a backend that runs commands "
+              "(e.g. --backend ptrace); 'appsim' ignores the command",
+              file=sys.stderr)
+        return 2
+    request = AnalysisRequest(
+        app=args.app,
+        workload=args.workload,
+        backend=backend_name,
+        argv=tuple(args.exec_argv or ()),
+        timeout_s=args.timeout,
+    )
+    try:
+        result = session.analyze(request)
+    except (UnknownBackendError, BackendResolutionError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
     _print_analysis(result)
-    print(f"engine: {analyzer.engine.stats.describe()}")
+    print(f"engine: {session.last_engine_stats.describe()}")
     if args.output:
-        Database.collect([result]).save(args.output)
+        session.database.save(args.output)
         print(f"saved to {args.output}")
     return 0
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
-    apps = cloud_apps() if args.apps == "cloud" else corpus()
-    requirements = requirements_for_all(apps, args.workload)
-    if args.support_csv:
-        state = SupportState.load(args.support_csv, os_name=args.os)
-    else:
-        states = table1_states(requirements_for_all(cloud_apps(), args.workload))
-        if args.os not in states:
-            print(f"unknown OS {args.os!r}; choose from: "
-                  f"{', '.join(sorted(states))} or pass --support-csv",
-                  file=sys.stderr)
-            return 2
-        state = states[args.os]
-    plan = generate_plan(state, requirements)
+    try:
+        plan = LoupeSession().plan(
+            os_name=args.os,
+            apps=args.apps,
+            workload=args.workload,
+            support_csv=args.support_csv,
+        )
+    except PlanError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     print(render_plan(plan, syscall_numbers=not args.names))
     return 0
 
@@ -259,7 +263,13 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--app", default="redis")
     analyze.add_argument("--workload", default="bench",
                          choices=("health", "bench", "suite"))
-    analyze.add_argument("--replicas", type=int, default=3)
+    analyze.add_argument("--replicas", type=_positive_int, default=3)
+    analyze.add_argument("--backend", default=None, metavar="NAME",
+                         help="execution backend from the registry "
+                              "(default: appsim, or ptrace with --exec)")
+    analyze.add_argument("--events", choices=("jsonl",), default=None,
+                         help="stream analysis progress events to stdout "
+                              "(one JSON object per line)")
     analyze.add_argument("--subfeatures", action="store_true")
     analyze.add_argument("--pseudofiles", action="store_true")
     analyze.add_argument("--timeout", type=float, default=60.0)

@@ -22,21 +22,41 @@ fans replicas over a worker pool, ``AnalyzerConfig.cache`` memoizes run
 results so the confirmation/bisection stages reuse probe-phase runs, and
 ``AnalyzerConfig.early_exit`` stops replicating a probe once one replica
 has already failed it.
+
+Progress is reported as the typed event stream of
+:mod:`repro.api.events` (``on_event=``); the historical string callback
+(``progress=``) still works through the event-to-string adapter, whose
+output is byte-identical to the pre-event narration.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 import time
 from collections.abc import Callable, Sequence
 
+from repro.api.events import (
+    AnalysisFinished,
+    AnalysisStarted,
+    BaselineStarted,
+    CombinedRunFinished,
+    ConflictBisected,
+    EngineStatsEvent,
+    EventCallback,
+    FeatureProbed,
+    FeaturesEnumerated,
+    combine_callbacks,
+    legacy_adapter,
+    tag_app,
+)
 from repro.core.decisions import Decision
 from repro.core.engine import ProbeEngine
 from repro.core.metrics import DEFAULT_MARGIN, ImpactSummary, compare
 from repro.core.policy import Action, InterpositionPolicy, combined, passthrough
 from repro.core.replicas import ProbeOutcome
 from repro.core.result import AnalysisResult, BaselineStats, FeatureReport
-from repro.core.runner import ExecutionBackend
+from repro.core.runner import ExecutionBackend, backend_name
 from repro.core.workload import Workload
 from repro.core.metrics import SampleStats
 from repro.errors import AnalysisError
@@ -139,12 +159,23 @@ class Analyzer:
         app: str = "",
         app_version: str = "",
         progress: Callable[[str], None] | None = None,
+        on_event: EventCallback | None = None,
     ) -> AnalysisResult:
-        """Run the complete analysis and return the result record."""
+        """Run the complete analysis and return the result record.
+
+        Progress surfaces on ``on_event`` as the typed events of
+        :mod:`repro.api.events`; the legacy string callback
+        ``progress`` keeps working through the event-to-string
+        adapter (its output is byte-identical to the pre-event form).
+        """
+        emit = combine_callbacks(
+            on_event,
+            legacy_adapter(progress) if progress is not None else None,
+        ) or (lambda _event: None)
         try:
             return self._analyze(
                 backend, workload,
-                app=app, app_version=app_version, progress=progress,
+                app=app, app_version=app_version, emit=emit,
             )
         finally:
             # Release the engine's worker threads; it lazily recreates
@@ -159,17 +190,24 @@ class Analyzer:
         *,
         app: str,
         app_version: str,
-        progress: Callable[[str], None] | None,
+        emit: EventCallback,
     ) -> AnalysisResult:
-        say = progress or (lambda _msg: None)
         config = self.config
+        identity = app or workload.name
+        emit = tag_app(emit, identity)
         started = time.monotonic()
         # One analysis == one application build: drop run results (and
         # accounting) from any prior analyze() call so identically-named
         # backends of different programs can never cross-contaminate.
         self.engine.reset()
 
-        say(f"baseline: {config.replicas} passthrough replica(s)")
+        emit(AnalysisStarted(
+            app=identity,
+            workload=workload.name,
+            backend=backend_name(backend),
+            replicas=config.replicas,
+        ))
+        emit(BaselineStarted(replicas=config.replicas))
         # The baseline never early-exits: on failure the error below
         # reports every replica's reason (and success runs them all
         # anyway), matching the pre-engine diagnostics.
@@ -184,7 +222,9 @@ class Analyzer:
             )
 
         features = self._enumerate_features(baseline)
-        say(f"tracing found {len(features)} feature(s) to probe")
+        emit(FeaturesEnumerated(
+            count=len(features), features=tuple(sorted(features))
+        ))
 
         transfer_stats = None
         if config.priors is not None:
@@ -196,22 +236,22 @@ class Analyzer:
         probes: dict[str, _FeatureProbe] = {}
         for feature, count in sorted(features.items()):
             probes[feature] = self._probe_feature(
-                backend, workload, feature, count, baseline, say,
+                backend, workload, feature, count, baseline, emit,
                 transfer_stats,
             )
 
         final_ok, conflicts = self._confirm_combined(
-            backend, workload, probes, say
+            backend, workload, probes, emit
         )
 
-        say(f"engine: {self.engine.stats.describe()}")
-        say(f"analysis finished in {time.monotonic() - started:.2f}s")
+        emit(EngineStatsEvent.from_stats(self.engine.stats))
+        emit(AnalysisFinished(duration_s=time.monotonic() - started))
         return AnalysisResult(
-            app=app or workload.name,
+            app=identity,
             app_version=app_version,
             workload=workload.name,
             workload_kind=workload.kind,
-            backend=getattr(backend, "name", type(backend).__name__),
+            backend=backend_name(backend),
             replicas=config.replicas,
             features={name: probe.to_report() for name, probe in probes.items()},
             baseline=BaselineStats(
@@ -251,7 +291,7 @@ class Analyzer:
         feature: str,
         traced_count: int,
         baseline: ProbeOutcome,
-        say: Callable[[str], None],
+        emit: EventCallback,
         transfer_stats: "object | None" = None,
     ) -> _FeatureProbe:
         probe = _FeatureProbe(feature=feature, traced_count=traced_count)
@@ -304,10 +344,12 @@ class Analyzer:
                 probe.fake_impact = impact
         if fast_pathed and transfer_stats is not None:
             transfer_stats.features_fast_pathed += 1
-        say(
-            f"probe {feature}: stub={'ok' if probe.can_stub else 'no'} "
-            f"fake={'ok' if probe.can_fake else 'no'}"
-        )
+        emit(FeatureProbed(
+            feature=feature,
+            can_stub=probe.can_stub,
+            can_fake=probe.can_fake,
+            traced_count=traced_count,
+        ))
         return probe
 
     def _impact(
@@ -337,24 +379,32 @@ class Analyzer:
         backend: ExecutionBackend,
         workload: Workload,
         probes: dict[str, _FeatureProbe],
-        say: Callable[[str], None],
+        emit: EventCallback,
     ) -> tuple[bool, tuple[tuple[str, ...], ...]]:
         all_conflicts: list[tuple[str, ...]] = []
         for round_index in range(self.config.max_demotion_rounds):
             policy = self._combined_policy(probes)
             avoided = sorted(policy.altered_features())
             if not avoided:
+                emit(CombinedRunFinished(
+                    ok=True, avoided=0, round=round_index + 1
+                ))
                 return True, tuple(all_conflicts)
             outcome = self._run(backend, workload, policy, self.config.replicas)
             if outcome.all_succeeded:
-                say(f"final combined run ok ({len(avoided)} features avoided)")
+                emit(CombinedRunFinished(
+                    ok=True, avoided=len(avoided), round=round_index + 1
+                ))
                 return True, tuple(all_conflicts)
-            say(f"final combined run failed (round {round_index + 1}); bisecting")
+            emit(CombinedRunFinished(
+                ok=False, avoided=len(avoided), round=round_index + 1
+            ))
             if not self.config.bisect_conflicts:
                 return False, tuple(all_conflicts)
             conflict = self._minimize_conflict(backend, workload, probes, avoided)
             if not conflict:
                 return False, tuple(all_conflicts)
+            emit(ConflictBisected(round=round_index + 1, conflict=conflict))
             all_conflicts.append(conflict)
             for feature in conflict:
                 probe = probes[feature]
@@ -435,7 +485,5 @@ def estimated_runtime_s(
     ``2 +`` covers the discovery and confirmation runs; ``2·`` the stub
     and fake probe per feature.
     """
-    import math
-
     serial = 2 * workload_runtime_s + 2 * workload_runtime_s * distinct_features
     return serial * math.ceil(replicas / max(parallel, 1))

@@ -45,7 +45,7 @@ from collections.abc import Sequence
 
 from repro.core.policy import InterpositionPolicy
 from repro.core.replicas import ProbeOutcome, aggregate
-from repro.core.runner import ExecutionBackend, RunResult
+from repro.core.runner import ExecutionBackend, RunResult, backend_name
 from repro.core.workload import Workload
 
 #: Default LRU capacity: comfortably holds every run of one analysis
@@ -189,8 +189,10 @@ class ProbeEngine:
         policy: InterpositionPolicy,
         replica: int,
     ) -> CacheKey:
-        name = getattr(backend, "name", type(backend).__name__)
-        return (name, workload.name, policy.fingerprint(), replica)
+        return (
+            backend_name(backend), workload.name,
+            policy.fingerprint(), replica,
+        )
 
     def run(
         self,

@@ -97,3 +97,13 @@ class ExecutionBackend(Protocol):
     ) -> RunResult:
         """Execute the workload; *replica* seeds run-to-run variation."""
         ...
+
+
+def backend_name(backend: object) -> str:
+    """The backend's stable identity for records and cache keys.
+
+    The single definition every layer (engine cache keys, result
+    records, session memoization keys) must share: the declared
+    ``name`` attribute, falling back to the class name.
+    """
+    return getattr(backend, "name", type(backend).__name__)

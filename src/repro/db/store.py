@@ -83,11 +83,15 @@ class Database:
     def merge(self, other: "Database") -> int:
         """Absorb *other*; newer records win on key collision.
 
-        Returns the number of records added or replaced.
+        Returns the number of records added or replaced. Records are
+        compared by serialized payload, not identity, so merging two
+        structurally-equal databases (e.g. the same records loaded
+        from two files) reports zero changes.
         """
         changed = 0
         for key, result in other._records.items():
-            if self._records.get(key) is not result:
+            existing = self._records.get(key)
+            if existing is None or existing.to_dict() != result.to_dict():
                 self._records[key] = result
                 changed += 1
         self.metadata.update(other.metadata)

@@ -25,6 +25,48 @@ from repro.ptracer.seccomp_bpf import (
     simulate,
 )
 from repro.ptracer.tracer import SyscallTracer, TraceOutcome
+from repro.api.registry import (
+    BackendResolutionError,
+    ResolvedTarget,
+    register_backend,
+)
+
+
+def _ptrace_backend_factory(request) -> ResolvedTarget:
+    """Resolve an :class:`~repro.api.session.AnalysisRequest` to a live
+    ptrace-traced command (``argv`` is the command line to run)."""
+    from repro.core.workload import CommandWorkload, WorkloadKind
+
+    if not request.argv:
+        raise BackendResolutionError(
+            "the ptrace backend needs a command to trace; "
+            "set AnalysisRequest.argv (CLI: --exec CMD [ARG...])"
+        )
+    workload = CommandWorkload(
+        name="cli-exec",
+        kind=WorkloadKind.HEALTH_CHECK,
+        argv=list(request.argv),
+        timeout_s=request.timeout_s,
+    )
+    # PtraceBackend() probes ptrace availability at construction time,
+    # so an unusable substrate fails here — at resolution — rather
+    # than mid-campaign. The full command line is the target's build
+    # identity: without it, two commands sharing argv[0] would collide
+    # on one session-memoization/database key.
+    return ResolvedTarget(
+        backend=PtraceBackend(),
+        workload=workload,
+        app=request.argv[0],
+        app_version=" ".join(request.argv),
+    )
+
+
+# Self-registration: importing the package makes live tracing
+# reachable as ``--backend ptrace`` / ``AnalysisRequest(backend="ptrace")``.
+# No replace=True: a conflicting earlier registration under this name
+# should fail loudly rather than be silently clobbered (re-importing is
+# harmless — identical factories re-register freely).
+register_backend("ptrace", _ptrace_backend_factory)
 
 __all__ = [
     "BpfInstruction",

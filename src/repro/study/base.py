@@ -1,31 +1,34 @@
-"""Shared plumbing for the Section 5 studies: cached corpus analysis.
+"""Shared plumbing for the Section 5 studies: the default campaign session.
 
-Analyses are memoized process-wide (the loupedb pattern) and, since the
-probe engine landed, may be computed concurrently: ``analyze_apps``
-fans independent applications out over a thread pool (``jobs``), and
-each per-app analyzer can itself replicate probes in parallel
-(``parallel``). The shared cache is guarded by a lock so concurrent
-workers can never race on it.
+Studies and benchmarks all read the same measurements, mirroring how
+the paper's studies share one loupedb. That shared state is a
+module-default :class:`~repro.api.session.LoupeSession`:
+``analyze_app``/``analyze_apps`` are thin wrappers that submit
+requests to it, the old process-global ``_CACHE`` is simply the
+session's database, and app-level concurrency (``jobs``) plus
+per-analysis probe parallelism (``parallel``) ride on the session's
+scheduling. First write wins on concurrent duplicates, so every
+caller sees one canonical record per (app, version, workload, backend).
 """
 
 from __future__ import annotations
 
-import threading
 from collections.abc import Sequence
-from concurrent.futures import ThreadPoolExecutor
 
+from repro.api.session import AnalysisRequest, LoupeSession
 from repro.appsim.apps import App
-from repro.core.analyzer import Analyzer, AnalyzerConfig
+from repro.core.analyzer import AnalyzerConfig
 from repro.core.result import AnalysisResult
-from repro.db import Database, RecordKey
+from repro.db import Database
 
-#: Process-wide cache: studies and benchmarks share analyses, mirroring
-#: how the paper's studies all read the same loupedb measurements.
-_CACHE = Database()
+#: Process-wide default session: studies and benchmarks share analyses,
+#: mirroring how the paper's studies all read the same loupedb.
+_SESSION = LoupeSession()
 
-#: Guards every access to ``_CACHE`` (membership, get, add, swap):
-#: ``analyze_apps(jobs>1)`` hits it from several worker threads.
-_CACHE_LOCK = threading.Lock()
+
+def default_session() -> LoupeSession:
+    """The module-default session every study submits work to."""
+    return _SESSION
 
 
 def analyze_app(
@@ -36,39 +39,16 @@ def analyze_app(
     parallel: int = 1,
     cache: bool = True,
 ) -> AnalysisResult:
-    """Analyze one app+workload, memoized in the shared database.
+    """Analyze one app+workload, memoized in the shared session database.
 
     ``parallel``/``cache`` configure the per-analysis probe engine;
     they change how fast an analysis runs, never what it concludes, so
     memoized records are valid across every knob combination.
     """
-    backend = app.backend()
-    key = RecordKey(
-        app=app.name,
-        app_version=app.version,
-        workload=workload_name,
-        backend=backend.name,
+    config = AnalyzerConfig(replicas=replicas, parallel=parallel, cache=cache)
+    return _SESSION.analyze(
+        AnalysisRequest.for_app(app, workload_name), config=config
     )
-    with _CACHE_LOCK:
-        if key in _CACHE:
-            return _CACHE.get(key)
-    analyzer = Analyzer(
-        AnalyzerConfig(replicas=replicas, parallel=parallel, cache=cache)
-    )
-    result = analyzer.analyze(
-        backend,
-        app.workload(workload_name),
-        app=app.name,
-        app_version=app.version,
-    )
-    with _CACHE_LOCK:
-        # A concurrent worker may have analyzed the same app meanwhile;
-        # analyses are deterministic, so first-write-wins keeps every
-        # caller seeing one canonical record.
-        if key in _CACHE:
-            return _CACHE.get(key)
-        _CACHE.add(result)
-    return result
 
 
 def analyze_apps(
@@ -82,40 +62,23 @@ def analyze_apps(
     """Analyze many apps under the same workload name (cached).
 
     ``jobs`` schedules whole applications concurrently (they share
-    nothing but the lock-guarded result cache); ``parallel`` is handed
-    to each per-app probe engine. Results come back in corpus order
-    regardless of completion order.
+    nothing but the session's lock-guarded database); ``parallel`` is
+    handed to each per-app probe engine. Results come back in corpus
+    order regardless of completion order.
     """
-    if jobs < 1:
-        raise ValueError("jobs must be >= 1")
-    if jobs == 1:
-        return [
-            analyze_app(
-                app, workload_name,
-                replicas=replicas, parallel=parallel,
-            )
-            for app in apps
-        ]
-    with ThreadPoolExecutor(
-        max_workers=jobs, thread_name_prefix="loupe-app"
-    ) as pool:
-        futures = [
-            pool.submit(
-                analyze_app, app, workload_name,
-                replicas=replicas, parallel=parallel,
-            )
-            for app in apps
-        ]
-        return [future.result() for future in futures]
+    config = AnalyzerConfig(replicas=replicas, parallel=parallel)
+    return _SESSION.analyze_many(
+        [AnalysisRequest.for_app(app, workload_name) for app in apps],
+        jobs=jobs,
+        config=config,
+    )
 
 
 def shared_database() -> Database:
-    """The process-wide analysis cache as a queryable database."""
-    return _CACHE
+    """The default session's analysis cache as a queryable database."""
+    return _SESSION.database
 
 
 def clear_cache() -> None:
     """Drop all memoized analyses (tests that mutate models need this)."""
-    global _CACHE
-    with _CACHE_LOCK:
-        _CACHE = Database()
+    _SESSION.clear()

@@ -1,0 +1,208 @@
+"""Tests for the typed analysis event stream and its legacy adapter."""
+
+import json
+
+import pytest
+
+from repro.api.events import (
+    AnalysisEvent,
+    AnalysisFinished,
+    AnalysisStarted,
+    BaselineStarted,
+    CombinedRunFinished,
+    ConflictBisected,
+    EngineStatsEvent,
+    FeatureProbed,
+    FeaturesEnumerated,
+    combine_callbacks,
+    legacy_adapter,
+    render_legacy,
+)
+from repro.appsim.backend import SimBackend
+from repro.appsim.behavior import (
+    abort,
+    breaks_core,
+    fallback,
+    harmless,
+    ignore,
+)
+from repro.appsim.program import SimProgram, SyscallOp, WorkloadProfile
+from repro.core.analyzer import Analyzer, AnalyzerConfig
+from repro.core.engine import EngineStats
+from repro.core.workload import health_check
+
+
+def _program(ops, name="crafted"):
+    return SimProgram(
+        name=name,
+        version="1",
+        ops=tuple(ops),
+        profiles={"*": WorkloadProfile(metric=1000.0)},
+    )
+
+
+def _op(syscall, **kwargs):
+    kwargs.setdefault("on_stub", ignore())
+    kwargs.setdefault("on_fake", harmless())
+    return SyscallOp(syscall=syscall, **kwargs)
+
+
+def _analyze_collecting(program, **config_kwargs):
+    lines, events = [], []
+    result = Analyzer(AnalyzerConfig(**config_kwargs) if config_kwargs else None).analyze(
+        SimBackend(program), health_check("health"),
+        progress=lines.append, on_event=events.append,
+    )
+    return result, lines, events
+
+
+class TestEventStream:
+    def test_event_ordering(self):
+        _, _, events = _analyze_collecting(
+            _program([_op("read"), _op("close")])
+        )
+        kinds = [event.kind for event in events]
+        assert kinds[0] == "analysis_started"
+        assert kinds[1] == "baseline_started"
+        assert kinds[2] == "features_enumerated"
+        assert kinds.count("feature_probed") == 2
+        assert kinds[-3] == "combined_run_finished"
+        assert kinds[-2] == "engine_stats"
+        assert kinds[-1] == "analysis_finished"
+        # probes strictly between enumeration and the combined run
+        assert kinds[3:5] == ["feature_probed", "feature_probed"]
+
+    def test_events_carry_structured_payloads(self):
+        result, _, events = _analyze_collecting(
+            _program([_op("read"), _op("close")])
+        )
+        started = events[0]
+        assert isinstance(started, AnalysisStarted)
+        assert started.app == result.app
+        assert started.workload == "health"
+        assert started.backend == result.backend
+        enumerated = events[2]
+        assert isinstance(enumerated, FeaturesEnumerated)
+        assert enumerated.count == len(enumerated.features)
+        assert set(enumerated.features) == set(result.features)
+        probed = {e.feature: e for e in events if isinstance(e, FeatureProbed)}
+        for name, report in result.features.items():
+            assert probed[name].can_stub == report.decision.can_stub
+            assert probed[name].can_fake == report.decision.can_fake
+
+    def test_every_event_carries_the_app_identity(self):
+        # Attribution under analyze_many(jobs>1): concurrent analyses
+        # interleave on one callback, so each event must name its app.
+        result, _, events = _analyze_collecting(
+            _program([_op("read"), _op("close")])
+        )
+        assert all(event.app == result.app for event in events)
+
+    def test_conflict_bisected_event(self):
+        # mremap falls back to mmap: each alone is avoidable, together
+        # they conflict — the bisection event must name the culprits.
+        inner = SyscallOp(syscall="mmap", on_stub=abort(), on_fake=breaks_core())
+        program = _program(
+            [
+                SyscallOp(syscall="mremap", on_stub=fallback(inner),
+                          on_fake=harmless()),
+                SyscallOp(
+                    syscall="mmap",
+                    on_stub=fallback(
+                        SyscallOp(syscall="mremap", on_stub=abort(),
+                                  on_fake=breaks_core())
+                    ),
+                    on_fake=breaks_core(),
+                ),
+                _op("close"),
+            ],
+            name="conflicting",
+        )
+        result, lines, events = _analyze_collecting(program)
+        bisections = [e for e in events if isinstance(e, ConflictBisected)]
+        assert bisections, "expected at least one bisection event"
+        assert all(e.conflict for e in bisections)
+        assert {f for e in bisections for f in e.conflict} <= set(result.features)
+        failed = [
+            e for e in events
+            if isinstance(e, CombinedRunFinished) and not e.ok
+        ]
+        assert failed and failed[0].round == 1
+        assert any("bisecting" in line for line in lines)
+
+    def test_json_round_trip(self):
+        _, _, events = _analyze_collecting(_program([_op("read")]))
+        for event in events:
+            payload = json.loads(json.dumps(event.to_dict()))
+            assert payload["event"] == event.kind
+            assert "kind" not in payload  # ClassVar must not leak
+
+
+class TestLegacyAdapter:
+    def test_rendered_events_match_progress_strings(self):
+        _, lines, events = _analyze_collecting(
+            _program([_op("read"), _op("uname", on_fake=breaks_core())])
+        )
+        assert render_legacy(events) == lines
+
+    def test_exact_legacy_strings(self):
+        _, lines, _ = _analyze_collecting(_program([_op("close")]))
+        assert lines[0] == "baseline: 3 passthrough replica(s)"
+        assert lines[1] == "tracing found 1 feature(s) to probe"
+        assert lines[2] == "probe close: stub=ok fake=ok"
+        assert lines[3] == "final combined run ok (1 features avoided)"
+        assert lines[4].startswith("engine: ")
+        assert lines[5].startswith("analysis finished in ")
+
+    def test_vacuous_combined_run_renders_nothing(self):
+        event = CombinedRunFinished(ok=True, avoided=0, round=1)
+        assert event.legacy_line() is None
+        _, lines, _ = _analyze_collecting(
+            _program([_op("read", on_stub=abort(), on_fake=breaks_core())])
+        )
+        assert not any("final combined run" in line for line in lines)
+
+    def test_silent_events_have_no_legacy_line(self):
+        assert AnalysisStarted(
+            app="a", workload="w", backend="b", replicas=3
+        ).legacy_line() is None
+        assert ConflictBisected(round=1, conflict=("mmap",)).legacy_line() is None
+
+    def test_engine_stats_event_renders_describe(self):
+        stats = EngineStats(
+            runs_requested=10, runs_executed=7,
+            cache_hits=3, replicas_skipped=2,
+        )
+        event = EngineStatsEvent.from_stats(stats)
+        assert event.stats() == stats
+        assert event.legacy_line() == f"engine: {stats.describe()}"
+
+    def test_duration_formatting_matches_legacy(self):
+        assert AnalysisFinished(duration_s=1.2345).legacy_line() == (
+            "analysis finished in 1.23s"
+        )
+
+    def test_adapter_drops_silent_events(self):
+        seen = []
+        emit = legacy_adapter(seen.append)
+        emit(AnalysisStarted(app="a", workload="w", backend="b", replicas=3))
+        emit(BaselineStarted(replicas=2))
+        assert seen == ["baseline: 2 passthrough replica(s)"]
+
+
+class TestCombineCallbacks:
+    def test_none_when_empty(self):
+        assert combine_callbacks() is None
+        assert combine_callbacks(None, None) is None
+
+    def test_single_callback_passthrough(self):
+        marker = lambda event: None
+        assert combine_callbacks(None, marker, None) is marker
+
+    def test_fan_out(self):
+        first, second = [], []
+        emit = combine_callbacks(first.append, None, second.append)
+        event = BaselineStarted(replicas=1)
+        emit(event)
+        assert first == [event]
+        assert second == [event]

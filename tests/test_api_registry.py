@@ -1,0 +1,124 @@
+"""Tests for the pluggable execution-backend registry."""
+
+import pytest
+
+from repro.api.registry import (
+    BackendRegistryError,
+    BackendResolutionError,
+    ResolvedTarget,
+    UnknownBackendError,
+    available_backends,
+    create_target,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
+from repro.api.session import AnalysisRequest
+
+
+class TestBuiltinRegistration:
+    def test_builtins_self_register(self):
+        names = available_backends()
+        assert "appsim" in names
+        assert "ptrace" in names
+
+    def test_appsim_factory_resolves_corpus_app(self):
+        target = create_target("appsim", AnalysisRequest(app="redis"))
+        assert isinstance(target, ResolvedTarget)
+        assert target.app == "redis"
+        assert target.workload.name == "bench"
+        assert target.backend.name.startswith("sim:redis")
+        assert target.app_version
+
+    def test_appsim_factory_rejects_unknown_app(self):
+        with pytest.raises(BackendResolutionError, match="unknown app 'doom'"):
+            create_target("appsim", AnalysisRequest(app="doom"))
+
+    def test_appsim_factory_rejects_unknown_workload(self):
+        with pytest.raises(BackendResolutionError, match="no workload"):
+            create_target(
+                "appsim", AnalysisRequest(app="redis", workload="chaos")
+            )
+
+    def test_ptrace_factory_keys_on_full_command(self, monkeypatch):
+        # Two commands sharing argv[0] must not collide on one record
+        # key; the full command line is the target's version identity.
+        import repro.ptracer as ptracer
+
+        monkeypatch.setattr(
+            ptracer, "PtraceBackend", lambda: type(
+                "FakeBackend", (), {"name": "ptrace"}
+            )()
+        )
+        first = ptracer._ptrace_backend_factory(
+            AnalysisRequest(backend="ptrace", argv=("python", "a.py"))
+        )
+        second = ptracer._ptrace_backend_factory(
+            AnalysisRequest(backend="ptrace", argv=("python", "b.py"))
+        )
+        assert first.app == second.app == "python"
+        assert first.app_version != second.app_version
+
+    def test_ptrace_factory_requires_argv(self):
+        # The argv check fires before the backend probes ptrace, so
+        # this works even where ptrace itself is unavailable.
+        with pytest.raises(BackendResolutionError, match="needs a command"):
+            create_target("ptrace", AnalysisRequest(app="ignored"))
+
+
+class TestRegistration:
+    def test_register_resolve_unregister(self):
+        sentinel = object()
+        factory = lambda request: sentinel
+        register_backend("test-backend", factory)
+        try:
+            assert resolve_backend("test-backend") is factory
+            assert "test-backend" in available_backends()
+        finally:
+            unregister_backend("test-backend")
+        assert "test-backend" not in available_backends()
+
+    def test_duplicate_registration_rejected(self):
+        register_backend("test-dup", lambda request: None)
+        try:
+            with pytest.raises(BackendRegistryError, match="already registered"):
+                register_backend("test-dup", lambda request: None)
+        finally:
+            unregister_backend("test-dup")
+
+    def test_same_factory_reregistration_is_idempotent(self):
+        factory = lambda request: None
+        register_backend("test-idem", factory)
+        try:
+            register_backend("test-idem", factory)  # no error
+        finally:
+            unregister_backend("test-idem")
+
+    def test_replace_overrides(self):
+        first = lambda request: "first"
+        second = lambda request: "second"
+        register_backend("test-replace", first)
+        try:
+            register_backend("test-replace", second, replace=True)
+            assert resolve_backend("test-replace") is second
+        finally:
+            unregister_backend("test-replace")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(BackendRegistryError, match="non-empty"):
+            register_backend("  ", lambda request: None)
+
+    def test_unregister_absent_is_noop(self):
+        unregister_backend("never-registered")
+
+
+class TestResolutionErrors:
+    def test_unknown_backend_lists_available(self):
+        with pytest.raises(UnknownBackendError) as excinfo:
+            resolve_backend("bogus")
+        message = str(excinfo.value)
+        assert "unknown backend 'bogus'" in message
+        assert "appsim" in message
+        assert "ptrace" in message
+        assert excinfo.value.name == "bogus"
+        assert "appsim" in excinfo.value.available

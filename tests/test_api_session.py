@@ -1,0 +1,280 @@
+"""Tests for the LoupeSession campaign API (and the study wrappers on it)."""
+
+import threading
+
+import pytest
+
+from repro.api.events import AnalysisEvent, FeatureProbed, render_legacy
+from repro.api.session import AnalysisRequest, LoupeSession
+from repro.appsim.backend import SimBackend
+from repro.appsim.corpus import build
+from repro.core.analyzer import Analyzer, AnalyzerConfig
+from repro.db import Database, RecordKey
+from repro.errors import PlanError
+
+
+class _CountingBackend:
+    """Counts runs; declares the sim contract flags so caching works."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.name = inner.name
+        self.deterministic = True
+        self.parallel_safe = True
+        self.runs = 0
+        self._lock = threading.Lock()
+
+    def run(self, workload, policy, *, replica=0):
+        with self._lock:
+            self.runs += 1
+        return self._inner.run(workload, policy, replica=replica)
+
+
+def _counting_request(app_name="weborf", workload="health"):
+    app = build(app_name)
+    backend = _CountingBackend(SimBackend(app.program))
+    request = AnalysisRequest.for_target(
+        backend, app.workload(workload),
+        app=app.name, app_version=app.version,
+    )
+    return request, backend
+
+
+class TestAnalyze:
+    def test_analyze_by_app_name(self):
+        session = LoupeSession()
+        result = session.analyze("redis")
+        assert result.app == "redis"
+        assert result.workload == "bench"
+        assert len(session.database) == 1
+        assert session.last_engine_stats is not None
+        assert session.last_engine_stats.runs_executed > 0
+
+    def test_analyze_by_request_and_workload_override(self):
+        session = LoupeSession()
+        result = session.analyze(
+            AnalysisRequest(app="weborf"), workload="health"
+        )
+        assert result.workload == "health"
+
+    def test_workload_override_on_resolved_request_rejected(self):
+        request = AnalysisRequest.for_app(build("weborf"), "bench")
+        with pytest.raises(ValueError, match="already resolved"):
+            LoupeSession().analyze(request, workload="health")
+        # a matching override is harmless
+        result = LoupeSession().analyze(request, workload="bench")
+        assert result.workload == "bench"
+
+    def test_analyze_app_model(self):
+        session = LoupeSession()
+        result = session.analyze(build("weborf"), workload="health")
+        assert result.app == "weborf"
+        assert result.app_version
+
+    def test_unintelligible_request_rejected(self):
+        with pytest.raises(TypeError, match="analysis request"):
+            LoupeSession().analyze(42)
+
+    def test_memoization_returns_canonical_record(self):
+        session = LoupeSession()
+        request, backend = _counting_request()
+        first = session.analyze(request)
+        runs_after_first = backend.runs
+        second = session.analyze(request)
+        assert second is first
+        assert backend.runs == runs_after_first  # cache hit: no new runs
+
+    def test_use_cache_false_reruns_and_replaces(self):
+        session = LoupeSession()
+        request, backend = _counting_request()
+        session.analyze(request)
+        runs_after_first = backend.runs
+        session.analyze(request, use_cache=False)
+        assert backend.runs == 2 * runs_after_first
+        assert len(session.database) == 1
+
+    def test_config_override_per_call(self):
+        session = LoupeSession()
+        result = session.analyze(
+            "weborf", workload="health",
+            config=AnalyzerConfig(replicas=1), use_cache=False,
+        )
+        assert result.replicas == 1
+
+    def test_semantic_config_change_bypasses_cache(self):
+        # replicas changes what an analysis records; a cached 3-replica
+        # record must not answer a 5-replica request.
+        session = LoupeSession()
+        request, backend = _counting_request()
+        session.analyze(request)
+        runs_after_first = backend.runs
+        result = session.analyze(request, config=AnalyzerConfig(replicas=5))
+        assert result.replicas == 5
+        assert backend.runs > runs_after_first
+        assert len(session.database) == 1  # newest record replaced the old
+
+    def test_engine_knob_change_still_hits_cache(self):
+        session = LoupeSession()
+        request, backend = _counting_request()
+        first = session.analyze(request)
+        runs_after_first = backend.runs
+        second = session.analyze(
+            request, config=AnalyzerConfig(parallel=4, cache=False)
+        )
+        assert second is first
+        assert backend.runs == runs_after_first
+
+    def test_cache_hit_leaves_last_stats_untouched(self):
+        session = LoupeSession()
+        request, _ = _counting_request()
+        session.analyze(request)
+        stats = session.last_engine_stats
+        session.analyze(request)
+        assert session.last_engine_stats is stats
+
+    def test_matches_direct_analyzer(self):
+        """The session adds memoization, never different conclusions."""
+        app = build("weborf")
+        direct = Analyzer().analyze(
+            app.backend(), app.workload("health"),
+            app=app.name, app_version=app.version,
+        )
+        via_session = LoupeSession().analyze(app, workload="health")
+        assert via_session == direct
+
+
+class TestAnalyzeMany:
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError, match="jobs"):
+            LoupeSession().analyze_many([], jobs=0)
+
+    def test_parallel_matches_serial_in_request_order(self):
+        names = ["weborf", "iperf3", "memcached"]
+        serial = LoupeSession().analyze_many(
+            [AnalysisRequest(app=name, workload="health") for name in names]
+        )
+        parallel = LoupeSession().analyze_many(
+            [AnalysisRequest(app=name, workload="health") for name in names],
+            jobs=4,
+        )
+        assert [r.app for r in serial] == names
+        assert parallel == serial
+
+    def test_concurrent_duplicates_keep_one_canonical_record(self):
+        session = LoupeSession()
+        requests = [
+            AnalysisRequest(app="weborf", workload="health")
+            for _ in range(6)
+        ]
+        results = session.analyze_many(requests, jobs=4)
+        assert len(session.database) == 1
+        canonical = session.query("weborf")[0]
+        assert all(result == canonical for result in results)
+
+
+class TestEventsAndProgress:
+    def test_session_progress_renders_legacy_strings(self):
+        lines, events = [], []
+        session = LoupeSession(progress=lines.append, on_event=events.append)
+        session.analyze("weborf", workload="health")
+        assert lines == render_legacy(events)
+        assert lines[0] == "baseline: 3 passthrough replica(s)"
+        assert any(isinstance(e, FeatureProbed) for e in events)
+
+    def test_per_call_on_event_composes_with_session_callback(self):
+        session_events, call_events = [], []
+        session = LoupeSession(on_event=session_events.append)
+        session.analyze(
+            "weborf", workload="health", on_event=call_events.append
+        )
+        assert call_events == session_events
+        assert all(isinstance(e, AnalysisEvent) for e in call_events)
+
+    def test_cache_hit_emits_no_events(self):
+        events = []
+        session = LoupeSession(on_event=events.append)
+        session.analyze("weborf", workload="health")
+        events.clear()
+        session.analyze("weborf", workload="health")
+        assert events == []
+
+
+class TestDatabaseOwnership:
+    def test_external_database_is_used(self):
+        database = Database(metadata={"submitter": "test"})
+        session = LoupeSession(database=database)
+        session.analyze("weborf", workload="health")
+        assert session.database is database
+        assert len(database) == 1
+
+    def test_clear_swaps_in_fresh_database(self):
+        session = LoupeSession()
+        session.analyze("weborf", workload="health")
+        session.clear()
+        assert len(session.database) == 0
+
+    def test_query_filters(self):
+        session = LoupeSession()
+        session.analyze("weborf", workload="health")
+        session.analyze("iperf3", workload="health")
+        assert len(session.query()) == 2
+        assert [r.app for r in session.query("weborf")] == ["weborf"]
+        assert session.query("weborf", "health")
+        assert session.query("weborf", "bench") == []
+        assert session.query(backend="nope") == []
+
+    def test_record_key_matches_stored_result(self):
+        session = LoupeSession()
+        result = session.analyze("weborf", workload="health")
+        assert RecordKey.of(result) in session.database
+
+
+class TestPlan:
+    def test_plan_named_os(self):
+        plan = LoupeSession().plan(os_name="unikraft")
+        assert plan.steps
+        assert {step.app for step in plan.steps}
+
+    def test_plan_unknown_os(self):
+        with pytest.raises(PlanError, match="unknown OS 'templeos'"):
+            LoupeSession().plan(os_name="templeos")
+
+    def test_plan_explicit_app_models(self):
+        apps = [build("redis"), build("nginx")]
+        plan = LoupeSession().plan(os_name="unikraft", apps=apps)
+        assert {step.app for step in plan.steps} <= {"redis", "nginx"}
+
+
+class TestStudyWrappers:
+    """study.base delegates to a module-default session."""
+
+    def test_analyze_app_populates_shared_database(self):
+        from repro.study.base import (
+            analyze_app,
+            clear_cache,
+            default_session,
+            shared_database,
+        )
+
+        clear_cache()
+        result = analyze_app(build("weborf"), "health")
+        assert len(shared_database()) == 1
+        assert shared_database() is default_session().database
+        # memoized: same object back
+        assert analyze_app(build("weborf"), "health") is result
+        clear_cache()
+        assert len(shared_database()) == 0
+
+    def test_analyze_app_equals_direct_analyzer(self):
+        from repro.study.base import analyze_app, clear_cache
+
+        app = build("weborf")
+        direct = Analyzer().analyze(
+            app.backend(), app.workload("health"),
+            app=app.name, app_version=app.version,
+        )
+        clear_cache()
+        try:
+            assert analyze_app(app, "health") == direct
+        finally:
+            clear_cache()

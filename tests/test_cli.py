@@ -34,6 +34,54 @@ class TestAnalyze:
         assert code == 0
         assert "0 cache hit(s)" in capsys.readouterr().out
 
+    def test_analyze_rejects_nonpositive_replicas(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", "--app", "weborf", "--replicas", "0"])
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_analyze_explicit_backend(self, capsys):
+        code = main([
+            "analyze", "--app", "weborf", "--workload", "health",
+            "--backend", "appsim",
+        ])
+        assert code == 0
+        assert "app: weborf" in capsys.readouterr().out
+
+    def test_analyze_exec_with_appsim_backend_rejected(self, capsys):
+        code = main([
+            "analyze", "--backend", "appsim", "--exec", "/bin/true",
+        ])
+        assert code == 2
+        assert "--exec requires" in capsys.readouterr().err
+
+    def test_analyze_unknown_backend(self, capsys):
+        assert main(["analyze", "--app", "weborf",
+                     "--backend", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown backend 'bogus'" in err
+        assert "available:" in err
+        assert "appsim" in err
+
+    def test_analyze_events_jsonl(self, capsys):
+        import json
+
+        code = main([
+            "analyze", "--app", "weborf", "--workload", "health",
+            "--events", "jsonl",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        events = [json.loads(line) for line in out.splitlines()
+                  if line.startswith("{")]
+        assert events, "expected at least one JSON event line"
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "analysis_started"
+        assert "feature_probed" in kinds
+        assert kinds[-1] == "analysis_finished"
+        # the human report still follows the event stream
+        assert "app: weborf" in out
+
     def test_analyze_saves_database(self, tmp_path, capsys):
         out_path = tmp_path / "db.json"
         code = main([

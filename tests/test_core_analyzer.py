@@ -258,6 +258,28 @@ class TestRuntimeModel:
         parallel = estimated_runtime_s(10, 20, replicas=3, parallel=3)
         assert parallel == pytest.approx(serial / 3)
 
+    def test_partial_pool_rounds_up(self):
+        # ceil(3/2) = 2 waves: a half-empty second wave still costs a wave.
+        assert estimated_runtime_s(10, 20, replicas=3, parallel=2) == (
+            pytest.approx((2 * 10 + 2 * 10 * 20) * 2)
+        )
+
+    def test_excess_parallelism_caps_at_one_wave(self):
+        assert estimated_runtime_s(10, 20, replicas=3, parallel=64) == (
+            pytest.approx(2 * 10 + 2 * 10 * 20)
+        )
+
+    def test_defaults_are_three_serial_replicas(self):
+        assert estimated_runtime_s(1.0, 5) == pytest.approx((2 + 2 * 5) * 3)
+
+    def test_nonpositive_parallel_treated_as_serial(self):
+        assert estimated_runtime_s(10, 20, replicas=3, parallel=0) == (
+            estimated_runtime_s(10, 20, replicas=3, parallel=1)
+        )
+
+    def test_zero_features_cost_discovery_and_confirmation_only(self):
+        assert estimated_runtime_s(7.0, 0, replicas=1) == pytest.approx(14.0)
+
 
 class TestConfigValidation:
     def test_bad_replicas(self):

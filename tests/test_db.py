@@ -79,9 +79,26 @@ class TestMerge:
     def test_merge_overwrites_collisions(self):
         a = Database.collect([_result(required=("read",))])
         b = Database.collect([_result(required=("read", "write"))])
-        a.merge(b)
+        changed = a.merge(b)
+        assert changed == 1
         record = a.find("redis")[0]
         assert record.required_syscalls() == {"read", "write"}
+
+    def test_merge_structurally_equal_records_report_no_change(self, tmp_path):
+        # The same records loaded from two files are distinct objects;
+        # a payload-level merge must still see them as unchanged.
+        path = tmp_path / "db.json"
+        Database.collect([_result(), _result(app="nginx")]).save(path)
+        a = Database.load(path)
+        b = Database.load(path)
+        assert a.merge(b) == 0
+        assert len(a) == 2
+
+    def test_merge_same_object_reports_no_change(self):
+        result = _result()
+        a = Database.collect([result])
+        b = Database.collect([result])
+        assert a.merge(b) == 0
 
 
 class TestPersistence:
