@@ -161,7 +161,15 @@ class ConflictBisected(AnalysisEvent):
 
 @dataclasses.dataclass(frozen=True)
 class EngineStatsEvent(AnalysisEvent):
-    """Final probe-engine run accounting for the analysis."""
+    """Final probe-engine run accounting for the analysis.
+
+    ``persistent_hits`` counts the subset of ``cache_hits`` answered
+    from the on-disk cross-campaign run cache rather than this
+    analysis's own LRU; ``executor`` names the resolved sharding
+    strategy (``serial``/``thread``/``process``). Both default to
+    their no-op values so pre-existing consumers (and the legacy
+    string transcript) are unaffected when the features are off.
+    """
 
     kind: ClassVar[str] = "engine_stats"
 
@@ -170,14 +178,20 @@ class EngineStatsEvent(AnalysisEvent):
     cache_hits: int
     replicas_skipped: int
     app: str = ""
+    persistent_hits: int = 0
+    executor: str = "serial"
 
     @staticmethod
-    def from_stats(stats: EngineStats) -> "EngineStatsEvent":
+    def from_stats(
+        stats: EngineStats, *, executor: str = "serial"
+    ) -> "EngineStatsEvent":
         return EngineStatsEvent(
             runs_requested=stats.runs_requested,
             runs_executed=stats.runs_executed,
             cache_hits=stats.cache_hits,
             replicas_skipped=stats.replicas_skipped,
+            persistent_hits=stats.persistent_hits,
+            executor=executor,
         )
 
     def stats(self) -> EngineStats:
@@ -187,6 +201,7 @@ class EngineStatsEvent(AnalysisEvent):
             runs_executed=self.runs_executed,
             cache_hits=self.cache_hits,
             replicas_skipped=self.replicas_skipped,
+            persistent_hits=self.persistent_hits,
         )
 
     def legacy_line(self) -> str:

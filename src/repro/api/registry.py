@@ -78,6 +78,8 @@ _FACTORIES: dict[str, BackendFactory] = {}
 #: Packages that self-register a backend when imported.
 _BUILTIN_BACKEND_MODULES = ("repro.appsim", "repro.ptracer")
 _bootstrapped = False
+_bootstrapping = False
+_BOOTSTRAP_LOCK = threading.RLock()
 
 
 def register_backend(
@@ -109,13 +111,30 @@ def unregister_backend(name: str) -> None:
 
 
 def _bootstrap() -> None:
-    """Import the built-in backend packages once so they self-register."""
-    global _bootstrapped
+    """Import the built-in backend packages once so they self-register.
+
+    Thread-safe: a campaign's very first backend resolution may happen
+    on several session workers at once (``analyze_many(jobs=N)`` on a
+    fresh process), and every one of them must block until the
+    built-ins are registered — a completion flag set *before* the
+    imports would let the losers resolve against an empty registry.
+    The importing thread itself may re-enter (the packages' own
+    imports touch this module); the in-progress flag lets it fall
+    through instead of deadlocking on the reentrant lock.
+    """
+    global _bootstrapped, _bootstrapping
     if _bootstrapped:
         return
-    _bootstrapped = True  # set first: the imports below re-enter us
-    for module in _BUILTIN_BACKEND_MODULES:
-        importlib.import_module(module)
+    with _BOOTSTRAP_LOCK:
+        if _bootstrapped or _bootstrapping:
+            return
+        _bootstrapping = True
+        try:
+            for module in _BUILTIN_BACKEND_MODULES:
+                importlib.import_module(module)
+            _bootstrapped = True
+        finally:
+            _bootstrapping = False
 
 
 def available_backends() -> tuple[str, ...]:

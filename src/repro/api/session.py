@@ -39,6 +39,7 @@ from repro.api.registry import ResolvedTarget, resolve_backend
 from repro.core.analyzer import Analyzer, AnalyzerConfig
 from repro.core.engine import EngineStats
 from repro.core.result import AnalysisResult
+from repro.core.runcache import RunCacheStore
 from repro.core.runner import backend_name
 from repro.db import Database, RecordKey
 from repro.errors import PlanError
@@ -135,6 +136,13 @@ class LoupeSession:
     threads (that is exactly what :meth:`analyze_many` does) and the
     database is guarded by a lock with first-write-wins semantics, so
     concurrent duplicate requests still yield one canonical record.
+
+    ``cache_path`` opens a persistent cross-campaign run cache
+    (:class:`~repro.core.runcache.RunCacheStore`): every analysis of
+    the session reads and feeds it, and a later campaign — another
+    process, another day — pointed at the same path starts warm.
+    Sessions are context managers (``with LoupeSession(...) as s:``)
+    so the cache's file handle is released deterministically.
     """
 
     def __init__(
@@ -144,15 +152,34 @@ class LoupeSession:
         database: "Database | None" = None,
         on_event: "EventCallback | None" = None,
         progress: "Callable[[str], None] | None" = None,
+        cache_path: "str | None" = None,
     ) -> None:
         self.config = config or AnalyzerConfig()
+        self._lock = threading.Lock()
+        #: Open stores by path: every analysis of the session sharing
+        #: a path shares one store (one open file, one in-memory
+        #: index) — including per-call config overrides naming their
+        #: own ``run_cache`` — instead of re-parsing the JSONL per
+        #: analyzer. All of them close with the session.
+        self._stores: dict[str, RunCacheStore] = {}
+        #: The session-default persistent run cache: ``cache_path``
+        #: wins, else ``config.run_cache``. A second campaign built
+        #: over the same path starts warm. The default config is
+        #: rewritten to match so every resolution path — including
+        #: per-call configs, which override the default like any other
+        #: knob — agrees on where the session persists by default.
+        path = cache_path or self.config.run_cache
+        if path and self.config.run_cache != path:
+            self.config = dataclasses.replace(self.config, run_cache=path)
+        self.run_cache: "RunCacheStore | None" = (
+            self._store_for(path) if path else None
+        )
         self._database = database if database is not None else Database()
         #: Semantic-config fingerprint of the run that produced each
         #: record. Records this session didn't produce (a preloaded
         #: database) have no entry and are trusted as-is — the loupedb
         #: contract is that stored records are final.
         self._semantics: dict[RecordKey, tuple] = {}
-        self._lock = threading.Lock()
         self._on_event = on_event
         self._progress = progress
         #: Probe-engine accounting of the most recent :meth:`analyze`
@@ -171,10 +198,40 @@ class LoupeSession:
             return self._database
 
     def clear(self) -> None:
-        """Drop every memoized record (a fresh, empty database)."""
+        """Drop every memoized record (a fresh, empty database).
+
+        The persistent run cache, when configured, is left alone: it
+        holds raw run results, not analysis records, and surviving
+        campaign resets is its entire point.
+        """
         with self._lock:
             self._database = Database()
             self._semantics = {}
+
+    def _store_for(self, path: str) -> RunCacheStore:
+        """The session's shared store for *path* (opened on first use)."""
+        with self._lock:
+            store = self._stores.get(path)
+            if store is None:
+                store = self._stores[path] = RunCacheStore(path)
+            return store
+
+    def close(self) -> None:
+        """Release session-held resources (run-cache file handles).
+
+        Idempotent, and the session stays usable — stores reopen
+        their files on the next write.
+        """
+        with self._lock:
+            stores = list(self._stores.values())
+        for store in stores:
+            store.close()
+
+    def __enter__(self) -> "LoupeSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def _emitter(
         self,
@@ -260,14 +317,22 @@ class LoupeSession:
             with self._lock:
                 if cache_answers():
                     return self._database.get(key)
-        analyzer = Analyzer(effective)
-        result = analyzer.analyze(
-            target.backend,
-            target.workload,
-            app=target.app,
-            app_version=target.app_version,
-            on_event=self._emitter(on_event, progress),
+        # A config naming its own run_cache path wins (like every other
+        # per-call override); otherwise the session default applies.
+        # Either way one store per path is shared across the campaign.
+        store = (
+            self._store_for(effective.run_cache)
+            if effective.run_cache
+            else self.run_cache
         )
+        with Analyzer(effective, store=store) as analyzer:
+            result = analyzer.analyze(
+                target.backend,
+                target.workload,
+                app=target.app,
+                app_version=target.app_version,
+                on_event=self._emitter(on_event, progress),
+            )
         with self._lock:
             if use_cache and cache_answers():
                 # A concurrent worker finished the same request first;

@@ -33,6 +33,11 @@ class SimBackend:
         #: Runs share no state (SimProcess keeps all run state local),
         #: so replicas may execute concurrently.
         self.parallel_safe = True
+        #: The whole backend is plain picklable data (a SimProgram of
+        #: frozen dataclasses), so runs may be sharded out to worker
+        #: *processes* — the simulation is CPU-bound pure Python, and
+        #: process sharding is what lifts the GIL cap on it.
+        self.process_safe = True
 
     def run(
         self,

@@ -71,11 +71,16 @@ def _print_analysis(result) -> None:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.no_cache and args.run_cache:
+        print("--run-cache requires run memoization; drop --no-cache",
+              file=sys.stderr)
+        return 2
     config = AnalyzerConfig(
         replicas=args.replicas,
         subfeature_level=args.subfeatures,
         pseudo_files=args.pseudofiles,
         parallel=args.jobs,
+        executor=args.executor,
         cache=not args.no_cache,
     )
     on_event = None
@@ -83,7 +88,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         def on_event(event) -> None:
             print(json.dumps(event.to_dict()), flush=True)
 
-    session = LoupeSession(config=config, on_event=on_event)
+    session = LoupeSession(
+        config=config, on_event=on_event, cache_path=args.run_cache
+    )
     backend_name = args.backend or ("ptrace" if args.exec_argv else "appsim")
     if args.exec_argv and backend_name == "appsim":
         # The appsim factory resolves --app and ignores argv; silently
@@ -99,16 +106,17 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         argv=tuple(args.exec_argv or ()),
         timeout_s=args.timeout,
     )
-    try:
-        result = session.analyze(request)
-    except (UnknownBackendError, BackendResolutionError) as error:
-        print(str(error), file=sys.stderr)
-        return 2
-    _print_analysis(result)
-    print(f"engine: {session.last_engine_stats.describe()}")
-    if args.output:
-        session.database.save(args.output)
-        print(f"saved to {args.output}")
+    with session:
+        try:
+            result = session.analyze(request)
+        except (UnknownBackendError, BackendResolutionError) as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        _print_analysis(result)
+        print(f"engine: {session.last_engine_stats.describe()}")
+        if args.output:
+            session.database.save(args.output)
+            print(f"saved to {args.output}")
     return 0
 
 
@@ -276,6 +284,19 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
                          help="probe-engine worker pool width (replicas "
                               "of one probe run concurrently; default 1)")
+    analyze.add_argument("--executor",
+                         choices=("auto", "serial", "thread", "process"),
+                         default="auto",
+                         help="probe sharding strategy at --jobs > 1: "
+                              "threads overlap run latency, processes "
+                              "shard CPU-bound simulated runs past the "
+                              "GIL (backends that cannot shard fall "
+                              "back automatically; default: auto)")
+    analyze.add_argument("--run-cache", metavar="PATH", default=None,
+                         help="persistent run-cache file (JSONL); "
+                              "repeated campaigns over the same path "
+                              "start warm, across processes and "
+                              "sessions")
     analyze.add_argument("--no-cache", action="store_true",
                          help="disable run-result memoization in the "
                               "probe engine")

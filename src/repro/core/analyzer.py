@@ -18,10 +18,16 @@ workload, the analyzer:
 
 Every run goes through a :class:`~repro.core.engine.ProbeEngine` — the
 paper's parallelism factor ``p`` made concrete: ``AnalyzerConfig.parallel``
-fans replicas over a worker pool, ``AnalyzerConfig.cache`` memoizes run
-results so the confirmation/bisection stages reuse probe-phase runs, and
-``AnalyzerConfig.early_exit`` stops replicating a probe once one replica
-has already failed it.
+fans runs over a worker pool (``AnalyzerConfig.executor`` picks thread
+or process sharding), ``AnalyzerConfig.cache`` memoizes run results so
+the confirmation/bisection stages reuse probe-phase runs,
+``AnalyzerConfig.run_cache`` extends that memoization to an on-disk
+store shared across campaigns, and ``AnalyzerConfig.early_exit`` stops
+replicating a probe once one replica has already failed it. Stage 2
+submits every ``(feature, action, replica)`` probe of an analysis to
+the engine as one batch, so a parallel pool stays full across feature
+boundaries; outcomes are folded back deterministically in feature
+order, keeping reports byte-identical to a serial run.
 
 Progress is reported as the typed event stream of
 :mod:`repro.api.events` (``on_event=``); the historical string callback
@@ -51,7 +57,8 @@ from repro.api.events import (
     tag_app,
 )
 from repro.core.decisions import Decision
-from repro.core.engine import ProbeEngine
+from repro.core.engine import EXECUTORS, ProbeEngine
+from repro.core.runcache import RunCacheStore
 from repro.core.metrics import DEFAULT_MARGIN, ImpactSummary, compare
 from repro.core.policy import Action, InterpositionPolicy, combined, passthrough
 from repro.core.replicas import ProbeOutcome
@@ -78,9 +85,20 @@ class AnalyzerConfig:
     #: factor ``p`` in ``(2 + 2·t·s)·ceil(r/p)``. ``1`` preserves the
     #: historical strictly-serial execution order.
     parallel: int = 1
+    #: Sharding strategy at ``parallel > 1``: ``"thread"`` overlaps run
+    #: latency, ``"process"`` shards CPU-bound runs past the GIL for
+    #: backends that declare themselves process-safe (others degrade
+    #: to threads; non-parallel-safe backends always run serially),
+    #: ``"serial"`` disables sharding, ``"auto"`` means threads.
+    executor: str = "auto"
     #: Memoize run results so the combined-run confirmation and the
     #: ddmin bisection never re-execute a run the probe phase paid for.
     cache: bool = True
+    #: Optional path of a persistent run cache (JSONL). Executed runs
+    #: of deterministic backends are appended, and later campaigns —
+    #: other processes, other sessions — answer repeats from it, so a
+    #: re-run campaign starts warm.
+    run_cache: "str | None" = None
     #: Stop replicating a probe at the first failed replica (one
     #: failure already decides the conservative merge).
     early_exit: bool = True
@@ -97,6 +115,17 @@ class AnalyzerConfig:
             raise ValueError("max_demotion_rounds must be >= 1")
         if self.parallel < 1:
             raise ValueError("parallel must be >= 1")
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; choose from: "
+                f"{', '.join(EXECUTORS)}"
+            )
+        if self.run_cache and not self.cache:
+            raise ValueError(
+                "run_cache requires cache=True: with memoization "
+                "disabled the persistent store would never be read "
+                "or written"
+            )
 
 
 @dataclasses.dataclass
@@ -123,19 +152,59 @@ class _FeatureProbe:
 
 
 class Analyzer:
-    """Drives the full Loupe analysis for one (app, workload) pair."""
+    """Drives the full Loupe analysis for one (app, workload) pair.
 
-    def __init__(self, config: AnalyzerConfig | None = None) -> None:
+    Analyzers context-manage their engine: ``with Analyzer(...) as
+    analyzer`` (or an explicit :meth:`close`) releases the worker
+    pools deterministically. :meth:`analyze` also closes the engine's
+    pools on exit, so one-shot use needs no ``with`` block.
+    """
+
+    def __init__(
+        self,
+        config: AnalyzerConfig | None = None,
+        *,
+        store: "RunCacheStore | None" = None,
+    ) -> None:
         self.config = config or AnalyzerConfig()
+        if not self.config.cache:
+            # cache=False measures raw run cost; an *injected* store
+            # (session infrastructure, not this config's request) is
+            # simply benched along with the LRU. A config asking for
+            # both was already rejected in AnalyzerConfig.
+            store = None
+        #: Store this analyzer built (and therefore owns and closes)
+        #: from ``config.run_cache`` — as opposed to an injected one,
+        #: whose lifetime belongs to the caller (the session).
+        self._owned_store: "RunCacheStore | None" = None
+        if store is None and self.config.run_cache:
+            store = self._owned_store = RunCacheStore(self.config.run_cache)
         #: The probe scheduler every run of this analyzer goes through.
-        #: Its cache and statistics are reset at the start of each
+        #: Its LRU and statistics are reset at the start of each
         #: :meth:`analyze` call, so ``engine.stats`` after a call
-        #: describes exactly that analysis.
+        #: describes exactly that analysis; the persistent *store*
+        #: (when configured) deliberately survives across analyses.
         self.engine = ProbeEngine(
-            parallel=self.config.parallel, cache=self.config.cache
+            parallel=self.config.parallel,
+            cache=self.config.cache,
+            executor=self.config.executor,
+            store=store,
         )
         #: Populated by :meth:`analyze` when priors are configured.
         self.last_transfer_stats: "object | None" = None
+
+    def close(self) -> None:
+        """Release the engine's worker pools and any run-cache store
+        this analyzer created itself (idempotent)."""
+        self.engine.close()
+        if self._owned_store is not None:
+            self._owned_store.close()
+
+    def __enter__(self) -> "Analyzer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def _run(
         self,
@@ -233,18 +302,33 @@ class Analyzer:
             transfer_stats = TransferStats(features_total=len(features))
         self.last_transfer_stats = transfer_stats
 
-        probes: dict[str, _FeatureProbe] = {}
-        for feature, count in sorted(features.items()):
-            probes[feature] = self._probe_feature(
-                backend, workload, feature, count, baseline, emit,
-                transfer_stats,
+        ordered = sorted(features.items())
+        if config.priors is None:
+            probes = self._probe_features_batched(
+                backend, workload, ordered, baseline, emit
             )
+        else:
+            # The transfer fast path decides each feature's run count
+            # from its prediction's outcome, so prior-guided probing
+            # stays feature-at-a-time.
+            probes = {
+                feature: self._probe_feature(
+                    backend, workload, feature, count, baseline, emit,
+                    transfer_stats,
+                )
+                for feature, count in ordered
+            }
 
         final_ok, conflicts = self._confirm_combined(
             backend, workload, probes, emit
         )
 
-        emit(EngineStatsEvent.from_stats(self.engine.stats))
+        emit(EngineStatsEvent.from_stats(
+            # mode_for, not executor_name: the event reports what this
+            # backend's runs actually got after capability fallback
+            # (ptrace under --executor process still says "serial").
+            self.engine.stats, executor=self.engine.mode_for(backend)
+        ))
         emit(AnalysisFinished(duration_s=time.monotonic() - started))
         return AnalysisResult(
             app=identity,
@@ -283,6 +367,100 @@ class Analyzer:
         return features
 
     # -- stage 2: per-feature probing ---------------------------------------
+
+    def _apply_verdict(
+        self,
+        probe: _FeatureProbe,
+        attribute: str,
+        outcome: ProbeOutcome,
+        baseline: ProbeOutcome,
+        workload: Workload,
+    ) -> None:
+        """Fold one probe outcome into the feature's stub/fake verdict.
+
+        Shared by the batched and feature-at-a-time paths so both
+        apply the identical decision and note wording.
+        """
+        ok = outcome.all_succeeded
+        impact = None
+        if ok and self.config.guard_metrics:
+            impact = self._impact(baseline, outcome, workload)
+            if not impact.clean:
+                probe.notes.append(
+                    f"{attribute}bing shifts metrics: {impact.describe()}"
+                )
+                if self.config.strict_metrics:
+                    ok = False
+        if attribute == "stub":
+            probe.can_stub = ok
+            probe.stub_impact = impact
+        else:
+            probe.can_fake = ok
+            probe.fake_impact = impact
+
+    def _probe_features_batched(
+        self,
+        backend: ExecutionBackend,
+        workload: Workload,
+        ordered: Sequence[tuple[str, int]],
+        baseline: ProbeOutcome,
+        emit: EventCallback,
+    ) -> dict[str, _FeatureProbe]:
+        """Probe the features in batched waves of engine submissions.
+
+        All ``(feature, action, replica)`` runs of a wave enter the
+        engine at once, keeping a parallel pool saturated across
+        feature boundaries; outcomes are folded back strictly in
+        feature order, so reports and event ordering are
+        byte-identical to the feature-at-a-time loop. The wave size
+        bounds progress *liveness*: ``FeatureProbed`` events fire at
+        wave ends, and when the backend executes serially anyway
+        (``parallel=1``, or a non-parallel-safe backend such as
+        ptrace, where runs are slowest and progress matters most) the
+        wave shrinks to a single feature — the exact historical
+        streaming.
+        """
+        mode = self.engine.mode_for(backend)
+        if mode == "serial":
+            wave = 1
+        elif mode == "process":
+            # Chunked IPC makes wave boundaries costlier than in the
+            # thread pool, and process-shardable backends are fast
+            # simulations — trade some event granularity for keeping
+            # the workers fed.
+            wave = max(32, 8 * self.engine.parallel)
+        else:
+            # A few features per worker keeps the pool full inside a
+            # wave while the drain bubble at each wave boundary stays
+            # a tiny fraction of the wave's runs.
+            wave = max(8, 2 * self.engine.parallel)
+        actions = (Action.STUB, Action.FAKE)
+        probes: dict[str, _FeatureProbe] = {}
+        for start in range(0, len(ordered), wave):
+            subset = ordered[start:start + wave]
+            policies = [
+                passthrough().with_feature(feature, action)
+                for feature, _count in subset
+                for action in actions
+            ]
+            outcomes = iter(self.engine.run_probe_batch(
+                backend, workload, policies, self.config.replicas,
+                early_exit=self.config.early_exit,
+            ))
+            for feature, count in subset:
+                probe = _FeatureProbe(feature=feature, traced_count=count)
+                for attribute in ("stub", "fake"):
+                    self._apply_verdict(
+                        probe, attribute, next(outcomes), baseline, workload
+                    )
+                emit(FeatureProbed(
+                    feature=feature,
+                    can_stub=probe.can_stub,
+                    can_fake=probe.can_fake,
+                    traced_count=count,
+                ))
+                probes[feature] = probe
+        return probes
 
     def _probe_feature(
         self,
@@ -326,22 +504,7 @@ class Analyzer:
                 outcome = self._run(
                     backend, workload, policy, self.config.replicas
                 )
-            ok = outcome.all_succeeded
-            impact = None
-            if ok and self.config.guard_metrics:
-                impact = self._impact(baseline, outcome, workload)
-                if not impact.clean:
-                    probe.notes.append(
-                        f"{attribute}bing shifts metrics: {impact.describe()}"
-                    )
-                    if self.config.strict_metrics:
-                        ok = False
-            if attribute == "stub":
-                probe.can_stub = ok
-                probe.stub_impact = impact
-            else:
-                probe.can_fake = ok
-                probe.fake_impact = impact
+            self._apply_verdict(probe, attribute, outcome, baseline, workload)
         if fast_pathed and transfer_stats is not None:
             transfer_stats.features_fast_pathed += 1
         emit(FeatureProbed(

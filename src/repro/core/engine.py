@@ -1,12 +1,21 @@
-"""The probe execution engine: parallel run scheduling + result caching.
+"""The probe execution engine: sharded run scheduling + result caching.
 
 The paper's run-time model (Section 3.3, ``(2 + 2·t·s) · ceil(r/p)``)
 assumes Loupe amortizes its run cost over a parallelism factor ``p``.
 This module supplies that ``p``: a :class:`ProbeEngine` turns the
 analyzer's implicit run loop into an explicit scheduler that
 
-* fans ``(policy, replica)`` run requests out over a configurable
-  worker pool (``parallel=1`` preserves exact serial semantics),
+* fans run requests out over a pluggable executor —
+  ``executor="serial"`` preserves exact serial semantics,
+  ``"thread"`` overlaps run *latency* on a ``ThreadPoolExecutor``
+  (enough for I/O-bound real workloads), and ``"process"`` shards
+  CPU-bound runs over a ``ProcessPoolExecutor``, lifting the GIL cap
+  for backends that declare themselves process-safe (``"auto"`` picks
+  serial at ``parallel=1`` and threads otherwise),
+* accepts whole probe *batches* (:meth:`ProbeEngine.run_probe_batch`):
+  every ``(policy, replica)`` pair of an analysis stage is submitted
+  up front, so the pool stays full across features instead of
+  draining at each feature boundary,
 * short-circuits the remaining replicas of a probe as soon as one
   replica fails — the conservative merge in
   :class:`~repro.core.replicas.ProbeOutcome` only needs a single
@@ -14,38 +23,63 @@ analyzer's implicit run loop into an explicit scheduler that
 * memoizes :class:`~repro.core.runner.RunResult`s in an LRU cache
   keyed by ``(backend.name, workload.name, policy.fingerprint(),
   replica)``, so the combined-run confirmation and the ddmin conflict
-  bisection never re-pay for a run the probe phase already executed.
+  bisection never re-pay for a run the probe phase already executed,
+* optionally spills every executed run to a persistent
+  :class:`~repro.core.runcache.RunCacheStore` (same key), so repeated
+  campaigns — new processes, new sessions, CI re-runs — start warm.
 
-Correctness contract: a run may only be answered from the cache when
+Correctness contract: a run may only be answered from either cache when
 the backend is deterministic for a fixed ``(workload, policy,
 replica)`` triple. Backends declare this with a ``deterministic``
 attribute (the simulation backend sets it — it is deterministic by
 construction); backends that do not declare it — notably the real
 ptrace backend, whose runs are replicated precisely *because* they
-are not reproducible — are never served from the cache, even when
-caching is enabled. Under that contract the cache never changes
+are not reproducible — are never served from the caches, even when
+caching is enabled. Under that contract the caches never change
 *what* an analysis concludes, only how many runs it takes to conclude
 it. Cache keys assume ``backend.name`` uniquely identifies the
 application build — callers analyzing two different programs behind
 identically-named backends must use separate engines (the
 :class:`~repro.core.analyzer.Analyzer` clears its engine at the start
-of every analysis for exactly this reason).
+of every analysis for exactly this reason) and, when persisting,
+separate cache files (the simulation backends embed name *and*
+version in their backend name for exactly this reason).
 
-Run submission (:meth:`ProbeEngine.run` / :meth:`ProbeEngine.run_replicas`)
-is thread-safe; the engine is shared freely between worker threads.
+Executor fallback is per-backend and always conservative: a backend
+that does not declare ``parallel_safe`` runs serially no matter what
+was requested; a ``process`` request degrades to threads when the
+backend fails :func:`~repro.core.runner.process_shardable` (not
+declared process-safe, or not picklable).
+
+Run submission (:meth:`ProbeEngine.run` / :meth:`ProbeEngine.run_replicas`
+/ :meth:`ProbeEngine.run_probe_batch`) is thread-safe; the engine is
+shared freely between worker threads.
+
+Accounting invariant: ``runs_requested`` counts every run a caller
+asked for — including replicas that early exit later skips — so
+``runs_requested == runs_executed + cache_hits + replicas_skipped``
+holds after every scheduling call, on every executor.
 """
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures
 import dataclasses
+import multiprocessing
 import threading
 from collections import OrderedDict
 from collections.abc import Sequence
 
 from repro.core.policy import InterpositionPolicy
 from repro.core.replicas import ProbeOutcome, aggregate
-from repro.core.runner import ExecutionBackend, RunResult, backend_name
+from repro.core.runcache import RunCacheStore
+from repro.core.runner import (
+    ExecutionBackend,
+    RunResult,
+    backend_name,
+    process_shardable,
+)
 from repro.core.workload import Workload
 
 #: Default LRU capacity: comfortably holds every run of one analysis
@@ -55,57 +89,217 @@ DEFAULT_CACHE_SIZE = 4096
 #: Cache key: (backend name, workload name, policy fingerprint, replica).
 CacheKey = tuple[str, str, str, int]
 
+#: Accepted values of ``ProbeEngine(executor=...)``.
+EXECUTORS = ("auto", "serial", "thread", "process")
+
+#: Target chunks per process-pool worker: enough slack for the pool to
+#: load-balance, few enough that per-chunk IPC stays negligible.
+_CHUNKS_PER_WORKER = 8
+
+#: The process-wide shared worker-process pool (see
+#: :func:`_shared_process_pool`). Starting worker processes is the
+#: single most expensive thing this module does — every engine of the
+#: process shares one pool instead of paying it per analysis.
+_PROCESS_POOL: "concurrent.futures.ProcessPoolExecutor | None" = None
+_PROCESS_POOL_WIDTH = 0
+_PROCESS_POOL_LOCK = threading.Lock()
+#: Pools displaced by a wider request. They stay alive — an engine
+#: that fetched one may still be mid-batch, and shutting it down under
+#: that engine would abort the analysis — until
+#: :func:`shutdown_process_pool` reclaims everything. Bounded by the
+#: number of distinct pool growths in one process (rare: campaigns
+#: run at one width).
+_RETIRED_POOLS: list[concurrent.futures.ProcessPoolExecutor] = []
+
+
+def _process_context() -> "multiprocessing.context.BaseContext":
+    """The start method for process sharding.
+
+    Plain fork is only safe while the process is still
+    single-threaded: forking under another thread's held lock
+    (session-level ``jobs`` workers, a store flushing its file) can
+    deadlock the child. So fork is used exactly when that holds at
+    pool start — otherwise workers come from forkserver's clean
+    single-threaded helper (or spawn where forkserver is missing).
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods and threading.active_count() == 1:
+        return multiprocessing.get_context("fork")
+    if "forkserver" in methods:
+        return multiprocessing.get_context("forkserver")
+    return multiprocessing.get_context("spawn")
+
+
+def _shared_process_pool(width: int) -> concurrent.futures.Executor:
+    """The process-wide worker-process pool, at least *width* wide.
+
+    Worker processes are expensive to start (fork-eagerly, or a full
+    interpreter under spawn/forkserver) and — unlike threads — hold no
+    per-analysis state: tasks carry everything they need. So one pool
+    serves every engine of the process, created on first use and
+    grown (never shrunk) when a wider engine comes along; a campaign
+    over N applications pays pool start-up once, not N times.
+    ``ProbeEngine.close()`` deliberately leaves it alone; call
+    :func:`shutdown_process_pool` to reclaim the workers explicitly.
+    """
+    global _PROCESS_POOL, _PROCESS_POOL_WIDTH
+    with _PROCESS_POOL_LOCK:
+        if _PROCESS_POOL is None or _PROCESS_POOL_WIDTH < width:
+            if _PROCESS_POOL is not None:
+                # Never shut a displaced pool down here: an engine
+                # that fetched it may still be submitting chunks.
+                _RETIRED_POOLS.append(_PROCESS_POOL)
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=width, mp_context=_process_context()
+            )
+            # Force the workers to start now, while the thread picture
+            # the context choice was based on still holds (a fork
+            # context must not fork later, once callers go threaded).
+            pool.submit(int).result()
+            _PROCESS_POOL, _PROCESS_POOL_WIDTH = pool, width
+        return _PROCESS_POOL
+
+
+def shutdown_process_pool() -> None:
+    """Shut the shared worker-process pool down (idempotent).
+
+    The next process-sharded run transparently starts a fresh pool.
+    Registered at interpreter exit; long-lived embedders can call it
+    earlier to reclaim the worker processes.
+    """
+    global _PROCESS_POOL, _PROCESS_POOL_WIDTH
+    with _PROCESS_POOL_LOCK:
+        pools = list(_RETIRED_POOLS)
+        _RETIRED_POOLS.clear()
+        if _PROCESS_POOL is not None:
+            pools.append(_PROCESS_POOL)
+        _PROCESS_POOL = None
+        _PROCESS_POOL_WIDTH = 0
+    for pool in pools:
+        pool.shutdown(wait=True)
+
+
+atexit.register(shutdown_process_pool)
+
+
+def _execute_chunk(
+    backend: ExecutionBackend,
+    workload: Workload,
+    tasks: Sequence[tuple[int, int, InterpositionPolicy]],
+    early_exit: bool,
+) -> list[tuple[int, int, RunResult]]:
+    """Execute a contiguous slice of a batch inside one worker process.
+
+    Process sharding ships tasks in chunks so the backend is pickled
+    once per chunk instead of once per run — at thousands of
+    microsecond-scale simulated runs, per-task IPC would otherwise eat
+    the sharding win. ``tasks`` are ``(probe_index, replica, policy)``
+    triples in submission order; with *early_exit* the worker skips
+    the later replicas of a probe that already failed inside this
+    chunk (the same replicas the serial path would skip), and the
+    scheduler accounts anything absent from the return as skipped.
+    """
+    results: list[tuple[int, int, RunResult]] = []
+    failed: set[int] = set()
+    for probe_index, replica, policy in tasks:
+        if early_exit and probe_index in failed:
+            continue
+        result = backend.run(workload, policy, replica=replica)
+        results.append((probe_index, replica, result))
+        if not result.success:
+            failed.add(probe_index)
+    return results
+
 
 @dataclasses.dataclass(frozen=True)
 class EngineStats:
     """Immutable snapshot of one engine's run accounting.
 
-    ``runs_requested`` counts every run the analysis asked for;
+    ``runs_requested`` counts every run the analysis asked for,
+    including replicas that early exit never started;
     ``runs_executed`` the subset that actually reached the backend;
-    ``cache_hits`` the subset answered from the LRU; ``replicas_skipped``
-    the replicas never requested because an earlier replica of the same
-    probe already failed (early exit).
+    ``cache_hits`` the subset answered from either cache, of which
+    ``persistent_hits`` came from the on-disk store rather than this
+    engine's own LRU; ``replicas_skipped`` the replicas never run
+    because an earlier replica of the same probe already failed
+    (early exit). ``runs_requested == runs_executed + cache_hits +
+    replicas_skipped`` always holds.
     """
 
     runs_requested: int = 0
     runs_executed: int = 0
     cache_hits: int = 0
     replicas_skipped: int = 0
+    persistent_hits: int = 0
+
+    def __add__(self, other: "EngineStats") -> "EngineStats":
+        """Field-wise total, e.g. folding per-analysis stats into a
+        campaign total (new counters join automatically)."""
+        if not isinstance(other, EngineStats):
+            return NotImplemented
+        return EngineStats(**{
+            field.name: getattr(self, field.name) + getattr(other, field.name)
+            for field in dataclasses.fields(self)
+        })
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of requested runs answered from the cache."""
+        """Fraction of requested runs answered from the caches."""
         if self.runs_requested == 0:
             return 0.0
         return self.cache_hits / self.runs_requested
 
+    @property
+    def persistent_hit_rate(self) -> float:
+        """Fraction of requested runs answered from the on-disk store."""
+        if self.runs_requested == 0:
+            return 0.0
+        return self.persistent_hits / self.runs_requested
+
     def describe(self) -> str:
-        return (
+        base = (
             f"{self.runs_requested} run(s) requested, "
             f"{self.runs_executed} executed, "
             f"{self.cache_hits} cache hit(s) ({self.hit_rate:.0%}), "
             f"{self.replicas_skipped} replica(s) early-exited"
         )
+        if self.persistent_hits:
+            base += f", {self.persistent_hits} from the persistent cache"
+        return base
 
 
 class ProbeEngine:
-    """Schedules probe runs over a worker pool with an LRU result cache.
+    """Schedules probe runs over a pluggable executor with run caching.
 
     Parameters
     ----------
     parallel:
         Worker-pool width. ``1`` (the default) runs every replica
         inline on the calling thread, byte-for-byte preserving the
-        serial execution order; ``N > 1`` fans the replicas of each
-        probe out over ``N`` ``ThreadPoolExecutor`` workers.
+        serial execution order, regardless of *executor*.
+    executor:
+        The sharding strategy at ``parallel > 1``: ``"thread"`` fans
+        runs over a ``ThreadPoolExecutor`` (overlaps run latency;
+        CPU-bound backends stay GIL-capped), ``"process"`` shards them
+        over a ``ProcessPoolExecutor`` (full CPU scaling, for backends
+        passing :func:`~repro.core.runner.process_shardable` —
+        others degrade to threads), ``"serial"`` disables sharding
+        outright, and ``"auto"`` (the default) means threads.
     cache:
-        Enable the LRU run cache. Disabling it forces every request
-        through the backend (useful for benchmarking the raw run cost).
-        Even when enabled, only backends declaring
-        ``deterministic = True`` are ever answered from the cache.
+        Enable run-result memoization. Disabling it forces every
+        request through the backend (useful for benchmarking the raw
+        run cost). Even when enabled, only backends declaring
+        ``deterministic = True`` are ever answered from a cache.
     cache_size:
         Maximum cached :class:`RunResult`s before least-recently-used
-        eviction.
+        eviction (in-memory LRU only; the persistent store is
+        unbounded).
+    store:
+        Optional :class:`~repro.core.runcache.RunCacheStore`. Misses
+        that the LRU cannot answer are looked up here before reaching
+        the backend, and every executed cacheable run is appended, so
+        later campaigns sharing the store start warm. Survives
+        :meth:`reset` — cross-campaign reuse is its entire point.
     """
 
     def __init__(
@@ -114,30 +308,69 @@ class ProbeEngine:
         parallel: int = 1,
         cache: bool = True,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        executor: str = "auto",
+        store: "RunCacheStore | None" = None,
     ) -> None:
         if parallel < 1:
             raise ValueError("parallel must be >= 1")
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; choose from: "
+                f"{', '.join(EXECUTORS)}"
+            )
+        if store is not None and not cache:
+            # cache=False means "every request reaches the backend";
+            # silently ignoring the store the caller asked for would
+            # be worse than refusing the contradiction.
+            raise ValueError(
+                "a persistent run-cache store requires cache=True"
+            )
         self.parallel = parallel
+        self.executor = executor
         self.cache_enabled = cache
         self.cache_size = cache_size
+        self.store = store
         self._lock = threading.Lock()
         self._cache: OrderedDict[CacheKey, RunResult] = OrderedDict()
         self._requested = 0
         self._executed = 0
         self._hits = 0
         self._skipped = 0
-        self._executor: concurrent.futures.ThreadPoolExecutor | None = None
+        self._persistent_hits = 0
+        self._pools: dict[str, concurrent.futures.Executor] = {}
+        #: id(backend) -> (backend, process_shardable(backend)); the
+        #: backend reference pins the id so a verdict can never be
+        #: served to a recycled object.
+        self._shard_verdicts: dict[int, tuple[object, bool]] = {}
 
     # -- lifecycle ---------------------------------------------------------
 
+    @property
+    def executor_name(self) -> str:
+        """The resolved sharding strategy (``serial``/``thread``/``process``).
+
+        Per-backend capability fallback can still demote an individual
+        scheduling call below this (see :meth:`run_probe_batch`).
+        """
+        if self.parallel == 1 or self.executor == "serial":
+            return "serial"
+        if self.executor == "process":
+            return "process"
+        return "thread"
+
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut this engine's worker pools down (idempotent). The
+        engine stays usable: pools are lazily rebuilt — at the
+        *current* ``parallel`` width — on the next scheduling call.
+        The shared worker-*process* pool is left running for the other
+        engines of the process (:func:`shutdown_process_pool` reclaims
+        it explicitly)."""
         with self._lock:
-            executor, self._executor = self._executor, None
-        if executor is not None:
-            executor.shutdown(wait=True)
+            pools, self._pools = dict(self._pools), {}
+        for pool in pools.values():
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "ProbeEngine":
         return self
@@ -145,14 +378,53 @@ class ProbeEngine:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    def _pool(self) -> concurrent.futures.ThreadPoolExecutor:
+    def _pool(self, kind: str) -> concurrent.futures.Executor:
+        if kind == "process":
+            # Worker processes are stateless and expensive to start:
+            # every engine of the process shares one pool.
+            return _shared_process_pool(self.parallel)
         with self._lock:
-            if self._executor is None:
-                self._executor = concurrent.futures.ThreadPoolExecutor(
+            pool = self._pools.get(kind)
+            if pool is None:
+                pool = concurrent.futures.ThreadPoolExecutor(
                     max_workers=self.parallel,
                     thread_name_prefix="loupe-probe",
                 )
-            return self._executor
+                self._pools[kind] = pool
+            return pool
+
+    def mode_for(self, backend: ExecutionBackend) -> str:
+        """The executor one backend's probes actually get.
+
+        Sharding of any kind requires the backend to declare
+        ``parallel_safe = True``: overlapping replicas of a live
+        command (the ptrace backend) would contend on ports and
+        on-disk state and corrupt each other's outcomes. Process
+        sharding additionally requires the backend to survive
+        pickling; declared-but-unshardable backends degrade to the
+        thread pool rather than failing inside it. The (potentially
+        costly) pickle check runs once per backend object, not once
+        per scheduling call — the verdict cannot change mid-analysis.
+        """
+        kind = self.executor_name
+        if kind == "serial":
+            return "serial"
+        if not getattr(backend, "parallel_safe", False):
+            return "serial"
+        if kind == "process":
+            with self._lock:
+                cached = self._shard_verdicts.get(id(backend))
+            if cached is not None and cached[0] is backend:
+                shardable = cached[1]
+            else:
+                shardable = process_shardable(backend)
+                with self._lock:
+                    # The strong backend reference keeps the id stable
+                    # for the verdict's lifetime (cleared on reset).
+                    self._shard_verdicts[id(backend)] = (backend, shardable)
+            if not shardable:
+                return "thread"
+        return kind
 
     # -- accounting --------------------------------------------------------
 
@@ -165,22 +437,33 @@ class ProbeEngine:
                 runs_executed=self._executed,
                 cache_hits=self._hits,
                 replicas_skipped=self._skipped,
+                persistent_hits=self._persistent_hits,
             )
 
     def reset(self) -> None:
-        """Drop the cache and zero the statistics."""
+        """Drop the LRU, zero the statistics, and tear down the pools.
+
+        Pools are rebuilt on next use at the current ``parallel``
+        width, so resizing an engine between campaigns takes effect
+        here rather than silently keeping the old pool. The persistent
+        store — whose entire purpose is surviving campaign boundaries —
+        is deliberately left alone.
+        """
+        self.close()
         with self._lock:
             self._cache.clear()
+            self._shard_verdicts.clear()
             self._requested = 0
             self._executed = 0
             self._hits = 0
             self._skipped = 0
+            self._persistent_hits = 0
 
     def cached_runs(self) -> int:
         with self._lock:
             return len(self._cache)
 
-    # -- the run API -------------------------------------------------------
+    # -- caching -----------------------------------------------------------
 
     @staticmethod
     def _key(
@@ -194,6 +477,46 @@ class ProbeEngine:
             policy.fingerprint(), replica,
         )
 
+    def _cacheable(self, backend: ExecutionBackend) -> bool:
+        return self.cache_enabled and getattr(backend, "deterministic", False)
+
+    def _evict_locked(self) -> None:
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def _lookup(self, key: CacheKey) -> "RunResult | None":
+        """Answer a cacheable run from LRU, then store; counts the hit."""
+        with self._lock:
+            hit = self._cache.get(key)
+            if hit is not None:
+                self._cache.move_to_end(key)
+                self._hits += 1
+                return hit
+        if self.store is not None:
+            persisted = self.store.get(key)
+            if persisted is not None:
+                with self._lock:
+                    self._hits += 1
+                    self._persistent_hits += 1
+                    self._cache[key] = persisted  # promote into the LRU
+                    self._cache.move_to_end(key)
+                    self._evict_locked()
+                return persisted
+        return None
+
+    def _record(self, key: "CacheKey | None", result: RunResult) -> None:
+        """Account one executed run; memoize it when *key* is cacheable."""
+        with self._lock:
+            self._executed += 1
+            if key is not None:
+                self._cache[key] = result
+                self._cache.move_to_end(key)
+                self._evict_locked()
+        if key is not None and self.store is not None:
+            self.store.put(key, result)
+
+    # -- the run API -------------------------------------------------------
+
     def run(
         self,
         backend: ExecutionBackend,
@@ -201,36 +524,33 @@ class ProbeEngine:
         policy: InterpositionPolicy,
         replica: int = 0,
     ) -> RunResult:
-        """One run, answered from the cache when possible.
+        """One run, answered from the caches when possible.
 
         Caching requires the backend to declare ``deterministic =
         True``; a fresh execution of a nondeterministic backend is the
         whole point of replication, so its results are never memoized.
         """
-        cacheable = self.cache_enabled and getattr(
-            backend, "deterministic", False
-        )
-        if cacheable:
-            key = self._key(backend, workload, policy, replica)
-            with self._lock:
-                self._requested += 1
-                hit = self._cache.get(key)
-                if hit is not None:
-                    self._cache.move_to_end(key)
-                    self._hits += 1
-                    return hit
-        else:
-            key = None
-            with self._lock:
-                self._requested += 1
-        result = backend.run(workload, policy, replica=replica)
         with self._lock:
-            self._executed += 1
-            if cacheable:
-                self._cache[key] = result
-                self._cache.move_to_end(key)
-                while len(self._cache) > self.cache_size:
-                    self._cache.popitem(last=False)
+            self._requested += 1
+        return self._one(backend, workload, policy, replica)
+
+    def _one(
+        self,
+        backend: ExecutionBackend,
+        workload: Workload,
+        policy: InterpositionPolicy,
+        replica: int,
+    ) -> RunResult:
+        """Lookup-or-execute without touching ``runs_requested`` (the
+        scheduling entry points account for requests up front)."""
+        key = None
+        if self._cacheable(backend):
+            key = self._key(backend, workload, policy, replica)
+            hit = self._lookup(key)
+            if hit is not None:
+                return hit
+        result = backend.run(workload, policy, replica=replica)
+        self._record(key, result)
         return result
 
     def run_replicas(
@@ -250,82 +570,213 @@ class ProbeEngine:
         samples are only consumed on all-success outcomes. Results
         always appear in replica-index order, so an all-success
         parallel outcome is identical to the serial one.
+        """
+        return self.run_probe_batch(
+            backend, workload, (policy,), replicas, early_exit=early_exit
+        )[0]
 
-        Fan-out additionally requires the backend to declare
-        ``parallel_safe = True``: overlapping replicas of a live
-        command (the ptrace backend) would contend on ports and
-        on-disk state and corrupt each other's outcomes, so
-        undeclared backends always run their replicas serially no
-        matter how wide the pool is.
+    def run_probe_batch(
+        self,
+        backend: ExecutionBackend,
+        workload: Workload,
+        policies: Sequence[InterpositionPolicy],
+        replicas: int,
+        *,
+        early_exit: bool = True,
+    ) -> list[ProbeOutcome]:
+        """Run every ``(policy, replica)`` probe of a batch; aggregate
+        per policy.
+
+        This is the analyzer's stage-2 entry point: submitting all
+        probes of an analysis at once keeps the worker pool saturated
+        across feature boundaries instead of draining it after each
+        feature's handful of replicas. Outcomes come back in *policies*
+        order; early exit remains per-probe (a failed replica only
+        cancels its own probe's siblings). On the serial path the
+        batch degenerates to the exact historical execution order —
+        policy by policy, replica by replica.
         """
         if replicas < 1:
             raise ValueError("need at least one replica")
-        parallel_safe = getattr(backend, "parallel_safe", False)
-        if self.parallel == 1 or replicas == 1 or not parallel_safe:
-            results = self._run_serial(
-                backend, workload, policy, replicas, early_exit
-            )
-        else:
-            results = self._run_parallel(
-                backend, workload, policy, replicas, early_exit
-            )
-        return aggregate(results)
+        if not policies:
+            return []
+        mode = self.mode_for(backend)
+        if mode == "serial":
+            return [
+                self._serial_probe(
+                    backend, workload, policy, replicas, early_exit
+                )
+                for policy in policies
+            ]
+        return self._pooled_batch(
+            mode, backend, workload, policies, replicas, early_exit
+        )
 
     # -- execution strategies ----------------------------------------------
 
-    def _run_serial(
+    def _serial_probe(
         self,
         backend: ExecutionBackend,
         workload: Workload,
         policy: InterpositionPolicy,
         replicas: int,
         early_exit: bool,
-    ) -> Sequence[RunResult]:
+    ) -> ProbeOutcome:
+        with self._lock:
+            self._requested += replicas
         results: list[RunResult] = []
         for index in range(replicas):
-            result = self.run(backend, workload, policy, index)
+            result = self._one(backend, workload, policy, index)
             results.append(result)
             if early_exit and not result.success:
                 with self._lock:
                     self._skipped += replicas - index - 1
                 break
-        return results
+        return aggregate(results)
 
-    def _run_parallel(
+    def _pooled_batch(
+        self,
+        mode: str,
+        backend: ExecutionBackend,
+        workload: Workload,
+        policies: Sequence[InterpositionPolicy],
+        replicas: int,
+        early_exit: bool,
+    ) -> list[ProbeOutcome]:
+        cacheable = self._cacheable(backend)
+        with self._lock:
+            self._requested += len(policies) * replicas
+        collected: list[dict[int, RunResult]] = [{} for _ in policies]
+        failed = [False] * len(policies)
+        # Resolve the caches up front; only misses reach the pool.
+        tasks: list[tuple[int, int, InterpositionPolicy, CacheKey | None]] = []
+        for probe_index, policy in enumerate(policies):
+            for replica in range(replicas):
+                if early_exit and failed[probe_index]:
+                    break  # cached failure: siblings are never submitted
+                key = None
+                if cacheable:
+                    key = self._key(backend, workload, policy, replica)
+                    hit = self._lookup(key)
+                    if hit is not None:
+                        collected[probe_index][replica] = hit
+                        if early_exit and not hit.success:
+                            failed[probe_index] = True
+                        continue
+                tasks.append((probe_index, replica, policy, key))
+        keys = {
+            (probe_index, replica): key
+            for probe_index, replica, _policy, key in tasks
+        }
+        if mode == "process":
+            self._dispatch_process_chunks(
+                backend, workload, tasks, keys, collected, failed, early_exit
+            )
+        else:
+            self._dispatch_threads(
+                backend, workload, tasks, keys, collected, failed, early_exit
+            )
+        # Whatever was asked for but never ran — cancelled in time,
+        # skipped by a worker after an in-chunk failure, or never
+        # submitted after a cached failure — was skipped. Runs that won
+        # the cancellation race were collected above, so the
+        # ``requested == executed + hits + skipped`` invariant holds
+        # regardless of how the race resolved.
+        obtained = sum(len(by_replica) for by_replica in collected)
+        missing = len(policies) * replicas - obtained
+        if missing:
+            with self._lock:
+                self._skipped += missing
+        return [
+            aggregate([by_replica[index] for index in sorted(by_replica)])
+            for by_replica in collected
+        ]
+
+    def _dispatch_threads(
         self,
         backend: ExecutionBackend,
         workload: Workload,
-        policy: InterpositionPolicy,
-        replicas: int,
+        tasks: Sequence[tuple[int, int, InterpositionPolicy, "CacheKey | None"]],
+        keys: dict[tuple[int, int], "CacheKey | None"],
+        collected: list[dict[int, RunResult]],
+        failed: list[bool],
         early_exit: bool,
-    ) -> Sequence[RunResult]:
-        pool = self._pool()
+    ) -> None:
+        """Thread sharding: one pool task per run, so a failed replica
+        can still cancel queued siblings at single-run granularity."""
+        pool = self._pool("thread")
         futures = {
-            pool.submit(self.run, backend, workload, policy, index): index
-            for index in range(replicas)
+            pool.submit(backend.run, workload, policy, replica=replica):
+                (probe_index, replica)
+            for probe_index, replica, policy, _key in tasks
         }
-        collected: dict[int, RunResult] = {}
-        failed = False
-        for future in concurrent.futures.as_completed(futures):
-            try:
-                result = future.result()
-            except concurrent.futures.CancelledError:
-                continue
-            except BaseException:
-                # Mirror the serial path: a backend error ends the
-                # probe; don't let sibling replicas run on discarded.
-                for other in futures:
-                    other.cancel()
-                raise
-            collected[futures[future]] = result
-            if early_exit and not result.success and not failed:
-                failed = True
-                cancelled = sum(
-                    1
-                    for other in futures
-                    if other is not future and other.cancel()
-                )
-                if cancelled:
-                    with self._lock:
-                        self._skipped += cancelled
-        return [collected[index] for index in sorted(collected)]
+        try:
+            for future in concurrent.futures.as_completed(futures):
+                probe_index, replica = futures[future]
+                try:
+                    result = future.result()
+                except concurrent.futures.CancelledError:
+                    continue
+                self._record(keys[(probe_index, replica)], result)
+                collected[probe_index][replica] = result
+                if early_exit and not result.success and not failed[probe_index]:
+                    failed[probe_index] = True
+                    for other, (other_probe, _) in futures.items():
+                        if other_probe == probe_index and other is not future:
+                            other.cancel()
+        except BaseException:
+            # Mirror the serial path: a backend error ends the batch;
+            # don't let queued runs keep executing on discarded.
+            for other in futures:
+                other.cancel()
+            raise
+
+    def _dispatch_process_chunks(
+        self,
+        backend: ExecutionBackend,
+        workload: Workload,
+        tasks: Sequence[tuple[int, int, InterpositionPolicy, "CacheKey | None"]],
+        keys: dict[tuple[int, int], "CacheKey | None"],
+        collected: list[dict[int, RunResult]],
+        failed: list[bool],
+        early_exit: bool,
+    ) -> None:
+        """Process sharding: runs ship in contiguous chunks.
+
+        Chunking amortizes the per-task IPC cost (the backend pickles
+        once per chunk, not once per run) while still cutting the
+        batch finely enough — several chunks per worker — that the
+        pool load-balances. Early exit degrades gracefully to chunk
+        granularity: workers skip the later replicas of probes that
+        fail within their own chunk, and cross-chunk failures simply
+        run to completion (a ``ProcessPoolExecutor`` cannot retract
+        work it has already queued to a child anyway).
+        """
+        if not tasks:
+            return
+        pool = self._pool("process")
+        per_chunk = max(
+            1, -(-len(tasks) // (self.parallel * _CHUNKS_PER_WORKER))
+        )
+        chunks = [
+            [
+                (probe_index, replica, policy)
+                for probe_index, replica, policy, _key in tasks[start:start + per_chunk]
+            ]
+            for start in range(0, len(tasks), per_chunk)
+        ]
+        futures = [
+            pool.submit(_execute_chunk, backend, workload, chunk, early_exit)
+            for chunk in chunks
+        ]
+        try:
+            for future in concurrent.futures.as_completed(futures):
+                for probe_index, replica, result in future.result():
+                    self._record(keys[(probe_index, replica)], result)
+                    collected[probe_index][replica] = result
+                    if early_exit and not result.success:
+                        failed[probe_index] = True
+        except BaseException:
+            for other in futures:
+                other.cancel()
+            raise

@@ -13,6 +13,7 @@ learn what a real Loupe could observe.
 from __future__ import annotations
 
 import dataclasses
+import pickle
 from collections import Counter
 from typing import Protocol, runtime_checkable
 
@@ -32,6 +33,16 @@ class ResourceUsage:
         fd_delta = _relative(self.fd_peak, baseline.fd_peak)
         mem_delta = _relative(self.mem_peak_kb, baseline.mem_peak_kb)
         return fd_delta, mem_delta
+
+    def to_dict(self) -> dict:
+        return {"fd_peak": self.fd_peak, "mem_peak_kb": self.mem_peak_kb}
+
+    @staticmethod
+    def from_dict(document: dict) -> "ResourceUsage":
+        return ResourceUsage(
+            fd_peak=int(document.get("fd_peak", 0)),
+            mem_peak_kb=int(document.get("mem_peak_kb", 0)),
+        )
 
 
 def _relative(value: float, baseline: float) -> float:
@@ -81,10 +92,53 @@ class RunResult:
         plain = self.syscalls() - vectored_parents
         return plain | self.subfeatures() | frozenset(self.pseudo_files)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the persistent run cache's on-disk
+        record); :meth:`from_dict` round-trips it exactly."""
+        return {
+            "success": self.success,
+            "traced": dict(self.traced),
+            "pseudo_files": dict(self.pseudo_files),
+            "metric": self.metric,
+            "resources": self.resources.to_dict(),
+            "exit_code": self.exit_code,
+            "failure_reason": self.failure_reason,
+            "duration_s": self.duration_s,
+        }
+
+    @staticmethod
+    def from_dict(document: dict) -> "RunResult":
+        return RunResult(
+            success=bool(document["success"]),
+            traced=Counter(document.get("traced", {})),
+            pseudo_files=Counter(document.get("pseudo_files", {})),
+            metric=document.get("metric"),
+            resources=ResourceUsage.from_dict(document.get("resources", {})),
+            exit_code=int(document.get("exit_code", 0)),
+            failure_reason=document.get("failure_reason"),
+            duration_s=float(document.get("duration_s", 0.0)),
+        )
+
 
 @runtime_checkable
 class ExecutionBackend(Protocol):
-    """Runs one application workload under an interposition policy."""
+    """Runs one application workload under an interposition policy.
+
+    Beyond ``run``, backends opt into scheduling capabilities by
+    declaring capability attributes (absence always means "no"):
+
+    * ``deterministic = True`` — a fixed ``(workload, policy, replica)``
+      triple always yields the same result, so the probe engine may
+      answer repeats from its run caches;
+    * ``parallel_safe = True`` — concurrent runs share no mutable
+      state, so replicas of one probe may overlap in time;
+    * ``process_safe = True`` — the backend (and its results) survive
+      pickling, so runs may be sharded out to worker *processes*
+      (:func:`process_shardable` additionally verifies the pickle
+      round-trip). The ptrace backend deliberately declares none of
+      these: live traced processes contend on ports and on-disk state
+      and hold OS handles no child process could inherit.
+    """
 
     name: str
 
@@ -107,3 +161,24 @@ def backend_name(backend: object) -> str:
     ``name`` attribute, falling back to the class name.
     """
     return getattr(backend, "name", type(backend).__name__)
+
+
+def process_shardable(backend: object) -> bool:
+    """Whether *backend*'s runs may be sharded over worker processes.
+
+    Two conditions, both necessary: the backend must *declare*
+    ``process_safe = True`` (the author's promise that runs share no
+    parent-process state), and it must actually survive a pickle
+    round-trip (the mechanical requirement of handing it to a
+    ``ProcessPoolExecutor``). A declared-but-unpicklable backend —
+    say, one wrapping a lambda or an open socket — quietly fails the
+    check instead of blowing up inside the pool, so schedulers can
+    fall back to thread sharding.
+    """
+    if not getattr(backend, "process_safe", False):
+        return False
+    try:
+        pickle.dumps(backend)
+    except Exception:
+        return False
+    return True

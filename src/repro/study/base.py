@@ -38,14 +38,18 @@ def analyze_app(
     replicas: int = 3,
     parallel: int = 1,
     cache: bool = True,
+    executor: str = "auto",
 ) -> AnalysisResult:
     """Analyze one app+workload, memoized in the shared session database.
 
-    ``parallel``/``cache`` configure the per-analysis probe engine;
-    they change how fast an analysis runs, never what it concludes, so
-    memoized records are valid across every knob combination.
+    ``parallel``/``cache``/``executor`` configure the per-analysis
+    probe engine; they change how fast an analysis runs, never what it
+    concludes, so memoized records are valid across every knob
+    combination.
     """
-    config = AnalyzerConfig(replicas=replicas, parallel=parallel, cache=cache)
+    config = AnalyzerConfig(
+        replicas=replicas, parallel=parallel, cache=cache, executor=executor
+    )
     return _SESSION.analyze(
         AnalysisRequest.for_app(app, workload_name), config=config
     )
@@ -58,15 +62,19 @@ def analyze_apps(
     replicas: int = 3,
     jobs: int = 1,
     parallel: int = 1,
+    executor: str = "auto",
 ) -> list[AnalysisResult]:
     """Analyze many apps under the same workload name (cached).
 
     ``jobs`` schedules whole applications concurrently (they share
-    nothing but the session's lock-guarded database); ``parallel`` is
-    handed to each per-app probe engine. Results come back in corpus
-    order regardless of completion order.
+    nothing but the session's lock-guarded database); ``parallel`` and
+    ``executor`` are handed to each per-app probe engine (``"process"``
+    shards the CPU-bound simulated runs past the GIL). Results come
+    back in corpus order regardless of completion order.
     """
-    config = AnalyzerConfig(replicas=replicas, parallel=parallel)
+    config = AnalyzerConfig(
+        replicas=replicas, parallel=parallel, executor=executor
+    )
     return _SESSION.analyze_many(
         [AnalysisRequest.for_app(app, workload_name) for app in apps],
         jobs=jobs,

@@ -177,6 +177,64 @@ class TestLegacyAdapter:
         assert event.stats() == stats
         assert event.legacy_line() == f"engine: {stats.describe()}"
 
+    def test_engine_stats_event_carries_executor_and_persistence(self):
+        stats = EngineStats(
+            runs_requested=4, runs_executed=1, cache_hits=3,
+            replicas_skipped=0, persistent_hits=2,
+        )
+        event = EngineStatsEvent.from_stats(stats, executor="process")
+        assert event.stats() == stats
+        document = event.to_dict()
+        assert document["executor"] == "process"
+        assert document["persistent_hits"] == 2
+        assert "2 from the persistent cache" in event.legacy_line()
+
+    def test_serial_probing_streams_feature_events(self):
+        """At parallel=1 each FeatureProbed must fire before the next
+        feature's probes run — the historical streaming behavior, not
+        one burst after the whole probe phase."""
+        program = _program([_op("close"), _op("uname"), _op("prctl")])
+        backend = SimBackend(program)
+        timeline = []
+        original_run = backend.run
+
+        def tracing_run(workload, policy, *, replica=0):
+            altered = sorted(policy.altered_features())
+            timeline.append(("run", altered[0] if altered else "baseline"))
+            return original_run(workload, policy, replica=replica)
+
+        backend.run = tracing_run
+        Analyzer().analyze(
+            backend, health_check("health"),
+            on_event=lambda event: timeline.append(("event", event)),
+        )
+        probed_positions = {
+            event.feature: index
+            for index, (kind, event) in enumerate(timeline)
+            if kind == "event" and isinstance(event, FeatureProbed)
+        }
+        def first_run(feature):
+            return min(
+                index for index, (kind, what) in enumerate(timeline)
+                if kind == "run" and what == feature
+            )
+
+        # Features probe in sorted order (close, prctl, uname): each
+        # verdict was announced before the next feature's probes
+        # started executing.
+        assert probed_positions["close"] < first_run("prctl")
+        assert probed_positions["prctl"] < first_run("uname")
+
+    def test_analysis_reports_resolved_executor(self):
+        _, _, events = _analyze_collecting(
+            _program([_op("close")]), parallel=2, executor="process"
+        )
+        stats_events = [
+            e for e in events if isinstance(e, EngineStatsEvent)
+        ]
+        assert len(stats_events) == 1
+        assert stats_events[0].executor == "process"
+
     def test_duration_formatting_matches_legacy(self):
         assert AnalysisFinished(duration_s=1.2345).legacy_line() == (
             "analysis finished in 1.23s"

@@ -122,3 +122,48 @@ class TestResolutionErrors:
         assert "ptrace" in message
         assert excinfo.value.name == "bogus"
         assert "appsim" in excinfo.value.available
+
+
+class TestBootstrapConcurrency:
+    def test_first_resolution_race_waits_for_bootstrap(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression: the bootstrap completion flag used to be set
+        *before* the built-in imports ran, so a concurrent first
+        resolution (analyze_many(jobs=N) on a fresh process) could
+        see an empty registry and raise UnknownBackendError."""
+        import sys
+        import threading
+
+        from repro.api import registry
+
+        module = tmp_path / "slow_backend_module.py"
+        module.write_text(
+            "import time\n"
+            "from repro.api.registry import register_backend\n"
+            "time.sleep(0.05)\n"  # widen the bootstrap window
+            "register_backend('slow-backend', lambda request: None)\n"
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        monkeypatch.setattr(
+            registry, "_BUILTIN_BACKEND_MODULES", ("slow_backend_module",)
+        )
+        monkeypatch.setattr(registry, "_bootstrapped", False)
+        errors = []
+        ready = threading.Barrier(6)
+
+        def worker():
+            try:
+                ready.wait()
+                registry.resolve_backend("slow-backend")
+            except Exception as error:  # pragma: no cover - fails the test
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        unregister_backend("slow-backend")
+        sys.modules.pop("slow_backend_module", None)
+        assert not errors

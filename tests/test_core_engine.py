@@ -419,6 +419,238 @@ class TestAnalyzerIntegration:
         assert any(line.startswith("engine:") for line in lines)
 
 
+def _stats_invariant(stats):
+    return stats.runs_requested == (
+        stats.runs_executed + stats.cache_hits + stats.replicas_skipped
+    )
+
+
+class TestStatsInvariant:
+    """Regression pin for the early-exit accounting invariant.
+
+    A future that completes between the failure and the ``cancel()``
+    sweep used to be neither counted as skipped nor consistently
+    reflected in ``runs_executed``; accounting now charges requests up
+    front and balances with whatever was actually obtained, so
+    ``requested == executed + hits + skipped`` holds on every executor
+    no matter how the cancellation race resolves.
+    """
+
+    class _SlowFailingBackend(_CountingBackend):
+        """Replica 0 fails fast; siblings linger so some are mid-flight
+        (past cancellation) when the failure is observed."""
+
+        deterministic = False
+
+        def run(self, workload, policy, *, replica=0):
+            import time
+
+            if replica > 0:
+                time.sleep(0.002 * replica)
+            result = super().run(workload, policy, replica=replica)
+            if replica == 0:
+                return RunResult(
+                    success=False, traced=Counter({"read": 1}),
+                    failure_reason="replica 0 fails",
+                )
+            return result
+
+    def test_parallel_early_exit_race(self):
+        for _ in range(10):
+            backend = self._SlowFailingBackend()
+            with ProbeEngine(parallel=4, cache=False) as engine:
+                outcome = engine.run_replicas(
+                    backend, benchmark("b", "m"), stubbing("close"), 6
+                )
+            stats = engine.stats
+            assert not outcome.all_succeeded
+            assert stats.runs_requested == 6
+            assert _stats_invariant(stats), stats
+            # Stragglers that won the race are executed, not skipped.
+            assert stats.runs_executed == backend.calls
+
+    def test_invariant_across_scenarios(self):
+        scenarios = [
+            dict(parallel=1, cache=True, early_exit=True),
+            dict(parallel=1, cache=False, early_exit=False),
+            dict(parallel=4, cache=True, early_exit=True),
+            dict(parallel=4, cache=False, early_exit=True),
+        ]
+        for knobs in scenarios:
+            engine = ProbeEngine(
+                parallel=knobs["parallel"], cache=knobs["cache"]
+            )
+            with engine:
+                backend = _CountingBackend(failing_features={"close"})
+                for policy in (stubbing("close"), stubbing("uname"),
+                               stubbing("close")):
+                    engine.run_replicas(
+                        backend, benchmark("b", "m"), policy, 3,
+                        early_exit=knobs["early_exit"],
+                    )
+            assert _stats_invariant(engine.stats), (knobs, engine.stats)
+
+    def test_batch_invariant_with_cached_failures(self):
+        backend = _CountingBackend(failing_features={"close"})
+        with ProbeEngine(parallel=4, cache=True) as engine:
+            policies = [stubbing("close"), stubbing("uname"),
+                        stubbing("prctl")]
+            engine.run_probe_batch(
+                backend, benchmark("b", "m"), policies, 3
+            )
+            # Second pass: the failure is answered from the cache, so
+            # siblings are skipped without ever being submitted.
+            engine.run_probe_batch(
+                backend, benchmark("b", "m"), policies, 3
+            )
+        assert _stats_invariant(engine.stats), engine.stats
+
+
+class TestProbeBatch:
+    def test_serial_batch_matches_sequential_runs(self):
+        policies = [stubbing("close"), stubbing("uname"), stubbing("prctl")]
+        one_by_one = ProbeEngine(cache=False)
+        sequential = [
+            one_by_one.run_replicas(
+                _CountingBackend(), benchmark("b", "m"), policy, 2
+            )
+            for policy in policies
+        ]
+        batched_engine = ProbeEngine(cache=False)
+        batched = batched_engine.run_probe_batch(
+            _CountingBackend(), benchmark("b", "m"), policies, 2
+        )
+        assert [o.results for o in batched] == [o.results for o in sequential]
+        assert one_by_one.stats == batched_engine.stats
+
+    def test_empty_batch(self):
+        engine = ProbeEngine()
+        assert engine.run_probe_batch(
+            _CountingBackend(), benchmark("b", "m"), [], 3
+        ) == []
+        assert engine.stats == EngineStats()
+
+    def test_parallel_batch_outcomes_in_policy_order(self):
+        policies = [stubbing("uname"), stubbing("close"), stubbing("prctl")]
+        backend = _CountingBackend(failing_features={"close"})
+        with ProbeEngine(parallel=4, cache=False) as engine:
+            outcomes = engine.run_probe_batch(
+                backend, benchmark("b", "m"), policies, 2
+            )
+        assert [o.all_succeeded for o in outcomes] == [True, False, True]
+
+    def test_batch_early_exit_is_per_probe(self):
+        """One probe's failure must not skip another probe's replicas."""
+        policies = [stubbing("close"), stubbing("uname")]
+        backend = _CountingBackend(failing_features={"close"})
+        with ProbeEngine(parallel=2, cache=False) as engine:
+            outcomes = engine.run_probe_batch(
+                backend, benchmark("b", "m"), policies, 3
+            )
+        assert not outcomes[0].all_succeeded
+        assert outcomes[1].all_succeeded
+        assert outcomes[1].replica_count == 3
+
+
+class TestEngineLifecycle:
+    def test_reset_rebuilds_pool_at_current_width(self):
+        engine = ProbeEngine(parallel=2, cache=False)
+        engine.run_replicas(
+            _CountingBackend(), benchmark("b", "m"), stubbing("close"), 2
+        )
+        old_pool = engine._pools.get("thread")
+        assert old_pool is not None and old_pool._max_workers == 2
+        engine.parallel = 4
+        engine.reset()
+        assert engine._pools == {}  # torn down, not kept at the old width
+        engine.run_replicas(
+            _CountingBackend(), benchmark("b", "m"), stubbing("close"), 2
+        )
+        assert engine._pools["thread"]._max_workers == 4
+        engine.close()
+
+    def test_close_idempotent_and_reusable(self):
+        engine = ProbeEngine(parallel=2, cache=False)
+        engine.close()
+        engine.close()
+        outcome = engine.run_replicas(
+            _CountingBackend(), benchmark("b", "m"), stubbing("close"), 2
+        )
+        assert outcome.all_succeeded
+        engine.close()
+
+    def test_analyzer_context_manager_closes_engine(self):
+        with Analyzer(AnalyzerConfig(parallel=2)) as analyzer:
+            analyzer.analyze(
+                SimBackend(_mixed_program()), health_check("health")
+            )
+        assert analyzer.engine._pools == {}
+
+    def test_bad_executor_rejected(self):
+        with pytest.raises(ValueError):
+            ProbeEngine(executor="fibers")
+        with pytest.raises(ValueError):
+            AnalyzerConfig(executor="fibers")
+
+    def test_executor_name_resolution(self):
+        assert ProbeEngine().executor_name == "serial"
+        assert ProbeEngine(parallel=4).executor_name == "thread"
+        assert ProbeEngine(parallel=4, executor="serial").executor_name \
+            == "serial"
+        assert ProbeEngine(parallel=4, executor="process").executor_name \
+            == "process"
+
+    def test_process_pool_shared_across_engines(self):
+        """Worker processes are expensive: every engine shares one
+        pool, engine.close() leaves it running, and a wider engine
+        grows it instead of stacking a second pool."""
+        from repro.core import engine as engine_module
+
+        engine_module.shutdown_process_pool()
+        backend = SimBackend(_mixed_program())
+        workload = benchmark("b", "m")
+        with ProbeEngine(parallel=2, executor="process", cache=False) as one:
+            one.run_replicas(backend, workload, stubbing("close"), 2)
+            first = engine_module._PROCESS_POOL
+        assert first is not None  # close() left the shared pool alone
+        with ProbeEngine(parallel=2, executor="process", cache=False) as two:
+            two.run_replicas(backend, workload, stubbing("close"), 2)
+            assert engine_module._PROCESS_POOL is first
+        with ProbeEngine(parallel=4, executor="process", cache=False) as wide:
+            wide.run_replicas(backend, workload, stubbing("close"), 4)
+            grown = engine_module._PROCESS_POOL
+            assert grown is not first
+            assert grown._max_workers == 4
+        engine_module.shutdown_process_pool()
+        assert engine_module._PROCESS_POOL is None
+
+    def test_shardability_checked_once_per_backend(self, monkeypatch):
+        """The pickle round-trip runs once per backend object, not on
+        every scheduling call."""
+        from repro.core import engine as engine_module
+
+        calls = []
+        real = engine_module.process_shardable
+
+        def counting(backend):
+            calls.append(backend)
+            return real(backend)
+
+        monkeypatch.setattr(engine_module, "process_shardable", counting)
+        backend = SimBackend(_mixed_program())
+        with ProbeEngine(parallel=2, executor="process", cache=False) as engine:
+            for _ in range(3):
+                engine.run_replicas(
+                    backend, benchmark("b", "m"), stubbing("close"), 2
+                )
+            assert len(calls) == 1
+            engine.reset()
+            engine.run_replicas(
+                backend, benchmark("b", "m"), stubbing("close"), 2
+            )
+            assert len(calls) == 2  # reset dropped the memoized verdict
+
+
 class TestStudyParallelism:
     def test_analyze_apps_jobs_match_serial(self):
         from repro.appsim.corpus import seven_apps
