@@ -17,6 +17,7 @@ event                     milestone
 :class:`CombinedRunFinished`  a combined confirmation run concluded
 :class:`ConflictBisected` ddmin isolated one minimal conflicting set
 :class:`EngineStatsEvent` the probe engine's final run accounting
+:class:`StoreStatsEvent`  persistent run-cache store state (session-emitted)
 :class:`AnalysisFinished` wall-clock total for the analysis
 ========================  ====================================================
 
@@ -33,6 +34,7 @@ import dataclasses
 from collections.abc import Callable, Iterable
 from typing import ClassVar
 
+from repro.core.cachestore import StoreStats
 from repro.core.engine import EngineStats
 
 #: A consumer of analysis events.
@@ -206,6 +208,46 @@ class EngineStatsEvent(AnalysisEvent):
 
     def legacy_line(self) -> str:
         return f"engine: {self.stats().describe()}"
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreStatsEvent(AnalysisEvent):
+    """Observable state of the persistent run-cache store, emitted by
+    the session after each analysis that used one.
+
+    ``store`` names the backend (``jsonl``/``sqlite``); ``entries``
+    is the live record count, ``loaded_records``/``stale_records``
+    the unique/superseded split found at open (stale is always 0 on
+    SQLite, whose upsert replaces in place); ``evictions`` counts
+    LRU evictions under ``max_entries``. The legacy string protocol
+    never reported store state, so :meth:`legacy_line` stays ``None``
+    and ``progress=`` transcripts are unchanged.
+    """
+
+    kind: ClassVar[str] = "store_stats"
+
+    store: str
+    path: str
+    entries: int
+    loaded_records: int = 0
+    stale_records: int = 0
+    file_bytes: int = 0
+    max_entries: "int | None" = None
+    evictions: int = 0
+    app: str = ""
+
+    @staticmethod
+    def from_stats(stats: "StoreStats") -> "StoreStatsEvent":
+        return StoreStatsEvent(
+            store=stats.kind,
+            path=stats.path,
+            entries=stats.entries,
+            loaded_records=stats.loaded_records,
+            stale_records=stats.stale_records,
+            file_bytes=stats.file_bytes,
+            max_entries=stats.max_entries,
+            evictions=stats.evictions,
+        )
 
 
 @dataclasses.dataclass(frozen=True)

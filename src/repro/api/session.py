@@ -34,12 +34,17 @@ import threading
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 
-from repro.api.events import EventCallback, combine_callbacks, legacy_adapter
+from repro.api.events import (
+    EventCallback,
+    StoreStatsEvent,
+    combine_callbacks,
+    legacy_adapter,
+)
 from repro.api.registry import ResolvedTarget, resolve_backend
 from repro.core.analyzer import Analyzer, AnalyzerConfig
+from repro.core.cachestore import RunCacheBackend, open_store, store_identity
 from repro.core.engine import EngineStats
 from repro.core.result import AnalysisResult
-from repro.core.runcache import RunCacheStore
 from repro.core.runner import backend_name
 from repro.db import Database, RecordKey
 from repro.errors import PlanError
@@ -138,11 +143,15 @@ class LoupeSession:
     concurrent duplicate requests still yield one canonical record.
 
     ``cache_path`` opens a persistent cross-campaign run cache
-    (:class:`~repro.core.runcache.RunCacheStore`): every analysis of
-    the session reads and feeds it, and a later campaign — another
-    process, another day — pointed at the same path starts warm.
-    Sessions are context managers (``with LoupeSession(...) as s:``)
-    so the cache's file handle is released deterministically.
+    (:func:`repro.core.cachestore.open_store` picks the backend from
+    the path: JSONL by default, SQLite for ``*.sqlite``/``sqlite:``
+    paths): every analysis of the session reads and feeds it, and a
+    later campaign — another process, another day — pointed at the
+    same path starts warm. After each analysis that used a store the
+    session emits a :class:`~repro.api.events.StoreStatsEvent` with
+    the store's live state. Sessions are context managers (``with
+    LoupeSession(...) as s:``) so the cache's file handle is released
+    deterministically.
     """
 
     def __init__(
@@ -156,12 +165,16 @@ class LoupeSession:
     ) -> None:
         self.config = config or AnalyzerConfig()
         self._lock = threading.Lock()
-        #: Open stores by path: every analysis of the session sharing
-        #: a path shares one store (one open file, one in-memory
-        #: index) — including per-call config overrides naming their
-        #: own ``run_cache`` — instead of re-parsing the JSONL per
-        #: analyzer. All of them close with the session.
-        self._stores: dict[str, RunCacheStore] = {}
+        #: Open stores by *store identity* — the backend kind plus
+        #: the resolved absolute path, so two spellings of one file
+        #: (``cache.jsonl`` vs its absolute path) share one store
+        #: (one open handle, one index) instead of racing two append
+        #: handles on the same inode. Every analysis of the session
+        #: sharing an identity shares the store — including per-call
+        #: config overrides naming their own ``run_cache`` — instead
+        #: of re-parsing the file per analyzer. All of them close
+        #: with the session.
+        self._stores: dict[tuple[str, str], RunCacheBackend] = {}
         #: The session-default persistent run cache: ``cache_path``
         #: wins, else ``config.run_cache``. A second campaign built
         #: over the same path starts warm. The default config is
@@ -171,8 +184,10 @@ class LoupeSession:
         path = cache_path or self.config.run_cache
         if path and self.config.run_cache != path:
             self.config = dataclasses.replace(self.config, run_cache=path)
-        self.run_cache: "RunCacheStore | None" = (
-            self._store_for(path) if path else None
+        self.run_cache: "RunCacheBackend | None" = (
+            self._store_for(path, self.config.run_cache_max_entries)
+            if path
+            else None
         )
         self._database = database if database is not None else Database()
         #: Semantic-config fingerprint of the run that produced each
@@ -208,12 +223,22 @@ class LoupeSession:
             self._database = Database()
             self._semantics = {}
 
-    def _store_for(self, path: str) -> RunCacheStore:
-        """The session's shared store for *path* (opened on first use)."""
+    def _store_for(
+        self, path: str, max_entries: "int | None" = None
+    ) -> RunCacheBackend:
+        """The session's shared store for *path* (opened on first use).
+
+        Keyed by resolved identity, not the raw string, so relative
+        and absolute spellings of one file share one store. The first
+        open of an identity wins its configuration (*max_entries*).
+        """
+        identity = store_identity(path)
         with self._lock:
-            store = self._stores.get(path)
+            store = self._stores.get(identity)
             if store is None:
-                store = self._stores[path] = RunCacheStore(path)
+                store = self._stores[identity] = open_store(
+                    path, max_entries=max_entries
+                )
             return store
 
     def close(self) -> None:
@@ -319,20 +344,29 @@ class LoupeSession:
                     return self._database.get(key)
         # A config naming its own run_cache path wins (like every other
         # per-call override); otherwise the session default applies.
-        # Either way one store per path is shared across the campaign.
+        # Either way one store per identity is shared across the
+        # campaign (relative and absolute spellings of one file
+        # resolve to the same store).
         store = (
-            self._store_for(effective.run_cache)
+            self._store_for(
+                effective.run_cache, effective.run_cache_max_entries
+            )
             if effective.run_cache
             else self.run_cache
         )
+        emit = self._emitter(on_event, progress)
         with Analyzer(effective, store=store) as analyzer:
             result = analyzer.analyze(
                 target.backend,
                 target.workload,
                 app=target.app,
                 app_version=target.app_version,
-                on_event=self._emitter(on_event, progress),
+                on_event=emit,
             )
+        if store is not None and emit is not None:
+            emit(dataclasses.replace(
+                StoreStatsEvent.from_stats(store.stats()), app=target.app
+            ))
         with self._lock:
             if use_cache and cache_answers():
                 # A concurrent worker finished the same request first;

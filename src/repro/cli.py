@@ -11,6 +11,8 @@ Subcommands mirror how the paper's tool is used:
 * ``study``    — regenerate a paper table or figure by name.
 * ``corpus``   — list the application corpus.
 * ``db``       — inspect or merge result databases.
+* ``cache``    — operate on persistent run-cache stores (``stats``,
+  ``compact``, ``gc``, ``migrate``).
 * ``scan``     — static binary scan of a native ELF.
 """
 
@@ -24,6 +26,7 @@ from repro.api.registry import BackendResolutionError, UnknownBackendError
 from repro.api.session import AnalysisRequest, LoupeSession
 from repro.appsim.corpus import CLOUD_APPS, cloud_apps, corpus
 from repro.core.analyzer import AnalyzerConfig
+from repro.core.cachestore import CacheStoreError, migrate_store, open_store
 from repro.db import Database
 from repro.errors import PlanError
 from repro.plans import (
@@ -75,6 +78,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print("--run-cache requires run memoization; drop --no-cache",
               file=sys.stderr)
         return 2
+    if args.run_cache_max_entries is not None and not args.run_cache:
+        print("--run-cache-max-entries requires --run-cache; there is "
+              "no persistent store to bound", file=sys.stderr)
+        return 2
     config = AnalyzerConfig(
         replicas=args.replicas,
         subfeature_level=args.subfeatures,
@@ -82,15 +89,21 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         parallel=args.jobs,
         executor=args.executor,
         cache=not args.no_cache,
+        run_cache=args.run_cache,
+        run_cache_max_entries=args.run_cache_max_entries,
     )
     on_event = None
     if args.events == "jsonl":
         def on_event(event) -> None:
             print(json.dumps(event.to_dict()), flush=True)
 
-    session = LoupeSession(
-        config=config, on_event=on_event, cache_path=args.run_cache
-    )
+    try:
+        session = LoupeSession(
+            config=config, on_event=on_event, cache_path=args.run_cache
+        )
+    except CacheStoreError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     backend_name = args.backend or ("ptrace" if args.exec_argv else "appsim")
     if args.exec_argv and backend_name == "appsim":
         # The appsim factory resolves --app and ignores argv; silently
@@ -248,6 +261,62 @@ def _cmd_db(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_store_stats(stats) -> None:
+    print(f"path: {stats.path}")
+    print(f"backend: {stats.kind}")
+    print(f"entries: {stats.entries}")
+    print(f"loaded_records: {stats.loaded_records}")
+    print(f"stale_records: {stats.stale_records}")
+    print(f"file_bytes: {stats.file_bytes}")
+    print(f"max_entries: "
+          f"{stats.max_entries if stats.max_entries is not None else '-'}")
+    print(f"evictions: {stats.evictions}")
+
+
+def _require_store_file(path: str) -> None:
+    """Ops commands operate on *existing* stores: a typo'd path must
+    exit 2, not report success on a silently-created empty store."""
+    from repro.core.cachestore import parse_store_path
+
+    _kind, concrete = parse_store_path(path)
+    if not concrete.exists():
+        raise CacheStoreError(f"no run-cache store at {concrete}")
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import sqlite3
+
+    try:
+        if args.cache_command == "stats":
+            _require_store_file(args.path)
+            with open_store(args.path) as store:
+                _print_store_stats(store.stats())
+        elif args.cache_command == "compact":
+            _require_store_file(args.path)
+            with open_store(args.path) as store:
+                outcome = store.compact()
+            print(outcome.describe())
+        elif args.cache_command == "gc":
+            _require_store_file(args.path)
+            with open_store(args.path) as store:
+                evicted = store.gc(args.max_entries)
+                remaining = len(store)
+            print(f"evicted {evicted} record(s); {remaining} remain "
+                  f"(cap {args.max_entries})")
+        elif args.cache_command == "migrate":
+            _require_store_file(args.source)
+            migrated = migrate_store(
+                args.source, args.destination,
+                max_entries=args.max_entries,
+            )
+            print(f"migrated {migrated} record(s): "
+                  f"{args.source} -> {args.destination}")
+    except (CacheStoreError, ValueError, OSError, sqlite3.Error) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_scan(args: argparse.Namespace) -> int:
     from repro.staticx import scan_binary
 
@@ -293,10 +362,18 @@ def build_parser() -> argparse.ArgumentParser:
                               "GIL (backends that cannot shard fall "
                               "back automatically; default: auto)")
     analyze.add_argument("--run-cache", metavar="PATH", default=None,
-                         help="persistent run-cache file (JSONL); "
-                              "repeated campaigns over the same path "
-                              "start warm, across processes and "
-                              "sessions")
+                         help="persistent run-cache store; repeated "
+                              "campaigns over the same path start "
+                              "warm, across processes and sessions. "
+                              "The path picks the backend: *.sqlite "
+                              "(or sqlite:PATH) opens the concurrent "
+                              "bounded SQLite store, anything else "
+                              "an append-only JSONL file")
+    analyze.add_argument("--run-cache-max-entries", type=_positive_int,
+                         default=None, metavar="N",
+                         help="LRU cap on the persistent run cache "
+                              "(sqlite backend only): puts past N "
+                              "records evict the least recently used")
     analyze.add_argument("--no-cache", action="store_true",
                          help="disable run-result memoization in the "
                               "probe engine")
@@ -332,6 +409,45 @@ def build_parser() -> argparse.ArgumentParser:
     db.add_argument("path")
     db.add_argument("--merge", help="merge another database into this one")
     db.set_defaults(func=_cmd_db)
+
+    cache = sub.add_parser(
+        "cache", help="operate on persistent run-cache stores"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="print a store's entry counts and footprint"
+    )
+    cache_stats.add_argument("path")
+    cache_stats.set_defaults(func=_cmd_cache)
+    cache_compact = cache_sub.add_parser(
+        "compact",
+        help="rewrite a store without its dead weight (jsonl: drop "
+             "superseded duplicates; sqlite: checkpoint + vacuum). "
+             "Offline operation — stop concurrent writers first",
+    )
+    cache_compact.add_argument("path")
+    cache_compact.set_defaults(func=_cmd_cache)
+    cache_gc = cache_sub.add_parser(
+        "gc", help="evict least-recently-used records down to a cap "
+                   "(sqlite stores only)"
+    )
+    cache_gc.add_argument("path")
+    cache_gc.add_argument("--max-entries", type=_positive_int,
+                          required=True, metavar="N")
+    cache_gc.set_defaults(func=_cmd_cache)
+    cache_migrate = cache_sub.add_parser(
+        "migrate",
+        help="copy every live record between stores (e.g. an "
+             "organically-grown JSONL file into a bounded SQLite "
+             "cache); warmed campaigns stay warm across the move",
+    )
+    cache_migrate.add_argument("source")
+    cache_migrate.add_argument("destination")
+    cache_migrate.add_argument("--max-entries", type=_positive_int,
+                               default=None, metavar="N",
+                               help="open the destination with this "
+                                    "LRU cap (sqlite only)")
+    cache_migrate.set_defaults(func=_cmd_cache)
 
     scan = sub.add_parser("scan", help="static binary scan of an ELF")
     scan.add_argument("binary")

@@ -7,6 +7,14 @@ pseudo-file and partial-implementation support, and the
 """
 
 from repro.core.analyzer import Analyzer, AnalyzerConfig, analyze, estimated_runtime_s
+from repro.core.cachestore import (
+    JsonlRunCache,
+    RunCacheBackend,
+    SqliteRunCache,
+    StoreStats,
+    migrate_store,
+    open_store,
+)
 from repro.core.decisions import Decision, Verdict, merge_all
 from repro.core.engine import EngineStats, ProbeEngine
 from repro.core.metrics import (
@@ -70,6 +78,7 @@ __all__ = [
     "FeatureReport",
     "ImpactSummary",
     "InterpositionPolicy",
+    "JsonlRunCache",
     "KNOWN_PSEUDO_FILES",
     "MetricComparison",
     "PartialImplementationSummary",
@@ -79,9 +88,12 @@ __all__ = [
     "ProbeOutcome",
     "PseudoFileAccess",
     "ResourceUsage",
+    "RunCacheBackend",
     "RunResult",
     "SampleStats",
     "SimWorkload",
+    "SqliteRunCache",
+    "StoreStats",
     "TransferStats",
     "Verdict",
     "Workload",
@@ -98,6 +110,8 @@ __all__ = [
     "health_check",
     "is_pseudo_path",
     "merge_all",
+    "migrate_store",
+    "open_store",
     "passthrough",
     "relative_delta",
     "run_replicas",

@@ -57,8 +57,8 @@ from repro.api.events import (
     tag_app,
 )
 from repro.core.decisions import Decision
+from repro.core.cachestore import RunCacheBackend, open_store
 from repro.core.engine import EXECUTORS, ProbeEngine
-from repro.core.runcache import RunCacheStore
 from repro.core.metrics import DEFAULT_MARGIN, ImpactSummary, compare
 from repro.core.policy import Action, InterpositionPolicy, combined, passthrough
 from repro.core.replicas import ProbeOutcome
@@ -94,11 +94,18 @@ class AnalyzerConfig:
     #: Memoize run results so the combined-run confirmation and the
     #: ddmin bisection never re-execute a run the probe phase paid for.
     cache: bool = True
-    #: Optional path of a persistent run cache (JSONL). Executed runs
-    #: of deterministic backends are appended, and later campaigns —
+    #: Optional path of a persistent run cache. Executed runs of
+    #: deterministic backends are recorded, and later campaigns —
     #: other processes, other sessions — answer repeats from it, so a
-    #: re-run campaign starts warm.
+    #: re-run campaign starts warm. The path picks the backend
+    #: (:func:`repro.core.cachestore.open_store`): ``*.sqlite`` /
+    #: ``sqlite:...`` opens the concurrent bounded SQLite store,
+    #: anything else the append-only JSONL file.
     run_cache: "str | None" = None
+    #: Optional LRU cap on the persistent run cache (SQLite backend
+    #: only): a put that grows the store past this many records
+    #: evicts the least recently used. ``None`` leaves it unbounded.
+    run_cache_max_entries: "int | None" = None
     #: Stop replicating a probe at the first failed replica (one
     #: failure already decides the conservative merge).
     early_exit: bool = True
@@ -125,6 +132,14 @@ class AnalyzerConfig:
                 "run_cache requires cache=True: with memoization "
                 "disabled the persistent store would never be read "
                 "or written"
+            )
+        if self.run_cache_max_entries is not None \
+                and self.run_cache_max_entries < 1:
+            raise ValueError("run_cache_max_entries must be >= 1")
+        if self.run_cache_max_entries is not None and not self.run_cache:
+            raise ValueError(
+                "run_cache_max_entries requires run_cache: there is "
+                "no persistent store to bound"
             )
 
 
@@ -164,7 +179,7 @@ class Analyzer:
         self,
         config: AnalyzerConfig | None = None,
         *,
-        store: "RunCacheStore | None" = None,
+        store: "RunCacheBackend | None" = None,
     ) -> None:
         self.config = config or AnalyzerConfig()
         if not self.config.cache:
@@ -176,9 +191,12 @@ class Analyzer:
         #: Store this analyzer built (and therefore owns and closes)
         #: from ``config.run_cache`` — as opposed to an injected one,
         #: whose lifetime belongs to the caller (the session).
-        self._owned_store: "RunCacheStore | None" = None
+        self._owned_store: "RunCacheBackend | None" = None
         if store is None and self.config.run_cache:
-            store = self._owned_store = RunCacheStore(self.config.run_cache)
+            store = self._owned_store = open_store(
+                self.config.run_cache,
+                max_entries=self.config.run_cache_max_entries,
+            )
         #: The probe scheduler every run of this analyzer goes through.
         #: Its LRU and statistics are reset at the start of each
         #: :meth:`analyze` call, so ``engine.stats`` after a call

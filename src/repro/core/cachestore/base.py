@@ -1,0 +1,174 @@
+"""The run-cache storage contract shared by every backend.
+
+The probe engine sees a run cache as four operations — ``get``,
+``put``, ``__len__``, ``close`` — and the ops tooling (``loupe
+cache``) adds four more: ``stats``, ``items``, ``compact``, ``gc``.
+:class:`RunCacheBackend` is that contract as a protocol; the concrete
+stores live next door (:mod:`repro.core.cachestore.jsonl`,
+:mod:`repro.core.cachestore.sqlite`) and
+:func:`~repro.core.cachestore.factory.open_store` picks between them
+by path.
+
+The on-disk *record* is shared too: one JSON object carrying the
+engine's cache key — ``(backend, workload, fingerprint, replica)``,
+the same quad as :data:`repro.core.engine.CacheKey` — and the
+serialized :class:`~repro.core.runner.RunResult`. The JSONL backend
+stores the object verbatim as one line; the SQLite backend stores the
+key as columns and the result as the same JSON payload, so migrating
+between backends is a lossless copy of ``items()``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+from repro.core.runner import RunResult
+from repro.errors import LoupeError
+
+#: Cache key: (backend name, workload name, policy fingerprint, replica)
+#: — the same shape as :data:`repro.core.engine.CacheKey`.
+StoreKey = tuple[str, str, str, int]
+
+
+class CacheStoreError(LoupeError):
+    """A run-cache store operation is invalid or unsupported."""
+
+
+def encode_record(key: StoreKey, result: RunResult) -> str:
+    """One run as its canonical JSON record (no trailing newline)."""
+    backend, workload, fingerprint, replica = key
+    return json.dumps({
+        "backend": backend,
+        "workload": workload,
+        "fingerprint": fingerprint,
+        "replica": replica,
+        "result": result.to_dict(),
+    }, sort_keys=True)
+
+
+def decode_record(line: str) -> tuple[StoreKey, RunResult]:
+    """Parse one JSON record back to ``(key, result)``.
+
+    Raises ``ValueError``/``KeyError``/``TypeError`` on torn or
+    foreign input — loaders treat any of those as "skip this line".
+    """
+    record = json.loads(line)
+    key = (
+        record["backend"],
+        record["workload"],
+        record["fingerprint"],
+        int(record["replica"]),
+    )
+    return key, RunResult.from_dict(record["result"])
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreStats:
+    """One store's observable state, for ``loupe cache stats`` and the
+    session's ``store_stats`` event.
+
+    ``entries`` is the live record count (what ``len(store)`` says);
+    ``loaded_records`` the *unique* complete records found on disk when
+    the store was opened; ``stale_records`` the superseded duplicates
+    currently wasting space (always 0 on SQLite, whose upsert replaces
+    in place). ``file_bytes`` is the on-disk footprint (for SQLite:
+    database + WAL).
+    """
+
+    kind: str
+    path: str
+    entries: int
+    loaded_records: int = 0
+    stale_records: int = 0
+    file_bytes: int = 0
+    max_entries: "int | None" = None
+    evictions: int = 0
+
+    def describe(self) -> str:
+        base = (
+            f"{self.kind} store at {self.path}: {self.entries} entr"
+            f"{'y' if self.entries == 1 else 'ies'} in "
+            f"{self.file_bytes} byte(s)"
+        )
+        if self.stale_records:
+            base += f", {self.stale_records} stale record(s)"
+        if self.max_entries is not None:
+            base += f", capped at {self.max_entries}"
+        return base
+
+
+@dataclasses.dataclass(frozen=True)
+class CompactionResult:
+    """What one ``compact()`` pass reclaimed."""
+
+    bytes_before: int
+    bytes_after: int
+    records_dropped: int
+    records_kept: int
+
+    @property
+    def ratio(self) -> float:
+        """Shrink factor (``>= 1.0``; 1.0 means nothing reclaimed)."""
+        if self.bytes_after == 0:
+            return 1.0 if self.bytes_before == 0 else float(self.bytes_before)
+        return self.bytes_before / self.bytes_after
+
+    def describe(self) -> str:
+        return (
+            f"compacted {self.bytes_before} -> {self.bytes_after} byte(s) "
+            f"({self.ratio:.2f}x), dropped {self.records_dropped} stale "
+            f"record(s), kept {self.records_kept}"
+        )
+
+
+@runtime_checkable
+class RunCacheBackend(Protocol):
+    """A persistent run-result store the probe engine can warm from.
+
+    Implementations must be thread-safe (one campaign's app-level
+    workers share a single instance), tolerate a process killed
+    mid-write (every *complete* record must load), and keep
+    ``close()`` idempotent with the store still usable afterwards —
+    the next operation transparently reopens the backing file.
+    """
+
+    #: Stable backend discriminator (``"jsonl"``/``"sqlite"``).
+    kind: str
+    path: Path
+
+    def get(self, key: StoreKey) -> "RunResult | None": ...
+
+    def put(self, key: StoreKey, result: RunResult) -> None: ...
+
+    def __len__(self) -> int: ...
+
+    def items(self) -> list[tuple[StoreKey, RunResult]]:
+        """A snapshot of every live record (migration's read side)."""
+        ...
+
+    def stats(self) -> StoreStats: ...
+
+    def compact(self) -> CompactionResult:
+        """Rewrite the backing file without its dead weight.
+
+        An *offline* ops operation: run it from ``loupe cache
+        compact``, not while other processes hold open write handles
+        on the same file.
+        """
+        ...
+
+    def gc(self, max_entries: "int | None" = None) -> int:
+        """Evict least-recently-used records down to *max_entries*
+        (or the configured cap); returns how many were dropped.
+        Backends without usage tracking raise
+        :class:`CacheStoreError`."""
+        ...
+
+    def close(self) -> None: ...
+
+    def __enter__(self) -> "RunCacheBackend": ...
+
+    def __exit__(self, *exc_info: object) -> None: ...

@@ -1,0 +1,217 @@
+"""The append-only JSONL run-cache backend.
+
+This is the original :class:`repro.core.runcache.RunCacheStore`,
+byte-compatible with every file it ever wrote: one JSON object per
+line, appended and flushed per record, duplicate keys resolving
+last-writer-wins at load. What the format buys — human-greppable
+files, torn-line crash tolerance for free, O_APPEND interleaving —
+it pays for in growth: superseded records are never reclaimed until
+:meth:`JsonlRunCache.compact` rewrites the file.
+
+Concurrency limitation (by design of the format): :meth:`put`'s
+already-durable check consults only *this process's* in-memory index.
+Two campaigns appending to one JSONL file therefore re-append records
+the other writer already persisted — harmless for correctness (loads
+still resolve last-writer-wins; the values are identical for a
+deterministic backend) but the file grows with every writer. Use the
+SQLite backend (:mod:`repro.core.cachestore.sqlite`), whose upsert is
+shared-state, when campaigns share one cache concurrently; use
+``compact()`` to reclaim an already-bloated JSONL file.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+
+from repro.core.cachestore.base import (
+    CacheStoreError,
+    CompactionResult,
+    StoreKey,
+    StoreStats,
+    decode_record,
+    encode_record,
+)
+from repro.core.runner import RunResult
+
+
+class JsonlRunCache:
+    """An on-disk run-result cache shared by campaigns over time.
+
+    Parameters
+    ----------
+    path:
+        The JSONL file backing the store. Created (along with parent
+        directories) on first write; an existing file is loaded
+        eagerly so ``get`` never touches the disk afterwards.
+
+    The store is thread-safe: one campaign's app-level workers
+    (``analyze_many(jobs=N)``) share a single instance freely. All
+    reads are served from the in-memory index; ``put`` appends one
+    line and flushes, so a crash loses at most the record being
+    written. Records another *process* appends after this store
+    loaded are invisible until reopen — see the module docstring for
+    the multi-writer story.
+    """
+
+    kind = "jsonl"
+
+    def __init__(self, path: "str | os.PathLike[str]") -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._index: dict[StoreKey, RunResult] = {}
+        self._handle = None
+        self._loaded_records = 0
+        self._stale_records = 0
+        self._load()
+
+    # -- loading -----------------------------------------------------------
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    key, result = decode_record(line)
+                except (ValueError, KeyError, TypeError):
+                    # A torn or foreign line (campaign killed mid-append);
+                    # every complete record is still usable.
+                    continue
+                if key in self._index:
+                    self._stale_records += 1
+                else:
+                    self._loaded_records += 1
+                self._index[key] = result
+
+    # -- the store API -----------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    @property
+    def loaded_records(self) -> int:
+        """Unique complete records found on disk when the store was
+        opened (agrees with ``len(store)`` until the first new put)."""
+        return self._loaded_records
+
+    @property
+    def stale_records(self) -> int:
+        """Superseded records currently wasting file space: duplicate
+        keys found at load plus overwrites appended since. Reclaimed
+        by :meth:`compact`."""
+        with self._lock:
+            return self._stale_records
+
+    def get(self, key: StoreKey) -> "RunResult | None":
+        with self._lock:
+            return self._index.get(key)
+
+    def put(self, key: StoreKey, result: RunResult) -> None:
+        """Record one run; a duplicate key overwrites (last-writer-wins).
+
+        The already-durable short-circuit consults only this process's
+        index — concurrent writers sharing the file may still append
+        duplicates (see the module docstring).
+        """
+        line = encode_record(key, result)
+        with self._lock:
+            if self._index.get(key) == result:
+                return  # already durable; don't grow the file
+            if key in self._index:
+                # The old line stays on disk, superseded, until compact().
+                self._stale_records += 1
+            self._index[key] = result
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open("a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def items(self) -> list[tuple[StoreKey, RunResult]]:
+        with self._lock:
+            return list(self._index.items())
+
+    # -- ops ---------------------------------------------------------------
+
+    def stats(self) -> StoreStats:
+        with self._lock:
+            entries = len(self._index)
+            stale = self._stale_records
+        try:
+            file_bytes = self.path.stat().st_size
+        except OSError:
+            file_bytes = 0
+        return StoreStats(
+            kind=self.kind,
+            path=str(self.path),
+            entries=entries,
+            loaded_records=self._loaded_records,
+            stale_records=stale,
+            file_bytes=file_bytes,
+        )
+
+    def compact(self) -> CompactionResult:
+        """Rewrite the file with only the live records.
+
+        Superseded duplicates — overwrites from this or any earlier
+        campaign — are dropped; every live key keeps its
+        last-written value. The rewrite goes through a temporary
+        file and an atomic rename, so a crash mid-compaction leaves
+        the original intact. Offline operation: a concurrent writer
+        holding an append handle to the old file would strand its
+        appends on the replaced inode.
+        """
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            try:
+                bytes_before = self.path.stat().st_size
+            except OSError:
+                bytes_before = 0
+            dropped = self._stale_records
+            if bytes_before == 0 and not self._index:
+                return CompactionResult(0, 0, 0, 0)
+            temp = self.path.with_name(self.path.name + ".compact.tmp")
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with temp.open("w", encoding="utf-8") as handle:
+                for key, result in self._index.items():
+                    handle.write(encode_record(key, result) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp, self.path)
+            self._stale_records = 0
+            bytes_after = self.path.stat().st_size
+            return CompactionResult(
+                bytes_before=bytes_before,
+                bytes_after=bytes_after,
+                records_dropped=dropped,
+                records_kept=len(self._index),
+            )
+
+    def gc(self, max_entries: "int | None" = None) -> int:
+        raise CacheStoreError(
+            "the jsonl backend tracks no usage and cannot evict; "
+            "migrate to sqlite for LRU eviction "
+            "(loupe cache migrate <src.jsonl> <dst.sqlite>)"
+        )
+
+    def close(self) -> None:
+        """Flush and release the file handle (idempotent; the store
+        stays readable and reopens the file on the next ``put``)."""
+        with self._lock:
+            handle, self._handle = self._handle, None
+        if handle is not None:
+            handle.close()
+
+    def __enter__(self) -> "JsonlRunCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

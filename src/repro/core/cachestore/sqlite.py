@@ -1,0 +1,295 @@
+"""The SQLite run-cache backend: shared-state, bounded, concurrent.
+
+Where the JSONL backend is a per-process index over an append-only
+file, this backend delegates the shared state to SQLite itself:
+
+* **WAL mode** — writers append to a write-ahead log while readers
+  keep reading; safe for several concurrent campaign *processes*
+  sharing one cache file, with crash recovery (a process killed
+  mid-transaction rolls back cleanly on the next open).
+* **Live read-through** — every ``get`` is a fresh read transaction,
+  so one campaign's committed writes are visible to another *without
+  reopening* the store. (The probe engine still promotes hits into
+  its own LRU, so hot keys don't re-pay the query.)
+* **Upsert puts** — ``INSERT ... ON CONFLICT DO UPDATE`` makes the
+  already-durable check shared state rather than per-process memory:
+  two writers racing on one key leave exactly one row, fixing the
+  JSONL backend's duplicate re-appends.
+* **LRU eviction** — every row carries ``last_used``/``use_count``;
+  with ``max_entries`` set, a put that pushes the table over the cap
+  evicts the least-recently-used rows, keeping a long-lived service
+  cache bounded. ``gc()`` applies the same policy on demand.
+
+``compact()`` here means checkpointing the WAL back into the main
+database and ``VACUUM``-ing free pages — nothing is ever superseded
+in place, so there are no stale records to drop.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+import time
+from pathlib import Path
+
+from repro.core.cachestore.base import (
+    CacheStoreError,
+    CompactionResult,
+    StoreKey,
+    StoreStats,
+    decode_record,
+    encode_record,
+)
+from repro.core.runner import RunResult
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    backend     TEXT    NOT NULL,
+    workload    TEXT    NOT NULL,
+    fingerprint TEXT    NOT NULL,
+    replica     INTEGER NOT NULL,
+    result      TEXT    NOT NULL,
+    created     REAL    NOT NULL,
+    last_used   REAL    NOT NULL,
+    use_count   INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (backend, workload, fingerprint, replica)
+);
+CREATE INDEX IF NOT EXISTS runs_last_used ON runs (last_used);
+"""
+
+#: How long a connection waits on a competing writer's lock before
+#: giving up (seconds). Campaign writes are single small statements,
+#: so contention windows are microseconds; the margin is for CI boxes.
+_BUSY_TIMEOUT_S = 30.0
+
+
+class SqliteRunCache:
+    """A run-result cache backed by one SQLite database file.
+
+    Parameters
+    ----------
+    path:
+        The database file. Created (with parent directories) at open.
+    max_entries:
+        Optional LRU cap: a ``put`` that grows the table past this
+        many rows evicts the least-recently-used surplus. ``None``
+        (the default) leaves the store unbounded, like JSONL.
+
+    Thread-safe (one guarded connection per store instance) and
+    multi-process-safe (WAL journaling; every read is a fresh
+    snapshot, so other processes' commits are picked up live).
+    """
+
+    kind = "sqlite"
+
+    def __init__(
+        self,
+        path: "str | os.PathLike[str]",
+        *,
+        max_entries: "int | None" = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.path = Path(path)
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._conn: "sqlite3.Connection | None" = None
+        self._evictions = 0
+        with self._lock:
+            self._connect_locked()
+            self._loaded_records = self._count_locked()
+
+    # -- connection lifecycle ----------------------------------------------
+
+    def _connect_locked(self) -> sqlite3.Connection:
+        if self._conn is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(
+                str(self.path),
+                timeout=_BUSY_TIMEOUT_S,
+                isolation_level=None,  # autocommit: every get is a
+                check_same_thread=False,  # fresh snapshot (read-through)
+            )
+            try:
+                conn.execute("PRAGMA journal_mode=WAL")
+                conn.execute("PRAGMA synchronous=NORMAL")
+                conn.executescript(_SCHEMA)
+            except sqlite3.DatabaseError as error:
+                # A mis-extensioned file (say, JSONL content behind a
+                # *.db name): surface the family error callers already
+                # handle, not a raw sqlite3 traceback.
+                conn.close()
+                raise CacheStoreError(
+                    f"{self.path} is not a SQLite database: {error} "
+                    f"(jsonl files need a jsonl: prefix or a non-sqlite "
+                    f"extension)"
+                ) from error
+            self._conn = conn
+        return self._conn
+
+    def _count_locked(self) -> int:
+        conn = self._connect_locked()
+        return conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+
+    # -- the store API -----------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._count_locked()
+
+    @property
+    def loaded_records(self) -> int:
+        """Complete records in the database when the store was opened."""
+        return self._loaded_records
+
+    @property
+    def stale_records(self) -> int:
+        """Always 0: the upsert replaces superseded records in place."""
+        return 0
+
+    def get(self, key: StoreKey) -> "RunResult | None":
+        """One live read — plus one bookkeeping write (``last_used``/
+        ``use_count``) on a hit, which is what LRU eviction and ``gc``
+        order by. The write cost stays off the hot path in practice:
+        the probe engine promotes every persistent hit into its own
+        LRU, so a key pays it once per process, not once per run."""
+        backend, workload, fingerprint, replica = key
+        where = (
+            "backend = ? AND workload = ? AND fingerprint = ? "
+            "AND replica = ?"
+        )
+        with self._lock:
+            conn = self._connect_locked()
+            row = conn.execute(
+                f"SELECT result FROM runs WHERE {where}",
+                (backend, workload, fingerprint, replica),
+            ).fetchone()
+            if row is None:
+                return None
+            conn.execute(
+                f"UPDATE runs SET last_used = ?, use_count = use_count + 1 "
+                f"WHERE {where}",
+                (time.time(), backend, workload, fingerprint, replica),
+            )
+        _key, result = decode_record(row[0])
+        return result
+
+    def put(self, key: StoreKey, result: RunResult) -> None:
+        """Upsert one run: a duplicate key updates the existing row in
+        place — shared state, so concurrent campaigns never grow the
+        store with records another writer already persisted."""
+        backend, workload, fingerprint, replica = key
+        now = time.time()
+        with self._lock:
+            conn = self._connect_locked()
+            conn.execute(
+                "INSERT INTO runs (backend, workload, fingerprint, replica,"
+                " result, created, last_used, use_count)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, 0)"
+                " ON CONFLICT (backend, workload, fingerprint, replica)"
+                " DO UPDATE SET result = excluded.result,"
+                "               last_used = excluded.last_used",
+                (backend, workload, fingerprint, replica,
+                 encode_record(key, result), now, now),
+            )
+            if self.max_entries is not None:
+                self._evict_locked(self.max_entries)
+
+    def _evict_locked(self, max_entries: int) -> int:
+        conn = self._connect_locked()
+        surplus = self._count_locked() - max_entries
+        if surplus <= 0:
+            return 0
+        conn.execute(
+            "DELETE FROM runs WHERE rowid IN ("
+            " SELECT rowid FROM runs"
+            " ORDER BY last_used ASC, use_count ASC, rowid ASC"
+            " LIMIT ?)",
+            (surplus,),
+        )
+        self._evictions += surplus
+        return surplus
+
+    def items(self) -> list[tuple[StoreKey, RunResult]]:
+        with self._lock:
+            conn = self._connect_locked()
+            rows = conn.execute("SELECT result FROM runs").fetchall()
+        return [decode_record(row[0]) for row in rows]
+
+    # -- ops ---------------------------------------------------------------
+
+    def _file_bytes(self) -> int:
+        total = 0
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                total += os.stat(str(self.path) + suffix).st_size
+            except OSError:
+                pass
+        return total
+
+    def stats(self) -> StoreStats:
+        with self._lock:
+            entries = self._count_locked()
+            evictions = self._evictions
+        return StoreStats(
+            kind=self.kind,
+            path=str(self.path),
+            entries=entries,
+            loaded_records=self._loaded_records,
+            stale_records=0,
+            file_bytes=self._file_bytes(),
+            max_entries=self.max_entries,
+            evictions=evictions,
+        )
+
+    def compact(self) -> CompactionResult:
+        """Checkpoint the WAL into the main database and reclaim free
+        pages (``VACUUM``). Drops no records — SQLite never leaves
+        superseded duplicates behind."""
+        bytes_before = self._file_bytes()
+        with self._lock:
+            conn = self._connect_locked()
+            kept = self._count_locked()
+            # Consume the pragma cursors: an unread cursor leaves its
+            # statement live, and a live reader stops the truncating
+            # checkpoint from emptying the WAL.
+            conn.execute("PRAGMA wal_checkpoint(TRUNCATE)").fetchall()
+            conn.execute("VACUUM")
+            # VACUUM's rewritten pages land in the WAL; fold them back
+            # so the measured footprint reflects the reclaim.
+            conn.execute("PRAGMA wal_checkpoint(TRUNCATE)").fetchall()
+        return CompactionResult(
+            bytes_before=bytes_before,
+            bytes_after=self._file_bytes(),
+            records_dropped=0,
+            records_kept=kept,
+        )
+
+    def gc(self, max_entries: "int | None" = None) -> int:
+        """Evict least-recently-used rows down to *max_entries* (or
+        the configured cap); returns how many were dropped."""
+        cap = max_entries if max_entries is not None else self.max_entries
+        if cap is None:
+            raise ValueError(
+                "gc needs a cap: pass max_entries or open the store "
+                "with one"
+            )
+        if cap < 1:
+            raise ValueError("max_entries must be >= 1")
+        with self._lock:
+            return self._evict_locked(cap)
+
+    def close(self) -> None:
+        """Close the connection (idempotent; the store stays usable
+        and reconnects on the next operation)."""
+        with self._lock:
+            conn, self._conn = self._conn, None
+        if conn is not None:
+            conn.close()
+
+    def __enter__(self) -> "SqliteRunCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -24,8 +24,8 @@ analyzer's implicit run loop into an explicit scheduler that
   keyed by ``(backend.name, workload.name, policy.fingerprint(),
   replica)``, so the combined-run confirmation and the ddmin conflict
   bisection never re-pay for a run the probe phase already executed,
-* optionally spills every executed run to a persistent
-  :class:`~repro.core.runcache.RunCacheStore` (same key), so repeated
+* optionally spills every executed run to a persistent run-cache
+  store (:mod:`repro.core.cachestore`, same key), so repeated
   campaigns — new processes, new sessions, CI re-runs — start warm.
 
 Correctness contract: a run may only be answered from either cache when
@@ -73,7 +73,7 @@ from collections.abc import Sequence
 
 from repro.core.policy import InterpositionPolicy
 from repro.core.replicas import ProbeOutcome, aggregate
-from repro.core.runcache import RunCacheStore
+from repro.core.cachestore import RunCacheBackend
 from repro.core.runner import (
     ExecutionBackend,
     RunResult,
@@ -292,14 +292,18 @@ class ProbeEngine:
         ``deterministic = True`` are ever answered from a cache.
     cache_size:
         Maximum cached :class:`RunResult`s before least-recently-used
-        eviction (in-memory LRU only; the persistent store is
-        unbounded).
+        eviction (this engine's in-memory LRU only; the persistent
+        store bounds itself — the SQLite backend evicts under its own
+        ``max_entries``, JSONL grows until compacted).
     store:
-        Optional :class:`~repro.core.runcache.RunCacheStore`. Misses
-        that the LRU cannot answer are looked up here before reaching
-        the backend, and every executed cacheable run is appended, so
-        later campaigns sharing the store start warm. Survives
-        :meth:`reset` — cross-campaign reuse is its entire point.
+        Optional persistent run-cache store (any
+        :class:`~repro.core.cachestore.RunCacheBackend` —
+        :func:`~repro.core.cachestore.open_store` builds one from a
+        path). Misses that the LRU cannot answer are looked up here
+        before reaching the backend, and every executed cacheable run
+        is recorded, so later campaigns sharing the store start warm.
+        Survives :meth:`reset` — cross-campaign reuse is its entire
+        point.
     """
 
     def __init__(
@@ -309,7 +313,7 @@ class ProbeEngine:
         cache: bool = True,
         cache_size: int = DEFAULT_CACHE_SIZE,
         executor: str = "auto",
-        store: "RunCacheStore | None" = None,
+        store: "RunCacheBackend | None" = None,
     ) -> None:
         if parallel < 1:
             raise ValueError("parallel must be >= 1")

@@ -1,143 +1,19 @@
-"""Persistent cross-campaign run cache: the engine's LRU, on disk.
+"""Compatibility shim: the run cache moved to :mod:`repro.core.cachestore`.
 
-The in-memory LRU of :class:`~repro.core.engine.ProbeEngine` amortizes
-run cost *within* one analysis — the combined-run confirmation and the
-ddmin bisection reuse probe-phase runs for free. This module extends
-that amortization *across* campaigns and across processes: a
-:class:`RunCacheStore` is an append-only JSONL file of
-``(backend, workload, fingerprint, replica) -> RunResult`` records,
-keyed identically to the LRU, that a later campaign (a new session, a
-new process, a CI re-run) opens to start warm.
-
-Correctness inherits the engine's caching contract: only runs of
-backends declaring ``deterministic = True`` are ever stored or served,
-so a persisted answer is byte-identical to re-executing the run. The
-key's ``backend`` component is :func:`~repro.core.runner.backend_name`,
-which for the simulation backends embeds the application name *and
-version* (``sim:redis-7.0.11``) — two campaigns only share entries
-when they analyze the very same build. Callers putting differently
-built programs behind one backend name must use separate cache files,
-exactly as they must use separate engines.
-
-Durability model: one JSON object per line, appended and flushed per
-record. Loading tolerates a torn final line (a campaign killed
-mid-append) by skipping anything that does not parse; duplicate keys
-resolve last-writer-wins, matching the LRU's overwrite semantics.
-Concurrent writers on POSIX each append whole small lines in ``O_APPEND``
-mode, so parallel campaigns sharing one file interleave records without
-corrupting each other.
+The original single-file JSONL store grew into a storage subsystem
+with a backend protocol, an SQLite sibling, and an ``open_store``
+factory — see :mod:`repro.core.cachestore`. Importing
+:class:`RunCacheStore` from here keeps working and still means the
+append-only JSONL backend (byte-compatible with every file the old
+class wrote); new code should use
+:func:`repro.core.cachestore.open_store` so users can choose the
+backend by path.
 """
 
-from __future__ import annotations
+from repro.core.cachestore.base import StoreKey
+from repro.core.cachestore.jsonl import JsonlRunCache
 
-import json
-import os
-import threading
-from pathlib import Path
+#: The historical name of the JSONL backend.
+RunCacheStore = JsonlRunCache
 
-from repro.core.runner import RunResult
-
-#: Cache key: (backend name, workload name, policy fingerprint, replica)
-#: — the same shape as :data:`repro.core.engine.CacheKey`.
-StoreKey = tuple[str, str, str, int]
-
-
-class RunCacheStore:
-    """An on-disk run-result cache shared by campaigns over time.
-
-    Parameters
-    ----------
-    path:
-        The JSONL file backing the store. Created (along with parent
-        directories) on first write; an existing file is loaded
-        eagerly so ``get`` never touches the disk afterwards.
-
-    The store is thread-safe: one campaign's app-level workers
-    (``analyze_many(jobs=N)``) share a single instance freely. All
-    reads are served from the in-memory index; ``put`` appends one
-    line and flushes, so a crash loses at most the record being
-    written.
-    """
-
-    def __init__(self, path: "str | os.PathLike[str]") -> None:
-        self.path = Path(path)
-        self._lock = threading.Lock()
-        self._index: dict[StoreKey, RunResult] = {}
-        self._handle = None
-        self._loaded_records = 0
-        self._load()
-
-    # -- loading -----------------------------------------------------------
-
-    def _load(self) -> None:
-        if not self.path.exists():
-            return
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                    key = (
-                        record["backend"],
-                        record["workload"],
-                        record["fingerprint"],
-                        int(record["replica"]),
-                    )
-                    result = RunResult.from_dict(record["result"])
-                except (ValueError, KeyError, TypeError):
-                    # A torn or foreign line (campaign killed mid-append);
-                    # every complete record is still usable.
-                    continue
-                self._index[key] = result
-                self._loaded_records += 1
-
-    # -- the store API -----------------------------------------------------
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._index)
-
-    @property
-    def loaded_records(self) -> int:
-        """Complete records found on disk when the store was opened."""
-        return self._loaded_records
-
-    def get(self, key: StoreKey) -> "RunResult | None":
-        with self._lock:
-            return self._index.get(key)
-
-    def put(self, key: StoreKey, result: RunResult) -> None:
-        """Record one run; a duplicate key overwrites (last-writer-wins)."""
-        backend, workload, fingerprint, replica = key
-        line = json.dumps({
-            "backend": backend,
-            "workload": workload,
-            "fingerprint": fingerprint,
-            "replica": replica,
-            "result": result.to_dict(),
-        }, sort_keys=True)
-        with self._lock:
-            if self._index.get(key) == result:
-                return  # already durable; don't grow the file
-            self._index[key] = result
-            if self._handle is None:
-                self.path.parent.mkdir(parents=True, exist_ok=True)
-                self._handle = self.path.open("a", encoding="utf-8")
-            self._handle.write(line + "\n")
-            self._handle.flush()
-
-    def close(self) -> None:
-        """Flush and release the file handle (idempotent; the store
-        stays readable and reopens the file on the next ``put``)."""
-        with self._lock:
-            handle, self._handle = self._handle, None
-        if handle is not None:
-            handle.close()
-
-    def __enter__(self) -> "RunCacheStore":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+__all__ = ["RunCacheStore", "StoreKey"]

@@ -189,3 +189,90 @@ class TestMisc:
         out = capsys.readouterr().out
         assert "app: /bin/echo" in out
         assert "required (" in out
+
+
+class TestCacheOps:
+    """The ``loupe cache`` group: stats, compact, gc, migrate."""
+
+    def _warm(self, path):
+        assert main(["analyze", "--app", "weborf", "--workload", "health",
+                     "--run-cache", path]) == 0
+
+    def test_stats_jsonl(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.jsonl")
+        self._warm(path)
+        capsys.readouterr()
+        assert main(["cache", "stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "backend: jsonl" in out
+        assert "stale_records: 0" in out
+        assert "entries:" in out
+
+    def test_compact_reports_outcome(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.jsonl")
+        self._warm(path)
+        capsys.readouterr()
+        assert main(["cache", "compact", path]) == 0
+        assert "compacted" in capsys.readouterr().out
+
+    def test_gc_requires_sqlite(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.jsonl")
+        self._warm(path)
+        capsys.readouterr()
+        assert main(["cache", "gc", path, "--max-entries", "5"]) == 2
+        assert "migrate" in capsys.readouterr().err
+
+    def test_migrate_then_warm_sqlite(self, tmp_path, capsys):
+        jsonl = str(tmp_path / "runs.jsonl")
+        sqlite = str(tmp_path / "runs.sqlite")
+        self._warm(jsonl)
+        capsys.readouterr()
+        assert main(["cache", "migrate", jsonl, sqlite]) == 0
+        assert "migrated" in capsys.readouterr().out
+        self._warm(sqlite)
+        out = capsys.readouterr().out
+        assert "from the persistent cache" in out
+        assert "0 executed" in out
+        assert main(["cache", "gc", sqlite, "--max-entries", "5"]) == 0
+        assert "evicted" in capsys.readouterr().out
+
+    def test_analyze_sqlite_run_cache_with_cap(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.sqlite")
+        assert main(["analyze", "--app", "weborf", "--workload", "health",
+                     "--run-cache", path,
+                     "--run-cache-max-entries", "25"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "backend: sqlite" in out
+
+    def test_analyze_max_entries_rejected_on_jsonl(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.jsonl")
+        assert main(["analyze", "--app", "weborf", "--workload", "health",
+                     "--run-cache", path,
+                     "--run-cache-max-entries", "25"]) == 2
+        assert "sqlite" in capsys.readouterr().err
+
+    def test_cache_ops_missing_path_exit_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nothere.sqlite")
+        for argv in (["cache", "stats", missing],
+                     ["cache", "compact", missing],
+                     ["cache", "gc", missing, "--max-entries", "5"],
+                     ["cache", "migrate", missing,
+                      str(tmp_path / "dst.sqlite")]):
+            assert main(argv) == 2
+            assert "no run-cache store" in capsys.readouterr().err
+        # A typo'd path must not leave a silently-created empty store.
+        assert not (tmp_path / "nothere.sqlite").exists()
+
+    def test_analyze_max_entries_without_run_cache_rejected(self, capsys):
+        assert main(["analyze", "--app", "weborf", "--workload", "health",
+                     "--run-cache-max-entries", "25"]) == 2
+        assert "requires --run-cache" in capsys.readouterr().err
+
+    def test_cache_stats_mis_extensioned_file_exit_2(self, tmp_path,
+                                                     capsys):
+        path = tmp_path / "runs.db"
+        path.write_text('{"not": "a database"}\n')
+        assert main(["cache", "stats", str(path)]) == 2
+        assert "not a SQLite database" in capsys.readouterr().err

@@ -224,9 +224,11 @@ class TestSessionCampaigns:
                     AnalysisRequest.for_app(build("weborf"), workload),
                     config=override,
                 )
-            # One store per path, shared by both analyses — not one
-            # full JSONL reload per analyzer.
-            assert list(session._stores) == [path]
+            # One store per identity, shared by both analyses — not
+            # one full JSONL reload per analyzer.
+            from repro.core.cachestore import store_identity
+
+            assert list(session._stores) == [store_identity(path)]
 
     def test_per_call_run_cache_overrides_session_default(self, tmp_path):
         from repro.core.analyzer import AnalyzerConfig
