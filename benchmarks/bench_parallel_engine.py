@@ -100,8 +100,11 @@ class _TimedBackend:
     def __init__(self, inner):
         self._inner = inner
         self.name = inner.name
-        self.deterministic = getattr(inner, "deterministic", False)
-        self.parallel_safe = getattr(inner, "parallel_safe", False)
+
+    def capabilities(self):
+        from repro.core.runner import capabilities_of
+
+        return capabilities_of(self._inner)
 
     def run(self, workload, policy, *, replica=0):
         time.sleep(RUN_COST_S)
@@ -136,9 +139,11 @@ class _GilBoundBackend:
     def __init__(self, inner):
         self._inner = inner
         self.name = inner.name
-        self.deterministic = getattr(inner, "deterministic", False)
-        self.parallel_safe = getattr(inner, "parallel_safe", False)
-        self.process_safe = getattr(inner, "process_safe", False)
+
+    def capabilities(self):
+        from repro.core.runner import capabilities_of
+
+        return capabilities_of(self._inner)
 
     def run(self, workload, policy, *, replica=0):
         with _gil_model():

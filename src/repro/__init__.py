@@ -45,6 +45,8 @@ from repro.api.registry import (
     resolve_backend,
 )
 from repro.api.session import AnalysisRequest, LoupeSession
+from repro.core.runner import BackendCapabilities, capabilities_of
+from repro.report import CrossValidationReport, cross_validate
 
 __version__ = "1.0.0"
 
@@ -54,6 +56,8 @@ __all__ = [
     "AnalysisResult",
     "Analyzer",
     "AnalyzerConfig",
+    "BackendCapabilities",
+    "CrossValidationReport",
     "Decision",
     "InterpositionPolicy",
     "LoupeSession",
@@ -63,7 +67,9 @@ __all__ = [
     "analyze",
     "available_backends",
     "benchmark",
+    "capabilities_of",
     "combined",
+    "cross_validate",
     "faking",
     "health_check",
     "passthrough",

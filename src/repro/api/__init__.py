@@ -29,9 +29,12 @@ _EXPORTS = {
     "BaselineStarted": "repro.api.events",
     "CombinedRunFinished": "repro.api.events",
     "ConflictBisected": "repro.api.events",
+    "CrossValidationReady": "repro.api.events",
     "EngineStatsEvent": "repro.api.events",
     "FeatureProbed": "repro.api.events",
     "FeaturesEnumerated": "repro.api.events",
+    "TargetFinished": "repro.api.events",
+    "TargetStarted": "repro.api.events",
     "combine_callbacks": "repro.api.events",
     "legacy_adapter": "repro.api.events",
     "render_legacy": "repro.api.events",
@@ -42,6 +45,8 @@ _EXPORTS = {
     "UnknownBackendError": "repro.api.registry",
     "available_backends": "repro.api.registry",
     "create_target": "repro.api.registry",
+    "create_targets": "repro.api.registry",
+    "parse_backend_names": "repro.api.registry",
     "register_backend": "repro.api.registry",
     "resolve_backend": "repro.api.registry",
     "unregister_backend": "repro.api.registry",
@@ -73,9 +78,12 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         BaselineStarted,
         CombinedRunFinished,
         ConflictBisected,
+        CrossValidationReady,
         EngineStatsEvent,
         FeatureProbed,
         FeaturesEnumerated,
+        TargetFinished,
+        TargetStarted,
         combine_callbacks,
         legacy_adapter,
         render_legacy,
@@ -87,6 +95,8 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         UnknownBackendError,
         available_backends,
         create_target,
+        create_targets,
+        parse_backend_names,
         register_backend,
         resolve_backend,
         unregister_backend,

@@ -19,6 +19,9 @@ event                     milestone
 :class:`EngineStatsEvent` the probe engine's final run accounting
 :class:`StoreStatsEvent`  persistent run-cache store state (session-emitted)
 :class:`AnalysisFinished` wall-clock total for the analysis
+:class:`TargetStarted`    multi-target fan-out: one target's campaign begins
+:class:`TargetFinished`   multi-target fan-out: one target's campaign is done
+:class:`CrossValidationReady`  the cross-backend divergence report is built
 ========================  ====================================================
 
 Every event serializes with :meth:`AnalysisEvent.to_dict` (one JSON
@@ -26,6 +29,13 @@ object per event — the CLI's ``--events jsonl`` stream) and renders
 back to the exact legacy progress string with
 :meth:`AnalysisEvent.legacy_line`, so :func:`legacy_adapter` keeps
 every pre-event caller (and the CLI output) byte-identical.
+
+Every event additionally carries a ``backend`` field. In a
+single-target campaign it stays empty (and is omitted from the JSON
+form, keeping the historical stream byte-identical); a multi-target
+fan-out stamps each target's registry name onto its events via
+:func:`tag_backend`, so one interleaved session stream stays
+attributable per target.
 """
 
 from __future__ import annotations
@@ -49,7 +59,9 @@ class AnalysisEvent:
     it belongs to (the analyzer stamps it via :func:`tag_app`), so a
     session-level stream stays attributable when
     ``analyze_many(jobs>1)`` interleaves events from concurrent
-    analyses on one callback.
+    analyses on one callback. Events of a multi-target fan-out
+    additionally carry the target's registry ``backend`` name
+    (stamped via :func:`tag_backend`).
     """
 
     #: Stable machine-readable discriminator (the ``"event"`` field of
@@ -57,8 +69,16 @@ class AnalysisEvent:
     kind: ClassVar[str] = "event"
 
     def to_dict(self) -> dict:
-        """JSON-serializable form: ``{"event": kind, ...fields}``."""
-        return {"event": self.kind, **dataclasses.asdict(self)}
+        """JSON-serializable form: ``{"event": kind, ...fields}``.
+
+        An empty ``backend`` tag is omitted: single-target campaigns
+        never stamp one, and dropping the empty field keeps their
+        JSON stream byte-identical to the pre-fan-out format.
+        """
+        data = dataclasses.asdict(self)
+        if data.get("backend", None) == "":
+            del data["backend"]
+        return {"event": self.kind, **data}
 
     def legacy_line(self) -> "str | None":
         """The pre-event progress string, or ``None`` for events the
@@ -86,6 +106,7 @@ class BaselineStarted(AnalysisEvent):
 
     replicas: int
     app: str = ""
+    backend: str = ""
 
     def legacy_line(self) -> str:
         return f"baseline: {self.replicas} passthrough replica(s)"
@@ -100,6 +121,7 @@ class FeaturesEnumerated(AnalysisEvent):
     count: int
     features: tuple[str, ...] = ()
     app: str = ""
+    backend: str = ""
 
     def legacy_line(self) -> str:
         return f"tracing found {self.count} feature(s) to probe"
@@ -116,6 +138,7 @@ class FeatureProbed(AnalysisEvent):
     can_fake: bool
     traced_count: int = 0
     app: str = ""
+    backend: str = ""
 
     def legacy_line(self) -> str:
         return (
@@ -140,6 +163,7 @@ class CombinedRunFinished(AnalysisEvent):
     avoided: int
     round: int
     app: str = ""
+    backend: str = ""
 
     def legacy_line(self) -> "str | None":
         if self.ok:
@@ -159,6 +183,7 @@ class ConflictBisected(AnalysisEvent):
     round: int
     conflict: tuple[str, ...]
     app: str = ""
+    backend: str = ""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -182,6 +207,7 @@ class EngineStatsEvent(AnalysisEvent):
     app: str = ""
     persistent_hits: int = 0
     executor: str = "serial"
+    backend: str = ""
 
     @staticmethod
     def from_stats(
@@ -235,6 +261,7 @@ class StoreStatsEvent(AnalysisEvent):
     max_entries: "int | None" = None
     evictions: int = 0
     app: str = ""
+    backend: str = ""
 
     @staticmethod
     def from_stats(stats: "StoreStats") -> "StoreStatsEvent":
@@ -258,9 +285,63 @@ class AnalysisFinished(AnalysisEvent):
 
     duration_s: float
     app: str = ""
+    backend: str = ""
 
     def legacy_line(self) -> str:
         return f"analysis finished in {self.duration_s:.2f}s"
+
+
+@dataclasses.dataclass(frozen=True)
+class TargetStarted(AnalysisEvent):
+    """Multi-target fan-out: one execution target's analysis begins.
+
+    ``backend`` is the target's *registry* name (what the caller put
+    in the comma list), which is how targets are told apart even when
+    two registry entries resolve to identically-named execution
+    backends. ``index`` is the target's 0-based position among the
+    campaign's ``total`` targets.
+    """
+
+    kind: ClassVar[str] = "target_started"
+
+    backend: str
+    index: int
+    total: int
+    app: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class TargetFinished(AnalysisEvent):
+    """Multi-target fan-out: one execution target's analysis is done.
+
+    ``ok`` mirrors the result's ``final_run_ok``; ``duration_s`` is
+    the target's wall-clock share (near-zero when the session answered
+    it from a memoized record).
+    """
+
+    kind: ClassVar[str] = "target_finished"
+
+    backend: str
+    ok: bool
+    duration_s: float
+    app: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class CrossValidationReady(AnalysisEvent):
+    """The cross-backend divergence report of a fan-out is built.
+
+    ``report`` is the JSON form of a
+    :class:`repro.report.CrossValidationReport`
+    (``CrossValidationReport.from_dict`` round-trips it exactly —
+    that is how ``--events jsonl`` consumers rebuild the report).
+    """
+
+    kind: ClassVar[str] = "cross_validation_report"
+
+    report: dict
+    app: str = ""
+    backend: str = ""
 
 
 # -- adapters ----------------------------------------------------------------
@@ -292,6 +373,29 @@ def tag_app(emit: EventCallback, app: str) -> EventCallback:
     def tagged(event: AnalysisEvent) -> None:
         if getattr(event, "app", None) == "":
             event = dataclasses.replace(event, app=app)
+        emit(event)
+
+    return tagged
+
+
+def tag_backend(emit: EventCallback, backend: str) -> EventCallback:
+    """Stamp the registry name *backend* onto every event of one leg.
+
+    The session's multi-target fan-out wraps each target's emitter
+    with this, so one interleaved stream stays attributable per
+    target. The stamp *overrides* :class:`AnalysisStarted`'s execution
+    backend identity too: two registry variants can resolve to
+    identically-named execution backends (the collision case the
+    fan-out explicitly supports), and only the registry name tells
+    their concurrent legs apart. Within a fan-out stream, ``backend``
+    therefore always means the registry target name; the execution
+    identity remains available in the cross-validation report's
+    observations and in the loupedb records.
+    """
+
+    def tagged(event: AnalysisEvent) -> None:
+        if getattr(event, "backend", None) != backend:
+            event = dataclasses.replace(event, backend=backend)
         emit(event)
 
     return tagged

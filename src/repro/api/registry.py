@@ -16,8 +16,10 @@ caller (the CLI special-cased ``--exec``, the studies constructed
   the identity facts the database records.
 
 This is what the CLI's ``loupe analyze --backend NAME`` flag resolves
-through, and the substrate for the roadmap's multi-backend fan-out
-(one request, several registered backends).
+through, and — via :func:`parse_backend_names` /
+:func:`create_targets` — what the multi-backend fan-out addresses:
+one request, a comma list of registered backends (``--backend
+appsim,ptrace``), one resolved target per unique name.
 """
 
 from __future__ import annotations
@@ -25,7 +27,7 @@ from __future__ import annotations
 import dataclasses
 import importlib
 import threading
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 from typing import TYPE_CHECKING, Any
 
 from repro.core.runner import ExecutionBackend
@@ -90,9 +92,22 @@ def register_backend(
     Re-registering an existing name raises unless ``replace=True`` (or
     the factory object is identical, which makes module re-imports
     harmless). Returns the factory so the call composes as a one-liner.
+
+    Names must be addressable by the spec grammar
+    (:func:`parse_backend_names` splits on commas and strips
+    surrounding whitespace), so a comma or leading/trailing whitespace
+    in a name — which no spec could ever resolve back to it — is
+    rejected at registration time rather than discovered as an
+    unaddressable registry entry later.
     """
     if not name or not name.strip():
         raise BackendRegistryError("backend name must be non-empty")
+    if "," in name or name != name.strip():
+        raise BackendRegistryError(
+            f"backend name {name!r} is not addressable: names may not "
+            f"contain commas or leading/trailing whitespace (the "
+            f"backend-spec grammar splits on commas and strips names)"
+        )
     with _LOCK:
         current = _FACTORIES.get(name)
         if current is not None and current is not factory and not replace:
@@ -158,6 +173,71 @@ def resolve_backend(name: str) -> BackendFactory:
     return factory
 
 
-def create_target(name: str, request: Any) -> ResolvedTarget:
-    """Resolve *name* and build the target for *request* in one step."""
-    return resolve_backend(name)(request)
+def parse_backend_names(spec: "str | Iterable[str]") -> tuple[str, ...]:
+    """Normalize a backend spec into unique, order-preserving names.
+
+    *spec* is either one comma-separated string (``"appsim,ptrace"``)
+    or an iterable of names (each of which may itself carry commas —
+    the CLI and :class:`~repro.api.session.AnalysisRequest` both feed
+    this). Whitespace around names is stripped; duplicates collapse
+    deterministically to their first occurrence, so
+    ``"appsim,ptrace,appsim"`` resolves to ``("appsim", "ptrace")``
+    on every call. Empty names (``"appsim,"``, ``""``) raise
+    :class:`BackendRegistryError` — a silent drop would hide a typo'd
+    comma list.
+    """
+    if isinstance(spec, str):
+        entries = spec.split(",")
+    else:
+        entries = [
+            part for entry in spec for part in str(entry).split(",")
+        ]
+    names: list[str] = []
+    for entry in entries:
+        name = entry.strip()
+        if not name:
+            raise BackendRegistryError(
+                f"backend name must be non-empty (spec: {spec!r})"
+            )
+        if name not in names:
+            names.append(name)
+    if not names:
+        raise BackendRegistryError("at least one backend name is required")
+    return tuple(names)
+
+
+def create_targets(
+    spec: "str | Iterable[str]", request: Any
+) -> tuple[ResolvedTarget, ...]:
+    """Resolve a backend spec and build one target per unique name.
+
+    The multi-backend entry point: ``create_targets("appsim,ptrace",
+    request)`` hands the same request to each named factory and
+    returns the targets in spec order (duplicates deduplicated by
+    :func:`parse_backend_names`). An unknown name anywhere in the
+    spec raises :class:`UnknownBackendError` before *any* factory
+    runs, so a typo cannot leave a campaign half-resolved.
+    """
+    names = parse_backend_names(spec)
+    factories = [resolve_backend(name) for name in names]
+    return tuple(
+        factory(request) for factory in factories
+    )
+
+
+def create_target(name: "str | Iterable[str]", request: Any) -> ResolvedTarget:
+    """Resolve *name* and build the target for *request* in one step.
+
+    Accepts any spec :func:`parse_backend_names` does, as long as it
+    resolves to exactly one backend (``"appsim"`` and
+    ``"appsim,appsim"`` both do); a spec naming several distinct
+    backends belongs to :func:`create_targets` and is refused here.
+    """
+    names = parse_backend_names(name)
+    if len(names) != 1:
+        raise BackendRegistryError(
+            f"create_target resolves exactly one backend, got "
+            f"{len(names)} from {name!r}; use create_targets for a "
+            f"multi-backend spec"
+        )
+    return resolve_backend(names[0])(request)

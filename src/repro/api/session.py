@@ -31,23 +31,34 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+import time
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.api.events import (
+    CrossValidationReady,
     EventCallback,
     StoreStatsEvent,
+    TargetFinished,
+    TargetStarted,
     combine_callbacks,
     legacy_adapter,
+    tag_backend,
 )
-from repro.api.registry import ResolvedTarget, resolve_backend
+from repro.api.registry import (
+    ResolvedTarget,
+    create_target,
+    create_targets,
+    parse_backend_names,
+)
 from repro.core.analyzer import Analyzer, AnalyzerConfig
 from repro.core.cachestore import RunCacheBackend, open_store, store_identity
 from repro.core.engine import EngineStats
 from repro.core.result import AnalysisResult
-from repro.core.runner import backend_name
+from repro.core.runner import backend_name, capabilities_of
 from repro.db import Database, RecordKey
 from repro.errors import PlanError
+from repro.report import CrossValidationReport, cross_validate
 
 #: AnalyzerConfig fields that change what an analysis *concludes* (as
 #: opposed to the engine knobs — parallel/cache/early_exit — which only
@@ -72,6 +83,19 @@ def _config_semantics(config: AnalyzerConfig) -> tuple:
     )
 
 
+def _target_record_key(target: "ResolvedTarget") -> RecordKey:
+    """The loupedb identity of one resolved target — the single
+    definition shared by session memoization and the fan-out's
+    identity-collision detection (which must agree, or colliding legs
+    could again be answered from each other's memoized records)."""
+    return RecordKey(
+        app=target.app,
+        app_version=target.app_version,
+        workload=target.workload.name,
+        backend=backend_name(target.backend),
+    )
+
+
 @dataclasses.dataclass(frozen=True)
 class AnalysisRequest:
     """One unit of campaign work: *what* to analyze, declaratively.
@@ -82,6 +106,14 @@ class AnalysisRequest:
     bypasses the registry entirely — that is how callers holding a
     live :class:`~repro.appsim.apps.App` model or a custom backend
     object enter the session.
+
+    A request may address several execution targets at once: either
+    ``backends=("appsim", "ptrace")`` or a comma list in ``backend``
+    (``backend="appsim,ptrace"`` — the CLI spelling). Such a request
+    fans one (workload, policy) campaign across every named backend
+    and yields a :class:`~repro.report.CrossValidationReport` instead
+    of a single result; see :meth:`LoupeSession.analyze`. ``backends``
+    wins over ``backend`` when both are set.
     """
 
     app: str = ""
@@ -94,6 +126,40 @@ class AnalysisRequest:
     target: "ResolvedTarget | None" = dataclasses.field(
         default=None, compare=False
     )
+    #: Multi-target spelling: registry names to fan the campaign over.
+    #: Empty means "use ``backend``" (which may itself be a comma
+    #: list).
+    backends: tuple[str, ...] = ()
+
+    def _backend_spec(self) -> tuple[str, ...]:
+        """Raw spec entries, commas expanded, duplicates preserved."""
+        entries = self.backends or (self.backend,)
+        if isinstance(entries, str):
+            # backends="appsim" (a natural misuse — parse_backend_names
+            # and compare(backends=...) both take plain strings) must
+            # not be iterated character by character.
+            entries = (entries,)
+        return tuple(
+            part for entry in entries for part in str(entry).split(",")
+        )
+
+    def backend_names(self) -> tuple[str, ...]:
+        """The unique registry names this request addresses, in order."""
+        return parse_backend_names(self.backends or self.backend)
+
+    def is_multi_target(self) -> bool:
+        """Whether this request asks for the multi-target fan-out.
+
+        Decided on the *raw* spec, before deduplication: ``"appsim"``
+        is a plain single-backend request, while ``"appsim,appsim"``
+        deliberately enters the fan-out — deduplicating to one leg and
+        yielding a degenerate single-target report with zero
+        divergences (register the factory under a second name for a
+        real self-comparison, as the CI compare-smoke job does). A
+        pre-resolved ``target`` always bypasses the registry, and
+        therefore the fan-out.
+        """
+        return self.target is None and len(self._backend_spec()) > 1
 
     @staticmethod
     def for_app(app, workload: str = "bench") -> "AnalysisRequest":
@@ -128,10 +194,13 @@ class AnalysisRequest:
         )
 
     def resolve(self) -> ResolvedTarget:
-        """The concrete target, via the registry unless pre-resolved."""
+        """The concrete (single) target, via the registry unless
+        pre-resolved. Multi-target requests resolve through
+        :func:`~repro.api.registry.create_targets` in the session's
+        fan-out instead."""
         if self.target is not None:
             return self.target
-        return resolve_backend(self.backend)(self)
+        return create_target(self.backend_names(), self)
 
 
 class LoupeSession:
@@ -307,7 +376,7 @@ class LoupeSession:
         on_event: "EventCallback | None" = None,
         progress: "Callable[[str], None] | None" = None,
         use_cache: bool = True,
-    ) -> AnalysisResult:
+    ) -> "AnalysisResult | CrossValidationReport":
         """Analyze one request, memoized in the session database.
 
         *request* may be an :class:`AnalysisRequest`, a corpus app name
@@ -319,17 +388,51 @@ class LoupeSession:
         change how fast an analysis runs, never what it concludes, and
         so never force a re-run. ``use_cache=False`` forces a fresh
         run (the new record still replaces the stored one).
+
+        A request addressing several targets (``backends=...`` or a
+        comma list in ``backend``) fans the campaign across all of
+        them — each target's record lands in the loupedb under its own
+        key — and returns the :class:`~repro.report.CrossValidationReport`
+        diffing their observations; a single-target request returns
+        its :class:`~repro.core.result.AnalysisResult` exactly as
+        before.
         """
         coerced = self._coerce(request, workload)
-        target = coerced.resolve()
-        effective = config or self.config
-        semantics = _config_semantics(effective)
-        key = RecordKey(
-            app=target.app,
-            app_version=target.app_version,
-            workload=target.workload.name,
-            backend=backend_name(target.backend),
+        emit = self._emitter(on_event, progress)
+        if coerced.is_multi_target():
+            return self._fan_out(
+                coerced, config=config, emit=emit, use_cache=use_cache
+            )
+        return self._analyze_resolved(
+            coerced.resolve(), config=config, emit=emit, use_cache=use_cache
         )
+
+    def _analyze_resolved(
+        self,
+        target: ResolvedTarget,
+        *,
+        config: "AnalyzerConfig | None",
+        emit: "EventCallback | None",
+        use_cache: bool,
+        independent: bool = False,
+    ) -> AnalysisResult:
+        """One target's analysis, memoized in the session database
+        (the single-target path, and one leg of a fan-out).
+
+        ``independent`` legs (fan-out identity collisions) must
+        produce evidence of their own: besides skipping the session
+        memo, they run without *any* persistent run cache — the store
+        is keyed by ``(backend name, workload, policy, replica)``, so
+        a shared (or campaign-warmed) store would answer one leg with
+        the other's runs and mask every divergence.
+        """
+        effective = config or self.config
+        if independent and effective.run_cache:
+            effective = dataclasses.replace(
+                effective, run_cache=None, run_cache_max_entries=None
+            )
+        semantics = _config_semantics(effective)
+        key = _target_record_key(target)
 
         def cache_answers() -> bool:
             # Records this session produced answer only matching
@@ -352,9 +455,8 @@ class LoupeSession:
                 effective.run_cache, effective.run_cache_max_entries
             )
             if effective.run_cache
-            else self.run_cache
+            else (None if independent else self.run_cache)
         )
-        emit = self._emitter(on_event, progress)
         with Analyzer(effective, store=store) as analyzer:
             result = analyzer.analyze(
                 target.backend,
@@ -380,6 +482,146 @@ class LoupeSession:
             self.last_transfer_stats = analyzer.last_transfer_stats
         return result
 
+    def _fan_out(
+        self,
+        coerced: AnalysisRequest,
+        *,
+        config: "AnalyzerConfig | None",
+        emit: "EventCallback | None",
+        use_cache: bool,
+    ) -> CrossValidationReport:
+        """Fan one (workload, policy) campaign across every requested
+        backend and cross-validate the per-target results.
+
+        All targets resolve up front (an unknown name anywhere in the
+        spec fails before any run), then analyze concurrently when
+        every backend's capability contract declares ``parallel_safe``
+        — otherwise strictly in spec order (a live ptrace target in
+        the mix keeps the whole fan-out serial rather than risking
+        port/state contention). Each target's events are stamped with
+        its registry name; each record lands in the loupedb under its
+        own key.
+
+        A comparison must compare *runs*, not copies of one record: a
+        registry variant whose execution backend shares another
+        target's loupedb identity (same ``backend.name`` — every
+        re-registration of the appsim factory does this) would
+        otherwise be answered from the first leg's memoized record and
+        trivially "agree". So legs whose record key collides with an
+        earlier leg of the same fan-out always execute fresh; their
+        targets share one loupedb key (identity is the backend's own
+        contract), but the report is built from what each leg actually
+        observed.
+        """
+        names = coerced.backend_names()
+        targets = create_targets(names, coerced)
+        capabilities = [
+            capabilities_of(target.backend) for target in targets
+        ]
+        keys = [_target_record_key(target) for target in targets]
+        # Every member of a colliding group runs independently — not
+        # just the later legs: a memoized first leg could otherwise
+        # adopt a colliding leg's concurrently-written record in the
+        # post-run "first write wins" check and discard its own run.
+        independent = [keys.count(key) > 1 for key in keys]
+
+        def run_target(index: int) -> AnalysisResult:
+            name, target = names[index], targets[index]
+            target_emit = (
+                tag_backend(emit, name) if emit is not None else None
+            )
+            started = time.monotonic()
+            if target_emit is not None:
+                target_emit(TargetStarted(
+                    backend=name, index=index, total=len(targets),
+                    app=target.app,
+                ))
+            result = self._analyze_resolved(
+                target, config=config, emit=target_emit,
+                use_cache=use_cache and not independent[index],
+                independent=independent[index],
+            )
+            if target_emit is not None:
+                target_emit(TargetFinished(
+                    backend=name, ok=result.final_run_ok,
+                    duration_s=time.monotonic() - started,
+                    app=target.app,
+                ))
+            return result
+
+        if len(targets) > 1 and all(c.parallel_safe for c in capabilities):
+            with ThreadPoolExecutor(
+                max_workers=len(targets), thread_name_prefix="loupe-target"
+            ) as pool:
+                futures = [
+                    pool.submit(run_target, index)
+                    for index in range(len(targets))
+                ]
+                results = [future.result() for future in futures]
+        else:
+            results = [run_target(index) for index in range(len(targets))]
+
+        report = cross_validate(
+            [
+                (name, result, caps.real_execution)
+                for name, result, caps
+                in zip(names, results, capabilities)
+            ],
+            app=targets[0].app,
+            workload=targets[0].workload.name,
+        )
+        if emit is not None:
+            emit(CrossValidationReady(
+                report=report.to_dict(), app=report.app
+            ))
+        return report
+
+    def compare(
+        self,
+        request,
+        *,
+        backends: "str | Sequence[str] | None" = None,
+        workload: "str | None" = None,
+        config: "AnalyzerConfig | None" = None,
+        on_event: "EventCallback | None" = None,
+        progress: "Callable[[str], None] | None" = None,
+        use_cache: bool = True,
+    ) -> CrossValidationReport:
+        """Cross-validate one request across execution backends.
+
+        Like :meth:`analyze`, but always through the multi-target
+        fan-out and always returning the
+        :class:`~repro.report.CrossValidationReport` — even for a
+        single backend (a degenerate report with no divergences).
+        *backends* overrides the request's own backend spec
+        (``backends="appsim,ptrace"`` or an iterable of names) —
+        including a pre-resolved request's (an ``App`` model, or one
+        built via :meth:`AnalysisRequest.for_app`), whose target is
+        dropped in favor of registry resolution of its ``app``.
+        """
+        coerced = self._coerce(request, workload)
+        if backends is not None:
+            # The override wins completely: drop any pre-resolved
+            # target so the named factories re-resolve the request
+            # (its app/workload identity fields are already set).
+            coerced = dataclasses.replace(
+                coerced,
+                backends=parse_backend_names(backends),
+                target=None,
+            )
+        if coerced.target is not None:
+            raise ValueError(
+                "compare() fans out over registry backend names; a "
+                "pre-resolved target request cannot be compared — pass "
+                "backends=... with registry names instead"
+            )
+        return self._fan_out(
+            coerced,
+            config=config,
+            emit=self._emitter(on_event, progress),
+            use_cache=use_cache,
+        )
+
     def analyze_many(
         self,
         requests: Iterable,
@@ -387,12 +629,14 @@ class LoupeSession:
         jobs: int = 1,
         config: "AnalyzerConfig | None" = None,
         use_cache: bool = True,
-    ) -> list[AnalysisResult]:
+    ) -> "list[AnalysisResult | CrossValidationReport]":
         """Analyze a batch of requests, ``jobs`` at a time.
 
         Requests share nothing but the lock-guarded session database;
         results come back in request order regardless of completion
-        order.
+        order. A multi-target request in the batch fans out exactly as
+        in :meth:`analyze` and contributes its
+        :class:`~repro.report.CrossValidationReport` at its position.
         """
         if jobs < 1:
             raise ValueError("jobs must be >= 1")

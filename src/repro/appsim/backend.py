@@ -13,7 +13,7 @@ import dataclasses
 from repro.appsim.program import SimProgram
 from repro.appsim.runtime import SimProcess
 from repro.core.policy import InterpositionPolicy
-from repro.core.runner import RunResult
+from repro.core.runner import BackendCapabilities, RunResult
 from repro.core.workload import Workload
 
 
@@ -38,6 +38,32 @@ class SimBackend:
         #: *processes* — the simulation is CPU-bound pure Python, and
         #: process sharding is what lifts the GIL cap on it.
         self.process_safe = True
+
+    def capabilities(self) -> BackendCapabilities:
+        """The simulator's scheduling/feature contract.
+
+        Reads through the instance attributes above (rather than
+        returning a constant) so tests and embedders that tune a
+        single flag on one backend object — say, withdrawing
+        ``process_safe`` — get a contract that follows. Tune flags
+        *before* handing the object to a scheduler: the probe engine
+        resolves the contract once per backend object per analysis
+        (:meth:`~repro.core.engine.ProbeEngine.capabilities_for`), so
+        a mid-analysis flip is not observed until the next
+        ``reset()``. Pseudo-files
+        and sub-features are first-class in the program model, so both
+        analysis modes are meaningful; ``real_execution`` stays False —
+        this is a *model* of the application, which is exactly what
+        cross-validation against the ptrace backend is meant to check.
+        """
+        return BackendCapabilities(
+            deterministic=self.deterministic,
+            parallel_safe=self.parallel_safe,
+            process_safe=self.process_safe,
+            supports_pseudo_files=True,
+            supports_subfeatures=True,
+            real_execution=False,
+        )
 
     def run(
         self,

@@ -4,8 +4,14 @@ Subcommands mirror how the paper's tool is used:
 
 * ``analyze``  — run the full stub/fake analysis of one corpus app (or
   a real command with ``--exec``) and print the report; ``--backend``
-  picks any registered execution backend and ``--events jsonl``
+  picks any registered execution backend — or several at once as a
+  comma list (``--backend appsim,ptrace``), fanning the campaign out
+  and printing the cross-validation report — and ``--events jsonl``
   streams structured progress events.
+* ``compare``  — fan one app/workload across several backends and
+  print the cross-validation report (divergences classified as
+  missing-in-sim / extra-in-sim / count-only / verdict-differs /
+  stability-differs).
 * ``plan``     — generate an incremental support plan for an OS
   (named profile or a CSV support file) over target apps.
 * ``study``    — regenerate a paper table or figure by name.
@@ -21,8 +27,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 
-from repro.api.registry import BackendResolutionError, UnknownBackendError
+from repro.api.registry import BackendRegistryError, resolve_backend
 from repro.api.session import AnalysisRequest, LoupeSession
 from repro.appsim.corpus import CLOUD_APPS, cloud_apps, corpus
 from repro.core.analyzer import AnalyzerConfig
@@ -47,6 +54,86 @@ def _positive_int(raw: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError("must be >= 1")
     return value
+
+
+def _jsonl_emitter(args: argparse.Namespace):
+    """The ``--events jsonl`` event callback (None when not streaming).
+
+    Concurrency-safe: a multi-backend fan-out (and ``analyze_many``)
+    emits events from several threads into this one callback, and
+    ``print()`` issues separate writes for the payload and the
+    newline — interleaved emissions would corrupt the line protocol.
+    One locked ``write()`` per event keeps every line well-formed.
+    """
+    if args.events != "jsonl":
+        return None
+    lock = threading.Lock()
+
+    def on_event(event) -> None:
+        line = json.dumps(event.to_dict()) + "\n"
+        with lock:
+            sys.stdout.write(line)
+            sys.stdout.flush()
+
+    return on_event
+
+
+def _save_output(session: LoupeSession, args: argparse.Namespace) -> None:
+    """Honor ``--output``: persist the session's result database."""
+    if args.output:
+        session.database.save(args.output)
+        print(f"saved to {args.output}")
+
+
+def _check_exec_spec(args: argparse.Namespace, request: AnalysisRequest,
+                     names: "tuple[str, ...]") -> "int | None":
+    """Sanity-check ``--exec`` against the backend spec (both commands).
+
+    Capability-driven, not name-driven (a registered appsim variant
+    must not slip past a literal ``"appsim"`` check): each named
+    backend is resolved and asked for its contract, and
+    ``real_execution`` is what marks a backend as actually running
+    the ``--exec`` command. Returns an exit code when *no* named
+    backend would run it (the command would be silently dropped), and
+    prints a note when model-analyzing backends are merely mixed with
+    command-running ones (the paper's model-vs-command comparison,
+    meaningful only when both name the same program). Backends whose
+    contract comes through the legacy attribute shim cannot express
+    ``real_execution``, so they get the benefit of the doubt — no
+    refusal, no note — exactly as the pre-contract CLI behaved.
+    Resolution failures are left for the main path to report with
+    full context; the guard's own resolution is paid again by the
+    analysis (targets are cheap to build next to any traced run).
+    """
+    if not args.exec_argv:
+        return None
+    from repro.api.registry import create_targets
+    from repro.core.runner import capabilities_of
+
+    try:
+        targets = create_targets(names, request)
+    except Exception:
+        return None  # the analysis path surfaces the real error
+    consuming, modeled, unknown = [], [], []
+    for name, target in zip(names, targets):
+        if getattr(target.backend, "capabilities", None) is None:
+            unknown.append(name)  # legacy shim: can't express intent
+        elif capabilities_of(target.backend).real_execution:
+            consuming.append(name)
+        else:
+            modeled.append(name)
+    if not consuming and not unknown:
+        print(f"--exec requires a backend that runs commands "
+              f"(the real_execution capability, e.g. ptrace); none of "
+              f"{', '.join(names)} does, so the command would be "
+              f"ignored", file=sys.stderr)
+        return 2
+    if modeled and consuming:
+        print(f"note: {', '.join(modeled)} analyzes the {args.app!r} "
+              f"model while {', '.join(consuming)} traces the --exec "
+              f"command; the comparison is only meaningful if they "
+              f"are the same program", file=sys.stderr)
+    return None
 
 
 def _print_analysis(result) -> None:
@@ -92,44 +179,96 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         run_cache=args.run_cache,
         run_cache_max_entries=args.run_cache_max_entries,
     )
-    on_event = None
-    if args.events == "jsonl":
-        def on_event(event) -> None:
-            print(json.dumps(event.to_dict()), flush=True)
-
+    backend_spec = args.backend or ("ptrace" if args.exec_argv else "appsim")
+    request = AnalysisRequest(
+        app=args.app,
+        workload=args.workload,
+        backend=backend_spec,
+        argv=tuple(args.exec_argv or ()),
+        timeout_s=args.timeout,
+    )
+    # Validate before building the session: constructing it opens (and
+    # may create) the --run-cache store, a side effect a rejected
+    # invocation must not leave behind. resolve_backend() checks each
+    # name exists without running any factory.
+    try:
+        names = request.backend_names()
+        for name in names:
+            resolve_backend(name)
+    except BackendRegistryError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    blocked = _check_exec_spec(args, request, names)
+    if blocked is not None:
+        return blocked
     try:
         session = LoupeSession(
-            config=config, on_event=on_event, cache_path=args.run_cache
+            config=config, on_event=_jsonl_emitter(args),
+            cache_path=args.run_cache,
         )
     except CacheStoreError as error:
         print(str(error), file=sys.stderr)
         return 2
-    backend_name = args.backend or ("ptrace" if args.exec_argv else "appsim")
-    if args.exec_argv and backend_name == "appsim":
-        # The appsim factory resolves --app and ignores argv; silently
-        # dropping the user's command would be worse than refusing.
-        print("--exec requires a backend that runs commands "
-              "(e.g. --backend ptrace); 'appsim' ignores the command",
-              file=sys.stderr)
-        return 2
+    with session:
+        try:
+            outcome = session.analyze(request)
+        except BackendRegistryError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        if request.is_multi_target():
+            # The fan-out returns the cross-validation report; the
+            # per-target records are queryable in the session database
+            # (and land in --output).
+            from repro.report import render_cross_validation
+
+            print(render_cross_validation(outcome))
+        else:
+            _print_analysis(outcome)
+            print(f"engine: {session.last_engine_stats.describe()}")
+        _save_output(session, args)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = AnalyzerConfig(
+        replicas=args.replicas,
+        subfeature_level=args.subfeatures,
+        pseudo_files=args.pseudofiles,
+        parallel=args.jobs,
+        executor=args.executor,
+    )
     request = AnalysisRequest(
         app=args.app,
         workload=args.workload,
-        backend=backend_name,
+        backend=args.backends,
         argv=tuple(args.exec_argv or ()),
         timeout_s=args.timeout,
     )
-    with session:
+    try:
+        names = request.backend_names()
+    except BackendRegistryError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    blocked = _check_exec_spec(args, request, names)
+    if blocked is not None:
+        return blocked
+    from repro.report import render_cross_validation
+
+    with LoupeSession(config=config, on_event=_jsonl_emitter(args)) as session:
         try:
-            result = session.analyze(request)
-        except (UnknownBackendError, BackendResolutionError) as error:
+            report = session.compare(request)
+        except BackendRegistryError as error:
             print(str(error), file=sys.stderr)
             return 2
-        _print_analysis(result)
-        print(f"engine: {session.last_engine_stats.describe()}")
-        if args.output:
-            session.database.save(args.output)
-            print(f"saved to {args.output}")
+        print(render_cross_validation(report))
+        if args.report:
+            from pathlib import Path
+
+            Path(args.report).write_text(
+                json.dumps(report.to_dict(), indent=1)
+            )
+            print(f"report saved to {args.report}")
+        _save_output(session, args)
     return 0
 
 
@@ -341,9 +480,12 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--workload", default="bench",
                          choices=("health", "bench", "suite"))
     analyze.add_argument("--replicas", type=_positive_int, default=3)
-    analyze.add_argument("--backend", default=None, metavar="NAME",
+    analyze.add_argument("--backend", default=None, metavar="NAME[,NAME...]",
                          help="execution backend from the registry "
-                              "(default: appsim, or ptrace with --exec)")
+                              "(default: appsim, or ptrace with --exec). "
+                              "A comma list fans the campaign across "
+                              "every named backend and prints the "
+                              "cross-validation report")
     analyze.add_argument("--events", choices=("jsonl",), default=None,
                          help="stream analysis progress events to stdout "
                               "(one JSON object per line)")
@@ -381,6 +523,43 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--exec", dest="exec_argv", nargs=argparse.REMAINDER,
                          help="trace a real command via ptrace instead")
     analyze.set_defaults(func=_cmd_analyze)
+
+    compare = sub.add_parser(
+        "compare",
+        help="fan one app across several backends and cross-validate "
+             "what each observed",
+    )
+    compare.add_argument("--app", default="redis")
+    compare.add_argument("--workload", default="bench",
+                         choices=("health", "bench", "suite"))
+    compare.add_argument("--backends", default="appsim,ptrace",
+                         metavar="NAME[,NAME...]",
+                         help="registry backends to fan the campaign "
+                              "over (default: appsim,ptrace — the "
+                              "paper's sim-vs-real validation)")
+    compare.add_argument("--replicas", type=_positive_int, default=3)
+    compare.add_argument("--subfeatures", action="store_true")
+    compare.add_argument("--pseudofiles", action="store_true")
+    compare.add_argument("--timeout", type=float, default=60.0)
+    compare.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                         help="probe-engine worker pool width per target")
+    compare.add_argument("--executor",
+                         choices=("auto", "serial", "thread", "process"),
+                         default="auto")
+    compare.add_argument("--events", choices=("jsonl",), default=None,
+                         help="stream analysis progress events (incl. "
+                              "target_started/target_finished and the "
+                              "cross_validation_report) to stdout")
+    compare.add_argument("--report", metavar="PATH", default=None,
+                         help="also write the cross-validation report "
+                              "as JSON to this path")
+    compare.add_argument("--output", help="save the per-target result "
+                                          "database to this path")
+    compare.add_argument("--exec", dest="exec_argv",
+                         nargs=argparse.REMAINDER,
+                         help="command line for command-running "
+                              "backends (e.g. ptrace)")
+    compare.set_defaults(func=_cmd_compare)
 
     plan = sub.add_parser("plan", help="generate a support plan")
     plan.add_argument("--os", default="unikraft")

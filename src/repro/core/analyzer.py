@@ -33,6 +33,15 @@ Progress is reported as the typed event stream of
 :mod:`repro.api.events` (``on_event=``); the historical string callback
 (``progress=``) still works through the event-to-string adapter, whose
 output is byte-identical to the pre-event narration.
+
+How a backend may be scheduled — cached, overlapped, process-sharded —
+is decided entirely by its capability contract
+(:func:`~repro.core.runner.capabilities_of`); the analyzer itself
+never inspects backend attributes. One analyzer drives one execution
+target; fanning a campaign across *several* targets (and
+cross-validating what each observed) is the session's job
+(:meth:`repro.api.session.LoupeSession.analyze` with a multi-backend
+request).
 """
 
 from __future__ import annotations
@@ -40,6 +49,7 @@ from __future__ import annotations
 import dataclasses
 import math
 import time
+import warnings
 from collections.abc import Callable, Sequence
 
 from repro.api.events import (
@@ -170,9 +180,10 @@ class Analyzer:
     """Drives the full Loupe analysis for one (app, workload) pair.
 
     Analyzers context-manage their engine: ``with Analyzer(...) as
-    analyzer`` (or an explicit :meth:`close`) releases the worker
-    pools deterministically. :meth:`analyze` also closes the engine's
-    pools on exit, so one-shot use needs no ``with`` block.
+    analyzer`` (or an explicit :meth:`close`) releases analyzer-owned
+    resources (run-cache stores) deterministically; the probe worker
+    pools themselves are process-wide and shared across analyzers
+    (:func:`repro.core.engine.shutdown_worker_pools` reclaims them).
     """
 
     def __init__(
@@ -212,8 +223,11 @@ class Analyzer:
         self.last_transfer_stats: "object | None" = None
 
     def close(self) -> None:
-        """Release the engine's worker pools and any run-cache store
-        this analyzer created itself (idempotent)."""
+        """Release any run-cache store this analyzer created itself
+        (idempotent). The engine's worker pools are process-wide and
+        survive for other analyzers;
+        :func:`repro.core.engine.shutdown_worker_pools` reclaims
+        them."""
         self.engine.close()
         if self._owned_store is not None:
             self._owned_store.close()
@@ -265,9 +279,10 @@ class Analyzer:
                 app=app, app_version=app_version, emit=emit,
             )
         finally:
-            # Release the engine's worker threads; it lazily recreates
-            # the pool if this analyzer is used again. Stats survive,
-            # so ``engine.stats`` still describes the finished run.
+            # Mark the engine's lifecycle point; the shared worker
+            # pools stay up for the process's other engines. Stats
+            # survive, so ``engine.stats`` still describes the
+            # finished run.
             self.engine.close()
 
     def _analyze(
@@ -287,6 +302,29 @@ class Analyzer:
         # accounting) from any prior analyze() call so identically-named
         # backends of different programs can never cross-contaminate.
         self.engine.reset()
+        # A config asking for observations the backend's contract says
+        # it cannot produce deserves a signal, not silent empty sets.
+        # Only *explicit* contracts are trusted to mean "no": the
+        # legacy attribute shim cannot express the supports_* flags,
+        # so pre-contract backends get the benefit of the doubt (their
+        # runs may well report pseudo-files — collection reads run
+        # results unconditionally either way).
+        if getattr(backend, "capabilities", None) is not None:
+            capabilities = self.engine.capabilities_for(backend)
+            for wanted, supported, mode in (
+                (config.pseudo_files, capabilities.supports_pseudo_files,
+                 "pseudo-file"),
+                (config.subfeature_level,
+                 capabilities.supports_subfeatures, "sub-feature"),
+            ):
+                if wanted and not supported:
+                    warnings.warn(
+                        f"{mode} analysis requested, but backend "
+                        f"{backend_name(backend)} does not declare "
+                        f"support for it; expect no such observations",
+                        UserWarning,
+                        stacklevel=3,
+                    )
 
         emit(AnalysisStarted(
             app=identity,

@@ -30,12 +30,13 @@ analyzer's implicit run loop into an explicit scheduler that
 
 Correctness contract: a run may only be answered from either cache when
 the backend is deterministic for a fixed ``(workload, policy,
-replica)`` triple. Backends declare this with a ``deterministic``
-attribute (the simulation backend sets it — it is deterministic by
-construction); backends that do not declare it — notably the real
-ptrace backend, whose runs are replicated precisely *because* they
-are not reproducible — are never served from the caches, even when
-caching is enabled. Under that contract the caches never change
+replica)`` triple. Backends declare this through their capability
+contract (:func:`~repro.core.runner.capabilities_of`; the simulation
+backend declares ``deterministic`` — it is reproducible by
+construction); backends that do not — notably the real ptrace
+backend, whose runs are replicated precisely *because* they are not
+reproducible — are never served from the caches, even when caching is
+enabled. Under that contract the caches never change
 *what* an analysis concludes, only how many runs it takes to conclude
 it. Cache keys assume ``backend.name`` uniquely identifies the
 application build — callers analyzing two different programs behind
@@ -46,10 +47,12 @@ separate cache files (the simulation backends embed name *and*
 version in their backend name for exactly this reason).
 
 Executor fallback is per-backend and always conservative: a backend
-that does not declare ``parallel_safe`` runs serially no matter what
-was requested; a ``process`` request degrades to threads when the
-backend fails :func:`~repro.core.runner.process_shardable` (not
-declared process-safe, or not picklable).
+whose capabilities do not include ``parallel_safe`` runs serially no
+matter what was requested; a ``process`` request degrades to threads
+when the backend fails :func:`~repro.core.runner.process_shardable`
+(capabilities without ``process_safe``, or not picklable). Capability
+descriptors resolve once per backend object through
+:meth:`ProbeEngine.capabilities_for`.
 
 Run submission (:meth:`ProbeEngine.run` / :meth:`ProbeEngine.run_replicas`
 / :meth:`ProbeEngine.run_probe_batch`) is thread-safe; the engine is
@@ -75,9 +78,11 @@ from repro.core.policy import InterpositionPolicy
 from repro.core.replicas import ProbeOutcome, aggregate
 from repro.core.cachestore import RunCacheBackend
 from repro.core.runner import (
+    BackendCapabilities,
     ExecutionBackend,
     RunResult,
     backend_name,
+    capabilities_of,
     process_shardable,
 )
 from repro.core.workload import Workload
@@ -96,20 +101,27 @@ EXECUTORS = ("auto", "serial", "thread", "process")
 #: load-balance, few enough that per-chunk IPC stays negligible.
 _CHUNKS_PER_WORKER = 8
 
-#: The process-wide shared worker-process pool (see
-#: :func:`_shared_process_pool`). Starting worker processes is the
+#: The process-wide shared worker pools (see :func:`_shared_process_pool`
+#: and :func:`_shared_thread_pool`). Starting worker processes is the
 #: single most expensive thing this module does — every engine of the
-#: process shares one pool instead of paying it per analysis.
+#: process shares one pool instead of paying it per analysis. The
+#: thread pool is shared for a different reason: concurrent analyzers
+#: (``analyze_many(jobs=N)``) each sizing a private probe pool would
+#: multiply ``jobs × parallel`` threads and oversubscribe the machine;
+#: one shared pool caps probe concurrency at the widest ``parallel``
+#: requested, no matter how many analyses run at once.
 _PROCESS_POOL: "concurrent.futures.ProcessPoolExecutor | None" = None
 _PROCESS_POOL_WIDTH = 0
-_PROCESS_POOL_LOCK = threading.Lock()
+_THREAD_POOL: "concurrent.futures.ThreadPoolExecutor | None" = None
+_THREAD_POOL_WIDTH = 0
+_POOL_LOCK = threading.Lock()
 #: Pools displaced by a wider request. They stay alive — an engine
 #: that fetched one may still be mid-batch, and shutting it down under
 #: that engine would abort the analysis — until
-#: :func:`shutdown_process_pool` reclaims everything. Bounded by the
+#: :func:`shutdown_worker_pools` reclaims everything. Bounded by the
 #: number of distinct pool growths in one process (rare: campaigns
 #: run at one width).
-_RETIRED_POOLS: list[concurrent.futures.ProcessPoolExecutor] = []
+_RETIRED_POOLS: list[concurrent.futures.Executor] = []
 
 
 def _process_context() -> "multiprocessing.context.BaseContext":
@@ -143,7 +155,7 @@ def _shared_process_pool(width: int) -> concurrent.futures.Executor:
     :func:`shutdown_process_pool` to reclaim the workers explicitly.
     """
     global _PROCESS_POOL, _PROCESS_POOL_WIDTH
-    with _PROCESS_POOL_LOCK:
+    with _POOL_LOCK:
         if _PROCESS_POOL is None or _PROCESS_POOL_WIDTH < width:
             if _PROCESS_POOL is not None:
                 # Never shut a displaced pool down here: an engine
@@ -160,17 +172,51 @@ def _shared_process_pool(width: int) -> concurrent.futures.Executor:
         return _PROCESS_POOL
 
 
+def _new_thread_pool(width: int) -> concurrent.futures.ThreadPoolExecutor:
+    """Build a probe thread pool (split out so tests can count it)."""
+    return concurrent.futures.ThreadPoolExecutor(
+        max_workers=width, thread_name_prefix="loupe-probe"
+    )
+
+
+def _shared_thread_pool(width: int) -> concurrent.futures.Executor:
+    """The process-wide probe thread pool, at least *width* wide.
+
+    One pool serves every engine of the process, so app-level
+    concurrency (``analyze_many(jobs=N)``, each job with its own
+    analyzer and engine) and probe-level parallelism compose instead
+    of multiplying: total in-flight probe runs are capped by the
+    widest ``parallel`` any engine asked for, not ``jobs × parallel``.
+    Grown (never shrunk) when a wider engine comes along — displaced
+    pools retire until :func:`shutdown_worker_pools` reclaims them,
+    exactly like the process pool.
+    """
+    global _THREAD_POOL, _THREAD_POOL_WIDTH
+    with _POOL_LOCK:
+        if _THREAD_POOL is None or _THREAD_POOL_WIDTH < width:
+            if _THREAD_POOL is not None:
+                _RETIRED_POOLS.append(_THREAD_POOL)
+            _THREAD_POOL = _new_thread_pool(width)
+            _THREAD_POOL_WIDTH = width
+        return _THREAD_POOL
+
+
 def shutdown_process_pool() -> None:
     """Shut the shared worker-process pool down (idempotent).
 
     The next process-sharded run transparently starts a fresh pool.
-    Registered at interpreter exit; long-lived embedders can call it
-    earlier to reclaim the worker processes.
+    Long-lived embedders can call it to reclaim the worker processes
+    while keeping the (cheap) thread pool warm;
+    :func:`shutdown_worker_pools` reclaims both.
     """
     global _PROCESS_POOL, _PROCESS_POOL_WIDTH
-    with _PROCESS_POOL_LOCK:
-        pools = list(_RETIRED_POOLS)
-        _RETIRED_POOLS.clear()
+    with _POOL_LOCK:
+        pools = [
+            pool for pool in _RETIRED_POOLS
+            if isinstance(pool, concurrent.futures.ProcessPoolExecutor)
+        ]
+        for pool in pools:
+            _RETIRED_POOLS.remove(pool)
         if _PROCESS_POOL is not None:
             pools.append(_PROCESS_POOL)
         _PROCESS_POOL = None
@@ -179,7 +225,34 @@ def shutdown_process_pool() -> None:
         pool.shutdown(wait=True)
 
 
-atexit.register(shutdown_process_pool)
+def shutdown_worker_pools() -> None:
+    """Shut both shared worker pools down (idempotent).
+
+    The next scheduled run transparently starts fresh pools.
+    Registered at interpreter exit; long-lived embedders can call it
+    earlier to reclaim the worker threads and processes — including
+    while other threads are mid-batch: shutdown waits for in-flight
+    runs, and the thread-sharded submit loop re-fetches a replacement
+    pool when it finds its pool shut.
+    """
+    global _THREAD_POOL, _THREAD_POOL_WIDTH
+    with _POOL_LOCK:
+        pools: list[concurrent.futures.Executor] = [
+            pool for pool in _RETIRED_POOLS
+            if isinstance(pool, concurrent.futures.ThreadPoolExecutor)
+        ]
+        for pool in pools:
+            _RETIRED_POOLS.remove(pool)
+        if _THREAD_POOL is not None:
+            pools.append(_THREAD_POOL)
+        _THREAD_POOL = None
+        _THREAD_POOL_WIDTH = 0
+    for pool in pools:
+        pool.shutdown(wait=True)
+    shutdown_process_pool()
+
+
+atexit.register(shutdown_worker_pools)
 
 
 def _execute_chunk(
@@ -288,8 +361,9 @@ class ProbeEngine:
     cache:
         Enable run-result memoization. Disabling it forces every
         request through the backend (useful for benchmarking the raw
-        run cost). Even when enabled, only backends declaring
-        ``deterministic = True`` are ever answered from a cache.
+        run cost). Even when enabled, only backends whose capability
+        contract declares ``deterministic`` are ever answered from a
+        cache.
     cache_size:
         Maximum cached :class:`RunResult`s before least-recently-used
         eviction (this engine's in-memory LRU only; the persistent
@@ -343,10 +417,16 @@ class ProbeEngine:
         self._hits = 0
         self._skipped = 0
         self._persistent_hits = 0
-        self._pools: dict[str, concurrent.futures.Executor] = {}
-        #: id(backend) -> (backend, process_shardable(backend)); the
-        #: backend reference pins the id so a verdict can never be
-        #: served to a recycled object.
+        #: id(backend) -> (backend, BackendCapabilities); resolved once
+        #: per backend object, so a legacy backend's shimmed attributes
+        #: (and the accompanying DeprecationWarning) are read once, not
+        #: per run. The backend reference pins the id so a descriptor
+        #: can never be served to a recycled object.
+        self._capability_cache: dict[
+            int, tuple[object, BackendCapabilities]
+        ] = {}
+        #: id(backend) -> (backend, process_shardable(backend)); same
+        #: id-pinning contract as the capability cache.
         self._shard_verdicts: dict[int, tuple[object, bool]] = {}
 
     # -- lifecycle ---------------------------------------------------------
@@ -365,16 +445,16 @@ class ProbeEngine:
         return "thread"
 
     def close(self) -> None:
-        """Shut this engine's worker pools down (idempotent). The
-        engine stays usable: pools are lazily rebuilt — at the
-        *current* ``parallel`` width — on the next scheduling call.
-        The shared worker-*process* pool is left running for the other
-        engines of the process (:func:`shutdown_process_pool` reclaims
-        it explicitly)."""
-        with self._lock:
-            pools, self._pools = dict(self._pools), {}
-        for pool in pools.values():
-            pool.shutdown(wait=True)
+        """Release this engine's hold on scheduling state (idempotent).
+
+        The worker pools — thread and process alike — are process-wide
+        and deliberately survive this call for the other engines of
+        the process (:func:`shutdown_worker_pools` reclaims them
+        explicitly); the engine stays usable, re-fetching a pool — at
+        the *current* ``parallel`` width — on the next scheduling
+        call. Kept as an explicit lifecycle point so analyzers and
+        sessions can context-manage engines uniformly.
+        """
 
     def __enter__(self) -> "ProbeEngine":
         return self
@@ -383,26 +463,39 @@ class ProbeEngine:
         self.close()
 
     def _pool(self, kind: str) -> concurrent.futures.Executor:
+        # Both pool kinds are process-wide: worker processes because
+        # they are stateless and expensive to start, worker threads so
+        # concurrent analyzers share one probe budget instead of
+        # stacking jobs × parallel threads.
         if kind == "process":
-            # Worker processes are stateless and expensive to start:
-            # every engine of the process shares one pool.
             return _shared_process_pool(self.parallel)
+        return _shared_thread_pool(self.parallel)
+
+    def capabilities_for(self, backend: ExecutionBackend) -> BackendCapabilities:
+        """The backend's capability descriptor, resolved once per object.
+
+        Memoizing here keeps the hot paths (`_cacheable` runs per
+        scheduled run) off the descriptor resolution — which for
+        legacy backends goes through the attribute shim and its
+        deprecation warning. Cleared on :meth:`reset`.
+        """
         with self._lock:
-            pool = self._pools.get(kind)
-            if pool is None:
-                pool = concurrent.futures.ThreadPoolExecutor(
-                    max_workers=self.parallel,
-                    thread_name_prefix="loupe-probe",
-                )
-                self._pools[kind] = pool
-            return pool
+            cached = self._capability_cache.get(id(backend))
+        if cached is not None and cached[0] is backend:
+            return cached[1]
+        capabilities = capabilities_of(backend)
+        with self._lock:
+            # The strong backend reference keeps the id stable for the
+            # descriptor's lifetime (cleared on reset).
+            self._capability_cache[id(backend)] = (backend, capabilities)
+        return capabilities
 
     def mode_for(self, backend: ExecutionBackend) -> str:
         """The executor one backend's probes actually get.
 
-        Sharding of any kind requires the backend to declare
-        ``parallel_safe = True``: overlapping replicas of a live
-        command (the ptrace backend) would contend on ports and
+        Sharding of any kind requires the backend's capability
+        contract to declare ``parallel_safe``: overlapping replicas of
+        a live command (the ptrace backend) would contend on ports and
         on-disk state and corrupt each other's outcomes. Process
         sharding additionally requires the backend to survive
         pickling; declared-but-unshardable backends degrade to the
@@ -413,7 +506,8 @@ class ProbeEngine:
         kind = self.executor_name
         if kind == "serial":
             return "serial"
-        if not getattr(backend, "parallel_safe", False):
+        capabilities = self.capabilities_for(backend)
+        if not capabilities.parallel_safe:
             return "serial"
         if kind == "process":
             with self._lock:
@@ -421,7 +515,9 @@ class ProbeEngine:
             if cached is not None and cached[0] is backend:
                 shardable = cached[1]
             else:
-                shardable = process_shardable(backend)
+                shardable = process_shardable(
+                    backend, capabilities=capabilities
+                )
                 with self._lock:
                     # The strong backend reference keeps the id stable
                     # for the verdict's lifetime (cleared on reset).
@@ -445,17 +541,19 @@ class ProbeEngine:
             )
 
     def reset(self) -> None:
-        """Drop the LRU, zero the statistics, and tear down the pools.
+        """Drop the LRU, zero the statistics, forget backend verdicts.
 
-        Pools are rebuilt on next use at the current ``parallel``
-        width, so resizing an engine between campaigns takes effect
-        here rather than silently keeping the old pool. The persistent
-        store — whose entire purpose is surviving campaign boundaries —
-        is deliberately left alone.
+        The next scheduling call re-fetches the shared pools at the
+        current ``parallel`` width, so resizing an engine between
+        campaigns takes effect here (a wider width grows the shared
+        pool; narrower engines simply use fewer of its slots). The
+        persistent store — whose entire purpose is surviving campaign
+        boundaries — is deliberately left alone.
         """
         self.close()
         with self._lock:
             self._cache.clear()
+            self._capability_cache.clear()
             self._shard_verdicts.clear()
             self._requested = 0
             self._executed = 0
@@ -482,7 +580,10 @@ class ProbeEngine:
         )
 
     def _cacheable(self, backend: ExecutionBackend) -> bool:
-        return self.cache_enabled and getattr(backend, "deterministic", False)
+        return (
+            self.cache_enabled
+            and self.capabilities_for(backend).deterministic
+        )
 
     def _evict_locked(self) -> None:
         while len(self._cache) > self.cache_size:
@@ -706,32 +807,71 @@ class ProbeEngine:
         failed: list[bool],
         early_exit: bool,
     ) -> None:
-        """Thread sharding: one pool task per run, so a failed replica
-        can still cancel queued siblings at single-run granularity."""
+        """Thread sharding with bounded, lazy submission.
+
+        The thread pool is process-wide and may be wider than this
+        engine's ``parallel`` (grown by a wider engine, never shrunk).
+        Submitting lazily — at most ``parallel`` runs in flight, the
+        next entering as one completes — keeps ``parallel`` a true
+        per-engine bound on backend concurrency regardless of the
+        shared width, and sharpens early exit: a failed probe's
+        not-yet-submitted siblings are simply never submitted (the
+        eager version could only race to cancel them), while
+        already-running siblings are still cancelled best-effort.
+        """
         pool = self._pool("thread")
-        futures = {
-            pool.submit(backend.run, workload, policy, replica=replica):
-                (probe_index, replica)
-            for probe_index, replica, policy, _key in tasks
-        }
-        try:
-            for future in concurrent.futures.as_completed(futures):
-                probe_index, replica = futures[future]
+        position = 0
+        active: "dict[concurrent.futures.Future, tuple[int, int]]" = {}
+
+        def submit_ready() -> None:
+            nonlocal position, pool
+            while position < len(tasks) and len(active) < self.parallel:
+                probe_index, replica, policy, _key = tasks[position]
+                position += 1
+                if early_exit and failed[probe_index]:
+                    continue  # a sibling already failed: never submit
                 try:
-                    result = future.result()
-                except concurrent.futures.CancelledError:
-                    continue
-                self._record(keys[(probe_index, replica)], result)
-                collected[probe_index][replica] = result
-                if early_exit and not result.success and not failed[probe_index]:
-                    failed[probe_index] = True
-                    for other, (other_probe, _) in futures.items():
-                        if other_probe == probe_index and other is not future:
-                            other.cancel()
+                    future = pool.submit(
+                        backend.run, workload, policy, replica=replica
+                    )
+                except RuntimeError:
+                    # The shared pool was shut down under us
+                    # (shutdown_worker_pools from another thread).
+                    # Its in-flight runs completed — shutdown waits —
+                    # so transparently re-fetch the replacement pool
+                    # and resubmit; a second failure is a real
+                    # interpreter-shutdown and propagates.
+                    pool = self._pool("thread")
+                    future = pool.submit(
+                        backend.run, workload, policy, replica=replica
+                    )
+                active[future] = (probe_index, replica)
+
+        submit_ready()
+        try:
+            while active:
+                done, _ = concurrent.futures.wait(
+                    active, return_when=concurrent.futures.FIRST_COMPLETED
+                )
+                for future in done:
+                    probe_index, replica = active.pop(future)
+                    try:
+                        result = future.result()
+                    except concurrent.futures.CancelledError:
+                        continue
+                    self._record(keys[(probe_index, replica)], result)
+                    collected[probe_index][replica] = result
+                    if early_exit and not result.success \
+                            and not failed[probe_index]:
+                        failed[probe_index] = True
+                        for other, (other_probe, _) in active.items():
+                            if other_probe == probe_index:
+                                other.cancel()
+                submit_ready()
         except BaseException:
             # Mirror the serial path: a backend error ends the batch;
             # don't let queued runs keep executing on discarded.
-            for other in futures:
+            for other in active:
                 other.cancel()
             raise
 

@@ -10,8 +10,18 @@ class wrote); new code should use
 backend by path.
 """
 
+import warnings
+
 from repro.core.cachestore.base import StoreKey
 from repro.core.cachestore.jsonl import JsonlRunCache
+
+warnings.warn(
+    "repro.core.runcache is deprecated; import from "
+    "repro.core.cachestore instead (RunCacheStore is the JSONL "
+    "backend — open_store(path) picks a backend by path)",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 #: The historical name of the JSONL backend.
 RunCacheStore = JsonlRunCache

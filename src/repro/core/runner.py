@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 import pickle
+import warnings
 from collections import Counter
 from typing import Protocol, runtime_checkable
 
@@ -120,27 +121,144 @@ class RunResult:
         )
 
 
+@dataclasses.dataclass(frozen=True)
+class BackendCapabilities:
+    """What one execution backend promises its schedulers and consumers.
+
+    The capability contract of the backend protocol: a frozen,
+    all-defaults-false descriptor every backend returns from its
+    ``capabilities()`` method. Schedulers (the probe engine, the
+    session's multi-target fan-out) consult the descriptor instead of
+    sniffing attributes, and cross-validation reports use it to pick
+    the reference target. Absence of a capability always means "no" —
+    the conservative reading keeps a silent backend safe to schedule.
+
+    * ``deterministic`` — a fixed ``(workload, policy, replica)``
+      triple always yields the same result, so run caches may answer
+      repeats;
+    * ``parallel_safe`` — concurrent runs share no mutable state, so
+      runs may overlap in time (replicas of one probe, or whole
+      analyses of a multi-target fan-out);
+    * ``process_safe`` — the backend (and its results) survive
+      pickling, so runs may be sharded out to worker *processes*
+      (:func:`process_shardable` additionally verifies the pickle
+      round-trip);
+    * ``supports_pseudo_files`` — runs observe accesses to special
+      files (``/dev/...``, ``/proc/...``), so pseudo-file analysis is
+      meaningful;
+    * ``supports_subfeatures`` — runs qualify vectored syscalls with
+      the operation invoked (``fcntl:F_SETFD``), so sub-feature
+      analysis is meaningful;
+    * ``real_execution`` — runs execute the real application on the
+      real kernel (the ptrace backend) rather than a model of it;
+      cross-validation prefers such a target as its reference.
+    """
+
+    deterministic: bool = False
+    parallel_safe: bool = False
+    process_safe: bool = False
+    supports_pseudo_files: bool = False
+    supports_subfeatures: bool = False
+    real_execution: bool = False
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_dict(document: dict) -> "BackendCapabilities":
+        fields = {f.name for f in dataclasses.fields(BackendCapabilities)}
+        return BackendCapabilities(**{
+            name: bool(value)
+            for name, value in document.items()
+            if name in fields
+        })
+
+
+#: The pre-contract spelling: bare boolean attributes on the backend
+#: object. :func:`capabilities_of` synthesizes a descriptor from them
+#: (and warns) so backends written against the old protocol keep
+#: scheduling exactly as before.
+_LEGACY_CAPABILITY_ATTRIBUTES = (
+    "deterministic", "parallel_safe", "process_safe"
+)
+
+
+def capabilities_of(backend: object) -> BackendCapabilities:
+    """The backend's capability contract, via ``capabilities()``.
+
+    This is the single sanctioned way to read capabilities — nothing
+    outside this function may sniff capability attributes. Backends
+    that predate the contract and still declare bare attributes
+    (``deterministic``/``parallel_safe``/``process_safe``) keep
+    working through the legacy shim below: the attributes are
+    synthesized into a descriptor and a :class:`DeprecationWarning`
+    points at the method. A backend declaring neither is scheduled
+    with no capabilities at all (serial, uncached) — the conservative
+    default the old ``getattr(..., False)`` sniffing encoded.
+    """
+    method = getattr(backend, "capabilities", None)
+    if isinstance(method, BackendCapabilities):
+        # A descriptor stored as a plain attribute is an honest (and
+        # natural dataclass-style) declaration; accept it rather than
+        # silently scheduling the backend with no capabilities.
+        return method
+    if method is not None and not callable(method):
+        raise TypeError(
+            f"{type(backend).__name__}.capabilities must be a method "
+            f"returning BackendCapabilities (or a BackendCapabilities "
+            f"instance), got {type(method).__name__}"
+        )
+    if callable(method):
+        capabilities = method()
+        if not isinstance(capabilities, BackendCapabilities):
+            raise TypeError(
+                f"{type(backend).__name__}.capabilities() must return a "
+                f"BackendCapabilities descriptor, got "
+                f"{type(capabilities).__name__}"
+            )
+        return capabilities
+    # Legacy shim: synthesize the descriptor from declared attributes.
+    declared = [
+        name for name in _LEGACY_CAPABILITY_ATTRIBUTES
+        if hasattr(backend, name)
+    ]
+    if declared:
+        warnings.warn(
+            f"{type(backend).__name__} declares legacy capability "
+            f"attribute(s) {', '.join(declared)}; implement a "
+            f"capabilities() method returning BackendCapabilities "
+            f"instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return BackendCapabilities(**{
+        name: bool(getattr(backend, name, False))
+        for name in _LEGACY_CAPABILITY_ATTRIBUTES
+    })
+
+
 @runtime_checkable
 class ExecutionBackend(Protocol):
     """Runs one application workload under an interposition policy.
 
-    Beyond ``run``, backends opt into scheduling capabilities by
-    declaring capability attributes (absence always means "no"):
-
-    * ``deterministic = True`` — a fixed ``(workload, policy, replica)``
-      triple always yields the same result, so the probe engine may
-      answer repeats from its run caches;
-    * ``parallel_safe = True`` — concurrent runs share no mutable
-      state, so replicas of one probe may overlap in time;
-    * ``process_safe = True`` — the backend (and its results) survive
-      pickling, so runs may be sharded out to worker *processes*
-      (:func:`process_shardable` additionally verifies the pickle
-      round-trip). The ptrace backend deliberately declares none of
-      these: live traced processes contend on ports and on-disk state
-      and hold OS handles no child process could inherit.
+    Beyond ``run``, backends declare their scheduling contract by
+    returning a :class:`BackendCapabilities` descriptor from
+    :meth:`capabilities` — deterministic runs may be cached,
+    parallel-safe runs may overlap, process-safe backends may be
+    sharded over worker processes (see the descriptor for the full
+    vocabulary). The ptrace backend deliberately declares none of the
+    scheduling capabilities: live traced processes contend on ports
+    and on-disk state and hold OS handles no child process could
+    inherit. Backends that predate the descriptor and declare bare
+    boolean attributes instead keep working through the
+    :func:`capabilities_of` legacy shim (with a deprecation warning).
     """
 
     name: str
+
+    def capabilities(self) -> BackendCapabilities:
+        """The backend's scheduling/feature contract."""
+        ...
 
     def run(
         self,
@@ -163,19 +281,27 @@ def backend_name(backend: object) -> str:
     return getattr(backend, "name", type(backend).__name__)
 
 
-def process_shardable(backend: object) -> bool:
+def process_shardable(
+    backend: object,
+    *,
+    capabilities: "BackendCapabilities | None" = None,
+) -> bool:
     """Whether *backend*'s runs may be sharded over worker processes.
 
-    Two conditions, both necessary: the backend must *declare*
-    ``process_safe = True`` (the author's promise that runs share no
-    parent-process state), and it must actually survive a pickle
-    round-trip (the mechanical requirement of handing it to a
-    ``ProcessPoolExecutor``). A declared-but-unpicklable backend —
-    say, one wrapping a lambda or an open socket — quietly fails the
-    check instead of blowing up inside the pool, so schedulers can
-    fall back to thread sharding.
+    Two conditions, both necessary: the backend's capability contract
+    must declare ``process_safe`` (the author's promise that runs
+    share no parent-process state), and the backend must actually
+    survive a pickle round-trip (the mechanical requirement of handing
+    it to a ``ProcessPoolExecutor``). A declared-but-unpicklable
+    backend — say, one wrapping a lambda or an open socket — quietly
+    fails the check instead of blowing up inside the pool, so
+    schedulers can fall back to thread sharding. Callers that already
+    resolved the descriptor pass it as *capabilities* to skip the
+    (possibly legacy-shimmed) re-resolution.
     """
-    if not getattr(backend, "process_safe", False):
+    if capabilities is None:
+        capabilities = capabilities_of(backend)
+    if not capabilities.process_safe:
         return False
     try:
         pickle.dumps(backend)

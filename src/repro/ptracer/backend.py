@@ -17,7 +17,7 @@ import dataclasses
 import subprocess
 
 from repro.core.policy import InterpositionPolicy
-from repro.core.runner import ResourceUsage, RunResult
+from repro.core.runner import BackendCapabilities, ResourceUsage, RunResult
 from repro.core.workload import CommandWorkload, Workload
 from repro.errors import BackendError
 from repro.ptracer.ctypes_bindings import require_ptrace
@@ -46,14 +46,43 @@ class PtraceBackend:
 
     def __post_init__(self) -> None:
         self.name = "ptrace"
-        #: Live processes are not reproducible run-to-run (that is why
-        #: the analysis replicates); the probe engine must never answer
-        #: a ptrace run from its cache.
+        # The legacy attribute spellings stay for callers that still
+        # read them directly; schedulers go through capabilities(),
+        # which reads back through these.
         self.deterministic = False
-        #: Overlapping replicas of the same live command would contend
-        #: on ports and on-disk state; the engine keeps them serial.
         self.parallel_safe = False
+        self.process_safe = False
         require_ptrace()
+
+    def capabilities(self) -> BackendCapabilities:
+        """The live tracer's contract: real execution, no scheduling
+        liberties.
+
+        Live processes are not reproducible run-to-run (that is why
+        the analysis replicates), so runs are never cached; overlapping
+        replicas of the same live command would contend on ports and
+        on-disk state, so runs stay serial; and a traced process holds
+        OS handles no worker process could inherit, so runs never
+        shard. What this backend *does* offer is ``real_execution`` —
+        it observes the actual application on the actual kernel, which
+        makes it the preferred reference of a cross-validation report —
+        plus pseudo-file and sub-feature observation when the
+        corresponding tracer options are on.
+
+        Like :meth:`SimBackend.capabilities
+        <repro.appsim.backend.SimBackend.capabilities>`, this reads
+        through the instance attributes, so an embedder tuning a flag
+        on one backend object (before handing it to a scheduler) gets
+        a contract that follows.
+        """
+        return BackendCapabilities(
+            deterministic=self.deterministic,
+            parallel_safe=self.parallel_safe,
+            process_safe=self.process_safe,
+            supports_pseudo_files=self.track_pseudofiles,
+            supports_subfeatures=self.subfeature_level,
+            real_execution=True,
+        )
 
     def run(
         self,

@@ -1,14 +1,30 @@
-"""Text rendering of the paper's figures: ASCII curves and bar charts.
+"""Reports: cross-backend validation + ASCII figure rendering.
 
-The benches print tabular rows; this module adds terminal-friendly
-plots so `loupe study fig2/fig3` and the examples can show the curve
-*shapes* the paper's figures carry — dominance, crossovers, plateaus —
-without any plotting dependency.
+Two kinds of report live here:
+
+* **Cross-validation** (:class:`CrossValidationReport`,
+  :func:`cross_validate`): the paper validates its dynamic
+  measurements by comparing what different measurement methods
+  observe for one workload (static vs. dynamic analysis, Fig. 5;
+  per-OS reproduction, Table 1). The session's multi-target fan-out
+  produces one :class:`~repro.core.result.AnalysisResult` per
+  execution backend; :func:`cross_validate` diffs the observed
+  syscall sets, sub-features, pseudo-files, and stub/fake verdicts
+  across them and classifies every divergence
+  (``missing-in-sim`` / ``extra-in-sim`` / ``count-only`` /
+  ``verdict-differs`` / ``stability-differs``).
+* **ASCII figures** (:func:`render_xy_plot` & friends): the benches
+  print tabular rows; the plots show the curve *shapes* the paper's
+  figures carry — dominance, crossovers, plateaus — without any
+  plotting dependency.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from collections.abc import Mapping, Sequence
+
+from repro.core.result import AnalysisResult
 
 _GLYPHS = ("*", "o", "+", "x", "#")
 
@@ -114,4 +130,371 @@ def render_bar_chart(
     for label, value in rows.items():
         bar = "#" * max(1, round(abs(value) / peak * width))
         lines.append(f"{label:<{label_width}} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+# -- cross-backend validation -------------------------------------------------
+
+#: Divergence classes. The first three are the feature-set classes of
+#: a Fig. 5-style comparison, named from the canonical real-vs-sim
+#: reading (when the reference is the real-execution backend, a
+#: feature it observed that the simulation missed is "missing in the
+#: sim"); between two simulations they read relative to the reference
+#: target. The last two cover conclusions rather than observations.
+MISSING_IN_SIM = "missing-in-sim"      # reference saw it; target never did
+EXTRA_IN_SIM = "extra-in-sim"          # target saw it; reference never did
+COUNT_ONLY = "count-only"              # both saw it; invocation counts differ
+VERDICT_DIFFERS = "verdict-differs"    # stub/fake decisions disagree
+STABILITY_DIFFERS = "stability-differs"  # combined-run stability disagrees
+
+DIVERGENCE_KINDS = (
+    MISSING_IN_SIM,
+    EXTRA_IN_SIM,
+    COUNT_ONLY,
+    VERDICT_DIFFERS,
+    STABILITY_DIFFERS,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class TargetObservation:
+    """What one execution target observed for the shared workload.
+
+    ``target`` is the registry name the campaign addressed (unique per
+    fan-out even when two registry entries resolve to identically
+    named execution backends); ``backend`` is the execution backend's
+    own identity as recorded in the loupedb. ``verdicts`` maps every
+    analyzed feature to its rendered stub/fake decision
+    (``"stub=ok fake=no"``), across all granularities — syscalls,
+    sub-features, and pseudo-files alike.
+    """
+
+    target: str
+    backend: str
+    app: str
+    app_version: str
+    workload: str
+    real_execution: bool
+    final_run_ok: bool
+    syscalls: tuple[str, ...]
+    subfeatures: tuple[str, ...]
+    pseudo_files: tuple[str, ...]
+    required: tuple[str, ...]
+    stubbable: tuple[str, ...]
+    fakeable: tuple[str, ...]
+    traced_counts: Mapping[str, int]
+    verdicts: Mapping[str, str]
+
+    @staticmethod
+    def from_result(
+        target: str, result: AnalysisResult, *, real_execution: bool = False
+    ) -> "TargetObservation":
+        return TargetObservation(
+            target=target,
+            backend=result.backend,
+            app=result.app,
+            app_version=result.app_version,
+            workload=result.workload,
+            real_execution=real_execution,
+            final_run_ok=result.final_run_ok,
+            syscalls=tuple(sorted(result.traced_syscalls())),
+            subfeatures=tuple(sorted(
+                report.feature for report in result.subfeature_reports()
+            )),
+            pseudo_files=tuple(sorted(result.pseudo_files())),
+            required=tuple(sorted(result.required_syscalls())),
+            stubbable=tuple(sorted(result.stubbable_syscalls())),
+            fakeable=tuple(sorted(result.fakeable_syscalls())),
+            traced_counts={
+                feature: report.traced_count
+                for feature, report in sorted(result.features.items())
+            },
+            verdicts={
+                feature: (
+                    f"stub={'ok' if report.decision.can_stub else 'no'} "
+                    f"fake={'ok' if report.decision.can_fake else 'no'}"
+                )
+                for feature, report in sorted(result.features.items())
+            },
+        )
+
+    def to_dict(self) -> dict:
+        data = dataclasses.asdict(self)
+        data["traced_counts"] = dict(self.traced_counts)
+        data["verdicts"] = dict(self.verdicts)
+        for field in ("syscalls", "subfeatures", "pseudo_files",
+                      "required", "stubbable", "fakeable"):
+            data[field] = list(data[field])
+        return data
+
+    @staticmethod
+    def from_dict(document: Mapping) -> "TargetObservation":
+        return TargetObservation(
+            target=document["target"],
+            backend=document["backend"],
+            app=document["app"],
+            app_version=document["app_version"],
+            workload=document["workload"],
+            real_execution=bool(document["real_execution"]),
+            final_run_ok=bool(document["final_run_ok"]),
+            syscalls=tuple(document["syscalls"]),
+            subfeatures=tuple(document["subfeatures"]),
+            pseudo_files=tuple(document["pseudo_files"]),
+            required=tuple(document["required"]),
+            stubbable=tuple(document["stubbable"]),
+            fakeable=tuple(document["fakeable"]),
+            traced_counts={
+                str(k): int(v)
+                for k, v in document["traced_counts"].items()
+            },
+            verdicts={
+                str(k): str(v) for k, v in document["verdicts"].items()
+            },
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Divergence:
+    """One classified disagreement between a target and the reference.
+
+    ``dimension`` names what was compared (``syscalls`` /
+    ``subfeatures`` / ``pseudo-files`` / ``verdict`` / ``stability``),
+    ``kind`` one of :data:`DIVERGENCE_KINDS`, and ``detail`` a short
+    human-readable account of both sides.
+    """
+
+    feature: str
+    dimension: str
+    kind: str
+    reference: str
+    target: str
+    detail: str = ""
+
+    def describe(self) -> str:
+        line = f"[{self.kind}] {self.dimension} {self.feature} " \
+               f"(vs {self.target})"
+        if self.detail:
+            line += f": {self.detail}"
+        return line
+
+    @staticmethod
+    def from_dict(document: Mapping) -> "Divergence":
+        return Divergence(
+            feature=document["feature"],
+            dimension=document["dimension"],
+            kind=document["kind"],
+            reference=document["reference"],
+            target=document["target"],
+            detail=document.get("detail", ""),
+        )
+
+
+def _diff_pair(reference: TargetObservation, target: TargetObservation):
+    """Classified divergences of one target against the reference.
+
+    Deterministic: dimensions in a fixed order, features sorted within
+    each, so two runs of the same campaign build identical reports.
+    """
+    for dimension, attribute in (
+        ("syscalls", "syscalls"),
+        ("subfeatures", "subfeatures"),
+        ("pseudo-files", "pseudo_files"),
+    ):
+        in_reference = set(getattr(reference, attribute))
+        in_target = set(getattr(target, attribute))
+        for feature in sorted(in_reference - in_target):
+            count = reference.traced_counts.get(feature, 0)
+            yield Divergence(
+                feature=feature, dimension=dimension, kind=MISSING_IN_SIM,
+                reference=reference.target, target=target.target,
+                detail=f"observed {count}x by {reference.target}, "
+                       f"never by {target.target}",
+            )
+        for feature in sorted(in_target - in_reference):
+            count = target.traced_counts.get(feature, 0)
+            yield Divergence(
+                feature=feature, dimension=dimension, kind=EXTRA_IN_SIM,
+                reference=reference.target, target=target.target,
+                detail=f"observed {count}x by {target.target}, "
+                       f"never by {reference.target}",
+            )
+        for feature in sorted(in_reference & in_target):
+            ours = reference.traced_counts.get(feature)
+            theirs = target.traced_counts.get(feature)
+            if ours != theirs:
+                yield Divergence(
+                    feature=feature, dimension=dimension, kind=COUNT_ONLY,
+                    reference=reference.target, target=target.target,
+                    detail=f"{ours}x by {reference.target} vs "
+                           f"{theirs}x by {target.target}",
+                )
+    shared = set(reference.verdicts) & set(target.verdicts)
+    for feature in sorted(shared):
+        if reference.verdicts[feature] != target.verdicts[feature]:
+            yield Divergence(
+                feature=feature, dimension="verdict", kind=VERDICT_DIFFERS,
+                reference=reference.target, target=target.target,
+                detail=f"{reference.target}: {reference.verdicts[feature]}"
+                       f" | {target.target}: {target.verdicts[feature]}",
+            )
+    if reference.final_run_ok != target.final_run_ok:
+        def _stability(observation: TargetObservation) -> str:
+            return "ok" if observation.final_run_ok else "failed"
+
+        yield Divergence(
+            feature="(combined-run)", dimension="stability",
+            kind=STABILITY_DIFFERS,
+            reference=reference.target, target=target.target,
+            detail=f"final combined run {_stability(reference)} on "
+                   f"{reference.target}, {_stability(target)} on "
+                   f"{target.target}",
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class CrossValidationReport:
+    """Cross-backend comparison of one fanned-out (app, workload) campaign.
+
+    ``reference`` names the observation every other target is diffed
+    against — the first target whose capability contract declares
+    ``real_execution`` (the paper's ground truth), else the campaign's
+    first target. ``divergences`` is deterministic: targets in
+    campaign order, dimensions in a fixed order, features sorted.
+    An empty tuple means every compared target fully agreed with the
+    reference (vacuously so for a single-target report — a duplicated
+    spec like ``--backend appsim,appsim`` deduplicates to one leg).
+    """
+
+    app: str
+    workload: str
+    reference: str
+    targets: tuple[str, ...]
+    observations: tuple[TargetObservation, ...]
+    divergences: tuple[Divergence, ...]
+
+    @property
+    def agrees(self) -> bool:
+        """True when every target observed and concluded the same."""
+        return not self.divergences
+
+    def divergence_counts(self) -> dict[str, int]:
+        """Per-kind totals, in :data:`DIVERGENCE_KINDS` order (zero
+        kinds omitted)."""
+        counts: dict[str, int] = {}
+        for kind in DIVERGENCE_KINDS:
+            total = sum(1 for d in self.divergences if d.kind == kind)
+            if total:
+                counts[kind] = total
+        return counts
+
+    def for_target(self, target: str) -> tuple[Divergence, ...]:
+        """The divergences of one target against the reference."""
+        return tuple(d for d in self.divergences if d.target == target)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form; :meth:`from_dict` round-trips it."""
+        return {
+            "app": self.app,
+            "workload": self.workload,
+            "reference": self.reference,
+            "targets": list(self.targets),
+            "observations": [obs.to_dict() for obs in self.observations],
+            "divergences": [
+                dataclasses.asdict(divergence)
+                for divergence in self.divergences
+            ],
+        }
+
+    @staticmethod
+    def from_dict(document: Mapping) -> "CrossValidationReport":
+        return CrossValidationReport(
+            app=document["app"],
+            workload=document["workload"],
+            reference=document["reference"],
+            targets=tuple(document["targets"]),
+            observations=tuple(
+                TargetObservation.from_dict(obs)
+                for obs in document["observations"]
+            ),
+            divergences=tuple(
+                Divergence.from_dict(divergence)
+                for divergence in document["divergences"]
+            ),
+        )
+
+
+def cross_validate(
+    targets: Sequence[tuple[str, AnalysisResult, bool]],
+    *,
+    app: "str | None" = None,
+    workload: "str | None" = None,
+) -> CrossValidationReport:
+    """Diff one campaign's per-target results into a report.
+
+    *targets* is the campaign in order: ``(registry name, result,
+    real_execution)`` triples — the flag usually comes from the
+    backend's :class:`~repro.core.runner.BackendCapabilities`. The
+    reference is the first real-execution target, else the first
+    target; every other target is diffed against it.
+    """
+    if not targets:
+        raise ValueError("cross_validate needs at least one target")
+    observations = tuple(
+        TargetObservation.from_result(name, result, real_execution=real)
+        for name, result, real in targets
+    )
+    reference = next(
+        (obs for obs in observations if obs.real_execution), observations[0]
+    )
+    divergences: list[Divergence] = []
+    for observation in observations:
+        if observation is reference:
+            continue
+        divergences.extend(_diff_pair(reference, observation))
+    return CrossValidationReport(
+        app=app if app is not None else observations[0].app,
+        workload=workload if workload is not None else observations[0].workload,
+        reference=reference.target,
+        targets=tuple(obs.target for obs in observations),
+        observations=observations,
+        divergences=tuple(divergences),
+    )
+
+
+def render_cross_validation(report: CrossValidationReport) -> str:
+    """Terminal-friendly rendering of a cross-validation report."""
+    lines = [
+        f"cross-validation: {report.app}/{report.workload} across "
+        f"{', '.join(report.targets)} (reference: {report.reference})"
+    ]
+    width = max(len(obs.target) for obs in report.observations)
+    for obs in report.observations:
+        marker = "*" if obs.target == report.reference else " "
+        lines.append(
+            f"{marker} {obs.target:<{width}} [{obs.backend}] "
+            f"syscalls={len(obs.syscalls)} "
+            f"subfeatures={len(obs.subfeatures)} "
+            f"pseudo-files={len(obs.pseudo_files)} "
+            f"required={len(obs.required)} "
+            f"stubbable={len(obs.stubbable)} "
+            f"fakeable={len(obs.fakeable)} "
+            f"final={'ok' if obs.final_run_ok else 'FAILED'}"
+        )
+    if report.agrees:
+        if len(report.observations) == 1:
+            # Honest wording: one target means nothing was compared —
+            # "agreement" here would be vacuous (a duplicated name
+            # deduplicates to one leg; register a second name for a
+            # real self-comparison).
+            lines.append("single target: nothing to cross-validate")
+        else:
+            lines.append("backends agree: no divergences")
+        return "\n".join(lines)
+    counts = ", ".join(
+        f"{total} {kind}"
+        for kind, total in report.divergence_counts().items()
+    )
+    lines.append(f"divergences ({len(report.divergences)}): {counts}")
+    for divergence in report.divergences:
+        lines.append(f"  {divergence.describe()}")
     return "\n".join(lines)

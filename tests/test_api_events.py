@@ -137,6 +137,36 @@ class TestEventStream:
             assert payload["event"] == event.kind
             assert "kind" not in payload  # ClassVar must not leak
 
+    def test_untagged_backend_omitted_from_json(self):
+        """Single-target campaigns never stamp a backend tag, and the
+        empty tag must not leak into their JSON stream (which stays
+        byte-identical to the pre-fan-out format)."""
+        _, _, events = _analyze_collecting(_program([_op("read")]))
+        for event in events:
+            payload = event.to_dict()
+            if isinstance(event, AnalysisStarted):
+                # AnalysisStarted's backend is the execution identity,
+                # present since the event stream was born.
+                assert payload["backend"].startswith("sim:")
+            else:
+                assert "backend" not in payload
+
+    def test_tag_backend_stamps_every_leg_event(self):
+        """Within a fan-out leg the registry name wins everywhere —
+        including AnalysisStarted, whose execution identity could
+        collide across registry variants and leave concurrent legs
+        unattributable."""
+        from repro.api.events import tag_backend
+
+        seen = []
+        emit = tag_backend(seen.append, "appsim-b")
+        emit(BaselineStarted(replicas=2))
+        emit(AnalysisStarted(app="a", workload="w", backend="sim:a-1",
+                             replicas=3))
+        assert seen[0].backend == "appsim-b"
+        assert seen[0].to_dict()["backend"] == "appsim-b"
+        assert seen[1].backend == "appsim-b"
+
 
 class TestLegacyAdapter:
     def test_rendered_events_match_progress_strings(self):

@@ -9,6 +9,8 @@ from repro.api.registry import (
     UnknownBackendError,
     available_backends,
     create_target,
+    create_targets,
+    parse_backend_names,
     register_backend,
     resolve_backend,
     unregister_backend,
@@ -108,6 +110,14 @@ class TestRegistration:
         with pytest.raises(BackendRegistryError, match="non-empty"):
             register_backend("  ", lambda request: None)
 
+    def test_unaddressable_names_rejected_at_registration(self):
+        # The spec grammar splits on commas and strips whitespace; a
+        # name no spec could resolve back to must not enter the
+        # registry in the first place.
+        for name in ("variant,v2", " appsim2", "appsim2 "):
+            with pytest.raises(BackendRegistryError, match="addressable"):
+                register_backend(name, lambda request: None)
+
     def test_unregister_absent_is_noop(self):
         unregister_backend("never-registered")
 
@@ -122,6 +132,75 @@ class TestResolutionErrors:
         assert "ptrace" in message
         assert excinfo.value.name == "bogus"
         assert "appsim" in excinfo.value.available
+
+
+class TestBackendSpecs:
+    def test_parse_comma_list(self):
+        assert parse_backend_names("appsim,ptrace") == ("appsim", "ptrace")
+
+    def test_parse_strips_whitespace(self):
+        assert parse_backend_names(" appsim , ptrace ") == (
+            "appsim", "ptrace"
+        )
+
+    def test_duplicates_deduplicate_deterministically(self):
+        # First occurrence wins the position, on every call.
+        for _ in range(3):
+            assert parse_backend_names("appsim,ptrace,appsim") == (
+                "appsim", "ptrace"
+            )
+        assert parse_backend_names("appsim,appsim") == ("appsim",)
+
+    def test_parse_iterable_input_expands_embedded_commas(self):
+        assert parse_backend_names(["appsim,ptrace", "other"]) == (
+            "appsim", "ptrace", "other"
+        )
+
+    def test_empty_name_rejected(self):
+        for spec in ("appsim,", ",appsim", "", "  ", ["appsim", ""]):
+            with pytest.raises(BackendRegistryError, match="non-empty"):
+                parse_backend_names(spec)
+
+    def test_empty_iterable_rejected(self):
+        with pytest.raises(BackendRegistryError, match="at least one"):
+            parse_backend_names([])
+
+    def test_create_targets_resolves_each_unique_name(self):
+        register_backend("test-multi-b", lambda request: request)
+        try:
+            targets = create_targets(
+                "appsim,test-multi-b,appsim",
+                AnalysisRequest(app="redis"),
+            )
+            assert len(targets) == 2
+            assert isinstance(targets[0], ResolvedTarget)
+            assert targets[0].app == "redis"
+            assert isinstance(targets[1], AnalysisRequest)
+        finally:
+            unregister_backend("test-multi-b")
+
+    def test_create_targets_unknown_name_fails_before_any_factory(self):
+        ran = []
+        register_backend("test-multi-spy", lambda request: ran.append(1))
+        try:
+            with pytest.raises(UnknownBackendError) as excinfo:
+                create_targets(
+                    "test-multi-spy,bogus", AnalysisRequest(app="redis")
+                )
+            assert not ran  # resolution failed before any factory ran
+            assert "available:" in str(excinfo.value)
+        finally:
+            unregister_backend("test-multi-spy")
+
+    def test_create_target_accepts_self_deduplicating_spec(self):
+        target = create_target(
+            "appsim,appsim", AnalysisRequest(app="redis")
+        )
+        assert target.app == "redis"
+
+    def test_create_target_refuses_multi_spec(self):
+        with pytest.raises(BackendRegistryError, match="create_targets"):
+            create_target("appsim,ptrace", AnalysisRequest(app="redis"))
 
 
 class TestBootstrapConcurrency:
@@ -167,3 +246,34 @@ class TestBootstrapConcurrency:
         unregister_backend("slow-backend")
         sys.modules.pop("slow_backend_module", None)
         assert not errors
+
+    def test_available_backends_ordering_stable_under_concurrent_bootstrap(
+        self, monkeypatch
+    ):
+        """Every concurrent first listing must see the same, sorted,
+        fully-bootstrapped tuple — never a partial registry."""
+        import threading
+
+        from repro.api import registry
+
+        monkeypatch.setattr(registry, "_bootstrapped", False)
+        listings = []
+        lock = threading.Lock()
+        ready = threading.Barrier(8)
+
+        def worker():
+            ready.wait()
+            names = registry.available_backends()
+            with lock:
+                listings.append(names)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(listings) == 8
+        first = listings[0]
+        assert all(names == first for names in listings)
+        assert list(first) == sorted(first)
+        assert "appsim" in first and "ptrace" in first

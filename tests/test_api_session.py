@@ -14,15 +14,18 @@ from repro.errors import PlanError
 
 
 class _CountingBackend:
-    """Counts runs; declares the sim contract flags so caching works."""
+    """Counts runs; declares the sim contract so caching works."""
 
     def __init__(self, inner):
         self._inner = inner
         self.name = inner.name
-        self.deterministic = True
-        self.parallel_safe = True
         self.runs = 0
         self._lock = threading.Lock()
+
+    def capabilities(self):
+        from repro.core.runner import BackendCapabilities
+
+        return BackendCapabilities(deterministic=True, parallel_safe=True)
 
     def run(self, workload, policy, *, replica=0):
         with self._lock:
@@ -170,6 +173,330 @@ class TestAnalyzeMany:
         assert len(session.database) == 1
         canonical = session.query("weborf")[0]
         assert all(result == canonical for result in results)
+
+
+class TestMultiTargetFanOut:
+    """One campaign addressed at several execution targets."""
+
+    def test_multi_backend_request_returns_report(self):
+        from repro.report import CrossValidationReport
+
+        session = LoupeSession()
+        report = session.analyze(AnalysisRequest(
+            app="weborf", workload="health", backend="appsim,appsim"
+        ))
+        assert isinstance(report, CrossValidationReport)
+        assert report.app == "weborf"
+        assert report.workload == "health"
+        assert report.divergences == ()
+        # Duplicates deduplicate: one target, one loupedb record.
+        assert report.targets == ("appsim",)
+        assert len(session.database) == 1
+
+    def test_single_backend_request_still_returns_result(self):
+        from repro.core.result import AnalysisResult
+
+        result = LoupeSession().analyze(AnalysisRequest(
+            app="weborf", workload="health", backend="appsim"
+        ))
+        assert isinstance(result, AnalysisResult)
+
+    def test_backends_tuple_with_one_entry_is_single_target(self):
+        from repro.core.result import AnalysisResult
+
+        result = LoupeSession().analyze(AnalysisRequest(
+            app="weborf", workload="health", backends=("appsim",)
+        ))
+        assert isinstance(result, AnalysisResult)
+
+    def test_backends_as_plain_string_not_iterated_charwise(self):
+        """Regression: backends='appsim' (a natural misuse) must mean
+        one backend named appsim, not six one-character backends."""
+        from repro.core.result import AnalysisResult
+
+        request = AnalysisRequest(
+            app="weborf", workload="health", backends="appsim"
+        )
+        assert request.backend_names() == ("appsim",)
+        assert not request.is_multi_target()
+        result = LoupeSession().analyze(request)
+        assert isinstance(result, AnalysisResult)
+        multi = AnalysisRequest(
+            app="weborf", workload="health", backends="appsim,appsim"
+        )
+        assert multi.is_multi_target()
+
+    def test_fan_out_matches_single_backend_results(self):
+        """Fanning out never changes what each target concludes."""
+        import repro.appsim as appsim
+        from repro.api.registry import register_backend, unregister_backend
+
+        register_backend(
+            "appsim-twin", appsim._appsim_backend_factory, replace=True
+        )
+        try:
+            single = LoupeSession().analyze(AnalysisRequest(
+                app="weborf", workload="health"
+            ))
+            session = LoupeSession()
+            report = session.analyze(AnalysisRequest(
+                app="weborf", workload="health",
+                backends=("appsim", "appsim-twin"),
+            ))
+            assert report.targets == ("appsim", "appsim-twin")
+            assert report.agrees
+            [record] = session.query("weborf")
+            assert record == single
+        finally:
+            unregister_backend("appsim-twin")
+
+    def test_colliding_identity_legs_run_independently(self):
+        """Regression: a comparison must compare runs, not memoized
+        copies. A variant backend sharing another target's loupedb
+        identity (same backend.name) used to be memo-served from the
+        first leg's record and trivially 'agree'; now every colliding
+        leg executes fresh, so a behaviorally-divergent variant is
+        exposed."""
+        import dataclasses as dc
+
+        import repro.appsim as appsim
+        from repro.api.registry import (
+            ResolvedTarget,
+            register_backend,
+            unregister_backend,
+        )
+        from repro.report import MISSING_IN_SIM
+
+        runs = {"variant": 0}
+
+        def variant_factory(request):
+            target = appsim._appsim_backend_factory(request)
+            inner = target.backend
+
+            class Hiding:
+                name = inner.name  # deliberately colliding identity
+
+                def capabilities(self):
+                    return inner.capabilities()
+
+                def run(self, workload, policy, *, replica=0):
+                    runs["variant"] += 1
+                    result = inner.run(workload, policy, replica=replica)
+                    traced = result.traced.copy()
+                    traced.pop("close", None)
+                    return dc.replace(result, traced=traced)
+
+            return ResolvedTarget(
+                backend=Hiding(), workload=target.workload,
+                app=target.app, app_version=target.app_version,
+            )
+
+        register_backend("appsim-hiding", variant_factory, replace=True)
+        try:
+            session = LoupeSession()
+            report = session.analyze(AnalysisRequest(
+                app="weborf", workload="health",
+                backends=("appsim", "appsim-hiding"),
+            ))
+        finally:
+            unregister_backend("appsim-hiding")
+        assert runs["variant"] > 0  # the variant leg actually executed
+        assert not report.agrees
+        assert any(
+            d.kind == MISSING_IN_SIM and d.feature == "close"
+            and d.target == "appsim-hiding"
+            for d in report.divergences
+        )
+
+    def test_colliding_legs_ignore_persistent_run_cache(self, tmp_path):
+        """Regression: the persistent run cache is keyed by backend
+        *name*, so a store warmed by the honest backend could answer a
+        colliding divergent variant's runs and mask every divergence.
+        Independent legs must run without any persistent store."""
+        import dataclasses as dc
+
+        import repro.appsim as appsim
+        from repro.api.registry import (
+            ResolvedTarget,
+            register_backend,
+            unregister_backend,
+        )
+
+        def variant_factory(request):
+            target = appsim._appsim_backend_factory(request)
+            inner = target.backend
+
+            class Hiding:
+                name = inner.name  # colliding identity
+
+                def capabilities(self):
+                    return inner.capabilities()
+
+                def run(self, workload, policy, *, replica=0):
+                    result = inner.run(workload, policy, replica=replica)
+                    traced = result.traced.copy()
+                    traced.pop("close", None)
+                    return dc.replace(result, traced=traced)
+
+            return ResolvedTarget(
+                backend=Hiding(), workload=target.workload,
+                app=target.app, app_version=target.app_version,
+            )
+
+        cache = str(tmp_path / "runs.sqlite")
+        register_backend("appsim-hiding", variant_factory, replace=True)
+        try:
+            with LoupeSession(cache_path=cache) as session:
+                # Warm the store with the honest backend's runs.
+                session.analyze(AnalysisRequest(
+                    app="weborf", workload="health"
+                ))
+                report = session.analyze(AnalysisRequest(
+                    app="weborf", workload="health",
+                    backends=("appsim", "appsim-hiding"),
+                ))
+        finally:
+            unregister_backend("appsim-hiding")
+        assert not report.agrees
+        assert any(
+            d.feature == "close" and d.target == "appsim-hiding"
+            for d in report.divergences
+        )
+
+    def test_fan_out_emits_target_events_and_report_event(self):
+        import json as json_module
+
+        from repro.api.events import (
+            CrossValidationReady,
+            TargetFinished,
+            TargetStarted,
+        )
+        from repro.report import CrossValidationReport
+
+        events = []
+        session = LoupeSession(on_event=events.append)
+        report = session.analyze(AnalysisRequest(
+            app="weborf", workload="health", backend="appsim,appsim"
+        ))
+        started = [e for e in events if isinstance(e, TargetStarted)]
+        finished = [e for e in events if isinstance(e, TargetFinished)]
+        assert [(e.backend, e.index, e.total) for e in started] == [
+            ("appsim", 0, 1)
+        ]
+        assert [(e.backend, e.ok) for e in finished] == [("appsim", True)]
+        [ready] = [e for e in events if isinstance(e, CrossValidationReady)]
+        # The report round-trips through its JSON event form — this is
+        # the contract the CI compare-smoke job leans on.
+        payload = json_module.loads(json_module.dumps(ready.to_dict()))
+        assert payload["event"] == "cross_validation_report"
+        rebuilt = CrossValidationReport.from_dict(payload["report"])
+        assert rebuilt == report
+
+    def test_fan_out_tags_analysis_events_with_registry_name(self):
+        from repro.api.events import FeatureProbed
+
+        events = []
+        session = LoupeSession(on_event=events.append)
+        session.analyze(AnalysisRequest(
+            app="weborf", workload="health", backend="appsim,appsim"
+        ))
+        probed = [e for e in events if isinstance(e, FeatureProbed)]
+        assert probed
+        assert all(e.backend == "appsim" for e in probed)
+
+    def test_unknown_name_in_comma_list_fails_before_any_run(self):
+        from repro.api.registry import UnknownBackendError
+
+        session = LoupeSession()
+        with pytest.raises(UnknownBackendError, match="available"):
+            session.analyze(AnalysisRequest(
+                app="weborf", workload="health", backend="appsim,bogus"
+            ))
+        assert len(session.database) == 0
+
+    def test_compare_always_returns_report(self):
+        from repro.report import CrossValidationReport
+
+        report = LoupeSession().compare(
+            "weborf", workload="health", backends="appsim"
+        )
+        assert isinstance(report, CrossValidationReport)
+        assert report.targets == ("appsim",)
+        assert report.agrees
+
+    def test_compare_backends_override_drops_preresolved_target(self):
+        """compare(app_model, backends=...) must honor the override
+        (the docstring promises it), re-resolving the request's app
+        through the named factories."""
+        from repro.report import CrossValidationReport
+
+        request = AnalysisRequest.for_app(build("weborf"), "health")
+        report = LoupeSession().compare(request, backends="appsim,appsim")
+        assert isinstance(report, CrossValidationReport)
+        assert report.app == "weborf"
+        assert report.targets == ("appsim",)
+        # App models coerce the same way.
+        report = LoupeSession().compare(
+            build("weborf"), workload="health", backends="appsim"
+        )
+        assert report.agrees
+
+    def test_compare_rejects_preresolved_target_without_override(self):
+        request = AnalysisRequest.for_app(build("weborf"), "health")
+        with pytest.raises(ValueError, match="pre-resolved"):
+            LoupeSession().compare(request)
+
+    def test_analyze_many_mixes_single_and_multi(self):
+        from repro.core.result import AnalysisResult
+        from repro.report import CrossValidationReport
+
+        session = LoupeSession()
+        outcomes = session.analyze_many([
+            AnalysisRequest(app="weborf", workload="health"),
+            AnalysisRequest(
+                app="iperf3", workload="health", backend="appsim,appsim"
+            ),
+        ], jobs=2)
+        assert isinstance(outcomes[0], AnalysisResult)
+        assert isinstance(outcomes[1], CrossValidationReport)
+        assert len(session.database) == 2
+
+
+class TestSharedProbePool:
+    """Satellite: app-level jobs and probe-level parallelism compose
+    over one process-wide probe pool instead of multiplying."""
+
+    def test_analyze_many_shares_one_probe_pool(self, monkeypatch):
+        from repro.core import engine as engine_module
+
+        engine_module.shutdown_worker_pools()
+        created = []
+        real = engine_module._new_thread_pool
+
+        def counting(width):
+            pool = real(width)
+            created.append(pool)
+            return pool
+
+        monkeypatch.setattr(engine_module, "_new_thread_pool", counting)
+        try:
+            session = LoupeSession()
+            session.analyze_many(
+                [
+                    AnalysisRequest(app=name, workload="health")
+                    for name in ("weborf", "iperf3", "memcached")
+                ],
+                jobs=3,
+                config=AnalyzerConfig(parallel=2, executor="thread"),
+            )
+            # Three concurrent analyzers, one pool identity: every
+            # engine fetched the same shared pool instead of sizing
+            # its own (jobs x parallel threads).
+            assert len(created) == 1
+            assert created[0] is engine_module._THREAD_POOL
+            assert created[0]._max_workers == 2
+        finally:
+            engine_module.shutdown_worker_pools()
 
 
 class TestEventsAndProgress:

@@ -1,8 +1,38 @@
 """Tests for the ``loupe`` command-line interface."""
 
+import dataclasses
+
 import pytest
 
 from repro.cli import main
+
+
+def _command_like_factory(request):
+    """A registry factory whose backend claims real_execution: the
+    --exec guard must treat it as consuming the command (capability-
+    driven, not name-driven), while it actually runs the sim model —
+    keeping these tests ptrace-free."""
+    import repro.appsim as appsim
+    from repro.api.registry import ResolvedTarget
+
+    target = appsim._appsim_backend_factory(request)
+    inner = target.backend
+
+    class CommandLike:
+        name = inner.name + "+cmd"
+
+        def capabilities(self):
+            return dataclasses.replace(
+                inner.capabilities(), real_execution=True
+            )
+
+        def run(self, workload, policy, *, replica=0):
+            return inner.run(workload, policy, replica=replica)
+
+    return ResolvedTarget(
+        backend=CommandLike(), workload=target.workload,
+        app=target.app, app_version=target.app_version,
+    )
 
 
 class TestAnalyze:
@@ -63,6 +93,176 @@ class TestAnalyze:
         assert "available:" in err
         assert "appsim" in err
 
+    def test_analyze_multi_backend_prints_cross_validation(self, capsys):
+        code = main([
+            "analyze", "--app", "weborf", "--workload", "health",
+            "--backend", "appsim,appsim",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cross-validation: weborf/health" in out
+        # A duplicated name deduplicates to one leg; the render says
+        # so honestly instead of claiming vacuous agreement.
+        assert "single target: nothing to cross-validate" in out
+        # The single-backend report shape is not printed in fan-out mode.
+        assert "required (" not in out
+
+    def test_analyze_exec_with_mixed_spec_warns_but_proceeds(self, capsys):
+        """analyze mirrors compare: --exec is only refused when *no*
+        named backend would run the command; a model/command mix gets
+        a stderr note."""
+        from repro.api.registry import register_backend, unregister_backend
+
+        register_backend(
+            "appsim-cmd", _command_like_factory, replace=True
+        )
+        try:
+            code = main([
+                "analyze", "--app", "weborf", "--workload", "health",
+                "--backend", "appsim,appsim-cmd", "--exec", "/bin/true",
+            ])
+        finally:
+            unregister_backend("appsim-cmd")
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "only meaningful" in captured.err
+        assert "cross-validation:" in captured.out
+
+    def test_analyze_exec_refused_for_commandless_variant(self, capsys):
+        """A registered appsim variant (no real_execution) must not
+        slip past the guard just because its name isn't 'appsim'."""
+        import repro.appsim as appsim
+        from repro.api.registry import register_backend, unregister_backend
+
+        register_backend(
+            "appsim-b", appsim._appsim_backend_factory, replace=True
+        )
+        try:
+            code = main([
+                "analyze", "--app", "weborf", "--workload", "health",
+                "--backend", "appsim-b", "--exec", "/bin/true",
+            ])
+        finally:
+            unregister_backend("appsim-b")
+        assert code == 2
+        assert "--exec requires" in capsys.readouterr().err
+
+    def test_analyze_exec_allows_legacy_contract_backend(self, capsys):
+        """A pre-contract backend (bare attributes, no capabilities()
+        method) cannot express real_execution; --exec must give it the
+        benefit of the doubt instead of refusing — the pre-capability
+        CLI refused only the literal name 'appsim'."""
+        import repro.appsim as appsim
+        from repro.api.registry import (
+            ResolvedTarget,
+            register_backend,
+            unregister_backend,
+        )
+
+        def legacy_factory(request):
+            target = appsim._appsim_backend_factory(request)
+            inner = target.backend
+
+            class Legacy:
+                name = inner.name + "+legacy"
+                deterministic = True
+                parallel_safe = True
+
+                def run(self, workload, policy, *, replica=0):
+                    return inner.run(workload, policy, replica=replica)
+
+            return ResolvedTarget(
+                backend=Legacy(), workload=target.workload,
+                app=target.app, app_version=target.app_version,
+            )
+
+        register_backend("legacy-exec", legacy_factory, replace=True)
+        try:
+            code = main([
+                "analyze", "--app", "weborf", "--workload", "health",
+                "--backend", "legacy-exec", "--exec", "/bin/true",
+            ])
+        finally:
+            unregister_backend("legacy-exec")
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "--exec requires" not in captured.err
+        assert "app: weborf" in captured.out
+
+    def test_analyze_multi_backend_unknown_name_exits_2(self, capsys):
+        assert main([
+            "analyze", "--app", "weborf",
+            "--backend", "appsim,bogus",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "unknown backend 'bogus'" in err
+        assert "available:" in err
+        assert "appsim" in err
+
+    def test_analyze_empty_backend_name_exits_2(self, capsys):
+        assert main([
+            "analyze", "--app", "weborf", "--backend", "appsim,",
+        ]) == 2
+        assert "non-empty" in capsys.readouterr().err
+
+    def test_rejected_analyze_leaves_no_run_cache_side_effect(
+        self, tmp_path, capsys
+    ):
+        """Spec validation runs before the session opens (and would
+        otherwise create) the --run-cache store — for malformed specs
+        and for well-formed-but-unknown names alike."""
+        for spec in ("appsim,", "typo", "appsim,typo"):
+            cache = tmp_path / f"cache-{spec.strip(',')}.sqlite"
+            assert main([
+                "analyze", "--app", "weborf", "--backend", spec,
+                "--run-cache", str(cache),
+            ]) == 2
+            capsys.readouterr()
+            assert not cache.exists(), spec
+
+    def test_jsonl_emitter_is_concurrency_safe(self, capsys):
+        """Fan-out legs emit from several threads into one callback;
+        every emitted line must stay well-formed JSON."""
+        import json
+        import threading
+
+        from repro.api.events import BaselineStarted
+        from repro.cli import _jsonl_emitter
+
+        emitter = _jsonl_emitter(
+            type("Args", (), {"events": "jsonl"})()
+        )
+        event = BaselineStarted(replicas=3, app="weborf")
+
+        def blast():
+            for _ in range(300):
+                emitter(event)
+
+        threads = [threading.Thread(target=blast) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 1200
+        assert all(
+            json.loads(line)["event"] == "baseline_started"
+            for line in lines
+        )
+
+    def test_analyze_multi_backend_saves_per_target_records(
+        self, tmp_path, capsys
+    ):
+        out_path = tmp_path / "db.json"
+        code = main([
+            "analyze", "--app", "weborf", "--workload", "health",
+            "--backend", "appsim,appsim", "--output", str(out_path),
+        ])
+        assert code == 0
+        from repro.db import Database
+
+        assert len(Database.load(out_path)) == 1
+
     def test_analyze_events_jsonl(self, capsys):
         import json
 
@@ -92,6 +292,100 @@ class TestAnalyze:
         from repro.db import Database
 
         assert len(Database.load(out_path)) == 1
+
+
+class TestCompare:
+    def test_compare_two_sim_targets(self, capsys):
+        import repro.appsim as appsim
+        from repro.api.registry import register_backend, unregister_backend
+
+        register_backend(
+            "appsim-b", appsim._appsim_backend_factory, replace=True
+        )
+        try:
+            code = main([
+                "compare", "--app", "weborf", "--workload", "health",
+                "--backends", "appsim,appsim-b",
+            ])
+        finally:
+            unregister_backend("appsim-b")
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "across appsim, appsim-b" in out
+        assert "backends agree: no divergences" in out
+
+    def test_compare_exec_with_only_appsim_rejected(self, capsys):
+        code = main([
+            "compare", "--app", "weborf", "--backends", "appsim,appsim",
+            "--exec", "/bin/true",
+        ])
+        assert code == 2
+        assert "--exec requires" in capsys.readouterr().err
+
+    def test_compare_exec_with_appsim_mix_warns(self, capsys):
+        from repro.api.registry import register_backend, unregister_backend
+
+        register_backend(
+            "appsim-cmd", _command_like_factory, replace=True
+        )
+        try:
+            code = main([
+                "compare", "--app", "weborf", "--workload", "health",
+                "--backends", "appsim,appsim-cmd", "--exec", "/bin/true",
+            ])
+        finally:
+            unregister_backend("appsim-cmd")
+        assert code == 0
+        assert "only meaningful" in capsys.readouterr().err
+
+    def test_compare_unknown_backend_exits_2(self, capsys):
+        assert main([
+            "compare", "--app", "weborf", "--backends", "bogus",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "unknown backend 'bogus'" in err
+        assert "available:" in err
+
+    def test_compare_events_jsonl_round_trips_report(self, capsys):
+        import json
+
+        from repro.report import CrossValidationReport
+
+        code = main([
+            "compare", "--app", "weborf", "--workload", "health",
+            "--backends", "appsim,appsim", "--events", "jsonl",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        events = [json.loads(line) for line in out.splitlines()
+                  if line.startswith("{")]
+        kinds = [event["event"] for event in events]
+        assert "target_started" in kinds
+        assert "target_finished" in kinds
+        [report_event] = [
+            e for e in events if e["event"] == "cross_validation_report"
+        ]
+        report = CrossValidationReport.from_dict(report_event["report"])
+        assert report.app == "weborf"
+        assert report.agrees
+        assert report.to_dict() == report_event["report"]
+
+    def test_compare_writes_report_json(self, tmp_path, capsys):
+        import json
+
+        from repro.report import CrossValidationReport
+
+        path = tmp_path / "report.json"
+        code = main([
+            "compare", "--app", "weborf", "--workload", "health",
+            "--backends", "appsim", "--report", str(path),
+        ])
+        assert code == 0
+        assert "report saved to" in capsys.readouterr().out
+        report = CrossValidationReport.from_dict(
+            json.loads(path.read_text())
+        )
+        assert report.targets == ("appsim",)
 
 
 class TestPlan:

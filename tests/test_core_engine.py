@@ -26,7 +26,7 @@ from repro.core.policy import (
     stubbing,
 )
 from repro.core.replicas import run_replicas
-from repro.core.runner import ResourceUsage, RunResult
+from repro.core.runner import BackendCapabilities, ResourceUsage, RunResult
 from repro.core.workload import benchmark, health_check
 
 
@@ -36,6 +36,16 @@ class _CountingBackend:
     name = "sim:counting"
     deterministic = True
     parallel_safe = True
+
+    def capabilities(self):
+        # Read through the attributes so subclasses tweak one flag
+        # (deterministic=False, parallel_safe=False) and the contract
+        # follows.
+        return BackendCapabilities(
+            deterministic=self.deterministic,
+            parallel_safe=self.parallel_safe,
+            process_safe=getattr(self, "process_safe", False),
+        )
 
     def __init__(self, failing_features=()):
         self.failing_features = frozenset(failing_features)
@@ -553,21 +563,136 @@ class TestProbeBatch:
 
 
 class TestEngineLifecycle:
-    def test_reset_rebuilds_pool_at_current_width(self):
-        engine = ProbeEngine(parallel=2, cache=False)
-        engine.run_replicas(
-            _CountingBackend(), benchmark("b", "m"), stubbing("close"), 2
-        )
-        old_pool = engine._pools.get("thread")
-        assert old_pool is not None and old_pool._max_workers == 2
-        engine.parallel = 4
-        engine.reset()
-        assert engine._pools == {}  # torn down, not kept at the old width
-        engine.run_replicas(
-            _CountingBackend(), benchmark("b", "m"), stubbing("close"), 2
-        )
-        assert engine._pools["thread"]._max_workers == 4
-        engine.close()
+    def test_reset_refetches_shared_pool_at_current_width(self):
+        from repro.core import engine as engine_module
+
+        engine_module.shutdown_worker_pools()
+        try:
+            engine = ProbeEngine(parallel=2, cache=False)
+            engine.run_replicas(
+                _CountingBackend(), benchmark("b", "m"), stubbing("close"), 2
+            )
+            assert engine_module._THREAD_POOL is not None
+            assert engine_module._THREAD_POOL_WIDTH == 2
+            engine.parallel = 4
+            engine.reset()
+            engine.run_replicas(
+                _CountingBackend(), benchmark("b", "m"), stubbing("close"), 2
+            )
+            # The widened engine grew the shared pool on re-fetch.
+            assert engine_module._THREAD_POOL_WIDTH == 4
+            engine.close()
+        finally:
+            engine_module.shutdown_worker_pools()
+
+    def test_parallel_is_a_per_engine_bound_despite_wider_shared_pool(self):
+        """The shared pool only grows; a narrower engine must still
+        never run more than its own `parallel` backend runs at once
+        (bounded lazy submission)."""
+        import time as time_module
+
+        from repro.core import engine as engine_module
+
+        engine_module.shutdown_worker_pools()
+        try:
+            wide = ProbeEngine(parallel=8, cache=False)
+            wide.run_replicas(
+                _CountingBackend(), benchmark("b", "m"), stubbing("close"), 8
+            )
+            assert engine_module._THREAD_POOL_WIDTH == 8
+
+            class _ConcurrencyProbe(_CountingBackend):
+                def __init__(self):
+                    super().__init__()
+                    self.in_flight = 0
+                    self.peak = 0
+
+                def run(self, workload, policy, *, replica=0):
+                    with self.lock:
+                        self.in_flight += 1
+                        self.peak = max(self.peak, self.in_flight)
+                    time_module.sleep(0.005)
+                    try:
+                        return super().run(workload, policy, replica=replica)
+                    finally:
+                        with self.lock:
+                            self.in_flight -= 1
+
+            backend = _ConcurrencyProbe()
+            narrow = ProbeEngine(parallel=2, cache=False)
+            narrow.run_probe_batch(
+                backend, benchmark("b", "m"),
+                [stubbing("close"), stubbing("uname"), stubbing("prctl")],
+                2,
+            )
+            assert backend.calls == 6
+            assert backend.peak <= 2, backend.peak
+        finally:
+            engine_module.shutdown_worker_pools()
+
+    def test_thread_submission_recovers_from_concurrent_pool_shutdown(
+        self, monkeypatch
+    ):
+        """shutdown_worker_pools() may run while another thread is
+        mid-batch; the submit loop must re-fetch the replacement pool
+        instead of aborting the analysis on the shut one."""
+        from repro.core import engine as engine_module
+
+        engine_module.shutdown_worker_pools()
+        real = engine_module._shared_thread_pool
+        dead = engine_module._new_thread_pool(2)
+        dead.shutdown()
+        fetches = []
+
+        def flaky(width):
+            fetches.append(width)
+            if len(fetches) == 1:
+                return dead  # simulate a pool shut down mid-batch
+            return real(width)
+
+        monkeypatch.setattr(engine_module, "_shared_thread_pool", flaky)
+        try:
+            backend = _CountingBackend()
+            engine = ProbeEngine(parallel=2, cache=False)
+            outcomes = engine.run_probe_batch(
+                backend, benchmark("b", "m"),
+                [stubbing("close"), stubbing("uname")], 2,
+            )
+            assert all(o.all_succeeded for o in outcomes)
+            assert backend.calls == 4
+            assert len(fetches) == 2  # one stale fetch, one recovery
+            assert _stats_invariant(engine.stats), engine.stats
+        finally:
+            engine_module.shutdown_worker_pools()
+
+    def test_thread_pool_shared_across_engines(self):
+        """Probe threads are a process-wide budget: every engine uses
+        one shared pool (so analyze_many's app-level jobs and
+        probe-level parallelism compose instead of multiplying),
+        engine.close() leaves it running, and a wider engine grows it
+        instead of stacking a second pool."""
+        from repro.core import engine as engine_module
+
+        engine_module.shutdown_worker_pools()
+        try:
+            backend = SimBackend(_mixed_program())
+            workload = benchmark("b", "m")
+            with ProbeEngine(parallel=2, cache=False) as one:
+                one.run_replicas(backend, workload, stubbing("close"), 2)
+                first = engine_module._THREAD_POOL
+            assert first is not None  # close() left the shared pool alone
+            with ProbeEngine(parallel=2, cache=False) as two:
+                two.run_replicas(backend, workload, stubbing("close"), 2)
+                assert engine_module._THREAD_POOL is first
+                assert two._pool("thread") is one._pool("thread")
+            with ProbeEngine(parallel=4, cache=False) as wide:
+                wide.run_replicas(backend, workload, stubbing("close"), 4)
+                grown = engine_module._THREAD_POOL
+                assert grown is not first
+                assert grown._max_workers == 4
+        finally:
+            engine_module.shutdown_worker_pools()
+            assert engine_module._THREAD_POOL is None
 
     def test_close_idempotent_and_reusable(self):
         engine = ProbeEngine(parallel=2, cache=False)
@@ -580,11 +705,15 @@ class TestEngineLifecycle:
         engine.close()
 
     def test_analyzer_context_manager_closes_engine(self):
+        from repro.core import engine as engine_module
+
         with Analyzer(AnalyzerConfig(parallel=2)) as analyzer:
             analyzer.analyze(
                 SimBackend(_mixed_program()), health_check("health")
             )
-        assert analyzer.engine._pools == {}
+        # close() released the engine without tearing down the shared
+        # probe pool — it keeps serving the process's other engines.
+        assert engine_module._THREAD_POOL is not None
 
     def test_bad_executor_rejected(self):
         with pytest.raises(ValueError):
@@ -632,9 +761,9 @@ class TestEngineLifecycle:
         calls = []
         real = engine_module.process_shardable
 
-        def counting(backend):
+        def counting(backend, **kwargs):
             calls.append(backend)
-            return real(backend)
+            return real(backend, **kwargs)
 
         monkeypatch.setattr(engine_module, "process_shardable", counting)
         backend = SimBackend(_mixed_program())

@@ -20,6 +20,20 @@ from repro.core.runner import ResourceUsage, RunResult
 from repro.core.workload import benchmark
 
 
+def test_runcache_shim_import_warns_deprecation():
+    """The compatibility shim points callers at repro.core.cachestore."""
+    import importlib
+    import sys
+
+    sys.modules.pop("repro.core.runcache", None)
+    try:
+        with pytest.warns(DeprecationWarning, match="cachestore"):
+            importlib.import_module("repro.core.runcache")
+    finally:
+        # Leave the module importable for everyone else.
+        importlib.import_module("repro.core.runcache")
+
+
 def _result(metric=100.0, success=True):
     return RunResult(
         success=success,

@@ -1,0 +1,234 @@
+"""Tests for the cross-backend validation report (repro.report)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.registry import register_backend, unregister_backend
+from repro.api.session import AnalysisRequest, LoupeSession
+from repro.appsim.backend import SimBackend
+from repro.appsim.behavior import abort, breaks_core, harmless, ignore
+from repro.appsim.program import SimProgram, SyscallOp, WorkloadProfile
+from repro.core.analyzer import Analyzer
+from repro.core.workload import health_check
+from repro.report import (
+    COUNT_ONLY,
+    EXTRA_IN_SIM,
+    MISSING_IN_SIM,
+    STABILITY_DIFFERS,
+    VERDICT_DIFFERS,
+    CrossValidationReport,
+    TargetObservation,
+    cross_validate,
+    render_cross_validation,
+)
+
+
+def _program(ops, name="crafted", version="1"):
+    return SimProgram(
+        name=name,
+        version=version,
+        ops=tuple(ops),
+        profiles={"*": WorkloadProfile(metric=1000.0)},
+    )
+
+
+def _op(syscall, count=1, **kwargs):
+    kwargs.setdefault("on_stub", ignore())
+    kwargs.setdefault("on_fake", harmless())
+    return SyscallOp(syscall=syscall, count=count, **kwargs)
+
+
+def _analyze(ops, name="crafted"):
+    program = _program(ops, name=name)
+    return Analyzer().analyze(
+        SimBackend(program), health_check("health"),
+        app=name, app_version="1",
+    )
+
+
+class TestDivergenceClassification:
+    def test_identical_results_have_no_divergences(self):
+        result = _analyze([_op("read"), _op("close")])
+        report = cross_validate(
+            [("a", result, False), ("b", result, False)]
+        )
+        assert report.agrees
+        assert report.divergences == ()
+        assert report.reference == "a"
+        assert report.targets == ("a", "b")
+
+    def test_missing_and_extra_in_sim(self):
+        reference = _analyze([_op("read"), _op("futex")])
+        target = _analyze([_op("read"), _op("uname")])
+        report = cross_validate(
+            [("real", reference, True), ("sim", target, False)]
+        )
+        kinds = {(d.kind, d.feature) for d in report.divergences}
+        assert (MISSING_IN_SIM, "futex") in kinds
+        assert (EXTRA_IN_SIM, "uname") in kinds
+        missing = [d for d in report.divergences if d.kind == MISSING_IN_SIM]
+        assert missing[0].reference == "real"
+        assert missing[0].target == "sim"
+        assert "never by sim" in missing[0].detail
+
+    def test_count_only_divergence(self):
+        reference = _analyze([_op("read", count=8), _op("close")])
+        target = _analyze([_op("read", count=2), _op("close")])
+        report = cross_validate(
+            [("real", reference, True), ("sim", target, False)]
+        )
+        count_only = [
+            d for d in report.divergences if d.kind == COUNT_ONLY
+        ]
+        assert [d.feature for d in count_only] == ["read"]
+        assert "8x by real" in count_only[0].detail
+        assert "2x by sim" in count_only[0].detail
+        # count-only is the benign class: the sets themselves agree.
+        assert not any(
+            d.kind in (MISSING_IN_SIM, EXTRA_IN_SIM)
+            for d in report.divergences
+        )
+
+    def test_verdict_divergence(self):
+        reference = _analyze([_op("read"), _op("close")])
+        target = _analyze([
+            _op("read"),
+            _op("close", on_stub=abort(), on_fake=breaks_core()),
+        ])
+        report = cross_validate(
+            [("real", reference, True), ("sim", target, False)]
+        )
+        verdicts = [
+            d for d in report.divergences if d.kind == VERDICT_DIFFERS
+        ]
+        assert [d.feature for d in verdicts] == ["close"]
+        assert verdicts[0].dimension == "verdict"
+        assert "stub=ok" in verdicts[0].detail
+        assert "stub=no" in verdicts[0].detail
+
+    def test_reference_prefers_real_execution(self):
+        result = _analyze([_op("read")])
+        report = cross_validate(
+            [("sim", result, False), ("real", result, True)]
+        )
+        assert report.reference == "real"
+
+    def test_stability_divergence(self):
+        import dataclasses
+
+        result = _analyze([_op("read")])
+        flipped = dataclasses.replace(result, final_run_ok=False)
+        report = cross_validate(
+            [("real", result, True), ("sim", flipped, False)]
+        )
+        stability = [
+            d for d in report.divergences if d.kind == STABILITY_DIFFERS
+        ]
+        assert len(stability) == 1
+        assert stability[0].dimension == "stability"
+        assert "failed on sim" in stability[0].detail
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            cross_validate([])
+
+
+class TestSerialization:
+    def test_report_round_trips_through_json(self):
+        reference = _analyze([_op("read", count=4), _op("futex")])
+        target = _analyze([_op("read"), _op("uname")])
+        report = cross_validate(
+            [("real", reference, True), ("sim", target, False)]
+        )
+        payload = json.loads(json.dumps(report.to_dict()))
+        rebuilt = CrossValidationReport.from_dict(payload)
+        assert rebuilt == report
+        assert rebuilt.to_dict() == report.to_dict()
+
+    def test_observation_round_trip(self):
+        result = _analyze([_op("read")])
+        observation = TargetObservation.from_result(
+            "appsim", result, real_execution=False
+        )
+        rebuilt = TargetObservation.from_dict(
+            json.loads(json.dumps(observation.to_dict()))
+        )
+        assert rebuilt == observation
+
+    def test_divergence_counts(self):
+        reference = _analyze([_op("read", count=8), _op("futex")])
+        target = _analyze([_op("read", count=2), _op("uname")])
+        report = cross_validate(
+            [("real", reference, True), ("sim", target, False)]
+        )
+        counts = report.divergence_counts()
+        assert counts[MISSING_IN_SIM] == 1
+        assert counts[EXTRA_IN_SIM] == 1
+        assert counts[COUNT_ONLY] == 1
+        assert sum(counts.values()) == len(report.divergences)
+        assert report.for_target("sim") == report.divergences
+
+
+class TestRendering:
+    def test_render_agreement(self):
+        result = _analyze([_op("read")])
+        text = render_cross_validation(cross_validate(
+            [("a", result, False), ("b", result, False)]
+        ))
+        assert "cross-validation: crafted/health across a, b" in text
+        assert "(reference: a)" in text
+        assert "backends agree" in text
+
+    def test_render_divergences(self):
+        reference = _analyze([_op("read"), _op("futex")])
+        target = _analyze([_op("read"), _op("uname")])
+        text = render_cross_validation(cross_validate(
+            [("real", reference, True), ("sim", target, False)]
+        ))
+        assert "divergences (2)" in text
+        assert "[missing-in-sim] syscalls futex" in text
+        assert "[extra-in-sim] syscalls uname" in text
+
+
+class TestSelfValidationProperty:
+    """The acceptance property: fanning one workload across the same
+    backend twice must always produce a zero-divergence report."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        app=st.sampled_from(["weborf", "iperf3", "memcached"]),
+        spelling=st.sampled_from([
+            "appsim,appsim", " appsim , appsim ", "appsim,appsim,appsim",
+        ]),
+    )
+    def test_same_backend_twice_never_diverges(self, app, spelling):
+        session = LoupeSession()
+        report = session.analyze(AnalysisRequest(
+            app=app, workload="health", backend=spelling
+        ))
+        assert isinstance(report, CrossValidationReport)
+        assert report.divergences == ()
+        assert report.agrees
+
+    @settings(max_examples=4, deadline=None)
+    @given(app=st.sampled_from(["weborf", "iperf3"]))
+    def test_registered_alias_never_diverges(self, app):
+        """Two distinct registry entries backed by the same factory
+        fan out into two real targets and still fully agree."""
+        import repro.appsim as appsim
+
+        register_backend(
+            "appsim-alias", appsim._appsim_backend_factory, replace=True
+        )
+        try:
+            report = LoupeSession().analyze(AnalysisRequest(
+                app=app, workload="health",
+                backends=("appsim", "appsim-alias"),
+            ))
+            assert report.targets == ("appsim", "appsim-alias")
+            assert report.agrees
+        finally:
+            unregister_backend("appsim-alias")
