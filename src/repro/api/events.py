@@ -16,6 +16,10 @@ event                     milestone
 :class:`FeatureProbed`    one feature's stub/fake verdict is in
 :class:`CombinedRunFinished`  a combined confirmation run concluded
 :class:`ConflictBisected` ddmin isolated one minimal conflicting set
+:class:`ProbeRetry`       a faulted run attempt is about to be retried
+:class:`ProbeFaulted`     a run exhausted its attempts and was quarantined
+:class:`PoolRecovered`    a crashed process pool was rebuilt mid-batch
+:class:`FaultsSummary`    end-of-campaign quarantine list (non-empty only)
 :class:`EngineStatsEvent` the probe engine's final run accounting
 :class:`StoreStatsEvent`  persistent run-cache store state (session-emitted)
 :class:`AnalysisFinished` wall-clock total for the analysis
@@ -187,6 +191,86 @@ class ConflictBisected(AnalysisEvent):
 
 
 @dataclasses.dataclass(frozen=True)
+class ProbeRetry(AnalysisEvent):
+    """A probe run attempt faulted and is about to be retried.
+
+    ``attempt`` is the 1-based number of the attempt that faulted;
+    ``fault`` its taxonomy kind (``timeout``/``backend-error``/...).
+    The legacy string protocol never reported retries, so
+    ``progress=`` transcripts are unchanged.
+    """
+
+    kind: ClassVar[str] = "probe_retry"
+
+    workload: str
+    probe: str
+    replica: int
+    attempt: int
+    fault: str
+    detail: str = ""
+    app: str = ""
+    backend: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class ProbeFaulted(AnalysisEvent):
+    """A probe run exhausted its attempts and was quarantined.
+
+    Under ``on_fault="degrade"`` the campaign continues and the run
+    lands in the end-of-campaign :class:`FaultsSummary`; under
+    ``"fail"`` this event precedes the campaign's abort.
+    """
+
+    kind: ClassVar[str] = "probe_faulted"
+
+    workload: str
+    probe: str
+    replica: int
+    fault: str
+    attempts: int
+    detail: str = ""
+    app: str = ""
+    backend: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class PoolRecovered(AnalysisEvent):
+    """A broken process pool was rebuilt mid-batch.
+
+    ``lost_runs`` counts the in-flight runs the dead worker took with
+    it that were re-enqueued on the fresh pool (exhausted runs are
+    reported separately as :class:`ProbeFaulted`).
+    """
+
+    kind: ClassVar[str] = "pool_recovered"
+
+    lost_runs: int
+    rebuilds: int = 1
+    app: str = ""
+    backend: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultsSummary(AnalysisEvent):
+    """End-of-campaign quarantine list.
+
+    Emitted only when at least one run faulted, so fault-free
+    campaigns' event streams are byte-identical to the pre-fault
+    format. ``kinds`` maps taxonomy kind to count; ``faults`` carries
+    the full :class:`repro.core.faults.ProbeFault` records in their
+    JSON form (``ProbeFault.from_dict`` round-trips them).
+    """
+
+    kind: ClassVar[str] = "faults_summary"
+
+    total: int
+    kinds: dict
+    faults: tuple[dict, ...] = ()
+    app: str = ""
+    backend: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
 class EngineStatsEvent(AnalysisEvent):
     """Final probe-engine run accounting for the analysis.
 
@@ -208,6 +292,16 @@ class EngineStatsEvent(AnalysisEvent):
     persistent_hits: int = 0
     executor: str = "serial"
     backend: str = ""
+    faulted: int = 0
+
+    def to_dict(self) -> dict:
+        """Like the base form, additionally omitting ``faulted`` when
+        zero — fault-free campaigns keep the pre-fault JSON stream
+        byte-identical."""
+        data = super().to_dict()
+        if data.get("faulted", 0) == 0:
+            data.pop("faulted", None)
+        return data
 
     @staticmethod
     def from_stats(
@@ -220,6 +314,7 @@ class EngineStatsEvent(AnalysisEvent):
             replicas_skipped=stats.replicas_skipped,
             persistent_hits=stats.persistent_hits,
             executor=executor,
+            faulted=stats.faulted,
         )
 
     def stats(self) -> EngineStats:
@@ -230,6 +325,7 @@ class EngineStatsEvent(AnalysisEvent):
             cache_hits=self.cache_hits,
             replicas_skipped=self.replicas_skipped,
             persistent_hits=self.persistent_hits,
+            faulted=self.faulted,
         )
 
     def legacy_line(self) -> str:

@@ -125,6 +125,47 @@ def unregister_backend(name: str) -> None:
         _FACTORIES.pop(name, None)
 
 
+def register_chaos(
+    inner: str,
+    spec: "object | None" = None,
+    *,
+    name: "str | None" = None,
+    replace: bool = False,
+) -> str:
+    """Register a chaos-wrapped variant of backend *inner*.
+
+    The new entry (``chaos:<inner>`` by default, or *name*) resolves
+    exactly like *inner* and then wraps the resulting execution
+    backend in a :class:`~repro.core.faults.ChaosBackend` carrying
+    *spec* (a :class:`~repro.core.faults.ChaosSpec`; ``None`` means
+    the spec's inert defaults). Injection is seeded and deterministic
+    per run identity, so a chaos campaign is exactly reproducible —
+    this is the harness the fault-tolerance tests and the CI
+    fault-smoke job drive. Returns the registered name.
+
+    Resolution of *inner* is deferred to analysis time (the wrapper
+    factory resolves it per request), so registration order between
+    the two names never matters.
+    """
+    from repro.core.faults import ChaosBackend, ChaosSpec
+
+    chaos_spec = spec if spec is not None else ChaosSpec()
+    if not isinstance(chaos_spec, ChaosSpec):
+        raise BackendRegistryError(
+            f"register_chaos expects a ChaosSpec, got {type(spec).__name__}"
+        )
+    registered = name if name is not None else f"chaos:{inner}"
+
+    def factory(request: "AnalysisRequest") -> ResolvedTarget:
+        target = resolve_backend(inner)(request)
+        return dataclasses.replace(
+            target, backend=ChaosBackend(target.backend, chaos_spec)
+        )
+
+    register_backend(registered, factory, replace=replace)
+    return registered
+
+
 def _bootstrap() -> None:
     """Import the built-in backend packages once so they self-register.
 

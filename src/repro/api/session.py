@@ -74,6 +74,12 @@ _SEMANTIC_CONFIG_FIELDS = (
     "bisect_conflicts",
     "max_demotion_rounds",
     "priors",
+    # Fault handling changes conclusions, not just speed: a degraded
+    # campaign can report features UNDECIDED that a fail-fast one would
+    # have aborted on, and a timeout decides which runs ever finish.
+    "probe_timeout_s",
+    "retries",
+    "on_fault",
 )
 
 

@@ -18,8 +18,15 @@ Subcommands mirror how the paper's tool is used:
 * ``corpus``   — list the application corpus.
 * ``db``       — inspect or merge result databases.
 * ``cache``    — operate on persistent run-cache stores (``stats``,
-  ``compact``, ``gc``, ``migrate``).
+  ``compact``, ``gc``, ``migrate``, and ``verify``, which re-executes
+  a sample of records and diffs stored vs fresh results).
 * ``scan``     — static binary scan of a native ELF.
+
+``analyze`` and ``compare`` share the fault-tolerance flags:
+``--probe-timeout`` bounds each probe run attempt, ``--retries`` /
+``--retry-backoff`` retry faulted attempts with exponential backoff,
+and ``--on-fault degrade`` quarantines exhausted runs (reporting the
+affected features as UNDECIDED) instead of aborting the campaign.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ from repro.api.session import AnalysisRequest, LoupeSession
 from repro.appsim.corpus import CLOUD_APPS, cloud_apps, corpus
 from repro.core.analyzer import AnalyzerConfig
 from repro.core.cachestore import CacheStoreError, migrate_store, open_store
+from repro.core.faults import ProbeFaultError
 from repro.db import Database
 from repro.errors import PlanError
 from repro.plans import (
@@ -56,6 +64,16 @@ def _positive_int(raw: str) -> int:
     return value
 
 
+def _nonnegative_int(raw: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{raw!r} is not an integer")
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
 def _jsonl_emitter(args: argparse.Namespace):
     """The ``--events jsonl`` event callback (None when not streaming).
 
@@ -64,16 +82,29 @@ def _jsonl_emitter(args: argparse.Namespace):
     ``print()`` issues separate writes for the payload and the
     newline — interleaved emissions would corrupt the line protocol.
     One locked ``write()`` per event keeps every line well-formed.
+
+    Pipe-failure-safe: when the consumer goes away mid-campaign
+    (``loupe ... --events jsonl | head``), the emitter stops emitting
+    after one stderr note instead of killing the analysis — losing a
+    progress stream must not lose the campaign.
     """
     if args.events != "jsonl":
         return None
     lock = threading.Lock()
+    state = {"broken": False}
 
     def on_event(event) -> None:
         line = json.dumps(event.to_dict()) + "\n"
         with lock:
-            sys.stdout.write(line)
-            sys.stdout.flush()
+            if state["broken"]:
+                return
+            try:
+                sys.stdout.write(line)
+                sys.stdout.flush()
+            except BrokenPipeError:
+                state["broken"] = True
+                print("events: stdout pipe closed; suppressing further "
+                      "events (analysis continues)", file=sys.stderr)
 
     return on_event
 
@@ -156,6 +187,19 @@ def _print_analysis(result) -> None:
             stub = report.stub_impact.describe() if report.stub_impact else "-"
             fake = report.fake_impact.describe() if report.fake_impact else "-"
             print(f"  {report.feature}: stub {stub} | fake {fake}")
+    undecided = sorted(
+        feature for feature, report in result.features.items()
+        if report.verdict.value == "undecided"
+    )
+    if undecided:
+        print(f"undecided ({len(undecided)}): {', '.join(undecided)} "
+              f"(probes faulted without an observed failure; re-run "
+              f"to decide)")
+    faults = getattr(result, "faults", ())
+    if faults:
+        print(f"quarantined runs ({len(faults)}):")
+        for fault in faults:
+            print(f"  {fault.describe()}")
     if not result.final_run_ok:
         print("WARNING: final combined run failed; conflicts:", result.conflicts)
 
@@ -178,6 +222,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         cache=not args.no_cache,
         run_cache=args.run_cache,
         run_cache_max_entries=args.run_cache_max_entries,
+        probe_timeout_s=args.probe_timeout,
+        retries=args.retries,
+        retry_backoff_s=args.retry_backoff,
+        on_fault=args.on_fault,
+        fault_seed=args.fault_seed,
     )
     backend_spec = args.backend or ("ptrace" if args.exec_argv else "appsim")
     request = AnalysisRequest(
@@ -215,6 +264,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         except BackendRegistryError as error:
             print(str(error), file=sys.stderr)
             return 2
+        except ProbeFaultError as error:
+            print(f"aborted by fault policy (--on-fault fail): {error}",
+                  file=sys.stderr)
+            return 1
         if request.is_multi_target():
             # The fan-out returns the cross-validation report; the
             # per-target records are queryable in the session database
@@ -236,6 +289,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         pseudo_files=args.pseudofiles,
         parallel=args.jobs,
         executor=args.executor,
+        probe_timeout_s=args.probe_timeout,
+        retries=args.retries,
+        retry_backoff_s=args.retry_backoff,
+        on_fault=args.on_fault,
+        fault_seed=args.fault_seed,
     )
     request = AnalysisRequest(
         app=args.app,
@@ -260,6 +318,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         except BackendRegistryError as error:
             print(str(error), file=sys.stderr)
             return 2
+        except ProbeFaultError as error:
+            print(f"aborted by fault policy (--on-fault fail): {error}",
+                  file=sys.stderr)
+            return 1
         print(render_cross_validation(report))
         if args.report:
             from pathlib import Path
@@ -450,6 +512,19 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             )
             print(f"migrated {migrated} record(s): "
                   f"{args.source} -> {args.destination}")
+        elif args.cache_command == "verify":
+            from repro.core.cachestore import verify_store
+
+            _require_store_file(args.path)
+            with open_store(args.path) as store:
+                report = verify_store(
+                    store, sample=args.sample, seed=args.seed
+                )
+            print(report.describe())
+            for mismatch in report.mismatches:
+                print(f"  MISMATCH {mismatch.describe()}")
+            if not report.ok:
+                return 1
     except (CacheStoreError, ValueError, OSError, sqlite3.Error) as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -465,6 +540,34 @@ def _cmd_scan(args: argparse.Namespace) -> int:
           f"{report.sites} sites ({report.resolution_rate:.0%} resolved)")
     print(", ".join(str(n) for n in numbers))
     return 0
+
+
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    """The fault-tolerance flags shared by ``analyze`` and ``compare``."""
+    parser.add_argument("--probe-timeout", type=float, default=None,
+                        metavar="S", dest="probe_timeout",
+                        help="wall-clock budget per probe run attempt; "
+                             "an attempt exceeding it is abandoned and "
+                             "classified as a timeout fault")
+    parser.add_argument("--retries", type=_nonnegative_int, default=0,
+                        metavar="N",
+                        help="extra attempts after a faulted probe run "
+                             "(exponential backoff between attempts; "
+                             "default 0)")
+    parser.add_argument("--retry-backoff", type=float, default=0.05,
+                        metavar="S", dest="retry_backoff",
+                        help="base delay of the retry backoff "
+                             "(default 0.05s)")
+    parser.add_argument("--on-fault", choices=("fail", "degrade"),
+                        default="fail", dest="on_fault",
+                        help="fail: abort the campaign when a run "
+                             "exhausts its attempts (default); degrade: "
+                             "quarantine the run, report the feature "
+                             "UNDECIDED, and keep going")
+    parser.add_argument("--fault-seed", type=int, default=None,
+                        metavar="SEED", dest="fault_seed",
+                        help="seed the retry-backoff jitter for "
+                             "reproducible timings")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -520,6 +623,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="disable run-result memoization in the "
                               "probe engine")
     analyze.add_argument("--output", help="save result database to this path")
+    _add_fault_arguments(analyze)
     analyze.add_argument("--exec", dest="exec_argv", nargs=argparse.REMAINDER,
                          help="trace a real command via ptrace instead")
     analyze.set_defaults(func=_cmd_analyze)
@@ -555,6 +659,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "as JSON to this path")
     compare.add_argument("--output", help="save the per-target result "
                                           "database to this path")
+    _add_fault_arguments(compare)
     compare.add_argument("--exec", dest="exec_argv",
                          nargs=argparse.REMAINDER,
                          help="command line for command-running "
@@ -627,6 +732,21 @@ def build_parser() -> argparse.ArgumentParser:
                                help="open the destination with this "
                                     "LRU cap (sqlite only)")
     cache_migrate.set_defaults(func=_cmd_cache)
+    cache_verify = cache_sub.add_parser(
+        "verify",
+        help="re-execute (a sample of) a store's records and diff "
+             "stored vs fresh results; exits 1 on any mismatch — the "
+             "audit of the determinism contract the cache rests on",
+    )
+    cache_verify.add_argument("path")
+    cache_verify.add_argument("--sample", type=_positive_int, default=None,
+                              metavar="N",
+                              help="re-execute only a seeded random "
+                                   "sample of N records (default: all)")
+    cache_verify.add_argument("--seed", type=int, default=0,
+                              help="sampling seed (default 0); the same "
+                                   "seed picks the same records")
+    cache_verify.set_defaults(func=_cmd_cache)
 
     scan = sub.add_parser("scan", help="static binary scan of an ELF")
     scan.add_argument("binary")

@@ -60,8 +60,12 @@ from repro.api.events import (
     ConflictBisected,
     EngineStatsEvent,
     EventCallback,
+    FaultsSummary,
     FeatureProbed,
     FeaturesEnumerated,
+    PoolRecovered,
+    ProbeFaulted,
+    ProbeRetry,
     combine_callbacks,
     legacy_adapter,
     tag_app,
@@ -69,6 +73,13 @@ from repro.api.events import (
 from repro.core.decisions import Decision
 from repro.core.cachestore import RunCacheBackend, open_store
 from repro.core.engine import EXECUTORS, ProbeEngine
+from repro.core.faults import (
+    FaultNotice,
+    FaultPolicy,
+    PoolRecoveredNotice,
+    ProbeFault,
+    RetryNotice,
+)
 from repro.core.metrics import DEFAULT_MARGIN, ImpactSummary, compare
 from repro.core.policy import Action, InterpositionPolicy, combined, passthrough
 from repro.core.replicas import ProbeOutcome
@@ -124,6 +135,39 @@ class AnalyzerConfig:
     #: a single confirmation run, falling back to the full replicated
     #: probe on any disagreement.
     priors: "object | None" = None
+    #: Wall-clock budget for a single probe run attempt; an attempt
+    #: exceeding it is abandoned and classified as a ``timeout`` fault.
+    #: ``None`` disables the guard.
+    probe_timeout_s: "float | None" = None
+    #: Extra attempts after a faulted run attempt (exponential backoff
+    #: between attempts). ``0`` fails/quarantines on the first fault.
+    retries: int = 0
+    #: Base delay of the exponential retry backoff.
+    retry_backoff_s: float = 0.05
+    #: What to do when a probe run exhausts its attempts: ``"fail"``
+    #: aborts the campaign (historical behavior), ``"degrade"``
+    #: quarantines the run and keeps going — the affected feature is
+    #: reported UNDECIDED rather than the whole analysis dying.
+    on_fault: str = "fail"
+    #: Seed for the retry-backoff jitter; set it to make backoff delays
+    #: (and therefore chaos-test timings) reproducible.
+    fault_seed: "int | None" = None
+
+    def fault_policy(self) -> "FaultPolicy | None":
+        """The engine-level fault policy these knobs describe.
+
+        Returns ``None`` when the knobs are all at their inactive
+        defaults, so the engine keeps its historical raw execution
+        path (exceptions propagate with their original types).
+        """
+        policy = FaultPolicy(
+            probe_timeout_s=self.probe_timeout_s,
+            retries=self.retries,
+            retry_backoff_s=self.retry_backoff_s,
+            on_fault=self.on_fault,
+            jitter_seed=self.fault_seed,
+        )
+        return policy if policy.active else None
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -151,6 +195,10 @@ class AnalyzerConfig:
                 "run_cache_max_entries requires run_cache: there is "
                 "no persistent store to bound"
             )
+        # FaultPolicy validates the fault knobs (ranges, mode names);
+        # building it here surfaces bad values at config time instead
+        # of mid-campaign.
+        self.fault_policy()
 
 
 @dataclasses.dataclass
@@ -161,15 +209,26 @@ class _FeatureProbe:
     traced_count: int
     can_stub: bool = False
     can_fake: bool = False
+    #: A probe side is *undecided* when its replicas faulted (timed
+    #: out, crashed their worker, ...) without one genuine observed
+    #: failure — the capability is withheld for lack of evidence, not
+    #: because the workload was seen to break.
+    undecided_stub: bool = False
+    undecided_fake: bool = False
     stub_impact: ImpactSummary | None = None
     fake_impact: ImpactSummary | None = None
     notes: list[str] = dataclasses.field(default_factory=list)
+    faults: list[ProbeFault] = dataclasses.field(default_factory=list)
 
     def to_report(self) -> FeatureReport:
         return FeatureReport(
             feature=self.feature,
             traced_count=self.traced_count,
-            decision=Decision(can_stub=self.can_stub, can_fake=self.can_fake),
+            decision=Decision(
+                can_stub=self.can_stub,
+                can_fake=self.can_fake,
+                undecided=self.undecided_stub or self.undecided_fake,
+            ),
             stub_impact=self.stub_impact,
             fake_impact=self.fake_impact,
             notes=tuple(self.notes),
@@ -218,6 +277,7 @@ class Analyzer:
             cache=self.config.cache,
             executor=self.config.executor,
             store=store,
+            fault_policy=self.config.fault_policy(),
         )
         #: Populated by :meth:`analyze` when priors are configured.
         self.last_transfer_stats: "object | None" = None
@@ -283,6 +343,7 @@ class Analyzer:
             # pools stay up for the process's other engines. Stats
             # survive, so ``engine.stats`` still describes the
             # finished run.
+            self.engine.notice_sink = None
             self.engine.close()
 
     def _analyze(
@@ -302,6 +363,11 @@ class Analyzer:
         # accounting) from any prior analyze() call so identically-named
         # backends of different programs can never cross-contaminate.
         self.engine.reset()
+        # Surface engine-level fault-handling moments (retries,
+        # quarantines, pool rebuilds) on the event stream. The sink is
+        # detached in analyze()'s finally so a dangling emit can never
+        # outlive its campaign.
+        self.engine.notice_sink = lambda notice: _emit_notice(emit, notice)
         # A config asking for observations the backend's contract says
         # it cannot produce deserves a signal, not silent empty sets.
         # Only *explicit* contracts are trusted to mean "no": the
@@ -341,7 +407,13 @@ class Analyzer:
             early_exit=False,
         )
         if not baseline.all_succeeded:
-            reasons = "; ".join(baseline.failure_reasons()) or "unknown"
+            # A faulted baseline (timeouts, dead workers) is just as
+            # disqualifying as a failed one — without a trustworthy
+            # passthrough run nothing downstream is meaningful, even
+            # under on_fault="degrade".
+            parts = list(baseline.failure_reasons())
+            parts.extend(fault.describe() for fault in baseline.faults)
+            reasons = "; ".join(parts) or "unknown"
             raise AnalysisError(
                 f"application fails the workload even without interposition: {reasons}"
             )
@@ -375,9 +447,27 @@ class Analyzer:
                 for feature, count in ordered
             }
 
-        final_ok, conflicts = self._confirm_combined(
+        final_ok, conflicts, combined_faults = self._confirm_combined(
             backend, workload, probes, emit
         )
+
+        # Quarantine list: probe-phase faults in deterministic feature
+        # order, then the combined/bisection phase's. The summary event
+        # is emitted only when non-empty, keeping fault-free campaigns'
+        # event streams byte-identical to the pre-fault ones.
+        faults: list[ProbeFault] = []
+        for probe in probes.values():
+            faults.extend(probe.faults)
+        faults.extend(combined_faults)
+        if faults:
+            kinds: dict[str, int] = {}
+            for fault in faults:
+                kinds[fault.kind] = kinds.get(fault.kind, 0) + 1
+            emit(FaultsSummary(
+                total=len(faults),
+                kinds=kinds,
+                faults=tuple(fault.to_dict() for fault in faults),
+            ))
 
         emit(EngineStatsEvent.from_stats(
             # mode_for, not executor_name: the event reports what this
@@ -401,6 +491,7 @@ class Analyzer:
             ),
             final_run_ok=final_ok,
             conflicts=conflicts,
+            faults=tuple(faults),
         )
 
     # -- stage 1: enumeration ----------------------------------------------
@@ -437,6 +528,26 @@ class Analyzer:
         Shared by the batched and feature-at-a-time paths so both
         apply the identical decision and note wording.
         """
+        probe.faults.extend(outcome.faults)
+        if outcome.undecided:
+            # Replicas faulted without one genuine failure: withhold
+            # the capability for lack of evidence and mark the side
+            # undecided instead of pretending the workload broke.
+            kinds = ", ".join(sorted({f.kind for f in outcome.faults}))
+            probe.notes.append(
+                f"{attribute} probe undecided: "
+                f"{len(outcome.faults)} replica(s) faulted ({kinds}) "
+                f"with no observed failure"
+            )
+            if attribute == "stub":
+                probe.can_stub = False
+                probe.undecided_stub = True
+                probe.stub_impact = None
+            else:
+                probe.can_fake = False
+                probe.undecided_fake = True
+                probe.fake_impact = None
+            return
         ok = outcome.all_succeeded
         impact = None
         if ok and self.config.guard_metrics:
@@ -599,8 +710,9 @@ class Analyzer:
         workload: Workload,
         probes: dict[str, _FeatureProbe],
         emit: EventCallback,
-    ) -> tuple[bool, tuple[tuple[str, ...], ...]]:
+    ) -> tuple[bool, tuple[tuple[str, ...], ...], tuple[ProbeFault, ...]]:
         all_conflicts: list[tuple[str, ...]] = []
+        faults: list[ProbeFault] = []
         for round_index in range(self.config.max_demotion_rounds):
             policy = self._combined_policy(probes)
             avoided = sorted(policy.altered_features())
@@ -608,21 +720,30 @@ class Analyzer:
                 emit(CombinedRunFinished(
                     ok=True, avoided=0, round=round_index + 1
                 ))
-                return True, tuple(all_conflicts)
+                return True, tuple(all_conflicts), tuple(faults)
             outcome = self._run(backend, workload, policy, self.config.replicas)
+            faults.extend(outcome.faults)
             if outcome.all_succeeded:
                 emit(CombinedRunFinished(
                     ok=True, avoided=len(avoided), round=round_index + 1
                 ))
-                return True, tuple(all_conflicts)
+                return True, tuple(all_conflicts), tuple(faults)
             emit(CombinedRunFinished(
                 ok=False, avoided=len(avoided), round=round_index + 1
             ))
+            if outcome.undecided:
+                # The combined run faulted without a genuine failure:
+                # there is no observed conflict to bisect, and ddmin on
+                # faulting runs would demote features on noise. Report
+                # the confirmation as not-ok and stop here.
+                return False, tuple(all_conflicts), tuple(faults)
             if not self.config.bisect_conflicts:
-                return False, tuple(all_conflicts)
-            conflict = self._minimize_conflict(backend, workload, probes, avoided)
+                return False, tuple(all_conflicts), tuple(faults)
+            conflict = self._minimize_conflict(
+                backend, workload, probes, avoided, faults
+            )
             if not conflict:
-                return False, tuple(all_conflicts)
+                return False, tuple(all_conflicts), tuple(faults)
             emit(ConflictBisected(round=round_index + 1, conflict=conflict))
             all_conflicts.append(conflict)
             for feature in conflict:
@@ -633,7 +754,7 @@ class Analyzer:
                     "demoted to required: feature interacts badly with the "
                     "combined stub/fake set (found by automated bisection)"
                 )
-        return False, tuple(all_conflicts)
+        return False, tuple(all_conflicts), tuple(faults)
 
     def _minimize_conflict(
         self,
@@ -641,6 +762,7 @@ class Analyzer:
         workload: Workload,
         probes: dict[str, _FeatureProbe],
         avoided: Sequence[str],
+        faults: "list[ProbeFault] | None" = None,
     ) -> tuple[str, ...]:
         """ddmin-style minimization of a failing avoided-feature set.
 
@@ -656,7 +778,12 @@ class Analyzer:
             fakes = [f for f in subset if probes[f].can_fake and not probes[f].can_stub]
             policy = combined(stubs=stubs, fakes=fakes)
             outcome = self._run(backend, workload, policy, 1)
-            return not outcome.all_succeeded
+            if faults is not None:
+                faults.extend(outcome.faults)
+            # An undecided (all-faults, no genuine failure) run must
+            # not count as a reproduction — ddmin would otherwise
+            # demote features on infrastructure noise.
+            return not outcome.all_succeeded and not outcome.undecided
 
         candidate = list(avoided)
         if not fails(candidate):
@@ -677,6 +804,38 @@ class Analyzer:
                     break
                 granularity = min(len(candidate), granularity * 2)
         return tuple(candidate)
+
+
+def _emit_notice(emit: EventCallback, notice: object) -> None:
+    """Adapt an engine fault notice to its typed event.
+
+    The engine lives below the event layer (the api package imports
+    core), so it reports fault-handling moments as plain notice
+    dataclasses; this is the one place they become events.
+    """
+    if isinstance(notice, RetryNotice):
+        emit(ProbeRetry(
+            workload=notice.workload,
+            probe=notice.probe,
+            replica=notice.replica,
+            attempt=notice.attempt,
+            fault=notice.kind,
+            detail=notice.detail,
+        ))
+    elif isinstance(notice, FaultNotice):
+        fault = notice.fault
+        emit(ProbeFaulted(
+            workload=fault.workload,
+            probe=fault.probe,
+            replica=fault.replica,
+            fault=fault.kind,
+            attempts=fault.attempts,
+            detail=fault.detail,
+        ))
+    elif isinstance(notice, PoolRecoveredNotice):
+        emit(PoolRecovered(
+            lost_runs=notice.lost_runs, rebuilds=notice.rebuilds
+        ))
 
 
 def analyze(

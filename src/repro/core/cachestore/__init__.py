@@ -17,7 +17,11 @@ compatibility shim) into a small subsystem:
   via ``last_used``/``use_count`` under ``max_entries``;
 * :mod:`~repro.core.cachestore.factory` — :func:`open_store` (scheme
   and extension aware) and :func:`migrate_store` (jsonl → sqlite
-  upgrade path).
+  upgrade path);
+* :mod:`~repro.core.cachestore.verify` — :func:`verify_store`
+  re-executes (a seeded sample of) the records and diffs stored vs
+  fresh results, auditing the determinism contract the whole cache
+  rests on (``loupe cache verify``).
 
 Correctness inherits the engine's caching contract: only runs of
 backends declaring ``deterministic = True`` are ever stored or served,
@@ -35,7 +39,14 @@ from repro.core.cachestore.base import (
     StoreKey,
     StoreStats,
     decode_record,
+    decode_record_full,
     encode_record,
+)
+from repro.core.cachestore.verify import (
+    VerifyMismatch,
+    VerifyReport,
+    default_resolver,
+    verify_store,
 )
 from repro.core.cachestore.factory import (
     SQLITE_SUFFIXES,
@@ -56,10 +67,15 @@ __all__ = [
     "SqliteRunCache",
     "StoreKey",
     "StoreStats",
+    "VerifyMismatch",
+    "VerifyReport",
     "decode_record",
+    "decode_record_full",
+    "default_resolver",
     "encode_record",
     "migrate_store",
     "open_store",
     "parse_store_path",
     "store_identity",
+    "verify_store",
 ]

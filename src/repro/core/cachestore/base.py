@@ -37,16 +37,31 @@ class CacheStoreError(LoupeError):
     """A run-cache store operation is invalid or unsupported."""
 
 
-def encode_record(key: StoreKey, result: RunResult) -> str:
-    """One run as its canonical JSON record (no trailing newline)."""
+def encode_record(
+    key: StoreKey, result: RunResult, policy: "dict | None" = None
+) -> str:
+    """One run as its canonical JSON record (no trailing newline).
+
+    *policy* is the optional JSON form of the run's
+    :class:`~repro.core.policy.InterpositionPolicy`
+    (``InterpositionPolicy.to_dict()``). The key's fingerprint is a
+    lossy digest — good enough to discriminate, not to *reconstruct*
+    the policy — so recording the full document is what makes a
+    record independently re-executable (``loupe cache verify``).
+    ``None`` omits the field entirely, keeping records of writers
+    that never knew about policies byte-identical.
+    """
     backend, workload, fingerprint, replica = key
-    return json.dumps({
+    record: dict = {
         "backend": backend,
         "workload": workload,
         "fingerprint": fingerprint,
         "replica": replica,
         "result": result.to_dict(),
-    }, sort_keys=True)
+    }
+    if policy is not None:
+        record["policy"] = policy
+    return json.dumps(record, sort_keys=True)
 
 
 def decode_record(line: str) -> tuple[StoreKey, RunResult]:
@@ -54,6 +69,20 @@ def decode_record(line: str) -> tuple[StoreKey, RunResult]:
 
     Raises ``ValueError``/``KeyError``/``TypeError`` on torn or
     foreign input — loaders treat any of those as "skip this line".
+    A ``policy`` field, when present, is simply ignored here; use
+    :func:`decode_record_full` to read it.
+    """
+    key, result, _policy = decode_record_full(line)
+    return key, result
+
+
+def decode_record_full(
+    line: str,
+) -> "tuple[StoreKey, RunResult, dict | None]":
+    """Parse one JSON record to ``(key, result, policy_doc)``.
+
+    ``policy_doc`` is ``None`` for records written before policies
+    were stored (or by writers that chose not to store one).
     """
     record = json.loads(line)
     key = (
@@ -62,7 +91,10 @@ def decode_record(line: str) -> tuple[StoreKey, RunResult]:
         record["fingerprint"],
         int(record["replica"]),
     )
-    return key, RunResult.from_dict(record["result"])
+    policy = record.get("policy")
+    if policy is not None and not isinstance(policy, dict):
+        raise TypeError(f"malformed policy document: {policy!r}")
+    return key, RunResult.from_dict(record["result"]), policy
 
 
 @dataclasses.dataclass(frozen=True)
@@ -141,12 +173,24 @@ class RunCacheBackend(Protocol):
 
     def get(self, key: StoreKey) -> "RunResult | None": ...
 
-    def put(self, key: StoreKey, result: RunResult) -> None: ...
+    def put(
+        self,
+        key: StoreKey,
+        result: RunResult,
+        *,
+        policy: "dict | None" = None,
+    ) -> None: ...
 
     def __len__(self) -> int: ...
 
     def items(self) -> list[tuple[StoreKey, RunResult]]:
         """A snapshot of every live record (migration's read side)."""
+        ...
+
+    def records(self) -> "list[tuple[StoreKey, RunResult, dict | None]]":
+        """Like :meth:`items`, plus each record's stored policy
+        document (``None`` when the writer didn't store one) — the
+        read side of ``loupe cache verify``."""
         ...
 
     def stats(self) -> StoreStats: ...

@@ -30,7 +30,7 @@ from repro.core.cachestore.base import (
     CompactionResult,
     StoreKey,
     StoreStats,
-    decode_record,
+    decode_record_full,
     encode_record,
 )
 from repro.core.runner import RunResult
@@ -61,6 +61,7 @@ class JsonlRunCache:
         self.path = Path(path)
         self._lock = threading.Lock()
         self._index: dict[StoreKey, RunResult] = {}
+        self._policies: "dict[StoreKey, dict | None]" = {}
         self._handle = None
         self._loaded_records = 0
         self._stale_records = 0
@@ -77,7 +78,7 @@ class JsonlRunCache:
                 if not line:
                     continue
                 try:
-                    key, result = decode_record(line)
+                    key, result, policy = decode_record_full(line)
                 except (ValueError, KeyError, TypeError):
                     # A torn or foreign line (campaign killed mid-append);
                     # every complete record is still usable.
@@ -87,6 +88,7 @@ class JsonlRunCache:
                 else:
                     self._loaded_records += 1
                 self._index[key] = result
+                self._policies[key] = policy
 
     # -- the store API -----------------------------------------------------
 
@@ -112,21 +114,37 @@ class JsonlRunCache:
         with self._lock:
             return self._index.get(key)
 
-    def put(self, key: StoreKey, result: RunResult) -> None:
+    def put(
+        self,
+        key: StoreKey,
+        result: RunResult,
+        *,
+        policy: "dict | None" = None,
+    ) -> None:
         """Record one run; a duplicate key overwrites (last-writer-wins).
 
         The already-durable short-circuit consults only this process's
         index — concurrent writers sharing the file may still append
-        duplicates (see the module docstring).
+        duplicates (see the module docstring). A put that brings a
+        policy document to a record that lacked one is *not*
+        short-circuited: upgrading old records to re-executable ones
+        is worth one appended line.
         """
-        line = encode_record(key, result)
         with self._lock:
-            if self._index.get(key) == result:
+            if self._index.get(key) == result and (
+                policy is None or self._policies.get(key) == policy
+            ):
                 return  # already durable; don't grow the file
+            if policy is None:
+                # A policy-less overwrite keeps any document an earlier
+                # writer stored — last-writer-wins must not *lose* it.
+                policy = self._policies.get(key)
+            line = encode_record(key, result, policy)
             if key in self._index:
                 # The old line stays on disk, superseded, until compact().
                 self._stale_records += 1
             self._index[key] = result
+            self._policies[key] = policy
             if self._handle is None:
                 self.path.parent.mkdir(parents=True, exist_ok=True)
                 self._handle = self.path.open("a", encoding="utf-8")
@@ -136,6 +154,13 @@ class JsonlRunCache:
     def items(self) -> list[tuple[StoreKey, RunResult]]:
         with self._lock:
             return list(self._index.items())
+
+    def records(self) -> "list[tuple[StoreKey, RunResult, dict | None]]":
+        with self._lock:
+            return [
+                (key, result, self._policies.get(key))
+                for key, result in self._index.items()
+            ]
 
     # -- ops ---------------------------------------------------------------
 
@@ -182,7 +207,10 @@ class JsonlRunCache:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             with temp.open("w", encoding="utf-8") as handle:
                 for key, result in self._index.items():
-                    handle.write(encode_record(key, result) + "\n")
+                    handle.write(
+                        encode_record(key, result, self._policies.get(key))
+                        + "\n"
+                    )
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(temp, self.path)

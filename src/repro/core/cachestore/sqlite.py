@@ -39,6 +39,7 @@ from repro.core.cachestore.base import (
     StoreKey,
     StoreStats,
     decode_record,
+    decode_record_full,
     encode_record,
 )
 from repro.core.runner import RunResult
@@ -62,6 +63,34 @@ CREATE INDEX IF NOT EXISTS runs_last_used ON runs (last_used);
 #: giving up (seconds). Campaign writes are single small statements,
 #: so contention windows are microseconds; the margin is for CI boxes.
 _BUSY_TIMEOUT_S = 30.0
+
+#: Application-level retries when SQLite reports the database locked
+#: *despite* the busy timeout (which it can, e.g. when a competing
+#: writer holds the lock across its own busy wait, or on filesystems
+#: with advisory-lock quirks). Small and bounded: the point is riding
+#: out a momentary stall, not masking a wedged peer.
+_LOCK_ATTEMPTS = 3
+_LOCK_RETRY_DELAY_S = 0.05
+
+
+def _retry_locked(action):
+    """Run *action*, retrying briefly on lock/busy contention.
+
+    Only ``sqlite3.OperationalError``s that look like lock contention
+    are retried (with linear backoff); everything else — corruption,
+    schema errors, disk-full — propagates immediately, as does the
+    contention error itself once the attempts are spent.
+    """
+    for attempt in range(_LOCK_ATTEMPTS):
+        try:
+            return action()
+        except sqlite3.OperationalError as error:
+            message = str(error).lower()
+            if "locked" not in message and "busy" not in message:
+                raise
+            if attempt == _LOCK_ATTEMPTS - 1:
+                raise
+            time.sleep(_LOCK_RETRY_DELAY_S * (attempt + 1))
 
 
 class SqliteRunCache:
@@ -161,29 +190,37 @@ class SqliteRunCache:
         )
         with self._lock:
             conn = self._connect_locked()
-            row = conn.execute(
+            row = _retry_locked(lambda: conn.execute(
                 f"SELECT result FROM runs WHERE {where}",
                 (backend, workload, fingerprint, replica),
-            ).fetchone()
+            ).fetchone())
             if row is None:
                 return None
-            conn.execute(
+            _retry_locked(lambda: conn.execute(
                 f"UPDATE runs SET last_used = ?, use_count = use_count + 1 "
                 f"WHERE {where}",
                 (time.time(), backend, workload, fingerprint, replica),
-            )
+            ))
         _key, result = decode_record(row[0])
         return result
 
-    def put(self, key: StoreKey, result: RunResult) -> None:
+    def put(
+        self,
+        key: StoreKey,
+        result: RunResult,
+        *,
+        policy: "dict | None" = None,
+    ) -> None:
         """Upsert one run: a duplicate key updates the existing row in
         place — shared state, so concurrent campaigns never grow the
-        store with records another writer already persisted."""
+        store with records another writer already persisted. The
+        optional *policy* document rides inside the record JSON of the
+        ``result`` column (same wire format as the JSONL backend)."""
         backend, workload, fingerprint, replica = key
         now = time.time()
         with self._lock:
             conn = self._connect_locked()
-            conn.execute(
+            _retry_locked(lambda: conn.execute(
                 "INSERT INTO runs (backend, workload, fingerprint, replica,"
                 " result, created, last_used, use_count)"
                 " VALUES (?, ?, ?, ?, ?, ?, ?, 0)"
@@ -191,8 +228,8 @@ class SqliteRunCache:
                 " DO UPDATE SET result = excluded.result,"
                 "               last_used = excluded.last_used",
                 (backend, workload, fingerprint, replica,
-                 encode_record(key, result), now, now),
-            )
+                 encode_record(key, result, policy), now, now),
+            ))
             if self.max_entries is not None:
                 self._evict_locked(self.max_entries)
 
@@ -216,6 +253,12 @@ class SqliteRunCache:
             conn = self._connect_locked()
             rows = conn.execute("SELECT result FROM runs").fetchall()
         return [decode_record(row[0]) for row in rows]
+
+    def records(self) -> "list[tuple[StoreKey, RunResult, dict | None]]":
+        with self._lock:
+            conn = self._connect_locked()
+            rows = conn.execute("SELECT result FROM runs").fetchall()
+        return [decode_record_full(row[0]) for row in rows]
 
     # -- ops ---------------------------------------------------------------
 

@@ -1,0 +1,235 @@
+"""Run-cache verification: re-execute stored records and diff.
+
+A persistent run cache is only as trustworthy as the determinism
+contract behind it: the engine stores runs of backends declaring
+``deterministic = True``, so re-executing any record must reproduce
+the stored result bit for bit. ``loupe cache verify`` samples records
+and *checks* that claim — catching corrupted stores, backends whose
+determinism declaration lies, and records poisoned by a writer bug —
+instead of letting a bad cache silently steer every future campaign.
+
+Re-execution needs two things the cache key alone cannot provide:
+
+* the **policy** — the key's fingerprint is a lossy digest, so the
+  store records the full policy document next to each result
+  (:func:`repro.core.cachestore.base.encode_record`); records written
+  before that (or by writers that chose not to) are *unverifiable*
+  and reported as such, never as mismatches;
+* the **backend and workload** — resolved from the key's names by a
+  pluggable *resolver*; the default one rebuilds the hand-built
+  simulation corpus (``sim:<app>-<version>``), which is exactly the
+  set of deterministic backends this repository ships.
+
+Determinism of the check itself: records are visited in sorted-key
+order, and sampling is seeded (``--sample N --seed S`` picks the same
+N records every time).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from collections.abc import Callable
+
+from repro.core.cachestore.base import RunCacheBackend, StoreKey
+from repro.core.policy import InterpositionPolicy
+from repro.core.runner import ExecutionBackend, RunResult
+from repro.core.workload import Workload
+
+#: Resolves a record's ``(backend name, workload name)`` to a live
+#: execution pair, or ``None`` when this resolver cannot rebuild it.
+Resolver = Callable[
+    [str, str], "tuple[ExecutionBackend, Workload] | None"
+]
+
+#: Result fields excluded from the comparison: wall-clock duration is
+#: measurement, not outcome — it legitimately differs across runs of
+#: even a perfectly deterministic backend.
+_VOLATILE_FIELDS = ("duration_s",)
+
+
+@dataclasses.dataclass(frozen=True)
+class VerifyMismatch:
+    """One record whose re-execution disagreed with the store."""
+
+    key: StoreKey
+    fields: tuple[str, ...]
+    detail: str = ""
+
+    def describe(self) -> str:
+        backend, workload, fingerprint, replica = self.key
+        where = (
+            f"{backend} / {workload} / "
+            f"{fingerprint or 'passthrough'} / replica {replica}"
+        )
+        what = ", ".join(self.fields) if self.fields else "record"
+        line = f"{where}: {what} differ(s)"
+        if self.detail:
+            line += f" ({self.detail})"
+        return line
+
+
+@dataclasses.dataclass(frozen=True)
+class VerifyReport:
+    """Outcome of one verification pass over a store."""
+
+    total: int          #: live records in the store
+    checked: int        #: records actually re-executed
+    matched: int        #: re-executions identical to the stored result
+    mismatches: tuple[VerifyMismatch, ...]
+    #: Records that could not be re-executed: no stored policy
+    #: document, or a backend/workload the resolver cannot rebuild.
+    unverifiable: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def describe(self) -> str:
+        line = (
+            f"verified {self.checked}/{self.total} record(s): "
+            f"{self.matched} matched, {len(self.mismatches)} mismatched"
+        )
+        if self.unverifiable:
+            line += f", {self.unverifiable} unverifiable"
+        return line
+
+
+def _comparable(result: RunResult) -> dict:
+    data = result.to_dict()
+    for field in _VOLATILE_FIELDS:
+        data.pop(field, None)
+    return data
+
+
+def _diff_fields(stored: dict, fresh: dict) -> tuple[str, ...]:
+    return tuple(sorted(
+        field
+        for field in set(stored) | set(fresh)
+        if stored.get(field) != fresh.get(field)
+    ))
+
+
+def default_resolver() -> Resolver:
+    """A resolver over the hand-built simulation corpus.
+
+    Builds every corpus application once (lazily, on first miss) and
+    matches records by the backend identity its :class:`SimBackend`
+    reports (``sim:<app>-<version>``) and the workload's name. Built
+    apps are memoized for the resolver's lifetime, so verifying many
+    records of one app pays the build once.
+    """
+    # Imported lazily: cachestore is core infrastructure and must not
+    # pull the simulation corpus (a higher layer) at import time.
+    from repro.appsim.corpus import HANDBUILT, build
+    from repro.core.runner import backend_name
+
+    backends: "dict[str, tuple[ExecutionBackend, dict[str, Workload]]]" = {}
+    exhausted = set()
+
+    def resolve(
+        backend: str, workload: str
+    ) -> "tuple[ExecutionBackend, Workload] | None":
+        if backend not in backends and backend not in exhausted:
+            for name in sorted(HANDBUILT):
+                app = build(name)
+                candidate = app.backend()
+                identity = backend_name(candidate)
+                if identity not in backends:
+                    backends[identity] = (
+                        candidate,
+                        {w.name: w for w in app.workloads.values()},
+                    )
+                if identity == backend:
+                    break
+            else:
+                exhausted.add(backend)
+        entry = backends.get(backend)
+        if entry is None:
+            return None
+        execution, workloads = entry
+        found = workloads.get(workload)
+        if found is None:
+            return None
+        return execution, found
+
+    return resolve
+
+
+def verify_store(
+    store: RunCacheBackend,
+    *,
+    sample: "int | None" = None,
+    seed: int = 0,
+    resolver: "Resolver | None" = None,
+) -> VerifyReport:
+    """Re-execute (a sample of) *store*'s records and diff the results.
+
+    ``sample=None`` checks every record; ``sample=N`` re-executes a
+    seeded pseudo-random subset of N (deterministic for a given
+    ``seed`` and store content). Records without a stored policy
+    document, or whose backend/workload the *resolver* cannot
+    rebuild, count as *unverifiable* — they are skipped, not failed:
+    absence of evidence is not a mismatch.
+    """
+    if sample is not None and sample < 1:
+        raise ValueError("sample must be >= 1")
+    records = sorted(store.records(), key=lambda record: record[0])
+    total = len(records)
+    if sample is not None and sample < total:
+        picks = random.Random(seed).sample(range(total), sample)
+        records = [records[index] for index in sorted(picks)]
+
+    resolve = resolver if resolver is not None else default_resolver()
+    checked = 0
+    matched = 0
+    unverifiable = 0
+    mismatches: list[VerifyMismatch] = []
+    for key, stored, policy_doc in records:
+        backend_id, workload_name, fingerprint, replica = key
+        if policy_doc is None:
+            unverifiable += 1
+            continue
+        resolved = resolve(backend_id, workload_name)
+        if resolved is None:
+            unverifiable += 1
+            continue
+        backend, workload = resolved
+        try:
+            policy = InterpositionPolicy.from_dict(policy_doc)
+        except Exception as error:
+            mismatches.append(VerifyMismatch(
+                key=key, fields=("policy",),
+                detail=f"stored policy document is invalid: {error}",
+            ))
+            checked += 1
+            continue
+        if policy.fingerprint() != fingerprint:
+            # The stored document does not even describe the key it is
+            # filed under — the record was torn or tampered with.
+            mismatches.append(VerifyMismatch(
+                key=key, fields=("policy",),
+                detail=f"stored policy fingerprints as "
+                       f"{policy.fingerprint()!r}, key says "
+                       f"{fingerprint!r}",
+            ))
+            checked += 1
+            continue
+        fresh = backend.run(workload, policy, replica=replica)
+        checked += 1
+        stored_doc = _comparable(stored)
+        fresh_doc = _comparable(fresh)
+        if stored_doc == fresh_doc:
+            matched += 1
+        else:
+            mismatches.append(VerifyMismatch(
+                key=key, fields=_diff_fields(stored_doc, fresh_doc),
+                detail="stored result does not reproduce",
+            ))
+    return VerifyReport(
+        total=total,
+        checked=checked,
+        matched=matched,
+        mismatches=tuple(mismatches),
+        unverifiable=unverifiable,
+    )

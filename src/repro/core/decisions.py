@@ -29,11 +29,21 @@ class Verdict(enum.Enum):
     STUB_ONLY = "stub-only"
     FAKE_ONLY = "fake-only"
     ANY = "any"
+    #: The probes could not decide: replicas faulted (timed out,
+    #: crashed their worker, ...) without any observed genuine
+    #: failure. Treated like REQUIRED for planning (conservative) but
+    #: reported distinctly — the right response is re-running, not
+    #: implementing.
+    UNDECIDED = "undecided"
 
     @property
     def avoidable(self) -> bool:
-        """True when the feature does not need a real implementation."""
-        return self is not Verdict.REQUIRED
+        """True when the feature does not need a real implementation.
+
+        An undecided feature is *not* avoidable: absence of evidence
+        keeps it conservatively required until probes actually decide.
+        """
+        return self not in (Verdict.REQUIRED, Verdict.UNDECIDED)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -43,10 +53,14 @@ class Decision:
     ``can_stub``/``can_fake`` mean: across all replicas, the workload
     passed with the feature stubbed/faked *and* no disqualifying metric
     regression was observed (when metric guarding is enabled).
+    ``undecided`` marks capabilities withheld for lack of evidence —
+    probe replicas faulted rather than failed — instead of by an
+    observed failure; it never *grants* a capability.
     """
 
     can_stub: bool
     can_fake: bool
+    undecided: bool = False
 
     @property
     def verdict(self) -> Verdict:
@@ -56,6 +70,8 @@ class Decision:
             return Verdict.STUB_ONLY
         if self.can_fake:
             return Verdict.FAKE_ONLY
+        if self.undecided:
+            return Verdict.UNDECIDED
         return Verdict.REQUIRED
 
     @property
@@ -67,10 +83,12 @@ class Decision:
         return self.can_stub or self.can_fake
 
     def merge(self, other: "Decision") -> "Decision":
-        """Conservative combination across replicas (logical AND)."""
+        """Conservative combination across replicas (logical AND);
+        uncertainty on either side survives the merge."""
         return Decision(
             can_stub=self.can_stub and other.can_stub,
             can_fake=self.can_fake and other.can_fake,
+            undecided=self.undecided or other.undecided,
         )
 
     @staticmethod

@@ -58,10 +58,19 @@ Run submission (:meth:`ProbeEngine.run` / :meth:`ProbeEngine.run_replicas`
 / :meth:`ProbeEngine.run_probe_batch`) is thread-safe; the engine is
 shared freely between worker threads.
 
+Fault tolerance (:mod:`repro.core.faults`): an engine built with a
+:class:`~repro.core.faults.FaultPolicy` gives every run a wall-clock
+timeout and bounded retries, classifies exhausted runs by the fault
+taxonomy, and — under ``on_fault="degrade"`` — quarantines them as
+:class:`~repro.core.faults.ProbeFault` entries on the outcome instead
+of aborting the campaign. A broken worker pool no longer poisons the
+batch either: the engine rebuilds the shared pool and re-enqueues only
+the lost chunks (bounded by the retry budget).
+
 Accounting invariant: ``runs_requested`` counts every run a caller
 asked for — including replicas that early exit later skips — so
-``runs_requested == runs_executed + cache_hits + replicas_skipped``
-holds after every scheduling call, on every executor.
+``runs_requested == runs_executed + cache_hits + replicas_skipped +
+faulted`` holds after every scheduling call, on every executor.
 """
 
 from __future__ import annotations
@@ -72,8 +81,21 @@ import dataclasses
 import multiprocessing
 import threading
 from collections import OrderedDict
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
+from concurrent.futures.process import BrokenProcessPool
 
+from repro.core.faults import (
+    FAULT_WORKER_CRASH,
+    FaultNotice,
+    FaultPolicy,
+    PoolRecoveredNotice,
+    ProbeFault,
+    ProbeFaultError,
+    ProbeRunError,
+    RetryNotice,
+    describe_probe_error,
+    guarded_run,
+)
 from repro.core.policy import InterpositionPolicy
 from repro.core.replicas import ProbeOutcome, aggregate
 from repro.core.cachestore import RunCacheBackend
@@ -225,6 +247,24 @@ def shutdown_process_pool() -> None:
         pool.shutdown(wait=True)
 
 
+def _replace_broken_process_pool(broken: concurrent.futures.Executor) -> None:
+    """Retire *broken* so the next fetch starts a fresh process pool.
+
+    Identity-guarded: if another engine already replaced the shared
+    pool (two engines share one pool, so one dead worker breaks both),
+    the healthy replacement is left alone and only *broken* is shut
+    down. Shutdown of a broken pool is quick — its workers are gone.
+    """
+    global _PROCESS_POOL, _PROCESS_POOL_WIDTH
+    with _POOL_LOCK:
+        if _PROCESS_POOL is broken:
+            _PROCESS_POOL = None
+            _PROCESS_POOL_WIDTH = 0
+        elif broken in _RETIRED_POOLS:
+            _RETIRED_POOLS.remove(broken)
+    broken.shutdown(wait=True)
+
+
 def shutdown_worker_pools() -> None:
     """Shut both shared worker pools down (idempotent).
 
@@ -260,7 +300,8 @@ def _execute_chunk(
     workload: Workload,
     tasks: Sequence[tuple[int, int, InterpositionPolicy]],
     early_exit: bool,
-) -> list[tuple[int, int, RunResult]]:
+    fault_policy: "FaultPolicy | None" = None,
+) -> "list[tuple[int, int, RunResult | ProbeFault]]":
     """Execute a contiguous slice of a batch inside one worker process.
 
     Process sharding ships tasks in chunks so the backend is pickled
@@ -271,13 +312,42 @@ def _execute_chunk(
     the later replicas of a probe that already failed inside this
     chunk (the same replicas the serial path would skip), and the
     scheduler accounts anything absent from the return as skipped.
+
+    Backend exceptions never cross the process boundary raw: without a
+    fault policy they re-raise as :class:`ProbeRunError` carrying the
+    probe key (a pickled anonymous traceback identifies nothing);
+    with an active policy each run goes through :func:`guarded_run` —
+    the same timeout/retry semantics as the scheduling process — and
+    exhausted runs come back as :class:`ProbeFault` rows (degrade) or
+    raise :class:`ProbeFaultError` (fail). Faulted probes do not
+    trigger the in-chunk skip: only a *decided* failure does.
     """
-    results: list[tuple[int, int, RunResult]] = []
+    results: "list[tuple[int, int, RunResult | ProbeFault]]" = []
     failed: set[int] = set()
+    guarded = fault_policy is not None and fault_policy.active
     for probe_index, replica, policy in tasks:
         if early_exit and probe_index in failed:
             continue
-        result = backend.run(workload, policy, replica=replica)
+        if guarded:
+            outcome = guarded_run(
+                backend, workload, policy, replica, fault_policy
+            )
+            if outcome.faulted:
+                fault = outcome.fault(workload, policy, replica)
+                if not fault_policy.degrade:
+                    raise ProbeFaultError(fault)
+                results.append((probe_index, replica, fault))
+                continue
+            result = outcome.result
+        else:
+            try:
+                result = backend.run(workload, policy, replica=replica)
+            except (ProbeRunError, ProbeFaultError):
+                raise
+            except Exception as error:
+                raise ProbeRunError(
+                    describe_probe_error(workload, policy, replica, error)
+                ) from error
         results.append((probe_index, replica, result))
         if not result.success:
             failed.add(probe_index)
@@ -295,8 +365,10 @@ class EngineStats:
     ``persistent_hits`` came from the on-disk store rather than this
     engine's own LRU; ``replicas_skipped`` the replicas never run
     because an earlier replica of the same probe already failed
-    (early exit). ``runs_requested == runs_executed + cache_hits +
-    replicas_skipped`` always holds.
+    (early exit); ``faulted`` the runs the fault policy quarantined
+    (timeout / worker-crash / backend-error / torn-result), which
+    therefore produced no result. ``runs_requested == runs_executed +
+    cache_hits + replicas_skipped + faulted`` always holds.
     """
 
     runs_requested: int = 0
@@ -304,6 +376,7 @@ class EngineStats:
     cache_hits: int = 0
     replicas_skipped: int = 0
     persistent_hits: int = 0
+    faulted: int = 0
 
     def __add__(self, other: "EngineStats") -> "EngineStats":
         """Field-wise total, e.g. folding per-analysis stats into a
@@ -338,6 +411,8 @@ class EngineStats:
         )
         if self.persistent_hits:
             base += f", {self.persistent_hits} from the persistent cache"
+        if self.faulted:
+            base += f", {self.faulted} run(s) faulted"
         return base
 
 
@@ -378,6 +453,23 @@ class ProbeEngine:
         is recorded, so later campaigns sharing the store start warm.
         Survives :meth:`reset` — cross-campaign reuse is its entire
         point.
+    fault_policy:
+        Optional :class:`~repro.core.faults.FaultPolicy`. When active,
+        every run gets a wall-clock timeout and bounded retries;
+        exhausted runs either abort the campaign as
+        :class:`~repro.core.faults.ProbeFaultError` (``on_fault=
+        "fail"``) or are quarantined as
+        :class:`~repro.core.faults.ProbeFault` entries on the
+        :class:`~repro.core.replicas.ProbeOutcome` (``"degrade"``).
+        ``None`` (the default) keeps the historical fast path: raw
+        exception propagation, zero per-run overhead.
+    on_notice:
+        Optional callback receiving fault-activity notices
+        (:class:`~repro.core.faults.RetryNotice` /
+        :class:`~repro.core.faults.FaultNotice` /
+        :class:`~repro.core.faults.PoolRecoveredNotice`) from the
+        scheduling thread; the analyzer adapts them into typed
+        session events. Also assignable later via ``notice_sink``.
     """
 
     def __init__(
@@ -388,6 +480,8 @@ class ProbeEngine:
         cache_size: int = DEFAULT_CACHE_SIZE,
         executor: str = "auto",
         store: "RunCacheBackend | None" = None,
+        fault_policy: "FaultPolicy | None" = None,
+        on_notice: "Callable[[object], None] | None" = None,
     ) -> None:
         if parallel < 1:
             raise ValueError("parallel must be >= 1")
@@ -410,6 +504,10 @@ class ProbeEngine:
         self.cache_enabled = cache
         self.cache_size = cache_size
         self.store = store
+        self.fault_policy = fault_policy
+        #: Fault-activity callback; reassignable (the analyzer points
+        #: it at the live event stream for the duration of an analysis).
+        self.notice_sink = on_notice
         self._lock = threading.Lock()
         self._cache: OrderedDict[CacheKey, RunResult] = OrderedDict()
         self._requested = 0
@@ -417,6 +515,7 @@ class ProbeEngine:
         self._hits = 0
         self._skipped = 0
         self._persistent_hits = 0
+        self._faulted = 0
         #: id(backend) -> (backend, BackendCapabilities); resolved once
         #: per backend object, so a legacy backend's shimmed attributes
         #: (and the accompanying DeprecationWarning) are read once, not
@@ -538,6 +637,7 @@ class ProbeEngine:
                 cache_hits=self._hits,
                 replicas_skipped=self._skipped,
                 persistent_hits=self._persistent_hits,
+                faulted=self._faulted,
             )
 
     def reset(self) -> None:
@@ -560,6 +660,7 @@ class ProbeEngine:
             self._hits = 0
             self._skipped = 0
             self._persistent_hits = 0
+            self._faulted = 0
 
     def cached_runs(self) -> int:
         with self._lock:
@@ -609,8 +710,18 @@ class ProbeEngine:
                 return persisted
         return None
 
-    def _record(self, key: "CacheKey | None", result: RunResult) -> None:
-        """Account one executed run; memoize it when *key* is cacheable."""
+    def _record(
+        self,
+        key: "CacheKey | None",
+        result: RunResult,
+        policy: "InterpositionPolicy | None" = None,
+    ) -> None:
+        """Account one executed run; memoize it when *key* is cacheable.
+
+        The policy rides along to the persistent store so ``loupe
+        cache verify`` can later re-execute the record (the key's
+        fingerprint is lossy and cannot be reversed into a policy).
+        """
         with self._lock:
             self._executed += 1
             if key is not None:
@@ -618,7 +729,47 @@ class ProbeEngine:
                 self._cache.move_to_end(key)
                 self._evict_locked()
         if key is not None and self.store is not None:
-            self.store.put(key, result)
+            self.store.put(
+                key, result,
+                policy=policy.to_dict() if policy is not None else None,
+            )
+
+    # -- fault handling ----------------------------------------------------
+
+    def _notify(self, notice: object) -> None:
+        sink = self.notice_sink
+        if sink is not None:
+            sink(notice)
+
+    def _account_fault(self, fault: ProbeFault) -> None:
+        with self._lock:
+            self._faulted += 1
+        self._notify(FaultNotice(fault))
+
+    def _notify_retries(
+        self,
+        workload: Workload,
+        policy: InterpositionPolicy,
+        replica: int,
+        failures: Sequence[object],
+        recovered: bool,
+    ) -> None:
+        """Emit one RetryNotice per *retried* attempt.
+
+        On eventual success every recorded failure was retried; on an
+        exhausted outcome the last failure was terminal (it becomes
+        the FaultNotice instead).
+        """
+        retried = failures if recovered else failures[:-1]
+        for attempt, failure in enumerate(retried, start=1):
+            self._notify(RetryNotice(
+                workload=workload.name,
+                probe=policy.describe(),
+                replica=replica,
+                attempt=attempt,
+                kind=failure.kind,
+                detail=failure.detail,
+            ))
 
     # -- the run API -------------------------------------------------------
 
@@ -634,10 +785,18 @@ class ProbeEngine:
         Caching requires the backend to declare ``deterministic =
         True``; a fresh execution of a nondeterministic backend is the
         whole point of replication, so its results are never memoized.
+
+        The single-run API never degrades: a run that exhausts its
+        fault budget raises :class:`ProbeFaultError` even under
+        ``on_fault="degrade"`` — only probe outcomes (which can carry
+        quarantined faults) support degradation.
         """
         with self._lock:
             self._requested += 1
-        return self._one(backend, workload, policy, replica)
+        out = self._one(backend, workload, policy, replica)
+        if isinstance(out, ProbeFault):
+            raise ProbeFaultError(out)
+        return out
 
     def _one(
         self,
@@ -645,18 +804,39 @@ class ProbeEngine:
         workload: Workload,
         policy: InterpositionPolicy,
         replica: int,
-    ) -> RunResult:
+    ) -> "RunResult | ProbeFault":
         """Lookup-or-execute without touching ``runs_requested`` (the
-        scheduling entry points account for requests up front)."""
+        scheduling entry points account for requests up front).
+
+        Returns the quarantine record instead of a result when the run
+        exhausted its fault budget under ``on_fault="degrade"`` (the
+        fault is already accounted and notified by then); raises
+        :class:`ProbeFaultError` under ``"fail"``.
+        """
         key = None
         if self._cacheable(backend):
             key = self._key(backend, workload, policy, replica)
             hit = self._lookup(key)
             if hit is not None:
                 return hit
-        result = backend.run(workload, policy, replica=replica)
-        self._record(key, result)
-        return result
+        fault_policy = self.fault_policy
+        if fault_policy is None or not fault_policy.active:
+            result = backend.run(workload, policy, replica=replica)
+            self._record(key, result, policy)
+            return result
+        outcome = guarded_run(backend, workload, policy, replica, fault_policy)
+        self._notify_retries(
+            workload, policy, replica, outcome.failures,
+            recovered=outcome.result is not None,
+        )
+        if outcome.result is not None:
+            self._record(key, outcome.result, policy)
+            return outcome.result
+        fault = outcome.fault(workload, policy, replica)
+        self._account_fault(fault)
+        if not fault_policy.degrade:
+            raise ProbeFaultError(fault)
+        return fault
 
     def run_replicas(
         self,
@@ -730,14 +910,21 @@ class ProbeEngine:
         with self._lock:
             self._requested += replicas
         results: list[RunResult] = []
+        faults: list[ProbeFault] = []
         for index in range(replicas):
-            result = self._one(backend, workload, policy, index)
-            results.append(result)
-            if early_exit and not result.success:
+            out = self._one(backend, workload, policy, index)
+            if isinstance(out, ProbeFault):
+                # A fault is not a decision — later replicas still run
+                # (one of them may observe a genuine failure, which
+                # dominates; see replicas.aggregate).
+                faults.append(out)
+                continue
+            results.append(out)
+            if early_exit and not out.success:
                 with self._lock:
                     self._skipped += replicas - index - 1
                 break
-        return aggregate(results)
+        return aggregate(results, faults=tuple(faults))
 
     def _pooled_batch(
         self,
@@ -752,6 +939,7 @@ class ProbeEngine:
         with self._lock:
             self._requested += len(policies) * replicas
         collected: list[dict[int, RunResult]] = [{} for _ in policies]
+        faulted: list[dict[int, ProbeFault]] = [{} for _ in policies]
         failed = [False] * len(policies)
         # Resolve the caches up front; only misses reach the pool.
         tasks: list[tuple[int, int, InterpositionPolicy, CacheKey | None]] = []
@@ -775,26 +963,35 @@ class ProbeEngine:
         }
         if mode == "process":
             self._dispatch_process_chunks(
-                backend, workload, tasks, keys, collected, failed, early_exit
+                backend, workload, tasks, keys, collected, faulted,
+                failed, early_exit,
             )
         else:
             self._dispatch_threads(
-                backend, workload, tasks, keys, collected, failed, early_exit
+                backend, workload, tasks, keys, collected, faulted,
+                failed, early_exit,
             )
         # Whatever was asked for but never ran — cancelled in time,
         # skipped by a worker after an in-chunk failure, or never
         # submitted after a cached failure — was skipped. Runs that won
-        # the cancellation race were collected above, so the
-        # ``requested == executed + hits + skipped`` invariant holds
-        # regardless of how the race resolved.
+        # the cancellation race were collected above, and quarantined
+        # runs are accounted as faults, so the ``requested == executed
+        # + hits + skipped + faulted`` invariant holds regardless of
+        # how the race resolved.
         obtained = sum(len(by_replica) for by_replica in collected)
+        obtained += sum(len(by_replica) for by_replica in faulted)
         missing = len(policies) * replicas - obtained
         if missing:
             with self._lock:
                 self._skipped += missing
         return [
-            aggregate([by_replica[index] for index in sorted(by_replica)])
-            for by_replica in collected
+            aggregate(
+                [by_replica[index] for index in sorted(by_replica)],
+                faults=tuple(
+                    by_fault[index] for index in sorted(by_fault)
+                ),
+            )
+            for by_replica, by_fault in zip(collected, faulted)
         ]
 
     def _dispatch_threads(
@@ -804,6 +1001,7 @@ class ProbeEngine:
         tasks: Sequence[tuple[int, int, InterpositionPolicy, "CacheKey | None"]],
         keys: dict[tuple[int, int], "CacheKey | None"],
         collected: list[dict[int, RunResult]],
+        faulted: list[dict[int, ProbeFault]],
         failed: list[bool],
         early_exit: bool,
     ) -> None:
@@ -818,10 +1016,27 @@ class ProbeEngine:
         not-yet-submitted siblings are simply never submitted (the
         eager version could only race to cancel them), while
         already-running siblings are still cancelled best-effort.
+
+        With an active fault policy each run goes through
+        :func:`guarded_run` on its worker thread (timeout + retries);
+        exhausted runs are quarantined (degrade) or abort the batch
+        (fail). Faults never trigger early exit — only a decided
+        failure cancels a probe's siblings.
         """
+        fault_policy = self.fault_policy
+        if fault_policy is not None and not fault_policy.active:
+            fault_policy = None
         pool = self._pool("thread")
         position = 0
-        active: "dict[concurrent.futures.Future, tuple[int, int]]" = {}
+        active: "dict[concurrent.futures.Future, tuple[int, int, InterpositionPolicy]]" = {}
+
+        def start(policy: InterpositionPolicy, replica: int):
+            if fault_policy is not None:
+                return pool.submit(
+                    guarded_run, backend, workload, policy, replica,
+                    fault_policy,
+                )
+            return pool.submit(backend.run, workload, policy, replica=replica)
 
         def submit_ready() -> None:
             nonlocal position, pool
@@ -831,9 +1046,7 @@ class ProbeEngine:
                 if early_exit and failed[probe_index]:
                     continue  # a sibling already failed: never submit
                 try:
-                    future = pool.submit(
-                        backend.run, workload, policy, replica=replica
-                    )
+                    future = start(policy, replica)
                 except RuntimeError:
                     # The shared pool was shut down under us
                     # (shutdown_worker_pools from another thread).
@@ -842,10 +1055,8 @@ class ProbeEngine:
                     # and resubmit; a second failure is a real
                     # interpreter-shutdown and propagates.
                     pool = self._pool("thread")
-                    future = pool.submit(
-                        backend.run, workload, policy, replica=replica
-                    )
-                active[future] = (probe_index, replica)
+                    future = start(policy, replica)
+                active[future] = (probe_index, replica, policy)
 
         submit_ready()
         try:
@@ -854,17 +1065,31 @@ class ProbeEngine:
                     active, return_when=concurrent.futures.FIRST_COMPLETED
                 )
                 for future in done:
-                    probe_index, replica = active.pop(future)
+                    probe_index, replica, policy = active.pop(future)
                     try:
                         result = future.result()
                     except concurrent.futures.CancelledError:
                         continue
-                    self._record(keys[(probe_index, replica)], result)
+                    if fault_policy is not None:
+                        outcome = result
+                        self._notify_retries(
+                            workload, policy, replica, outcome.failures,
+                            recovered=outcome.result is not None,
+                        )
+                        if outcome.faulted:
+                            fault = outcome.fault(workload, policy, replica)
+                            self._account_fault(fault)
+                            if not fault_policy.degrade:
+                                raise ProbeFaultError(fault)
+                            faulted[probe_index][replica] = fault
+                            continue
+                        result = outcome.result
+                    self._record(keys[(probe_index, replica)], result, policy)
                     collected[probe_index][replica] = result
                     if early_exit and not result.success \
                             and not failed[probe_index]:
                         failed[probe_index] = True
-                        for other, (other_probe, _) in active.items():
+                        for other, (other_probe, _, _) in active.items():
                             if other_probe == probe_index:
                                 other.cancel()
                 submit_ready()
@@ -882,6 +1107,7 @@ class ProbeEngine:
         tasks: Sequence[tuple[int, int, InterpositionPolicy, "CacheKey | None"]],
         keys: dict[tuple[int, int], "CacheKey | None"],
         collected: list[dict[int, RunResult]],
+        faulted: list[dict[int, ProbeFault]],
         failed: list[bool],
         early_exit: bool,
     ) -> None:
@@ -895,9 +1121,22 @@ class ProbeEngine:
         fail within their own chunk, and cross-chunk failures simply
         run to completion (a ``ProcessPoolExecutor`` cannot retract
         work it has already queued to a child anyway).
+
+        A dead worker no longer poisons the batch: on
+        ``BrokenProcessPool`` the engine drains the surviving results,
+        retires the broken shared pool, fetches a fresh one, and
+        re-enqueues only the lost runs — as singleton chunks, so a
+        poison run that kills its worker takes no innocent chunk-mates
+        down with it. Each run is re-enqueued at most ``retries + 1``
+        times (one rebuild without a fault policy); beyond that it is
+        a ``worker-crash`` fault — quarantined under degrade, raised
+        otherwise.
         """
         if not tasks:
             return
+        fault_policy = self.fault_policy
+        if fault_policy is not None and not fault_policy.active:
+            fault_policy = None
         pool = self._pool("process")
         per_chunk = max(
             1, -(-len(tasks) // (self.parallel * _CHUNKS_PER_WORKER))
@@ -909,17 +1148,115 @@ class ProbeEngine:
             ]
             for start in range(0, len(tasks), per_chunk)
         ]
-        futures = [
-            pool.submit(_execute_chunk, backend, workload, chunk, early_exit)
-            for chunk in chunks
-        ]
+        policies = {
+            (probe_index, replica): policy
+            for probe_index, replica, policy, _key in tasks
+        }
+        #: How often one lost run may be re-enqueued onto a fresh pool.
+        max_requeues = (fault_policy.retries if fault_policy else 0) + 1
+        requeues: dict[tuple[int, int], int] = {}
+        rebuilds = 0
+
+        def submit(chunk):
+            nonlocal pool
+            try:
+                return pool.submit(
+                    _execute_chunk, backend, workload, chunk, early_exit,
+                    fault_policy,
+                )
+            except RuntimeError:
+                # The shared pool was shut down (or replaced after a
+                # break) under us; re-fetch the replacement once.
+                pool = self._pool("process")
+                return pool.submit(
+                    _execute_chunk, backend, workload, chunk, early_exit,
+                    fault_policy,
+                )
+
+        def consume(rows) -> None:
+            for probe_index, replica, row in rows:
+                if isinstance(row, ProbeFault):
+                    self._account_fault(row)
+                    faulted[probe_index][replica] = row
+                    continue
+                self._record(
+                    keys[(probe_index, replica)], row,
+                    policies[(probe_index, replica)],
+                )
+                collected[probe_index][replica] = row
+                if early_exit and not row.success:
+                    failed[probe_index] = True
+
+        futures = {submit(chunk): chunk for chunk in chunks}
         try:
-            for future in concurrent.futures.as_completed(futures):
-                for probe_index, replica, result in future.result():
-                    self._record(keys[(probe_index, replica)], result)
-                    collected[probe_index][replica] = result
-                    if early_exit and not result.success:
-                        failed[probe_index] = True
+            while futures:
+                done, _ = concurrent.futures.wait(
+                    futures, return_when=concurrent.futures.FIRST_COMPLETED
+                )
+                lost: list[tuple[int, int, InterpositionPolicy]] = []
+                pool_error: "BaseException | None" = None
+                for future in done:
+                    chunk = futures.pop(future)
+                    try:
+                        rows = future.result()
+                    except concurrent.futures.CancelledError:
+                        continue
+                    except BrokenProcessPool as error:
+                        lost.extend(chunk)
+                        pool_error = error
+                        continue
+                    consume(rows)
+                if pool_error is None:
+                    continue
+                # The pool is broken, which dooms every remaining
+                # future with it. Drain them all now — survivors that
+                # completed before the break keep their results — so
+                # the pool is rebuilt exactly once per break.
+                for future, chunk in list(futures.items()):
+                    try:
+                        rows = future.result()
+                    except (
+                        BrokenProcessPool,
+                        concurrent.futures.CancelledError,
+                    ):
+                        lost.extend(chunk)
+                    else:
+                        consume(rows)
+                futures.clear()
+                rebuilds += 1
+                _replace_broken_process_pool(pool)
+                pool = self._pool("process")
+                requeued = 0
+                for probe_index, replica, policy in lost:
+                    if (
+                        replica in collected[probe_index]
+                        or replica in faulted[probe_index]
+                    ):
+                        continue  # already answered by another chunk
+                    count = requeues.get((probe_index, replica), 0)
+                    if count < max_requeues:
+                        requeues[(probe_index, replica)] = count + 1
+                        requeued += 1
+                        # Singleton chunk: isolate the potential poison
+                        # run so it cannot take chunk-mates down again.
+                        task = (probe_index, replica, policy)
+                        futures[submit([task])] = [task]
+                        continue
+                    fault = ProbeFault(
+                        workload=workload.name,
+                        probe=policy.describe(),
+                        replica=replica,
+                        kind=FAULT_WORKER_CRASH,
+                        attempts=count + 1,
+                        detail="worker process died on every attempt",
+                    )
+                    self._account_fault(fault)
+                    if fault_policy is None or not fault_policy.degrade:
+                        raise ProbeFaultError(fault) from pool_error
+                    faulted[probe_index][replica] = fault
+                self._notify(PoolRecoveredNotice(
+                    lost_runs=requeued, rebuilds=rebuilds,
+                ))
         except BaseException:
             for other in futures:
                 other.cancel()

@@ -240,6 +240,46 @@ class InterpositionPolicy:
         ]
         return ", ".join(parts)
 
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Lossless JSON form — unlike :meth:`fingerprint`, which is a
+        one-way digest. Stored alongside cached run results so a
+        record can be independently *re-executed* (``loupe cache
+        verify``), not just matched."""
+        return {
+            "syscalls": {
+                feature: action.value
+                for feature, action in sorted(self.syscall_actions.items())
+            },
+            "subfeatures": {
+                feature: action.value
+                for feature, action in sorted(self.subfeature_actions.items())
+            },
+            "pseudofiles": {
+                path: action.value
+                for path, action in sorted(self.pseudofile_actions.items())
+            },
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "InterpositionPolicy":
+        """Rebuild a policy from its :meth:`to_dict` form."""
+        return InterpositionPolicy(
+            syscall_actions={
+                feature: Action(value)
+                for feature, value in dict(data.get("syscalls", {})).items()
+            },
+            subfeature_actions={
+                feature: Action(value)
+                for feature, value in dict(data.get("subfeatures", {})).items()
+            },
+            pseudofile_actions={
+                path: Action(value)
+                for path, value in dict(data.get("pseudofiles", {})).items()
+            },
+        )
+
 
 def passthrough() -> InterpositionPolicy:
     """The baseline policy: every feature runs for real."""

@@ -13,6 +13,7 @@ import dataclasses
 from collections import Counter
 from collections.abc import Sequence
 
+from repro.core.faults import ProbeFault
 from repro.core.policy import InterpositionPolicy
 from repro.core.runner import ExecutionBackend, RunResult
 from repro.core.workload import Workload
@@ -20,17 +21,37 @@ from repro.core.workload import Workload
 
 @dataclasses.dataclass(frozen=True)
 class ProbeOutcome:
-    """Condensed view of N replicated runs under one policy."""
+    """Condensed view of N replicated runs under one policy.
+
+    ``faults`` lists the replicas the fault policy quarantined
+    (timeouts, worker crashes, ...): those produced no
+    :class:`RunResult` at all. A fault is weaker evidence than a
+    failure — see :func:`aggregate` for how the two combine.
+    """
 
     results: tuple[RunResult, ...]
     all_succeeded: bool
     metric_samples: tuple[float, ...]
     fd_samples: tuple[float, ...]
     mem_samples: tuple[float, ...]
+    faults: tuple[ProbeFault, ...] = ()
 
     @property
     def replica_count(self) -> int:
         return len(self.results)
+
+    @property
+    def undecided(self) -> bool:
+        """No verdict is honest: replicas faulted, none decidedly failed.
+
+        A genuine observed failure *decides* the probe (the
+        conservative merge needs only one), faults or not. But when
+        every observed replica succeeded and at least one replica
+        faulted, neither "works" nor "breaks" is supported by the
+        evidence — the probe is undecided and callers must not treat
+        ``all_succeeded == False`` as a decided failure.
+        """
+        return bool(self.faults) and all(r.success for r in self.results)
 
     def union_traced(self) -> Counter:
         """Invocation counts united across replicas (max per feature).
@@ -59,22 +80,37 @@ class ProbeOutcome:
         )
 
 
-def aggregate(results: Sequence[RunResult]) -> ProbeOutcome:
+def aggregate(
+    results: Sequence[RunResult],
+    *,
+    faults: Sequence[ProbeFault] = (),
+) -> ProbeOutcome:
     """Condense already-executed runs into a :class:`ProbeOutcome`.
 
     Shared by the serial :func:`run_replicas` loop and the parallel
     :class:`~repro.core.engine.ProbeEngine` scheduler, so both paths
     apply the identical conservative merge.
+
+    Quarantined replicas arrive as *faults*: they weaken the outcome
+    (``all_succeeded`` requires every replica to have actually
+    succeeded, so any fault forfeits it) but do not decide it — an
+    observed genuine failure dominates, and with faults-but-no-failure
+    the outcome is :attr:`ProbeOutcome.undecided`. An outcome may be
+    all faults and no results; zero of both is still an error.
     """
     results = tuple(results)
-    if not results:
+    faults = tuple(faults)
+    if not results and not faults:
         raise ValueError("cannot aggregate zero runs")
     return ProbeOutcome(
         results=results,
-        all_succeeded=all(r.success for r in results),
+        all_succeeded=bool(results)
+        and not faults
+        and all(r.success for r in results),
         metric_samples=tuple(r.metric for r in results if r.metric is not None),
         fd_samples=tuple(float(r.resources.fd_peak) for r in results),
         mem_samples=tuple(float(r.resources.mem_peak_kb) for r in results),
+        faults=faults,
     )
 
 

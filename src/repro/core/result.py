@@ -13,6 +13,7 @@ from collections.abc import Iterable, Mapping
 from typing import Any
 
 from repro.core.decisions import Decision, Verdict
+from repro.core.faults import ProbeFault
 from repro.core.metrics import ImpactSummary, MetricComparison, SampleStats
 from repro.core.workload import WorkloadKind
 from repro.syscalls import parse_qualified
@@ -81,6 +82,10 @@ class AnalysisResult:
     baseline: BaselineStats
     final_run_ok: bool = True
     conflicts: tuple[tuple[str, ...], ...] = ()
+    #: The campaign's quarantine list: every run the fault policy gave
+    #: up on under ``on_fault="degrade"`` (empty for fault-free
+    #: campaigns and under ``"fail"``, which aborts instead).
+    faults: tuple[ProbeFault, ...] = ()
 
     # -- feature-set views (all at whole-syscall granularity) -------------
 
@@ -131,7 +136,7 @@ class AnalysisResult:
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "app": self.app,
             "app_version": self.app_version,
             "workload": self.workload,
@@ -146,6 +151,11 @@ class AnalysisResult:
                 for name, report in sorted(self.features.items())
             },
         }
+        if self.faults:
+            # Omitted when empty: fault-free results stay byte-identical
+            # to the pre-fault record format.
+            data["faults"] = [fault.to_dict() for fault in self.faults]
+        return data
 
     @staticmethod
     def from_dict(data: Mapping[str, Any]) -> "AnalysisResult":
@@ -163,6 +173,10 @@ class AnalysisResult:
                 name: _report_from_dict(payload)
                 for name, payload in data["features"].items()
             },
+            faults=tuple(
+                ProbeFault.from_dict(payload)
+                for payload in data.get("faults", ())
+            ),
         )
 
 
@@ -236,7 +250,7 @@ def _impact_from_dict(data: Mapping[str, Any] | None) -> ImpactSummary | None:
 
 
 def _report_to_dict(report: FeatureReport) -> dict[str, Any]:
-    return {
+    data = {
         "feature": report.feature,
         "traced_count": report.traced_count,
         "can_stub": report.decision.can_stub,
@@ -245,6 +259,11 @@ def _report_to_dict(report: FeatureReport) -> dict[str, Any]:
         "fake_impact": _impact_to_dict(report.fake_impact),
         "notes": list(report.notes),
     }
+    if report.decision.undecided:
+        # Omitted when False, keeping decided reports byte-identical
+        # to the pre-fault record format.
+        data["undecided"] = True
+    return data
 
 
 def _report_from_dict(data: Mapping[str, Any]) -> FeatureReport:
@@ -252,7 +271,9 @@ def _report_from_dict(data: Mapping[str, Any]) -> FeatureReport:
         feature=data["feature"],
         traced_count=int(data["traced_count"]),
         decision=Decision(
-            can_stub=bool(data["can_stub"]), can_fake=bool(data["can_fake"])
+            can_stub=bool(data["can_stub"]),
+            can_fake=bool(data["can_fake"]),
+            undecided=bool(data.get("undecided", False)),
         ),
         stub_impact=_impact_from_dict(data.get("stub_impact")),
         fake_impact=_impact_from_dict(data.get("fake_impact")),

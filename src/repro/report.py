@@ -24,6 +24,7 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Mapping, Sequence
 
+from repro.core.decisions import Verdict
 from repro.core.result import AnalysisResult
 
 _GLYPHS = ("*", "o", "+", "x", "#")
@@ -145,6 +146,7 @@ MISSING_IN_SIM = "missing-in-sim"      # reference saw it; target never did
 EXTRA_IN_SIM = "extra-in-sim"          # target saw it; reference never did
 COUNT_ONLY = "count-only"              # both saw it; invocation counts differ
 VERDICT_DIFFERS = "verdict-differs"    # stub/fake decisions disagree
+UNDECIDED_IN_TARGET = "undecided-in-target"  # one side never decided
 STABILITY_DIFFERS = "stability-differs"  # combined-run stability disagrees
 
 DIVERGENCE_KINDS = (
@@ -152,6 +154,7 @@ DIVERGENCE_KINDS = (
     EXTRA_IN_SIM,
     COUNT_ONLY,
     VERDICT_DIFFERS,
+    UNDECIDED_IN_TARGET,
     STABILITY_DIFFERS,
 )
 
@@ -184,6 +187,10 @@ class TargetObservation:
     fakeable: tuple[str, ...]
     traced_counts: Mapping[str, int]
     verdicts: Mapping[str, str]
+    #: Features whose probes could not decide (replicas faulted without
+    #: an observed failure) on this target; their verdict renders as
+    #: ``"undecided"``. Empty on fully decided targets.
+    undecided: tuple[str, ...] = ()
 
     @staticmethod
     def from_result(
@@ -211,11 +218,20 @@ class TargetObservation:
             },
             verdicts={
                 feature: (
-                    f"stub={'ok' if report.decision.can_stub else 'no'} "
-                    f"fake={'ok' if report.decision.can_fake else 'no'}"
+                    # "undecided" only when it IS the verdict: a feature
+                    # with one decided capability (say stub=ok) renders
+                    # its decided form even if the other side faulted.
+                    "undecided"
+                    if report.verdict is Verdict.UNDECIDED
+                    else f"stub={'ok' if report.decision.can_stub else 'no'} "
+                         f"fake={'ok' if report.decision.can_fake else 'no'}"
                 )
                 for feature, report in sorted(result.features.items())
             },
+            undecided=tuple(sorted(
+                feature for feature, report in result.features.items()
+                if report.verdict is Verdict.UNDECIDED
+            )),
         )
 
     def to_dict(self) -> dict:
@@ -225,6 +241,12 @@ class TargetObservation:
         for field in ("syscalls", "subfeatures", "pseudo_files",
                       "required", "stubbable", "fakeable"):
             data[field] = list(data[field])
+        if self.undecided:
+            data["undecided"] = list(self.undecided)
+        else:
+            # Omitted when empty: fully decided observations keep the
+            # pre-fault JSON form byte-identical.
+            data.pop("undecided", None)
         return data
 
     @staticmethod
@@ -250,6 +272,7 @@ class TargetObservation:
             verdicts={
                 str(k): str(v) for k, v in document["verdicts"].items()
             },
+            undecided=tuple(document.get("undecided", ())),
         )
 
 
@@ -331,8 +354,17 @@ def _diff_pair(reference: TargetObservation, target: TargetObservation):
     shared = set(reference.verdicts) & set(target.verdicts)
     for feature in sorted(shared):
         if reference.verdicts[feature] != target.verdicts[feature]:
+            # An undecided side is missing evidence, not a contradiction:
+            # classify it apart from genuine verdict disagreements so
+            # "re-run the flaky target" and "the backends disagree"
+            # stay distinguishable in the report.
+            either_undecided = "undecided" in (
+                reference.verdicts[feature], target.verdicts[feature]
+            )
             yield Divergence(
-                feature=feature, dimension="verdict", kind=VERDICT_DIFFERS,
+                feature=feature, dimension="verdict",
+                kind=UNDECIDED_IN_TARGET if either_undecided
+                else VERDICT_DIFFERS,
                 reference=reference.target, target=target.target,
                 detail=f"{reference.target}: {reference.verdicts[feature]}"
                        f" | {target.target}: {target.verdicts[feature]}",
