@@ -23,6 +23,7 @@ event                     milestone
 :class:`EngineStatsEvent` the probe engine's final run accounting
 :class:`StoreStatsEvent`  persistent run-cache store state (session-emitted)
 :class:`AnalysisFinished` wall-clock total for the analysis
+:class:`AnalysisCancelled`  the campaign stopped at a cancel checkpoint
 :class:`TargetStarted`    multi-target fan-out: one target's campaign begins
 :class:`TargetFinished`   multi-target fan-out: one target's campaign is done
 :class:`CrossValidationReady`  the cross-backend divergence report is built
@@ -388,6 +389,31 @@ class AnalysisFinished(AnalysisEvent):
 
 
 @dataclasses.dataclass(frozen=True)
+class AnalysisCancelled(AnalysisEvent):
+    """The analysis stopped at a cancellation checkpoint.
+
+    The terminal event of a cancelled campaign: emitted (after a final
+    :class:`EngineStatsEvent` carrying the accounting so far) right
+    before :class:`repro.errors.AnalysisCancelledError` is raised, so
+    event streams — a ``--events jsonl`` pipe interrupted by Ctrl-C,
+    a server job's event log — always end on an explicit terminal
+    record instead of cutting off mid-stream. ``reason`` says who
+    asked (``"signal"`` for SIGINT, ``"cancelled"`` for an API
+    cancel).
+    """
+
+    kind: ClassVar[str] = "analysis_cancelled"
+
+    duration_s: float
+    reason: str = "cancelled"
+    app: str = ""
+    backend: str = ""
+
+    def legacy_line(self) -> str:
+        return f"analysis cancelled after {self.duration_s:.2f}s"
+
+
+@dataclasses.dataclass(frozen=True)
 class TargetStarted(AnalysisEvent):
     """Multi-target fan-out: one execution target's analysis begins.
 
@@ -438,6 +464,29 @@ class CrossValidationReady(AnalysisEvent):
     report: dict
     app: str = ""
     backend: str = ""
+
+
+# -- the server envelope -----------------------------------------------------
+
+#: Version of the jsonl event envelope the campaign server speaks.
+#: Bumped only when an *incompatible* change to the envelope shape
+#: ships; adding events or fields is compatible and does not bump it.
+SCHEMA_VERSION = 1
+
+
+def envelope(
+    event: AnalysisEvent, *, schema_version: int = SCHEMA_VERSION
+) -> dict:
+    """The event's JSON form wrapped in the versioned server envelope.
+
+    Injected only at the service layer: direct ``--events jsonl``
+    streams keep emitting bare :meth:`AnalysisEvent.to_dict` objects,
+    byte-identical to the historical format, while server clients can
+    negotiate on ``schema_version`` (field first, so stripping it
+    restores the bare line exactly). Existing consumers that index by
+    ``"event"`` ignore the extra field for free.
+    """
+    return {"schema_version": schema_version, **event.to_dict()}
 
 
 # -- adapters ----------------------------------------------------------------

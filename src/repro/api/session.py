@@ -382,6 +382,7 @@ class LoupeSession:
         on_event: "EventCallback | None" = None,
         progress: "Callable[[str], None] | None" = None,
         use_cache: bool = True,
+        cancel_check: "Callable[[], bool] | None" = None,
     ) -> "AnalysisResult | CrossValidationReport":
         """Analyze one request, memoized in the session database.
 
@@ -395,6 +396,15 @@ class LoupeSession:
         so never force a re-run. ``use_cache=False`` forces a fresh
         run (the new record still replaces the stored one).
 
+        *cancel_check* installs a cooperative cancellation hook for
+        this call (``AnalyzerConfig.cancel_check`` on the effective
+        config): polled between probe waves, a truthy answer stops the
+        campaign within one wave by raising
+        :class:`repro.errors.AnalysisCancelledError` after a terminal
+        ``analysis_cancelled`` event. The campaign-server job runner
+        (and any other long-lived driver) cancels live analyses
+        through exactly this hook.
+
         A request addressing several targets (``backends=...`` or a
         comma list in ``backend``) fans the campaign across all of
         them — each target's record lands in the loupedb under its own
@@ -405,6 +415,10 @@ class LoupeSession:
         """
         coerced = self._coerce(request, workload)
         emit = self._emitter(on_event, progress)
+        if cancel_check is not None:
+            config = dataclasses.replace(
+                config or self.config, cancel_check=cancel_check
+            )
         if coerced.is_multi_target():
             return self._fan_out(
                 coerced, config=config, emit=emit, use_cache=use_cache

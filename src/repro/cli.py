@@ -21,6 +21,13 @@ Subcommands mirror how the paper's tool is used:
   ``compact``, ``gc``, ``migrate``, and ``verify``, which re-executes
   a sample of records and diffs stored vs fresh results).
 * ``scan``     — static binary scan of a native ELF.
+* ``serve``    — run the campaign server (job queue, bounded worker
+  pool, live event streaming over HTTP).
+* ``submit`` / ``jobs`` / ``tail`` / ``cancel`` — the server's
+  clients: submit a campaign spec, list jobs, stream a job's events
+  until it lands, cancel cooperatively. They find the server through
+  ``--url`` or the ``server.json`` discovery file under
+  ``--data-dir``.
 
 ``analyze`` and ``compare`` share the fault-tolerance flags:
 ``--probe-timeout`` bounds each probe run attempt, ``--retries`` /
@@ -32,7 +39,9 @@ affected features as UNDECIDED) instead of aborting the campaign.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
+import signal
 import sys
 import threading
 
@@ -43,7 +52,7 @@ from repro.core.analyzer import AnalyzerConfig
 from repro.core.cachestore import CacheStoreError, migrate_store, open_store
 from repro.core.faults import ProbeFaultError
 from repro.db import Database
-from repro.errors import PlanError
+from repro.errors import AnalysisCancelledError, LoupeError, PlanError
 from repro.plans import (
     generate_plan,
     render_plan,
@@ -107,6 +116,40 @@ def _jsonl_emitter(args: argparse.Namespace):
                       "events (analysis continues)", file=sys.stderr)
 
     return on_event
+
+
+def _sigint_cancel() -> "tuple[Callable[[], object], Callable[[], None]]":
+    """A SIGINT-driven cooperative cancellation hook for one campaign.
+
+    Returns ``(cancel_check, restore)``: *cancel_check* plugs into
+    ``AnalyzerConfig.cancel_check`` and answers ``"signal"`` once
+    Ctrl-C has been pressed, so the analysis stops at the next wave
+    boundary, flushes its accounting, and closes any ``--events
+    jsonl`` stream with a terminal ``analysis_cancelled`` event —
+    instead of the interpreter tearing the stream mid-line. A second
+    Ctrl-C raises ``KeyboardInterrupt`` for callers who really mean
+    *now*. *restore* reinstates the previous handler (call it in a
+    ``finally``). Off the main thread (where ``signal.signal`` is
+    unavailable) the hook degrades to never-cancelled.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return (lambda: False), (lambda: None)
+    flag = threading.Event()
+
+    def handler(_signum, _frame) -> None:
+        if flag.is_set():
+            raise KeyboardInterrupt
+        flag.set()
+        print("interrupt: finishing the wave in flight, then stopping "
+              "(press Ctrl-C again to abort immediately)",
+              file=sys.stderr)
+
+    previous = signal.signal(signal.SIGINT, handler)
+
+    def restore() -> None:
+        signal.signal(signal.SIGINT, previous)
+
+    return (lambda: "signal" if flag.is_set() else False), restore
 
 
 def _save_output(session: LoupeSession, args: argparse.Namespace) -> None:
@@ -250,12 +293,15 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     blocked = _check_exec_spec(args, request, names)
     if blocked is not None:
         return blocked
+    cancel_check, restore_sigint = _sigint_cancel()
+    config = dataclasses.replace(config, cancel_check=cancel_check)
     try:
         session = LoupeSession(
             config=config, on_event=_jsonl_emitter(args),
             cache_path=args.run_cache,
         )
     except CacheStoreError as error:
+        restore_sigint()
         print(str(error), file=sys.stderr)
         return 2
     with session:
@@ -268,6 +314,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             print(f"aborted by fault policy (--on-fault fail): {error}",
                   file=sys.stderr)
             return 1
+        except AnalysisCancelledError as error:
+            # The analyzer already flushed engine_stats and a terminal
+            # analysis_cancelled event onto any --events stream.
+            print(f"{error}", file=sys.stderr)
+            return 130
+        finally:
+            restore_sigint()
         if request.is_multi_target():
             # The fan-out returns the cross-validation report; the
             # per-target records are queryable in the session database
@@ -312,6 +365,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         return blocked
     from repro.report import render_cross_validation
 
+    cancel_check, restore_sigint = _sigint_cancel()
+    config = dataclasses.replace(config, cancel_check=cancel_check)
     with LoupeSession(config=config, on_event=_jsonl_emitter(args)) as session:
         try:
             report = session.compare(request)
@@ -322,6 +377,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             print(f"aborted by fault policy (--on-fault fail): {error}",
                   file=sys.stderr)
             return 1
+        except AnalysisCancelledError as error:
+            print(f"{error}", file=sys.stderr)
+            return 130
+        finally:
+            restore_sigint()
         print(render_cross_validation(report))
         if args.report:
             from pathlib import Path
@@ -491,7 +551,13 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         if args.cache_command == "stats":
             _require_store_file(args.path)
             with open_store(args.path) as store:
-                _print_store_stats(store.stats())
+                stats = store.stats()
+            if args.json:
+                # The same serialization the campaign server's
+                # GET /stats endpoint embeds (StoreStats.to_dict).
+                print(json.dumps(stats.to_dict(), sort_keys=True))
+            else:
+                _print_store_stats(stats)
         elif args.cache_command == "compact":
             _require_store_file(args.path)
             with open_store(args.path) as store:
@@ -520,14 +586,175 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 report = verify_store(
                     store, sample=args.sample, seed=args.seed
                 )
-            print(report.describe())
-            for mismatch in report.mismatches:
-                print(f"  MISMATCH {mismatch.describe()}")
+            if args.json:
+                print(json.dumps(report.to_dict(), sort_keys=True))
+            else:
+                print(report.describe())
+                for mismatch in report.mismatches:
+                    print(f"  MISMATCH {mismatch.describe()}")
             if not report.ok:
                 return 1
     except (CacheStoreError, ValueError, OSError, sqlite3.Error) as error:
         print(str(error), file=sys.stderr)
         return 2
+    return 0
+
+
+def _service_client(args: argparse.Namespace):
+    """A :class:`~repro.server.client.ServiceClient` for the server the
+    arguments point at: ``--url`` wins, otherwise the discovery file
+    under ``--data-dir`` (written by ``loupe serve``) names it."""
+    from repro.server import ServiceClient, discover_url
+
+    url = args.url or discover_url(args.data_dir)
+    return ServiceClient(url)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import CampaignServer
+
+    try:
+        server = CampaignServer(
+            args.data_dir,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            run_cache=args.run_cache,
+            verbose=args.verbose,
+        )
+    except OSError as error:
+        print(f"serve: cannot bind {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 2
+    server.start()
+    print(f"campaign server listening on {server.url}", flush=True)
+    print(f"data dir: {server.data_dir} "
+          f"(discovery file: {server.discovery_path})", flush=True)
+
+    # SIGTERM (how scripts and CI stop a backgrounded server) gets the
+    # same graceful path as Ctrl-C: cancel in-flight campaigns at their
+    # next wave boundary, persist their terminal state, remove the
+    # discovery file. Background shells routinely start children with
+    # SIGINT ignored, so SIGTERM is the shutdown signal that must work.
+    if threading.current_thread() is threading.main_thread():
+        def _terminate(signum: int, frame: object) -> None:
+            raise KeyboardInterrupt
+
+        signal.signal(signal.SIGTERM, _terminate)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("interrupt: cancelling in-flight jobs and shutting down",
+              file=sys.stderr, flush=True)
+        server.close(cancel_running=True)
+        return 130
+    server.close()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.server import ServiceError
+
+    spec = {
+        "app": args.app,
+        "workload": args.workload,
+        "backend": args.backend,
+        "replicas": args.replicas,
+        "subfeatures": args.subfeatures,
+        "pseudofiles": args.pseudofiles,
+        "jobs": args.jobs,
+        "executor": args.executor,
+        "run_cache": args.run_cache,
+        "run_cache_max_entries": args.run_cache_max_entries,
+        "probe_timeout": args.probe_timeout,
+        "retries": args.retries,
+        "retry_backoff": args.retry_backoff,
+        "on_fault": args.on_fault,
+        "fault_seed": args.fault_seed,
+    }
+    try:
+        client = _service_client(args)
+        meta = client.submit(spec)
+    except (ServiceError, LoupeError, OSError) as error:
+        print(f"submit: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(meta, sort_keys=True))
+    else:
+        print(f"{meta['id']} {meta['status']}")
+    if args.tail:
+        return _tail_job(client, meta["id"])
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.server import ServiceError
+
+    try:
+        jobs = _service_client(args).jobs()
+    except (ServiceError, LoupeError, OSError) as error:
+        print(f"jobs: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(jobs, sort_keys=True))
+        return 0
+    if not jobs:
+        print("no jobs")
+        return 0
+    for meta in jobs:
+        line = (f"{meta['id']}  {meta['status']:<9}  "
+                f"{meta['app']}/{meta['workload']} on {meta['backend']}")
+        if meta.get("reason"):
+            line += f"  ({meta['reason']})"
+        print(line)
+    return 0
+
+
+#: ``loupe tail`` exit codes by terminal status: done → 0, failed → 1,
+#: cancelled → 3 (distinct from failure — the campaign was *stopped*,
+#: not broken — and from the usage-error 2).
+_TAIL_EXIT_CODES = {"done": 0, "failed": 1, "cancelled": 3}
+
+
+def _tail_job(client, job_id: str) -> int:
+    """Stream a job's event lines to stdout until it is terminal."""
+    from repro.server import ServiceError
+
+    try:
+        for line in client.tail(job_id):
+            sys.stdout.write(line)
+            sys.stdout.flush()
+    except ServiceError as error:
+        print(f"tail: {error}", file=sys.stderr)
+        return 2
+    status = client.last_status
+    print(f"tail: {job_id} {status}", file=sys.stderr)
+    return _TAIL_EXIT_CODES.get(status, 2)
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    from repro.server import ServiceError
+
+    try:
+        client = _service_client(args)
+    except (ServiceError, LoupeError, OSError) as error:
+        print(f"tail: {error}", file=sys.stderr)
+        return 2
+    return _tail_job(client, args.job_id)
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.server import ServiceError
+
+    try:
+        meta = _service_client(args).cancel(args.job_id)
+    except (ServiceError, LoupeError, OSError) as error:
+        print(f"cancel: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(meta, sort_keys=True))
+    else:
+        print(f"{meta['id']} {meta['status']}")
     return 0
 
 
@@ -702,6 +929,10 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="print a store's entry counts and footprint"
     )
     cache_stats.add_argument("path")
+    cache_stats.add_argument("--json", action="store_true",
+                             help="print the stats as one JSON object "
+                                  "(the shape GET /stats of the "
+                                  "campaign server embeds)")
     cache_stats.set_defaults(func=_cmd_cache)
     cache_compact = cache_sub.add_parser(
         "compact",
@@ -746,11 +977,122 @@ def build_parser() -> argparse.ArgumentParser:
     cache_verify.add_argument("--seed", type=int, default=0,
                               help="sampling seed (default 0); the same "
                                    "seed picks the same records")
+    cache_verify.add_argument("--json", action="store_true",
+                              help="print the verification report as "
+                                   "one JSON object (mismatches "
+                                   "included); the exit code still "
+                                   "signals failures")
     cache_verify.set_defaults(func=_cmd_cache)
 
     scan = sub.add_parser("scan", help="static binary scan of an ELF")
     scan.add_argument("binary")
     scan.set_defaults(func=_cmd_scan)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the campaign server: accept job submissions over "
+             "HTTP, drain them through a bounded worker pool, stream "
+             "events live",
+    )
+    serve.add_argument("--data-dir", default="loupe-data",
+                       help="server state root: per-job lifecycle "
+                            "directories live under <data-dir>/jobs, "
+                            "and the discovery file <data-dir>/"
+                            "server.json records the bound address "
+                            "(default: ./loupe-data)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="port to bind; 0 (the default) picks an "
+                            "ephemeral one — clients find it through "
+                            "the discovery file")
+    serve.add_argument("--workers", type=_positive_int, default=2,
+                       metavar="N",
+                       help="campaigns running concurrently; further "
+                            "jobs wait queued in FIFO order "
+                            "(default 2)")
+    serve.add_argument("--run-cache", metavar="PATH", default=None,
+                       help="service-default persistent run cache, "
+                            "inherited by jobs that name none — a "
+                            "long-lived server amortizes probe work "
+                            "across campaigns")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log each HTTP request to stderr")
+    serve.set_defaults(func=_cmd_serve)
+
+    def _client_arguments(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--url", default=None,
+                            help="server address (http://host:port); "
+                                 "default: read the discovery file "
+                                 "under --data-dir")
+        parser.add_argument("--data-dir", default="loupe-data",
+                            help="where to look for the server's "
+                                 "discovery file when no --url is "
+                                 "given (default: ./loupe-data)")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit one campaign to a running server; prints the "
+             "job id",
+    )
+    _client_arguments(submit)
+    submit.add_argument("--app", default="redis")
+    submit.add_argument("--workload", default="bench",
+                        choices=("health", "bench", "suite"))
+    submit.add_argument("--backend", default="appsim",
+                        metavar="NAME[,NAME...]",
+                        help="execution backend(s) from the server's "
+                             "registry; a comma list fans out and the "
+                             "job's report is the cross-validation "
+                             "report")
+    submit.add_argument("--replicas", type=_positive_int, default=3)
+    submit.add_argument("--subfeatures", action="store_true")
+    submit.add_argument("--pseudofiles", action="store_true")
+    submit.add_argument("--jobs", type=_positive_int, default=1,
+                        metavar="N",
+                        help="probe-engine worker pool width inside "
+                             "the campaign")
+    submit.add_argument("--executor",
+                        choices=("auto", "serial", "thread", "process"),
+                        default="auto")
+    submit.add_argument("--run-cache", metavar="PATH", default=None,
+                        help="persistent run cache for this job "
+                             "(default: the server's --run-cache, "
+                             "if any)")
+    submit.add_argument("--run-cache-max-entries", type=_positive_int,
+                        default=None, metavar="N")
+    _add_fault_arguments(submit)
+    submit.add_argument("--json", action="store_true",
+                        help="print the created job's meta as JSON")
+    submit.add_argument("--tail", action="store_true",
+                        help="immediately tail the submitted job's "
+                             "event stream (exit code follows the "
+                             "job's terminal status)")
+    submit.set_defaults(func=_cmd_submit)
+
+    jobs_cmd = sub.add_parser("jobs", help="list a server's jobs")
+    _client_arguments(jobs_cmd)
+    jobs_cmd.add_argument("--json", action="store_true")
+    jobs_cmd.set_defaults(func=_cmd_jobs)
+
+    tail = sub.add_parser(
+        "tail",
+        help="stream a job's events (the --events jsonl stream, "
+             "envelope-wrapped) until it reaches a terminal state; "
+             "exits 0 done / 1 failed / 3 cancelled",
+    )
+    _client_arguments(tail)
+    tail.add_argument("job_id")
+    tail.set_defaults(func=_cmd_tail)
+
+    cancel = sub.add_parser(
+        "cancel",
+        help="cancel a job: queued jobs stop immediately, running "
+             "jobs at the analyzer's next wave boundary",
+    )
+    _client_arguments(cancel)
+    cancel.add_argument("job_id")
+    cancel.add_argument("--json", action="store_true")
+    cancel.set_defaults(func=_cmd_cancel)
 
     return parser
 

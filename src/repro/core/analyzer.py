@@ -53,6 +53,7 @@ import warnings
 from collections.abc import Callable, Sequence
 
 from repro.api.events import (
+    AnalysisCancelled,
     AnalysisFinished,
     AnalysisStarted,
     BaselineStarted,
@@ -87,7 +88,7 @@ from repro.core.result import AnalysisResult, BaselineStats, FeatureReport
 from repro.core.runner import ExecutionBackend, backend_name
 from repro.core.workload import Workload
 from repro.core.metrics import SampleStats
-from repro.errors import AnalysisError
+from repro.errors import AnalysisCancelledError, AnalysisError
 
 
 @dataclasses.dataclass(frozen=True)
@@ -152,6 +153,19 @@ class AnalyzerConfig:
     #: Seed for the retry-backoff jitter; set it to make backoff delays
     #: (and therefore chaos-test timings) reproducible.
     fault_seed: "int | None" = None
+    #: Cooperative cancellation hook: a zero-argument callable polled
+    #: at analysis checkpoints (before the baseline, between probe
+    #: waves, between confirmation rounds). The first poll returning
+    #: true stops the campaign within one wave: a final
+    #: ``engine_stats`` event and a terminal ``analysis_cancelled``
+    #: event are emitted, then
+    #: :class:`repro.errors.AnalysisCancelledError` is raised with the
+    #: accounting intact. ``None`` (the default) disables polling.
+    #: Excluded from config equality — whether a campaign is
+    #: cancellable never changes what it concludes.
+    cancel_check: "Callable[[], bool] | None" = dataclasses.field(
+        default=None, compare=False
+    )
 
     def fault_policy(self) -> "FaultPolicy | None":
         """The engine-level fault policy these knobs describe.
@@ -359,6 +373,32 @@ class Analyzer:
         identity = app or workload.name
         emit = tag_app(emit, identity)
         started = time.monotonic()
+
+        def checkpoint() -> None:
+            """Poll the cooperative cancellation hook (no-op without
+            one). On a truthy answer the campaign stops *here*: the
+            accounting so far is flushed as a final ``engine_stats``
+            event, a terminal ``analysis_cancelled`` event closes the
+            stream, and the error carries the same stats snapshot. A
+            string answer names the reason (``"signal"`` for the
+            CLI's SIGINT hook); any other truthy value reads as a
+            plain ``"cancelled"``.
+            """
+            if config.cancel_check is None:
+                return
+            verdict = config.cancel_check()
+            if not verdict:
+                return
+            reason = verdict if isinstance(verdict, str) else "cancelled"
+            stats = self.engine.stats
+            emit(EngineStatsEvent.from_stats(
+                stats, executor=self.engine.mode_for(backend)
+            ))
+            emit(AnalysisCancelled(
+                duration_s=time.monotonic() - started, reason=reason
+            ))
+            raise AnalysisCancelledError(identity, stats=stats)
+
         # One analysis == one application build: drop run results (and
         # accounting) from any prior analyze() call so identically-named
         # backends of different programs can never cross-contaminate.
@@ -398,6 +438,7 @@ class Analyzer:
             backend=backend_name(backend),
             replicas=config.replicas,
         ))
+        checkpoint()
         emit(BaselineStarted(replicas=config.replicas))
         # The baseline never early-exits: on failure the error below
         # reports every replica's reason (and success runs them all
@@ -431,24 +472,27 @@ class Analyzer:
         self.last_transfer_stats = transfer_stats
 
         ordered = sorted(features.items())
+        checkpoint()
         if config.priors is None:
             probes = self._probe_features_batched(
-                backend, workload, ordered, baseline, emit
+                backend, workload, ordered, baseline, emit,
+                checkpoint=checkpoint,
             )
         else:
             # The transfer fast path decides each feature's run count
             # from its prediction's outcome, so prior-guided probing
-            # stays feature-at-a-time.
-            probes = {
-                feature: self._probe_feature(
+            # stays feature-at-a-time (and polls per feature — each
+            # feature is its own wave here).
+            probes = {}
+            for feature, count in ordered:
+                checkpoint()
+                probes[feature] = self._probe_feature(
                     backend, workload, feature, count, baseline, emit,
                     transfer_stats,
                 )
-                for feature, count in ordered
-            }
 
         final_ok, conflicts, combined_faults = self._confirm_combined(
-            backend, workload, probes, emit
+            backend, workload, probes, emit, checkpoint=checkpoint
         )
 
         # Quarantine list: probe-phase faults in deterministic feature
@@ -572,6 +616,8 @@ class Analyzer:
         ordered: Sequence[tuple[str, int]],
         baseline: ProbeOutcome,
         emit: EventCallback,
+        *,
+        checkpoint: Callable[[], None] = lambda: None,
     ) -> dict[str, _FeatureProbe]:
         """Probe the features in batched waves of engine submissions.
 
@@ -604,6 +650,12 @@ class Analyzer:
         actions = (Action.STUB, Action.FAKE)
         probes: dict[str, _FeatureProbe] = {}
         for start in range(0, len(ordered), wave):
+            if start:
+                # Cooperative cancellation stops within one wave: the
+                # wave in flight completes (its outcomes fold into the
+                # stats), the next never starts. The entry checkpoint
+                # already covered start == 0.
+                checkpoint()
             subset = ordered[start:start + wave]
             policies = [
                 passthrough().with_feature(feature, action)
@@ -710,10 +762,13 @@ class Analyzer:
         workload: Workload,
         probes: dict[str, _FeatureProbe],
         emit: EventCallback,
+        *,
+        checkpoint: Callable[[], None] = lambda: None,
     ) -> tuple[bool, tuple[tuple[str, ...], ...], tuple[ProbeFault, ...]]:
         all_conflicts: list[tuple[str, ...]] = []
         faults: list[ProbeFault] = []
         for round_index in range(self.config.max_demotion_rounds):
+            checkpoint()
             policy = self._combined_policy(probes)
             avoided = sorted(policy.altered_features())
             if not avoided:

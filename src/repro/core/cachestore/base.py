@@ -131,6 +131,12 @@ class StoreStats:
             base += f", capped at {self.max_entries}"
         return base
 
+    def to_dict(self) -> dict:
+        """Machine-readable form — the single serialization shared by
+        ``loupe cache stats --json`` and the campaign server's
+        ``GET /stats`` endpoint (clients parse one shape, not two)."""
+        return dataclasses.asdict(self)
+
 
 @dataclasses.dataclass(frozen=True)
 class CompactionResult:

@@ -68,6 +68,17 @@ class VerifyMismatch:
             line += f" ({self.detail})"
         return line
 
+    def to_dict(self) -> dict:
+        backend, workload, fingerprint, replica = self.key
+        return {
+            "backend": backend,
+            "workload": workload,
+            "fingerprint": fingerprint,
+            "replica": replica,
+            "fields": list(self.fields),
+            "detail": self.detail,
+        }
+
 
 @dataclasses.dataclass(frozen=True)
 class VerifyReport:
@@ -93,6 +104,17 @@ class VerifyReport:
         if self.unverifiable:
             line += f", {self.unverifiable} unverifiable"
         return line
+
+    def to_dict(self) -> dict:
+        """Machine-readable form (``loupe cache verify --json``)."""
+        return {
+            "ok": self.ok,
+            "total": self.total,
+            "checked": self.checked,
+            "matched": self.matched,
+            "unverifiable": self.unverifiable,
+            "mismatches": [m.to_dict() for m in self.mismatches],
+        }
 
 
 def _comparable(result: RunResult) -> dict:

@@ -44,6 +44,26 @@ class AnalysisError(LoupeError):
     """The analyzer could not produce a coherent result."""
 
 
+class AnalysisCancelledError(LoupeError):
+    """An analysis was cancelled cooperatively before completing.
+
+    Deliberately *not* an :class:`AnalysisError`: cancellation is a
+    caller's decision, not an analysis failure, and handlers that
+    treat ``AnalysisError`` as "the app broke" must not swallow it.
+    Carries the engine's run accounting at the moment the
+    cancellation was observed (``stats``), so a cancelled campaign
+    still reports what it paid for before stopping.
+    """
+
+    def __init__(
+        self, app: str = "", *, stats: "object | None" = None
+    ) -> None:
+        where = f" of {app!r}" if app else ""
+        super().__init__(f"analysis{where} cancelled")
+        self.app = app
+        self.stats = stats
+
+
 class FinalRunMismatchError(AnalysisError):
     """The combined final run contradicts the per-feature analysis.
 

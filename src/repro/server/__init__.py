@@ -1,0 +1,73 @@
+"""Loupe as a service: the campaign server.
+
+The paper's workflow — submit a campaign, watch it run, collect the
+support matrix — generalizes past one terminal: this package wraps
+:class:`~repro.api.session.LoupeSession` in a small stdlib-only HTTP
+service with a job queue, a bounded worker pool, durable per-job
+lifecycle directories, and live event streaming, so campaigns can be
+submitted from anywhere and survive their submitter.
+
+The pieces, bottom up:
+
+* :mod:`~repro.server.jobstore` — job specs, the lifecycle state
+  machine (``queued → running → done/failed/cancelled``), filesystem
+  storage with atomic metadata writes, and crash recovery;
+* :mod:`~repro.server.queue` — the FIFO queue and worker pool that
+  drain jobs through sessions, wiring cooperative cancellation into
+  the analyzer's ``cancel_check`` hook;
+* :mod:`~repro.server.handlers` — the HTTP surface, including the
+  long-polling ``/jobs/<id>/events`` replay;
+* :mod:`~repro.server.app` — :class:`CampaignServer`, composing the
+  above behind one lifecycle;
+* :mod:`~repro.server.client` — the urllib client the CLI
+  subcommands (``loupe serve/submit/jobs/tail/cancel``) are built on.
+
+No new dependencies anywhere: ``http.server`` on the way in,
+``urllib.request`` on the way out, JSON files in between.
+"""
+
+from repro.server.app import CampaignServer
+from repro.server.client import ServiceClient, ServiceError, discover_url
+from repro.server.jobstore import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    LEGAL_TRANSITIONS,
+    QUEUED,
+    RUNNING,
+    STATES,
+    TERMINAL_STATES,
+    JobError,
+    JobMeta,
+    JobSpec,
+    JobSpecError,
+    JobStateError,
+    JobStore,
+    UnknownJobError,
+    encode_report,
+)
+from repro.server.queue import JobRunner
+
+__all__ = [
+    "CampaignServer",
+    "ServiceClient",
+    "ServiceError",
+    "discover_url",
+    "JobError",
+    "JobMeta",
+    "JobRunner",
+    "JobSpec",
+    "JobSpecError",
+    "JobStateError",
+    "JobStore",
+    "UnknownJobError",
+    "encode_report",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "STATES",
+    "TERMINAL_STATES",
+    "LEGAL_TRANSITIONS",
+]

@@ -1,0 +1,194 @@
+"""The campaign server: store + worker pool + HTTP front door.
+
+:class:`CampaignServer` composes the three server pieces — the
+filesystem :class:`~repro.server.jobstore.JobStore`, the bounded
+:class:`~repro.server.queue.JobRunner`, and the
+:class:`~repro.server.handlers.CampaignHTTPServer` socket — and owns
+their shared lifecycle: construction binds the port (``port=0`` asks
+the OS for an ephemeral one), :meth:`start` recovers crashed state
+and begins serving, :meth:`close` winds everything down.
+
+On start the server writes a **discovery file**,
+``<data_dir>/server.json`` (``{"url", "pid", "started_at"}``), so
+scripts that launched ``loupe serve --port 0`` in the background — the
+CI smoke job, the test suite — can find the actual address without
+parsing stdout. The file is removed on clean shutdown; a stale one
+simply points at a dead port, which clients report as a connection
+error, not silent hangs.
+
+Validation happens at the front door: :meth:`submit` parses the spec
+(:class:`~repro.server.jobstore.JobSpecError` → HTTP 400) and
+resolves every named backend against the live registry before
+accepting, so an unknown backend is rejected at submit time with the
+registry's own "available backends" message rather than discovered by
+a worker minutes later.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.api.registry import UnknownBackendError, parse_backend_names, resolve_backend
+from repro.server.handlers import CampaignHTTPServer
+from repro.server.jobstore import JobMeta, JobSpec, JobSpecError, JobStore
+from repro.server.queue import JobRunner
+
+
+class CampaignServer:
+    """One campaign service instance.
+
+    Usable embedded (tests construct one, ``start()`` it, and talk to
+    ``server.url``) or from the CLI (``loupe serve``). ``run_cache``
+    sets a service-default persistent run-result store: jobs whose
+    spec names no store of their own inherit it, which is how a
+    long-lived service amortizes probe work across campaigns.
+    """
+
+    def __init__(
+        self,
+        data_dir: "str | Path",
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        run_cache: "str | None" = None,
+        verbose: bool = False,
+    ) -> None:
+        self.data_dir = Path(data_dir)
+        self.run_cache = run_cache
+        self.verbose = verbose
+        self.started_at: "float | None" = None
+        self.store = JobStore(self.data_dir)
+        self.runner = JobRunner(self.store, workers=workers)
+        self._httpd = CampaignHTTPServer((host, port), self)
+        self._thread: "threading.Thread | None" = None
+        self._closed = False
+
+    # -- addresses -----------------------------------------------------------
+
+    @property
+    def address(self) -> tuple:
+        return self._httpd.server_address
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    @property
+    def discovery_path(self) -> Path:
+        return self.data_dir / "server.json"
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "CampaignServer":
+        """Recover, start the workers, and serve in a background
+        thread. Returns ``self`` so tests can one-line it."""
+        if self._closed:
+            raise RuntimeError("server already closed")
+        if self._thread is not None:
+            return self
+        self.started_at = time.time()
+        self.runner.start()  # recover() + requeue happen here
+        self.discovery_path.write_text(json.dumps({
+            "url": self.url,
+            "pid": os.getpid(),
+            "started_at": self.started_at,
+        }, sort_keys=True) + "\n")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="loupe-campaign-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking variant for ``loupe serve``: start, then park the
+        calling thread until :meth:`close` (or KeyboardInterrupt,
+        which the CLI translates into a graceful close)."""
+        self.start()
+        assert self._thread is not None
+        while self._thread.is_alive():
+            self._thread.join(timeout=1.0)
+
+    def close(self, *, cancel_running: bool = False) -> None:
+        """Stop serving and wind down the pool. Idempotent.
+
+        ``cancel_running=True`` signals in-flight campaigns to stop at
+        their next wave boundary instead of draining to completion.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self.runner.stop(cancel_running=cancel_running)
+        try:
+            self.discovery_path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "CampaignServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close(cancel_running=True)
+
+    # -- the service operations (handlers call these) ------------------------
+
+    def submit(self, document: object) -> JobMeta:
+        """Validate one spec document and enqueue it as a job."""
+        spec = JobSpec.from_dict(document)
+        if spec.run_cache is None and self.run_cache is not None:
+            # Inherit the service-default store; recorded in the job's
+            # spec.json so the provenance is explicit, not ambient.
+            spec = JobSpec.from_dict(
+                {**spec.to_dict(), "run_cache": self.run_cache}
+            )
+        try:
+            for name in parse_backend_names(spec.backend):
+                resolve_backend(name)
+        except UnknownBackendError as error:
+            raise JobSpecError(str(error))
+        return self.runner.submit(spec)
+
+    def cancel(self, job_id: str) -> JobMeta:
+        return self.runner.cancel(job_id)
+
+    def health(self) -> dict:
+        return {
+            "ok": True,
+            "url": self.url,
+            "data_dir": str(self.data_dir),
+            "workers": self.runner.workers,
+            "started_at": self.started_at,
+        }
+
+    def stats(self) -> dict:
+        """Service observability: queue depth, worker utilization, job
+        totals by status, and — when a service-default run cache is
+        configured and exists on disk — the store's stats in exactly
+        the ``loupe cache stats --json`` shape."""
+        store_stats = None
+        if self.run_cache is not None and Path(self.run_cache).exists():
+            # Open read-only-ish: open_store on an existing path loads
+            # and reports without disturbing concurrent writers'
+            # append-only records.
+            from repro.core.cachestore import open_store
+
+            with open_store(self.run_cache) as cache:
+                store_stats = cache.stats().to_dict()
+        return {
+            "queue_depth": self.runner.queue_depth,
+            "workers": self.runner.workers,
+            "busy_workers": self.runner.busy_workers,
+            "jobs": self.store.counts(),
+            "run_cache": store_stats,
+        }

@@ -1,0 +1,199 @@
+"""A stdlib HTTP client for the campaign server.
+
+:class:`ServiceClient` is the one place the wire protocol is spoken
+from the client side — the CLI's ``submit``/``jobs``/``tail``/
+``cancel`` subcommands, the test suite, and the CI smoke job all go
+through it, so a protocol change breaks loudly in exactly one module.
+
+Everything rides :mod:`urllib.request` (the no-new-deps rule applies
+to clients too). Server-reported errors surface as
+:class:`ServiceError` carrying the HTTP status and the server's
+``{"error": ...}`` message; transport failures (connection refused,
+timeouts) propagate as the usual :class:`urllib.error.URLError`.
+
+Tailing is a small protocol on top of ``GET /jobs/<id>/events``:
+:meth:`tail` repeatedly long-polls with the returned
+``X-Loupe-Next-Since`` cursor, yielding raw event lines as they land,
+and stops once the stream is drained *and* the job's status
+(``X-Loupe-Job-Status``) is terminal. The yielded lines are the
+job's ``events.jsonl`` bytes, envelope and all — callers that want
+the CLI's ``--events jsonl`` stream back verbatim pop the
+``schema_version`` key and re-dump.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.errors import LoupeError
+from repro.server.jobstore import TERMINAL_STATES
+
+#: Default long-poll hold per tail round trip, chosen under the
+#: server's MAX_POLL_TIMEOUT_S cap.
+DEFAULT_POLL_S = 20.0
+
+
+class ServiceError(LoupeError):
+    """The server answered with an error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"server said {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+def discover_url(data_dir: "str | Path") -> str:
+    """Read the server's address from its discovery file.
+
+    ``loupe serve`` writes ``<data_dir>/server.json`` on start; every
+    client subcommand falls back to this when no ``--url`` is given,
+    so "same --data-dir" is all a shell script needs to share.
+    """
+    path = Path(data_dir) / "server.json"
+    try:
+        document = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise LoupeError(
+            f"no running server found: {path} does not exist "
+            f"(start one with: loupe serve --data-dir {data_dir})"
+        )
+    url = document.get("url")
+    if not isinstance(url, str) or not url:
+        raise LoupeError(f"discovery file {path} has no server url")
+    return url
+
+
+class ServiceClient:
+    """Talks to one campaign server."""
+
+    def __init__(self, url: str, *, timeout: float = 10.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- the protocol, one method per endpoint -------------------------------
+
+    def health(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._json("GET", "/stats")
+
+    def submit(self, spec: dict) -> dict:
+        """Submit one campaign spec; returns the new job's meta."""
+        return self._json("POST", "/jobs", body=spec)
+
+    def jobs(self) -> list:
+        return self._json("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._json("POST", f"/jobs/{job_id}/cancel")
+
+    def report(self, job_id: str) -> dict:
+        return self._json("GET", f"/jobs/{job_id}/report")
+
+    def report_bytes(self, job_id: str) -> bytes:
+        """The raw ``report.json`` body — for byte-identity checks."""
+        status, _headers, body = self._request(
+            "GET", f"/jobs/{job_id}/report"
+        )
+        return body
+
+    def events(
+        self, job_id: str, *, since: int = 0, timeout: float = 0.0
+    ) -> tuple[list[str], int, str]:
+        """One events poll: ``(lines, next_since, job_status)``.
+
+        ``timeout > 0`` long-polls: the server holds the reply up to
+        that many seconds waiting for fresh lines.
+        """
+        query = urllib.parse.urlencode(
+            {"since": since, "timeout": timeout}
+        )
+        status, headers, body = self._request(
+            "GET",
+            f"/jobs/{job_id}/events?{query}",
+            read_timeout=self.timeout + timeout,
+        )
+        lines = body.decode("utf-8").splitlines(keepends=True)
+        next_since = int(headers.get("X-Loupe-Next-Since", since))
+        job_status = headers.get("X-Loupe-Job-Status", "")
+        return lines, next_since, job_status
+
+    # -- conveniences built on the protocol ----------------------------------
+
+    def tail(
+        self, job_id: str, *, since: int = 0, poll: float = DEFAULT_POLL_S
+    ) -> "Iterator[str]":
+        """Yield event lines as they land until the job is terminal.
+
+        The final status is available afterwards via :attr:`last_status`
+        (or just :meth:`job`). Terminal means the stream is complete:
+        the job will never append again, so a drained read with a
+        terminal status header ends the tail.
+        """
+        self.last_status = ""
+        while True:
+            lines, since, status = self.events(
+                job_id, since=since, timeout=poll
+            )
+            yield from lines
+            self.last_status = status
+            if status in TERMINAL_STATES and not lines:
+                return
+
+    def wait(self, job_id: str, *, poll: float = DEFAULT_POLL_S) -> dict:
+        """Block until the job is terminal; returns its final meta."""
+        since = 0
+        while True:
+            _lines, since, status = self.events(
+                job_id, since=since, timeout=poll
+            )
+            if status in TERMINAL_STATES:
+                return self.job(job_id)
+
+    # -- transport -----------------------------------------------------------
+
+    def _json(self, method: str, path: str, *, body: "dict | None" = None):
+        _status, _headers, raw = self._request(method, path, body=body)
+        return json.loads(raw)
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: "dict | None" = None,
+        read_timeout: "float | None" = None,
+    ) -> tuple[int, dict, bytes]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=read_timeout or self.timeout
+            ) as response:
+                return (
+                    response.status,
+                    dict(response.headers),
+                    response.read(),
+                )
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                message = json.loads(raw).get("error", "")
+            except (ValueError, AttributeError):
+                message = raw.decode("utf-8", "replace").strip()
+            raise ServiceError(error.code, message or error.reason)

@@ -1,0 +1,491 @@
+"""Job specs, the lifecycle state machine, and on-disk job storage.
+
+The campaign server's unit of work is a **job**: one campaign spec
+submitted over HTTP, owned end-to-end by a lifecycle directory
+
+.. code-block:: text
+
+    <data_dir>/jobs/<id>/
+        spec.json       what was asked for (immutable after submit)
+        meta.json       where the job is in its lifecycle (atomic writes)
+        events.jsonl    the campaign's event stream, envelope-wrapped
+        report.json     the result, written once on success
+
+mirroring the per-app lifecycle-dir shape of the streamlit-manager
+exemplar the ROADMAP cites (single service, one directory per managed
+thing, ``meta.json`` + logs inside it). Everything is plain files, so
+a human (or a crashed server's successor) can always reconstruct the
+service's state with ``ls`` and ``cat``.
+
+The state machine is deliberately tiny::
+
+    queued ──> running ──> done
+       │          ├──────> failed
+       └──────────┴──────> cancelled
+
+:meth:`JobStore.transition` enforces exactly those edges under one
+lock, which is what makes the submit/cancel race benign: a concurrent
+``queued→running`` (worker) and ``queued→cancelled`` (cancel request)
+resolve to whichever transition commits first, and the loser gets a
+:class:`JobStateError` instead of a corrupted meta file.
+
+Crash recovery (:meth:`JobStore.recover`) runs at server start: jobs
+found ``running`` were orphaned by a dead server and are marked
+``failed`` with reason ``server-restart`` (their partial event logs
+survive for the post-mortem); jobs found ``queued`` are returned for
+re-enqueueing in submission order, so a restart never silently drops
+accepted work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.api.session import AnalysisRequest
+from repro.core.analyzer import AnalyzerConfig
+from repro.errors import LoupeError
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+#: The legal edges of the lifecycle state machine — everything else is
+#: a bug (or a race that lost, which callers handle explicitly).
+LEGAL_TRANSITIONS = frozenset({
+    (QUEUED, RUNNING),
+    (QUEUED, CANCELLED),
+    (RUNNING, DONE),
+    (RUNNING, FAILED),
+    (RUNNING, CANCELLED),
+})
+
+
+class JobError(LoupeError):
+    """Base class of campaign-server job errors."""
+
+
+class JobSpecError(JobError):
+    """A submitted campaign spec is malformed."""
+
+
+class UnknownJobError(JobError):
+    """No job with the given id exists in this store."""
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"unknown job {job_id!r}")
+        self.job_id = job_id
+
+
+class JobStateError(JobError):
+    """An illegal lifecycle transition was requested."""
+
+    def __init__(self, job_id: str, current: str, wanted: str) -> None:
+        super().__init__(
+            f"job {job_id}: illegal transition {current!r} -> {wanted!r}"
+        )
+        self.job_id = job_id
+        self.current = current
+        self.wanted = wanted
+
+
+@dataclasses.dataclass(frozen=True)
+class JobSpec:
+    """One campaign, declaratively — the JSON body of ``POST /jobs``.
+
+    Field names mirror the ``loupe analyze`` flags one-for-one, so a
+    CLI invocation and a job submission describe campaigns in the same
+    vocabulary. ``backend`` accepts the same comma list as the CLI
+    (``"appsim,ptrace"`` fans out and lands a cross-validation report
+    as the job's ``report.json``).
+    """
+
+    app: str = "redis"
+    workload: str = "bench"
+    backend: str = "appsim"
+    replicas: int = 3
+    subfeatures: bool = False
+    pseudofiles: bool = False
+    jobs: int = 1
+    executor: str = "auto"
+    run_cache: "str | None" = None
+    run_cache_max_entries: "int | None" = None
+    probe_timeout: "float | None" = None
+    retries: int = 0
+    retry_backoff: float = 0.05
+    on_fault: str = "fail"
+    fault_seed: "int | None" = None
+
+    @staticmethod
+    def from_dict(data: object) -> "JobSpec":
+        """Parse and validate a submitted spec document.
+
+        Unknown fields are rejected rather than ignored: a client
+        typo'ing ``replcias`` must hear about it at submit time, not
+        discover a silently-default campaign three hours later.
+        """
+        if not isinstance(data, dict):
+            raise JobSpecError(
+                f"campaign spec must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        known = {field.name for field in dataclasses.fields(JobSpec)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise JobSpecError(
+                f"unknown spec field(s): {', '.join(unknown)}; "
+                f"known fields: {', '.join(sorted(known))}"
+            )
+        try:
+            spec = JobSpec(**data)
+        except TypeError as error:
+            raise JobSpecError(f"malformed campaign spec: {error}")
+        spec.validate()
+        return spec
+
+    def validate(self) -> None:
+        """Reject specs the analyzer would refuse (or worse, accept
+        and misinterpret) — the same checks the CLI's argparse layer
+        performs, reproduced here for the HTTP front door."""
+        if not isinstance(self.app, str) or not self.app:
+            raise JobSpecError("app must be a non-empty string")
+        if self.workload not in ("health", "bench", "suite"):
+            raise JobSpecError(
+                f"unknown workload {self.workload!r}; choose from: "
+                f"health, bench, suite"
+            )
+        try:
+            self.analyzer_config()
+        except (ValueError, TypeError) as error:
+            raise JobSpecError(f"invalid campaign spec: {error}")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def analyzer_config(self) -> AnalyzerConfig:
+        """The spec as the analyzer configuration it describes."""
+        return AnalyzerConfig(
+            replicas=self.replicas,
+            subfeature_level=self.subfeatures,
+            pseudo_files=self.pseudofiles,
+            parallel=self.jobs,
+            executor=self.executor,
+            run_cache=self.run_cache,
+            run_cache_max_entries=self.run_cache_max_entries,
+            probe_timeout_s=self.probe_timeout,
+            retries=self.retries,
+            retry_backoff_s=self.retry_backoff,
+            on_fault=self.on_fault,
+            fault_seed=self.fault_seed,
+        )
+
+    def request(self) -> AnalysisRequest:
+        """The spec as the session request it describes."""
+        return AnalysisRequest(
+            app=self.app,
+            workload=self.workload,
+            backend=self.backend,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class JobMeta:
+    """One job's lifecycle facts — the contents of ``meta.json``.
+
+    ``reason`` explains terminal states that need explaining
+    (``failed``: the error; ``cancelled``: who asked; recovery marks
+    orphans with ``server-restart``). ``engine_stats`` preserves the
+    probe-engine accounting of finished *and* cancelled jobs — a
+    cancelled campaign still reports what it paid for.
+    """
+
+    id: str
+    status: str
+    app: str
+    workload: str
+    backend: str
+    created_at: float
+    started_at: "float | None" = None
+    finished_at: "float | None" = None
+    reason: str = ""
+    engine_stats: "dict | None" = None
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "JobMeta":
+        known = {field.name for field in dataclasses.fields(JobMeta)}
+        return JobMeta(**{
+            key: value for key, value in data.items() if key in known
+        })
+
+
+def encode_report(outcome: object) -> str:
+    """The canonical ``report.json`` serialization.
+
+    One definition shared by the job runner, the tests, and the CI
+    smoke job, so "the server's report is byte-identical to a direct
+    :meth:`LoupeSession.analyze` run" is checkable with ``cmp``:
+    serialize the direct outcome with this same function and compare
+    bytes. Works for both job outcome shapes —
+    :class:`~repro.core.result.AnalysisResult` and
+    :class:`~repro.report.CrossValidationReport` (multi-backend
+    specs) — via their ``to_dict``.
+    """
+    return json.dumps(outcome.to_dict(), indent=1, sort_keys=True) + "\n"
+
+
+class JobStore:
+    """Filesystem-backed job storage with a lock-guarded state machine.
+
+    All mutation goes through :meth:`new_job`, :meth:`transition`, and
+    :meth:`append_event`; reads (:meth:`meta`, :meth:`spec`,
+    :meth:`read_events`) go straight to disk, so any process — the
+    server, a test, an operator's shell — sees the same truth.
+    ``meta.json`` writes are atomic (temp file + ``os.replace``): a
+    server killed mid-transition leaves the previous consistent state,
+    never a torn file.
+    """
+
+    def __init__(self, data_dir: "str | Path") -> None:
+        self.data_dir = Path(data_dir)
+        self.jobs_dir = self.data_dir / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._conditions: dict[str, threading.Condition] = {}
+        self._next_seq = 1 + max(
+            (
+                int(path.name.split("-")[-1])
+                for path in self.jobs_dir.iterdir()
+                if path.is_dir() and path.name.split("-")[-1].isdigit()
+            ),
+            default=0,
+        )
+
+    # -- paths --------------------------------------------------------------
+
+    def job_dir(self, job_id: str) -> Path:
+        return self.jobs_dir / job_id
+
+    def spec_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "spec.json"
+
+    def meta_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "meta.json"
+
+    def events_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "events.jsonl"
+
+    def report_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "report.json"
+
+    # -- creation and reads --------------------------------------------------
+
+    def new_job(self, spec: JobSpec) -> JobMeta:
+        """Persist one accepted spec as a fresh ``queued`` job."""
+        with self._lock:
+            job_id = f"job-{self._next_seq:06d}"
+            self._next_seq += 1
+            directory = self.job_dir(job_id)
+            directory.mkdir(parents=True)
+            meta = JobMeta(
+                id=job_id,
+                status=QUEUED,
+                app=spec.app,
+                workload=spec.workload,
+                backend=spec.backend,
+                created_at=time.time(),
+            )
+            self.spec_path(job_id).write_text(
+                json.dumps(spec.to_dict(), indent=1, sort_keys=True) + "\n"
+            )
+            self._write_meta(meta)
+        return meta
+
+    def exists(self, job_id: str) -> bool:
+        return self.meta_path(job_id).is_file()
+
+    def meta(self, job_id: str) -> JobMeta:
+        try:
+            data = json.loads(self.meta_path(job_id).read_text())
+        except FileNotFoundError:
+            raise UnknownJobError(job_id)
+        return JobMeta.from_dict(data)
+
+    def spec(self, job_id: str) -> JobSpec:
+        try:
+            data = json.loads(self.spec_path(job_id).read_text())
+        except FileNotFoundError:
+            raise UnknownJobError(job_id)
+        return JobSpec.from_dict(data)
+
+    def list_jobs(self) -> list[JobMeta]:
+        """Every job's meta, in submission (id) order."""
+        return [
+            self.meta(path.name)
+            for path in sorted(self.jobs_dir.iterdir())
+            if (path / "meta.json").is_file()
+        ]
+
+    def counts(self) -> dict[str, int]:
+        """Job totals by status (every state present, zeros included)."""
+        totals = {state: 0 for state in STATES}
+        for meta in self.list_jobs():
+            totals[meta.status] = totals.get(meta.status, 0) + 1
+        totals["total"] = sum(
+            totals[state] for state in STATES
+        )
+        return totals
+
+    # -- the state machine ---------------------------------------------------
+
+    def transition(
+        self,
+        job_id: str,
+        status: str,
+        *,
+        reason: str = "",
+        engine_stats: "dict | None" = None,
+    ) -> JobMeta:
+        """Atomically move one job along a legal lifecycle edge.
+
+        Raises :class:`JobStateError` on an illegal edge — which is
+        how lifecycle races resolve: of a concurrent ``queued →
+        running`` and ``queued → cancelled``, exactly one commits and
+        the other gets the error to react to.
+        """
+        if status not in STATES:
+            raise ValueError(f"unknown job status {status!r}")
+        with self._lock:
+            meta = self.meta(job_id)
+            if (meta.status, status) not in LEGAL_TRANSITIONS:
+                raise JobStateError(job_id, meta.status, status)
+            updates: dict = {"status": status}
+            if reason:
+                updates["reason"] = reason
+            if engine_stats is not None:
+                updates["engine_stats"] = engine_stats
+            if status == RUNNING:
+                updates["started_at"] = time.time()
+            if status in TERMINAL_STATES:
+                updates["finished_at"] = time.time()
+            meta = dataclasses.replace(meta, **updates)
+            self._write_meta(meta)
+        self._notify(job_id)
+        return meta
+
+    def _write_meta(self, meta: JobMeta) -> None:
+        path = self.meta_path(meta.id)
+        temp = path.with_suffix(".json.tmp")
+        temp.write_text(
+            json.dumps(meta.to_dict(), indent=1, sort_keys=True) + "\n"
+        )
+        os.replace(temp, path)
+
+    # -- the event log -------------------------------------------------------
+
+    def append_event(self, job_id: str, line: str) -> None:
+        """Append one envelope-wrapped event line and wake waiters.
+
+        One locked open-write-close per line: events are low-rate next
+        to probe runs, and a crashed server can tear at most the final
+        line (readers only surface newline-terminated lines).
+        """
+        if not line.endswith("\n"):
+            line += "\n"
+        with self._lock:
+            with open(self.events_path(job_id), "a") as handle:
+                handle.write(line)
+                handle.flush()
+        self._notify(job_id)
+
+    def read_events(
+        self, job_id: str, since: int = 0
+    ) -> tuple[list[str], int]:
+        """Complete event lines from index *since* on, and the next
+        index to poll from. Unknown jobs raise; jobs that have not
+        emitted yet return ``([], since)``."""
+        if not self.exists(job_id):
+            raise UnknownJobError(job_id)
+        try:
+            with open(self.events_path(job_id)) as handle:
+                lines = [
+                    line for line in handle.readlines()
+                    if line.endswith("\n")  # skip a torn final line
+                ]
+        except FileNotFoundError:
+            lines = []
+        if since < 0:
+            since = 0
+        fresh = lines[since:]
+        return fresh, since + len(fresh)
+
+    def wait_for_events(
+        self, job_id: str, since: int, timeout: float
+    ) -> tuple[list[str], int, str]:
+        """Long-poll: block up to *timeout* seconds for lines past
+        *since*; return ``(lines, next_since, status)``.
+
+        Returns immediately when lines are already available or the
+        job is terminal (a terminal job will never emit again — there
+        is nothing to wait for).
+        """
+        deadline = time.monotonic() + max(timeout, 0.0)
+        condition = self._condition(job_id)
+        while True:
+            lines, next_since = self.read_events(job_id, since)
+            status = self.meta(job_id).status
+            remaining = deadline - time.monotonic()
+            if lines or status in TERMINAL_STATES or remaining <= 0:
+                return lines, next_since, status
+            with condition:
+                # Bounded wait: an append between the read above and
+                # this wait would be missed by pure signalling; the cap
+                # turns that race into at most half a second of delay.
+                condition.wait(min(remaining, 0.5))
+
+    def _condition(self, job_id: str) -> threading.Condition:
+        with self._lock:
+            condition = self._conditions.get(job_id)
+            if condition is None:
+                condition = self._conditions[job_id] = threading.Condition()
+            return condition
+
+    def _notify(self, job_id: str) -> None:
+        condition = self._condition(job_id)
+        with condition:
+            condition.notify_all()
+
+    # -- crash recovery ------------------------------------------------------
+
+    def recover(self) -> tuple[list[JobMeta], list[JobMeta]]:
+        """Reconcile on-disk state with reality at server start.
+
+        Jobs found ``running`` belonged to a server that is no longer
+        running them — mark them ``failed`` with reason
+        ``server-restart`` (their event logs stay as the post-mortem).
+        Jobs found ``queued`` are still owed work; they come back in
+        submission order for re-enqueueing. Returns
+        ``(orphaned, requeue)``.
+        """
+        orphaned: list[JobMeta] = []
+        requeue: list[JobMeta] = []
+        for meta in self.list_jobs():
+            if meta.status == RUNNING:
+                orphaned.append(self.transition(
+                    meta.id, FAILED, reason="server-restart"
+                ))
+            elif meta.status == QUEUED:
+                requeue.append(meta)
+        return orphaned, requeue

@@ -1,0 +1,263 @@
+"""The campaign server's work queue and bounded worker pool.
+
+Submitted jobs drain through a plain FIFO: :class:`JobRunner` owns a
+:class:`queue.Queue` of job ids and a fixed pool of worker threads,
+each of which pops an id, moves the job ``queued → running``, and
+drives the campaign through :class:`~repro.api.session.LoupeSession`
+exactly as the CLI would — same analyzer, same engine, same event
+stream. The server adds nothing to *how* campaigns run; it only
+decides *when* and records *what happened*.
+
+Every analyzer event is wrapped in the versioned server envelope
+(:func:`repro.api.events.envelope`) and appended to the job's
+``events.jsonl``, which is what ``GET /jobs/<id>/events`` replays.
+Because the envelope merely prefixes ``schema_version`` to the exact
+``to_dict()`` document the CLI's ``--events jsonl`` writes, stripping
+that one field restores the CLI stream byte for byte.
+
+Cancellation is cooperative end to end: each submitted job owns a
+:class:`threading.Event`; ``POST /jobs/<id>/cancel`` sets it, and the
+worker hands ``event.is_set`` to :meth:`LoupeSession.analyze` as its
+``cancel_check``. A queued job is cancelled on the spot (the
+store's state machine arbitrates the race with a worker picking it
+up); a running job stops at the analyzer's next wave boundary and
+lands ``cancelled`` with its engine accounting intact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import queue
+import threading
+
+from repro.api.events import envelope
+from repro.api.session import LoupeSession
+from repro.errors import AnalysisCancelledError
+from repro.server.jobstore import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobMeta,
+    JobSpec,
+    JobStateError,
+    JobStore,
+    encode_report,
+)
+
+#: Queue sentinel telling one worker thread to exit.
+_STOP = object()
+
+
+class JobRunner:
+    """A bounded worker pool draining the job queue through sessions.
+
+    One runner per server. ``workers`` threads run campaigns
+    concurrently; everything else waits its turn in FIFO order. Each
+    job gets a **fresh** :class:`LoupeSession` — jobs must not share
+    loupedb memoization, or two submissions of the same spec would
+    return one record and the second job's event log would be empty.
+    """
+
+    def __init__(self, store: JobStore, *, workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.store = store
+        self.workers = workers
+        self._queue: "queue.Queue[object]" = queue.Queue()
+        self._cancels: dict[str, threading.Event] = {}
+        self._lock = threading.Lock()
+        self._busy = 0
+        self._threads: list[threading.Thread] = []
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Recover the store, re-enqueue surviving queued jobs, and
+        spin up the worker threads. Idempotent."""
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+        _orphaned, requeue = self.store.recover()
+        for meta in requeue:
+            self.submit_existing(meta.id)
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"loupe-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(
+        self,
+        *,
+        cancel_running: bool = False,
+        timeout: "float | None" = 10.0,
+    ) -> None:
+        """Stop accepting work and wind the pool down.
+
+        ``cancel_running=True`` additionally sets every outstanding
+        cancel event, so in-flight campaigns stop at their next wave
+        boundary instead of running to completion (they land
+        ``cancelled``, which is the honest record of a shutdown that
+        did not wait). Worker threads are daemons — a join timing out
+        never wedges process exit.
+        """
+        if cancel_running:
+            with self._lock:
+                events = list(self._cancels.values())
+            for event in events:
+                event.set()
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads.clear()
+        with self._lock:
+            self._started = False
+
+    # -- submission and cancellation -----------------------------------------
+
+    def submit(self, spec: JobSpec) -> JobMeta:
+        """Persist *spec* as a new queued job and enqueue it."""
+        meta = self.store.new_job(spec)
+        self._enqueue(meta.id)
+        return meta
+
+    def submit_existing(self, job_id: str) -> None:
+        """Re-enqueue a job already persisted as ``queued`` (crash
+        recovery path)."""
+        self._enqueue(job_id)
+
+    def _enqueue(self, job_id: str) -> None:
+        with self._lock:
+            self._cancels[job_id] = threading.Event()
+        self._queue.put(job_id)
+
+    def cancel(self, job_id: str) -> JobMeta:
+        """Request cancellation; returns the job's resulting meta.
+
+        Queued jobs land ``cancelled`` immediately (unless a worker
+        wins the pickup race, in which case the set cancel event stops
+        them within one wave). Running jobs get the cooperative
+        signal and keep status ``running`` until the analyzer reaches
+        its next checkpoint. Cancelling an already-cancelled job is
+        idempotent; cancelling ``done``/``failed`` raises
+        :class:`JobStateError` (there is nothing left to stop).
+        """
+        meta = self.store.meta(job_id)
+        if meta.status == CANCELLED:
+            return meta
+        if meta.status in (DONE, FAILED):
+            raise JobStateError(job_id, meta.status, CANCELLED)
+        with self._lock:
+            event = self._cancels.get(job_id)
+        if event is not None:
+            event.set()
+        if meta.status == QUEUED:
+            try:
+                return self.store.transition(
+                    job_id, CANCELLED, reason="cancelled while queued"
+                )
+            except JobStateError:
+                # Lost the race: a worker moved it to running between
+                # our read and the transition. The cancel event is
+                # already set, so the campaign stops at its next wave.
+                pass
+        return self.store.meta(job_id)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs waiting for a worker (approximate, by design)."""
+        return self._queue.qsize()
+
+    @property
+    def busy_workers(self) -> int:
+        with self._lock:
+            return self._busy
+
+    # -- the work loop -------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _STOP:
+                    return
+                job_id = str(item)
+                with self._lock:
+                    self._busy += 1
+                    event = self._cancels.get(job_id)
+                try:
+                    self._run_job(job_id, event or threading.Event())
+                finally:
+                    with self._lock:
+                        self._busy -= 1
+                        self._cancels.pop(job_id, None)
+            finally:
+                self._queue.task_done()
+
+    def _run_job(self, job_id: str, cancel_event: threading.Event) -> None:
+        try:
+            self.store.transition(job_id, RUNNING)
+        except JobStateError:
+            # Cancelled (or otherwise resolved) while queued — the
+            # state machine already recorded the outcome; nothing to
+            # run.
+            return
+
+        def record(event: object) -> None:
+            self.store.append_event(job_id, json.dumps(envelope(event)))
+
+        try:
+            spec = self.store.spec(job_id)
+            config = spec.analyzer_config()
+            with LoupeSession(config=config) as session:
+                outcome = session.analyze(
+                    spec.request(),
+                    on_event=record,
+                    cancel_check=cancel_event.is_set,
+                )
+                stats = session.last_engine_stats
+            self._write_report(job_id, outcome)
+            self.store.transition(
+                job_id, DONE, engine_stats=_stats_doc(stats)
+            )
+        except AnalysisCancelledError as error:
+            self.store.transition(
+                job_id,
+                CANCELLED,
+                reason="cancelled while running",
+                engine_stats=_stats_doc(error.stats),
+            )
+        except Exception as error:  # noqa: BLE001 — jobs must never
+            # take a worker thread down with them; whatever the
+            # campaign raised becomes the job's terminal record.
+            self.store.transition(
+                job_id,
+                FAILED,
+                reason=f"{type(error).__name__}: {error}",
+            )
+
+    def _write_report(self, job_id: str, outcome: object) -> None:
+        path = self.store.report_path(job_id)
+        temp = path.with_suffix(".json.tmp")
+        temp.write_text(encode_report(outcome))
+        os.replace(temp, path)
+
+
+def _stats_doc(stats: object) -> "dict | None":
+    """Engine stats as a plain document for ``meta.json`` (``None``
+    stays ``None`` — e.g. a job cancelled before its first probe)."""
+    if stats is None:
+        return None
+    return dataclasses.asdict(stats)

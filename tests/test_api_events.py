@@ -294,3 +294,49 @@ class TestCombineCallbacks:
         emit(event)
         assert first == [event]
         assert second == [event]
+
+
+class TestEnvelope:
+    """The campaign server's versioned event envelope."""
+
+    def test_envelope_prefixes_schema_version(self):
+        from repro.api.events import SCHEMA_VERSION, envelope
+
+        event = AnalysisStarted(app="a", workload="w", backend="b", replicas=3)
+        document = envelope(event)
+        assert document["schema_version"] == SCHEMA_VERSION == 1
+        assert list(document)[0] == "schema_version"
+
+    def test_stripping_the_envelope_restores_the_legacy_bytes(self):
+        from repro.api.events import envelope
+
+        event = FeatureProbed(
+            feature="close", can_stub=False, can_fake=False,
+            traced_count=2, app="a",
+        )
+        legacy_line = json.dumps(event.to_dict())
+        wrapped = json.loads(json.dumps(envelope(event)))
+        wrapped.pop("schema_version")
+        assert json.dumps(wrapped) == legacy_line
+
+    def test_schema_version_override(self):
+        from repro.api.events import envelope
+
+        document = envelope(BaselineStarted(replicas=1), schema_version=7)
+        assert document["schema_version"] == 7
+
+    def test_legacy_stream_has_no_schema_version(self):
+        """--events jsonl consumers must keep seeing the exact
+        pre-envelope event documents."""
+        _, _, events = _analyze_collecting(_program([_op("close")]))
+        for event in events:
+            assert "schema_version" not in event.to_dict()
+
+    def test_cancelled_event_shape(self):
+        from repro.api.events import AnalysisCancelled
+
+        event = AnalysisCancelled(duration_s=1.5, reason="signal", app="x")
+        document = event.to_dict()
+        assert document["event"] == "analysis_cancelled"
+        assert document["reason"] == "signal"
+        assert event.legacy_line() == "analysis cancelled after 1.50s"
