@@ -22,12 +22,14 @@ Subcommands mirror how the paper's tool is used:
   a sample of records and diffs stored vs fresh results).
 * ``scan``     — static binary scan of a native ELF.
 * ``serve``    — run the campaign server (job queue, bounded worker
-  pool, live event streaming over HTTP).
-* ``submit`` / ``jobs`` / ``tail`` / ``cancel`` — the server's
-  clients: submit a campaign spec, list jobs, stream a job's events
-  until it lands, cancel cooperatively. They find the server through
-  ``--url`` or the ``server.json`` discovery file under
-  ``--data-dir``.
+  pool, live event streaming over HTTP; ``--max-queue``, ``--lease``
+  and ``--max-attempts`` set the durability posture).
+* ``submit`` / ``jobs`` / ``tail`` / ``cancel`` / ``drain`` — the
+  server's clients: submit a campaign spec, list jobs (``--state``
+  filters, e.g. ``--state quarantined`` for triage), stream a job's
+  events until it lands, cancel cooperatively, close intake for a
+  graceful shutdown. They find the server through ``--url`` or the
+  ``server.json`` discovery file under ``--data-dir``.
 
 ``analyze`` and ``compare`` share the fault-tolerance flags:
 ``--probe-timeout`` bounds each probe run attempt, ``--retries`` /
@@ -620,6 +622,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             workers=args.workers,
             run_cache=args.run_cache,
+            max_queue=args.max_queue,
+            lease_s=args.lease,
+            max_attempts=args.max_attempts,
+            checkpoint_jobs=not args.no_checkpoint,
             verbose=args.verbose,
         )
     except OSError as error:
@@ -691,7 +697,7 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     from repro.server import ServiceError
 
     try:
-        jobs = _service_client(args).jobs()
+        jobs = _service_client(args).jobs(state=args.state)
     except (ServiceError, LoupeError, OSError) as error:
         print(f"jobs: {error}", file=sys.stderr)
         return 2
@@ -699,21 +705,24 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
         print(json.dumps(jobs, sort_keys=True))
         return 0
     if not jobs:
-        print("no jobs")
+        print("no jobs" if not args.state else f"no {args.state} jobs")
         return 0
     for meta in jobs:
-        line = (f"{meta['id']}  {meta['status']:<9}  "
+        line = (f"{meta['id']}  {meta['status']:<11}  "
                 f"{meta['app']}/{meta['workload']} on {meta['backend']}")
+        if meta.get("attempt", 1) > 1:
+            line += f"  attempt={meta['attempt']}"
         if meta.get("reason"):
             line += f"  ({meta['reason']})"
         print(line)
     return 0
 
 
-#: ``loupe tail`` exit codes by terminal status: done → 0, failed → 1,
+#: ``loupe tail`` exit codes by terminal status: done → 0, failed → 1
+#: (quarantined reads as failed — the campaign never completed),
 #: cancelled → 3 (distinct from failure — the campaign was *stopped*,
 #: not broken — and from the usage-error 2).
-_TAIL_EXIT_CODES = {"done": 0, "failed": 1, "cancelled": 3}
+_TAIL_EXIT_CODES = {"done": 0, "failed": 1, "quarantined": 1, "cancelled": 3}
 
 
 def _tail_job(client, job_id: str) -> int:
@@ -724,7 +733,10 @@ def _tail_job(client, job_id: str) -> int:
         for line in client.tail(job_id):
             sys.stdout.write(line)
             sys.stdout.flush()
-    except ServiceError as error:
+    except (ServiceError, LoupeError) as error:
+        # LoupeError also covers ServiceUnavailableError: the client's
+        # GET retries already rode out any transient restart; by the
+        # time it reaches us the server is genuinely gone.
         print(f"tail: {error}", file=sys.stderr)
         return 2
     status = client.last_status
@@ -755,6 +767,23 @@ def _cmd_cancel(args: argparse.Namespace) -> int:
         print(json.dumps(meta, sort_keys=True))
     else:
         print(f"{meta['id']} {meta['status']}")
+    return 0
+
+
+def _cmd_drain(args: argparse.Namespace) -> int:
+    from repro.server import ServiceError
+
+    try:
+        plan = _service_client(args).drain()
+    except (ServiceError, LoupeError, OSError) as error:
+        print(f"drain: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(plan, sort_keys=True))
+    else:
+        print(f"draining: {plan.get('running', 0)} running job(s) will "
+              f"finish, {plan.get('queued', 0)} queued job(s) stay on "
+              f"disk for the next start")
     return 0
 
 
@@ -1015,6 +1044,26 @@ def build_parser() -> argparse.ArgumentParser:
                             "inherited by jobs that name none — a "
                             "long-lived server amortizes probe work "
                             "across campaigns")
+    serve.add_argument("--max-queue", type=_positive_int, default=None,
+                       metavar="N",
+                       help="admission control: refuse submissions "
+                            "(HTTP 429 + Retry-After) past N jobs "
+                            "waiting for a worker (default: unbounded)")
+    serve.add_argument("--lease", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="running-job lease: a worker that makes no "
+                            "progress for this long is presumed dead "
+                            "and its job reclaimed by the reaper "
+                            "(default 30)")
+    serve.add_argument("--max-attempts", type=_positive_int, default=3,
+                       metavar="N",
+                       help="attempt budget per job; reclaims and "
+                            "crash-resumes beyond it quarantine the "
+                            "job as poisonous (default 3)")
+    serve.add_argument("--no-checkpoint", action="store_true",
+                       help="disable per-job checkpoint stores "
+                            "(jobs/<id>/runcache.sqlite); resumed "
+                            "jobs then re-execute every probe")
     serve.add_argument("--verbose", action="store_true",
                        help="log each HTTP request to stderr")
     serve.set_defaults(func=_cmd_serve)
@@ -1071,6 +1120,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     jobs_cmd = sub.add_parser("jobs", help="list a server's jobs")
     _client_arguments(jobs_cmd)
+    jobs_cmd.add_argument("--state", default=None,
+                          choices=("queued", "running", "done", "failed",
+                                   "cancelled", "quarantined"),
+                          help="only jobs in this lifecycle state "
+                               "(e.g. --state quarantined for triage)")
     jobs_cmd.add_argument("--json", action="store_true")
     jobs_cmd.set_defaults(func=_cmd_jobs)
 
@@ -1093,6 +1147,16 @@ def build_parser() -> argparse.ArgumentParser:
     cancel.add_argument("job_id")
     cancel.add_argument("--json", action="store_true")
     cancel.set_defaults(func=_cmd_cancel)
+
+    drain = sub.add_parser(
+        "drain",
+        help="close a server's intake: in-flight jobs finish, queued "
+             "jobs stay on disk for the next start, new submissions "
+             "get 503",
+    )
+    _client_arguments(drain)
+    drain.add_argument("--json", action="store_true")
+    drain.set_defaults(func=_cmd_drain)
 
     return parser
 

@@ -166,6 +166,18 @@ class AnalyzerConfig:
     cancel_check: "Callable[[], bool] | None" = dataclasses.field(
         default=None, compare=False
     )
+    #: Cooperative liveness hook: a zero-argument callable invoked at
+    #: the same wave-boundary checkpoints ``cancel_check`` is polled
+    #: at. Long-lived drivers use it as a heartbeat — the campaign
+    #: server refreshes a running job's lease here, so a hung worker
+    #: (or a stuck backend that never reaches a checkpoint) is
+    #: distinguishable from a healthy long campaign. Exceptions are
+    #: deliberately swallowed: a liveness beacon must never be able to
+    #: kill the campaign it reports on. Excluded from config equality
+    #: like ``cancel_check`` — observation never changes conclusions.
+    progress_hook: "Callable[[], None] | None" = dataclasses.field(
+        default=None, compare=False
+    )
 
     def fault_policy(self) -> "FaultPolicy | None":
         """The engine-level fault policy these knobs describe.
@@ -382,8 +394,16 @@ class Analyzer:
             stream, and the error carries the same stats snapshot. A
             string answer names the reason (``"signal"`` for the
             CLI's SIGINT hook); any other truthy value reads as a
-            plain ``"cancelled"``.
+            plain ``"cancelled"``. The liveness hook beats first, so
+            even a wave that ends in cancellation is recorded as
+            reached.
             """
+            if config.progress_hook is not None:
+                try:
+                    config.progress_hook()
+                except Exception:  # noqa: BLE001 — a heartbeat must
+                    # never kill the campaign whose liveness it reports.
+                    pass
             if config.cancel_check is None:
                 return
             verdict = config.cancel_check()

@@ -78,6 +78,27 @@ class FinalRunMismatchError(AnalysisError):
         self.conflicts = conflicts
 
 
+class ServiceUnavailableError(LoupeError):
+    """The campaign service could not be reached after bounded retries.
+
+    Raised by the service client once its transient-error retry budget
+    (connection refused / reset on idempotent GETs) is exhausted —
+    distinct from :class:`~repro.server.client.ServiceError`, which
+    means the server *answered* with an error status. Carries the
+    target URL, how many attempts were made, and the final transport
+    error for the post-mortem.
+    """
+
+    def __init__(self, url: str, attempts: int, last_error: Exception) -> None:
+        super().__init__(
+            f"service at {url} unreachable after {attempts} attempt(s): "
+            f"{last_error}"
+        )
+        self.url = url
+        self.attempts = attempts
+        self.last_error = last_error
+
+
 class DatabaseError(LoupeError):
     """The results database is corrupt or a record is invalid."""
 

@@ -10,11 +10,14 @@ submitted from anywhere and survive their submitter.
 The pieces, bottom up:
 
 * :mod:`~repro.server.jobstore` — job specs, the lifecycle state
-  machine (``queued → running → done/failed/cancelled``), filesystem
-  storage with atomic metadata writes, and crash recovery;
-* :mod:`~repro.server.queue` — the FIFO queue and worker pool that
-  drain jobs through sessions, wiring cooperative cancellation into
-  the analyzer's ``cancel_check`` hook;
+  machine (``queued → running → done/failed/cancelled/quarantined``),
+  filesystem storage with atomic metadata writes, leases and attempt
+  history, and crash recovery that *resumes* orphaned work;
+* :mod:`~repro.server.queue` — the FIFO queue, worker pool, and
+  lease reaper that drain jobs through sessions, wiring cooperative
+  cancellation and heartbeats into the analyzer's ``cancel_check``
+  and ``progress_hook``, with per-job checkpoint stores, admission
+  control, and drain mode;
 * :mod:`~repro.server.handlers` — the HTTP surface, including the
   long-polling ``/jobs/<id>/events`` replay;
 * :mod:`~repro.server.app` — :class:`CampaignServer`, composing the
@@ -33,6 +36,7 @@ from repro.server.jobstore import (
     DONE,
     FAILED,
     LEGAL_TRANSITIONS,
+    QUARANTINED,
     QUEUED,
     RUNNING,
     STATES,
@@ -43,10 +47,15 @@ from repro.server.jobstore import (
     JobSpecError,
     JobStateError,
     JobStore,
+    TornMetaError,
     UnknownJobError,
     encode_report,
 )
-from repro.server.queue import JobRunner
+from repro.server.queue import (
+    JobRunner,
+    QueueFullError,
+    ServerDrainingError,
+)
 
 __all__ = [
     "CampaignServer",
@@ -60,6 +69,9 @@ __all__ = [
     "JobSpecError",
     "JobStateError",
     "JobStore",
+    "QueueFullError",
+    "ServerDrainingError",
+    "TornMetaError",
     "UnknownJobError",
     "encode_report",
     "QUEUED",
@@ -67,6 +79,7 @@ __all__ = [
     "DONE",
     "FAILED",
     "CANCELLED",
+    "QUARANTINED",
     "STATES",
     "TERMINAL_STATES",
     "LEGAL_TRANSITIONS",

@@ -34,8 +34,15 @@ from pathlib import Path
 
 from repro.api.registry import UnknownBackendError, parse_backend_names, resolve_backend
 from repro.server.handlers import CampaignHTTPServer
-from repro.server.jobstore import JobMeta, JobSpec, JobSpecError, JobStore
-from repro.server.queue import JobRunner
+from repro.server.jobstore import (
+    QUEUED,
+    RUNNING,
+    JobMeta,
+    JobSpec,
+    JobSpecError,
+    JobStore,
+)
+from repro.server.queue import DEFAULT_LEASE_S, DEFAULT_MAX_ATTEMPTS, JobRunner
 
 
 class CampaignServer:
@@ -56,6 +63,11 @@ class CampaignServer:
         port: int = 0,
         workers: int = 2,
         run_cache: "str | None" = None,
+        max_queue: "int | None" = None,
+        lease_s: float = DEFAULT_LEASE_S,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        checkpoint_jobs: bool = True,
+        reaper_interval_s: "float | None" = None,
         verbose: bool = False,
     ) -> None:
         self.data_dir = Path(data_dir)
@@ -63,7 +75,15 @@ class CampaignServer:
         self.verbose = verbose
         self.started_at: "float | None" = None
         self.store = JobStore(self.data_dir)
-        self.runner = JobRunner(self.store, workers=workers)
+        self.runner = JobRunner(
+            self.store,
+            workers=workers,
+            max_queue=max_queue,
+            lease_s=lease_s,
+            max_attempts=max_attempts,
+            checkpoint_jobs=checkpoint_jobs,
+            reaper_interval_s=reaper_interval_s,
+        )
         self._httpd = CampaignHTTPServer((host, port), self)
         self._thread: "threading.Thread | None" = None
         self._closed = False
@@ -162,20 +182,35 @@ class CampaignServer:
     def cancel(self, job_id: str) -> JobMeta:
         return self.runner.cancel(job_id)
 
+    def drain(self) -> dict:
+        """Flip the runner's one-way drain switch and report the
+        resulting shed plan: what finishes, what waits on disk."""
+        self.runner.drain()
+        counts = self.store.counts()
+        return {
+            "draining": True,
+            "running": counts.get(RUNNING, 0),
+            "queued": counts.get(QUEUED, 0),
+        }
+
     def health(self) -> dict:
         return {
             "ok": True,
             "url": self.url,
             "data_dir": str(self.data_dir),
             "workers": self.runner.workers,
+            "draining": self.runner.draining,
             "started_at": self.started_at,
         }
 
     def stats(self) -> dict:
         """Service observability: queue depth, worker utilization, job
-        totals by status, and — when a service-default run cache is
-        configured and exists on disk — the store's stats in exactly
-        the ``loupe cache stats --json`` shape."""
+        totals by status (per-state gauges, zeros included), durability
+        posture (``queue``: admission limits, drain flag, queue-age
+        watermarks; ``attempts``: retry pressure — totals beyond first
+        attempts and the worst offender), and — when a service-default
+        run cache is configured and exists on disk — the store's stats
+        in exactly the ``loupe cache stats --json`` shape."""
         store_stats = None
         if self.run_cache is not None and Path(self.run_cache).exists():
             # Open read-only-ish: open_store on an existing path loads
@@ -185,10 +220,31 @@ class CampaignServer:
 
             with open_store(self.run_cache) as cache:
                 store_stats = cache.stats().to_dict()
+        now = time.time()
+        queue_ages = []
+        attempts = []
+        for meta in self.store.list_jobs():
+            attempts.append(meta.attempt)
+            if meta.status == QUEUED:
+                queue_ages.append(max(now - meta.created_at, 0.0))
         return {
             "queue_depth": self.runner.queue_depth,
             "workers": self.runner.workers,
             "busy_workers": self.runner.busy_workers,
             "jobs": self.store.counts(),
+            "queue": {
+                "max_queue": self.runner.max_queue,
+                "draining": self.runner.draining,
+                "oldest_age_s": max(queue_ages, default=0.0),
+                "mean_age_s": (
+                    sum(queue_ages) / len(queue_ages) if queue_ages else 0.0
+                ),
+            },
+            "attempts": {
+                "max_attempts": self.runner.max_attempts,
+                "lease_s": self.runner.lease_s,
+                "retries": sum(a - 1 for a in attempts),
+                "max_observed": max(attempts, default=0),
+            },
             "run_cache": store_stats,
         }

@@ -8,8 +8,19 @@ through it, so a protocol change breaks loudly in exactly one module.
 Everything rides :mod:`urllib.request` (the no-new-deps rule applies
 to clients too). Server-reported errors surface as
 :class:`ServiceError` carrying the HTTP status and the server's
-``{"error": ...}`` message; transport failures (connection refused,
-timeouts) propagate as the usual :class:`urllib.error.URLError`.
+``{"error": ...}`` message (plus ``retry_after_s`` when the server
+sent a ``Retry-After`` header — admission control's 429s do).
+
+Transport failures get one level of forgiveness, but only where it is
+safe: **idempotent GETs** retry with bounded exponential backoff on
+transient connection errors (refused, reset, timed out), so a
+``loupe tail`` rides out a server restart mid-stream instead of dying
+— the events cursor makes re-polling the same window harmless. POSTs
+never retry (a resubmitted ``POST /jobs`` would be a duplicate job);
+their transport errors propagate as the usual
+:class:`urllib.error.URLError`. A GET that exhausts its retry budget
+raises :class:`~repro.errors.ServiceUnavailableError` with the
+attempt count and final error.
 
 Tailing is a small protocol on top of ``GET /jobs/<id>/events``:
 :meth:`tail` repeatedly long-polls with the returned
@@ -24,27 +35,49 @@ the CLI's ``--events jsonl`` stream back verbatim pop the
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.parse
 import urllib.request
 from collections.abc import Iterator
 from pathlib import Path
 
-from repro.errors import LoupeError
+from repro.errors import LoupeError, ServiceUnavailableError
 from repro.server.jobstore import TERMINAL_STATES
 
 #: Default long-poll hold per tail round trip, chosen under the
 #: server's MAX_POLL_TIMEOUT_S cap.
 DEFAULT_POLL_S = 20.0
 
+#: Default transient-error retry budget for idempotent GETs (total
+#: attempts = 1 + retries) and the base backoff, doubled per retry.
+DEFAULT_RETRIES = 3
+DEFAULT_RETRY_BACKOFF_S = 0.25
+
+#: Backoff sleeps never exceed this, whatever the retry count.
+_MAX_BACKOFF_S = 2.0
+
 
 class ServiceError(LoupeError):
-    """The server answered with an error status."""
+    """The server answered with an error status.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retry_after_s`` carries the server's ``Retry-After`` header when
+    one was sent (admission control's 429 replies do), ``None``
+    otherwise — callers implementing polite resubmission read it
+    instead of guessing.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        retry_after_s: "float | None" = None,
+    ) -> None:
         super().__init__(f"server said {status}: {message}")
         self.status = status
         self.message = message
+        self.retry_after_s = retry_after_s
 
 
 def discover_url(data_dir: "str | Path") -> str:
@@ -69,11 +102,27 @@ def discover_url(data_dir: "str | Path") -> str:
 
 
 class ServiceClient:
-    """Talks to one campaign server."""
+    """Talks to one campaign server.
 
-    def __init__(self, url: str, *, timeout: float = 10.0) -> None:
+    ``retries``/``retry_backoff_s`` bound the transient-error
+    forgiveness on idempotent GETs (see the module docstring);
+    ``retries=0`` restores fail-fast transport behavior everywhere.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        timeout: float = 10.0,
+        retries: int = DEFAULT_RETRIES,
+        retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
 
     # -- the protocol, one method per endpoint -------------------------------
 
@@ -87,8 +136,15 @@ class ServiceClient:
         """Submit one campaign spec; returns the new job's meta."""
         return self._json("POST", "/jobs", body=spec)
 
-    def jobs(self) -> list:
-        return self._json("GET", "/jobs")["jobs"]
+    def jobs(self, *, state: "str | None" = None) -> list:
+        path = "/jobs"
+        if state:
+            path += "?" + urllib.parse.urlencode({"state": state})
+        return self._json("GET", path)["jobs"]
+
+    def drain(self) -> dict:
+        """Close the server's intake; returns the shed plan."""
+        return self._json("POST", "/admin/drain")
 
     def job(self, job_id: str) -> dict:
         return self._json("GET", f"/jobs/{job_id}")
@@ -178,22 +234,61 @@ class ServiceClient:
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            self.url + path, data=data, headers=headers, method=method
-        )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=read_timeout or self.timeout
-            ) as response:
-                return (
-                    response.status,
-                    dict(response.headers),
-                    response.read(),
-                )
-        except urllib.error.HTTPError as error:
-            raw = error.read()
+        # Only idempotent reads get the transient-retry budget: a
+        # retried GET re-reads; a retried POST would re-*do*.
+        attempts = 1 + (self.retries if method == "GET" else 0)
+        delay = self.retry_backoff_s
+        last_error: "Exception | None" = None
+        for attempt in range(attempts):
+            request = urllib.request.Request(
+                self.url + path, data=data, headers=headers, method=method
+            )
             try:
-                message = json.loads(raw).get("error", "")
-            except (ValueError, AttributeError):
-                message = raw.decode("utf-8", "replace").strip()
-            raise ServiceError(error.code, message or error.reason)
+                with urllib.request.urlopen(
+                    request, timeout=read_timeout or self.timeout
+                ) as response:
+                    return (
+                        response.status,
+                        dict(response.headers),
+                        response.read(),
+                    )
+            except urllib.error.HTTPError as error:
+                # The server *answered* — not a transport failure, no
+                # retry. Translate to ServiceError.
+                raw = error.read()
+                try:
+                    message = json.loads(raw).get("error", "")
+                except (ValueError, AttributeError):
+                    message = raw.decode("utf-8", "replace").strip()
+                raise ServiceError(
+                    error.code,
+                    message or error.reason,
+                    retry_after_s=_retry_after(error.headers),
+                )
+            except (urllib.error.URLError, ConnectionError, TimeoutError) as error:
+                last_error = error
+                if attempt + 1 < attempts:
+                    time.sleep(min(delay, _MAX_BACKOFF_S))
+                    delay *= 2
+        assert last_error is not None
+        if method != "GET" or self.retries == 0:
+            # POSTs and retries=0 clients keep raw fail-fast transport
+            # errors; only a GET that actually burned a retry budget
+            # is summarized as ServiceUnavailableError.
+            raise last_error
+        raise ServiceUnavailableError(self.url, attempts, last_error)
+
+
+def _retry_after(headers: object) -> "float | None":
+    """The ``Retry-After`` header as seconds, if present and sane
+    (only the delta-seconds form; this server never sends dates)."""
+    try:
+        value = headers.get("Retry-After")  # type: ignore[union-attr]
+    except AttributeError:
+        return None
+    if value is None:
+        return None
+    try:
+        return max(float(value), 0.0)
+    except ValueError:
+        return None

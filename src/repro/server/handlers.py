@@ -7,11 +7,12 @@ service's whole surface:
 Method     Path                            Meaning
 =========  ==============================  =====================================
 ``POST``   ``/jobs``                       submit a campaign spec, get a job id
-``GET``    ``/jobs``                       list every job's meta
+``GET``    ``/jobs``                       list job metas (``?state=`` filters)
 ``GET``    ``/jobs/<id>``                  one job's meta
 ``GET``    ``/jobs/<id>/events``           replay/long-poll the event stream
 ``GET``    ``/jobs/<id>/report``           the finished job's report.json
 ``POST``   ``/jobs/<id>/cancel``           cooperative cancellation
+``POST``   ``/admin/drain``                close intake, finish in-flight work
 ``GET``    ``/healthz``                    liveness
 ``GET``    ``/stats``                      queue/worker/store observability
 =========  ==============================  =====================================
@@ -29,6 +30,16 @@ response headers carrying the tailing cursor:
 ``?since=N`` skips the first N lines; ``?timeout=S`` long-polls: the
 reply is held up to S seconds waiting for fresh lines (returning
 early the moment one lands, or immediately if the job is terminal).
+Both are validated like the spec validator validates specs — negative
+or non-finite values are a 400 with details, not a silent pass into
+the wait loop; timeouts beyond :data:`MAX_POLL_TIMEOUT_S` are clamped
+(long tails are built from repeated polls, not one huge one).
+
+Admission control speaks in status codes: a full queue is ``429``
+with a ``Retry-After`` header (seconds, advisory), a draining server
+is ``503`` — both tell a well-behaved submitter exactly what to do
+next. Torn job metadata (crash footprint, repaired at the next
+restart) reads as ``503`` rather than a stack trace.
 
 The handler holds no state of its own — it reaches the
 :class:`~repro.server.app.CampaignServer` through
@@ -39,14 +50,18 @@ codes (unknown job → 404, bad spec → 400, illegal cancel → 409).
 from __future__ import annotations
 
 import json
+import math
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.server.jobstore import (
+    STATES,
     JobSpecError,
     JobStateError,
+    TornMetaError,
     UnknownJobError,
 )
+from repro.server.queue import QueueFullError, ServerDrainingError
 
 #: Upper bound on one long-poll's hold time; clients wanting longer
 #: tails simply poll again with the returned cursor.
@@ -94,12 +109,7 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
             elif parts == ["stats"]:
                 self._send_json(200, self.server.campaign.stats())
             elif parts == ["jobs"]:
-                self._send_json(200, {
-                    "jobs": [
-                        meta.to_dict()
-                        for meta in self.server.campaign.store.list_jobs()
-                    ],
-                })
+                self._send_jobs(query)
             elif len(parts) == 2 and parts[0] == "jobs":
                 meta = self.server.campaign.store.meta(parts[1])
                 self._send_json(200, meta.to_dict())
@@ -113,6 +123,8 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(404, {"error": f"no such path: {parsed.path}"})
         except UnknownJobError as error:
             self._send_json(404, {"error": str(error)})
+        except TornMetaError as error:
+            self._send_json(503, {"error": str(error)})
         except ValueError as error:
             self._send_json(400, {"error": str(error)})
 
@@ -127,24 +139,59 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
                     and parts[2] == "cancel":
                 meta = self.server.campaign.cancel(parts[1])
                 self._send_json(200, meta.to_dict())
+            elif parts == ["admin", "drain"]:
+                self._send_json(200, self.server.campaign.drain())
             else:
                 self._send_json(404, {"error": f"no such path: {parsed.path}"})
         except UnknownJobError as error:
             self._send_json(404, {"error": str(error)})
+        except QueueFullError as error:
+            self._send_json(
+                429, {"error": str(error), "retry_after_s": error.retry_after_s},
+                headers={"Retry-After": str(int(error.retry_after_s) or 1)},
+            )
+        except ServerDrainingError as error:
+            self._send_json(503, {"error": str(error)})
         except JobSpecError as error:
             self._send_json(400, {"error": str(error)})
         except JobStateError as error:
             self._send_json(409, {"error": str(error)})
+        except TornMetaError as error:
+            self._send_json(503, {"error": str(error)})
         except ValueError as error:
             self._send_json(400, {"error": str(error)})
 
     # -- endpoint bodies -----------------------------------------------------
 
+    def _send_jobs(self, query: dict) -> None:
+        metas = self.server.campaign.store.list_jobs()
+        states = query.get("state")
+        if states:
+            wanted = states[-1]
+            if wanted not in STATES:
+                raise ValueError(
+                    f"unknown state {wanted!r}; choose from: "
+                    f"{', '.join(STATES)}"
+                )
+            metas = [meta for meta in metas if meta.status == wanted]
+        self._send_json(200, {"jobs": [meta.to_dict() for meta in metas]})
+
     def _send_events(self, job_id: str, query: dict) -> None:
         since = _int_param(query, "since", 0)
-        timeout = min(
-            _float_param(query, "timeout", 0.0), MAX_POLL_TIMEOUT_S
-        )
+        if since < 0:
+            raise ValueError(
+                f"query parameter 'since' must be >= 0, got {since}"
+            )
+        timeout = _float_param(query, "timeout", 0.0)
+        if not math.isfinite(timeout) or timeout < 0:
+            # min() would happily return nan, and a negative wait is a
+            # confused client — both are 400s with the same tone as
+            # the spec validator, not silent passes into the poll.
+            raise ValueError(
+                f"query parameter 'timeout' must be a finite number "
+                f">= 0, got {timeout!r}"
+            )
+        timeout = min(timeout, MAX_POLL_TIMEOUT_S)
         lines, next_since, status = (
             self.server.campaign.store.wait_for_events(job_id, since, timeout)
         )
@@ -192,11 +239,19 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as error:
             raise JobSpecError(f"request body is not valid JSON: {error}")
 
-    def _send_json(self, code: int, document: dict) -> None:
+    def _send_json(
+        self,
+        code: int,
+        document: dict,
+        *,
+        headers: "dict | None" = None,
+    ) -> None:
         body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 

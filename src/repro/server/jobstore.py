@@ -10,6 +10,7 @@ submitted over HTTP, owned end-to-end by a lifecycle directory
         meta.json       where the job is in its lifecycle (atomic writes)
         events.jsonl    the campaign's event stream, envelope-wrapped
         report.json     the result, written once on success
+        runcache.sqlite the job's checkpoint store (probe results)
 
 mirroring the per-app lifecycle-dir shape of the streamlit-manager
 exemplar the ROADMAP cites (single service, one directory per managed
@@ -17,10 +18,12 @@ thing, ``meta.json`` + logs inside it). Everything is plain files, so
 a human (or a crashed server's successor) can always reconstruct the
 service's state with ``ls`` and ``cat``.
 
-The state machine is deliberately tiny::
+The state machine::
 
     queued ──> running ──> done
        │          ├──────> failed
+       │          ├──────> quarantined   (attempt budget exhausted)
+       │          ├──────> queued        (lease reclaim / crash resume)
        └──────────┴──────> cancelled
 
 :meth:`JobStore.transition` enforces exactly those edges under one
@@ -29,12 +32,34 @@ lock, which is what makes the submit/cancel race benign: a concurrent
 resolve to whichever transition commits first, and the loser gets a
 :class:`JobStateError` instead of a corrupted meta file.
 
+**Leases.** A ``running`` job is not merely a status — it is a claim:
+``meta.json`` records the owning worker (``lease_owner``), the
+deadline by which that worker must prove liveness (``lease_deadline``)
+and its last proof (``heartbeat_at``, refreshed at analyzer wave
+boundaries through ``AnalyzerConfig.progress_hook``). Transitions out
+of ``running`` verify the caller still holds the lease, so a worker
+whose job was reclaimed by the reaper cannot overwrite the successor's
+state — the stale claim dies with a :class:`JobStateError`, not a
+corrupted lifecycle.
+
+**Attempts.** ``attempt`` counts executions of the job (1-based);
+every reclaim or crash recovery bumps it and appends a record to
+``history`` (who held the lease, why it was lost, when), the full
+audit trail ``GET /jobs/<id>`` exposes. A job whose attempts are
+exhausted lands ``quarantined`` — terminal, never blocking the queue,
+history intact for triage.
+
 Crash recovery (:meth:`JobStore.recover`) runs at server start: jobs
-found ``running`` were orphaned by a dead server and are marked
-``failed`` with reason ``server-restart`` (their partial event logs
-survive for the post-mortem); jobs found ``queued`` are returned for
-re-enqueueing in submission order, so a restart never silently drops
-accepted work.
+found ``running`` were orphaned by a dead server and are **resumed**
+— re-enqueued as ``queued`` with ``attempt+1`` (their per-job
+checkpoint store answers every probe the previous attempt completed)
+— unless their attempt budget is spent, in which case they are
+quarantined. Jobs found ``queued`` are returned for re-enqueueing in
+submission order, so a restart never silently drops accepted work.
+Torn metadata (a server killed mid-write of a brand-new job, or a
+filesystem that tore what :func:`os.replace` promised atomic) is
+rebuilt from ``spec.json`` as a fresh ``queued`` job rather than
+wedging the store.
 """
 
 from __future__ import annotations
@@ -56,18 +81,23 @@ RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
 CANCELLED = "cancelled"
+QUARANTINED = "quarantined"
 
-STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
-TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED, QUARANTINED)
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED, QUARANTINED})
 
 #: The legal edges of the lifecycle state machine — everything else is
 #: a bug (or a race that lost, which callers handle explicitly).
+#: ``running → queued`` is the durability edge: a lease reclaim or a
+#: crash recovery hands the job back to the queue for another attempt.
 LEGAL_TRANSITIONS = frozenset({
     (QUEUED, RUNNING),
     (QUEUED, CANCELLED),
     (RUNNING, DONE),
     (RUNNING, FAILED),
     (RUNNING, CANCELLED),
+    (RUNNING, QUEUED),
+    (RUNNING, QUARANTINED),
 })
 
 
@@ -87,16 +117,34 @@ class UnknownJobError(JobError):
         self.job_id = job_id
 
 
+class TornMetaError(JobError):
+    """A job's ``meta.json`` exists but does not parse — the footprint
+    of a write torn by a crash. :meth:`JobStore.recover` rebuilds such
+    jobs from their immutable ``spec.json``; until it runs, readers
+    see this error instead of a stack trace from ``json``."""
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(
+            f"job {job_id}: meta.json is torn or unreadable "
+            f"(recoverable: restart the server, or call recover())"
+        )
+        self.job_id = job_id
+
+
 class JobStateError(JobError):
     """An illegal lifecycle transition was requested."""
 
-    def __init__(self, job_id: str, current: str, wanted: str) -> None:
-        super().__init__(
-            f"job {job_id}: illegal transition {current!r} -> {wanted!r}"
-        )
+    def __init__(
+        self, job_id: str, current: str, wanted: str, *, detail: str = ""
+    ) -> None:
+        message = f"job {job_id}: illegal transition {current!r} -> {wanted!r}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
         self.job_id = job_id
         self.current = current
         self.wanted = wanted
+        self.detail = detail
 
 
 @dataclasses.dataclass(frozen=True)
@@ -203,10 +251,18 @@ class JobMeta:
     """One job's lifecycle facts — the contents of ``meta.json``.
 
     ``reason`` explains terminal states that need explaining
-    (``failed``: the error; ``cancelled``: who asked; recovery marks
-    orphans with ``server-restart``). ``engine_stats`` preserves the
-    probe-engine accounting of finished *and* cancelled jobs — a
-    cancelled campaign still reports what it paid for.
+    (``failed``: the error; ``cancelled``: who asked; ``quarantined``:
+    which budget ran out). ``engine_stats`` preserves the probe-engine
+    accounting of finished *and* cancelled jobs — a cancelled campaign
+    still reports what it paid for.
+
+    The durability fields: ``attempt`` is 1-based and bumps on every
+    reclaim/resume; ``lease_owner``/``lease_deadline``/``heartbeat_at``
+    describe the live claim while ``running`` (cleared on requeue,
+    deadline cleared but owner kept on terminal states — forensics);
+    ``history`` is the append-only audit trail of lost attempts, one
+    record per reclaim/recovery/rebuild, each carrying at least
+    ``attempt``, ``outcome`` and ``at``.
     """
 
     id: str
@@ -219,16 +275,25 @@ class JobMeta:
     finished_at: "float | None" = None
     reason: str = ""
     engine_stats: "dict | None" = None
+    attempt: int = 1
+    lease_owner: str = ""
+    lease_deadline: "float | None" = None
+    heartbeat_at: "float | None" = None
+    history: tuple = ()
 
     def to_dict(self) -> dict:
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        data["history"] = list(self.history)
+        return data
 
     @staticmethod
     def from_dict(data: dict) -> "JobMeta":
         known = {field.name for field in dataclasses.fields(JobMeta)}
-        return JobMeta(**{
+        fields = {
             key: value for key, value in data.items() if key in known
-        })
+        }
+        fields["history"] = tuple(fields.get("history") or ())
+        return JobMeta(**fields)
 
 
 def encode_report(outcome: object) -> str:
@@ -249,13 +314,13 @@ def encode_report(outcome: object) -> str:
 class JobStore:
     """Filesystem-backed job storage with a lock-guarded state machine.
 
-    All mutation goes through :meth:`new_job`, :meth:`transition`, and
-    :meth:`append_event`; reads (:meth:`meta`, :meth:`spec`,
-    :meth:`read_events`) go straight to disk, so any process — the
-    server, a test, an operator's shell — sees the same truth.
-    ``meta.json`` writes are atomic (temp file + ``os.replace``): a
-    server killed mid-transition leaves the previous consistent state,
-    never a torn file.
+    All mutation goes through :meth:`new_job`, :meth:`transition`,
+    :meth:`heartbeat`, and :meth:`append_event`; reads (:meth:`meta`,
+    :meth:`spec`, :meth:`read_events`) go straight to disk, so any
+    process — the server, a test, an operator's shell — sees the same
+    truth. ``meta.json`` writes are atomic (temp file +
+    ``os.replace``): a server killed mid-transition leaves the
+    previous consistent state, never a torn file.
     """
 
     def __init__(self, data_dir: "str | Path") -> None:
@@ -290,6 +355,13 @@ class JobStore:
     def report_path(self, job_id: str) -> Path:
         return self.job_dir(job_id) / "report.json"
 
+    def checkpoint_path(self, job_id: str) -> Path:
+        """The job's private run-cache store — the checkpoint a
+        resumed attempt warms from. SQLite (crash-safe WAL) because a
+        checkpoint that tears under the very crash it exists for
+        would be decoration."""
+        return self.job_dir(job_id) / "runcache.sqlite"
+
     # -- creation and reads --------------------------------------------------
 
     def new_job(self, spec: JobSpec) -> JobMeta:
@@ -321,6 +393,8 @@ class JobStore:
             data = json.loads(self.meta_path(job_id).read_text())
         except FileNotFoundError:
             raise UnknownJobError(job_id)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            raise TornMetaError(job_id)
         return JobMeta.from_dict(data)
 
     def spec(self, job_id: str) -> JobSpec:
@@ -331,12 +405,22 @@ class JobStore:
         return JobSpec.from_dict(data)
 
     def list_jobs(self) -> list[JobMeta]:
-        """Every job's meta, in submission (id) order."""
-        return [
-            self.meta(path.name)
-            for path in sorted(self.jobs_dir.iterdir())
-            if (path / "meta.json").is_file()
-        ]
+        """Every readable job's meta, in submission (id) order.
+
+        Jobs with torn metadata are skipped rather than turning every
+        listing into a stack trace — :meth:`recover` rebuilds them at
+        the next server start, and :meth:`meta` still reports them
+        individually as :class:`TornMetaError`.
+        """
+        metas = []
+        for path in sorted(self.jobs_dir.iterdir()):
+            if not (path / "meta.json").is_file():
+                continue
+            try:
+                metas.append(self.meta(path.name))
+            except (TornMetaError, UnknownJobError):
+                continue
+        return metas
 
     def counts(self) -> dict[str, int]:
         """Job totals by status (every state present, zeros included)."""
@@ -357,6 +441,10 @@ class JobStore:
         *,
         reason: str = "",
         engine_stats: "dict | None" = None,
+        owner: "str | None" = None,
+        lease_s: "float | None" = None,
+        bump_attempt: bool = False,
+        history_event: "dict | None" = None,
     ) -> JobMeta:
         """Atomically move one job along a legal lifecycle edge.
 
@@ -364,6 +452,16 @@ class JobStore:
         how lifecycle races resolve: of a concurrent ``queued →
         running`` and ``queued → cancelled``, exactly one commits and
         the other gets the error to react to.
+
+        *owner* is the lease protocol: a transition **into**
+        ``running`` records the caller as the lease holder (with a
+        deadline ``lease_s`` seconds out); a transition **out of**
+        ``running`` that names an *owner* commits only if that owner
+        still holds the lease — a worker whose job was reclaimed
+        meanwhile gets a :class:`JobStateError` instead of clobbering
+        the successor attempt's state. *bump_attempt* increments the
+        attempt counter (reclaim/recovery requeues); *history_event*
+        appends one audit record to the job's history.
         """
         if status not in STATES:
             raise ValueError(f"unknown job status {status!r}")
@@ -371,19 +469,88 @@ class JobStore:
             meta = self.meta(job_id)
             if (meta.status, status) not in LEGAL_TRANSITIONS:
                 raise JobStateError(job_id, meta.status, status)
+            if owner is not None and status != RUNNING:
+                # An owner-carrying transition is a worker reporting
+                # its job's outcome; it commits only against the
+                # attempt that worker actually owns. This closes both
+                # stale-claim holes: the job re-leased to a successor
+                # (owner mismatch) and the job already reclaimed back
+                # to ``queued`` (no longer running at all — without
+                # this, a stale worker could ride the legal
+                # ``queued → cancelled`` edge over the rerun).
+                if meta.status != RUNNING:
+                    raise JobStateError(
+                        job_id, meta.status, status,
+                        detail=f"{owner!r} no longer holds this job",
+                    )
+                if meta.lease_owner and owner != meta.lease_owner:
+                    raise JobStateError(
+                        job_id, meta.status, status,
+                        detail=f"lease held by {meta.lease_owner!r}, "
+                               f"not {owner!r}",
+                    )
+            now = time.time()
             updates: dict = {"status": status}
             if reason:
                 updates["reason"] = reason
             if engine_stats is not None:
                 updates["engine_stats"] = engine_stats
+            if bump_attempt:
+                updates["attempt"] = meta.attempt + 1
+            if history_event is not None:
+                updates["history"] = meta.history + (
+                    {"at": now, **history_event},
+                )
             if status == RUNNING:
-                updates["started_at"] = time.time()
+                updates["started_at"] = now
+                updates["lease_owner"] = owner or ""
+                updates["lease_deadline"] = (
+                    now + lease_s if lease_s else None
+                )
+                updates["heartbeat_at"] = now
+            if status == QUEUED:
+                # Requeue: the claim is void; the next worker starts a
+                # fresh lease. started_at is cleared so queue-age
+                # metrics and "when did this attempt start" never read
+                # a dead attempt's clock.
+                updates["started_at"] = None
+                updates["lease_owner"] = ""
+                updates["lease_deadline"] = None
+                updates["heartbeat_at"] = None
             if status in TERMINAL_STATES:
-                updates["finished_at"] = time.time()
+                updates["finished_at"] = now
+                # Keep lease_owner for the post-mortem ("which worker
+                # landed this?"), but no live claim remains.
+                updates["lease_deadline"] = None
             meta = dataclasses.replace(meta, **updates)
             self._write_meta(meta)
         self._notify(job_id)
         return meta
+
+    def heartbeat(
+        self, job_id: str, owner: str, lease_s: float
+    ) -> bool:
+        """Refresh *owner*'s lease on a running job.
+
+        Returns ``True`` when the lease was extended (``heartbeat_at``
+        stamped, deadline pushed ``lease_s`` out), ``False`` when the
+        claim no longer exists — job not running, or leased to someone
+        else (the reaper reclaimed it). A ``False`` answer is the
+        worker's cue to abandon the attempt: its results would be
+        discarded by the stale-owner check anyway.
+        """
+        with self._lock:
+            try:
+                meta = self.meta(job_id)
+            except (UnknownJobError, TornMetaError):
+                return False
+            if meta.status != RUNNING or meta.lease_owner != owner:
+                return False
+            now = time.time()
+            self._write_meta(dataclasses.replace(
+                meta, heartbeat_at=now, lease_deadline=now + lease_s
+            ))
+        return True
 
     def _write_meta(self, meta: JobMeta) -> None:
         path = self.meta_path(meta.id)
@@ -409,6 +576,24 @@ class JobStore:
                 handle.write(line)
                 handle.flush()
         self._notify(job_id)
+
+    def append_marker(self, job_id: str, kind: str, **fields: object) -> None:
+        """Append one server-side lifecycle marker to the event stream.
+
+        Markers share the envelope's wire shape (``schema_version``
+        first, then ``event``) but are authored by the *server*, not
+        the analyzer: ``job_failed``, ``job_requeued``,
+        ``job_quarantined``, ``job_interrupted``. They exist so the
+        stream always carries a terminal (or handoff) record even when
+        the analyzer never got to emit one — a worker killed mid-wave,
+        a crashed campaign, a reclaimed lease — and a tailing client
+        is never left staring at a stream that just stops.
+        """
+        from repro.api.events import SCHEMA_VERSION
+
+        document = {"schema_version": SCHEMA_VERSION, "event": kind}
+        document.update(fields)
+        self.append_event(job_id, json.dumps(document))
 
     def read_events(
         self, job_id: str, since: int = 0
@@ -469,23 +654,106 @@ class JobStore:
 
     # -- crash recovery ------------------------------------------------------
 
-    def recover(self) -> tuple[list[JobMeta], list[JobMeta]]:
+    def recover(
+        self, *, max_attempts: "int | None" = None
+    ) -> tuple[list[JobMeta], list[JobMeta], list[JobMeta]]:
         """Reconcile on-disk state with reality at server start.
 
         Jobs found ``running`` belonged to a server that is no longer
-        running them — mark them ``failed`` with reason
-        ``server-restart`` (their event logs stay as the post-mortem).
-        Jobs found ``queued`` are still owed work; they come back in
-        submission order for re-enqueueing. Returns
-        ``(orphaned, requeue)``.
+        running them. With attempts to spare they are **resumed**:
+        requeued with ``attempt+1`` and a ``server-restart`` history
+        record — their checkpoint store answers every probe the dead
+        attempt completed, so the resumed run re-executes only what
+        never finished. Jobs already at *max_attempts* are quarantined
+        instead (a job that takes the server down with it every time
+        must stop being offered a worker). Jobs found ``queued`` are
+        still owed work and come back in submission order. Torn or
+        missing metadata is rebuilt from ``spec.json`` as ``queued``
+        (history records the rebuild); leftover atomic-write temp
+        files are cleared. Returns ``(resumed, quarantined, requeue)``
+        — everything in *resumed* + *requeue* wants a queue slot.
         """
-        orphaned: list[JobMeta] = []
+        resumed: list[JobMeta] = []
+        quarantined: list[JobMeta] = []
         requeue: list[JobMeta] = []
-        for meta in self.list_jobs():
+        for path in sorted(self.jobs_dir.iterdir()):
+            if not path.is_dir():
+                continue
+            job_id = path.name
+            temp = self.meta_path(job_id).with_suffix(".json.tmp")
+            try:
+                temp.unlink()
+            except FileNotFoundError:
+                pass
+            try:
+                meta = self.meta(job_id)
+            except UnknownJobError:
+                if not self.spec_path(job_id).is_file():
+                    continue  # not a job directory at all
+                meta = self._rebuild_meta(job_id, "missing-meta")
+            except TornMetaError:
+                meta = self._rebuild_meta(job_id, "torn-meta")
+            if meta is None:
+                continue
             if meta.status == RUNNING:
-                orphaned.append(self.transition(
-                    meta.id, FAILED, reason="server-restart"
-                ))
+                entry = {
+                    "attempt": meta.attempt,
+                    "outcome": "server-restart",
+                    "owner": meta.lease_owner,
+                }
+                if max_attempts is not None and meta.attempt >= max_attempts:
+                    quarantined.append(self.transition(
+                        job_id, QUARANTINED,
+                        reason=(
+                            f"server restarted during attempt "
+                            f"{meta.attempt}/{max_attempts}; "
+                            f"attempt budget exhausted"
+                        ),
+                        history_event=entry,
+                    ))
+                    self.append_marker(
+                        job_id, "job_quarantined",
+                        attempt=meta.attempt, reason="server-restart",
+                    )
+                else:
+                    resumed.append(self.transition(
+                        job_id, QUEUED,
+                        bump_attempt=True, history_event=entry,
+                    ))
+                    self.append_marker(
+                        job_id, "job_requeued",
+                        attempt=meta.attempt + 1, reason="server-restart",
+                    )
             elif meta.status == QUEUED:
                 requeue.append(meta)
-        return orphaned, requeue
+        return resumed, quarantined, requeue
+
+    def _rebuild_meta(self, job_id: str, why: str) -> "JobMeta | None":
+        """Reconstruct a consistent ``queued`` meta from the immutable
+        spec — the last consistent state a torn write can roll back
+        to. A job whose *spec* is also unreadable is beyond rebuilding
+        and is skipped (its directory stays for manual triage)."""
+        try:
+            spec = self.spec(job_id)
+        except (UnknownJobError, JobSpecError, json.JSONDecodeError):
+            return None
+        try:
+            created_at = os.path.getmtime(self.spec_path(job_id))
+        except OSError:
+            created_at = time.time()
+        meta = JobMeta(
+            id=job_id,
+            status=QUEUED,
+            app=spec.app,
+            workload=spec.workload,
+            backend=spec.backend,
+            created_at=created_at,
+            history=({
+                "at": time.time(),
+                "attempt": 1,
+                "outcome": f"rebuilt-after-{why}",
+            },),
+        )
+        with self._lock:
+            self._write_meta(meta)
+        return meta

@@ -1,4 +1,4 @@
-"""The campaign server's work queue and bounded worker pool.
+"""The campaign server's work queue, worker pool, and reaper.
 
 Submitted jobs drain through a plain FIFO: :class:`JobRunner` owns a
 :class:`queue.Queue` of job ids and a fixed pool of worker threads,
@@ -22,6 +22,38 @@ worker hands ``event.is_set`` to :meth:`LoupeSession.analyze` as its
 store's state machine arbitrates the race with a worker picking it
 up); a running job stops at the analyzer's next wave boundary and
 lands ``cancelled`` with its engine accounting intact.
+
+The durability layer (this module's half of it — the persistent half
+lives in :mod:`repro.server.jobstore`):
+
+* **Leases + heartbeats.** A worker takes each job under a lease
+  (``lease_s`` seconds) and proves liveness through the analyzer's
+  ``progress_hook``, which fires at every wave boundary — the same
+  cadence as cooperative cancellation, so a campaign that can be
+  cancelled can also be seen to be alive. :class:`_Heartbeat`
+  throttles the disk writes and flips its ``lost`` flag the moment the
+  store refuses a beat (the reaper took the job), which the worker's
+  ``cancel_check`` observes: a reclaimed worker stops at its next
+  wave instead of burning probes on a job it no longer owns.
+
+* **The reaper.** A daemon thread sweeps for running jobs whose lease
+  deadline has passed — a worker wedged in a backend, a heartbeat
+  that stopped — and reclaims them: re-enqueued with ``attempt+1``
+  (their checkpoint store makes the retry cheap) or, once
+  ``max_attempts`` is spent, quarantined with the full attempt
+  history. Either way a marker event lands in the stream, so a
+  tailing client sees the handoff.
+
+* **Checkpoints.** Jobs whose spec names no run cache of their own
+  get a private one at ``jobs/<id>/runcache.sqlite``; every completed
+  probe is durable the moment it finishes, which is what makes
+  resume-after-crash re-execute only the work that never completed.
+
+* **Admission + drain.** ``max_queue`` bounds accepted-but-unstarted
+  work (:class:`QueueFullError` → HTTP 429); :meth:`JobRunner.drain`
+  stops intake (:class:`ServerDrainingError` → 503) and lets workers
+  finish in-flight campaigns while leaving still-queued jobs on disk
+  as ``queued`` — the next server start re-enqueues them untouched.
 """
 
 from __future__ import annotations
@@ -31,6 +63,7 @@ import json
 import os
 import queue
 import threading
+import time
 
 from repro.api.events import envelope
 from repro.api.session import LoupeSession
@@ -39,8 +72,10 @@ from repro.server.jobstore import (
     CANCELLED,
     DONE,
     FAILED,
+    QUARANTINED,
     QUEUED,
     RUNNING,
+    JobError,
     JobMeta,
     JobSpec,
     JobStateError,
@@ -51,6 +86,70 @@ from repro.server.jobstore import (
 #: Queue sentinel telling one worker thread to exit.
 _STOP = object()
 
+#: Default lease duration. Generous next to the sub-second waves of
+#: the simulated backends, and refreshed every wave — an expiry means
+#: a worker made *no* progress for this long, not a slow campaign.
+DEFAULT_LEASE_S = 30.0
+
+#: Default attempt budget before a job is quarantined as poisonous.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+class QueueFullError(JobError):
+    """Admission control refused a submission: the queue is at its
+    configured depth. Carries the advisory ``retry_after_s`` the HTTP
+    layer surfaces as a ``Retry-After`` header."""
+
+    def __init__(self, depth: int, max_queue: int, retry_after_s: float) -> None:
+        super().__init__(
+            f"queue full ({depth}/{max_queue} jobs waiting); "
+            f"retry in {retry_after_s:.0f}s"
+        )
+        self.depth = depth
+        self.max_queue = max_queue
+        self.retry_after_s = retry_after_s
+
+
+class ServerDrainingError(JobError):
+    """The server is draining: in-flight work finishes, intake is
+    closed. Submissions should go elsewhere (or wait for a restart)."""
+
+    def __init__(self) -> None:
+        super().__init__("server is draining; not accepting new jobs")
+
+
+class _Heartbeat:
+    """One running job's liveness prover — the ``progress_hook``.
+
+    Called at every analyzer wave boundary; throttles actual store
+    writes to ``interval`` so a fast campaign doesn't turn its
+    heartbeat into an fsync storm. The moment the store refuses a
+    beat — the job is no longer running, or no longer ours — ``lost``
+    latches true and stays true: the worker's ``cancel_check`` reads
+    it and winds the orphaned attempt down at the next wave.
+    """
+
+    def __init__(
+        self, store: JobStore, job_id: str, owner: str, lease_s: float
+    ) -> None:
+        self.store = store
+        self.job_id = job_id
+        self.owner = owner
+        self.lease_s = lease_s
+        self.interval = max(min(1.0, lease_s / 8.0), 0.01)
+        self.lost = False
+        self._last_beat = 0.0
+
+    def __call__(self) -> None:
+        if self.lost:
+            return
+        now = time.monotonic()
+        if now - self._last_beat < self.interval:
+            return
+        self._last_beat = now
+        if not self.store.heartbeat(self.job_id, self.owner, self.lease_s):
+            self.lost = True
+
 
 class JobRunner:
     """A bounded worker pool draining the job queue through sessions.
@@ -60,32 +159,77 @@ class JobRunner:
     job gets a **fresh** :class:`LoupeSession` — jobs must not share
     loupedb memoization, or two submissions of the same spec would
     return one record and the second job's event log would be empty.
+
+    Durability knobs: ``max_queue`` bounds accepted-but-unstarted jobs
+    (``None`` = unbounded, the embedded-test default); ``lease_s`` and
+    ``max_attempts`` parameterize the lease protocol described in the
+    module docstring; ``checkpoint_jobs=False`` turns off the per-job
+    run-cache store (jobs then re-execute from scratch on resume —
+    still correct, just not cheap). ``reaper_interval_s`` mainly
+    exists for tests; the default sweeps a few times per lease.
     """
 
-    def __init__(self, store: JobStore, *, workers: int = 2) -> None:
+    def __init__(
+        self,
+        store: JobStore,
+        *,
+        workers: int = 2,
+        max_queue: "int | None" = None,
+        lease_s: float = DEFAULT_LEASE_S,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        checkpoint_jobs: bool = True,
+        reaper_interval_s: "float | None" = None,
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be >= 1 (or None for unbounded)")
+        if lease_s <= 0:
+            raise ValueError("lease_s must be > 0")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
         self.store = store
         self.workers = workers
+        self.max_queue = max_queue
+        self.lease_s = lease_s
+        self.max_attempts = max_attempts
+        self.checkpoint_jobs = checkpoint_jobs
+        self.reaper_interval_s = (
+            reaper_interval_s
+            if reaper_interval_s is not None
+            else max(min(lease_s / 4.0, 5.0), 0.05)
+        )
         self._queue: "queue.Queue[object]" = queue.Queue()
         self._cancels: dict[str, threading.Event] = {}
         self._lock = threading.Lock()
         self._busy = 0
         self._threads: list[threading.Thread] = []
+        self._reaper: "threading.Thread | None" = None
+        self._stop_reaper = threading.Event()
         self._started = False
+        self._draining = False
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
-        """Recover the store, re-enqueue surviving queued jobs, and
-        spin up the worker threads. Idempotent."""
+        """Recover the store, re-enqueue surviving work, and spin up
+        the workers and the reaper. Idempotent.
+
+        Recovery is the resume path: orphaned ``running`` jobs come
+        back ``queued`` with ``attempt+1`` (or quarantined, budget
+        permitting) and go straight back on the queue alongside the
+        jobs that never started.
+        """
         with self._lock:
             if self._started:
                 return
             self._started = True
-        _orphaned, requeue = self.store.recover()
-        for meta in requeue:
-            self.submit_existing(meta.id)
+        self._stop_reaper.clear()
+        resumed, _quarantined, requeue = self.store.recover(
+            max_attempts=self.max_attempts
+        )
+        for meta in resumed + requeue:
+            self._enqueue(meta.id)
         for index in range(self.workers):
             thread = threading.Thread(
                 target=self._worker_loop,
@@ -94,6 +238,10 @@ class JobRunner:
             )
             thread.start()
             self._threads.append(thread)
+        self._reaper = threading.Thread(
+            target=self._reaper_loop, name="loupe-reaper", daemon=True
+        )
+        self._reaper.start()
 
     def stop(
         self,
@@ -108,32 +256,76 @@ class JobRunner:
         boundary instead of running to completion (they land
         ``cancelled``, which is the honest record of a shutdown that
         did not wait). Worker threads are daemons — a join timing out
-        never wedges process exit.
+        never wedges process exit. Any job still ``running`` after the
+        join window gets a ``job_interrupted`` marker flushed to its
+        event stream, so a tailing client sees a terminal record
+        instead of a stream that just stops.
         """
         if cancel_running:
             with self._lock:
                 events = list(self._cancels.values())
             for event in events:
                 event.set()
+        self._stop_reaper.set()
         for _ in self._threads:
             self._queue.put(_STOP)
         for thread in self._threads:
             thread.join(timeout=timeout)
+        if self._reaper is not None:
+            self._reaper.join(timeout=timeout)
+            self._reaper = None
         self._threads.clear()
+        for meta in self.store.list_jobs():
+            if meta.status == RUNNING:
+                self.store.append_marker(
+                    meta.id, "job_interrupted",
+                    attempt=meta.attempt, reason="server-shutdown",
+                )
         with self._lock:
             self._started = False
+
+    def drain(self) -> None:
+        """Flip the one-way drain switch: intake closes (submissions
+        raise :class:`ServerDrainingError`), in-flight campaigns run
+        to completion, and still-queued jobs are left ``queued`` on
+        disk for the next server start to pick up — their checkpoint
+        stores, if any, intact."""
+        with self._lock:
+            self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
 
     # -- submission and cancellation -----------------------------------------
 
     def submit(self, spec: JobSpec) -> JobMeta:
-        """Persist *spec* as a new queued job and enqueue it."""
+        """Admit *spec* as a new queued job and enqueue it.
+
+        Admission happens **before** anything touches disk: a refused
+        submission leaves no trace. Raises
+        :class:`ServerDrainingError` while draining and
+        :class:`QueueFullError` past ``max_queue`` waiting jobs.
+        """
+        with self._lock:
+            if self._draining:
+                raise ServerDrainingError()
+            depth = self._queue.qsize()
+            if self.max_queue is not None and depth >= self.max_queue:
+                # Advisory backoff: scale with how much work is ahead
+                # of the caller, bounded so clients never sleep absurd
+                # amounts on one header.
+                retry_after = min(max(2.0 * depth / self.workers, 1.0), 60.0)
+                raise QueueFullError(depth, self.max_queue, retry_after)
         meta = self.store.new_job(spec)
         self._enqueue(meta.id)
         return meta
 
     def submit_existing(self, job_id: str) -> None:
-        """Re-enqueue a job already persisted as ``queued`` (crash
-        recovery path)."""
+        """Re-enqueue a job already persisted as ``queued`` (recovery
+        and reclaim paths — exempt from admission control: this work
+        was already accepted once)."""
         self._enqueue(job_id)
 
     def _enqueue(self, job_id: str) -> None:
@@ -149,13 +341,13 @@ class JobRunner:
         them within one wave). Running jobs get the cooperative
         signal and keep status ``running`` until the analyzer reaches
         its next checkpoint. Cancelling an already-cancelled job is
-        idempotent; cancelling ``done``/``failed`` raises
-        :class:`JobStateError` (there is nothing left to stop).
+        idempotent; cancelling ``done``/``failed``/``quarantined``
+        raises :class:`JobStateError` (there is nothing left to stop).
         """
         meta = self.store.meta(job_id)
         if meta.status == CANCELLED:
             return meta
-        if meta.status in (DONE, FAILED):
+        if meta.status in (DONE, FAILED, QUARANTINED):
             raise JobStateError(job_id, meta.status, CANCELLED)
         with self._lock:
             event = self._cancels.get(job_id)
@@ -185,9 +377,87 @@ class JobRunner:
         with self._lock:
             return self._busy
 
+    # -- the reaper ----------------------------------------------------------
+
+    def _reaper_loop(self) -> None:
+        while not self._stop_reaper.wait(self.reaper_interval_s):
+            try:
+                self.reap()
+            except Exception:  # noqa: BLE001 — the reaper outlives
+                # any single bad job directory; a scan that trips on
+                # one must still run the next sweep.
+                pass
+
+    def reap(self) -> list[JobMeta]:
+        """One reaper sweep: reclaim every running job whose lease
+        deadline has passed. Public so tests (and operators in a
+        REPL) can force a deterministic sweep instead of waiting out
+        the interval. Returns the metas it transitioned."""
+        now = time.time()
+        reclaimed = []
+        for meta in self.store.list_jobs():
+            if meta.status != RUNNING:
+                continue
+            if meta.lease_deadline is None or meta.lease_deadline > now:
+                continue
+            result = self._reclaim(meta)
+            if result is not None:
+                reclaimed.append(result)
+        return reclaimed
+
+    def _reclaim(self, meta: JobMeta) -> "JobMeta | None":
+        """Take one expired-lease job away from its (presumed-dead)
+        worker: requeue with ``attempt+1``, or quarantine once the
+        attempt budget is spent. Either way the old attempt's cancel
+        event fires, so a worker that was merely *slow* rather than
+        dead stops at its next wave — and its stale terminal
+        transition is rejected by the store's owner check regardless.
+        """
+        with self._lock:
+            event = self._cancels.get(meta.id)
+        if event is not None:
+            event.set()
+        entry = {
+            "attempt": meta.attempt,
+            "outcome": "lease-expired",
+            "owner": meta.lease_owner,
+        }
+        try:
+            if meta.attempt >= self.max_attempts:
+                result = self.store.transition(
+                    meta.id, QUARANTINED,
+                    reason=(
+                        f"lease expired on attempt "
+                        f"{meta.attempt}/{self.max_attempts}; "
+                        f"attempt budget exhausted"
+                    ),
+                    history_event=entry,
+                )
+                self.store.append_marker(
+                    meta.id, "job_quarantined",
+                    attempt=meta.attempt, reason="lease-expired",
+                )
+            else:
+                result = self.store.transition(
+                    meta.id, QUEUED,
+                    bump_attempt=True, history_event=entry,
+                )
+                self.store.append_marker(
+                    meta.id, "job_requeued",
+                    attempt=meta.attempt + 1, reason="lease-expired",
+                )
+                self._enqueue(meta.id)
+        except JobStateError:
+            # The worker finished (or a cancel landed) between our
+            # scan and the reclaim — the job resolved itself; the
+            # expired deadline is moot.
+            return None
+        return result
+
     # -- the work loop -------------------------------------------------------
 
     def _worker_loop(self) -> None:
+        owner = f"{os.getpid()}-{threading.current_thread().name}"
         while True:
             item = self._queue.get()
             try:
@@ -195,25 +465,47 @@ class JobRunner:
                     return
                 job_id = str(item)
                 with self._lock:
+                    if self._draining:
+                        # Drain: leave the job ``queued`` on disk for
+                        # the next server start; just drop the
+                        # in-memory claim.
+                        if job_id in self._cancels:
+                            del self._cancels[job_id]
+                        continue
                     self._busy += 1
                     event = self._cancels.get(job_id)
+                event = event or threading.Event()
                 try:
-                    self._run_job(job_id, event or threading.Event())
+                    self._run_job(job_id, event, owner)
                 finally:
                     with self._lock:
                         self._busy -= 1
-                        self._cancels.pop(job_id, None)
+                        # Identity check: a reclaim re-enqueues the
+                        # same id with a *new* cancel event; a stale
+                        # worker finishing late must not pop the
+                        # successor attempt's event.
+                        if self._cancels.get(job_id) is event:
+                            del self._cancels[job_id]
             finally:
                 self._queue.task_done()
 
-    def _run_job(self, job_id: str, cancel_event: threading.Event) -> None:
+    def _run_job(
+        self, job_id: str, cancel_event: threading.Event, owner: str
+    ) -> None:
         try:
-            self.store.transition(job_id, RUNNING)
+            self.store.transition(
+                job_id, RUNNING, owner=owner, lease_s=self.lease_s
+            )
         except JobStateError:
             # Cancelled (or otherwise resolved) while queued — the
             # state machine already recorded the outcome; nothing to
             # run.
             return
+
+        heartbeat = _Heartbeat(self.store, job_id, owner, self.lease_s)
+
+        def cancelled() -> bool:
+            return cancel_event.is_set() or heartbeat.lost
 
         def record(event: object) -> None:
             self.store.append_event(job_id, json.dumps(envelope(event)))
@@ -221,32 +513,70 @@ class JobRunner:
         try:
             spec = self.store.spec(job_id)
             config = spec.analyzer_config()
+            if self.checkpoint_jobs and config.run_cache is None:
+                # The job's private checkpoint store: every completed
+                # probe is durable the moment it lands, so a resumed
+                # attempt warms from here and re-executes only what
+                # never finished. Injected by the runner, not written
+                # into spec.json — the spec stays exactly what the
+                # client asked for.
+                config = dataclasses.replace(
+                    config,
+                    run_cache=str(self.store.checkpoint_path(job_id)),
+                )
             with LoupeSession(config=config) as session:
                 outcome = session.analyze(
                     spec.request(),
                     on_event=record,
-                    cancel_check=cancel_event.is_set,
+                    cancel_check=cancelled,
+                    progress_hook=heartbeat,
                 )
                 stats = session.last_engine_stats
             self._write_report(job_id, outcome)
-            self.store.transition(
-                job_id, DONE, engine_stats=_stats_doc(stats)
+            self._transition_safely(
+                job_id, DONE, owner,
+                engine_stats=_stats_doc(stats),
             )
         except AnalysisCancelledError as error:
-            self.store.transition(
-                job_id,
-                CANCELLED,
+            if heartbeat.lost:
+                # Not a user cancel: the reaper took this job away
+                # (it is already queued again or quarantined, under a
+                # different claim). The orphaned attempt ends here,
+                # recording nothing.
+                return
+            self._transition_safely(
+                job_id, CANCELLED, owner,
                 reason="cancelled while running",
                 engine_stats=_stats_doc(error.stats),
             )
         except Exception as error:  # noqa: BLE001 — jobs must never
             # take a worker thread down with them; whatever the
             # campaign raised becomes the job's terminal record.
-            self.store.transition(
-                job_id,
-                FAILED,
+            landed = self._transition_safely(
+                job_id, FAILED, owner,
                 reason=f"{type(error).__name__}: {error}",
             )
+            if landed is not None:
+                # Terminal marker for tailing clients: the analyzer
+                # died mid-stream and never emitted one itself.
+                self.store.append_marker(
+                    job_id, "job_failed",
+                    reason=f"{type(error).__name__}: {error}",
+                )
+
+    def _transition_safely(
+        self, job_id: str, status: str, owner: str, **kwargs: object
+    ) -> "JobMeta | None":
+        """Commit a worker's outcome — unless the worker's claim died
+        meanwhile (lease reclaimed, job requeued), in which case the
+        store refuses and the stale outcome is dropped on the floor,
+        which is exactly where it belongs."""
+        try:
+            return self.store.transition(
+                job_id, status, owner=owner, **kwargs
+            )
+        except JobStateError:
+            return None
 
     def _write_report(self, job_id: str, outcome: object) -> None:
         path = self.store.report_path(job_id)

@@ -1,0 +1,690 @@
+"""Tests for the campaign server's durability substrate: leases and
+heartbeats, the reaper, checkpoint/resume, poison-job quarantine,
+torn-metadata recovery, admission control, drain mode, and the
+client's transient-retry behavior."""
+
+import dataclasses
+import json
+import math
+import shutil
+import threading
+import time
+
+import pytest
+
+from repro.api.registry import (
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
+from repro.api.session import LoupeSession
+from repro.errors import ServiceUnavailableError
+from repro.server import (
+    CANCELLED,
+    DONE,
+    QUARANTINED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    CampaignServer,
+    JobRunner,
+    JobSpec,
+    JobStateError,
+    JobStore,
+    QueueFullError,
+    ServerDrainingError,
+    ServiceClient,
+    ServiceError,
+    TornMetaError,
+)
+from repro.cli import main
+
+DEADLINE_S = 30.0
+
+QUICK_SPEC = {"app": "weborf", "workload": "health", "replicas": 1}
+SLOW_SPEC = {**QUICK_SPEC, "backend": "slowsim"}
+
+
+def _wait_until(predicate, *, timeout=DEADLINE_S, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise AssertionError("condition not reached within deadline")
+
+
+class _SlowBackend:
+    def __init__(self, inner, delay_s):
+        self.inner = inner
+        self.delay_s = delay_s
+        self.name = getattr(inner, "name", "slow")
+        self.deterministic = getattr(inner, "deterministic", False)
+
+    def capabilities(self):
+        from repro.core.runner import capabilities_of
+
+        return capabilities_of(self.inner)
+
+    def run(self, workload, policy, *, replica=0):
+        time.sleep(self.delay_s)
+        return self.inner.run(workload, policy, replica=replica)
+
+
+@pytest.fixture
+def slow_backend_name():
+    def factory(request):
+        target = resolve_backend("appsim")(request)
+        return dataclasses.replace(
+            target, backend=_SlowBackend(target.backend, 0.05)
+        )
+
+    register_backend("slowsim", factory, replace=True)
+    yield "slowsim"
+    unregister_backend("slowsim")
+
+
+def _events(store, job_id):
+    lines, _ = store.read_events(job_id)
+    return [json.loads(line) for line in lines]
+
+
+class TestLeases:
+    def test_running_job_holds_a_lease(self, tmp_path, slow_backend_name):
+        with CampaignServer(tmp_path / "svc", workers=1) as server:
+            client = ServiceClient(server.url)
+            meta = client.submit(SLOW_SPEC)
+            running = _wait_until(lambda: (
+                client.job(meta["id"])["status"] == RUNNING
+                and client.job(meta["id"])
+            ))
+            assert running["lease_owner"]
+            assert running["lease_deadline"] > time.time()
+            assert running["heartbeat_at"] is not None
+            assert running["attempt"] == 1
+            client.cancel(meta["id"])
+
+    def test_heartbeats_refresh_at_wave_boundaries(
+        self, tmp_path, slow_backend_name
+    ):
+        # A short lease forces the heartbeat throttle low, so wave
+        # boundaries of the slowed backend visibly push the deadline.
+        with CampaignServer(
+            tmp_path / "svc", workers=1, lease_s=0.5,
+            reaper_interval_s=3600.0,
+        ) as server:
+            client = ServiceClient(server.url)
+            meta = client.submit(SLOW_SPEC)
+            first = _wait_until(lambda: (
+                client.job(meta["id"])["status"] == RUNNING
+                and client.job(meta["id"])
+            ))
+            second = _wait_until(lambda: (
+                client.job(meta["id"])["heartbeat_at"]
+                > first["heartbeat_at"]
+                and client.job(meta["id"])
+            ))
+            assert second["lease_deadline"] > first["lease_deadline"]
+            client.cancel(meta["id"])
+
+    def test_heartbeat_refused_for_stale_owner(self, tmp_path):
+        store = JobStore(tmp_path)
+        meta = store.new_job(JobSpec(**QUICK_SPEC))
+        store.transition(meta.id, RUNNING, owner="w1", lease_s=30.0)
+        assert store.heartbeat(meta.id, "w1", 30.0) is True
+        assert store.heartbeat(meta.id, "other", 30.0) is False
+        store.transition(meta.id, QUEUED, bump_attempt=True)
+        assert store.heartbeat(meta.id, "w1", 30.0) is False
+
+    def test_stale_owner_cannot_commit_an_outcome(self, tmp_path):
+        store = JobStore(tmp_path)
+        meta = store.new_job(JobSpec(**QUICK_SPEC))
+        store.transition(meta.id, RUNNING, owner="w1", lease_s=30.0)
+        # The reaper hands the job to a new attempt...
+        store.transition(meta.id, QUEUED, bump_attempt=True)
+        # ...so the old worker's terminal report must be refused, even
+        # though queued → cancelled is a legal edge in general.
+        with pytest.raises(JobStateError):
+            store.transition(meta.id, DONE, owner="w1")
+        with pytest.raises(JobStateError):
+            store.transition(meta.id, CANCELLED, owner="w1")
+        assert store.meta(meta.id).status == QUEUED
+        assert store.meta(meta.id).attempt == 2
+
+
+class TestReaper:
+    def _expired_running_job(self, store, attempt=1):
+        meta = store.new_job(JobSpec(**QUICK_SPEC))
+        for lost in range(1, attempt):
+            store.transition(meta.id, RUNNING, owner="dead", lease_s=0.001)
+            store.transition(
+                meta.id, QUEUED, bump_attempt=True,
+                history_event={
+                    "attempt": lost, "outcome": "lease-expired",
+                    "owner": "dead",
+                },
+            )
+        store.transition(meta.id, RUNNING, owner="dead", lease_s=0.001)
+        time.sleep(0.01)
+        return meta.id
+
+    def test_expired_lease_is_reclaimed(self, tmp_path):
+        store = JobStore(tmp_path)
+        runner = JobRunner(store, workers=1, max_attempts=3)
+        job_id = self._expired_running_job(store)
+        reclaimed = runner.reap()
+        assert [m.id for m in reclaimed] == [job_id]
+        meta = store.meta(job_id)
+        assert meta.status == QUEUED
+        assert meta.attempt == 2
+        assert meta.lease_owner == ""
+        assert meta.history[-1]["outcome"] == "lease-expired"
+        assert meta.history[-1]["owner"] == "dead"
+        kinds = [doc["event"] for doc in _events(store, job_id)]
+        assert "job_requeued" in kinds
+
+    def test_exhausted_attempts_are_quarantined(self, tmp_path):
+        store = JobStore(tmp_path)
+        runner = JobRunner(store, workers=1, max_attempts=2)
+        job_id = self._expired_running_job(store, attempt=2)
+        runner.reap()
+        meta = store.meta(job_id)
+        assert meta.status == QUARANTINED
+        assert "attempt budget exhausted" in meta.reason
+        # Full fault history: one record per lost attempt.
+        assert [entry["outcome"] for entry in meta.history] == [
+            "lease-expired", "lease-expired",
+        ]
+        kinds = [doc["event"] for doc in _events(store, job_id)]
+        assert "job_quarantined" in kinds
+        # Terminal: the reaper never touches it again.
+        assert runner.reap() == []
+
+    def test_live_leases_are_left_alone(self, tmp_path):
+        store = JobStore(tmp_path)
+        runner = JobRunner(store, workers=1)
+        meta = store.new_job(JobSpec(**QUICK_SPEC))
+        store.transition(meta.id, RUNNING, owner="alive", lease_s=60.0)
+        assert runner.reap() == []
+        assert store.meta(meta.id).status == RUNNING
+
+    def test_reaper_thread_reclaims_a_hung_worker(
+        self, tmp_path, slow_backend_name
+    ):
+        # A truly hung worker stops heartbeating; modeled here by
+        # stealing its lease (so its beats are refused and cannot
+        # refresh the deadline) and expiring the deadline. The reaper
+        # thread must then quarantine (max_attempts=1) on its own,
+        # while the displaced worker winds down cooperatively — its
+        # heartbeat.lost flag trips at the next wave.
+        with CampaignServer(
+            tmp_path / "svc", workers=1, lease_s=0.2,
+            reaper_interval_s=0.05, max_attempts=1,
+        ) as server:
+            client = ServiceClient(server.url)
+            meta = client.submit(SLOW_SPEC)
+            _wait_until(
+                lambda: client.job(meta["id"])["status"] == RUNNING
+            )
+            stored = server.store.meta(meta["id"])
+            server.store._write_meta(dataclasses.replace(
+                stored,
+                lease_owner="somebody-else",
+                lease_deadline=time.time() - 1,
+            ))
+            final = _wait_until(lambda: (
+                client.job(meta["id"])["status"] in TERMINAL_STATES
+                and client.job(meta["id"])
+            ))
+            assert final["status"] == QUARANTINED
+            assert final["history"][-1]["outcome"] == "lease-expired"
+
+
+class TestCheckpointResume:
+    def test_kill_resume_is_byte_identical_and_warm(self, tmp_path):
+        spec = JobSpec.from_dict(QUICK_SPEC)
+
+        # Reference: an uninterrupted server run of the same spec.
+        with CampaignServer(tmp_path / "ref", workers=1) as ref_server:
+            ref_client = ServiceClient(ref_server.url)
+            ref_meta = ref_client.submit(QUICK_SPEC)
+            _wait_until(lambda: (
+                ref_client.job(ref_meta["id"])["status"] in TERMINAL_STATES
+            ))
+            assert ref_client.job(ref_meta["id"])["status"] == DONE
+            reference_report = ref_client.report_bytes(ref_meta["id"])
+            checkpoint = ref_server.store.checkpoint_path(ref_meta["id"])
+            assert checkpoint.is_file()
+
+        # Crash scene: a job caught mid-run by a dead server — status
+        # running, lease held by a worker that no longer exists, and a
+        # checkpoint store already holding every completed probe (the
+        # reference job's store doubles as "attempt 1 finished all its
+        # probes before the crash").
+        data_dir = tmp_path / "crashed"
+        store = JobStore(data_dir)
+        orphan = store.new_job(spec)
+        shutil.copy(checkpoint, store.checkpoint_path(orphan.id))
+        store.transition(orphan.id, RUNNING, owner="dead-pid", lease_s=30.0)
+
+        with CampaignServer(data_dir, workers=1) as server:
+            client = ServiceClient(server.url)
+            final = _wait_until(lambda: (
+                client.job(orphan.id)["status"] in TERMINAL_STATES
+                and client.job(orphan.id)
+            ))
+            assert final["status"] == DONE
+            assert final["attempt"] == 2
+            assert final["history"][-1]["outcome"] == "server-restart"
+            # Warm resume: the checkpoint answered probes, the engine
+            # re-executed only what it had to.
+            assert final["engine_stats"]["persistent_hits"] > 0
+            # Determinism: byte-identical to the uninterrupted run.
+            assert client.report_bytes(orphan.id) == reference_report
+            kinds = [
+                doc["event"] for doc in _events(server.store, orphan.id)
+            ]
+            assert "job_requeued" in kinds
+
+    def test_jobs_get_private_checkpoint_stores(self, tmp_path):
+        with CampaignServer(tmp_path / "svc", workers=1) as server:
+            client = ServiceClient(server.url)
+            meta = client.submit(QUICK_SPEC)
+            _wait_until(
+                lambda: client.job(meta["id"])["status"] in TERMINAL_STATES
+            )
+            assert server.store.checkpoint_path(meta["id"]).is_file()
+            # The spec stays what the client asked for — the
+            # checkpoint is runner plumbing, not spec rewriting.
+            assert server.store.spec(meta["id"]).run_cache is None
+
+    def test_checkpoint_can_be_disabled(self, tmp_path):
+        with CampaignServer(
+            tmp_path / "svc", workers=1, checkpoint_jobs=False
+        ) as server:
+            client = ServiceClient(server.url)
+            meta = client.submit(QUICK_SPEC)
+            _wait_until(
+                lambda: client.job(meta["id"])["status"] in TERMINAL_STATES
+            )
+            assert not server.store.checkpoint_path(meta["id"]).exists()
+
+
+class TestTornMeta:
+    def test_torn_meta_reads_as_torn_not_crash(self, tmp_path):
+        store = JobStore(tmp_path)
+        meta = store.new_job(JobSpec(**QUICK_SPEC))
+        store.meta_path(meta.id).write_text('{"id": "job-0001", "sta')
+        with pytest.raises(TornMetaError):
+            store.meta(meta.id)
+        # Listings skip it instead of blowing up.
+        assert store.list_jobs() == []
+
+    def test_recover_rebuilds_torn_meta_from_spec(self, tmp_path):
+        store = JobStore(tmp_path)
+        meta = store.new_job(JobSpec(**QUICK_SPEC))
+        store.transition(meta.id, RUNNING)
+        # Kill-mid-write simulation: a torn meta.json and the
+        # atomic-write temp file left behind.
+        store.meta_path(meta.id).write_text('{"id": "job-0001", "sta')
+        temp = store.meta_path(meta.id).with_suffix(".json.tmp")
+        temp.write_text("{")
+
+        reopened = JobStore(tmp_path)
+        _resumed, _quarantined, requeue = reopened.recover()
+        assert [m.id for m in requeue] == [meta.id]
+        rebuilt = reopened.meta(meta.id)
+        assert rebuilt.status == QUEUED
+        assert rebuilt.app == "weborf"
+        assert rebuilt.history[-1]["outcome"] == "rebuilt-after-torn-meta"
+        assert not temp.exists()
+
+    def test_recover_rebuilds_missing_meta(self, tmp_path):
+        store = JobStore(tmp_path)
+        meta = store.new_job(JobSpec(**QUICK_SPEC))
+        store.meta_path(meta.id).unlink()
+        _resumed, _quarantined, requeue = JobStore(tmp_path).recover()
+        assert [m.id for m in requeue] == [meta.id]
+        rebuilt = JobStore(tmp_path).meta(meta.id)
+        assert rebuilt.status == QUEUED
+        assert rebuilt.history[-1]["outcome"] == "rebuilt-after-missing-meta"
+
+    def test_torn_job_runs_to_done_after_restart(self, tmp_path):
+        data_dir = tmp_path / "svc"
+        store = JobStore(data_dir)
+        meta = store.new_job(JobSpec(**QUICK_SPEC))
+        store.meta_path(meta.id).write_text("not json at all")
+        with CampaignServer(data_dir, workers=1) as server:
+            client = ServiceClient(server.url)
+            final = _wait_until(lambda: (
+                client.job(meta.id)["status"] in TERMINAL_STATES
+                and client.job(meta.id)
+            ))
+            assert final["status"] == DONE
+
+
+class TestAdmissionControl:
+    def test_queue_full_is_429_with_retry_after(
+        self, tmp_path, slow_backend_name
+    ):
+        with CampaignServer(
+            tmp_path / "svc", workers=1, max_queue=1
+        ) as server:
+            client = ServiceClient(server.url)
+            first = client.submit(SLOW_SPEC)
+            _wait_until(
+                lambda: client.job(first["id"])["status"] == RUNNING
+            )
+            second = client.submit(SLOW_SPEC)
+            with pytest.raises(ServiceError) as caught:
+                client.submit(SLOW_SPEC)
+            assert caught.value.status == 429
+            assert caught.value.retry_after_s > 0
+            assert "queue full" in caught.value.message
+            # The refused submission left no trace on disk.
+            ids = {meta["id"] for meta in client.jobs()}
+            assert ids == {first["id"], second["id"]}
+            client.cancel(second["id"])
+            client.cancel(first["id"])
+
+    def test_runner_rejects_before_touching_disk(self, tmp_path):
+        store = JobStore(tmp_path)
+        runner = JobRunner(store, workers=1, max_queue=1)
+        # Not started: nothing drains the queue, so depth is exact.
+        runner.submit(JobSpec(**QUICK_SPEC))
+        with pytest.raises(QueueFullError) as caught:
+            runner.submit(JobSpec(**QUICK_SPEC))
+        assert caught.value.retry_after_s > 0
+        assert len(store.list_jobs()) == 1
+
+
+class TestDrain:
+    def test_drain_finishes_running_and_parks_queued(
+        self, tmp_path, slow_backend_name
+    ):
+        with CampaignServer(tmp_path / "svc", workers=1) as server:
+            client = ServiceClient(server.url)
+            running = client.submit(SLOW_SPEC)
+            _wait_until(
+                lambda: client.job(running["id"])["status"] == RUNNING
+            )
+            parked = client.submit(QUICK_SPEC)
+
+            plan = client.drain()
+            assert plan["draining"] is True
+            assert client.health()["draining"] is True
+            assert client.stats()["queue"]["draining"] is True
+
+            # Intake is closed...
+            with pytest.raises(ServiceError) as caught:
+                client.submit(QUICK_SPEC)
+            assert caught.value.status == 503
+
+            # ...in-flight work finishes...
+            final = _wait_until(lambda: (
+                client.job(running["id"])["status"] in TERMINAL_STATES
+                and client.job(running["id"])
+            ))
+            assert final["status"] == DONE
+
+            # ...and the parked job stays queued on disk for the next
+            # server start, never picked up by the draining workers.
+            _wait_until(lambda: server.runner.busy_workers == 0)
+            assert client.job(parked["id"])["status"] == QUEUED
+
+    def test_drained_jobs_run_on_next_start(self, tmp_path):
+        data_dir = tmp_path / "svc"
+        store = JobStore(data_dir)
+        parked = store.new_job(JobSpec(**QUICK_SPEC))
+        with CampaignServer(data_dir, workers=1) as server:
+            client = ServiceClient(server.url)
+            final = _wait_until(lambda: (
+                client.job(parked.id)["status"] in TERMINAL_STATES
+                and client.job(parked.id)
+            ))
+            assert final["status"] == DONE
+
+
+class TestQueryValidation:
+    @pytest.fixture
+    def done_job(self, tmp_path):
+        with CampaignServer(tmp_path / "svc", workers=1) as server:
+            client = ServiceClient(server.url)
+            meta = client.submit(QUICK_SPEC)
+            _wait_until(
+                lambda: client.job(meta["id"])["status"] in TERMINAL_STATES
+            )
+            yield client, meta["id"]
+
+    @pytest.mark.parametrize("timeout", ["-1", "-0.5", "nan", "inf", "-inf"])
+    def test_bad_timeout_is_400(self, done_job, timeout):
+        client, job_id = done_job
+        with pytest.raises(ServiceError) as caught:
+            client._json("GET", f"/jobs/{job_id}/events?timeout={timeout}")
+        assert caught.value.status == 400
+        assert "timeout" in caught.value.message
+
+    def test_huge_timeout_is_clamped_not_rejected(self, done_job):
+        client, job_id = done_job
+        # Terminal job: even a clamped long-poll returns immediately.
+        lines, _, status = client.events(job_id, timeout=1e9)
+        assert status == DONE and lines
+
+    def test_negative_since_is_400(self, done_job):
+        client, job_id = done_job
+        with pytest.raises(ServiceError) as caught:
+            client._json("GET", f"/jobs/{job_id}/events?since=-5")
+        assert caught.value.status == 400
+        assert "since" in caught.value.message
+
+    def test_non_numeric_params_are_400(self, done_job):
+        client, job_id = done_job
+        for query in ("timeout=soon", "since=first"):
+            with pytest.raises(ServiceError) as caught:
+                client._json("GET", f"/jobs/{job_id}/events?{query}")
+            assert caught.value.status == 400
+
+    def test_unknown_state_filter_is_400(self, done_job):
+        client, _ = done_job
+        with pytest.raises(ServiceError) as caught:
+            client._json("GET", "/jobs?state=bogus")
+        assert caught.value.status == 400
+        assert "bogus" in caught.value.message
+
+    def test_state_filter_selects(self, done_job):
+        client, job_id = done_job
+        assert [m["id"] for m in client.jobs(state="done")] == [job_id]
+        assert client.jobs(state="quarantined") == []
+
+
+class TestShutdownMarkers:
+    def test_stop_flushes_terminal_marker_for_running_jobs(self, tmp_path):
+        store = JobStore(tmp_path)
+        runner = JobRunner(store, workers=1)
+        runner.start()
+        # A job running under a worker that will outlive the join
+        # window (modeled by never giving it to this runner's queue):
+        # stop() must still flush a terminal marker to its stream.
+        meta = store.new_job(JobSpec(**QUICK_SPEC))
+        store.transition(meta.id, RUNNING, owner="wedged", lease_s=30.0)
+        runner.stop(cancel_running=True, timeout=0.5)
+        kinds = [doc["event"] for doc in _events(store, meta.id)]
+        assert "job_interrupted" in kinds
+
+    def test_worker_crash_leaves_terminal_marker(self, tmp_path):
+        # An unresolvable backend field sails through spec validation
+        # (validate checks the analyzer knobs, not registry presence —
+        # the HTTP front door checks that) but blows up in the worker:
+        # the stream must still end with a terminal marker.
+        store = JobStore(tmp_path)
+        runner = JobRunner(store, workers=1)
+        meta = runner.submit(JobSpec(**{**QUICK_SPEC, "backend": "gone"}))
+        runner.start()
+        _wait_until(lambda: store.meta(meta.id).status in TERMINAL_STATES)
+        assert store.meta(meta.id).status == "failed"
+        kinds = [doc["event"] for doc in _events(store, meta.id)]
+        assert "job_failed" in kinds
+        runner.stop()
+
+
+class TestClientRetries:
+    def test_get_retries_then_raises_service_unavailable(self, tmp_path):
+        client = ServiceClient(
+            "http://127.0.0.1:9", retries=2, retry_backoff_s=0.01
+        )
+        with pytest.raises(ServiceUnavailableError) as caught:
+            client.health()
+        assert caught.value.attempts == 3
+
+    def test_post_never_retries_transport_errors(self):
+        client = ServiceClient(
+            "http://127.0.0.1:9", retries=5, retry_backoff_s=0.01
+        )
+        started = time.monotonic()
+        with pytest.raises(OSError):
+            client.submit(QUICK_SPEC)
+        # No backoff sleeps happened: one attempt, straight failure.
+        assert time.monotonic() - started < 1.0
+
+    def test_zero_retries_restores_fail_fast(self):
+        client = ServiceClient("http://127.0.0.1:9", retries=0)
+        with pytest.raises(OSError):
+            client.health()
+
+    def test_tail_survives_server_restart_mid_stream(
+        self, tmp_path, slow_backend_name
+    ):
+        data_dir = tmp_path / "svc"
+        first = CampaignServer(data_dir, workers=1).start()
+        port = first.address[1]
+        client = ServiceClient(
+            first.url, retries=8, retry_backoff_s=0.05
+        )
+        meta = client.submit(SLOW_SPEC)
+        _wait_until(lambda: client.job(meta["id"])["status"] == RUNNING)
+
+        second_holder = {}
+
+        def restart():
+            time.sleep(0.2)
+            first.close(cancel_running=True)
+            second_holder["server"] = CampaignServer(
+                data_dir, port=port, workers=1
+            ).start()
+
+        restarter = threading.Thread(target=restart)
+        restarter.start()
+        try:
+            # The tail rides through the restart on GET retries: the
+            # long-poll that dies with the first server is re-polled
+            # against the second with the same cursor.
+            lines = list(client.tail(meta["id"], poll=1.0))
+            assert client.last_status in TERMINAL_STATES
+            assert lines
+        finally:
+            restarter.join()
+            second_holder["server"].close()
+
+
+class TestDurabilityCLI:
+    def test_jobs_state_filter_lists_quarantined(self, tmp_path, capsys):
+        data_dir = tmp_path / "svc"
+        store = JobStore(data_dir)
+        poisoned = store.new_job(JobSpec(**QUICK_SPEC))
+        store.transition(poisoned.id, RUNNING, owner="dead", lease_s=0.001)
+        healthy = store.new_job(JobSpec(**QUICK_SPEC))
+        with CampaignServer(
+            data_dir, workers=1, max_attempts=1
+        ) as server:
+            # recover() quarantines the poisoned orphan on start
+            # (attempt budget of 1 is already spent).
+            _wait_until(lambda: (
+                ServiceClient(server.url).job(healthy.id)["status"]
+                in TERMINAL_STATES
+            ))
+            code = main([
+                "jobs", "--url", server.url, "--state", "quarantined",
+            ])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert poisoned.id in out
+            assert healthy.id not in out
+            assert "quarantined" in out
+
+            code = main([
+                "jobs", "--url", server.url, "--state", "done", "--json",
+            ])
+            out = capsys.readouterr().out
+            listed = json.loads(out)
+            assert [m["id"] for m in listed] == [healthy.id]
+
+    def test_drain_command(self, tmp_path, capsys):
+        with CampaignServer(tmp_path / "svc", workers=1) as server:
+            code = main(["drain", "--url", server.url])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "draining" in out
+            assert server.runner.draining is True
+
+    def test_serve_flags_reach_the_runner(self, tmp_path):
+        server = CampaignServer(
+            tmp_path / "svc",
+            max_queue=7, lease_s=12.0, max_attempts=5,
+            checkpoint_jobs=False,
+        )
+        try:
+            assert server.runner.max_queue == 7
+            assert server.runner.lease_s == 12.0
+            assert server.runner.max_attempts == 5
+            assert server.runner.checkpoint_jobs is False
+        finally:
+            # Never start()ed, so only the bound socket needs release
+            # (close() would block on an HTTP loop that never ran).
+            server._httpd.server_close()
+
+
+class TestProgressHook:
+    def test_hook_fires_at_wave_boundaries(self):
+        calls = []
+        spec = JobSpec.from_dict(QUICK_SPEC)
+        with LoupeSession(config=spec.analyzer_config()) as session:
+            session.analyze(
+                spec.request(), progress_hook=lambda: calls.append(1)
+            )
+        assert len(calls) > 0
+
+    def test_hook_exceptions_never_kill_the_campaign(self):
+        def bomb():
+            raise RuntimeError("heartbeat infrastructure down")
+
+        spec = JobSpec.from_dict(QUICK_SPEC)
+        with LoupeSession(config=spec.analyzer_config()) as session:
+            result = session.analyze(spec.request(), progress_hook=bomb)
+        assert result is not None
+
+    def test_hook_excluded_from_config_equality(self):
+        from repro.core.analyzer import AnalyzerConfig
+
+        assert AnalyzerConfig(progress_hook=lambda: None) == \
+            AnalyzerConfig(progress_hook=lambda: None) == AnalyzerConfig()
+
+
+class TestStatsGauges:
+    def test_attempt_and_queue_age_metrics(self, tmp_path):
+        data_dir = tmp_path / "svc"
+        store = JobStore(data_dir)
+        orphan = store.new_job(JobSpec(**QUICK_SPEC))
+        store.transition(orphan.id, RUNNING, owner="dead", lease_s=30.0)
+        with CampaignServer(data_dir, workers=1) as server:
+            client = ServiceClient(server.url)
+            _wait_until(lambda: (
+                client.job(orphan.id)["status"] in TERMINAL_STATES
+            ))
+            stats = client.stats()
+            # The resumed orphan ran as attempt 2: one retry observed.
+            assert stats["attempts"]["retries"] >= 1
+            assert stats["attempts"]["max_observed"] >= 2
+            assert stats["attempts"]["max_attempts"] == 3
+            assert stats["queue"]["max_queue"] is None
+            assert math.isfinite(stats["queue"]["oldest_age_s"])
