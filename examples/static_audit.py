@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Static soundness audit: lint the corpus, diff static vs dynamic.
+
+The paper's Section 5.1 compares Loupe's dynamic measurements against
+static analysis and finds static over-approximates by 2-5x — useful as
+a sound upper bound, useless as an implementation plan. This example
+runs that comparison end to end:
+
+1. lint the shipped application corpus — every model's static
+   footprint must name real syscalls, every feature branch must be
+   reachable, every declaration honored by its backend's contract;
+2. cross-validate the ``static`` pseudo-backend against the dynamic
+   appsim backend for one app: the expected divergences are all
+   ``static-overapproximation`` (footprint entries dynamics never
+   observed) and there must be zero soundness violations;
+3. audit the session's accumulated dynamic results database against
+   the static footprints, corpus-wide.
+
+Run:  python examples/static_audit.py
+"""
+
+from repro.api.session import AnalysisRequest, LoupeSession
+from repro.appsim.corpus import build, cloud_apps
+from repro.report import STATIC_OVERAPPROXIMATION
+from repro.staticx import audit_database, exit_code, lint_corpus
+
+
+def main() -> None:
+    # 1. Lint the corpus models themselves.
+    apps = cloud_apps()
+    findings = lint_corpus(apps)
+    print(f"lint: {len(apps)} cloud app models checked, "
+          f"{len(findings)} finding(s) (exit code {exit_code(findings)})")
+    for finding in findings:
+        print(f"  {finding.describe()}")
+
+    # 2. Static vs dynamic for one app, through the same fan-out path
+    #    `loupe compare --backends static,appsim` uses.
+    session = LoupeSession()
+    app = build("weborf")
+    report = session.compare(AnalysisRequest(
+        app=app.name, workload="health", backend="static,appsim"
+    ))
+    over = [d for d in report.divergences
+            if d.kind == STATIC_OVERAPPROXIMATION]
+    dynamic = next(o for o in report.observations if not o.static_analysis)
+    static = next(o for o in report.observations if o.static_analysis)
+    print(f"\nstatic vs dynamic for {app.name}/health:")
+    print(f"  static footprint:      {len(static.syscalls)} syscalls")
+    print(f"  dynamically observed:  {len(dynamic.syscalls)} syscalls")
+    print(f"  over-approximation:    {len(over)} syscalls static lists "
+          f"but dynamics never observed "
+          f"({len(static.syscalls) / len(dynamic.syscalls):.1f}x)")
+    violations = report.soundness_violations()
+    print(f"  soundness violations:  {len(violations)} "
+          f"(static must cover everything dynamics observed)")
+    assert not violations, "static analysis missed an observed syscall!"
+
+    # 3. Sweep every stored dynamic record against the footprints.
+    for candidate in apps:
+        session.analyze(AnalysisRequest(app=candidate.name,
+                                        workload="health"))
+    audit = audit_database(session.database, level="binary")
+    records = sum(1 for _ in session.database)
+    print(f"\ndatabase audit: {records} stored result(s) swept, "
+          f"{len(audit)} finding(s)")
+    for finding in audit:
+        print(f"  {finding.describe()}")
+    print("audit verdict: " + ("CLEAN" if not audit else "VIOLATIONS"))
+
+
+if __name__ == "__main__":
+    main()

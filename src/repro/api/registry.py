@@ -7,8 +7,9 @@ caller (the CLI special-cased ``--exec``, the studies constructed
 
 * backend packages **self-register** a factory at import time —
   :mod:`repro.appsim` registers ``appsim``, :mod:`repro.ptracer`
-  registers ``ptrace`` — and third-party backends can do the same with
-  :func:`register_backend`;
+  registers ``ptrace``, :mod:`repro.staticx` registers the ``static``
+  footprint pseudo-backend — and third-party backends can do the same
+  with :func:`register_backend`;
 * :func:`resolve_backend` maps a name to its factory, importing the
   built-in packages on first use so the registry is always populated;
 * a factory turns one :class:`~repro.api.session.AnalysisRequest` into
@@ -78,7 +79,7 @@ _LOCK = threading.Lock()
 _FACTORIES: dict[str, BackendFactory] = {}
 
 #: Packages that self-register a backend when imported.
-_BUILTIN_BACKEND_MODULES = ("repro.appsim", "repro.ptracer")
+_BUILTIN_BACKEND_MODULES = ("repro.appsim", "repro.ptracer", "repro.staticx")
 _bootstrapped = False
 _bootstrapping = False
 _BOOTSTRAP_LOCK = threading.RLock()

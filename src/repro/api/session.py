@@ -594,7 +594,7 @@ class LoupeSession:
 
         report = cross_validate(
             [
-                (name, result, caps.real_execution)
+                (name, result, caps.real_execution, caps.static_analysis)
                 for name, result, caps
                 in zip(names, results, capabilities)
             ],

@@ -11,7 +11,9 @@ Subcommands mirror how the paper's tool is used:
 * ``compare``  — fan one app/workload across several backends and
   print the cross-validation report (divergences classified as
   missing-in-sim / extra-in-sim / count-only / verdict-differs /
-  stability-differs).
+  stability-differs; with the ``static`` pseudo-backend in the mix,
+  static-overapproximation / soundness-violation — the latter a hard
+  error, exit 1).
 * ``plan``     — generate an incremental support plan for an OS
   (named profile or a CSV support file) over target apps.
 * ``study``    — regenerate a paper table or figure by name.
@@ -21,6 +23,11 @@ Subcommands mirror how the paper's tool is used:
   ``compact``, ``gc``, ``migrate``, and ``verify``, which re-executes
   a sample of records and diffs stored vs fresh results).
 * ``scan``     — static binary scan of a native ELF.
+* ``lint``     — static soundness auditor: rule-based linting of app
+  models and support plans, plus a loupedb audit (``--db``) checking
+  every stored dynamic result against its app's static footprint.
+  Exit codes gate CI: 1 when any error-severity finding survives
+  ``--select``/``--ignore``, 0 otherwise.
 * ``serve``    — run the campaign server (job queue, bounded worker
   pool, live event streaming over HTTP; ``--max-queue``, ``--lease``
   and ``--max-attempts`` set the durability posture).
@@ -393,6 +400,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             )
             print(f"report saved to {args.report}")
         _save_output(session, args)
+    if report.soundness_violations():
+        # Static ⊇ dynamic is an invariant, not a preference: a static
+        # footprint missing a dynamically observed syscall is the one
+        # divergence class that hard-fails the comparison.
+        print(
+            "soundness violation: a static footprint missed dynamically "
+            "observed syscalls (see report)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -798,6 +815,77 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_rules(raw: "str | None") -> "list[str] | None":
+    if raw is None:
+        return None
+    return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.staticx import rules as lint_rules
+
+    select = _split_rules(args.select)
+    ignore = _split_rules(args.ignore)
+    try:
+        if args.apps:
+            from repro.appsim.corpus import HANDBUILT, build
+
+            unknown = [name for name in args.apps if name not in HANDBUILT]
+            if unknown:
+                print(
+                    f"unknown app(s): {', '.join(unknown)}; choose from "
+                    f"{', '.join(sorted(HANDBUILT))}",
+                    file=sys.stderr,
+                )
+                return 2
+            apps = [build(name) for name in args.apps]
+        else:
+            apps = corpus()
+        findings = lint_rules.lint_corpus(
+            apps, select=select, ignore=ignore
+        )
+        if args.db:
+            database = Database.load(args.db)
+            findings += lint_rules.audit_database(
+                database, level=args.level, select=select, ignore=ignore
+            )
+        if args.plan:
+            from repro.plans.state import SupportState
+
+            state = SupportState.load(args.plan, args.os)
+            # A named app list narrows the plan check too; the default
+            # sweep covers the Table 1 cloud set (requirements come
+            # from memoized dynamic analyses).
+            findings += lint_rules.lint_plan(
+                state,
+                apps if args.apps else None,
+                workload=args.workload,
+                select=select,
+                ignore=ignore,
+            )
+    except (lint_rules.LintRuleError, LoupeError, OSError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    errors = sum(
+        1 for f in findings if f.severity == lint_rules.SEVERITY_ERROR
+    )
+    warnings = len(findings) - errors
+    if args.format == "json":
+        print(json.dumps({
+            "apps_checked": len(apps),
+            "findings": [finding.to_dict() for finding in findings],
+            "counts": {"error": errors, "warning": warnings},
+        }, indent=1))
+    else:
+        for finding in findings:
+            print(finding.describe())
+        print(
+            f"lint: {len(apps)} app(s) checked, {errors} error(s), "
+            f"{warnings} warning(s)"
+        )
+    return lint_rules.exit_code(findings)
+
+
 def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
     """The fault-tolerance flags shared by ``analyze`` and ``compare``."""
     parser.add_argument("--probe-timeout", type=float, default=None,
@@ -1016,6 +1104,46 @@ def build_parser() -> argparse.ArgumentParser:
     scan = sub.add_parser("scan", help="static binary scan of an ELF")
     scan.add_argument("binary")
     scan.set_defaults(func=_cmd_scan)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically vet app models, support plans, and stored "
+             "results",
+        description="Run the static soundness auditor. Exit code 0 "
+                    "means no error-severity findings (warnings never "
+                    "gate); 1 means at least one error; 2 is a usage "
+                    "problem — the contract CI jobs gate on.",
+    )
+    lint.add_argument("--app", action="append", dest="apps",
+                      metavar="NAME",
+                      help="lint only the named hand-built app "
+                           "(repeatable; default: the whole corpus)")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text",
+                      help="findings as human-readable lines (default) "
+                           "or one JSON object")
+    lint.add_argument("--select", metavar="RULE[,RULE]", default=None,
+                      help="run only these rules")
+    lint.add_argument("--ignore", metavar="RULE[,RULE]", default=None,
+                      help="suppress these rules")
+    lint.add_argument("--db", metavar="PATH", default=None,
+                      help="additionally audit a stored loupedb: every "
+                           "dynamic record's traced syscalls must fall "
+                           "inside its app's static footprint")
+    lint.add_argument("--level", choices=("source", "binary"),
+                      default="binary",
+                      help="static footprint level for the --db audit "
+                           "(default binary)")
+    lint.add_argument("--plan", metavar="CSV", default=None,
+                      help="additionally check a support-state CSV for "
+                           "apps it statically cannot satisfy")
+    lint.add_argument("--os", default=None,
+                      help="OS name for the --plan state (default: the "
+                           "CSV file stem)")
+    lint.add_argument("--workload", default="bench",
+                      help="workload whose requirements the --plan "
+                           "check uses (default bench)")
+    lint.set_defaults(func=_cmd_lint)
 
     serve = sub.add_parser(
         "serve",

@@ -1165,8 +1165,14 @@ class ProbeEngine:
                     fault_policy,
                 )
             except RuntimeError:
-                # The shared pool was shut down (or replaced after a
-                # break) under us; re-fetch the replacement once.
+                # The shared pool was shut down under us, or a worker
+                # died before this chunk was accepted (BrokenProcessPool
+                # is a RuntimeError): retire the dead pool — else the
+                # re-fetch hands back the same broken one — and retry
+                # once on a fresh pool. Chunks the broken pool had
+                # already accepted surface as lost runs in the wait
+                # loop and are re-enqueued there.
+                _replace_broken_process_pool(pool)
                 pool = self._pool("process")
                 return pool.submit(
                     _execute_chunk, backend, workload, chunk, early_exit,

@@ -152,6 +152,12 @@ class BackendCapabilities:
     * ``real_execution`` — runs execute the real application on the
       real kernel (the ptrace backend) rather than a model of it;
       cross-validation prefers such a target as its reference.
+    * ``static_analysis`` — runs never execute anything: they report a
+      statically extracted syscall footprint (the ``static``
+      pseudo-backend). Cross-validation compares such a target's
+      footprint against dynamic observations instead of diffing run
+      behavior, classifying the expected static ⊇ dynamic direction as
+      over-approximation and the reverse as a soundness violation.
     """
 
     deterministic: bool = False
@@ -160,6 +166,7 @@ class BackendCapabilities:
     supports_pseudo_files: bool = False
     supports_subfeatures: bool = False
     real_execution: bool = False
+    static_analysis: bool = False
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)

@@ -12,7 +12,12 @@ Two kinds of report live here:
   syscall sets, sub-features, pseudo-files, and stub/fake verdicts
   across them and classifies every divergence
   (``missing-in-sim`` / ``extra-in-sim`` / ``count-only`` /
-  ``verdict-differs`` / ``stability-differs``).
+  ``verdict-differs`` / ``stability-differs``). Static-analysis
+  targets (the ``static`` pseudo-backend) are diffed footprint-wise
+  instead: syscalls only the static side reports are the paper's
+  expected over-approximation (``static-overapproximation``), while a
+  dynamically observed syscall absent from the static footprint is a
+  hard ``soundness-violation``.
 * **ASCII figures** (:func:`render_xy_plot` & friends): the benches
   print tabular rows; the plots show the curve *shapes* the paper's
   figures carry — dominance, crossovers, plateaus — without any
@@ -148,6 +153,13 @@ COUNT_ONLY = "count-only"              # both saw it; invocation counts differ
 VERDICT_DIFFERS = "verdict-differs"    # stub/fake decisions disagree
 UNDECIDED_IN_TARGET = "undecided-in-target"  # one side never decided
 STABILITY_DIFFERS = "stability-differs"  # combined-run stability disagrees
+#: Static-vs-dynamic classes (Section 5.1). A sound static analysis
+#: over-approximates: its footprint may exceed what any workload
+#: dynamically exercises (expected, the paper's 2x-5x factors), but a
+#: dynamically observed syscall missing from the footprint means the
+#: static analysis is unsound — a hard error, never expected.
+STATIC_OVERAPPROXIMATION = "static-overapproximation"
+SOUNDNESS_VIOLATION = "soundness-violation"
 
 DIVERGENCE_KINDS = (
     MISSING_IN_SIM,
@@ -156,6 +168,8 @@ DIVERGENCE_KINDS = (
     VERDICT_DIFFERS,
     UNDECIDED_IN_TARGET,
     STABILITY_DIFFERS,
+    STATIC_OVERAPPROXIMATION,
+    SOUNDNESS_VIOLATION,
 )
 
 
@@ -191,10 +205,15 @@ class TargetObservation:
     #: an observed failure) on this target; their verdict renders as
     #: ``"undecided"``. Empty on fully decided targets.
     undecided: tuple[str, ...] = ()
+    #: True when this target is a static analyzer (its ``syscalls``
+    #: are a footprint, not an execution trace); such observations are
+    #: diffed footprint-wise. False on every dynamic target.
+    static_analysis: bool = False
 
     @staticmethod
     def from_result(
-        target: str, result: AnalysisResult, *, real_execution: bool = False
+        target: str, result: AnalysisResult, *,
+        real_execution: bool = False, static_analysis: bool = False
     ) -> "TargetObservation":
         return TargetObservation(
             target=target,
@@ -203,6 +222,7 @@ class TargetObservation:
             app_version=result.app_version,
             workload=result.workload,
             real_execution=real_execution,
+            static_analysis=static_analysis,
             final_run_ok=result.final_run_ok,
             syscalls=tuple(sorted(result.traced_syscalls())),
             subfeatures=tuple(sorted(
@@ -247,6 +267,10 @@ class TargetObservation:
             # Omitted when empty: fully decided observations keep the
             # pre-fault JSON form byte-identical.
             data.pop("undecided", None)
+        if not self.static_analysis:
+            # Same byte-compat rule: dynamic observations keep the
+            # pre-static JSON form.
+            data.pop("static_analysis", None)
         return data
 
     @staticmethod
@@ -273,6 +297,7 @@ class TargetObservation:
                 str(k): str(v) for k, v in document["verdicts"].items()
             },
             undecided=tuple(document.get("undecided", ())),
+            static_analysis=bool(document.get("static_analysis", False)),
         )
 
 
@@ -312,12 +337,70 @@ class Divergence:
         )
 
 
+def _diff_static_pair(reference: TargetObservation, target: TargetObservation):
+    """Footprint-wise divergences when a static analyzer is involved.
+
+    A static target's ``syscalls`` are a footprint — every call site
+    the analysis can see, not what one workload exercised — so only
+    the syscall sets are comparable. Synthetic counts, absent
+    sub-feature/pseudo-file evidence, all-required verdicts, and the
+    trivially stable combined run would otherwise drown the report in
+    meaningless ``count-only``/``verdict-differs`` noise. Two static
+    targets (say source vs binary level) fall back to the plain
+    set-diff classes: between two footprints there is no soundness
+    direction.
+    """
+    if reference.static_analysis and target.static_analysis:
+        for feature in sorted(set(reference.syscalls) - set(target.syscalls)):
+            yield Divergence(
+                feature=feature, dimension="syscalls", kind=MISSING_IN_SIM,
+                reference=reference.target, target=target.target,
+                detail=f"in {reference.target} footprint, "
+                       f"not in {target.target}'s",
+            )
+        for feature in sorted(set(target.syscalls) - set(reference.syscalls)):
+            yield Divergence(
+                feature=feature, dimension="syscalls", kind=EXTRA_IN_SIM,
+                reference=reference.target, target=target.target,
+                detail=f"in {target.target} footprint, "
+                       f"not in {reference.target}'s",
+            )
+        return
+    static, dynamic = (
+        (reference, target) if reference.static_analysis
+        else (target, reference)
+    )
+    footprint = set(static.syscalls)
+    observed = set(dynamic.syscalls)
+    for feature in sorted(footprint - observed):
+        yield Divergence(
+            feature=feature, dimension="syscalls",
+            kind=STATIC_OVERAPPROXIMATION,
+            reference=reference.target, target=target.target,
+            detail=f"in {static.target} footprint, never observed by "
+                   f"{dynamic.target}",
+        )
+    for feature in sorted(observed - footprint):
+        count = dynamic.traced_counts.get(feature, 0)
+        yield Divergence(
+            feature=feature, dimension="syscalls", kind=SOUNDNESS_VIOLATION,
+            reference=reference.target, target=target.target,
+            detail=f"observed {count}x by {dynamic.target}, absent from "
+                   f"{static.target} footprint",
+        )
+
+
 def _diff_pair(reference: TargetObservation, target: TargetObservation):
     """Classified divergences of one target against the reference.
 
     Deterministic: dimensions in a fixed order, features sorted within
     each, so two runs of the same campaign build identical reports.
+    Pairs involving a static-analysis target take the footprint path
+    (:func:`_diff_static_pair`) instead of the behavioral diff.
     """
+    if reference.static_analysis or target.static_analysis:
+        yield from _diff_static_pair(reference, target)
+        return
     for dimension, attribute in (
         ("syscalls", "syscalls"),
         ("subfeatures", "subfeatures"),
@@ -423,6 +506,18 @@ class CrossValidationReport:
         """The divergences of one target against the reference."""
         return tuple(d for d in self.divergences if d.target == target)
 
+    def soundness_violations(self) -> tuple[Divergence, ...]:
+        """Dynamically observed syscalls a static footprint missed.
+
+        Non-empty only when the campaign fanned over a static-analysis
+        target whose footprint failed to cover a dynamic observation —
+        the one static-vs-dynamic disagreement that is an error, not
+        an expected over-approximation.
+        """
+        return tuple(
+            d for d in self.divergences if d.kind == SOUNDNESS_VIOLATION
+        )
+
     def to_dict(self) -> dict:
         """JSON-serializable form; :meth:`from_dict` round-trips it."""
         return {
@@ -464,19 +559,31 @@ def cross_validate(
     """Diff one campaign's per-target results into a report.
 
     *targets* is the campaign in order: ``(registry name, result,
-    real_execution)`` triples — the flag usually comes from the
-    backend's :class:`~repro.core.runner.BackendCapabilities`. The
-    reference is the first real-execution target, else the first
-    target; every other target is diffed against it.
+    real_execution)`` triples — the flags usually come from the
+    backend's :class:`~repro.core.runner.BackendCapabilities`. A
+    fourth ``static_analysis`` element may be appended (the triple
+    form stays valid) to mark a static-analyzer target whose result
+    is a footprint rather than a trace. The reference is the first
+    real-execution target, else the first dynamic (non-static)
+    target, else the first target; every other target is diffed
+    against it — static targets make a poor reference because their
+    pairwise diffs are footprint-only.
     """
     if not targets:
         raise ValueError("cross_validate needs at least one target")
     observations = tuple(
-        TargetObservation.from_result(name, result, real_execution=real)
-        for name, result, real in targets
+        TargetObservation.from_result(
+            entry[0], entry[1], real_execution=entry[2],
+            static_analysis=entry[3] if len(entry) > 3 else False,
+        )
+        for entry in targets
     )
     reference = next(
-        (obs for obs in observations if obs.real_execution), observations[0]
+        (obs for obs in observations if obs.real_execution),
+        next(
+            (obs for obs in observations if not obs.static_analysis),
+            observations[0],
+        ),
     )
     divergences: list[Divergence] = []
     for observation in observations:
@@ -529,4 +636,10 @@ def render_cross_validation(report: CrossValidationReport) -> str:
     lines.append(f"divergences ({len(report.divergences)}): {counts}")
     for divergence in report.divergences:
         lines.append(f"  {divergence.describe()}")
+    violations = report.soundness_violations()
+    if violations:
+        lines.append(
+            f"SOUNDNESS: static footprint missed {len(violations)} "
+            "dynamically observed syscall(s)"
+        )
     return "\n".join(lines)

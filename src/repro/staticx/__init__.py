@@ -1,11 +1,37 @@
-"""Static analysis substrates: the comparison baselines of Section 5.1."""
+"""Static analysis substrates: baselines, backend, and linter.
 
+Three layers live here:
+
+* the Section 5.1 comparison baselines — a real ELF scanner
+  (:mod:`repro.staticx.binary`), a source-tree scanner
+  (:mod:`repro.staticx.source`), and the modeled views over corpus
+  apps (:mod:`repro.staticx.model`);
+* the ``static`` pseudo-backend (:mod:`repro.staticx.backend`), which
+  registers footprint extraction in the execution-backend registry so
+  cross-validation can diff static against dynamic;
+* the corpus linter (:mod:`repro.staticx.rules`) behind ``loupe
+  lint``: typed findings over app models, support plans, and stored
+  results, including the corpus-wide soundness audit.
+"""
+
+from repro.staticx.backend import STATIC_LEVELS, StaticBackend
 from repro.staticx.binary import BinaryScanReport, scan_binary, scan_bytes, scan_elf
 from repro.staticx.model import (
     StaticReport,
     analyze_app,
     analyze_program,
     overestimation_factor,
+)
+from repro.staticx.rules import (
+    Finding,
+    LintRuleError,
+    audit_database,
+    exit_code,
+    lint_app,
+    lint_corpus,
+    lint_plan,
+    max_severity,
+    rule_catalogue,
 )
 from repro.staticx.source import (
     SourceScanReport,
@@ -15,11 +41,22 @@ from repro.staticx.source import (
 
 __all__ = [
     "BinaryScanReport",
+    "Finding",
+    "LintRuleError",
+    "STATIC_LEVELS",
     "SourceScanReport",
+    "StaticBackend",
     "StaticReport",
     "analyze_app",
     "analyze_program",
+    "audit_database",
+    "exit_code",
+    "lint_app",
+    "lint_corpus",
+    "lint_plan",
+    "max_severity",
     "overestimation_factor",
+    "rule_catalogue",
     "scan_binary",
     "scan_bytes",
     "scan_elf",

@@ -1,0 +1,449 @@
+"""Static soundness auditor: lint rules over app models, plans, and
+stored results.
+
+The growing appsim corpus and the support plans built on it are inputs
+every other subsystem trusts — the engine burns probe time on an app
+model, a campaign server schedules it, a planner commits an OS to its
+requirements. This module vets those inputs *statically*, before any
+of that spend:
+
+* app-model rules catch models that are internally broken (footprint
+  syscalls absent from the arch tables, never-executable feature
+  branches and lifecycle phases, declarations the owning backend's
+  capability contract cannot honor);
+* plan rules catch support states that statically cannot satisfy an
+  app (a required syscall the plan neither implements nor can avoid);
+* database rules re-check the paper's Section 5.1 invariant over every
+  stored dynamic result: the static footprint must cover everything
+  dynamics observed (static ⊇ dynamic), anything else is a soundness
+  violation.
+
+Findings are typed (:class:`Finding`: rule id, severity, location,
+message), rules are individually selectable/suppressible, and
+:func:`exit_code` maps a finding list onto the CI-gateable contract of
+``loupe lint``: 1 when any *error* survives, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Iterable, Iterator, Sequence
+
+from repro.appsim.apps import App
+from repro.appsim.program import Phase
+from repro.core.runner import capabilities_of
+from repro.errors import LoupeError
+from repro.syscalls import exists
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+
+class LintRuleError(LoupeError):
+    """An unknown rule id was selected or suppressed."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One lint conclusion, addressable by rule id and location."""
+
+    rule: str
+    severity: str
+    location: str
+    message: str
+
+    def describe(self) -> str:
+        return f"{self.severity}[{self.rule}] {self.location}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_dict(document: dict) -> "Finding":
+        return Finding(
+            rule=document["rule"],
+            severity=document["severity"],
+            location=document["location"],
+            message=document["message"],
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """One named check: severity, what it inspects, and the checker.
+
+    The checker yields ``(location, message)`` pairs; the engine wraps
+    them into :class:`Finding` s so severity lives in exactly one
+    place (here, where the catalogue is rendered from).
+    """
+
+    name: str
+    severity: str
+    scope: str                   # "app" | "plan" | "db"
+    description: str
+    check: Callable[..., Iterator[tuple[str, str]]]
+
+
+# -- app-model rules ----------------------------------------------------------
+
+
+def _check_unknown_syscall(app: App) -> Iterator[tuple[str, str]]:
+    # Op-level syscalls are validated at construction (SyscallOp
+    # rejects unknown names), so the only way an out-of-table name
+    # enters a model is through the unvalidated static_extra views.
+    for level in ("source", "binary"):
+        for syscall in sorted(app.program.static_view(level)):
+            if not exists(syscall):
+                yield (
+                    f"app:{app.name}",
+                    f"{level}-level static footprint names syscall "
+                    f"{syscall!r}, absent from the x86-64 table",
+                )
+
+
+def _dead_ops(app: App) -> list:
+    """Ops gated on features no declared workload ever exercises."""
+    exercised_sets = [
+        workload.features_exercised for workload in app.workloads.values()
+    ]
+    return [
+        op for op in app.program.ops
+        if op.when is not None
+        and not any(op.when & exercised for exercised in exercised_sets)
+    ]
+
+
+def _check_dead_branch(app: App) -> Iterator[tuple[str, str]]:
+    for op in _dead_ops(app):
+        gates = ",".join(sorted(op.when))
+        yield (
+            f"app:{app.name}/{op.syscall}",
+            f"op gated on feature(s) {gates} which no declared workload "
+            f"({', '.join(sorted(app.workloads))}) exercises — the branch "
+            f"can never execute",
+        )
+
+
+def _check_unreachable_phase(app: App) -> Iterator[tuple[str, str]]:
+    dead = set(id(op) for op in _dead_ops(app))
+    for phase in Phase:
+        ops = [op for op in app.program.ops if op.phase is phase]
+        if ops and all(id(op) in dead for op in ops):
+            yield (
+                f"app:{app.name}/phase:{phase.name.lower()}",
+                f"all {len(ops)} op(s) of the {phase.name.lower()} "
+                f"lifecycle phase are dead branches — the phase is "
+                f"unreachable under every declared workload",
+            )
+
+
+def _check_capability_mismatch(app: App) -> Iterator[tuple[str, str]]:
+    contract = capabilities_of(app.backend())
+    subfeatures = sorted({
+        f"{op.syscall}:{op.subfeature}"
+        for op in app.program.ops if op.subfeature
+    })
+    if subfeatures and not contract.supports_subfeatures:
+        yield (
+            f"app:{app.name}",
+            f"model declares {len(subfeatures)} sub-feature(s) "
+            f"(e.g. {subfeatures[0]}) but the owning backend's "
+            f"capability contract does not support sub-features",
+        )
+    pseudo_files = sorted({
+        op.path for op in app.program.ops if op.path
+    })
+    if pseudo_files and not contract.supports_pseudo_files:
+        yield (
+            f"app:{app.name}",
+            f"model declares {len(pseudo_files)} pseudo-file(s) "
+            f"(e.g. {pseudo_files[0]}) but the owning backend's "
+            f"capability contract does not support pseudo-files",
+        )
+
+
+# -- plan rules ---------------------------------------------------------------
+
+
+def _check_unsatisfiable_plan(state, requirements) -> Iterator[tuple[str, str]]:
+    missing = sorted(requirements.missing(state.implemented))
+    if missing:
+        shown = ", ".join(missing[:5])
+        if len(missing) > 5:
+            shown += f", … ({len(missing) - 5} more)"
+        yield (
+            f"plan:{state.os_name}/app:{requirements.app}",
+            f"{len(missing)} required syscall(s) neither implemented nor "
+            f"avoidable (stub/fake cannot satisfy a required call): {shown}",
+        )
+
+
+# -- database (soundness audit) rules -----------------------------------------
+
+
+def _check_static_soundness(record, app: App, level: str) -> Iterator[tuple[str, str]]:
+    footprint = app.program.static_view(level)
+    missing = sorted(record.traced_syscalls() - footprint)
+    if missing:
+        shown = ", ".join(missing[:5])
+        if len(missing) > 5:
+            shown += f", … ({len(missing) - 5} more)"
+        yield (
+            f"db:{record.app}/{record.workload}/{record.backend}",
+            f"dynamically observed syscall(s) absent from the "
+            f"{level}-level static footprint (soundness violation): "
+            f"{shown}",
+        )
+
+
+APP_RULES = (
+    Rule(
+        name="unknown-syscall",
+        severity=SEVERITY_ERROR,
+        scope="app",
+        description="static footprint names a syscall absent from the "
+                    "x86-64 table",
+        check=_check_unknown_syscall,
+    ),
+    Rule(
+        name="dead-branch",
+        severity=SEVERITY_WARNING,
+        scope="app",
+        description="feature-gated op no declared workload can execute",
+        check=_check_dead_branch,
+    ),
+    Rule(
+        name="unreachable-phase",
+        severity=SEVERITY_WARNING,
+        scope="app",
+        description="lifecycle phase whose every op is a dead branch",
+        check=_check_unreachable_phase,
+    ),
+    Rule(
+        name="capability-mismatch",
+        severity=SEVERITY_ERROR,
+        scope="app",
+        description="sub-feature/pseudo-file declarations the owning "
+                    "backend's capability contract cannot honor",
+        check=_check_capability_mismatch,
+    ),
+)
+
+PLAN_RULES = (
+    Rule(
+        name="unsatisfiable-plan",
+        severity=SEVERITY_ERROR,
+        scope="plan",
+        description="support plan cannot satisfy an app: a required "
+                    "syscall is neither implemented nor avoidable",
+        check=_check_unsatisfiable_plan,
+    ),
+)
+
+DB_RULES = (
+    Rule(
+        name="static-soundness",
+        severity=SEVERITY_ERROR,
+        scope="db",
+        description="stored dynamic result observed a syscall the "
+                    "static footprint misses",
+        check=_check_static_soundness,
+    ),
+    Rule(
+        name="unknown-app",
+        severity=SEVERITY_WARNING,
+        scope="db",
+        description="stored result names an app with no corpus model "
+                    "to audit against",
+        check=None,  # structural: emitted by audit_database itself
+    ),
+    Rule(
+        name="version-skew",
+        severity=SEVERITY_WARNING,
+        scope="db",
+        description="stored result's app version differs from the "
+                    "corpus model's — footprint not comparable",
+        check=None,  # structural: emitted by audit_database itself
+    ),
+)
+
+ALL_RULES = APP_RULES + PLAN_RULES + DB_RULES
+
+
+def rule_catalogue() -> tuple[Rule, ...]:
+    """Every known rule, app rules first — the ``--select`` namespace."""
+    return ALL_RULES
+
+
+def _rule_names() -> frozenset[str]:
+    return frozenset(rule.name for rule in ALL_RULES)
+
+
+def _selection(
+    select: "Iterable[str] | None", ignore: "Iterable[str] | None"
+) -> Callable[[Rule], bool]:
+    """Per-rule suppression: keep a rule iff selected and not ignored."""
+    known = _rule_names()
+    selected = frozenset(select) if select is not None else None
+    ignored = frozenset(ignore) if ignore is not None else frozenset()
+    for name in (selected or frozenset()) | ignored:
+        if name not in known:
+            raise LintRuleError(
+                f"unknown lint rule {name!r}; known rules: "
+                f"{', '.join(sorted(known))}"
+            )
+
+    def keep(rule: Rule) -> bool:
+        if selected is not None and rule.name not in selected:
+            return False
+        return rule.name not in ignored
+
+    return keep
+
+
+def _wrap(rule: Rule, pairs: Iterable[tuple[str, str]]) -> Iterator[Finding]:
+    for location, message in pairs:
+        yield Finding(
+            rule=rule.name, severity=rule.severity,
+            location=location, message=message,
+        )
+
+
+def lint_app(
+    app: App,
+    *,
+    select: "Iterable[str] | None" = None,
+    ignore: "Iterable[str] | None" = None,
+) -> list[Finding]:
+    """Run every (selected) app-model rule over one application."""
+    keep = _selection(select, ignore)
+    findings: list[Finding] = []
+    for rule in APP_RULES:
+        if keep(rule):
+            findings.extend(_wrap(rule, rule.check(app)))
+    return findings
+
+
+def lint_corpus(
+    apps: "Sequence[App] | None" = None,
+    *,
+    select: "Iterable[str] | None" = None,
+    ignore: "Iterable[str] | None" = None,
+) -> list[Finding]:
+    """Lint the whole (or a given) application corpus."""
+    if apps is None:
+        from repro.appsim.corpus import corpus
+
+        apps = corpus()
+    findings: list[Finding] = []
+    for app in apps:
+        findings.extend(lint_app(app, select=select, ignore=ignore))
+    return findings
+
+
+def lint_plan(
+    state,
+    apps: "Sequence[App] | None" = None,
+    *,
+    workload: str = "bench",
+    select: "Iterable[str] | None" = None,
+    ignore: "Iterable[str] | None" = None,
+) -> list[Finding]:
+    """Check one support plan (:class:`~repro.plans.state.SupportState`)
+    against what the corpus apps require.
+
+    Requirements come from the memoized dynamic analyses
+    (:func:`repro.plans.requirements.requirements_for`), so repeated
+    lint passes are cheap.
+    """
+    from repro.plans.requirements import requirements_for
+
+    keep = _selection(select, ignore)
+    if apps is None:
+        from repro.appsim.corpus import cloud_apps
+
+        apps = cloud_apps()
+    findings: list[Finding] = []
+    for rule in PLAN_RULES:
+        if not keep(rule):
+            continue
+        for app in apps:
+            requirements = requirements_for(app, workload)
+            findings.extend(_wrap(rule, rule.check(state, requirements)))
+    return findings
+
+
+def audit_database(
+    database,
+    *,
+    level: str = "binary",
+    select: "Iterable[str] | None" = None,
+    ignore: "Iterable[str] | None" = None,
+) -> list[Finding]:
+    """Sweep stored dynamic results against static footprints.
+
+    Every record whose app has a current corpus model is checked for
+    the soundness invariant (static ⊇ dynamically traced). Records of
+    the ``static`` pseudo-backend are skipped — their traces *are*
+    footprints, not dynamic observations — and records the corpus
+    cannot vouch for (unknown app, version skew) surface as warnings
+    rather than silently shrinking the sweep.
+    """
+    from repro.appsim.corpus import HANDBUILT, build
+
+    if level not in ("source", "binary"):
+        raise ValueError(f"unknown static analysis level {level!r}")
+    keep = _selection(select, ignore)
+    by_name = {rule.name: rule for rule in DB_RULES}
+    soundness = by_name["static-soundness"]
+    unknown = by_name["unknown-app"]
+    skew = by_name["version-skew"]
+    findings: list[Finding] = []
+    models: dict[str, App] = {}
+    for record in database:
+        if record.backend.startswith("static:"):
+            continue
+        location = f"db:{record.app}/{record.workload}/{record.backend}"
+        if record.app not in HANDBUILT:
+            if keep(unknown):
+                findings.extend(_wrap(unknown, [(
+                    location,
+                    f"no corpus model named {record.app!r} to audit "
+                    f"this record against",
+                )]))
+            continue
+        app = models.get(record.app)
+        if app is None:
+            app = models[record.app] = build(record.app)
+        if record.app_version and record.app_version != app.version:
+            if keep(skew):
+                findings.extend(_wrap(skew, [(
+                    location,
+                    f"record is for version {record.app_version}, corpus "
+                    f"model is {app.version} — footprint not comparable",
+                )]))
+            continue
+        if keep(soundness):
+            findings.extend(_wrap(
+                soundness, soundness.check(record, app, level)
+            ))
+    return findings
+
+
+def max_severity(findings: Iterable[Finding]) -> "str | None":
+    """The worst severity present, or None for a clean pass."""
+    worst = None
+    for finding in findings:
+        if finding.severity == SEVERITY_ERROR:
+            return SEVERITY_ERROR
+        worst = SEVERITY_WARNING
+    return worst
+
+
+def exit_code(findings: Iterable[Finding]) -> int:
+    """The CI contract: 1 when any error survives selection, else 0.
+
+    Warnings never gate — they flag style/coverage debt, not broken
+    inputs — so a warnings-only pass still exits 0.
+    """
+    return 1 if max_severity(findings) == SEVERITY_ERROR else 0

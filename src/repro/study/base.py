@@ -82,6 +82,39 @@ def analyze_apps(
     )
 
 
+def static_result(
+    app: App, workload_name: str, level: str = "binary"
+) -> AnalysisResult:
+    """Static footprint analysis of one app, memoized like any record.
+
+    Goes through the ``static:<level>`` registry backend, so static
+    counts come from the same session/fan-out machinery as dynamic
+    ones (one record per (app, version, workload, backend) key). Apps
+    the registry cannot vouch for — synthetic corpus members, version
+    variants — run the same :class:`~repro.staticx.StaticBackend`
+    over the in-hand model instead.
+    """
+    from repro.api.registry import BackendResolutionError
+
+    request = AnalysisRequest(
+        app=app.name, workload=workload_name, backend=f"static:{level}"
+    )
+    try:
+        resolved = request.resolve()
+    except BackendResolutionError:
+        resolved = None
+    if resolved is None or resolved.app_version != app.version:
+        from repro.staticx import StaticBackend
+
+        request = AnalysisRequest.for_target(
+            StaticBackend(app.program, level=level),
+            app.workload(workload_name),
+            app=app.name,
+            app_version=app.version,
+        )
+    return _SESSION.analyze(request)
+
+
 def shared_database() -> Database:
     """The default session's analysis cache as a queryable database."""
     return _SESSION.database

@@ -15,7 +15,7 @@ from collections.abc import Sequence
 
 from repro.appsim.apps import App
 from repro.core.result import AnalysisResult
-from repro.study.base import analyze_app
+from repro.study.base import analyze_app, static_result
 
 
 @dataclasses.dataclass(frozen=True)
@@ -57,11 +57,18 @@ def _counts_from(app: App, result: AnalysisResult) -> MethodCounts:
     required = result.required_syscalls()
     stubbable = result.stubbable_syscalls()
     fakeable = result.fakeable_syscalls()
+    # Static bars come through the registry's static pseudo-backend —
+    # the same measurement path cross-validation diffs — whose
+    # conservative analysis concludes required == footprint.
     return MethodCounts(
         app=app.name,
         workload=result.workload,
-        static_source=len(app.program.static_view("source")),
-        static_binary=len(app.program.static_view("binary")),
+        static_source=len(
+            static_result(app, result.workload, "source").required_syscalls()
+        ),
+        static_binary=len(
+            static_result(app, result.workload, "binary").required_syscalls()
+        ),
         traced=len(traced),
         required=len(required),
         stubbable=len(stubbable),

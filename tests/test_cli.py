@@ -570,3 +570,87 @@ class TestCacheOps:
         path.write_text('{"not": "a database"}\n')
         assert main(["cache", "stats", str(path)]) == 2
         assert "not a SQLite database" in capsys.readouterr().err
+
+
+class TestLint:
+    def test_lint_single_clean_app(self, capsys):
+        assert main(["lint", "--app", "weborf"]) == 0
+        out = capsys.readouterr().out
+        assert "lint: 1 app(s) checked, 0 error(s), 0 warning(s)" in out
+
+    def test_lint_json_format(self, capsys):
+        import json
+
+        assert main(["lint", "--app", "weborf", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["apps_checked"] == 1
+        assert payload["findings"] == []
+        assert payload["counts"] == {"error": 0, "warning": 0}
+
+    def test_lint_planted_violation_gates(self, capsys, monkeypatch):
+        import json
+
+        from repro.appsim.corpus import HANDBUILT, build
+
+        bad = build("weborf")
+        extra = dict(bad.program.static_extra)
+        extra["binary"] = extra.get("binary", frozenset()) | {"frobnicate"}
+        bad = dataclasses.replace(
+            bad, program=dataclasses.replace(bad.program, static_extra=extra)
+        )
+        monkeypatch.setitem(HANDBUILT, "badapp", lambda: bad)
+        assert main(["lint", "--app", "badapp", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["error"] == 1
+        assert payload["findings"][0]["rule"] == "unknown-syscall"
+        assert "frobnicate" in payload["findings"][0]["message"]
+
+    def test_lint_select_and_ignore(self, capsys, monkeypatch):
+        from repro.appsim.corpus import HANDBUILT, build
+
+        bad = build("weborf")
+        extra = dict(bad.program.static_extra)
+        extra["binary"] = extra.get("binary", frozenset()) | {"frobnicate"}
+        bad = dataclasses.replace(
+            bad, program=dataclasses.replace(bad.program, static_extra=extra)
+        )
+        monkeypatch.setitem(HANDBUILT, "badapp", lambda: bad)
+        assert main(["lint", "--app", "badapp",
+                     "--ignore", "unknown-syscall"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--app", "badapp",
+                     "--select", "dead-branch"]) == 0
+
+    def test_lint_unknown_rule_exits_2(self, capsys):
+        assert main(["lint", "--app", "weborf", "--select", "nope"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_lint_unknown_app_exits_2(self, capsys):
+        assert main(["lint", "--app", "doom"]) == 2
+        err = capsys.readouterr().err
+        assert "doom" in err
+        assert "weborf" in err
+
+    def test_lint_database_audit(self, tmp_path, capsys):
+        from repro.api.session import AnalysisRequest, LoupeSession
+
+        session = LoupeSession()
+        session.analyze(AnalysisRequest(app="weborf", workload="health"))
+        path = tmp_path / "loupedb.json"
+        session.database.save(path)
+        assert main(["lint", "--app", "weborf", "--db", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_lint_missing_database_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nothere.json")
+        assert main(["lint", "--app", "weborf", "--db", missing]) == 2
+        assert capsys.readouterr().err
+
+    def test_lint_unsatisfiable_plan_gates(self, tmp_path, capsys):
+        plan = tmp_path / "tiny.csv"
+        plan.write_text("read\nwrite\n")
+        assert main(["lint", "--app", "weborf", "--plan", str(plan),
+                     "--workload", "health"]) == 1
+        out = capsys.readouterr().out
+        assert "unsatisfiable-plan" in out

@@ -232,3 +232,93 @@ class TestSelfValidationProperty:
             assert report.agrees
         finally:
             unregister_backend("appsim-alias")
+
+
+class TestStaticDivergences:
+    """Static pseudo-backend legs: over-approximation vs soundness."""
+
+    def test_overapproximation_is_the_expected_direction(self):
+        from repro.report import SOUNDNESS_VIOLATION, STATIC_OVERAPPROXIMATION
+
+        static = _analyze([_op("read"), _op("close"), _op("mmap")])
+        dynamic = _analyze([_op("read", count=5), _op("close")])
+        report = cross_validate([
+            ("static", static, False, True),
+            ("appsim", dynamic, False, False),
+        ])
+        kinds = {(d.kind, d.feature) for d in report.divergences}
+        assert (STATIC_OVERAPPROXIMATION, "mmap") in kinds
+        # Counts, verdicts, stability never compare against a
+        # footprint — the only divergence class is the expected one.
+        assert {d.kind for d in report.divergences} == {
+            STATIC_OVERAPPROXIMATION
+        }
+        assert report.soundness_violations() == ()
+        assert not report.agrees
+
+    def test_soundness_violation_is_flagged_and_rendered(self):
+        from repro.report import SOUNDNESS_VIOLATION
+
+        static = _analyze([_op("read")])
+        dynamic = _analyze([_op("read"), _op("write", count=3)])
+        report = cross_validate([
+            ("static", static, False, True),
+            ("appsim", dynamic, False, False),
+        ])
+        violations = report.soundness_violations()
+        assert len(violations) == 1
+        assert violations[0].kind == SOUNDNESS_VIOLATION
+        assert violations[0].feature == "write"
+        assert "absent from static footprint" in violations[0].detail
+        assert "SOUNDNESS" in render_cross_validation(report)
+
+    def test_dynamic_leg_preferred_as_reference(self):
+        static = _analyze([_op("read")])
+        dynamic = _analyze([_op("read")])
+        report = cross_validate([
+            ("static", static, False, True),
+            ("appsim", dynamic, False, False),
+        ])
+        assert report.reference == "appsim"
+        report = cross_validate([
+            ("static", static, False, True),
+            ("real", dynamic, True, False),
+            ("appsim", dynamic, False, False),
+        ])
+        assert report.reference == "real"
+
+    def test_two_static_legs_compare_setwise(self):
+        source = _analyze([_op("read")])
+        binary = _analyze([_op("read"), _op("mmap")])
+        report = cross_validate([
+            ("static:source", source, False, True),
+            ("static:binary", binary, False, True),
+        ])
+        kinds = {(d.kind, d.feature) for d in report.divergences}
+        assert kinds == {(EXTRA_IN_SIM, "mmap")}
+        assert "footprint" in report.divergences[0].detail
+
+    def test_three_tuple_entries_still_accepted(self):
+        result = _analyze([_op("read")])
+        report = cross_validate([
+            ("a", result, True),
+            ("b", result, False, True),
+        ])
+        assert report.reference == "a"
+        observations = {o.target: o for o in report.observations}
+        assert not observations["a"].static_analysis
+        assert observations["b"].static_analysis
+
+    def test_static_flag_omitted_from_dict_when_false(self):
+        result = _analyze([_op("read")])
+        plain = TargetObservation.from_result("appsim", result)
+        assert "static_analysis" not in plain.to_dict()
+        flagged = TargetObservation.from_result(
+            "static", result, static_analysis=True
+        )
+        assert flagged.to_dict()["static_analysis"] is True
+        for observation in (plain, flagged):
+            rebuilt = TargetObservation.from_dict(
+                json.loads(json.dumps(observation.to_dict()))
+            )
+            assert rebuilt == observation

@@ -48,6 +48,11 @@ class TestExamples:
         assert "live trace of /bin/echo" in out
         assert "stub  write -> exit" in out
 
+    def test_static_audit(self):
+        out = _run("static_audit.py")
+        assert "soundness violations:  0" in out
+        assert "audit verdict: CLEAN" in out
+
     def test_corpus_study(self):
         out = _run("corpus_study.py", timeout=600.0)
         assert "Figure 3" in out

@@ -142,3 +142,35 @@ class TestModeledViews:
     def test_unknown_level(self, cloud_app_set):
         with pytest.raises(ValueError):
             analyze_app(cloud_app_set[0], "quantum")
+
+
+class TestZeroDenominators:
+    """Empty inputs must report 0.0, never raise ZeroDivisionError."""
+
+    def test_resolution_rate_of_empty_scan(self):
+        from repro.staticx.binary import BinaryScanReport
+
+        report = BinaryScanReport(
+            path="empty.elf",
+            syscalls=frozenset(),
+            numbers=frozenset(),
+            sites=0,
+            unresolved_sites=0,
+        )
+        assert report.resolution_rate == 0.0
+
+    def test_resolution_rate_with_sites(self):
+        from repro.staticx.binary import BinaryScanReport
+
+        report = BinaryScanReport(
+            path="some.elf",
+            syscalls=frozenset({"read"}),
+            numbers=frozenset({0}),
+            sites=4,
+            unresolved_sites=1,
+        )
+        assert report.resolution_rate == 0.75
+
+    def test_overestimation_factor_of_empty_required_set(self, cloud_app_set):
+        report = analyze_app(cloud_app_set[0], "binary")
+        assert overestimation_factor(report, frozenset()) == 0.0

@@ -1,0 +1,139 @@
+"""Tests for the ``static`` pseudo-backend (repro.staticx.backend)."""
+
+import pytest
+
+from repro.api.registry import (
+    BackendResolutionError,
+    create_target,
+    resolve_backend,
+)
+from repro.api.session import AnalysisRequest, LoupeSession
+from repro.appsim.corpus import build
+from repro.core.policy import combined, passthrough
+from repro.core.runner import capabilities_of
+from repro.staticx import StaticBackend
+from repro.study.base import static_result
+
+
+class TestStaticBackend:
+    def test_run_reports_the_footprint(self):
+        app = build("weborf")
+        backend = StaticBackend(app.program, level="binary")
+        result = backend.run(app.workload("health"), passthrough())
+        assert result.success
+        assert result.syscalls() == app.program.static_view("binary")
+
+    def test_source_level_is_the_smaller_view(self):
+        app = build("redis")
+        source = StaticBackend(app.program, level="source")
+        binary = StaticBackend(app.program, level="binary")
+        workload = app.workload("health")
+        observed_source = source.run(workload, passthrough()).syscalls()
+        observed_binary = binary.run(workload, passthrough()).syscalls()
+        assert observed_source < observed_binary
+
+    def test_stubbing_any_footprint_syscall_fails_the_run(self):
+        app = build("weborf")
+        backend = StaticBackend(app.program, level="binary")
+        syscall = sorted(app.program.static_view("binary"))[0]
+        result = backend.run(
+            app.workload("health"), combined(stubs=[syscall])
+        )
+        assert not result.success
+        assert syscall in result.failure_reason
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            StaticBackend(build("weborf").program, level="quantum")
+
+    def test_capability_contract(self):
+        caps = capabilities_of(StaticBackend(build("weborf").program))
+        assert caps.deterministic
+        assert caps.parallel_safe
+        assert caps.process_safe
+        assert caps.static_analysis
+        assert not caps.real_execution
+        assert not caps.supports_pseudo_files
+        assert not caps.supports_subfeatures
+
+
+class TestRegistry:
+    def test_static_names_resolve(self):
+        for name in ("static", "static:source", "static:binary"):
+            assert resolve_backend(name) is not None
+
+    def test_unqualified_static_is_binary_level(self):
+        request = AnalysisRequest(app="weborf", workload="health")
+        target = create_target(("static",), request)
+        assert target.backend.level == "binary"
+        assert target.app == "weborf"
+
+    def test_unknown_app_rejected_with_choices(self):
+        request = AnalysisRequest(app="doom", workload="health")
+        with pytest.raises(BackendResolutionError, match="redis"):
+            create_target(("static",), request)
+
+    def test_unknown_workload_rejected_with_choices(self):
+        request = AnalysisRequest(app="weborf", workload="nope")
+        with pytest.raises(BackendResolutionError, match="health"):
+            create_target(("static",), request)
+
+
+class TestAnalysis:
+    def test_analysis_concludes_required_equals_footprint(self):
+        app = build("weborf")
+        result = LoupeSession().analyze(AnalysisRequest(
+            app="weborf", workload="health", backend="static"
+        ))
+        footprint = app.program.static_view("binary")
+        assert result.traced_syscalls() == footprint
+        assert result.required_syscalls() == footprint
+        assert not result.stubbable_syscalls()
+        assert not result.fakeable_syscalls()
+        assert result.final_run_ok
+
+    def test_static_result_helper_matches_direct_views(self):
+        app = build("lighttpd")
+        for level in ("source", "binary"):
+            result = static_result(app, "bench", level)
+            assert (
+                result.required_syscalls()
+                == app.program.static_view(level)
+            )
+
+    def test_static_result_falls_back_for_unregistered_models(self):
+        from repro.appsim.corpus import _synthetic_app
+
+        app = _synthetic_app(3)
+        result = static_result(app, "bench", "source")
+        assert result.required_syscalls() == app.program.static_view("source")
+
+
+class TestCompare:
+    def test_static_vs_appsim_report(self):
+        report = LoupeSession().compare(AnalysisRequest(
+            app="weborf", workload="health", backend="static,appsim"
+        ))
+        # The dynamic leg is the reference even though the spec lists
+        # the static leg first: footprints make a poor reference.
+        assert report.reference == "appsim"
+        counts = report.divergence_counts()
+        assert "static-overapproximation" in counts
+        assert report.soundness_violations() == ()
+        observations = {obs.target: obs for obs in report.observations}
+        assert observations["static"].static_analysis
+        assert not observations["appsim"].static_analysis
+        # Soundness: every dynamically observed syscall is in the
+        # static footprint, so the only divergences are the expected
+        # over-approximation direction.
+        assert set(counts) == {"static-overapproximation"}
+
+    def test_source_vs_binary_footprints_compare_setwise(self):
+        report = LoupeSession().compare(AnalysisRequest(
+            app="redis", workload="health",
+            backend="static:source,static:binary",
+        ))
+        counts = report.divergence_counts()
+        # binary ⊇ source, so the only difference is extra footprint
+        # entries on the non-reference (binary) side.
+        assert set(counts) == {"extra-in-sim"}

@@ -1,0 +1,232 @@
+"""Tests for the corpus linter (repro.staticx.rules)."""
+
+import dataclasses
+
+import pytest
+
+from repro.api.session import AnalysisRequest, LoupeSession
+from repro.appsim.corpus import _synthetic_app, build
+from repro.core.runner import BackendCapabilities
+from repro.db import Database
+from repro.plans.state import SupportState
+from repro.staticx import rules
+from repro.staticx.rules import (
+    Finding,
+    LintRuleError,
+    audit_database,
+    exit_code,
+    lint_app,
+    lint_corpus,
+    lint_plan,
+    max_severity,
+    rule_catalogue,
+)
+
+
+def _with_bad_footprint(app, syscall="frobnicate", level="binary"):
+    """A copy of *app* whose static footprint names an unknown syscall."""
+    extra = dict(app.program.static_extra)
+    extra[level] = extra.get(level, frozenset()) | {syscall}
+    return dataclasses.replace(
+        app, program=dataclasses.replace(app.program, static_extra=extra)
+    )
+
+
+def _without_workload(app, name):
+    return dataclasses.replace(
+        app,
+        workloads={k: w for k, w in app.workloads.items() if k != name},
+    )
+
+
+class TestFinding:
+    def test_describe_and_round_trip(self):
+        finding = Finding(
+            rule="unknown-syscall", severity="error",
+            location="app:x", message="boom",
+        )
+        assert finding.describe() == "error[unknown-syscall] app:x: boom"
+        assert Finding.from_dict(finding.to_dict()) == finding
+
+    def test_catalogue_names_are_unique(self):
+        names = [rule.name for rule in rule_catalogue()]
+        assert len(names) == len(set(names))
+        assert {rule.scope for rule in rule_catalogue()} == {
+            "app", "plan", "db"
+        }
+
+
+class TestAppRules:
+    def test_shipped_corpus_is_clean(self):
+        assert lint_corpus() == []
+
+    def test_unknown_syscall_in_footprint(self):
+        findings = lint_app(_with_bad_footprint(build("weborf")))
+        assert [f.rule for f in findings] == ["unknown-syscall"]
+        assert findings[0].severity == "error"
+        assert "frobnicate" in findings[0].message
+        assert findings[0].location == "app:weborf"
+
+    def test_dead_branch_when_no_workload_exercises_the_gate(self):
+        pruned = _without_workload(build("weborf"), "suite")
+        findings = lint_app(pruned, select=["dead-branch"])
+        assert findings
+        assert all(f.severity == "warning" for f in findings)
+        assert all("never execute" in f.message for f in findings)
+
+    def test_unreachable_phase_needs_every_op_dead(self):
+        # Dropping the suite workload kills weborf's gated ops, but
+        # every lifecycle phase keeps at least one ungated op — so the
+        # phase-level rule stays quiet while the op-level rule fires.
+        pruned = _without_workload(build("weborf"), "suite")
+        assert lint_app(pruned, select=["dead-branch"])
+        assert lint_app(pruned, select=["unreachable-phase"]) == []
+
+    def test_capability_mismatch_under_a_narrow_contract(self, monkeypatch):
+        # redis declares both sub-features and pseudo-files; against a
+        # contract supporting neither, both mismatch findings fire.
+        app = build("redis")
+        assert lint_app(app, select=["capability-mismatch"]) == []
+        monkeypatch.setattr(
+            rules, "capabilities_of",
+            lambda backend: BackendCapabilities(deterministic=True),
+        )
+        findings = lint_app(app, select=["capability-mismatch"])
+        assert len(findings) == 2
+        assert all(f.severity == "error" for f in findings)
+        assert any("sub-feature" in f.message for f in findings)
+        assert any("pseudo-file" in f.message for f in findings)
+
+
+class TestSuppression:
+    def test_select_narrows_to_one_rule(self):
+        bad = _with_bad_footprint(_without_workload(build("weborf"), "suite"))
+        all_findings = lint_app(bad)
+        assert {f.rule for f in all_findings} == {
+            "unknown-syscall", "dead-branch"
+        }
+        only = lint_app(bad, select=["dead-branch"])
+        assert {f.rule for f in only} == {"dead-branch"}
+
+    def test_ignore_suppresses_a_rule(self):
+        bad = _with_bad_footprint(build("weborf"))
+        assert lint_app(bad, ignore=["unknown-syscall"]) == []
+
+    def test_unknown_rule_name_rejected(self):
+        with pytest.raises(LintRuleError, match="unknown lint rule"):
+            lint_app(build("weborf"), select=["no-such-rule"])
+        with pytest.raises(LintRuleError):
+            lint_app(build("weborf"), ignore=["no-such-rule"])
+
+
+class TestSeverityAndExitCodes:
+    def test_clean_pass(self):
+        assert max_severity([]) is None
+        assert exit_code([]) == 0
+
+    def test_warnings_do_not_gate(self):
+        warning = Finding("dead-branch", "warning", "app:x", "m")
+        assert max_severity([warning]) == "warning"
+        assert exit_code([warning]) == 0
+
+    def test_errors_gate(self):
+        error = Finding("unknown-syscall", "error", "app:x", "m")
+        warning = Finding("dead-branch", "warning", "app:x", "m")
+        assert max_severity([warning, error]) == "error"
+        assert exit_code([warning, error]) == 1
+
+
+class TestPlanRule:
+    def test_unsatisfiable_plan_flagged(self):
+        state = SupportState(os_name="tiny", implemented={"read", "write"})
+        findings = lint_plan(state, [build("weborf")], workload="health")
+        assert [f.rule for f in findings] == ["unsatisfiable-plan"]
+        assert findings[0].severity == "error"
+        assert findings[0].location == "plan:tiny/app:weborf"
+        assert "required syscall" in findings[0].message
+
+    def test_complete_plan_is_clean(self):
+        from repro.plans.requirements import requirements_for
+
+        app = build("weborf")
+        required = requirements_for(app, "health").required
+        state = SupportState(os_name="full", implemented=set(required))
+        assert lint_plan(state, [app], workload="health") == []
+
+
+class TestDatabaseAudit:
+    def _database_for(self, *requests):
+        session = LoupeSession()
+        for request in requests:
+            session.analyze(request)
+        return session.database
+
+    def test_clean_database(self):
+        database = self._database_for(
+            AnalysisRequest(app="weborf", workload="health")
+        )
+        assert audit_database(database) == []
+
+    def test_unknown_app_is_a_warning(self):
+        database = self._database_for(
+            AnalysisRequest.for_app(_synthetic_app(0), "health")
+        )
+        findings = audit_database(database)
+        assert [f.rule for f in findings] == ["unknown-app"]
+        assert findings[0].severity == "warning"
+        assert "app-000" in findings[0].message
+
+    def test_version_skew_is_a_warning(self):
+        database = self._database_for(
+            AnalysisRequest(app="weborf", workload="health")
+        )
+        skewed = Database()
+        for record in database:
+            skewed.add(dataclasses.replace(record, app_version="0.0.0"))
+        findings = audit_database(skewed)
+        assert [f.rule for f in findings] == ["version-skew"]
+        assert findings[0].severity == "warning"
+
+    def test_soundness_violation_is_an_error(self):
+        # Audit a real dynamic record against a hollowed-out model
+        # whose footprint lost almost everything: every dynamically
+        # observed syscall outside it must hard-error.
+        database = self._database_for(
+            AnalysisRequest(app="weborf", workload="health")
+        )
+
+        class HollowProgram:
+            @staticmethod
+            def static_view(level):
+                return frozenset({"read"})
+
+        class HollowApp:
+            program = HollowProgram()
+
+        soundness = next(
+            rule for rule in rules.DB_RULES
+            if rule.name == "static-soundness"
+        )
+        findings = []
+        for record in database:
+            findings.extend(rules._wrap(
+                soundness, soundness.check(record, HollowApp(), "binary")
+            ))
+        assert [f.rule for f in findings] == ["static-soundness"]
+        assert findings[0].severity == "error"
+        assert "soundness violation" in findings[0].message
+
+    def test_static_records_are_skipped(self):
+        # A footprint record's trace IS the footprint, not a dynamic
+        # observation — auditing it would be circular, so it's skipped.
+        database = self._database_for(AnalysisRequest(
+            app="weborf", workload="health", backend="static:source"
+        ))
+        assert all(
+            record.backend.startswith("static:") for record in database
+        )
+        assert audit_database(database, level="source") == []
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="level"):
+            audit_database(Database(), level="quantum")

@@ -1,0 +1,88 @@
+"""Soundness property: static footprint ⊇ dynamic, for every corpus app.
+
+The paper's Section 5.1 invariant — a sound static analysis reports a
+superset of anything dynamics can observe — is what makes the
+``static`` pseudo-backend's over-approximation *expected* and a miss a
+hard error. The corpus construction (``with_static_views`` /
+``calibrated_static``) is supposed to guarantee it by building the
+views up from the op set; these tests check the guarantee instead of
+trusting it, across the whole corpus and under Hypothesis-sampled
+workload/level combinations.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.appsim.corpus import cloud_apps, corpus
+from repro.core.policy import passthrough
+from repro.plans.requirements import requirements_for
+
+_CORPUS = corpus()
+_LEVELS = ("source", "binary")
+
+
+def _every_reachable_syscall(app):
+    """Union of op syscalls over all declared workloads' feature gates."""
+    reachable = set()
+    for workload in app.workloads.values():
+        exercised = workload.features_exercised
+        for op in app.program.ops:
+            if op.when is None or op.when & exercised:
+                reachable.add(op.syscall)
+    return reachable
+
+
+class TestCorpusWideSoundness:
+    def test_static_covers_every_reachable_op_for_all_apps(self):
+        # Exhaustive and cheap: no runs needed — anything dynamics
+        # could ever trace comes from a reachable op, so op-level
+        # coverage implies trace-level coverage for all 116 apps.
+        for app in _CORPUS:
+            reachable = _every_reachable_syscall(app)
+            for level in _LEVELS:
+                footprint = app.program.static_view(level)
+                missing = reachable - footprint
+                assert not missing, (
+                    f"{app.name}: {level} footprint misses {sorted(missing)}"
+                )
+
+    def test_binary_view_covers_source_view_for_all_apps(self):
+        for app in _CORPUS:
+            source = app.program.static_view("source")
+            binary = app.program.static_view("binary")
+            assert source <= binary, app.name
+
+
+class TestSampledDynamicSoundness:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        app=st.sampled_from(cloud_apps()),
+        workload_name=st.sampled_from(("health", "bench", "suite")),
+        level=st.sampled_from(_LEVELS),
+    )
+    def test_traced_syscalls_within_footprint(
+        self, app, workload_name, level
+    ):
+        # An actual dynamic observation: one passthrough run of the
+        # simulated app. Every syscall it traces must be in both
+        # static views (source and binary alike).
+        result = app.backend().run(app.workload(workload_name), passthrough())
+        traced = set(result.syscalls())
+        footprint = app.program.static_view(level)
+        assert traced <= footprint, sorted(traced - footprint)
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        app=st.sampled_from(cloud_apps()),
+        workload_name=st.sampled_from(("health", "bench", "suite")),
+        level=st.sampled_from(_LEVELS),
+    )
+    def test_required_set_within_footprint(self, app, workload_name, level):
+        # Stronger: the full analysis' required set (memoized via
+        # requirements_for, so repeat examples are cheap) is a subset
+        # of the traced set and therefore of the footprint too.
+        requirements = requirements_for(app, workload_name)
+        footprint = app.program.static_view(level)
+        assert requirements.required <= footprint, sorted(
+            set(requirements.required) - footprint
+        )
