@@ -1,0 +1,143 @@
+"""Fleet benchmark — remote executor + shared HTTP run cache.
+
+The distributed form of ``bench_parallel_engine.py``'s claims: a
+campaign dispatched to a two-worker fabric fleet, with every run
+published into a campaign server's shared run cache over HTTP, must
+
+* **conclude identically** — reports byte-identical to the strictly
+  local serial analysis (the fabric is a transport, never a semantic);
+* **warm the whole fleet at once** — a second campaign over the same
+  server answers >50% of its requests from the shared store and
+  re-executes nothing, because the cache is one store for the fleet,
+  not N private files;
+* **observe the fleet** — the server's ``/stats`` gauges see the
+  announced workers, and its cache counters account for the campaign's
+  traffic (the cold run's misses, the warm run's hits).
+
+Numbers land in ``BENCH_fleet_engine.json`` for the CI perf archive.
+``LOUPE_BENCH_APPS=N`` shrinks the corpus for smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.analyzer import Analyzer, AnalyzerConfig
+from repro.core.engine import EngineStats
+from repro.fabric.worker import FabricWorker
+from repro.server import CampaignServer
+
+#: Where the perf numbers land (CI uploads this file).
+RESULTS_PATH = Path("BENCH_fleet_engine.json")
+
+_RESULTS: dict = {}
+
+WORKERS = 2
+
+
+def _reduced(apps):
+    """Honor ``LOUPE_BENCH_APPS=N`` (CI smoke runs a reduced corpus)."""
+    limit = int(os.environ.get("LOUPE_BENCH_APPS", "0"))
+    return list(apps)[:limit] if limit else list(apps)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _flush_results():
+    yield
+    if not _RESULTS:
+        return
+    _RESULTS["workers"] = WORKERS
+    RESULTS_PATH.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True))
+    print(f"\nbench results written to {RESULTS_PATH}")
+
+
+def _campaign(apps, *, executor="serial", workers=(), run_cache=None):
+    """Analyze every app; returns (results, summed stats, seconds)."""
+    started = time.monotonic()
+    results = []
+    totals = EngineStats()
+    for app in apps:
+        with Analyzer(AnalyzerConfig(
+            parallel=1 if executor == "serial" else 4,
+            executor=executor,
+            workers=workers,
+            run_cache=run_cache,
+        )) as analyzer:
+            results.append(analyzer.analyze(
+                app.backend(), app.workload("bench"),
+                app=app.name, app_version=app.version,
+            ))
+            totals = totals + analyzer.engine.stats
+    return results, totals, time.monotonic() - started
+
+
+def _digest(results):
+    return [json.dumps(r.to_dict(), sort_keys=True) for r in results]
+
+
+def test_fleet_campaign_warm_cache(seven_app_set, tmp_path):
+    apps = _reduced(seven_app_set)
+    serial_results, _, serial_s = _campaign(apps)
+
+    with CampaignServer(
+        tmp_path / "svc", workers=1,
+        run_cache=str(tmp_path / "fleet.sqlite"),
+    ) as server:
+        with FabricWorker(announce_url=server.url, heartbeat_s=0.2) as one, \
+                FabricWorker(announce_url=server.url, heartbeat_s=0.2) as two:
+            addresses = (one.address, two.address)
+            deadline = time.monotonic() + 10.0
+            while server.fleet.gauges()["workers"] < WORKERS:
+                if time.monotonic() > deadline:
+                    raise AssertionError("workers never announced")
+                time.sleep(0.05)
+
+            cold_results, cold, cold_s = _campaign(
+                apps, executor="remote", workers=addresses,
+                run_cache=server.url,
+            )
+            warm_results, warm, warm_s = _campaign(
+                apps, executor="remote", workers=addresses,
+                run_cache=server.url,
+            )
+            gauges = server.fleet.gauges()
+            counters = server.cache.counters()
+
+    print(f"\n=== Fleet campaign: {len(apps)} apps, {WORKERS} workers, "
+          f"shared HTTP cache ===")
+    print(f"serial (local, no cache): {serial_s:6.2f}s")
+    print(f"cold fleet campaign:      {cold_s:6.2f}s  [{cold.describe()}]")
+    print(f"warm fleet campaign:      {warm_s:6.2f}s  [{warm.describe()}]")
+    print(f"warm persistent hit rate: {warm.persistent_hit_rate:.0%}")
+    print(f"fleet gauges: {gauges}; cache counters: {counters}")
+
+    _RESULTS["fleet_campaign"] = {
+        "apps": len(apps),
+        "serial_s": round(serial_s, 3),
+        "cold_s": round(cold_s, 3),
+        "warm_s": round(warm_s, 3),
+        "cold_runs_executed": cold.runs_executed,
+        "warm_runs_executed": warm.runs_executed,
+        "warm_persistent_hit_rate": round(warm.persistent_hit_rate, 3),
+        "cache_counters": counters,
+        "fleet_workers_seen": gauges["workers"],
+    }
+
+    # The fabric is a scheduling choice: identical conclusions.
+    assert _digest(cold_results) == _digest(serial_results)
+    assert _digest(warm_results) == _digest(serial_results)
+    # The shared store warms the fleet: nothing re-executes.
+    assert cold.runs_executed > 0
+    assert warm.runs_executed == 0, "warm fleet campaign re-executed runs"
+    assert warm.persistent_hit_rate > 0.5, (
+        f"only {warm.persistent_hit_rate:.0%} persistent hits"
+    )
+    # Observability: both workers were announced; the cache surface
+    # accounted for the campaigns' traffic.
+    assert gauges["workers"] == WORKERS
+    assert counters["hits"] > 0 and counters["misses"] > 0

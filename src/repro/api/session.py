@@ -260,7 +260,11 @@ class LoupeSession:
         if path and self.config.run_cache != path:
             self.config = dataclasses.replace(self.config, run_cache=path)
         self.run_cache: "RunCacheBackend | None" = (
-            self._store_for(path, self.config.run_cache_max_entries)
+            self._store_for(
+                path,
+                self.config.run_cache_max_entries,
+                self.config.run_cache_ttl_s,
+            )
             if path
             else None
         )
@@ -299,20 +303,24 @@ class LoupeSession:
             self._semantics = {}
 
     def _store_for(
-        self, path: str, max_entries: "int | None" = None
+        self,
+        path: str,
+        max_entries: "int | None" = None,
+        ttl_s: "float | None" = None,
     ) -> RunCacheBackend:
         """The session's shared store for *path* (opened on first use).
 
         Keyed by resolved identity, not the raw string, so relative
         and absolute spellings of one file share one store. The first
-        open of an identity wins its configuration (*max_entries*).
+        open of an identity wins its configuration (*max_entries*,
+        *ttl_s*).
         """
         identity = store_identity(path)
         with self._lock:
             store = self._stores.get(identity)
             if store is None:
                 store = self._stores[identity] = open_store(
-                    path, max_entries=max_entries
+                    path, max_entries=max_entries, ttl_s=ttl_s
                 )
             return store
 
@@ -460,7 +468,10 @@ class LoupeSession:
         effective = config or self.config
         if independent and effective.run_cache:
             effective = dataclasses.replace(
-                effective, run_cache=None, run_cache_max_entries=None
+                effective,
+                run_cache=None,
+                run_cache_max_entries=None,
+                run_cache_ttl_s=None,
             )
         semantics = _config_semantics(effective)
         key = _target_record_key(target)
@@ -483,7 +494,9 @@ class LoupeSession:
         # resolve to the same store).
         store = (
             self._store_for(
-                effective.run_cache, effective.run_cache_max_entries
+                effective.run_cache,
+                effective.run_cache_max_entries,
+                effective.run_cache_ttl_s,
             )
             if effective.run_cache
             else (None if independent else self.run_cache)

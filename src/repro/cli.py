@@ -30,7 +30,12 @@ Subcommands mirror how the paper's tool is used:
   ``--select``/``--ignore``, 0 otherwise.
 * ``serve``    — run the campaign server (job queue, bounded worker
   pool, live event streaming over HTTP; ``--max-queue``, ``--lease``
-  and ``--max-attempts`` set the durability posture).
+  and ``--max-attempts`` set the durability posture; ``--run-cache``
+  additionally serves the store to the fleet at ``/cache``).
+* ``worker``   — run one fabric worker: accepts pickled probe chunks
+  from ``--executor remote`` campaigns over TCP and executes them
+  locally (``--port-file`` publishes an ephemeral bind address,
+  ``--announce`` feeds the server's fleet gauges).
 * ``submit`` / ``jobs`` / ``tail`` / ``cancel`` / ``drain`` — the
   server's clients: submit a campaign spec, list jobs (``--state``
   filters, e.g. ``--state quarantined`` for triage), stream a job's
@@ -50,9 +55,11 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import signal
 import sys
 import threading
+from pathlib import Path
 
 from repro.api.registry import BackendRegistryError, resolve_backend
 from repro.api.session import AnalysisRequest, LoupeSession
@@ -256,6 +263,15 @@ def _print_analysis(result) -> None:
         print("WARNING: final combined run failed; conflicts:", result.conflicts)
 
 
+def _parse_workers(spec: "str | None") -> tuple:
+    """The --workers comma list as a tuple of 'host:port' addresses."""
+    if not spec:
+        return ()
+    return tuple(
+        part.strip() for part in spec.split(",") if part.strip()
+    )
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.no_cache and args.run_cache:
         print("--run-cache requires run memoization; drop --no-cache",
@@ -265,15 +281,26 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print("--run-cache-max-entries requires --run-cache; there is "
               "no persistent store to bound", file=sys.stderr)
         return 2
+    if args.run_cache_ttl is not None and not args.run_cache:
+        print("--run-cache-ttl requires --run-cache; there is no "
+              "persistent store to age out", file=sys.stderr)
+        return 2
+    if args.executor == "remote" and not args.workers:
+        print("--executor remote needs --workers HOST:PORT[,...] "
+              "(start them with: loupe worker --port PORT)",
+              file=sys.stderr)
+        return 2
     config = AnalyzerConfig(
         replicas=args.replicas,
         subfeature_level=args.subfeatures,
         pseudo_files=args.pseudofiles,
         parallel=args.jobs,
         executor=args.executor,
+        workers=_parse_workers(args.workers),
         cache=not args.no_cache,
         run_cache=args.run_cache,
         run_cache_max_entries=args.run_cache_max_entries,
+        run_cache_ttl_s=args.run_cache_ttl,
         probe_timeout_s=args.probe_timeout,
         retries=args.retries,
         retry_backoff_s=args.retry_backoff,
@@ -345,12 +372,18 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.executor == "remote" and not args.workers:
+        print("--executor remote needs --workers HOST:PORT[,...] "
+              "(start them with: loupe worker --port PORT)",
+              file=sys.stderr)
+        return 2
     config = AnalyzerConfig(
         replicas=args.replicas,
         subfeature_level=args.subfeatures,
         pseudo_files=args.pseudofiles,
         parallel=args.jobs,
         executor=args.executor,
+        workers=_parse_workers(args.workers),
         probe_timeout_s=args.probe_timeout,
         retries=args.retries,
         retry_backoff_s=args.retry_backoff,
@@ -551,6 +584,8 @@ def _print_store_stats(stats) -> None:
     print(f"max_entries: "
           f"{stats.max_entries if stats.max_entries is not None else '-'}")
     print(f"evictions: {stats.evictions}")
+    print(f"ttl_s: {stats.ttl_s if stats.ttl_s is not None else '-'}")
+    print(f"expired: {stats.expired}")
 
 
 def _require_store_file(path: str) -> None:
@@ -558,7 +593,11 @@ def _require_store_file(path: str) -> None:
     exit 2, not report success on a silently-created empty store."""
     from repro.core.cachestore import parse_store_path
 
-    _kind, concrete = parse_store_path(path)
+    kind, concrete = parse_store_path(path)
+    if kind == "http":
+        # A URL names a served store; reachability is checked when the
+        # remote client opens (with its own actionable error).
+        return
     if not concrete.exists():
         raise CacheStoreError(f"no run-cache store at {concrete}")
 
@@ -569,7 +608,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     try:
         if args.cache_command == "stats":
             _require_store_file(args.path)
-            with open_store(args.path) as store:
+            with open_store(args.path, ttl_s=args.ttl) as store:
                 stats = store.stats()
             if args.json:
                 # The same serialization the campaign server's
@@ -583,12 +622,22 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 outcome = store.compact()
             print(outcome.describe())
         elif args.cache_command == "gc":
+            if args.max_entries is None and args.ttl is None:
+                print("cache gc needs an eviction dimension: "
+                      "--max-entries N (LRU cap, sqlite only) and/or "
+                      "--ttl SECONDS (age sweep)", file=sys.stderr)
+                return 2
             _require_store_file(args.path)
             with open_store(args.path) as store:
-                evicted = store.gc(args.max_entries)
+                evicted = store.gc(args.max_entries, ttl_s=args.ttl)
                 remaining = len(store)
+            bounds = []
+            if args.ttl is not None:
+                bounds.append(f"ttl {args.ttl:g}s")
+            if args.max_entries is not None:
+                bounds.append(f"cap {args.max_entries}")
             print(f"evicted {evicted} record(s); {remaining} remain "
-                  f"(cap {args.max_entries})")
+                  f"({', '.join(bounds)})")
         elif args.cache_command == "migrate":
             _require_store_file(args.source)
             migrated = migrate_store(
@@ -675,6 +724,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.fabric import FabricWorker
+
+    try:
+        worker = FabricWorker(
+            host=args.host,
+            port=args.port,
+            heartbeat_s=args.heartbeat,
+            announce_url=args.announce,
+        )
+    except (OSError, ValueError) as error:
+        print(f"worker: cannot bind {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 2
+    worker.start()
+    print(f"fabric worker listening on {worker.address} "
+          f"(pid {os.getpid()})", flush=True)
+    if args.port_file:
+        # Script-friendly discovery, like the server's server.json: an
+        # ephemeral --port 0 worker publishes where it actually bound.
+        Path(args.port_file).write_text(f"{worker.address}\n")
+
+    # SIGTERM takes the same graceful path as Ctrl-C (background
+    # shells start children with SIGINT ignored).
+    if threading.current_thread() is threading.main_thread():
+        def _terminate(signum: int, frame: object) -> None:
+            raise KeyboardInterrupt
+
+        signal.signal(signal.SIGTERM, _terminate)
+    try:
+        worker.serve_forever()
+    except KeyboardInterrupt:
+        print("interrupt: shutting down worker", file=sys.stderr,
+              flush=True)
+        return 130
+    finally:
+        worker.close()
+        if args.port_file:
+            try:
+                Path(args.port_file).unlink()
+            except FileNotFoundError:
+                pass
+    return 0
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.server import ServiceError
 
@@ -687,8 +781,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         "pseudofiles": args.pseudofiles,
         "jobs": args.jobs,
         "executor": args.executor,
+        "workers": args.workers or "",
         "run_cache": args.run_cache,
         "run_cache_max_entries": args.run_cache_max_entries,
+        "run_cache_ttl": args.run_cache_ttl,
         "probe_timeout": args.probe_timeout,
         "retries": args.retries,
         "retry_backoff": args.retry_backoff,
@@ -943,13 +1039,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="probe-engine worker pool width (replicas "
                               "of one probe run concurrently; default 1)")
     analyze.add_argument("--executor",
-                         choices=("auto", "serial", "thread", "process"),
+                         choices=("auto", "serial", "thread", "process",
+                                  "remote"),
                          default="auto",
                          help="probe sharding strategy at --jobs > 1: "
                               "threads overlap run latency, processes "
                               "shard CPU-bound simulated runs past the "
-                              "GIL (backends that cannot shard fall "
-                              "back automatically; default: auto)")
+                              "GIL, remote ships chunks to a worker "
+                              "fleet (--workers) (backends that cannot "
+                              "shard fall back automatically; "
+                              "default: auto)")
+    analyze.add_argument("--workers", metavar="HOST:PORT[,HOST:PORT...]",
+                         default=None,
+                         help="worker fleet for --executor remote: "
+                              "comma list of `loupe worker` addresses")
     analyze.add_argument("--run-cache", metavar="PATH", default=None,
                          help="persistent run-cache store; repeated "
                               "campaigns over the same path start "
@@ -963,6 +1066,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="LRU cap on the persistent run cache "
                               "(sqlite backend only): puts past N "
                               "records evict the least recently used")
+    analyze.add_argument("--run-cache-ttl", type=float, default=None,
+                         metavar="SECONDS",
+                         help="age cap on the persistent run cache: "
+                              "records older than this read as misses "
+                              "(sweep them with `loupe cache gc --ttl`)")
     analyze.add_argument("--no-cache", action="store_true",
                          help="disable run-result memoization in the "
                               "probe engine")
@@ -992,8 +1100,12 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
                          help="probe-engine worker pool width per target")
     compare.add_argument("--executor",
-                         choices=("auto", "serial", "thread", "process"),
+                         choices=("auto", "serial", "thread", "process",
+                                  "remote"),
                          default="auto")
+    compare.add_argument("--workers", metavar="HOST:PORT[,HOST:PORT...]",
+                         default=None,
+                         help="worker fleet for --executor remote")
     compare.add_argument("--events", choices=("jsonl",), default=None,
                          help="stream analysis progress events (incl. "
                               "target_started/target_finished and the "
@@ -1046,6 +1158,11 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="print a store's entry counts and footprint"
     )
     cache_stats.add_argument("path")
+    cache_stats.add_argument("--ttl", type=float, default=None,
+                             metavar="SECONDS",
+                             help="also count records older than this "
+                                  "as expired (what `gc --ttl` with "
+                                  "the same value would sweep)")
     cache_stats.add_argument("--json", action="store_true",
                              help="print the stats as one JSON object "
                                   "(the shape GET /stats of the "
@@ -1060,12 +1177,18 @@ def build_parser() -> argparse.ArgumentParser:
     cache_compact.add_argument("path")
     cache_compact.set_defaults(func=_cmd_cache)
     cache_gc = cache_sub.add_parser(
-        "gc", help="evict least-recently-used records down to a cap "
-                   "(sqlite stores only)"
+        "gc", help="evict records: by age (--ttl, any backend) and/or "
+                   "down to an LRU cap (--max-entries, sqlite only)"
     )
     cache_gc.add_argument("path")
     cache_gc.add_argument("--max-entries", type=_positive_int,
-                          required=True, metavar="N")
+                          default=None, metavar="N",
+                          help="keep at most N records, evicting the "
+                               "least recently used (sqlite only)")
+    cache_gc.add_argument("--ttl", type=float, default=None,
+                          metavar="SECONDS",
+                          help="sweep records older than this many "
+                               "seconds (jsonl and sqlite)")
     cache_gc.set_defaults(func=_cmd_cache)
     cache_migrate = cache_sub.add_parser(
         "migrate",
@@ -1196,6 +1319,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="log each HTTP request to stderr")
     serve.set_defaults(func=_cmd_serve)
 
+    worker = sub.add_parser(
+        "worker",
+        help="run one fabric worker: accept pickled probe chunks from "
+             "remote-executor campaigns (--executor remote --workers "
+             "HOST:PORT,...) over TCP and execute them locally",
+    )
+    worker.add_argument("--host", default="127.0.0.1")
+    worker.add_argument("--port", type=int, default=0,
+                        help="port to bind; 0 (the default) picks an "
+                             "ephemeral one — publish it with "
+                             "--port-file")
+    worker.add_argument("--port-file", metavar="PATH", default=None,
+                        help="write the bound host:port address to "
+                             "this file once listening (removed on "
+                             "clean shutdown)")
+    worker.add_argument("--announce", metavar="URL", default=None,
+                        help="campaign server base URL to send "
+                             "periodic fleet heartbeats to (feeds the "
+                             "worker gauges in its GET /stats)")
+    worker.add_argument("--heartbeat", type=float, default=2.0,
+                        metavar="SECONDS",
+                        help="connection heartbeat interval; schedulers "
+                             "presume a worker dead after ~5 missed "
+                             "beats (default 2)")
+    worker.set_defaults(func=_cmd_worker)
+
     def _client_arguments(parser: argparse.ArgumentParser) -> None:
         parser.add_argument("--url", default=None,
                             help="server address (http://host:port); "
@@ -1229,14 +1378,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="probe-engine worker pool width inside "
                              "the campaign")
     submit.add_argument("--executor",
-                        choices=("auto", "serial", "thread", "process"),
+                        choices=("auto", "serial", "thread", "process",
+                                 "remote"),
                         default="auto")
+    submit.add_argument("--workers", metavar="HOST:PORT[,HOST:PORT...]",
+                        default=None,
+                        help="worker fleet the job's remote executor "
+                             "dials (addresses as the *server* reaches "
+                             "them)")
     submit.add_argument("--run-cache", metavar="PATH", default=None,
                         help="persistent run cache for this job "
                              "(default: the server's --run-cache, "
-                             "if any)")
+                             "if any); http://host:port uses a "
+                             "campaign server's /cache surface")
     submit.add_argument("--run-cache-max-entries", type=_positive_int,
                         default=None, metavar="N")
+    submit.add_argument("--run-cache-ttl", type=float, default=None,
+                        metavar="SECONDS",
+                        help="age cap on the job's run cache")
     _add_fault_arguments(submit)
     submit.add_argument("--json", action="store_true",
                         help="print the created job's meta as JSON")

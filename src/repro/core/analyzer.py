@@ -128,6 +128,18 @@ class AnalyzerConfig:
     #: only): a put that grows the store past this many records
     #: evicts the least recently used. ``None`` leaves it unbounded.
     run_cache_max_entries: "int | None" = None
+    #: Optional age cap on persistent run-cache records: entries older
+    #: than this many seconds read as misses (and ``loupe cache gc
+    #: --ttl`` sweeps them). Complements the LRU entry cap — the cap
+    #: bounds *size*, the TTL bounds *staleness*. ``None`` disables
+    #: age-based eviction.
+    run_cache_ttl_s: "float | None" = None
+    #: Fabric worker addresses (``host:port``) for
+    #: ``executor="remote"``: probe chunks are shipped to these
+    #: ``loupe worker`` processes instead of a local pool. Required
+    #: (non-empty) when the remote executor is selected, ignored by
+    #: every other executor.
+    workers: "tuple[str, ...]" = ()
     #: Stop replicating a probe at the first failed replica (one
     #: failure already decides the conservative merge).
     early_exit: bool = True
@@ -221,6 +233,20 @@ class AnalyzerConfig:
                 "run_cache_max_entries requires run_cache: there is "
                 "no persistent store to bound"
             )
+        if self.run_cache_ttl_s is not None and self.run_cache_ttl_s <= 0:
+            raise ValueError("run_cache_ttl_s must be positive")
+        if self.run_cache_ttl_s is not None and not self.run_cache:
+            raise ValueError(
+                "run_cache_ttl_s requires run_cache: there is no "
+                "persistent store to age out"
+            )
+        # Normalize (the config is frozen; lists arrive from job specs).
+        object.__setattr__(self, "workers", tuple(self.workers))
+        if self.executor == "remote" and not self.workers:
+            raise ValueError(
+                "executor='remote' needs at least one worker address "
+                "(workers=('host:port', ...))"
+            )
         # FaultPolicy validates the fault knobs (ranges, mode names);
         # building it here surfaces bad values at config time instead
         # of mid-campaign.
@@ -292,6 +318,7 @@ class Analyzer:
             store = self._owned_store = open_store(
                 self.config.run_cache,
                 max_entries=self.config.run_cache_max_entries,
+                ttl_s=self.config.run_cache_ttl_s,
             )
         #: The probe scheduler every run of this analyzer goes through.
         #: Its LRU and statistics are reset at the start of each
@@ -304,6 +331,7 @@ class Analyzer:
             executor=self.config.executor,
             store=store,
             fault_policy=self.config.fault_policy(),
+            workers=self.config.workers,
         )
         #: Populated by :meth:`analyze` when priors are configured.
         self.last_transfer_stats: "object | None" = None

@@ -15,6 +15,13 @@ compatibility shim) into a small subsystem:
 * :mod:`~repro.core.cachestore.sqlite` — a WAL-mode SQLite store:
   multi-process safe, live read-through, upsert puts, LRU eviction
   via ``last_used``/``use_count`` under ``max_entries``;
+* :mod:`~repro.core.cachestore.remote` — :class:`RemoteRunCache`, an
+  HTTP client for the campaign server's ``/cache`` surface: one
+  store shared by a whole worker fleet, with cross-process
+  single-flight claims de-duplicating concurrent misses;
+* :mod:`~repro.core.cachestore.singleflight` — the in-process form of
+  that claim protocol, :class:`SingleFlightStore`, wrapping any local
+  backend for ``analyze_many(jobs=N)`` thread fleets;
 * :mod:`~repro.core.cachestore.factory` — :func:`open_store` (scheme
   and extension aware) and :func:`migrate_store` (jsonl → sqlite
   upgrade path);
@@ -40,6 +47,7 @@ from repro.core.cachestore.base import (
     StoreStats,
     decode_record,
     decode_record_full,
+    decode_record_meta,
     encode_record,
 )
 from repro.core.cachestore.verify import (
@@ -56,21 +64,24 @@ from repro.core.cachestore.factory import (
     store_identity,
 )
 from repro.core.cachestore.jsonl import JsonlRunCache
+from repro.core.cachestore.remote import RemoteRunCache
+from repro.core.cachestore.singleflight import SingleFlightStore
 from repro.core.cachestore.sqlite import SqliteRunCache
 
 __all__ = [
     "CacheStoreError",
     "CompactionResult",
     "JsonlRunCache",
+    "RemoteRunCache",
     "RunCacheBackend",
     "SQLITE_SUFFIXES",
+    "SingleFlightStore",
     "SqliteRunCache",
     "StoreKey",
     "StoreStats",
-    "VerifyMismatch",
-    "VerifyReport",
     "decode_record",
     "decode_record_full",
+    "decode_record_meta",
     "default_resolver",
     "encode_record",
     "migrate_store",
@@ -78,4 +89,6 @@ __all__ = [
     "parse_store_path",
     "store_identity",
     "verify_store",
+    "VerifyMismatch",
+    "VerifyReport",
 ]

@@ -38,7 +38,11 @@ class CacheStoreError(LoupeError):
 
 
 def encode_record(
-    key: StoreKey, result: RunResult, policy: "dict | None" = None
+    key: StoreKey,
+    result: RunResult,
+    policy: "dict | None" = None,
+    *,
+    created: "float | None" = None,
 ) -> str:
     """One run as its canonical JSON record (no trailing newline).
 
@@ -48,8 +52,10 @@ def encode_record(
     lossy digest — good enough to discriminate, not to *reconstruct*
     the policy — so recording the full document is what makes a
     record independently re-executable (``loupe cache verify``).
-    ``None`` omits the field entirely, keeping records of writers
-    that never knew about policies byte-identical.
+    *created* is the record's write timestamp (``time.time()``), the
+    anchor of TTL eviction. Either being ``None`` omits its field
+    entirely, keeping records of writers that never knew about
+    policies or timestamps byte-identical.
     """
     backend, workload, fingerprint, replica = key
     record: dict = {
@@ -61,6 +67,8 @@ def encode_record(
     }
     if policy is not None:
         record["policy"] = policy
+    if created is not None:
+        record["created"] = created
     return json.dumps(record, sort_keys=True)
 
 
@@ -84,6 +92,19 @@ def decode_record_full(
     ``policy_doc`` is ``None`` for records written before policies
     were stored (or by writers that chose not to store one).
     """
+    key, result, policy, _created = decode_record_meta(line)
+    return key, result, policy
+
+
+def decode_record_meta(
+    line: str,
+) -> "tuple[StoreKey, RunResult, dict | None, float | None]":
+    """Parse one JSON record to ``(key, result, policy_doc, created)``.
+
+    ``created`` is ``None`` for records written before timestamps were
+    stored; TTL eviction treats such records as ageless (never
+    expired) — conservative, since their age is unknowable.
+    """
     record = json.loads(line)
     key = (
         record["backend"],
@@ -94,7 +115,10 @@ def decode_record_full(
     policy = record.get("policy")
     if policy is not None and not isinstance(policy, dict):
         raise TypeError(f"malformed policy document: {policy!r}")
-    return key, RunResult.from_dict(record["result"]), policy
+    created = record.get("created")
+    if created is not None:
+        created = float(created)
+    return key, RunResult.from_dict(record["result"]), policy, created
 
 
 @dataclasses.dataclass(frozen=True)
@@ -118,6 +142,11 @@ class StoreStats:
     file_bytes: int = 0
     max_entries: "int | None" = None
     evictions: int = 0
+    ttl_s: "float | None" = None
+    #: Live entries older than the TTL (still counted in ``entries``
+    #: until a gc sweep; reads already treat them as misses). Always 0
+    #: when no TTL applies.
+    expired: int = 0
 
     def describe(self) -> str:
         base = (
@@ -129,6 +158,10 @@ class StoreStats:
             base += f", {self.stale_records} stale record(s)"
         if self.max_entries is not None:
             base += f", capped at {self.max_entries}"
+        if self.ttl_s is not None:
+            base += (
+                f", ttl {self.ttl_s:g}s ({self.expired} expired)"
+            )
         return base
 
     def to_dict(self) -> dict:
@@ -210,11 +243,23 @@ class RunCacheBackend(Protocol):
         """
         ...
 
-    def gc(self, max_entries: "int | None" = None) -> int:
-        """Evict least-recently-used records down to *max_entries*
-        (or the configured cap); returns how many were dropped.
-        Backends without usage tracking raise
-        :class:`CacheStoreError`."""
+    def gc(
+        self,
+        max_entries: "int | None" = None,
+        *,
+        ttl_s: "float | None" = None,
+    ) -> int:
+        """Evict records: entries older than *ttl_s* (or the
+        configured TTL) are swept first, then least-recently-used
+        records down to *max_entries* (or the configured cap).
+        Returns how many were dropped. Backends that cannot honor a
+        given dimension raise :class:`CacheStoreError`."""
+        ...
+
+    def expired(self, ttl_s: "float | None" = None) -> int:
+        """How many live records are older than *ttl_s* (or the
+        configured TTL) — what a ``gc`` sweep with that TTL would
+        drop. Records without a stored timestamp never count."""
         ...
 
     def close(self) -> None: ...

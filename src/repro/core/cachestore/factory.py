@@ -9,6 +9,8 @@ The choice is scheme- and extension-aware:
 =====================================  =========
 path                                   backend
 =====================================  =========
+``http://`` / ``https://`` URL         remote (a campaign server's
+                                       ``/cache`` surface)
 ``sqlite:anything``                    sqlite
 ``jsonl:anything``                     jsonl
 ``*.sqlite`` / ``*.sqlite3`` / ``*.db``  sqlite
@@ -49,6 +51,8 @@ def parse_store_path(
     kept under its old name).
     """
     text = os.fspath(path)
+    if text.startswith(("http://", "https://")):
+        return "http", Path(text)
     if text.startswith("sqlite:"):
         return "sqlite", Path(text[len("sqlite:"):])
     if text.startswith("jsonl:"):
@@ -73,6 +77,10 @@ def store_identity(path: "str | os.PathLike[str]") -> tuple[str, str]:
     (the session's) never open two handles on one file.
     """
     kind, concrete = parse_store_path(path)
+    if kind == "http":
+        # URLs are their own identity; resolving them as filesystem
+        # paths would mangle the double slash.
+        return kind, os.fspath(path).rstrip("/")
     return kind, str(concrete.expanduser().resolve())
 
 
@@ -80,23 +88,39 @@ def open_store(
     path: "str | os.PathLike[str]",
     *,
     max_entries: "int | None" = None,
+    ttl_s: "float | None" = None,
 ) -> RunCacheBackend:
     """Open the run-cache store *path* names (see the module table).
 
     *max_entries* bounds the SQLite backend with LRU eviction; the
     JSONL backend tracks no usage, so combining the two is refused
-    rather than silently unbounded.
+    rather than silently unbounded. *ttl_s* makes records of either
+    local backend read as misses once older than that many seconds.
+    An ``http(s)://`` URL opens the remote backend — a campaign
+    server's ``/cache`` surface — whose eviction posture lives with
+    the server's own store, so both knobs are refused there.
     """
     kind, concrete = parse_store_path(path)
+    if kind == "http":
+        url = os.fspath(path)
+        if max_entries is not None or ttl_s is not None:
+            raise CacheStoreError(
+                "run_cache_max_entries/run_cache_ttl_s apply to the "
+                "server's own store, not the remote client; configure "
+                "them where `loupe serve --run-cache` runs"
+            )
+        from repro.core.cachestore.remote import RemoteRunCache
+
+        return RemoteRunCache(url)
     if kind == "sqlite":
-        return SqliteRunCache(concrete, max_entries=max_entries)
+        return SqliteRunCache(concrete, max_entries=max_entries, ttl_s=ttl_s)
     if max_entries is not None:
         raise CacheStoreError(
             f"run_cache_max_entries requires the sqlite backend; "
             f"{os.fspath(path)!r} opens as jsonl (name it *.sqlite or "
             f"prefix it with sqlite:)"
         )
-    return JsonlRunCache(concrete)
+    return JsonlRunCache(concrete, ttl_s=ttl_s)
 
 
 def migrate_store(

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from pathlib import Path
 
 from repro.core.cachestore.base import (
@@ -30,7 +31,7 @@ from repro.core.cachestore.base import (
     CompactionResult,
     StoreKey,
     StoreStats,
-    decode_record_full,
+    decode_record_meta,
     encode_record,
 )
 from repro.core.runner import RunResult
@@ -45,6 +46,13 @@ class JsonlRunCache:
         The JSONL file backing the store. Created (along with parent
         directories) on first write; an existing file is loaded
         eagerly so ``get`` never touches the disk afterwards.
+    ttl_s:
+        Optional record age cap: a ``get`` of a record written more
+        than this many seconds ago reads as a miss (the line stays on
+        disk until ``gc(ttl_s=...)`` sweeps it). Records of writers
+        that stored no timestamp never expire — their age is
+        unknowable, and serving a stale hit beats discarding a
+        possibly-fresh one for a *deterministic* backend's runs.
 
     The store is thread-safe: one campaign's app-level workers
     (``analyze_many(jobs=N)``) share a single instance freely. All
@@ -57,11 +65,20 @@ class JsonlRunCache:
 
     kind = "jsonl"
 
-    def __init__(self, path: "str | os.PathLike[str]") -> None:
+    def __init__(
+        self,
+        path: "str | os.PathLike[str]",
+        *,
+        ttl_s: "float | None" = None,
+    ) -> None:
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError("ttl_s must be positive")
         self.path = Path(path)
+        self.ttl_s = ttl_s
         self._lock = threading.Lock()
         self._index: dict[StoreKey, RunResult] = {}
         self._policies: "dict[StoreKey, dict | None]" = {}
+        self._created: "dict[StoreKey, float | None]" = {}
         self._handle = None
         self._loaded_records = 0
         self._stale_records = 0
@@ -78,7 +95,7 @@ class JsonlRunCache:
                 if not line:
                     continue
                 try:
-                    key, result, policy = decode_record_full(line)
+                    key, result, policy, created = decode_record_meta(line)
                 except (ValueError, KeyError, TypeError):
                     # A torn or foreign line (campaign killed mid-append);
                     # every complete record is still usable.
@@ -89,6 +106,7 @@ class JsonlRunCache:
                     self._loaded_records += 1
                 self._index[key] = result
                 self._policies[key] = policy
+                self._created[key] = created
 
     # -- the store API -----------------------------------------------------
 
@@ -110,8 +128,18 @@ class JsonlRunCache:
         with self._lock:
             return self._stale_records
 
+    def _expired_locked(
+        self, key: StoreKey, ttl_s: "float | None", now: float
+    ) -> bool:
+        if ttl_s is None:
+            return False
+        created = self._created.get(key)
+        return created is not None and now - created > ttl_s
+
     def get(self, key: StoreKey) -> "RunResult | None":
         with self._lock:
+            if self._expired_locked(key, self.ttl_s, time.time()):
+                return None
             return self._index.get(key)
 
     def put(
@@ -130,21 +158,29 @@ class JsonlRunCache:
         short-circuited: upgrading old records to re-executable ones
         is worth one appended line.
         """
+        now = time.time()
         with self._lock:
-            if self._index.get(key) == result and (
-                policy is None or self._policies.get(key) == policy
+            if (
+                self._index.get(key) == result
+                and (policy is None or self._policies.get(key) == policy)
+                and not self._expired_locked(key, self.ttl_s, now)
             ):
-                return  # already durable; don't grow the file
+                # Already durable and still fresh; don't grow the file.
+                # (An *expired* identical record is re-appended: the
+                # rewrite is what renews its timestamp, else a TTL'd
+                # key could never revive.)
+                return
             if policy is None:
                 # A policy-less overwrite keeps any document an earlier
                 # writer stored — last-writer-wins must not *lose* it.
                 policy = self._policies.get(key)
-            line = encode_record(key, result, policy)
+            line = encode_record(key, result, policy, created=now)
             if key in self._index:
                 # The old line stays on disk, superseded, until compact().
                 self._stale_records += 1
             self._index[key] = result
             self._policies[key] = policy
+            self._created[key] = now
             if self._handle is None:
                 self.path.parent.mkdir(parents=True, exist_ok=True)
                 self._handle = self.path.open("a", encoding="utf-8")
@@ -179,7 +215,26 @@ class JsonlRunCache:
             loaded_records=self._loaded_records,
             stale_records=stale,
             file_bytes=file_bytes,
+            ttl_s=self.ttl_s,
+            expired=self.expired() if self.ttl_s is not None else 0,
         )
+
+    def expired(self, ttl_s: "float | None" = None) -> int:
+        """Live records older than *ttl_s* (or the configured TTL)."""
+        ttl = ttl_s if ttl_s is not None else self.ttl_s
+        if ttl is None:
+            raise CacheStoreError(
+                "expired() needs a TTL: pass ttl_s or open the store "
+                "with one"
+            )
+        if ttl <= 0:
+            raise ValueError("ttl_s must be positive")
+        now = time.time()
+        with self._lock:
+            return sum(
+                1 for key in self._index
+                if self._expired_locked(key, ttl, now)
+            )
 
     def compact(self) -> CompactionResult:
         """Rewrite the file with only the live records.
@@ -208,7 +263,10 @@ class JsonlRunCache:
             with temp.open("w", encoding="utf-8") as handle:
                 for key, result in self._index.items():
                     handle.write(
-                        encode_record(key, result, self._policies.get(key))
+                        encode_record(
+                            key, result, self._policies.get(key),
+                            created=self._created.get(key),
+                        )
                         + "\n"
                     )
                 handle.flush()
@@ -223,12 +281,50 @@ class JsonlRunCache:
                 records_kept=len(self._index),
             )
 
-    def gc(self, max_entries: "int | None" = None) -> int:
-        raise CacheStoreError(
-            "the jsonl backend tracks no usage and cannot evict; "
-            "migrate to sqlite for LRU eviction "
-            "(loupe cache migrate <src.jsonl> <dst.sqlite>)"
-        )
+    def gc(
+        self,
+        max_entries: "int | None" = None,
+        *,
+        ttl_s: "float | None" = None,
+    ) -> int:
+        """Sweep records older than *ttl_s* (or the configured TTL).
+
+        A TTL sweep is the one eviction dimension this backend can
+        honor: expiry needs only the stored timestamps, not usage
+        tracking. Swept keys are dropped from the index and the file
+        is rewritten atomically (compact-style), reclaiming their
+        stale lines in the same pass. *max_entries* is still refused —
+        LRU eviction needs the usage data only SQLite keeps.
+        """
+        if max_entries is not None:
+            raise CacheStoreError(
+                "the jsonl backend tracks no usage and cannot evict "
+                "by entry count; migrate to sqlite for LRU eviction "
+                "(loupe cache migrate <src.jsonl> <dst.sqlite>)"
+            )
+        ttl = ttl_s if ttl_s is not None else self.ttl_s
+        if ttl is None:
+            raise CacheStoreError(
+                "gc needs a TTL on the jsonl backend: pass ttl_s or "
+                "open the store with one"
+            )
+        if ttl <= 0:
+            raise ValueError("ttl_s must be positive")
+        now = time.time()
+        with self._lock:
+            doomed = [
+                key for key in self._index
+                if self._expired_locked(key, ttl, now)
+            ]
+            for key in doomed:
+                del self._index[key]
+                self._policies.pop(key, None)
+                self._created.pop(key, None)
+        if doomed:
+            # Rewrite the file so the swept lines are gone on disk
+            # too, not just invisible in this process's index.
+            self.compact()
+        return len(doomed)
 
     def close(self) -> None:
         """Flush and release the file handle (idempotent; the store

@@ -1,0 +1,279 @@
+"""The HTTP run-cache backend: a store served by the campaign server.
+
+``open_store("http://host:port")`` yields a :class:`RemoteRunCache`
+speaking the server's cache surface (:mod:`repro.server.cache` is the
+other side of this wire):
+
+=========  =======================  ===================================
+Method     Path                     Meaning
+=========  =======================  ===================================
+``GET``    ``/cache/<keyid>``       one record; ``?claim=1&wait=S``
+                                    joins the single-flight protocol
+``PUT``    ``/cache/<keyid>``       publish one record (releases claim)
+``POST``   ``/cache/lookup``        batched read: ``{"keys": [...]}``
+``GET``    ``/cache/stats``         the store's stats + counters
+=========  =======================  ===================================
+
+The *keyid* is the store key — the engine's ``(backend, workload,
+fingerprint, replica)`` quad — as a URL-safe base64 encoding of its
+JSON list form, so arbitrary backend/workload names survive the URL
+path. Record bodies are the very same JSON objects the local
+backends write as lines (:func:`~repro.core.cachestore.base.
+encode_record`): the wire format *is* the file format.
+
+What a remote ``get`` miss means is richer than a local one: with
+``claim=True`` the server may answer "the claim is yours" — this
+caller should execute the run and ``put`` the result — or hold the
+reply while another fleet member executes, then answer with the
+published hit. That is the fleet-wide single-flight that keeps a
+warm campaign from stampeding one cold key across N workers.
+
+Ops verbs that need the records on disk (``records``, ``items``,
+``compact``, ``gc``) are refused with a pointer at the server's own
+store file — run ``loupe cache ...`` against the path the server was
+started with, not through the wire.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+from pathlib import Path
+
+from repro.core.cachestore.base import (
+    CacheStoreError,
+    StoreKey,
+    StoreStats,
+    decode_record_meta,
+    encode_record,
+)
+from repro.core.runner import RunResult
+
+#: Per-request transport timeout. Claim waits ride on top (the server
+#: holds the reply while a claim-holder executes), so the effective
+#: GET timeout is ``timeout + wait``.
+DEFAULT_TIMEOUT_S = 10.0
+
+#: How long a claiming ``get`` lets the server hold the reply waiting
+#: for another fleet member's publish before settling for the miss.
+DEFAULT_CLAIM_WAIT_S = 20.0
+
+
+def encode_key_id(key: StoreKey) -> str:
+    """A store key as its URL-path-safe token."""
+    raw = json.dumps(list(key), sort_keys=True).encode("utf-8")
+    return base64.urlsafe_b64encode(raw).decode("ascii").rstrip("=")
+
+
+def decode_key_id(key_id: str) -> StoreKey:
+    """Invert :func:`encode_key_id`; raises ``ValueError`` on garbage."""
+    try:
+        padded = key_id + "=" * (-len(key_id) % 4)
+        doc = json.loads(base64.urlsafe_b64decode(padded.encode("ascii")))
+        backend, workload, fingerprint, replica = doc
+        if not all(
+            isinstance(part, str) for part in (backend, workload, fingerprint)
+        ):
+            raise TypeError("key parts must be strings")
+        return (backend, workload, fingerprint, int(replica))
+    except (ValueError, TypeError, KeyError) as error:
+        raise ValueError(f"malformed cache key id {key_id!r}: {error}")
+
+
+class RemoteRunCache:
+    """A run cache living behind a campaign server's cache surface.
+
+    Parameters
+    ----------
+    url:
+        The server's base URL (``http://host:port``). The constructor
+        pings ``GET /cache/stats`` so a dead or cache-less server is
+        reported at open time with an actionable message, not on the
+        first mid-campaign miss.
+    claim:
+        Join the fleet-wide single-flight protocol on misses (the
+        default). A granted claim obliges this store's user to ``put``
+        the executed result — exactly what the probe engine's
+        miss-then-record path does anyway. ``claim=False`` makes every
+        get a plain read.
+
+    The store is thread-safe by construction: every operation is one
+    HTTP request and the instance keeps no mutable state. ``claimed``
+    misses that never publish simply let their server-side lease run
+    out — liveness never depends on this process's good behavior.
+    """
+
+    kind = "http"
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        timeout: float = DEFAULT_TIMEOUT_S,
+        claim: bool = True,
+        claim_wait_s: float = DEFAULT_CLAIM_WAIT_S,
+    ) -> None:
+        if claim_wait_s < 0:
+            raise ValueError("claim_wait_s must be >= 0")
+        self.url = url.rstrip("/")
+        self.path = Path(urllib.parse.urlsplit(self.url).netloc or self.url)
+        self.timeout = timeout
+        self.claim = claim
+        self.claim_wait_s = claim_wait_s
+        self._closed = False
+        self._ping()
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: "dict | None" = None,
+        read_timeout: "float | None" = None,
+    ) -> "tuple[int, dict | None]":
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body, sort_keys=True).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=read_timeout or self.timeout
+            ) as response:
+                raw = response.read()
+                return response.status, (json.loads(raw) if raw else None)
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                document = json.loads(raw)
+            except ValueError:
+                document = {"error": raw.decode("utf-8", "replace").strip()}
+            if error.code == 404 and isinstance(document, dict) \
+                    and document.get("miss"):
+                # A cache miss, not a routing error — callers branch on
+                # the body.
+                return error.code, document
+            message = document.get("error") if isinstance(document, dict) \
+                else None
+            raise CacheStoreError(
+                f"cache server at {self.url} said {error.code}: "
+                f"{message or error.reason}"
+            )
+        except (urllib.error.URLError, ConnectionError, TimeoutError) as error:
+            reason = getattr(error, "reason", error)
+            raise CacheStoreError(
+                f"cannot reach the cache server at {self.url} ({reason}); "
+                f"is it running? start one with: "
+                f"loupe serve --run-cache PATH"
+            )
+
+    def _ping(self) -> None:
+        self._request("GET", "/cache/stats")
+
+    # -- the store API -------------------------------------------------------
+
+    def get(self, key: StoreKey) -> "RunResult | None":
+        query = ""
+        read_timeout = None
+        if self.claim:
+            query = "?" + urllib.parse.urlencode(
+                {"claim": 1, "wait": self.claim_wait_s}
+            )
+            read_timeout = self.timeout + self.claim_wait_s
+        status, document = self._request(
+            "GET",
+            f"/cache/{encode_key_id(key)}{query}",
+            read_timeout=read_timeout,
+        )
+        if status == 404:
+            return None
+        _key, result, _policy, _created = decode_record_meta(
+            json.dumps(document)
+        )
+        return result
+
+    def put(
+        self,
+        key: StoreKey,
+        result: RunResult,
+        *,
+        policy: "dict | None" = None,
+    ) -> None:
+        record = json.loads(encode_record(key, result, policy))
+        self._request("PUT", f"/cache/{encode_key_id(key)}", body=record)
+
+    def get_many(
+        self, keys: "list[StoreKey]"
+    ) -> "dict[StoreKey, RunResult]":
+        """Batched plain read (``POST /cache/lookup``) — no claims, so
+        warm-path prefetchers must not use it to stand in for the
+        claiming ``get`` on keys they intend to execute."""
+        if not keys:
+            return {}
+        _status, document = self._request(
+            "POST",
+            "/cache/lookup",
+            body={"keys": [encode_key_id(key) for key in keys]},
+        )
+        hits = (document or {}).get("hits", {})
+        found: "dict[StoreKey, RunResult]" = {}
+        for key_id, record in hits.items():
+            key, result, _policy, _created = decode_record_meta(
+                json.dumps(record)
+            )
+            found[key] = result
+        return found
+
+    def __len__(self) -> int:
+        return int(self.stats().entries)
+
+    def stats(self) -> StoreStats:
+        _status, document = self._request("GET", "/cache/stats")
+        store = (document or {}).get("store") or {}
+        known = {
+            field: store[field]
+            for field in StoreStats.__dataclass_fields__
+            if field in store
+        }
+        return StoreStats(**known)
+
+    # -- ops verbs need the file, not the wire -------------------------------
+
+    def _refuse_ops(self, verb: str) -> CacheStoreError:
+        return CacheStoreError(
+            f"cannot {verb} a remote cache over HTTP; run `loupe cache "
+            f"{verb}` against the server's own store file (the path its "
+            f"`loupe serve --run-cache` was started with)"
+        )
+
+    def items(self):
+        raise self._refuse_ops("migrate")
+
+    def records(self):
+        raise self._refuse_ops("verify")
+
+    def compact(self):
+        raise self._refuse_ops("compact")
+
+    def gc(self, max_entries=None, *, ttl_s=None):
+        raise self._refuse_ops("gc")
+
+    def expired(self, ttl_s=None):
+        raise self._refuse_ops("stats --ttl")
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "RemoteRunCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

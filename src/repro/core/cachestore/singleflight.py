@@ -1,0 +1,146 @@
+"""Single-flight stampede protection for run-cache stores.
+
+When several workers miss the same key at once — the cold start of a
+warm fleet campaign, N replicas of one probe landing together — a
+plain store lets every one of them execute the run, then overwrite
+each other with identical results. :class:`SingleFlightStore` wraps
+any :class:`~repro.core.cachestore.base.RunCacheBackend` with a
+per-key *claim*: the first ``get`` to miss is granted the claim (and
+sees the miss, so its caller executes the run); every other ``get``
+on that key blocks on the claim-holder's ``put`` and then reads the
+freshly-published hit. Each missed key executes exactly once per
+claim window.
+
+Claims carry a **lease**: a claim-holder that dies (or early-exits
+and never publishes) blocks its waiters only until the lease runs
+out, after which the next waiter inherits the claim and executes the
+run itself. Liveness never depends on a peer's good behavior.
+
+This wrapper coordinates threads *within one process*. The same
+protocol — claim on miss, publish on put, bounded lease — is what the
+campaign server's cache surface implements across processes for the
+fleet (:mod:`repro.server.cache`); this class is the local, in-memory
+form of it, useful for ``analyze_many(jobs=N)`` sharing one store.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.cachestore.base import StoreKey, StoreStats
+from repro.core.runner import RunResult
+
+#: How long a claim-holder may sit on a key before waiters give up on
+#: it. Generous for probe runs (which usually finish in well under a
+#: second) while keeping a crashed holder's waiters bounded.
+DEFAULT_LEASE_S = 30.0
+
+
+class _Claim:
+    __slots__ = ("event", "deadline")
+
+    def __init__(self, deadline: float) -> None:
+        self.event = threading.Event()
+        self.deadline = deadline
+
+
+class SingleFlightStore:
+    """A run-cache wrapper that de-duplicates concurrent misses.
+
+    Implements the full :class:`RunCacheBackend` contract by
+    delegation; only ``get``/``put`` add behavior. Counters:
+    ``claims_granted`` (misses that turned a caller into the
+    executor), ``coalesced`` (waits that ended in a published hit —
+    runs the claim saved from executing).
+    """
+
+    def __init__(self, inner, *, lease_s: float = DEFAULT_LEASE_S) -> None:
+        if lease_s <= 0:
+            raise ValueError("lease_s must be positive")
+        self.inner = inner
+        self.lease_s = lease_s
+        self.kind = f"singleflight+{inner.kind}"
+        self.path = inner.path
+        self._lock = threading.Lock()
+        self._claims: "dict[StoreKey, _Claim]" = {}
+        self.claims_granted = 0
+        self.coalesced = 0
+
+    # -- the coordinated operations ----------------------------------------
+
+    def get(self, key: StoreKey) -> "RunResult | None":
+        waited = False
+        while True:
+            hit = self.inner.get(key)
+            if hit is not None:
+                if waited:
+                    with self._lock:
+                        self.coalesced += 1
+                return hit
+            with self._lock:
+                claim = self._claims.get(key)
+                now = time.monotonic()
+                if claim is None or now >= claim.deadline:
+                    # Ours: the caller becomes the executor. An
+                    # expired claim transfers — its holder is presumed
+                    # dead, and its waiters re-race on the next lap.
+                    self._claims[key] = _Claim(now + self.lease_s)
+                    self.claims_granted += 1
+                    return None
+            claim.event.wait(max(0.0, claim.deadline - time.monotonic()))
+            waited = True
+            # Loop: a publish means the next inner.get hits; a lease
+            # expiry means the claim check above hands us the key.
+
+    def put(
+        self,
+        key: StoreKey,
+        result: RunResult,
+        *,
+        policy: "dict | None" = None,
+    ) -> None:
+        self.inner.put(key, result, policy=policy)
+        with self._lock:
+            claim = self._claims.pop(key, None)
+        if claim is not None:
+            claim.event.set()
+
+    # -- plain delegation --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def items(self):
+        return self.inner.items()
+
+    def records(self):
+        return self.inner.records()
+
+    def stats(self) -> StoreStats:
+        return self.inner.stats()
+
+    def compact(self):
+        return self.inner.compact()
+
+    def gc(self, max_entries=None, *, ttl_s=None):
+        return self.inner.gc(max_entries, ttl_s=ttl_s)
+
+    def expired(self, ttl_s=None):
+        return self.inner.expired(ttl_s)
+
+    def close(self) -> None:
+        # Wake every waiter first: a blocked campaign thread must not
+        # outlive the store it is waiting on.
+        with self._lock:
+            claims = list(self._claims.values())
+            self._claims.clear()
+        for claim in claims:
+            claim.event.set()
+        self.inner.close()
+
+    def __enter__(self) -> "SingleFlightStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

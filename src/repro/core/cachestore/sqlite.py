@@ -104,6 +104,11 @@ class SqliteRunCache:
         Optional LRU cap: a ``put`` that grows the table past this
         many rows evicts the least-recently-used surplus. ``None``
         (the default) leaves the store unbounded, like JSONL.
+    ttl_s:
+        Optional record age cap: a ``get`` of a row written (or last
+        refreshed) more than this many seconds ago reads as a miss;
+        ``gc`` deletes such rows. Complements the LRU cap — the cap
+        bounds size, the TTL bounds staleness.
 
     Thread-safe (one guarded connection per store instance) and
     multi-process-safe (WAL journaling; every read is a fresh
@@ -117,11 +122,15 @@ class SqliteRunCache:
         path: "str | os.PathLike[str]",
         *,
         max_entries: "int | None" = None,
+        ttl_s: "float | None" = None,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError("ttl_s must be positive")
         self.path = Path(path)
         self.max_entries = max_entries
+        self.ttl_s = ttl_s
         self._lock = threading.Lock()
         self._conn: "sqlite3.Connection | None" = None
         self._evictions = 0
@@ -191,10 +200,14 @@ class SqliteRunCache:
         with self._lock:
             conn = self._connect_locked()
             row = _retry_locked(lambda: conn.execute(
-                f"SELECT result FROM runs WHERE {where}",
+                f"SELECT result, created FROM runs WHERE {where}",
                 (backend, workload, fingerprint, replica),
             ).fetchone())
             if row is None:
+                return None
+            if self.ttl_s is not None and time.time() - row[1] > self.ttl_s:
+                # Expired: a miss (the row stays for gc to sweep; no
+                # use-count bump — an unservable row earned no recency).
                 return None
             _retry_locked(lambda: conn.execute(
                 f"UPDATE runs SET last_used = ?, use_count = use_count + 1 "
@@ -226,6 +239,7 @@ class SqliteRunCache:
                 " VALUES (?, ?, ?, ?, ?, ?, ?, 0)"
                 " ON CONFLICT (backend, workload, fingerprint, replica)"
                 " DO UPDATE SET result = excluded.result,"
+                "               created = excluded.created,"
                 "               last_used = excluded.last_used",
                 (backend, workload, fingerprint, replica,
                  encode_record(key, result, policy), now, now),
@@ -275,6 +289,10 @@ class SqliteRunCache:
         with self._lock:
             entries = self._count_locked()
             evictions = self._evictions
+            expired = (
+                self._expired_locked(self.ttl_s)
+                if self.ttl_s is not None else 0
+            )
         return StoreStats(
             kind=self.kind,
             path=str(self.path),
@@ -284,7 +302,29 @@ class SqliteRunCache:
             file_bytes=self._file_bytes(),
             max_entries=self.max_entries,
             evictions=evictions,
+            ttl_s=self.ttl_s,
+            expired=expired,
         )
+
+    def _expired_locked(self, ttl_s: float) -> int:
+        conn = self._connect_locked()
+        return conn.execute(
+            "SELECT COUNT(*) FROM runs WHERE created < ?",
+            (time.time() - ttl_s,),
+        ).fetchone()[0]
+
+    def expired(self, ttl_s: "float | None" = None) -> int:
+        """Live rows older than *ttl_s* (or the configured TTL)."""
+        ttl = ttl_s if ttl_s is not None else self.ttl_s
+        if ttl is None:
+            raise CacheStoreError(
+                "expired() needs a TTL: pass ttl_s or open the store "
+                "with one"
+            )
+        if ttl <= 0:
+            raise ValueError("ttl_s must be positive")
+        with self._lock:
+            return self._expired_locked(ttl)
 
     def compact(self) -> CompactionResult:
         """Checkpoint the WAL into the main database and reclaim free
@@ -309,19 +349,40 @@ class SqliteRunCache:
             records_kept=kept,
         )
 
-    def gc(self, max_entries: "int | None" = None) -> int:
-        """Evict least-recently-used rows down to *max_entries* (or
-        the configured cap); returns how many were dropped."""
+    def gc(
+        self,
+        max_entries: "int | None" = None,
+        *,
+        ttl_s: "float | None" = None,
+    ) -> int:
+        """Evict by age, then by recency: rows older than *ttl_s* (or
+        the configured TTL) are deleted first, then least-recently-used
+        rows down to *max_entries* (or the configured cap). Returns
+        the total dropped. At least one dimension must apply."""
         cap = max_entries if max_entries is not None else self.max_entries
-        if cap is None:
+        ttl = ttl_s if ttl_s is not None else self.ttl_s
+        if cap is None and ttl is None:
             raise ValueError(
-                "gc needs a cap: pass max_entries or open the store "
-                "with one"
+                "gc needs a cap or a TTL: pass max_entries/ttl_s or "
+                "open the store with one"
             )
-        if cap < 1:
+        if cap is not None and cap < 1:
             raise ValueError("max_entries must be >= 1")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl_s must be positive")
+        dropped = 0
         with self._lock:
-            return self._evict_locked(cap)
+            if ttl is not None:
+                conn = self._connect_locked()
+                cursor = _retry_locked(lambda: conn.execute(
+                    "DELETE FROM runs WHERE created < ?",
+                    (time.time() - ttl,),
+                ))
+                dropped += cursor.rowcount
+                self._evictions += cursor.rowcount
+            if cap is not None:
+                dropped += self._evict_locked(cap)
+        return dropped
 
     def close(self) -> None:
         """Close the connection (idempotent; the store stays usable

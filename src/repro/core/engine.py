@@ -117,7 +117,7 @@ DEFAULT_CACHE_SIZE = 4096
 CacheKey = tuple[str, str, str, int]
 
 #: Accepted values of ``ProbeEngine(executor=...)``.
-EXECUTORS = ("auto", "serial", "thread", "process")
+EXECUTORS = ("auto", "serial", "thread", "process", "remote")
 
 #: Target chunks per process-pool worker: enough slack for the pool to
 #: load-balance, few enough that per-chunk IPC stays negligible.
@@ -482,6 +482,7 @@ class ProbeEngine:
         store: "RunCacheBackend | None" = None,
         fault_policy: "FaultPolicy | None" = None,
         on_notice: "Callable[[object], None] | None" = None,
+        workers: "Sequence[str]" = (),
     ) -> None:
         if parallel < 1:
             raise ValueError("parallel must be >= 1")
@@ -492,6 +493,11 @@ class ProbeEngine:
                 f"unknown executor {executor!r}; choose from: "
                 f"{', '.join(EXECUTORS)}"
             )
+        if executor == "remote" and not workers:
+            raise ValueError(
+                "the remote executor needs at least one worker address "
+                "(workers=('host:port', ...))"
+            )
         if store is not None and not cache:
             # cache=False means "every request reaches the backend";
             # silently ignoring the store the caller asked for would
@@ -501,6 +507,10 @@ class ProbeEngine:
             )
         self.parallel = parallel
         self.executor = executor
+        self.workers = tuple(workers)
+        #: Lazily-connected fabric client (``executor="remote"`` only);
+        #: built on the first remote dispatch, torn down by ``close``.
+        self._fabric = None
         self.cache_enabled = cache
         self.cache_size = cache_size
         self.store = store
@@ -532,11 +542,16 @@ class ProbeEngine:
 
     @property
     def executor_name(self) -> str:
-        """The resolved sharding strategy (``serial``/``thread``/``process``).
+        """The resolved sharding strategy
+        (``serial``/``thread``/``process``/``remote``).
 
         Per-backend capability fallback can still demote an individual
         scheduling call below this (see :meth:`run_probe_batch`).
+        ``remote`` resolves regardless of ``parallel`` — fleet width
+        comes from the worker count, not this engine's thread budget.
         """
+        if self.executor == "remote":
+            return "remote"
         if self.parallel == 1 or self.executor == "serial":
             return "serial"
         if self.executor == "process":
@@ -551,9 +566,28 @@ class ProbeEngine:
         the process (:func:`shutdown_worker_pools` reclaims them
         explicitly); the engine stays usable, re-fetching a pool — at
         the *current* ``parallel`` width — on the next scheduling
-        call. Kept as an explicit lifecycle point so analyzers and
-        sessions can context-manage engines uniformly.
+        call. The fabric connection, by contrast, is this engine's
+        own: it is torn down here (workers survive a scheduler hangup
+        and serve the next connection). Kept as an explicit lifecycle
+        point so analyzers and sessions can context-manage engines
+        uniformly.
         """
+        self._close_fabric()
+
+    def _fabric_client(self):
+        """The lazily-connected fleet client (remote executor only)."""
+        if self._fabric is None:
+            # Imported here, not at module level: the fabric worker
+            # imports this module for ``_execute_chunk``.
+            from repro.fabric.executor import FabricExecutor
+
+            self._fabric = FabricExecutor(self.workers).connect()
+        return self._fabric
+
+    def _close_fabric(self) -> None:
+        fabric, self._fabric = self._fabric, None
+        if fabric is not None:
+            fabric.close()
 
     def __enter__(self) -> "ProbeEngine":
         return self
@@ -608,7 +642,9 @@ class ProbeEngine:
         capabilities = self.capabilities_for(backend)
         if not capabilities.parallel_safe:
             return "serial"
-        if kind == "process":
+        if kind in ("process", "remote"):
+            # Both ship the backend as a pickle — to a pool child or
+            # over a socket — so both need the same shardable verdict.
             with self._lock:
                 cached = self._shard_verdicts.get(id(backend))
             if cached is not None and cached[0] is backend:
@@ -622,7 +658,7 @@ class ProbeEngine:
                     # for the verdict's lifetime (cleared on reset).
                     self._shard_verdicts[id(backend)] = (backend, shardable)
             if not shardable:
-                return "thread"
+                return "thread" if self.parallel > 1 else "serial"
         return kind
 
     # -- accounting --------------------------------------------------------
@@ -966,6 +1002,11 @@ class ProbeEngine:
                 backend, workload, tasks, keys, collected, faulted,
                 failed, early_exit,
             )
+        elif mode == "remote":
+            self._dispatch_remote_chunks(
+                backend, workload, tasks, keys, collected, faulted,
+                failed, early_exit,
+            )
         else:
             self._dispatch_threads(
                 backend, workload, tasks, keys, collected, faulted,
@@ -1266,4 +1307,129 @@ class ProbeEngine:
         except BaseException:
             for other in futures:
                 other.cancel()
+            raise
+
+    def _dispatch_remote_chunks(
+        self,
+        backend: ExecutionBackend,
+        workload: Workload,
+        tasks: Sequence[tuple[int, int, InterpositionPolicy, "CacheKey | None"]],
+        keys: dict[tuple[int, int], "CacheKey | None"],
+        collected: list[dict[int, RunResult]],
+        faulted: list[dict[int, ProbeFault]],
+        failed: list[bool],
+        early_exit: bool,
+    ) -> None:
+        """Fleet sharding: process chunking with the pipe replaced by TCP.
+
+        Chunks are the same ``_execute_chunk`` jobs the process pool
+        ships, sized to the *fleet* width (chunks per worker, not per
+        local thread). The failure contract mirrors the process path
+        one-for-one: a worker that dies — SIGKILL, network partition,
+        heartbeat silence — surfaces its chunk as *lost*, and the lost
+        runs are re-enqueued on the survivors as singleton chunks
+        under the same ``retries + 1`` budget; beyond it they become
+        ``worker-crash`` faults (quarantined under degrade, raised
+        otherwise). A chunk whose execution *itself* raised re-raises
+        here exactly as a process future would.
+        """
+        if not tasks:
+            return
+        fault_policy = self.fault_policy
+        if fault_policy is not None and not fault_policy.active:
+            fault_policy = None
+        fabric = self._fabric_client()
+        width = max(1, fabric.worker_count)
+        per_chunk = max(1, -(-len(tasks) // (width * _CHUNKS_PER_WORKER)))
+        chunks = [
+            [
+                (probe_index, replica, policy)
+                for probe_index, replica, policy, _key in tasks[start:start + per_chunk]
+            ]
+            for start in range(0, len(tasks), per_chunk)
+        ]
+        policies = {
+            (probe_index, replica): policy
+            for probe_index, replica, policy, _key in tasks
+        }
+        max_requeues = (fault_policy.retries if fault_policy else 0) + 1
+        requeues: dict[tuple[int, int], int] = {}
+        deaths = 0
+
+        def consume(rows) -> None:
+            for probe_index, replica, row in rows:
+                if isinstance(row, ProbeFault):
+                    self._account_fault(row)
+                    faulted[probe_index][replica] = row
+                    continue
+                self._record(
+                    keys[(probe_index, replica)], row,
+                    policies[(probe_index, replica)],
+                )
+                collected[probe_index][replica] = row
+                if early_exit and not row.success:
+                    failed[probe_index] = True
+
+        inflight: dict[int, list] = {}
+        try:
+            for chunk in chunks:
+                job = (backend, workload, chunk, early_exit, fault_policy)
+                inflight[fabric.submit(job)] = chunk
+            while inflight:
+                event, chunk_id, body = fabric.next_event()
+                chunk = inflight.pop(chunk_id, None)
+                if chunk is None:
+                    continue
+                if event == "done":
+                    consume(body)
+                    continue
+                if event == "failed":
+                    # The chunk executed and raised (a fail-mode
+                    # ProbeFaultError, a raw backend error): same
+                    # propagation as ``future.result()``.
+                    raise body
+                # "lost": the worker died holding this chunk.
+                deaths += 1
+                requeued = 0
+                for probe_index, replica, policy in chunk:
+                    if (
+                        replica in collected[probe_index]
+                        or replica in faulted[probe_index]
+                    ):
+                        continue
+                    count = requeues.get((probe_index, replica), 0)
+                    if count < max_requeues:
+                        requeues[(probe_index, replica)] = count + 1
+                        requeued += 1
+                        # Singleton chunk, exactly like the process
+                        # path: a poison run cannot take chunk-mates
+                        # down twice.
+                        task = (probe_index, replica, policy)
+                        job = (
+                            backend, workload, [task], early_exit,
+                            fault_policy,
+                        )
+                        inflight[fabric.submit(job)] = [task]
+                        continue
+                    fault = ProbeFault(
+                        workload=workload.name,
+                        probe=policy.describe(),
+                        replica=replica,
+                        kind=FAULT_WORKER_CRASH,
+                        attempts=count + 1,
+                        detail="remote worker died on every attempt",
+                    )
+                    self._account_fault(fault)
+                    if fault_policy is None or not fault_policy.degrade:
+                        raise ProbeFaultError(fault) from body
+                    faulted[probe_index][replica] = fault
+                self._notify(PoolRecoveredNotice(
+                    lost_runs=requeued, rebuilds=deaths,
+                ))
+        except BaseException:
+            # Chunks may still be in flight on live workers; dropping
+            # the connection now (workers tolerate a scheduler hangup)
+            # keeps their late results from leaking into the next
+            # batch. The next remote dispatch reconnects.
+            self._close_fabric()
             raise

@@ -1,0 +1,34 @@
+"""Distributed run fabric: remote probe execution over TCP.
+
+The fabric extends the engine's process sharding across machines: a
+:class:`FabricWorker` (``loupe worker``) executes the same pickled
+chunks a process-pool child would, and a :class:`FabricExecutor` is
+the scheduler-side pool the engine drives when
+``AnalyzerConfig.executor == "remote"``. The wire format lives in
+:mod:`repro.fabric.protocol`.
+"""
+
+from repro.fabric.executor import (
+    DEFAULT_DEAD_AFTER_S,
+    FabricConnectionError,
+    FabricExecutor,
+    parse_worker_address,
+)
+from repro.fabric.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FabricProtocolError,
+)
+from repro.fabric.worker import DEFAULT_HEARTBEAT_S, FabricWorker
+
+__all__ = [
+    "DEFAULT_DEAD_AFTER_S",
+    "DEFAULT_HEARTBEAT_S",
+    "FabricConnectionError",
+    "FabricExecutor",
+    "FabricProtocolError",
+    "FabricWorker",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "parse_worker_address",
+]

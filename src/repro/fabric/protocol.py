@@ -1,0 +1,306 @@
+"""The fabric wire protocol: length-prefixed frames + versioned handshake.
+
+Everything the distributed run fabric says on a socket is a **frame**:
+
+.. code-block:: text
+
+    +----------+----------------+----------------------+
+    | kind (1) | length (4, BE) | payload (length bytes)|
+    +----------+----------------+----------------------+
+
+A one-byte frame kind, a big-endian 4-byte payload length, then the
+payload. The length prefix is what makes the protocol safe to read
+from a stream socket: a reader always knows exactly how many bytes the
+current frame still owes, so a slow sender never wedges parsing and a
+dead sender is detected as a *truncated* frame, not a hang. Frames are
+capped at :data:`MAX_FRAME_BYTES`; an oversized declaration is refused
+before a single payload byte is read (a corrupt or adversarial length
+cannot make the reader allocate unbounded memory).
+
+Connections open with a **versioned handshake**: the client sends a
+``HELLO`` (JSON: magic + protocol version), the worker answers with a
+``WELCOME`` (JSON: magic, version, pid, and the worker's
+:class:`~repro.core.runner.BackendCapabilities` contract — the same
+descriptor local scheduling consults, so the remote executor can
+refuse a worker that could not honor pickled chunks). Any mismatch —
+wrong magic, wrong version — is a typed
+:class:`FabricProtocolError` naming both sides, never a silent
+misparse.
+
+After the handshake, probe chunks ride ``CHUNK`` frames as the *same
+pickled payload* ``repro.core.engine._execute_chunk`` already accepts
+for process sharding — the fabric is process sharding with the pool's
+pipe replaced by a socket. Workers acknowledge receipt (``ACK``),
+answer with ``RESULT`` (pickled rows) or ``ERROR`` (pickled
+exception), and emit periodic ``HEARTBEAT`` frames so a hung worker is
+distinguishable from a busy one.
+
+All encode/decode functions here are pure functions over bytes and
+file-like objects — the protocol is fully testable over
+``io.BytesIO``, no socket required.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import struct
+
+from repro.core.runner import BackendCapabilities
+from repro.errors import LoupeError
+
+#: Protocol identity; both handshake documents carry it.
+MAGIC = "loupe-fabric"
+
+#: Bumped on any incompatible frame or payload change.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one frame's payload. Generous for chunk pickles (a
+#: chunk carries one backend + a slice of policies), small enough that
+#: a corrupt length prefix cannot balloon reader memory.
+MAX_FRAME_BYTES = 64 << 20
+
+#: Frame kinds (the single header byte).
+KIND_HELLO = 1
+KIND_WELCOME = 2
+KIND_CHUNK = 3
+KIND_ACK = 4
+KIND_RESULT = 5
+KIND_ERROR = 6
+KIND_HEARTBEAT = 7
+
+FRAME_KINDS = (
+    KIND_HELLO, KIND_WELCOME, KIND_CHUNK, KIND_ACK,
+    KIND_RESULT, KIND_ERROR, KIND_HEARTBEAT,
+)
+
+_HEADER = struct.Struct(">BI")
+
+
+class FabricProtocolError(LoupeError):
+    """The peer violated the fabric wire protocol.
+
+    Raised for truncated frames, oversized length declarations,
+    unknown frame kinds, malformed handshake documents, and
+    magic/version mismatches. Never used for clean connection close —
+    :func:`read_frame` reports that as ``None`` so callers can tell a
+    finished peer from a broken one.
+    """
+
+
+def encode_frame(kind: int, payload: bytes) -> bytes:
+    """One wire frame: kind byte, length prefix, payload."""
+    if kind not in FRAME_KINDS:
+        raise FabricProtocolError(f"unknown frame kind {kind!r}")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FabricProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    return _HEADER.pack(kind, len(payload)) + payload
+
+
+def _read_exact(readable, count: int) -> "bytes | None":
+    """Exactly *count* bytes from *readable*, ``None`` on immediate EOF.
+
+    A partial read followed by EOF — the footprint of a peer dying
+    mid-frame — is a :class:`FabricProtocolError`, never a short
+    return (silent truncation would hand corrupt pickles downstream).
+    """
+    chunks: list[bytes] = []
+    got = 0
+    while got < count:
+        piece = readable.read(count - got)
+        if not piece:
+            if got == 0:
+                return None
+            raise FabricProtocolError(
+                f"truncated frame: expected {count} more byte(s), "
+                f"got {got} before EOF"
+            )
+        chunks.append(piece)
+        got += len(piece)
+    return b"".join(chunks)
+
+
+def read_frame(readable) -> "tuple[int, bytes] | None":
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    *readable* is any object with a blocking ``read(n)`` (a socket's
+    ``makefile("rb")``, an ``io.BytesIO``). Truncation mid-header or
+    mid-payload, an unknown kind byte, and an oversized length
+    declaration all raise :class:`FabricProtocolError` — the caller
+    never hangs on a frame that cannot complete, and never reads a
+    payload the length prefix oversold.
+    """
+    header = _read_exact(readable, _HEADER.size)
+    if header is None:
+        return None
+    kind, length = _HEADER.unpack(header)
+    if kind not in FRAME_KINDS:
+        raise FabricProtocolError(f"unknown frame kind {kind!r} on the wire")
+    if length > MAX_FRAME_BYTES:
+        raise FabricProtocolError(
+            f"frame declares a {length}-byte payload, over the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    payload = _read_exact(readable, length)
+    if payload is None:
+        if length == 0:
+            return kind, b""
+        raise FabricProtocolError(
+            f"truncated frame: header promised {length} payload "
+            f"byte(s), got EOF"
+        )
+    return kind, payload
+
+
+# -- handshake -----------------------------------------------------------
+
+
+def hello_payload() -> bytes:
+    """The client's opening document: who it speaks and which version."""
+    return json.dumps(
+        {"magic": MAGIC, "version": PROTOCOL_VERSION}, sort_keys=True
+    ).encode()
+
+
+def welcome_payload(
+    capabilities: BackendCapabilities, *, pid: int, worker_id: str = ""
+) -> bytes:
+    """The worker's answer: identity plus its capability contract."""
+    return json.dumps({
+        "magic": MAGIC,
+        "version": PROTOCOL_VERSION,
+        "pid": pid,
+        "worker_id": worker_id,
+        "capabilities": capabilities.to_dict(),
+    }, sort_keys=True).encode()
+
+
+def _decode_handshake(payload: bytes, side: str) -> dict:
+    try:
+        document = json.loads(payload.decode())
+    except (ValueError, UnicodeDecodeError) as error:
+        raise FabricProtocolError(
+            f"malformed {side} handshake payload: {error}"
+        )
+    if not isinstance(document, dict):
+        raise FabricProtocolError(
+            f"malformed {side} handshake payload: expected an object, "
+            f"got {type(document).__name__}"
+        )
+    if document.get("magic") != MAGIC:
+        raise FabricProtocolError(
+            f"{side} handshake magic {document.get('magic')!r} is not "
+            f"{MAGIC!r} — the peer is not a loupe fabric endpoint"
+        )
+    version = document.get("version")
+    if version != PROTOCOL_VERSION:
+        raise FabricProtocolError(
+            f"fabric protocol version mismatch: peer speaks "
+            f"{version!r}, this side speaks {PROTOCOL_VERSION}"
+        )
+    return document
+
+
+def decode_hello(payload: bytes) -> dict:
+    """Validate a ``HELLO`` document (magic + version), return it."""
+    return _decode_handshake(payload, "hello")
+
+
+def decode_welcome(payload: bytes) -> dict:
+    """Validate a ``WELCOME`` document; materialize its capabilities.
+
+    The returned dict carries ``capabilities`` as a
+    :class:`BackendCapabilities` descriptor (absent fields read
+    ``False``, the conservative default the contract specifies).
+    """
+    document = _decode_handshake(payload, "welcome")
+    raw = document.get("capabilities")
+    if not isinstance(raw, dict):
+        raise FabricProtocolError(
+            "welcome handshake is missing its capabilities contract"
+        )
+    document["capabilities"] = BackendCapabilities.from_dict(raw)
+    return document
+
+
+# -- chunk payloads ------------------------------------------------------
+
+
+def encode_chunk(chunk_id: int, job: object) -> bytes:
+    """A ``CHUNK`` payload: the id plus the pickled execution job.
+
+    *job* is the exact argument tuple ``_execute_chunk`` accepts —
+    ``(backend, workload, tasks, early_exit, fault_policy)`` — so a
+    fabric worker and a process-pool worker execute literally the same
+    call.
+    """
+    return pickle.dumps((chunk_id, job), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_chunk(payload: bytes) -> tuple[int, object]:
+    try:
+        chunk_id, job = pickle.loads(payload)
+        return int(chunk_id), job
+    except Exception as error:
+        raise FabricProtocolError(f"undecodable chunk payload: {error}")
+
+
+def encode_ack(chunk_id: int) -> bytes:
+    return struct.pack(">I", chunk_id)
+
+
+def decode_ack(payload: bytes) -> int:
+    if len(payload) != 4:
+        raise FabricProtocolError(
+            f"ack payload must be 4 bytes, got {len(payload)}"
+        )
+    return struct.unpack(">I", payload)[0]
+
+
+def encode_result(chunk_id: int, rows: object) -> bytes:
+    return pickle.dumps((chunk_id, rows), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_result(payload: bytes) -> tuple[int, object]:
+    try:
+        chunk_id, rows = pickle.loads(payload)
+        return int(chunk_id), rows
+    except Exception as error:
+        raise FabricProtocolError(f"undecodable result payload: {error}")
+
+
+def encode_error(chunk_id: int, error: BaseException) -> bytes:
+    """An ``ERROR`` payload: the chunk id plus the pickled exception.
+
+    Exceptions that refuse to pickle (a backend error holding a
+    socket, say) degrade to a plain :class:`FabricProtocolError`
+    carrying the repr — the scheduler always gets *an* exception to
+    re-raise, never a torn frame.
+    """
+    try:
+        return pickle.dumps(
+            (chunk_id, error), protocol=pickle.HIGHEST_PROTOCOL
+        )
+    except Exception:
+        fallback = FabricProtocolError(
+            f"worker error did not survive pickling: {error!r}"
+        )
+        return pickle.dumps(
+            (chunk_id, fallback), protocol=pickle.HIGHEST_PROTOCOL
+        )
+
+
+def decode_error(payload: bytes) -> tuple[int, BaseException]:
+    try:
+        chunk_id, error = pickle.loads(payload)
+    except Exception as error:
+        raise FabricProtocolError(f"undecodable error payload: {error}")
+    if not isinstance(error, BaseException):
+        raise FabricProtocolError(
+            f"error payload carries {type(error).__name__}, not an "
+            f"exception"
+        )
+    return int(chunk_id), error

@@ -33,6 +33,7 @@ import time
 from pathlib import Path
 
 from repro.api.registry import UnknownBackendError, parse_backend_names, resolve_backend
+from repro.server.cache import CacheService, FleetTracker
 from repro.server.handlers import CampaignHTTPServer
 from repro.server.jobstore import (
     QUEUED,
@@ -84,6 +85,15 @@ class CampaignServer:
             checkpoint_jobs=checkpoint_jobs,
             reaper_interval_s=reaper_interval_s,
         )
+        self.fleet = FleetTracker()
+        self.cache: "CacheService | None" = None
+        if run_cache is not None:
+            # The served cache surface (GET/PUT /cache/<key>): one
+            # long-lived store the whole fleet shares, with
+            # cross-process single-flight claims layered on top.
+            from repro.core.cachestore import open_store
+
+            self.cache = CacheService(open_store(run_cache))
         self._httpd = CampaignHTTPServer((host, port), self)
         self._thread: "threading.Thread | None" = None
         self._closed = False
@@ -150,6 +160,8 @@ class CampaignServer:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
         self.runner.stop(cancel_running=cancel_running)
+        if self.cache is not None:
+            self.cache.close()
         try:
             self.discovery_path.unlink()
         except FileNotFoundError:
@@ -209,17 +221,25 @@ class CampaignServer:
         posture (``queue``: admission limits, drain flag, queue-age
         watermarks; ``attempts``: retry pressure — totals beyond first
         attempts and the worst offender), and — when a service-default
-        run cache is configured and exists on disk — the store's stats
-        in exactly the ``loupe cache stats --json`` shape."""
+        run cache is configured — the store's stats in exactly the
+        ``loupe cache stats --json`` shape, plus the cache surface's
+        counters (hits/misses/single-flight coalescing) and fleet
+        gauges (connected workers, chunks in flight, from worker
+        heartbeats)."""
         store_stats = None
+        cache_counters = None
+        if self.cache is not None:
+            cache_counters = self.cache.counters()
         if self.run_cache is not None and Path(self.run_cache).exists():
-            # Open read-only-ish: open_store on an existing path loads
-            # and reports without disturbing concurrent writers'
-            # append-only records.
+            # A fresh open per stats call, not the served surface's
+            # long-lived handle: JSONL records appended by concurrent
+            # campaign processes are only visible to new handles.
             from repro.core.cachestore import open_store
 
             with open_store(self.run_cache) as cache:
                 store_stats = cache.stats().to_dict()
+        elif self.cache is not None:
+            store_stats = self.cache.store_stats()
         now = time.time()
         queue_ages = []
         attempts = []
@@ -247,4 +267,6 @@ class CampaignServer:
                 "max_observed": max(attempts, default=0),
             },
             "run_cache": store_stats,
+            "cache": cache_counters,
+            "fleet": self.fleet.gauges(),
         }

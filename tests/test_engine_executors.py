@@ -1,7 +1,8 @@
 """Executor-equivalence tests: sharding never changes conclusions.
 
-The engine's contract is that ``executor="serial"``, ``"thread"``, and
-``"process"`` are pure scheduling choices — every one of them must
+The engine's contract is that ``executor="serial"``, ``"thread"``,
+``"process"``, and ``"remote"`` are pure scheduling choices — every
+one of them must
 produce byte-identical :class:`FeatureReport`s (and therefore
 identical :class:`Database` payloads) for the same analysis. This
 module pins that contract two ways:
@@ -39,8 +40,16 @@ from repro.core.policy import stubbing
 from repro.core.runner import process_shardable
 from repro.core.workload import benchmark, health_check
 from repro.db import Database
+from repro.fabric.worker import FabricWorker
 
-EXECUTORS = ("serial", "thread", "process")
+EXECUTORS = ("serial", "thread", "process", "remote")
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """Two live in-process fabric workers for the ``remote`` legs."""
+    with FabricWorker() as one, FabricWorker() as two:
+        yield (one.address, two.address)
 
 #: Syscalls the generated programs draw ops from.
 _SYSCALLS = ("read", "close", "uname", "prctl", "mmap", "brk", "fcntl")
@@ -81,11 +90,12 @@ def _programs(draw):
     )
 
 
-def _analyze(program, workload, executor, replicas):
+def _analyze(program, workload, executor, replicas, workers=()):
     with Analyzer(AnalyzerConfig(
         replicas=replicas,
         parallel=1 if executor == "serial" else 3,
         executor=executor,
+        workers=workers,
     )) as analyzer:
         return analyzer.analyze(SimBackend(program), workload)
 
@@ -94,14 +104,19 @@ class TestExecutorEquivalenceProperty:
     @settings(max_examples=12, deadline=None)
     @given(program=_programs(), replicas=st.integers(1, 3),
            measured=st.booleans())
-    def test_all_executors_byte_identical(self, program, replicas, measured):
+    def test_all_executors_byte_identical(
+        self, fleet, program, replicas, measured
+    ):
         workload = (
             benchmark("bench", metric_name="req/s")
             if measured else health_check("health")
         )
         reference = _analyze(program, workload, "serial", replicas)
-        for executor in ("thread", "process"):
-            variant = _analyze(program, workload, executor, replicas)
+        for executor in ("thread", "process", "remote"):
+            variant = _analyze(
+                program, workload, executor, replicas,
+                workers=fleet if executor == "remote" else (),
+            )
             assert _digest(variant) == _digest(reference), executor
             for feature, report in reference.features.items():
                 assert variant.features[feature] == report
@@ -125,10 +140,20 @@ class TestExecutorEquivalenceCorpus:
                 assert _digest(left) == _digest(right), (left.app, executor)
             assert _database_payload(results) == reference_payload, executor
 
+    def test_remote_matches_serial(self, corpus_reference, fleet):
+        apps, reference = corpus_reference
+        results = [
+            _analyze_app(app, "remote", workers=fleet) for app in apps
+        ]
+        for left, right in zip(reference, results):
+            assert _digest(left) == _digest(right), (left.app, "remote")
+        assert _database_payload(results) == _database_payload(reference)
 
-def _analyze_app(app, executor):
+
+def _analyze_app(app, executor, workers=()):
     with Analyzer(AnalyzerConfig(
         parallel=1 if executor == "serial" else 4, executor=executor,
+        workers=workers,
     )) as analyzer:
         return analyzer.analyze(
             app.backend(), app.workload("bench"),

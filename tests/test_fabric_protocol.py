@@ -1,0 +1,223 @@
+"""The fabric wire codec: framing, handshake, payloads.
+
+The property under test is the one the ISSUE's satellite names: a
+reader fed garbage — truncated frames, oversized length prefixes,
+unknown kinds, version-mismatched handshakes — must raise a typed
+:class:`FabricProtocolError` (or report clean EOF as ``None``), and
+must *never* hang or return corrupt data. Everything runs over
+``io.BytesIO``, so a would-be hang shows up as a read past the end of
+the buffer (``None``/exception), not an actual block.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.runner import BackendCapabilities
+from repro.fabric.protocol import (
+    FRAME_KINDS,
+    KIND_ACK,
+    KIND_CHUNK,
+    KIND_ERROR,
+    KIND_HEARTBEAT,
+    KIND_HELLO,
+    KIND_RESULT,
+    KIND_WELCOME,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FabricProtocolError,
+    decode_ack,
+    decode_chunk,
+    decode_error,
+    decode_hello,
+    decode_welcome,
+    encode_ack,
+    encode_chunk,
+    encode_error,
+    encode_frame,
+    encode_result,
+    hello_payload,
+    read_frame,
+    welcome_payload,
+)
+
+CAPS = BackendCapabilities(
+    deterministic=True, parallel_safe=True, process_safe=True
+)
+
+
+# -- round trips -------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    kind=st.sampled_from(sorted(FRAME_KINDS)),
+    payload=st.binary(max_size=4096),
+)
+def test_any_frame_round_trips(kind: int, payload: bytes) -> None:
+    stream = io.BytesIO(encode_frame(kind, payload))
+    assert read_frame(stream) == (kind, payload)
+    # The stream is left exactly at the frame boundary.
+    assert read_frame(stream) is None
+
+
+@settings(max_examples=50, deadline=None)
+@given(payloads=st.lists(st.binary(max_size=512), max_size=8))
+def test_back_to_back_frames_stay_in_sync(payloads: list) -> None:
+    blob = b"".join(
+        encode_frame(KIND_RESULT, payload) for payload in payloads
+    )
+    stream = io.BytesIO(blob)
+    for payload in payloads:
+        assert read_frame(stream) == (KIND_RESULT, payload)
+    assert read_frame(stream) is None
+
+
+def test_chunk_payload_round_trips() -> None:
+    job = ("backend", "workload", [(0, 1, None)], True, None)
+    chunk_id, decoded = decode_chunk(encode_chunk(7, job))
+    assert chunk_id == 7
+    assert decoded == job
+
+
+@settings(max_examples=50, deadline=None)
+@given(chunk_id=st.integers(min_value=0, max_value=2**31 - 1))
+def test_ack_round_trips(chunk_id: int) -> None:
+    assert decode_ack(encode_ack(chunk_id)) == chunk_id
+
+
+def test_error_payload_round_trips_exceptions() -> None:
+    chunk_id, error = decode_error(encode_error(3, ValueError("boom")))
+    assert chunk_id == 3
+    assert isinstance(error, ValueError)
+    assert "boom" in str(error)
+
+
+def test_error_payload_degrades_unpicklable_exceptions() -> None:
+    class Unpicklable(RuntimeError):
+        def __reduce__(self):
+            raise TypeError("nope")
+
+    chunk_id, error = decode_error(encode_error(9, Unpicklable("gone")))
+    assert chunk_id == 9
+    assert isinstance(error, FabricProtocolError)
+    assert "gone" in str(error)
+
+
+def test_error_payload_refuses_non_exceptions() -> None:
+    with pytest.raises(FabricProtocolError):
+        decode_error(pickle.dumps((1, "not an exception")))
+
+
+# -- the adversarial properties ---------------------------------------------
+
+
+@settings(max_examples=150, deadline=None)
+@given(payload=st.binary(min_size=1, max_size=2048), cut=st.data())
+def test_truncated_frame_raises_not_hangs(payload: bytes, cut) -> None:
+    frame = encode_frame(KIND_RESULT, payload)
+    keep = cut.draw(st.integers(min_value=1, max_value=len(frame) - 1))
+    stream = io.BytesIO(frame[:keep])
+    with pytest.raises(FabricProtocolError):
+        read_frame(stream)
+
+
+def test_clean_eof_is_none_not_an_error() -> None:
+    assert read_frame(io.BytesIO(b"")) is None
+
+
+@settings(max_examples=100, deadline=None)
+@given(garbage=st.binary(min_size=1, max_size=64))
+def test_arbitrary_garbage_never_returns_corrupt_frames(
+    garbage: bytes,
+) -> None:
+    """Any byte soup either parses as real frames, ends cleanly, or
+    raises the typed error — read_frame has no fourth outcome."""
+    stream = io.BytesIO(garbage)
+    try:
+        while True:
+            frame = read_frame(stream)
+            if frame is None:
+                break
+            kind, payload = frame
+            assert kind in FRAME_KINDS
+            assert len(payload) <= MAX_FRAME_BYTES
+    except FabricProtocolError:
+        pass
+
+
+def test_unknown_kind_is_refused() -> None:
+    frame = struct.pack(">BI", 99, 0)
+    with pytest.raises(FabricProtocolError, match="unknown frame kind"):
+        read_frame(io.BytesIO(frame))
+
+
+def test_oversized_frame_is_refused_before_reading_payload() -> None:
+    header = struct.pack(">BI", KIND_RESULT, MAX_FRAME_BYTES + 1)
+    stream = io.BytesIO(header)  # deliberately no payload bytes at all
+    with pytest.raises(FabricProtocolError, match="over the"):
+        read_frame(stream)
+    # The refusal happened at the header: nothing past it was consumed.
+    assert stream.tell() == len(header)
+
+
+def test_heartbeat_frames_are_legal_and_empty() -> None:
+    stream = io.BytesIO(encode_frame(KIND_HEARTBEAT, b""))
+    assert read_frame(stream) == (KIND_HEARTBEAT, b"")
+
+
+# -- handshake ---------------------------------------------------------------
+
+
+def test_handshake_round_trips() -> None:
+    assert decode_hello(hello_payload())["version"] == PROTOCOL_VERSION
+    welcome = decode_welcome(
+        welcome_payload(CAPS, pid=123, worker_id="w-1")
+    )
+    assert welcome["pid"] == 123
+    assert welcome["worker_id"] == "w-1"
+    assert welcome["capabilities"].process_safe is True
+
+
+@settings(max_examples=30, deadline=None)
+@given(version=st.integers(min_value=-5, max_value=50))
+def test_version_mismatch_is_typed(version: int) -> None:
+    import json
+
+    payload = json.dumps(
+        {"magic": "loupe-fabric", "version": version}
+    ).encode("utf-8")
+    if version == PROTOCOL_VERSION:
+        assert decode_hello(payload)["version"] == version
+        return
+    with pytest.raises(FabricProtocolError, match="version mismatch"):
+        decode_hello(payload)
+
+
+def test_wrong_magic_is_typed() -> None:
+    import json
+
+    payload = json.dumps(
+        {"magic": "not-loupe", "version": PROTOCOL_VERSION}
+    ).encode("utf-8")
+    with pytest.raises(FabricProtocolError, match="magic"):
+        decode_hello(payload)
+
+
+@settings(max_examples=60, deadline=None)
+@given(garbage=st.binary(max_size=128))
+def test_garbage_handshake_is_typed(garbage: bytes) -> None:
+    for decode in (decode_hello, decode_welcome):
+        try:
+            decode(garbage)
+        except FabricProtocolError:
+            continue
+        # Only a byte-exact valid handshake may decode.
+        document = __import__("json").loads(garbage)
+        assert document["magic"] == "loupe-fabric"

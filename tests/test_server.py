@@ -256,7 +256,7 @@ class TestHTTPSurface:
         stats = client.stats()
         assert set(stats) == {
             "queue_depth", "workers", "busy_workers", "jobs",
-            "queue", "attempts", "run_cache",
+            "queue", "attempts", "run_cache", "cache", "fleet",
         }
         assert stats["jobs"]["total"] == 0
         assert all(stats["jobs"][state] == 0 for state in STATES)
